@@ -1,0 +1,77 @@
+"""E06 — state-space explosion: CTMC size vs non-state-space cost.
+
+Tutorial claim: modeling n independent-ish components as one CTMC costs
+2^n states while the RBD stays linear — the fundamental trade that
+motivates hierarchical modeling.  We build both for the same system of n
+repairable units (independent repair so both are exact) and compare cost
+and agreement.
+"""
+
+import itertools
+import time
+
+import pytest
+
+from conftest import print_table
+from repro.markov import CTMC
+from repro.nonstate import Component, ReliabilityBlockDiagram, Series
+
+LAM, MU = 0.01, 1.0
+
+
+def product_ctmc(n):
+    """Full 2^n-state CTMC of n independent repairable units."""
+    chain = CTMC()
+    for state in itertools.product((0, 1), repeat=n):
+        for i in range(n):
+            flipped = list(state)
+            flipped[i] = 1 - flipped[i]
+            target = tuple(flipped)
+            rate = LAM if state[i] == 1 else MU
+            chain.add_transition(state, target, rate)
+    return chain
+
+
+def series_availability_ctmc(n):
+    chain = product_ctmc(n)
+    pi = chain.steady_state(method="direct")
+    all_up = tuple([1] * n)
+    return pi[all_up]
+
+
+def series_availability_rbd(n):
+    comps = [Component.from_rates(f"c{i}", LAM, MU) for i in range(n)]
+    return ReliabilityBlockDiagram(Series(comps)).steady_state_availability()
+
+
+@pytest.mark.parametrize("n", [4, 8, 10])
+def test_ctmc_cost(benchmark, n):
+    result = benchmark(lambda: series_availability_ctmc(n))
+    assert result == pytest.approx((MU / (LAM + MU)) ** n, rel=1e-6)
+
+
+@pytest.mark.parametrize("n", [4, 64, 512])
+def test_rbd_cost(benchmark, n):
+    result = benchmark(lambda: series_availability_rbd(n))
+    assert result == pytest.approx((MU / (LAM + MU)) ** n, rel=1e-9)
+
+
+def test_report():
+    rows = []
+    for n in (2, 4, 6, 8, 10, 12):
+        start = time.perf_counter()
+        a_ctmc = series_availability_ctmc(n)
+        ctmc_ms = (time.perf_counter() - start) * 1e3
+        start = time.perf_counter()
+        a_rbd = series_availability_rbd(n)
+        rbd_ms = (time.perf_counter() - start) * 1e3
+        assert a_ctmc == pytest.approx(a_rbd, rel=1e-6)
+        rows.append((n, 2**n, ctmc_ms, rbd_ms))
+    print_table(
+        "E06: state-space explosion — CTMC (2^n states) vs RBD (n blocks)",
+        ["n units", "CTMC states", "CTMC ms", "RBD ms"],
+        rows,
+    )
+    # CTMC cost explodes; RBD cost stays flat.
+    assert rows[-1][2] > 10 * rows[0][2]
+    assert rows[-1][3] < 50 * max(rows[0][3], 0.01)

@@ -1,0 +1,87 @@
+"""E07 — imperfect coverage collapses redundancy gains.
+
+Tutorial claim (the classic 2-unit standby example): with perfect
+coverage a standby buys orders of magnitude of MTTF and availability;
+each percent of coverage lost eats most of the gain, because an
+uncovered failure bypasses the redundancy entirely.
+
+Two views of the same chain:
+
+* **availability** — every non-operational state (failover switch,
+  manual recovery, double failure) counts as down;
+* **mission reliability / MTTF** — the covered failover (~30 s, masked
+  by protocols) is survivable; mission failure = uncovered failure or
+  exhaustion of both units.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.markov import CTMC, MarkovDependabilityModel
+
+LAM = 1e-3      # unit failure rate
+MU = 1.0        # repair rate
+DELTA = 120.0   # failover rate (covered case, ~30 s)
+BETA = 2.0      # manual recovery rate (uncovered case, 30 min)
+
+
+def standby_chain(coverage):
+    chain = CTMC()
+    if coverage > 0.0:
+        chain.add_transition("2", "swap", LAM * coverage)
+        chain.add_transition("swap", "1", DELTA)
+    if coverage < 1.0:
+        chain.add_transition("2", "manual", LAM * (1 - coverage))
+        chain.add_transition("manual", "1", BETA)
+    chain.add_transition("2", "1", LAM)           # standby (detected) failure
+    chain.add_transition("1", "2", MU)
+    chain.add_transition("1", "0", LAM)
+    chain.add_transition("0", "1", MU)
+    return chain
+
+
+def availability_model(coverage):
+    """All transient outage states count as down."""
+    return MarkovDependabilityModel(
+        standby_chain(coverage), up_states=["2", "1"], initial="2"
+    )
+
+
+def mttf_model(coverage):
+    """Covered failover is survivable; uncovered or double failure is not."""
+    chain = standby_chain(coverage)
+    up = ["2", "1"] + (["swap"] if coverage > 0.0 else [])
+    return MarkovDependabilityModel(chain, up_states=up, initial="2")
+
+
+@pytest.mark.parametrize("coverage", [1.0, 0.99, 0.9])
+def test_availability_solve(benchmark, coverage):
+    model = availability_model(coverage)
+    result = benchmark(model.steady_state_availability)
+    assert 0.9 < result <= 1.0
+
+
+def test_report():
+    rows = []
+    for coverage in (1.0, 0.999, 0.99, 0.95, 0.9):
+        avail = availability_model(coverage).steady_state_availability()
+        mttf = mttf_model(coverage).mttf()
+        rows.append((coverage, avail, (1 - avail) * 525_600, mttf))
+    print_table(
+        "E07: imperfect coverage — availability & mission MTTF vs c",
+        ["coverage", "availability", "min/yr down", "MTTF h"],
+        rows,
+    )
+    perfect = rows[0]
+    worst = rows[-1]
+    # Losing 10% of coverage costs a large factor in downtime:
+    assert (1 - worst[1]) > 4 * (1 - perfect[1])
+    # ... and destroys the MTTF gain of the standby (orders of magnitude):
+    assert perfect[3] > 20 * worst[3]
+    # Downtime is monotone in coverage:
+    downtimes = [r[2] for r in rows]
+    assert all(b >= a for a, b in zip(downtimes, downtimes[1:]))
+    # MTTF is monotone in coverage:
+    mttfs = [r[3] for r in rows]
+    assert all(b <= a for a, b in zip(mttfs, mttfs[1:]))

@@ -1,0 +1,83 @@
+"""E16 — fixed-point iteration on cyclic import graphs.
+
+Tutorial claim: cyclic hierarchical models (mutual parameter imports)
+converge geometrically under fixed-point iteration; damping trades a
+slower rate for stability on oscillating maps.  We measure residual
+decay on a two-model cycle and the damping ablation.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import FixedPointSolver, HierarchicalModel, Submodel, export_availability
+from repro.nonstate import Component, ReliabilityBlockDiagram
+
+
+def cyclic_hierarchy(k1=0.02, k2=0.04):
+    h = HierarchicalModel()
+    h.add_submodel(
+        Submodel(
+            "A",
+            lambda imp: ReliabilityBlockDiagram(
+                Component.fixed("a", k1 * imp.get("b_avail", 1.0))
+            ),
+            imports={"b_avail": ("B", "avail")},
+            exports={"avail": export_availability},
+        )
+    )
+    h.add_submodel(
+        Submodel(
+            "B",
+            lambda imp: ReliabilityBlockDiagram(
+                Component.fixed("b", k2 * imp.get("a_avail", 1.0))
+            ),
+            imports={"a_avail": ("A", "avail")},
+            exports={"avail": export_availability},
+        )
+    )
+    return h
+
+
+def test_cyclic_solve(benchmark):
+    h = cyclic_hierarchy()
+    solution = benchmark(lambda: cyclic_hierarchy().solve(tol=1e-12))
+    a = solution.value("A", "avail")
+    b = solution.value("B", "avail")
+    assert a == pytest.approx(1 - 0.02 * b, abs=1e-10)
+
+
+def test_report():
+    # Residual decay of the underlying fixed-point map.
+    def update(x):
+        a = 1.0 - 0.02 * x["b"]
+        b = 1.0 - 0.04 * x["a"]
+        return {"a": a, "b": b}
+
+    result = FixedPointSolver(update, {"a": 0.5, "b": 0.5}, tol=1e-14).solve()
+    rows = [(i + 1, r) for i, r in enumerate(result.residuals)]
+    print_table("E16: fixed-point residual decay", ["iteration", "residual"], rows[:10])
+    rate = result.convergence_rate()
+    spectral = (0.02 * 0.04) ** 0.5  # spectral radius of the cycle Jacobian
+    print(f"  estimated geometric rate: {rate:.3e} (spectral radius: {spectral:.3e})")
+    assert rate < 0.1  # geometric, and fast for weak coupling
+
+    # Damping ablation on an oscillating map x <- 1.6 - 0.9 x.
+    damp_rows = []
+    for damping in (0.0, 0.3, 0.6, 0.9):
+        solver = FixedPointSolver(
+            lambda x: {"v": 1.6 - 0.9 * x["v"]},
+            {"v": 0.0},
+            tol=1e-10,
+            max_iterations=5000,
+            damping=damping,
+            raise_on_failure=False,
+        )
+        res = solver.solve()
+        damp_rows.append((damping, res.iterations, res.converged))
+        assert res.converged
+        assert res.values["v"] == pytest.approx(1.6 / 1.9, abs=1e-8)
+    print_table(
+        "E16b: damping ablation on an oscillating map",
+        ["damping", "iterations", "converged"],
+        damp_rows,
+    )

@@ -1,0 +1,59 @@
+"""E18 — Cisco GSR 12000 availability table.
+
+Regenerates the case-study table: availability and downtime minutes/year
+for the simplex vs redundant route processor and for the full router.
+Reproduced claims: the redundant pair gains >10x on processor downtime;
+residual downtime is coverage-dominated; the full router is limited by
+its non-redundant parts.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.casestudies import cisco
+
+
+def test_processor_models(benchmark):
+    params = cisco.CiscoParameters()
+
+    def run():
+        return (
+            cisco.build_simplex_processor(params).steady_state_availability(),
+            cisco.build_redundant_processor(params).steady_state_availability(),
+        )
+
+    simplex, redundant = benchmark(run)
+    assert redundant > simplex
+
+
+def test_full_table(benchmark):
+    rows = benchmark(cisco.downtime_table)
+    assert len(rows) == 4
+
+
+def test_report():
+    rows = cisco.downtime_table()
+    print_table(
+        "E18: Cisco GSR 12000 availability",
+        ["configuration", "availability", "min/yr"],
+        rows,
+    )
+    table = {name: (avail, downtime) for name, avail, downtime in rows}
+    simplex_a, simplex_d = table["simplex processor"]
+    redundant_key = next(k for k in table if k.startswith("redundant"))
+    redundant_a, redundant_d = table[redundant_key]
+    assert redundant_d < simplex_d / 10          # >10x downtime gain
+    assert redundant_a > 0.999999                # six nines for the pair
+    # The full router is dominated by its simplex parts:
+    router_a, router_d = table["router w/ redundant"]
+    assert router_d > redundant_d * 10
+
+    # Coverage sweep: residual processor downtime ~ linear in (1 - c).
+    sweep = []
+    for c in (0.999, 0.99, 0.95, 0.9):
+        p = cisco.CiscoParameters(coverage=c)
+        model = cisco.build_redundant_processor(p)
+        sweep.append((c, model.downtime_minutes_per_year()))
+    print_table("E18b: redundant-pair downtime vs coverage", ["coverage", "min/yr"], sweep)
+    downs = [d for _c, d in sweep]
+    assert all(b > a for a, b in zip(downs, downs[1:]))

@@ -1,0 +1,54 @@
+"""E19 — IBM BladeCenter downtime budget.
+
+Regenerates the hierarchical availability table.  Reproduced claims: the
+redundant chassis infrastructure contributes a negligible share of
+downtime; the blade server (software + disks) dominates; overall
+per-blade service availability lands near four nines.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.casestudies import bladecenter
+
+
+def test_hierarchy_solve(benchmark):
+    params = bladecenter.BladeCenterParameters()
+    solution = benchmark(lambda: bladecenter.build_bladecenter(params).solve())
+    assert solution.value("system", "availability") > 0.999
+
+
+def test_budget_table(benchmark):
+    rows = benchmark(bladecenter.downtime_budget)
+    assert len(rows) == 7
+
+
+def test_report():
+    rows = bladecenter.downtime_budget()
+    print_table(
+        "E19: BladeCenter downtime budget",
+        ["subsystem", "availability", "min/yr"],
+        rows,
+    )
+    table = {name: downtime for name, _a, downtime in rows}
+    infra = table["power"] + table["cooling"] + table["management"] + table["switch"]
+    assert table["blade server"] > 10 * infra          # blade dominates
+    avail = {name: a for name, a, _d in rows}
+    assert 0.9999 < avail["system (chassis + blade)"] + 1e-4  # ~4 nines
+    assert avail["system (chassis + blade)"] < avail["blade server"]
+
+    # Sensitivity of the blade to its software repair (reboot) speed:
+    sweep = []
+    for reboot_minutes in (5.0, 10.0, 30.0, 60.0):
+        params = bladecenter.BladeCenterParameters(
+            software_repair_rate=60.0 / reboot_minutes
+        )
+        blade = bladecenter.build_blade_server(params)
+        sweep.append((reboot_minutes, blade.downtime_minutes_per_year()))
+    print_table(
+        "E19b: blade downtime vs OS reboot time",
+        ["reboot min", "blade min/yr"],
+        sweep,
+    )
+    downs = [d for _m, d in sweep]
+    assert all(b > a for a, b in zip(downs, downs[1:]))

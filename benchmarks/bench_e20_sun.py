@@ -1,0 +1,52 @@
+"""E20 — Sun carrier-grade platform: policies, coverage and DPM.
+
+Regenerates the policy table and coverage sweep.  Reproduced claims:
+deferred repair trades availability for service cost; DPM blows up as
+failover coverage degrades — the curve practitioners use to justify
+investment in failure detection.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.casestudies import sun
+
+
+def test_policy_solve(benchmark):
+    rows = benchmark(sun.policy_table)
+    assert len(rows) == 2
+
+
+def test_coverage_sweep(benchmark):
+    coverages = np.linspace(0.9, 0.9999, 12)
+    rows = benchmark(lambda: sun.coverage_sweep(coverages))
+    assert len(rows) == 12
+
+
+def test_report():
+    rows = sun.policy_table()
+    print_table(
+        "E20: repair-policy comparison",
+        ["policy", "availability", "min/yr", "DPM"],
+        rows,
+    )
+    table = {name: dpm for name, _a, _d, dpm in rows}
+    assert table["deferred"] > table["immediate"]
+
+    sweep = sun.coverage_sweep([0.9, 0.95, 0.99, 0.999, 0.9999])
+    print_table("E20b: DPM vs failover coverage", ["coverage", "availability", "DPM"], sweep)
+    dpms = [row[2] for row in sweep]
+    assert all(b < a for a, b in zip(dpms, dpms[1:]))
+    # An order of magnitude of coverage buys roughly an order of DPM:
+    assert dpms[0] > 5 * dpms[-1]
+
+    # Deferred-dispatch interval sweep: longer deferral, more exposure.
+    defer_rows = []
+    for dispatch_h in (8.0, 24.0, 72.0, 168.0):
+        params = sun.SunParameters(deferred_dispatch_rate=1.0 / dispatch_h)
+        model = sun.build_platform(params, policy="deferred")
+        defer_rows.append((dispatch_h, sun.dpm(model)))
+    print_table("E20c: DPM vs deferred-dispatch delay", ["dispatch h", "DPM"], defer_rows)
+    values = [d for _h, d in defer_rows]
+    assert all(b >= a for a, b in zip(values, values[1:]))

@@ -1,0 +1,114 @@
+"""E23 — sensitivity rankings: state-space derivatives vs importance measures.
+
+Tutorial claim: the two bottleneck-finding tools — parametric sensitivity
+of the CTMC/hierarchy measures and Birnbaum/criticality importance on the
+structural side — agree on *which component matters most*, which is what
+justifies using the cheaper one at scale.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import rank_parameters
+from repro.nonstate import (
+    AndGate,
+    BasicEvent,
+    Component,
+    FaultTree,
+    OrGate,
+    ReliabilityBlockDiagram,
+    importance_table,
+    parallel,
+    series,
+)
+
+# Three subsystems with very different quality: a mediocre server pair,
+# a good network link, an excellent power feed.
+Q = {"server1": 2e-3, "server2": 2e-3, "network": 5e-4, "power": 1e-5}
+
+
+def build_tree():
+    return FaultTree(
+        OrGate(
+            [
+                AndGate([BasicEvent.fixed("server1", Q["server1"]),
+                         BasicEvent.fixed("server2", Q["server2"])]),
+                BasicEvent.fixed("network", Q["network"]),
+                BasicEvent.fixed("power", Q["power"]),
+            ]
+        )
+    )
+
+
+def test_importance_cost(benchmark):
+    tree = build_tree()
+    table = benchmark(lambda: importance_table(tree.top_event_probability, Q))
+    assert len(table) == 4
+
+
+def test_sensitivity_cost(benchmark):
+    tree = build_tree()
+    rows = benchmark(
+        lambda: rank_parameters(lambda p: tree.top_event_probability(p), Q)
+    )
+    assert len(rows) == 4
+
+
+def test_report():
+    tree = build_tree()
+    table = importance_table(tree.top_event_probability, Q)
+    imp_rows = sorted(table.values(), key=lambda r: r.criticality, reverse=True)
+    print_table(
+        "E23: importance measures (structural side)",
+        ["component", "Birnbaum", "criticality", "FV"],
+        [(r.name, r.birnbaum, r.criticality, r.fussell_vesely) for r in imp_rows],
+    )
+
+    sens_rows = rank_parameters(lambda p: tree.top_event_probability(p), Q)
+    print_table(
+        "E23b: parametric sensitivity (derivative side)",
+        ["parameter", "dQ/dq", "elasticity"],
+        [(r.name, r.derivative, r.elasticity) for r in sens_rows],
+    )
+
+    # The rankings agree: Birnbaum IS dQ/dq for structural models.
+    for row in sens_rows:
+        assert row.derivative == pytest.approx(table[row.name].birnbaum, rel=1e-4)
+    # criticality == elasticity (both scale by q/Q):
+    for row in sens_rows:
+        assert row.elasticity == pytest.approx(table[row.name].criticality, rel=1e-3)
+    # And the single-point-of-failure network outranks the redundant servers:
+    assert imp_rows[0].name == "network"
+    assert [r.name for r in sens_rows][0] == "network"
+
+    # State-space side: exact (adjoint) derivative of availability vs
+    # central differences on the shared-repair chain.
+    from repro.markov import CTMC, reward_rate_derivative
+
+    lam, mu = 0.01, 1.0
+    chain = CTMC()
+    chain.add_transition(2, 1, 2 * lam)
+    chain.add_transition(1, 0, lam)
+    chain.add_transition(1, 2, mu)
+    chain.add_transition(0, 1, mu)
+    exact = reward_rate_derivative(
+        chain, {2: 1.0, 1: 1.0}, {(2, 1): 2.0, (1, 0): 1.0}
+    )
+
+    def availability(l_):
+        c = CTMC()
+        c.add_transition(2, 1, 2 * l_)
+        c.add_transition(1, 0, l_)
+        c.add_transition(1, 2, mu)
+        c.add_transition(0, 1, mu)
+        pi = c.steady_state()
+        return pi[2] + pi[1]
+
+    h = 1e-7
+    numeric = (availability(lam + h) - availability(lam - h)) / (2 * h)
+    print_table(
+        "E23c: exact dA/dlambda (adjoint) vs central difference",
+        ["method", "dA/dlambda"],
+        [("exact linear solve", exact), ("central difference", numeric)],
+    )
+    assert exact == pytest.approx(numeric, rel=1e-5)

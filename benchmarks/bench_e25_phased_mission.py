@@ -1,0 +1,64 @@
+"""E25 (extension) — phased-mission analysis: BDD vs naive product.
+
+Extension experiment: the Zang–Sun–Trivedi BDD method gives the exact
+mission reliability; the naive per-phase product ignores component state
+carrying over between phases and *overestimates*.  The error grows with
+the number of phases.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.nonstate import Component, PhasedMission
+
+
+def build_mission(n_phases):
+    comps = [Component.from_rates(n, r) for n, r in
+             [("a", 0.15), ("b", 0.25), ("c", 0.08)]]
+    mission = PhasedMission(comps)
+    for p in range(n_phases):
+        if p % 2 == 0:
+            mission.add_phase(
+                f"p{p}", 0.8,
+                lambda bdd, v: bdd.apply_and(v("a"), bdd.apply_or(v("b"), v("c"))),
+            )
+        else:
+            mission.add_phase(
+                f"p{p}", 0.8, lambda bdd, v: v.at_least_k(["a", "b", "c"], 2)
+            )
+    return mission
+
+
+@pytest.mark.parametrize("n_phases", [2, 4, 8])
+def test_bdd_cost(benchmark, n_phases):
+    mission = build_mission(n_phases)
+    result = benchmark(mission.reliability)
+    assert 0.0 < result < 1.0
+
+
+def test_exactness_small():
+    mission = build_mission(3)
+    assert mission.reliability() == pytest.approx(
+        mission.brute_force_reliability(), abs=1e-12
+    )
+
+
+def test_report():
+    rows = []
+    for n_phases in (1, 2, 3, 4, 6):
+        mission = build_mission(n_phases)
+        exact = mission.reliability()
+        naive = mission.naive_product_reliability()
+        if n_phases <= 4:
+            brute = mission.brute_force_reliability()
+            assert exact == pytest.approx(brute, abs=1e-12)
+        rows.append((n_phases, exact, naive, naive - exact))
+    print_table(
+        "E25: phased missions — exact BDD vs naive per-phase product",
+        ["phases", "exact", "naive product", "overestimate"],
+        rows,
+    )
+    errors = [r[3] for r in rows]
+    # Naive is never pessimistic and its error grows with phase count:
+    assert all(e >= -1e-12 for e in errors)
+    assert errors[-1] > errors[1] > 0.0

@@ -1,0 +1,88 @@
+"""E26 (extension) — closed-form acyclic transients vs uniformization.
+
+Extension ablation: for no-repair reliability chains (acyclic), the ACE
+symbolic solution has zero truncation error and costs nothing per extra
+evaluation point; uniformization pays per time point and per tolerance
+digit.  Both must agree to solver precision.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.markov import CTMC, acyclic_transient
+
+
+def pipeline_chain(n_stages, base_rate=1.0):
+    """A no-repair degradation chain with well-separated rates.
+
+    Geometric spacing keeps the partial-fraction coefficients
+    well-conditioned (the closed form degrades when many nearly equal
+    but distinct rates share a path — see the module note).
+    """
+    chain = CTMC()
+    for i in range(n_stages):
+        chain.add_transition(i, i + 1, base_rate * 1.35**i)
+    return chain
+
+
+def redundancy_chain():
+    """2-unit parallel + spare: a small acyclic reliability model."""
+    chain = CTMC()
+    chain.add_transition("2+spare", "2", 0.05)
+    chain.add_transition("2+spare", "1+spare", 0.2)
+    chain.add_transition("2", "1", 0.2)
+    chain.add_transition("1+spare", "1", 0.05)
+    chain.add_transition("1+spare", "2", 0.5)
+    chain.add_transition("1", "0", 0.1)
+    return chain
+
+
+@pytest.mark.parametrize("n", [5, 12, 24])
+def test_symbolic_solve_cost(benchmark, n):
+    chain = pipeline_chain(n)
+    solution = benchmark(lambda: acyclic_transient(chain, 0))
+    assert solution.n_terms() > 0
+
+
+def test_uniformization_cost(benchmark):
+    chain = pipeline_chain(12)
+    times = np.linspace(0.1, 10.0, 50)
+    result = benchmark(lambda: chain.transient(times, 0, tol=1e-12))
+    assert result.shape == (50, 13)
+
+
+def test_report():
+    rows = []
+    for n in (4, 8, 12, 18, 24):
+        chain = pipeline_chain(n)
+        times = np.linspace(0.1, 10.0, 100)
+
+        start = time.perf_counter()
+        solution = acyclic_transient(chain, 0)
+        exact = solution.evaluate(times)
+        symbolic_ms = (time.perf_counter() - start) * 1e3
+
+        start = time.perf_counter()
+        uni = chain.transient(times, 0, tol=1e-12)
+        uni_ms = (time.perf_counter() - start) * 1e3
+
+        gap = float(np.abs(exact - uni).max())
+        rows.append((n, solution.n_terms(), gap, symbolic_ms, uni_ms))
+        assert gap < 1e-9
+    print_table(
+        "E26: acyclic chains — symbolic (ACE) vs uniformization",
+        ["states", "symbolic terms", "max gap", "symbolic ms", "uniform ms"],
+        rows,
+    )
+
+    # The redundancy model: reliability curve from the symbolic solution.
+    chain = redundancy_chain()
+    solution = acyclic_transient(chain, "2+spare")
+    up = ["2+spare", "2", "1+spare", "1"]
+    series = [(t, float(solution.reliability(up, t))) for t in (1.0, 5.0, 10.0, 20.0)]
+    print_table("E26b: spare-pool reliability (closed form)", ["t", "R(t)"], series)
+    values = [r for _t, r in series]
+    assert all(b < a for a, b in zip(values, values[1:]))

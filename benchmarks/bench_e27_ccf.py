@@ -1,0 +1,63 @@
+"""E27 (extension) — common-cause failures cap the value of redundancy.
+
+Extension experiment (beta-factor model): as replicas are added, the
+independent-failure contribution vanishes like q^n but the common-cause
+floor βλ stays — redundancy investment saturates.  The sweep quantifies
+the saturation point for a typical β = 5–10%.
+"""
+
+import math
+
+import pytest
+
+from conftest import print_table
+from repro.nonstate import Component, FaultTree, redundant_group_with_ccf
+
+LAM = 1e-4
+MU = 0.5
+MISSION_T = 1000.0
+
+
+def group_tree(n, beta):
+    comps = [Component.from_rates(f"c{i}", LAM, MU) for i in range(n)]
+    return FaultTree(redundant_group_with_ccf(comps, n, beta=beta))
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_ccf_quantification(benchmark, n):
+    tree = group_tree(n, beta=0.1)
+    result = benchmark(lambda: 1.0 - tree.reliability(MISSION_T))
+    assert 0.0 < result < 1.0
+
+
+def test_report():
+    rows = []
+    for beta in (0.0, 0.02, 0.05, 0.1):
+        row = [beta]
+        for n in (2, 3, 4):
+            tree = group_tree(n, beta)
+            row.append(1.0 - tree.reliability(MISSION_T))
+        rows.append(tuple(row))
+    print_table(
+        "E27: mission failure probability vs replicas and beta",
+        ["beta", "n=2", "n=3", "n=4"],
+        rows,
+    )
+    # Without CCF, each extra replica buys orders of magnitude:
+    no_ccf = rows[0]
+    assert no_ccf[2] < no_ccf[1] / 5
+    assert no_ccf[3] < no_ccf[2] / 5
+    # With beta = 0.1 the third and fourth replicas barely help:
+    with_ccf = rows[-1]
+    floor = 1.0 - math.exp(-0.1 * LAM * MISSION_T)
+    assert with_ccf[3] == pytest.approx(floor, rel=0.1)
+    assert with_ccf[3] > with_ccf[2] * 0.8  # saturation
+
+    # Availability view: steady-state unavailability vs beta for a pair.
+    avail_rows = []
+    for beta in (0.0, 0.02, 0.05, 0.1, 0.2):
+        tree = group_tree(2, beta)
+        avail_rows.append((beta, tree.steady_state_availability()))
+    print_table("E27b: redundant-pair availability vs beta", ["beta", "A_ss"], avail_rows)
+    values = [a for _b, a in avail_rows]
+    assert all(b < a for a, b in zip(values, values[1:]))

@@ -1,0 +1,84 @@
+"""E28 (extension) — parameter estimation and SRGM prediction quality.
+
+Extension experiment closing the loop from data to model: (a) the exact
+chi-square CIs for exponential rates hit their nominal coverage; (b) the
+Goel–Okumoto fit predicts residual fault content usefully from partial
+test data; (c) Kaplan–Meier tracks the true survival curve.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.distributions import Exponential, Weibull
+from repro.estimation import estimate_rate, fit_weibull_mle, kaplan_meier
+from repro.srgm import GoelOkumoto, fit_goel_okumoto
+
+
+def test_rate_estimation_cost(benchmark, rng=None):
+    rng = np.random.default_rng(0)
+    data = Exponential(0.01).sample(rng, 1000)
+    est = benchmark(lambda: estimate_rate(data))
+    assert est.rate == pytest.approx(0.01, rel=0.15)
+
+
+def test_weibull_fit_cost(benchmark):
+    rng = np.random.default_rng(1)
+    data = Weibull(shape=2.0, scale=100.0).sample(rng, 2000)
+    est = benchmark(lambda: fit_weibull_mle(data))
+    assert est.shape == pytest.approx(2.0, rel=0.1)
+
+
+def test_report():
+    rng = np.random.default_rng(2016)
+
+    # (a) CI coverage of the chi-square interval at three sample sizes.
+    true_rate = 0.02
+    coverage_rows = []
+    for n in (5, 20, 80):
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            data = Exponential(true_rate).sample(rng, n)
+            lo, hi = estimate_rate(data).confidence_interval(0.90)
+            if lo <= true_rate <= hi:
+                hits += 1
+        coverage_rows.append((n, hits / trials))
+    print_table(
+        "E28: chi-square CI coverage (nominal 0.90)",
+        ["n failures", "coverage"],
+        coverage_rows,
+    )
+    for _n, cov in coverage_rows:
+        assert cov == pytest.approx(0.90, abs=0.05)
+
+    # (b) SRGM residual-fault prediction from the first 60% of test time.
+    truth = GoelOkumoto(a=400.0, b=0.015)
+    horizon = 300.0
+    times = truth.sample_failure_times(horizon, rng)
+    cutoff = 0.6 * horizon
+    fit = fit_goel_okumoto(times[times <= cutoff], cutoff)
+    predicted_total = fit.a
+    observed_by_end = len(times)
+    srgm_rows = [
+        ("true fault content", 400.0),
+        ("fitted a (from 60% of test)", predicted_total),
+        ("failures seen by 60%", float((times <= cutoff).sum())),
+        ("failures seen by 100%", float(observed_by_end)),
+        ("predicted remaining at 60%", fit.model().expected_remaining(cutoff)),
+    ]
+    print_table("E28b: Goel-Okumoto prediction", ["quantity", "value"], srgm_rows)
+    assert predicted_total == pytest.approx(400.0, rel=0.25)
+
+    # (c) Kaplan-Meier tracks the truth under 30% censoring.
+    dist = Weibull(shape=2.0, scale=50.0)
+    lifetimes = dist.sample(rng, 3000)
+    censor_at = np.quantile(lifetimes, 0.7)
+    observed = lifetimes[lifetimes <= censor_at]
+    censored = np.full((lifetimes > censor_at).sum(), censor_at)
+    km = kaplan_meier(observed, censoring_times=censored)
+    km_rows = []
+    for t in (10.0, 25.0, 40.0):
+        km_rows.append((t, float(km.survival_at(t)), float(dist.sf(t))))
+        assert km.survival_at(t) == pytest.approx(dist.sf(t), abs=0.03)
+    print_table("E28c: Kaplan-Meier vs truth (30% censoring)", ["t", "KM", "true"], km_rows)

@@ -1,0 +1,45 @@
+"""E29 (extension) — switching-system DPM: availability is not enough.
+
+The telecom-performability classic: a system with six-nines availability
+still loses calls — during switchover blackouts and as dropped
+in-progress calls — and past a point, better coverage cannot reduce the
+loss; only faster/hitless switchover can.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.casestudies.telecom import TelecomParameters, call_loss_dpm, dpm_table
+
+
+def test_dpm_solve(benchmark):
+    result = benchmark(lambda: call_loss_dpm(TelecomParameters()))
+    assert result["total_dpm"] > 0
+
+
+def test_report():
+    rows = dpm_table((0.9, 0.99, 0.999, 0.9999))
+    print_table(
+        "E29: call-loss DPM vs coverage",
+        ["coverage", "availability", "steady DPM", "impulse DPM", "total DPM"],
+        rows,
+    )
+    # Availability looks superb everywhere while DPM varies 10x:
+    assert all(avail > 0.999996 for _c, avail, *_ in rows)
+    totals = [row[4] for row in rows]
+    assert totals[0] > 10 * totals[-1]
+    # Saturation: the last coverage decade buys almost nothing.
+    assert (totals[0] - totals[1]) > 10 * (totals[2] - totals[3])
+
+    # Switchover-speed sweep at fixed coverage: the remaining lever.
+    speed_rows = []
+    for failover_seconds in (30.0, 6.0, 1.0, 0.1):
+        params = TelecomParameters(failover_rate=3600.0 / failover_seconds)
+        speed_rows.append((failover_seconds, call_loss_dpm(params)["total_dpm"]))
+    print_table(
+        "E29b: total DPM vs switchover blackout duration",
+        ["switchover s", "total DPM"],
+        speed_rows,
+    )
+    values = [v for _s, v in speed_rows]
+    assert all(b < a for a, b in zip(values, values[1:]))

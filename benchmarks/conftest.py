@@ -1,0 +1,30 @@
+"""Benchmark-suite helpers.
+
+Each ``bench_eXX_*.py`` file regenerates one experiment from DESIGN.md's
+index: it asserts the tutorial's qualitative claim and prints the
+table/series rows (visible with ``pytest benchmarks/ -s``).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - source-checkout fallback
+    sys.path.insert(0, str(_SRC))
+
+
+def print_table(title, header, rows):
+    """Uniform table printer for benchmark output."""
+    print()
+    print(f"--- {title} ---")
+    print("  " + "  ".join(f"{h:>14s}" for h in header))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:>14.6g}")
+            else:
+                cells.append(f"{str(value):>14s}")
+        print("  " + "  ".join(cells))

@@ -1,0 +1,65 @@
+"""Estimating a 10^8-hour MTTF by importance sampling.
+
+A triple-modular-redundant (TMR) controller with voter fails only when
+two modules are down simultaneously — a rare event.  Naive simulation
+would need ~10^8 trajectories to see a handful of failures; failure
+biasing gets a tight estimate from 30 000 short regenerative cycles, and
+the analytic solver confirms it.
+
+Run with ``python examples/rare_event_mttf.py``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.markov import CTMC
+from repro.sim import simulate_mttf_importance_sampling
+
+LAM = 1e-5     # module failure rate (/h)
+MU = 0.25      # repair rate (4 h MTTR, single crew)
+
+
+def build_tmr() -> CTMC:
+    """State = number of healthy modules; system fails at 1 (voter outvoted)."""
+    chain = CTMC()
+    chain.add_transition(3, 2, 3 * LAM)
+    chain.add_transition(2, 1, 2 * LAM)   # second failure = system failure
+    chain.add_transition(2, 3, MU)
+    chain.add_transition(1, 2, MU)        # repair continues after failure
+    return chain
+
+
+def main() -> None:
+    chain = build_tmr()
+    exact = chain.mean_time_to_absorption(3, absorbing=[1])
+    print(f"analytic MTTF                : {exact:,.0f} h "
+          f"({exact / 8760:,.0f} years)")
+
+    rng = np.random.default_rng(7)
+    start = time.perf_counter()
+    mttf, cycle_est, p_est = simulate_mttf_importance_sampling(
+        chain,
+        start=3,
+        failure_states=[1],
+        is_failure_transition=lambda src, dst: dst < src,
+        bias=0.5,
+        n_cycles=30_000,
+        rng=rng,
+    )
+    elapsed = time.perf_counter() - start
+
+    print(f"IS estimate (30k cycles)     : {mttf:,.0f} h   "
+          f"[{elapsed:.1f} s wall]")
+    print(f"  per-cycle failure prob     : {p_est.value:.3e} "
+          f"± {p_est.std_error:.1e}")
+    print(f"  mean regenerative cycle    : {cycle_est.value:,.1f} h")
+    print(f"  relative error vs analytic : {abs(mttf - exact) / exact:+.2%}")
+    print()
+    print("naive simulation would need ~1/p ≈ "
+          f"{1 / p_est.value:,.0f} cycles per observed failure —")
+    print("failure biasing turned that into a 30k-cycle job.")
+
+
+if __name__ == "__main__":
+    main()

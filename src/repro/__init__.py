@@ -1,0 +1,122 @@
+"""repro — Reliability and Availability Modeling in Practice.
+
+A Python reproduction of the model classes and solution methods surveyed
+in Kishor Trivedi's DSN 2016 tutorial *Reliability and Availability
+Modeling in Practice*:
+
+* **non-state-space models** — reliability block diagrams, fault trees,
+  reliability graphs; BDD and sum-of-disjoint-products quantification;
+  bounding algorithms for very large models; importance measures
+  (:mod:`repro.nonstate`);
+* **state-space models** — CTMCs and DTMCs, Markov reward models,
+  semi-Markov and Markov regenerative processes, phase-type
+  distributions (:mod:`repro.markov`);
+* **stochastic reward nets** — automatic CTMC generation with
+  vanishing-marking elimination (:mod:`repro.petrinet`);
+* **hierarchical & fixed-point composition**, parametric uncertainty
+  propagation and sensitivity analysis (:mod:`repro.core`);
+* **Monte Carlo simulation** for cross-validation (:mod:`repro.sim`);
+* the tutorial's **industrial case studies** — IBM BladeCenter, Cisco
+  GSR 12000, Sun carrier-grade platform, Boeing-scale bounded fault
+  trees, IBM SIP/WebSphere, software rejuvenation, workstations & file
+  server (:mod:`repro.casestudies`).
+
+Quickstart
+----------
+>>> from repro.nonstate import Component, ReliabilityBlockDiagram, parallel
+>>> a = Component.from_mttf_mttr("a", mttf=1000.0, mttr=10.0)
+>>> b = Component.from_mttf_mttr("b", mttf=1000.0, mttr=10.0)
+>>> system = ReliabilityBlockDiagram(parallel(a, b))
+>>> round(system.steady_state_availability(), 6)
+0.999902
+"""
+
+from .core.fixedpoint import FixedPointResult, FixedPointSolver
+from .core.hierarchy import (
+    HierarchicalModel,
+    HierarchySolution,
+    Submodel,
+    export_availability,
+    export_equivalent_failure_rate,
+    export_mttf,
+    export_unavailability,
+)
+from .core.model import DependabilityModel
+from .core.sensitivity import parametric_sensitivity, rank_parameters
+from .core.uncertainty import propagate_uncertainty, tornado_sensitivity
+from .exceptions import (
+    ConvergenceError,
+    DistributionError,
+    HierarchyError,
+    ModelDefinitionError,
+    ReproError,
+    SolverError,
+    StateSpaceError,
+)
+from .markov.ctmc import CTMC, MarkovDependabilityModel
+from .markov.dtmc import DTMC
+from .markov.mrgp import MarkovRegenerativeProcess
+from .markov.mrm import MarkovRewardModel
+from .markov.smp import SemiMarkovProcess
+from .nonstate.components import Component
+from .nonstate.faulttree import AndGate, BasicEvent, FaultTree, KofNGate, NotGate, OrGate
+from .nonstate.rbd import KofN, Parallel, ReliabilityBlockDiagram, Series, k_of_n, parallel, series
+from .nonstate.relgraph import ReliabilityGraph
+from .petrinet.net import PetriNet
+from .petrinet.srn import SRNDependabilityModel, StochasticRewardNet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # protocol & composition
+    "DependabilityModel",
+    "HierarchicalModel",
+    "HierarchySolution",
+    "Submodel",
+    "export_availability",
+    "export_unavailability",
+    "export_mttf",
+    "export_equivalent_failure_rate",
+    "FixedPointSolver",
+    "FixedPointResult",
+    "propagate_uncertainty",
+    "tornado_sensitivity",
+    "parametric_sensitivity",
+    "rank_parameters",
+    # non-state-space
+    "Component",
+    "ReliabilityBlockDiagram",
+    "Series",
+    "Parallel",
+    "KofN",
+    "series",
+    "parallel",
+    "k_of_n",
+    "FaultTree",
+    "BasicEvent",
+    "AndGate",
+    "OrGate",
+    "KofNGate",
+    "NotGate",
+    "ReliabilityGraph",
+    # state-space
+    "CTMC",
+    "DTMC",
+    "MarkovDependabilityModel",
+    "MarkovRewardModel",
+    "SemiMarkovProcess",
+    "MarkovRegenerativeProcess",
+    # Petri nets
+    "PetriNet",
+    "StochasticRewardNet",
+    "SRNDependabilityModel",
+    # exceptions
+    "ReproError",
+    "ModelDefinitionError",
+    "SolverError",
+    "ConvergenceError",
+    "StateSpaceError",
+    "DistributionError",
+    "HierarchyError",
+]

@@ -1,0 +1,28 @@
+"""The tutorial's industrial case studies (system S20 in DESIGN.md).
+
+Each module is a self-contained worked example with documented
+parameters and a table/series function that the matching benchmark
+regenerates:
+
+* :mod:`~repro.casestudies.cisco` — Cisco GSR 12000 router (E18)
+* :mod:`~repro.casestudies.bladecenter` — IBM BladeCenter (E19)
+* :mod:`~repro.casestudies.sun` — Sun carrier-grade platform (E20)
+* :mod:`~repro.casestudies.sip` — IBM SIP/WebSphere composite (E21)
+* :mod:`~repro.casestudies.boeing` — Boeing 787-scale bounded FT (E05)
+* :mod:`~repro.casestudies.rejuvenation` — software rejuvenation MRGP (E12)
+* :mod:`~repro.casestudies.wfs` — workstations & file server (E15)
+* :mod:`~repro.casestudies.telecom` — switching-system call-loss DPM
+"""
+
+from . import bladecenter, boeing, cisco, rejuvenation, sip, sun, telecom, wfs
+
+__all__ = [
+    "cisco",
+    "bladecenter",
+    "sun",
+    "sip",
+    "boeing",
+    "rejuvenation",
+    "wfs",
+    "telecom",
+]

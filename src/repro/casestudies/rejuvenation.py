@@ -1,0 +1,142 @@
+"""Software rejuvenation with a deterministic timer (tutorial, E12).
+
+Trivedi's classic software-aging model (Huang, Kintala, Kolettis &
+Fulton 1995; Garg & Trivedi's MRGP formulation): software starts
+*robust*, drifts into a *failure-probable* (degraded) state by aging,
+and eventually crashes, needing a long repair.  **Rejuvenation** — a
+controlled restart on a deterministic timer — preempts crashes at the
+cost of short planned outages.
+
+Because the timer is deterministic while aging/failure/repair are
+exponential, the model is a Markov regenerative process: the timer clock
+runs across the robust → failure-probable transition.  The tutorial's
+headline result, reproduced by benchmark E12: expected downtime (or
+cost) is minimized at a finite rejuvenation interval whenever repair is
+sufficiently more expensive than rejuvenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+
+from ..distributions import Deterministic
+from ..markov.mrgp import MarkovRegenerativeProcess
+
+__all__ = [
+    "RejuvenationParameters",
+    "build_rejuvenation_mrgp",
+    "downtime_fraction",
+    "interval_sweep",
+    "optimal_interval",
+]
+
+
+@dataclass
+class RejuvenationParameters:
+    """Rates (per hour) of the aging model."""
+
+    #: robust -> failure-probable drift rate (aging; ~10 days)
+    aging_rate: float = 1.0 / 240.0
+    #: failure-probable -> crashed rate (~4 days once degraded)
+    failure_rate: float = 1.0 / 96.0
+    #: crash repair rate (2 h reboot + recovery)
+    repair_rate: float = 0.5
+    #: rejuvenation completion rate (10 min controlled restart)
+    rejuvenation_rate: float = 6.0
+
+
+def build_rejuvenation_mrgp(
+    interval: float, params: RejuvenationParameters = RejuvenationParameters()
+) -> MarkovRegenerativeProcess:
+    """The 4-state MRGP for a rejuvenation timer of ``interval`` hours.
+
+    States: ``robust``, ``degraded`` (both up), ``failed`` (unplanned
+    down), ``rejuvenating`` (planned down).  The deterministic timer is
+    armed while the software is up (robust or degraded) and fires into
+    rejuvenation; crash and repair interrupt it.
+    """
+    if interval <= 0:
+        raise ValueError(f"rejuvenation interval must be positive, got {interval}")
+    mrgp = MarkovRegenerativeProcess()
+    mrgp.add_exponential("robust", "degraded", params.aging_rate)
+    mrgp.add_exponential("degraded", "failed", params.failure_rate)
+    mrgp.add_exponential("failed", "robust", params.repair_rate)
+    mrgp.add_exponential("rejuvenating", "robust", params.rejuvenation_rate)
+    mrgp.add_general(
+        "rejuvenation_timer",
+        Deterministic(interval),
+        enabled_states=["robust", "degraded"],
+        targets={"robust": "rejuvenating", "degraded": "rejuvenating"},
+    )
+    return mrgp
+
+
+def downtime_fraction(
+    interval: Optional[float], params: RejuvenationParameters = RejuvenationParameters()
+) -> Dict[str, float]:
+    """Steady-state probabilities and the downtime split for one interval.
+
+    ``interval=None`` disables rejuvenation (pure CTMC baseline).
+    Returns keys ``unplanned`` (failed), ``planned`` (rejuvenating),
+    ``total`` and ``availability``.
+    """
+    if interval is None:
+        # Baseline without rejuvenation: plain 3-state CTMC.
+        from ..markov.ctmc import CTMC
+
+        chain = CTMC()
+        chain.add_transition("robust", "degraded", params.aging_rate)
+        chain.add_transition("degraded", "failed", params.failure_rate)
+        chain.add_transition("failed", "robust", params.repair_rate)
+        pi = chain.steady_state()
+        unplanned = pi["failed"]
+        planned = 0.0
+    else:
+        mrgp = build_rejuvenation_mrgp(interval, params)
+        pi = mrgp.steady_state()
+        unplanned = pi["failed"]
+        planned = pi["rejuvenating"]
+    total = unplanned + planned
+    return {
+        "unplanned": unplanned,
+        "planned": planned,
+        "total": total,
+        "availability": 1.0 - total,
+    }
+
+
+def interval_sweep(
+    intervals,
+    params: RejuvenationParameters = RejuvenationParameters(),
+    repair_cost: float = 1.0,
+    rejuvenation_cost: float = 0.2,
+) -> List[Tuple[float, float, float, float]]:
+    """E12 series: (interval, unplanned, planned, weighted cost rate).
+
+    ``cost = repair_cost * P[failed] + rejuvenation_cost * P[rejuvenating]``
+    — rejuvenation downtime is cheaper because it is scheduled.
+    """
+    rows: List[Tuple[float, float, float, float]] = []
+    for interval in intervals:
+        split = downtime_fraction(float(interval), params)
+        cost = repair_cost * split["unplanned"] + rejuvenation_cost * split["planned"]
+        rows.append((float(interval), split["unplanned"], split["planned"], cost))
+    return rows
+
+
+def optimal_interval(
+    intervals,
+    params: RejuvenationParameters = RejuvenationParameters(),
+    repair_cost: float = 1.0,
+    rejuvenation_cost: float = 0.2,
+) -> Tuple[float, float]:
+    """Grid-search the cost-minimizing rejuvenation interval.
+
+    Returns ``(best_interval, best_cost)`` over the candidate grid.
+    """
+    rows = interval_sweep(intervals, params, repair_cost, rejuvenation_cost)
+    best = min(rows, key=lambda row: row[3])
+    return best[0], best[3]

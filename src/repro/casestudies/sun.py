@@ -1,0 +1,117 @@
+"""Sun Microsystems carrier-grade platform availability (tutorial, E20).
+
+The tutorial's Sun example is a high-availability telecom platform whose
+Markov model exhibits the two dependencies that kill the independence
+assumption: **imperfect failure coverage** (an undetected failure of the
+standby is only discovered later) and **deferred repair** (the repair
+crew is dispatched only when the system degrades past a threshold —
+cheaper service contracts, more exposure).
+
+The model compares three service policies on the same 2-unit platform:
+
+* ``immediate`` — repair starts at once on any failure;
+* ``deferred``  — a lone working unit triggers dispatch; a standby
+  failure waits for the next scheduled visit;
+* plus a coverage sweep showing availability collapsing as the
+  automatic-failover coverage drops (the classic DPM blow-up).
+
+Defects-per-million (DPM) is the telecom measure the tutorial quotes:
+``DPM = (1 - A) * 10^6``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..markov.ctmc import CTMC, MarkovDependabilityModel
+
+__all__ = ["SunParameters", "build_platform", "dpm", "policy_table", "coverage_sweep"]
+
+
+@dataclass
+class SunParameters:
+    """Rates (per hour) for the carrier-grade platform model."""
+
+    #: per-unit hardware failure rate (MTTF ≈ 23 years)
+    failure_rate: float = 5.0e-6
+    #: automatic failover coverage
+    coverage: float = 0.995
+    #: failover completion rate (≈ 20 s)
+    failover_rate: float = 180.0
+    #: manual recovery rate after uncovered failure (1 h)
+    uncovered_recovery_rate: float = 1.0
+    #: on-site repair rate once dispatched (4 h)
+    repair_rate: float = 0.25
+    #: dispatch rate under deferred repair (next scheduled visit, ~72 h)
+    deferred_dispatch_rate: float = 1.0 / 72.0
+
+
+def build_platform(
+    params: SunParameters, policy: str = "immediate"
+) -> MarkovDependabilityModel:
+    """2-unit active/standby platform CTMC under a repair policy.
+
+    States:
+
+    * ``2``          — both units healthy;
+    * ``failover``   — covered active failure, standby taking over (down);
+    * ``uncovered``  — uncovered failure, manual recovery (down);
+    * ``1``          — simplex operation, repair in progress;
+    * ``1w``         — simplex operation, repair *not yet dispatched*
+      (deferred policy only);
+    * ``0``          — both units failed (down).
+    """
+    if policy not in ("immediate", "deferred"):
+        raise ValueError(f"unknown policy {policy!r}")
+    lam = params.failure_rate
+    chain = CTMC()
+    chain.add_transition("2", "failover", lam * params.coverage)
+    chain.add_transition("2", "uncovered", lam * (1.0 - params.coverage))
+    chain.add_transition("failover", "1w" if policy == "deferred" else "1", params.failover_rate)
+    chain.add_transition(
+        "uncovered", "1w" if policy == "deferred" else "1", params.uncovered_recovery_rate
+    )
+    # Standby failure while both up: silent capacity loss.
+    chain.add_transition("2", "1w" if policy == "deferred" else "1", lam)
+    if policy == "deferred":
+        chain.add_transition("1w", "1", params.deferred_dispatch_rate)
+        chain.add_transition("1w", "0", lam)
+    chain.add_transition("1", "2", params.repair_rate)
+    chain.add_transition("1", "0", lam)
+    chain.add_transition("0", "1", params.repair_rate)
+    up = ["2", "1", "1w"] if policy == "deferred" else ["2", "1"]
+    return MarkovDependabilityModel(chain, up_states=up, initial="2")
+
+
+def dpm(model: MarkovDependabilityModel) -> float:
+    """Defects per million: ``(1 - A) × 10^6``."""
+    return model.steady_state_unavailability() * 1.0e6
+
+
+def policy_table(params: SunParameters = SunParameters()) -> List[Tuple[str, float, float, float]]:
+    """E20 rows: (policy, availability, downtime min/year, DPM)."""
+    rows: List[Tuple[str, float, float, float]] = []
+    for policy in ("immediate", "deferred"):
+        model = build_platform(params, policy)
+        rows.append(
+            (
+                policy,
+                model.steady_state_availability(),
+                model.downtime_minutes_per_year(),
+                dpm(model),
+            )
+        )
+    return rows
+
+
+def coverage_sweep(
+    coverages, params: SunParameters = SunParameters(), policy: str = "immediate"
+) -> List[Tuple[float, float, float]]:
+    """E20 series: (coverage, availability, DPM) over a coverage sweep."""
+    rows: List[Tuple[float, float, float]] = []
+    for c in coverages:
+        swept = SunParameters(**{**params.__dict__, "coverage": float(c)})
+        model = build_platform(swept, policy)
+        rows.append((float(c), model.steady_state_availability(), dpm(model)))
+    return rows

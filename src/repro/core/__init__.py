@@ -1,0 +1,53 @@
+"""Core modeling framework (systems S15–S18 in DESIGN.md): the model
+protocol, hierarchical composition, fixed-point iteration, uncertainty
+propagation and sensitivity analysis."""
+
+from .fixedpoint import FixedPointResult, FixedPointSolver
+from .hierarchy import (
+    HierarchicalModel,
+    HierarchySolution,
+    Submodel,
+    export_availability,
+    export_equivalent_failure_rate,
+    export_mttf,
+    export_unavailability,
+)
+from .measures import (
+    availability_from_downtime,
+    availability_from_nines,
+    defects_per_million,
+    downtime_minutes_per_year,
+    meets_slo,
+    nines_from_availability,
+    series_availability_budget,
+)
+from .model import DependabilityModel, mttf_from_reliability
+from .sensitivity import SensitivityRow, parametric_sensitivity, rank_parameters
+from .uncertainty import UncertaintyResult, propagate_uncertainty, tornado_sensitivity
+
+__all__ = [
+    "DependabilityModel",
+    "mttf_from_reliability",
+    "availability_from_nines",
+    "nines_from_availability",
+    "downtime_minutes_per_year",
+    "availability_from_downtime",
+    "defects_per_million",
+    "series_availability_budget",
+    "meets_slo",
+    "HierarchicalModel",
+    "HierarchySolution",
+    "Submodel",
+    "export_availability",
+    "export_unavailability",
+    "export_mttf",
+    "export_equivalent_failure_rate",
+    "FixedPointSolver",
+    "FixedPointResult",
+    "UncertaintyResult",
+    "propagate_uncertainty",
+    "tornado_sensitivity",
+    "SensitivityRow",
+    "parametric_sensitivity",
+    "rank_parameters",
+]

@@ -1,0 +1,126 @@
+"""Practitioner-facing dependability measures and budget helpers.
+
+The small arithmetic every availability review needs: nines ↔ downtime
+conversions, defects-per-million, downtime budget allocation across
+subsystems of a series system, and the SLO check "does this model meet
+N nines?".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, NamedTuple, Sequence, Tuple
+
+from ..exceptions import ModelDefinitionError
+
+__all__ = [
+    "MINUTES_PER_YEAR",
+    "availability_from_nines",
+    "nines_from_availability",
+    "downtime_minutes_per_year",
+    "availability_from_downtime",
+    "defects_per_million",
+    "series_availability_budget",
+    "meets_slo",
+]
+
+MINUTES_PER_YEAR = 525_600.0
+
+
+def availability_from_nines(nines: float) -> float:
+    """``A = 1 - 10^(-nines)`` — e.g. 3 nines → 0.999."""
+    if nines < 0:
+        raise ModelDefinitionError(f"nines must be >= 0, got {nines}")
+    return 1.0 - 10.0 ** (-nines)
+
+
+def nines_from_availability(availability: float) -> float:
+    """``-log10(1 - A)``; ``inf`` for perfect availability."""
+    if not 0.0 <= availability <= 1.0:
+        raise ModelDefinitionError(f"availability must be in [0, 1], got {availability}")
+    if availability == 1.0:
+        return math.inf
+    return -math.log10(1.0 - availability)
+
+
+def downtime_minutes_per_year(availability: float) -> float:
+    """Annualized downtime implied by a steady-state availability."""
+    if not 0.0 <= availability <= 1.0:
+        raise ModelDefinitionError(f"availability must be in [0, 1], got {availability}")
+    return (1.0 - availability) * MINUTES_PER_YEAR
+
+
+def availability_from_downtime(minutes_per_year: float) -> float:
+    """Inverse of :func:`downtime_minutes_per_year`."""
+    if not 0.0 <= minutes_per_year <= MINUTES_PER_YEAR:
+        raise ModelDefinitionError(
+            f"minutes_per_year must be in [0, {MINUTES_PER_YEAR}], got {minutes_per_year}"
+        )
+    return 1.0 - minutes_per_year / MINUTES_PER_YEAR
+
+
+def defects_per_million(availability: float) -> float:
+    """Telecom DPM: ``(1 - A) × 10^6``."""
+    if not 0.0 <= availability <= 1.0:
+        raise ModelDefinitionError(f"availability must be in [0, 1], got {availability}")
+    return (1.0 - availability) * 1.0e6
+
+
+class BudgetRow(NamedTuple):
+    """One subsystem's share of a series-system downtime budget."""
+
+    name: str
+    availability: float
+    downtime_minutes: float
+    share: float
+
+
+def series_availability_budget(
+    subsystem_availabilities: Mapping[str, float]
+) -> Tuple[float, Dict[str, BudgetRow]]:
+    """Downtime budget of a series system.
+
+    Returns the composed availability and, per subsystem, its downtime
+    and its *share* of total system downtime (shares computed from the
+    log-availability decomposition, which is exact for a series system:
+    ``ln A_sys = Σ ln A_i``).
+
+    Examples
+    --------
+    >>> total, rows = series_availability_budget({"db": 0.999, "web": 0.9999})
+    >>> round(total, 7)
+    0.9989001
+    >>> rows["db"].share > rows["web"].share
+    True
+    """
+    if not subsystem_availabilities:
+        raise ModelDefinitionError("at least one subsystem is required")
+    logs: Dict[str, float] = {}
+    total_availability = 1.0
+    for name, avail in subsystem_availabilities.items():
+        if not 0.0 < avail <= 1.0:
+            raise ModelDefinitionError(
+                f"availability of {name!r} must be in (0, 1], got {avail}"
+            )
+        total_availability *= avail
+        logs[name] = -math.log(avail)
+    total_log = sum(logs.values())
+    rows: Dict[str, BudgetRow] = {}
+    for name, avail in subsystem_availabilities.items():
+        share = logs[name] / total_log if total_log > 0 else 0.0
+        rows[name] = BudgetRow(
+            name=name,
+            availability=avail,
+            downtime_minutes=downtime_minutes_per_year(avail),
+            share=share,
+        )
+    return total_availability, rows
+
+
+def meets_slo(availability: float, target_nines: float) -> bool:
+    """True when the availability achieves at least ``target_nines``.
+
+    A tiny tolerance absorbs floating-point noise so that exactly-on-target
+    availabilities (0.999 vs 3 nines) pass.
+    """
+    return nines_from_availability(availability) >= target_nines - 1e-9

@@ -1,0 +1,176 @@
+"""Parametric (epistemic) uncertainty propagation (system S17).
+
+Model *inputs* — failure rates, coverage factors, repair times — are
+never known exactly; they come from finite field data or expert judgment.
+The tutorial's closing challenge is to propagate that input uncertainty
+to the output measures.  This module implements the sampling-based
+approach: draw parameter vectors from their epistemic distributions
+(plain Monte Carlo or Latin hypercube), evaluate the model on each draw,
+and summarize the output distribution (mean, quantiles, confidence
+intervals, tornado ranking).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distributions import LifetimeDistribution
+from ..exceptions import ModelDefinitionError
+
+__all__ = ["UncertaintyResult", "propagate_uncertainty", "tornado_sensitivity"]
+
+Evaluator = Callable[[Mapping[str, float]], float]
+
+
+class UncertaintyResult:
+    """Output distribution summary of an uncertainty propagation run.
+
+    Attributes
+    ----------
+    samples:
+        The raw output samples.
+    parameter_samples:
+        The drawn parameter values, by name.
+    """
+
+    def __init__(self, samples: np.ndarray, parameter_samples: Dict[str, np.ndarray]):
+        self.samples = np.asarray(samples, dtype=float)
+        self.parameter_samples = parameter_samples
+
+    @property
+    def n_samples(self) -> int:
+        """Number of model evaluations."""
+        return self.samples.size
+
+    def mean(self) -> float:
+        """Sample mean of the output."""
+        return float(self.samples.mean())
+
+    def std(self) -> float:
+        """Sample standard deviation of the output."""
+        return float(self.samples.std(ddof=1)) if self.samples.size > 1 else 0.0
+
+    def percentile(self, q) -> float:
+        """Output percentile(s) (``q`` in [0, 100])."""
+        return np.percentile(self.samples, q)
+
+    def interval(self, level: float = 0.95) -> Tuple[float, float]:
+        """Central epistemic interval at the given level."""
+        if not 0.0 < level < 1.0:
+            raise ModelDefinitionError(f"level must be in (0, 1), got {level}")
+        alpha = 100.0 * (1.0 - level) / 2.0
+        return float(np.percentile(self.samples, alpha)), float(
+            np.percentile(self.samples, 100.0 - alpha)
+        )
+
+    def mean_ci(self, level: float = 0.95) -> Tuple[float, float]:
+        """Confidence interval for the *mean* (CLT); shrinks as 1/√n."""
+        if self.samples.size < 2:
+            raise ModelDefinitionError("need at least two samples for a CI")
+        from scipy import stats
+
+        half = stats.norm.ppf(0.5 + level / 2.0) * self.std() / math.sqrt(self.n_samples)
+        mu = self.mean()
+        return mu - half, mu + half
+
+
+def _draw_parameters(
+    priors: Mapping[str, LifetimeDistribution],
+    n_samples: int,
+    rng: np.random.Generator,
+    method: str,
+) -> Dict[str, np.ndarray]:
+    draws: Dict[str, np.ndarray] = {}
+    if method == "mc":
+        for name, prior in priors.items():
+            draws[name] = np.asarray(prior.sample(rng, size=n_samples), dtype=float)
+    elif method == "lhs":
+        for name, prior in priors.items():
+            # One stratum per sample, uniformly placed within, then shuffled.
+            strata = (np.arange(n_samples) + rng.uniform(size=n_samples)) / n_samples
+            rng.shuffle(strata)
+            draws[name] = np.asarray(prior.ppf(strata), dtype=float)
+    else:
+        raise ModelDefinitionError(f"unknown sampling method {method!r}; use 'mc' or 'lhs'")
+    return draws
+
+
+def propagate_uncertainty(
+    evaluate: Evaluator,
+    priors: Mapping[str, LifetimeDistribution],
+    n_samples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+    method: str = "lhs",
+) -> UncertaintyResult:
+    """Propagate parameter uncertainty through a model.
+
+    Parameters
+    ----------
+    evaluate:
+        Maps a concrete parameter assignment to the scalar output measure
+        (e.g. ``lambda p: build_model(p).steady_state_availability()``).
+    priors:
+        Epistemic distribution of each parameter (any
+        :class:`~repro.distributions.LifetimeDistribution`; lognormals
+        around the point estimate are the practitioner default for rates).
+    n_samples:
+        Number of model evaluations.
+    method:
+        ``"lhs"`` (Latin hypercube, default — lower variance for the same
+        budget) or ``"mc"`` (plain Monte Carlo).
+
+    Examples
+    --------
+    >>> from repro.distributions import Uniform
+    >>> result = propagate_uncertainty(
+    ...     lambda p: p["x"] ** 2, {"x": Uniform(0.0, 1.0)},
+    ...     n_samples=4000, rng=np.random.default_rng(1))
+    >>> abs(result.mean() - 1/3) < 0.01
+    True
+    """
+    if n_samples < 2:
+        raise ModelDefinitionError(f"n_samples must be >= 2, got {n_samples}")
+    if not priors:
+        raise ModelDefinitionError("at least one uncertain parameter is required")
+    rng = rng if rng is not None else np.random.default_rng()
+    draws = _draw_parameters(priors, n_samples, rng, method)
+    outputs = np.empty(n_samples)
+    names = list(priors)
+    for k in range(n_samples):
+        assignment = {name: float(draws[name][k]) for name in names}
+        outputs[k] = float(evaluate(assignment))
+    return UncertaintyResult(outputs, draws)
+
+
+def tornado_sensitivity(
+    evaluate: Evaluator,
+    priors: Mapping[str, LifetimeDistribution],
+    low_q: float = 0.05,
+    high_q: float = 0.95,
+) -> List[Tuple[str, float, float]]:
+    """One-at-a-time tornado analysis.
+
+    Each parameter is swung to its ``low_q`` / ``high_q`` quantile while
+    the others sit at their medians; the output swing ranks which input
+    uncertainties dominate the output uncertainty.
+
+    Returns
+    -------
+    List of ``(name, output_at_low, output_at_high)`` sorted by
+    decreasing absolute swing.
+    """
+    if not priors:
+        raise ModelDefinitionError("at least one uncertain parameter is required")
+    medians = {name: float(prior.ppf(0.5)) for name, prior in priors.items()}
+    rows: List[Tuple[str, float, float]] = []
+    for name, prior in priors.items():
+        low_params = dict(medians)
+        high_params = dict(medians)
+        low_params[name] = float(prior.ppf(low_q))
+        high_params[name] = float(prior.ppf(high_q))
+        rows.append((name, float(evaluate(low_params)), float(evaluate(high_params))))
+    rows.sort(key=lambda row: abs(row[2] - row[1]), reverse=True)
+    return rows

@@ -1,0 +1,36 @@
+"""Lifetime and repair-time distributions (system S1 in DESIGN.md).
+
+Every distribution implements the :class:`~repro.distributions.base.LifetimeDistribution`
+interface: ``pdf``/``cdf``/``sf``/``hazard``, raw moments, quantiles, and
+random variate generation for the Monte Carlo simulator.
+"""
+
+from .base import LifetimeDistribution
+from .degenerate import Deterministic, Uniform
+from .empirical import EmpiricalDistribution
+from .exponential import Exponential
+from .fitting import erlang_stages_for_cv, fit_distribution, fit_two_moments
+from .gamma import Erlang, Gamma
+from .hyperexp import HyperExponential
+from .hypoexp import HypoExponential
+from .lognormal import Lognormal
+from .pareto import Pareto
+from .weibull import Weibull
+
+__all__ = [
+    "LifetimeDistribution",
+    "Exponential",
+    "Weibull",
+    "Lognormal",
+    "Pareto",
+    "Gamma",
+    "Erlang",
+    "HyperExponential",
+    "HypoExponential",
+    "Deterministic",
+    "Uniform",
+    "EmpiricalDistribution",
+    "fit_two_moments",
+    "fit_distribution",
+    "erlang_stages_for_cv",
+]

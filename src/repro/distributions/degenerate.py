@@ -1,0 +1,110 @@
+"""Deterministic (degenerate) and uniform distributions.
+
+A deterministic duration — a rejuvenation timer, a scheduled maintenance
+interval, a fixed reboot time — is the canonical non-exponential activity
+that forces Markov regenerative process analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_non_negative, check_positive
+from ..exceptions import DistributionError
+from .base import LifetimeDistribution
+
+__all__ = ["Deterministic", "Uniform"]
+
+
+class Deterministic(LifetimeDistribution):
+    """All probability mass at a single point ``value``.
+
+    Examples
+    --------
+    >>> d = Deterministic(5.0)
+    >>> d.cdf(4.9), d.cdf(5.0)
+    (0.0, 1.0)
+    """
+
+    def __init__(self, value: float):
+        self.value = check_non_negative(value, "value")
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where(t == self.value, np.inf, 0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where(t >= self.value, 1.0, 0.0)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        return self.value
+
+    def variance(self) -> float:
+        return 0.0
+
+    def moment(self, k: int) -> float:
+        if k < 0:
+            raise DistributionError(f"moment order must be >= 0, got {k}")
+        return self.value**k
+
+    def ppf(self, q):
+        scalar = np.isscalar(q)
+        qs = np.asarray(q, dtype=float)
+        out = np.full_like(qs, self.value, dtype=float)
+        return float(out) if scalar else out
+
+    def cv(self) -> float:
+        return 0.0
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        if size is None:
+            return self.value
+        return np.full(int(size), self.value)
+
+
+class Uniform(LifetimeDistribution):
+    """Continuous uniform distribution on ``[low, high]``.
+
+    Examples
+    --------
+    >>> u = Uniform(1.0, 3.0)
+    >>> round(u.mean(), 6)
+    2.0
+    """
+
+    def __init__(self, low: float, high: float):
+        self.low = check_non_negative(low, "low")
+        self.high = check_positive(high, "high")
+        if not self.high > self.low:
+            raise DistributionError(f"high must exceed low, got [{low}, {high}]")
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        inside = (t >= self.low) & (t <= self.high)
+        out = np.where(inside, 1.0 / (self.high - self.low), 0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.clip((t - self.low) / (self.high - self.low), 0.0, 1.0)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+    def ppf(self, q):
+        scalar = np.isscalar(q)
+        qs = np.asarray(q, dtype=float)
+        out = self.low + qs * (self.high - self.low)
+        return float(out) if scalar else out
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.uniform(self.low, self.high, size=size)

@@ -1,0 +1,87 @@
+"""The exponential distribution — the workhorse of Markov modeling.
+
+The exponential is the only continuous distribution with the memoryless
+property, which is what makes homogeneous CTMC modeling possible: the
+remaining lifetime of an exponential component does not depend on its age.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_rate
+from .base import LifetimeDistribution
+
+__all__ = ["Exponential"]
+
+
+class Exponential(LifetimeDistribution):
+    """Exponential distribution with rate ``rate`` (mean ``1 / rate``).
+
+    Parameters
+    ----------
+    rate:
+        The constant hazard rate λ > 0.  A component with failure rate λ
+        has MTTF ``1/λ`` and reliability ``R(t) = exp(-λ t)``.
+
+    Examples
+    --------
+    >>> d = Exponential(rate=2.0)
+    >>> round(d.mean(), 6)
+    0.5
+    >>> round(d.sf(0.0), 6)
+    1.0
+    """
+
+    def __init__(self, rate: float):
+        self.rate = check_rate(rate)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        """Build from the mean (MTTF / MTTR) instead of the rate."""
+        return cls(rate=1.0 / check_rate(mean, "mean"))
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where(t >= 0.0, self.rate * np.exp(-self.rate * t), 0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where(t >= 0.0, -np.expm1(-self.rate * t), 0.0)
+        return out if out.ndim else float(out)
+
+    def sf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where(t >= 0.0, np.exp(-self.rate * t), 1.0)
+        return out if out.ndim else float(out)
+
+    def hazard(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.full_like(t, self.rate, dtype=float)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def variance(self) -> float:
+        return 1.0 / (self.rate * self.rate)
+
+    def moment(self, k: int) -> float:
+        # E[T^k] = k! / rate^k
+        if k < 0:
+            return super().moment(k)
+        return math.factorial(k) / self.rate**k
+
+    def ppf(self, q):
+        scalar = np.isscalar(q)
+        qs = np.asarray(q, dtype=float)
+        with np.errstate(divide="ignore"):
+            out = -np.log1p(-qs) / self.rate
+        return float(out) if scalar else out
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.exponential(scale=1.0 / self.rate, size=size)

@@ -1,0 +1,103 @@
+"""Pareto (Lomax-shifted) distribution — heavy-tailed repair times.
+
+Field repair logs occasionally show power-law tails (a few repairs take
+*much* longer than the rest: missing spares, escalations).  The Pareto
+makes the consequences explicit: for shape α <= 2 the variance is
+infinite and two-moment phase-type fitting is impossible — the case the
+tutorial's non-exponential machinery (SMP steady state, which needs only
+the mean) still handles for α > 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_positive
+from ..exceptions import DistributionError
+from .base import LifetimeDistribution
+
+__all__ = ["Pareto"]
+
+
+class Pareto(LifetimeDistribution):
+    """Pareto distribution on ``[minimum, ∞)``: ``S(t) = (minimum/t)^shape``.
+
+    Parameters
+    ----------
+    shape:
+        Tail index α > 0; moments of order >= α diverge.
+    minimum:
+        Left endpoint (scale) x_m > 0.
+
+    Examples
+    --------
+    >>> p = Pareto(shape=3.0, minimum=2.0)
+    >>> round(p.mean(), 6)
+    3.0
+    >>> p.sf(2.0)
+    1.0
+    """
+
+    def __init__(self, shape: float, minimum: float):
+        self.shape = check_positive(shape, "shape")
+        self.minimum = check_positive(minimum, "minimum")
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        safe = np.where(t >= self.minimum, t, self.minimum)
+        out = np.where(
+            t >= self.minimum,
+            self.shape * self.minimum**self.shape / safe ** (self.shape + 1.0),
+            0.0,
+        )
+        return out if out.ndim else float(out)
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        safe = np.where(t >= self.minimum, t, self.minimum)
+        out = np.where(t >= self.minimum, 1.0 - (self.minimum / safe) ** self.shape, 0.0)
+        return out if out.ndim else float(out)
+
+    def sf(self, t):
+        t = np.asarray(t, dtype=float)
+        safe = np.where(t >= self.minimum, t, self.minimum)
+        out = np.where(t >= self.minimum, (self.minimum / safe) ** self.shape, 1.0)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        if self.shape <= 1.0:
+            return math.inf
+        return self.shape * self.minimum / (self.shape - 1.0)
+
+    def variance(self) -> float:
+        if self.shape <= 2.0:
+            return math.inf
+        a, m = self.shape, self.minimum
+        return m * m * a / ((a - 1.0) ** 2 * (a - 2.0))
+
+    def moment(self, k: int) -> float:
+        if k < 0:
+            raise DistributionError(f"moment order must be >= 0, got {k}")
+        if k == 0:
+            return 1.0
+        if k >= self.shape:
+            return math.inf
+        return self.shape * self.minimum**k / (self.shape - k)
+
+    def ppf(self, q):
+        scalar = np.isscalar(q)
+        qs = np.asarray(q, dtype=float)
+        out = self.minimum * (1.0 - qs) ** (-1.0 / self.shape)
+        return float(out) if scalar else out
+
+    def hazard(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where(t >= self.minimum, self.shape / np.where(t >= self.minimum, t, 1.0), 0.0)
+        return out if out.ndim else float(out)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        u = rng.uniform(size=size)
+        return self.minimum * (1.0 - u) ** (-1.0 / self.shape)

@@ -1,0 +1,90 @@
+"""Weibull distribution — the standard model for aging (wear-out) failures.
+
+Shape < 1 gives a decreasing hazard (infant mortality), shape == 1 is the
+exponential (constant hazard), shape > 1 gives an increasing hazard
+(wear-out).  Weibull lifetimes violate the memoryless assumption, so
+systems with Weibull components need semi-Markov / phase-type treatment
+(tutorial part "dealing with non-exponential distributions").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_positive
+from .base import LifetimeDistribution
+
+__all__ = ["Weibull"]
+
+
+class Weibull(LifetimeDistribution):
+    """Weibull distribution with ``shape`` k and ``scale`` η.
+
+    ``R(t) = exp(-(t/η)**k)``; mean ``η Γ(1 + 1/k)``.
+
+    Examples
+    --------
+    >>> w = Weibull(shape=1.0, scale=2.0)   # reduces to Exponential(rate=0.5)
+    >>> round(w.mean(), 6)
+    2.0
+    """
+
+    def __init__(self, shape: float, scale: float):
+        self.shape = check_positive(shape, "shape")
+        self.scale = check_positive(scale, "scale")
+
+    @classmethod
+    def from_mean_shape(cls, mean: float, shape: float) -> "Weibull":
+        """Build a Weibull with the given mean and shape."""
+        shape = check_positive(shape, "shape")
+        scale = check_positive(mean, "mean") / math.gamma(1.0 + 1.0 / shape)
+        return cls(shape=shape, scale=scale)
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        k, lam = self.shape, self.scale
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = np.where(t > 0.0, t / lam, 0.0)
+            dens = np.where(
+                t > 0.0,
+                (k / lam) * z ** (k - 1.0) * np.exp(-(z**k)),
+                0.0 if k != 1.0 else 1.0 / lam,
+            )
+        return dens if dens.ndim else float(dens)
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        z = np.where(t > 0.0, t / self.scale, 0.0)
+        out = np.where(t > 0.0, -np.expm1(-(z**self.shape)), 0.0)
+        return out if out.ndim else float(out)
+
+    def sf(self, t):
+        t = np.asarray(t, dtype=float)
+        z = np.where(t > 0.0, t / self.scale, 0.0)
+        out = np.where(t > 0.0, np.exp(-(z**self.shape)), 1.0)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def variance(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.shape)
+        g2 = math.gamma(1.0 + 2.0 / self.shape)
+        return self.scale**2 * (g2 - g1 * g1)
+
+    def moment(self, k: int) -> float:
+        if k < 0:
+            return super().moment(k)
+        return self.scale**k * math.gamma(1.0 + k / self.shape)
+
+    def ppf(self, q):
+        scalar = np.isscalar(q)
+        qs = np.asarray(q, dtype=float)
+        out = self.scale * (-np.log1p(-qs)) ** (1.0 / self.shape)
+        return float(out) if scalar else out
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return self.scale * rng.weibull(self.shape, size=size)

@@ -1,0 +1,32 @@
+"""Parameter estimation from field data.
+
+The front end of every practical study: turning failure logs into the
+rates and distributions the models consume — exponential MLE with
+censoring and exact chi-square intervals, Weibull MLE for wear-out,
+Kaplan–Meier for distribution-free survival curves, and availability
+estimation from up/down session logs.
+"""
+
+from .availability import AvailabilityEstimate, estimate_availability
+from .exponential import (
+    RateEstimate,
+    estimate_rate,
+    rate_confidence_interval,
+    zero_failure_rate_upper_bound,
+)
+from .nonparametric import KaplanMeier, kaplan_meier
+from .weibull import WeibullEstimate, fit_weibull_mle, fit_weibull_moments
+
+__all__ = [
+    "RateEstimate",
+    "estimate_rate",
+    "rate_confidence_interval",
+    "zero_failure_rate_upper_bound",
+    "WeibullEstimate",
+    "fit_weibull_mle",
+    "fit_weibull_moments",
+    "KaplanMeier",
+    "kaplan_meier",
+    "AvailabilityEstimate",
+    "estimate_availability",
+]

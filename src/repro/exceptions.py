@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except`` clause while letting programming errors (``TypeError``
+from bad call signatures, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelDefinitionError",
+    "SolverError",
+    "ConvergenceError",
+    "StateSpaceError",
+    "DistributionError",
+    "HierarchyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelDefinitionError(ReproError):
+    """A model was structurally invalid (bad gate arity, unknown block, ...)."""
+
+
+class SolverError(ReproError):
+    """A numeric solver failed (singular matrix, invalid tolerance, ...)."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative method exhausted its iteration budget without converging.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual / change measure observed, when available.
+    """
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class StateSpaceError(ReproError):
+    """State-space construction failed or exceeded configured limits."""
+
+
+class DistributionError(ReproError):
+    """Invalid distribution parameters or unsupported distribution operation."""
+
+
+class HierarchyError(ReproError):
+    """Invalid hierarchical model composition (unknown import, bad binding, ...)."""

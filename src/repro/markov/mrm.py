@@ -1,0 +1,130 @@
+"""Markov reward models (system S10 in DESIGN.md).
+
+A Markov reward model attaches a reward rate to every CTMC state; the
+dependability measures of practice are all reward expectations:
+
+* availability — reward 1 on up states, 0 on down states;
+* capacity-oriented availability — reward = delivered capacity
+  (e.g. number of working processors);
+* expected cost rate — reward = cost per hour of each configuration.
+
+Supported measures: steady-state expected reward rate, transient expected
+reward rate ``E[X(t)]``, expected accumulated reward ``E[Y(t)]``, and its
+time average.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional
+
+import numpy as np
+
+from ..exceptions import ModelDefinitionError
+from .ctmc import CTMC
+
+__all__ = ["MarkovRewardModel"]
+
+State = Hashable
+
+
+class MarkovRewardModel:
+    """Reward-rate expectations over a CTMC.
+
+    Parameters
+    ----------
+    chain:
+        The underlying CTMC.
+    rewards:
+        Mapping state → reward rate.  Missing states earn zero.
+    initial:
+        Initial state (or distribution) for transient measures; optional
+        when only steady-state measures are used.
+
+    Examples
+    --------
+    >>> from repro.markov import CTMC
+    >>> chain = CTMC()
+    >>> _ = chain.add_transition("up", "down", 1.0)
+    >>> _ = chain.add_transition("down", "up", 9.0)
+    >>> model = MarkovRewardModel(chain, {"up": 1.0}, initial="up")
+    >>> round(model.steady_state_reward_rate(), 6)
+    0.9
+    """
+
+    def __init__(
+        self,
+        chain: CTMC,
+        rewards: Mapping[State, float],
+        initial=None,
+    ):
+        unknown = [s for s in rewards if s not in set(chain.states)]
+        if unknown:
+            raise ModelDefinitionError(f"rewards reference unknown states: {unknown}")
+        self.chain = chain
+        self.rewards = dict(rewards)
+        self.initial = initial
+        self._reward_vector = np.array(
+            [float(self.rewards.get(s, 0.0)) for s in chain.states]
+        )
+
+    def _require_initial(self, initial):
+        chosen = initial if initial is not None else self.initial
+        if chosen is None:
+            raise ModelDefinitionError("an initial state is required for transient measures")
+        return chosen
+
+    # ------------------------------------------------------------ measures
+    def steady_state_reward_rate(self, method: str = "gth") -> float:
+        """``Σ_s r(s) π_s`` — long-run expected reward rate."""
+        return self.chain.expected_reward_rate(self.rewards, method=method)
+
+    def expected_reward_rate(self, t, initial=None):
+        """Transient expected reward rate ``E[X(t)] = Σ_s r(s) π_s(t)``."""
+        initial = self._require_initial(initial)
+        scalar = np.isscalar(t)
+        ts = np.atleast_1d(np.asarray(t, dtype=float))
+        probs = self.chain.transient(ts, initial)
+        out = probs @ self._reward_vector
+        return float(out[0]) if scalar else out
+
+    def expected_accumulated_reward(self, t, initial=None):
+        """``E[Y(t)] = E[∫_0^t X(u) du]`` via cumulative uniformization."""
+        initial = self._require_initial(initial)
+        scalar = np.isscalar(t)
+        ts = np.atleast_1d(np.asarray(t, dtype=float))
+        cumulative = self.chain.cumulative_transient(ts, initial)
+        out = cumulative @ self._reward_vector
+        return float(out[0]) if scalar else out
+
+    def time_averaged_reward(self, t, initial=None):
+        """``E[Y(t)] / t`` — e.g. interval availability for 0/1 rewards."""
+        scalar = np.isscalar(t)
+        ts = np.atleast_1d(np.asarray(t, dtype=float))
+        if np.any(ts <= 0):
+            raise ModelDefinitionError("time-averaged reward requires t > 0")
+        out = np.asarray(self.expected_accumulated_reward(ts, initial)) / ts
+        return float(out[0]) if scalar else out
+
+    def accumulated_reward_until_absorption(self, initial=None) -> float:
+        """``E[Y(∞)]`` for an absorbing chain — e.g. expected total up time
+        before the first unrecoverable failure."""
+        initial = self._require_initial(initial)
+        absorbing = self.chain.absorbing_states()
+        if not absorbing:
+            raise ModelDefinitionError("chain has no absorbing states; E[Y(∞)] diverges")
+        # Expected total time in each transient state, weighted by reward.
+        transient_states = [s for s in self.chain.states if s not in set(absorbing)]
+        q = self.chain.generator().toarray()
+        idx = [self.chain.index_of(s) for s in transient_states]
+        sub = q[np.ix_(idx, idx)]
+        p0 = np.zeros(len(idx))
+        full0 = np.zeros(self.chain.n_states)
+        if isinstance(initial, Mapping):
+            for state, prob in initial.items():
+                full0[self.chain.index_of(state)] = float(prob)
+        else:
+            full0[self.chain.index_of(initial)] = 1.0
+        p0 = full0[idx]
+        tau = np.linalg.solve(sub.T, -p0)
+        rewards = np.array([float(self.rewards.get(s, 0.0)) for s in transient_states])
+        return float(tau @ rewards)

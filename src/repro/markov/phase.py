@@ -1,0 +1,288 @@
+"""Phase-type distributions and expansion into CTMCs (system S13).
+
+A phase-type (PH) distribution is the time to absorption of a CTMC — the
+densest Markov-friendly family: Erlang, hypo-/hyper-exponential and Coxian
+distributions are all PH, and PH distributions are dense in the
+non-negative laws.  The tutorial's recipe for non-exponential activities
+inside an otherwise Markovian model is: fit a PH distribution to the
+activity's first moments, then *expand* the activity's state into the PH
+phases, recovering a (larger) CTMC.
+
+This module provides the PH representation, closure operations
+(convolution, probabilistic mixture, minimum), conversion of the
+library's analytic distributions to PH form, and the two-state
+up/down expansion used by benchmark E14.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.linalg import expm
+
+from ..distributions import (
+    Erlang,
+    Exponential,
+    HyperExponential,
+    HypoExponential,
+    LifetimeDistribution,
+    fit_two_moments,
+)
+from ..distributions.base import LifetimeDistribution as _Base
+from ..exceptions import DistributionError
+from .ctmc import CTMC
+
+__all__ = ["PhaseType", "as_phase_type", "fit_phase_type", "expand_two_state_availability"]
+
+
+class PhaseType(_Base):
+    """Continuous phase-type distribution ``PH(α, T)``.
+
+    Parameters
+    ----------
+    alpha:
+        Initial probability vector over the transient phases (its sum may
+        be < 1; the deficit is an atom at zero).
+    subgenerator:
+        The transient block ``T`` of the defining CTMC's generator: strictly
+        negative diagonal, non-negative off-diagonal, row sums <= 0.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> ph = PhaseType([1.0, 0.0], [[-2.0, 2.0], [0.0, -3.0]])  # hypoexp(2, 3)
+    >>> round(ph.mean(), 6)
+    0.833333
+    """
+
+    def __init__(self, alpha: Sequence[float], subgenerator: Sequence[Sequence[float]]):
+        alpha_arr = np.asarray(alpha, dtype=float)
+        t = np.asarray(subgenerator, dtype=float)
+        n = alpha_arr.size
+        if t.shape != (n, n):
+            raise DistributionError(
+                f"subgenerator shape {t.shape} does not match alpha length {n}"
+            )
+        if np.any(alpha_arr < -1e-12) or alpha_arr.sum() > 1.0 + 1e-9:
+            raise DistributionError("alpha must be non-negative with sum <= 1")
+        if np.any(np.diag(t) >= 0):
+            raise DistributionError("subgenerator diagonal must be strictly negative")
+        off = t - np.diag(np.diag(t))
+        if np.any(off < -1e-12):
+            raise DistributionError("subgenerator off-diagonals must be non-negative")
+        if np.any(t.sum(axis=1) > 1e-9):
+            raise DistributionError("subgenerator row sums must be <= 0")
+        self._alpha = np.clip(alpha_arr, 0.0, None)
+        self._t = t
+        self._exit = -t.sum(axis=1)
+
+    # -------------------------------------------------------------- access
+    @property
+    def alpha(self) -> np.ndarray:
+        """Initial phase distribution (copy)."""
+        return self._alpha.copy()
+
+    @property
+    def subgenerator(self) -> np.ndarray:
+        """Transient generator block ``T`` (copy)."""
+        return self._t.copy()
+
+    @property
+    def n_phases(self) -> int:
+        """Number of transient phases."""
+        return self._alpha.size
+
+    # ---------------------------------------------------------- interface
+    def cdf(self, t):
+        scalar = np.isscalar(t)
+        ts = np.atleast_1d(np.asarray(t, dtype=float))
+        ones = np.ones(self.n_phases)
+        out = np.empty(ts.shape)
+        for k, ti in enumerate(ts):
+            if ti <= 0:
+                out[k] = 1.0 - self._alpha.sum() if ti == 0 else 0.0
+                continue
+            out[k] = 1.0 - float(self._alpha @ expm(self._t * ti) @ ones)
+        out = np.clip(out, 0.0, 1.0)
+        return float(out[0]) if scalar else out
+
+    def pdf(self, t):
+        scalar = np.isscalar(t)
+        ts = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.empty(ts.shape)
+        for k, ti in enumerate(ts):
+            if ti < 0:
+                out[k] = 0.0
+                continue
+            out[k] = float(self._alpha @ expm(self._t * ti) @ self._exit)
+        out = np.maximum(out, 0.0)
+        return float(out[0]) if scalar else out
+
+    def moment(self, k: int) -> float:
+        if k < 0:
+            raise DistributionError(f"moment order must be >= 0, got {k}")
+        if k == 0:
+            return 1.0
+        # E[T^k] = k! * alpha (-T)^{-k} 1
+        neg_t_inv = np.linalg.inv(-self._t)
+        vec = self._alpha.copy()
+        for _ in range(k):
+            vec = vec @ neg_t_inv
+        return math.factorial(k) * float(vec.sum())
+
+    def mean(self) -> float:
+        return self.moment(1)
+
+    def variance(self) -> float:
+        mu = self.moment(1)
+        return self.moment(2) - mu * mu
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        n = 1 if size is None else int(size)
+        rates = -np.diag(self._t)
+        # Jump probabilities among phases and to absorption.
+        jump = self._t - np.diag(np.diag(self._t))
+        draws = np.empty(n)
+        alpha_total = self._alpha.sum()
+        for idx in range(n):
+            total = 0.0
+            if rng.uniform() >= alpha_total:
+                draws[idx] = 0.0
+                continue
+            phase = int(rng.choice(self.n_phases, p=self._alpha / alpha_total))
+            while True:
+                rate = rates[phase]
+                total += rng.exponential(1.0 / rate)
+                exit_prob = self._exit[phase] / rate
+                u = rng.uniform()
+                if u < exit_prob:
+                    break
+                probs = jump[phase] / rate
+                remaining = probs.sum()
+                probs = probs / remaining
+                phase = int(rng.choice(self.n_phases, p=probs))
+            draws[idx] = total
+        return float(draws[0]) if size is None else draws
+
+    # ------------------------------------------------------------ closure
+    def convolve(self, other: "PhaseType") -> "PhaseType":
+        """Distribution of the sum of two independent PH variables."""
+        n, m = self.n_phases, other.n_phases
+        t = np.zeros((n + m, n + m))
+        t[:n, :n] = self._t
+        t[n:, n:] = other._t
+        t[:n, n:] = np.outer(self._exit, other._alpha)
+        alpha = np.concatenate([self._alpha, (1.0 - self._alpha.sum()) * other._alpha])
+        return PhaseType(alpha, t)
+
+    def mixture(self, other: "PhaseType", weight: float) -> "PhaseType":
+        """``weight``-mixture of self and ``other``."""
+        if not 0.0 <= weight <= 1.0:
+            raise DistributionError(f"mixture weight must be in [0, 1], got {weight}")
+        n, m = self.n_phases, other.n_phases
+        t = np.zeros((n + m, n + m))
+        t[:n, :n] = self._t
+        t[n:, n:] = other._t
+        alpha = np.concatenate([weight * self._alpha, (1.0 - weight) * other._alpha])
+        return PhaseType(alpha, t)
+
+    def minimum(self, other: "PhaseType") -> "PhaseType":
+        """Distribution of the minimum (Kronecker-sum construction)."""
+        n, m = self.n_phases, other.n_phases
+        t = np.kron(self._t, np.eye(m)) + np.kron(np.eye(n), other._t)
+        alpha = np.kron(self._alpha, other._alpha)
+        return PhaseType(alpha, t)
+
+    # ---------------------------------------------------------- expansion
+    def to_absorbing_ctmc(self, phase_prefix: str = "ph", absorbed: str = "done") -> CTMC:
+        """The defining absorbing CTMC with labelled phases."""
+        chain = CTMC()
+        labels = [f"{phase_prefix}{i}" for i in range(self.n_phases)]
+        for i in range(self.n_phases):
+            for j in range(self.n_phases):
+                if i != j and self._t[i, j] > 0.0:
+                    chain.add_transition(labels[i], labels[j], self._t[i, j])
+            if self._exit[i] > 0.0:
+                chain.add_transition(labels[i], absorbed, self._exit[i])
+        return chain
+
+
+def as_phase_type(dist: LifetimeDistribution) -> PhaseType:
+    """Exact PH representation of an analytically PH distribution.
+
+    Supports :class:`Exponential`, :class:`Erlang`,
+    :class:`HypoExponential` and :class:`HyperExponential`; other
+    distributions need :func:`fit_phase_type`.
+    """
+    if isinstance(dist, PhaseType):
+        return dist
+    if isinstance(dist, Exponential):
+        return PhaseType([1.0], [[-dist.rate]])
+    if isinstance(dist, Erlang):
+        return as_phase_type(HypoExponential(rates=(dist.rate,) * dist.stages))
+    if isinstance(dist, HypoExponential):
+        n = len(dist.rates)
+        t = np.zeros((n, n))
+        for i, r in enumerate(dist.rates):
+            t[i, i] = -r
+            if i + 1 < n:
+                t[i, i + 1] = r
+        alpha = np.zeros(n)
+        alpha[0] = 1.0
+        return PhaseType(alpha, t)
+    if isinstance(dist, HyperExponential):
+        n = len(dist.rates)
+        t = np.diag([-r for r in dist.rates])
+        return PhaseType(list(dist.probs), t)
+    raise DistributionError(
+        f"{type(dist).__name__} has no exact PH form; use fit_phase_type instead"
+    )
+
+
+def fit_phase_type(dist: LifetimeDistribution) -> PhaseType:
+    """Two-moment PH approximation of an arbitrary lifetime distribution."""
+    return as_phase_type(fit_two_moments(dist.mean(), dist.squared_cv()))
+
+
+def expand_two_state_availability(
+    uptime: LifetimeDistribution, downtime: LifetimeDistribution
+) -> Tuple[CTMC, list, list]:
+    """CTMC expansion of an alternating up/down process with PH durations.
+
+    Converts (or fits) both durations to PH form, then builds the CTMC in
+    which "up" phases cycle to "down" phases and back.  Returns
+    ``(chain, up_states, down_states)`` ready for
+    :class:`~repro.markov.ctmc.MarkovDependabilityModel`.
+    """
+    up_ph = as_phase_type(uptime) if _is_ph(uptime) else fit_phase_type(uptime)
+    down_ph = as_phase_type(downtime) if _is_ph(downtime) else fit_phase_type(downtime)
+    chain = CTMC()
+    up_labels = [("up", i) for i in range(up_ph.n_phases)]
+    down_labels = [("down", i) for i in range(down_ph.n_phases)]
+
+    def wire(t: np.ndarray, labels, exit_rates, next_alpha, next_labels):
+        for i, src in enumerate(labels):
+            for j, dst in enumerate(labels):
+                if i != j and t[i, j] > 0.0:
+                    chain.add_transition(src, dst, t[i, j])
+            if exit_rates[i] > 0.0:
+                for j, dst in enumerate(next_labels):
+                    rate = exit_rates[i] * next_alpha[j]
+                    if rate > 0.0:
+                        chain.add_transition(src, dst, rate)
+
+    wire(up_ph.subgenerator, up_labels, -up_ph.subgenerator.sum(axis=1), down_ph.alpha, down_labels)
+    wire(
+        down_ph.subgenerator,
+        down_labels,
+        -down_ph.subgenerator.sum(axis=1),
+        up_ph.alpha,
+        up_labels,
+    )
+    return chain, up_labels, down_labels
+
+
+def _is_ph(dist: LifetimeDistribution) -> bool:
+    return isinstance(dist, (PhaseType, Exponential, Erlang, HypoExponential, HyperExponential))

@@ -1,0 +1,318 @@
+"""Semi-Markov processes (system S11 in DESIGN.md).
+
+An SMP relaxes the CTMC's exponential-sojourn requirement: on entering
+state ``i`` the process picks the next state ``j`` with probability
+``p_ij`` and holds for a duration drawn from an arbitrary distribution
+``H_ij``.  This is the tutorial's first tool for non-exponential
+failure/repair times — steady-state results need only the *means* of the
+holding times, which is why steady-state availability is famously
+insensitive to repair-time distribution shape (benchmark E13 demonstrates
+it).
+
+Construction styles:
+
+* **kernel style** — :meth:`SemiMarkovProcess.add_transition` with an
+  explicit branch probability and holding distribution;
+* **competing style** — :meth:`SemiMarkovProcess.from_competing`, where
+  each transition has its own firing distribution and the earliest one
+  wins (race semantics); branch probabilities and conditional holding
+  times are derived numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_probability
+from ..distributions import EmpiricalDistribution, LifetimeDistribution
+from ..exceptions import ModelDefinitionError, SolverError, StateSpaceError
+from .dtmc import DTMC
+
+__all__ = ["SemiMarkovProcess"]
+
+State = Hashable
+
+
+class SemiMarkovProcess:
+    """A finite semi-Markov process with labelled states.
+
+    Examples
+    --------
+    An up/down system with exponential failures and *deterministic*
+    repairs — no CTMC can express this, but the SMP steady state is
+    immediate::
+
+        >>> from repro.distributions import Exponential, Deterministic
+        >>> smp = SemiMarkovProcess()
+        >>> _ = smp.add_transition("up", "down", 1.0, Exponential(rate=0.01))
+        >>> _ = smp.add_transition("down", "up", 1.0, Deterministic(5.0))
+        >>> pi = smp.steady_state()
+        >>> round(pi["up"], 6)                    # 100 / (100 + 5)
+        0.952381
+    """
+
+    def __init__(self):
+        self._states: List[State] = []
+        self._index: Dict[State, int] = {}
+        # source -> list of (target, probability, holding distribution)
+        self._transitions: Dict[State, List[Tuple[State, float, LifetimeDistribution]]] = {}
+
+    # --------------------------------------------------------------- build
+    def add_state(self, state: State) -> "SemiMarkovProcess":
+        """Register a state (no-op when already present)."""
+        if state not in self._index:
+            self._index[state] = len(self._states)
+            self._states.append(state)
+            self._transitions.setdefault(state, [])
+        return self
+
+    def add_transition(
+        self,
+        source: State,
+        target: State,
+        probability: float,
+        holding: LifetimeDistribution,
+    ) -> "SemiMarkovProcess":
+        """Add a kernel entry: with ``probability``, go to ``target`` after
+        a holding time drawn from ``holding``."""
+        check_probability(probability, "branch probability")
+        if probability == 0.0:
+            return self
+        self.add_state(source)
+        self.add_state(target)
+        self._transitions[source].append((target, float(probability), holding))
+        return self
+
+    @classmethod
+    def from_competing(
+        cls,
+        transitions: Mapping[State, Mapping[State, LifetimeDistribution]],
+        n_grid: int = 2000,
+    ) -> "SemiMarkovProcess":
+        """Build an SMP from competing (race) transitions.
+
+        ``transitions[source][target]`` is the firing-time distribution of
+        that transition; on state entry all clocks restart and the
+        earliest firing wins.  Branch probabilities
+        ``p_ij = ∫ f_j(u) Π_{k≠j} S_k(u) du`` and the conditional holding
+        distributions are computed on a numeric grid.
+
+        Parameters
+        ----------
+        n_grid:
+            Number of grid points used for the race integrals.
+        """
+        smp = cls()
+        for source, targets in transitions.items():
+            smp.add_state(source)
+            if not targets:
+                continue
+            if len(targets) == 1:
+                (target, dist), = targets.items()
+                smp.add_transition(source, target, 1.0, dist)
+                continue
+            dists = list(targets.items())
+            # Grid to ~the 99.999th percentile of the sojourn (min of clocks).
+            horizon = min(dist.ppf(0.99999) for _, dist in dists)
+            if not math.isfinite(horizon) or horizon <= 0:
+                horizon = max(dist.mean() for _, dist in dists) * 20.0
+            grid = np.linspace(0.0, horizon, n_grid)
+            mid = 0.5 * (grid[:-1] + grid[1:])
+            # Stieltjes integration over each clock's CDF increments
+            # handles atoms (deterministic timers) that a pdf cannot.
+            survs_mid = [np.asarray(dist.sf(mid), dtype=float) for _, dist in dists]
+            cdf_inc = [
+                np.diff(np.asarray(dist.cdf(grid), dtype=float)) for _, dist in dists
+            ]
+            all_sf_mid = np.prod(survs_mid, axis=0)
+            for j, (target, _dist) in enumerate(dists):
+                others_mid = np.where(
+                    survs_mid[j] > 0, all_sf_mid / np.where(survs_mid[j] > 0, survs_mid[j], 1.0), 0.0
+                )
+                # P[j wins in bin l] ≈ dF_j(bin) * P[others survive past bin mid]
+                win_mass = cdf_inc[j] * others_mid
+                prob = float(win_mass.sum())
+                if prob <= 1e-12:
+                    continue
+                win_cdf = np.concatenate([[0.0], np.cumsum(win_mass)])
+                win_cdf /= win_cdf[-1]
+                holding = EmpiricalDistribution(grid, win_cdf)
+                smp.add_transition(source, target, prob, holding)
+            # Renormalize branch probabilities to absorb grid error.
+            entries = smp._transitions[source]
+            total = sum(p for _, p, _ in entries)
+            smp._transitions[source] = [(t, p / total, h) for t, p, h in entries]
+        return smp
+
+    # -------------------------------------------------------------- access
+    @property
+    def states(self) -> List[State]:
+        """State labels in insertion order."""
+        return list(self._states)
+
+    def _check_probabilities(self) -> None:
+        for state, entries in self._transitions.items():
+            if not entries:
+                continue
+            total = sum(p for _, p, _ in entries)
+            if not math.isclose(total, 1.0, abs_tol=1e-6):
+                raise ModelDefinitionError(
+                    f"branch probabilities from state {state!r} sum to {total}, expected 1"
+                )
+
+    def absorbing_states(self) -> List[State]:
+        """States with no outgoing kernel entries."""
+        return [s for s in self._states if not self._transitions[s]]
+
+    def embedded_dtmc(self) -> DTMC:
+        """The embedded (jump) DTMC with probabilities ``p_ij``."""
+        self._check_probabilities()
+        chain = DTMC(states=self._states)
+        for source, entries in self._transitions.items():
+            for target, prob, _holding in entries:
+                chain.add_transition(source, target, prob)
+        return chain
+
+    def mean_sojourn(self, state: State) -> float:
+        """Mean unconditional sojourn time ``h_i = Σ_j p_ij E[H_ij]``."""
+        if state not in self._index:
+            raise ModelDefinitionError(f"unknown state: {state!r}")
+        entries = self._transitions[state]
+        if not entries:
+            raise StateSpaceError(f"state {state!r} is absorbing; its sojourn is infinite")
+        return sum(p * holding.mean() for _, p, holding in entries)
+
+    # ------------------------------------------------------------ analysis
+    def steady_state(self) -> Dict[State, float]:
+        """Long-run fraction of time in each state.
+
+        ``π_i = ν_i h_i / Σ_j ν_j h_j`` with ν the embedded-chain
+        stationary vector and ``h_i`` the mean sojourns — only the *means*
+        of the holding distributions matter.
+        """
+        nu = self.embedded_dtmc().steady_state()
+        weights = {s: nu[s] * self.mean_sojourn(s) for s in self._states}
+        total = sum(weights.values())
+        if total <= 0:
+            raise SolverError("total weighted sojourn is zero; chain is degenerate")
+        return {s: w / total for s, w in weights.items()}
+
+    def expected_reward_rate(self, rewards: Mapping[State, float]) -> float:
+        """Steady-state expected reward rate over the SMP."""
+        pi = self.steady_state()
+        return sum(float(rewards.get(s, 0.0)) * p for s, p in pi.items())
+
+    def mean_time_to_absorption(self, initial: State) -> float:
+        """Mean first-passage time into the absorbing set.
+
+        Solves ``m_i = h_i + Σ_{j transient} p_ij m_j`` over transient
+        states.
+        """
+        self._check_probabilities()
+        absorbing = set(self.absorbing_states())
+        if not absorbing:
+            raise StateSpaceError("SMP has no absorbing states; MTTA is infinite")
+        transient = [s for s in self._states if s not in absorbing]
+        if initial in absorbing:
+            return 0.0
+        idx = {s: k for k, s in enumerate(transient)}
+        n = len(transient)
+        a = np.eye(n)
+        b = np.zeros(n)
+        for s in transient:
+            b[idx[s]] = self.mean_sojourn(s)
+            for target, prob, _holding in self._transitions[s]:
+                if target in idx:
+                    a[idx[s], idx[target]] -= prob
+        try:
+            m = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError("some transient state cannot reach absorption") from exc
+        return float(m[idx[initial]])
+
+    def transient(
+        self,
+        times,
+        initial: State,
+        dt: Optional[float] = None,
+    ) -> np.ndarray:
+        """Transient state probabilities by solving the Markov renewal equation.
+
+        Discretizes ``V_ij(t) = δ_ij (1 - H_i(t)) + Σ_k ∫_0^t dK_ik(u)
+        V_kj(t-u)`` on a uniform grid (first-order accurate in ``dt``).
+
+        Parameters
+        ----------
+        times:
+            Evaluation times (array).  Returns shape ``(len(times), n)``
+            with columns in :attr:`states` order.
+        initial:
+            Starting state.
+        dt:
+            Grid step; defaults to ``max(times) / 2000``.
+        """
+        self._check_probabilities()
+        ts = np.atleast_1d(np.asarray(times, dtype=float))
+        if ts.size == 0:
+            return np.zeros((0, len(self._states)))
+        horizon = float(ts.max())
+        if horizon == 0.0:
+            out = np.zeros((ts.size, len(self._states)))
+            out[:, self._index[initial]] = 1.0
+            return out
+        if dt is None:
+            dt = horizon / 2000.0
+        m = int(np.ceil(horizon / dt)) + 1
+        grid = np.arange(m) * dt
+        n = len(self._states)
+
+        # Kernel increments dK[i][j][l] = K_ij(grid[l]) - K_ij(grid[l-1]).
+        increments: Dict[Tuple[int, int], np.ndarray] = {}
+        sojourn_sf = np.ones((n, m))
+        for source, entries in self._transitions.items():
+            i = self._index[source]
+            total_cdf = np.zeros(m)
+            for target, prob, holding in entries:
+                j = self._index[target]
+                cdf = prob * np.asarray(holding.cdf(grid), dtype=float)
+                total_cdf += cdf
+                inc = np.diff(np.concatenate([[0.0], cdf]))
+                key = (i, j)
+                increments[key] = increments.get(key, 0.0) + inc
+            sojourn_sf[i] = np.clip(1.0 - total_cdf, 0.0, 1.0)
+
+        # f[l][i] = probability mass of an entry (regeneration) into state
+        # i at grid point l; march forward, spreading each entry's jump
+        # kernel over later grid points.
+        start = self._index[initial]
+        f = np.zeros((m, n))
+        f[0, start] = 1.0
+        for l in range(m):
+            active = np.nonzero(f[l] > 0)[0]
+            for i in active:
+                weight = f[l, i]
+                state_i = self._states[i]
+                for target, _prob, _holding in self._transitions[state_i]:
+                    j = self._index[target]
+                    inc = increments[(i, j)]
+                    upto = m - l
+                    f[l : l + upto, j] += weight * inc[:upto]
+
+        # Occupancy: v_i(t_l) = Σ_k f[k, i] · sf_i(t_l - t_k).
+        v = np.zeros((m, n))
+        for i in range(n):
+            v[:, i] = np.convolve(f[:, i], sojourn_sf[i])[:m]
+
+        # Normalize drift from first-order discretization.
+        row_sums = v.sum(axis=1)
+        row_sums[row_sums == 0.0] = 1.0
+        v = v / row_sums[:, None]
+
+        out = np.empty((ts.size, n))
+        for pos, t in enumerate(ts):
+            l = min(int(round(t / dt)), m - 1)
+            out[pos] = v[l]
+        return out

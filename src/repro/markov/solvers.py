@@ -1,0 +1,299 @@
+"""Numerical kernels for Markov chain analysis.
+
+Three steady-state solvers (the E24 ablation set) and the uniformization
+transient kernel:
+
+* **GTH elimination** — the Grassmann–Taksar–Heyman variant of Gaussian
+  elimination.  It never subtracts (all quantities stay non-negative), so
+  it is backward stable even on stiff generators where rates span ten
+  orders of magnitude — exactly the situation in availability models
+  (failures per 10^5 h vs repairs per hour).  Default.
+* **Sparse direct** — solve ``Q^T π = 0`` with one equation replaced by
+  normalization, via SuperLU.  Fast for large sparse chains, but can lose
+  accuracy on stiff problems.
+* **Power iteration** — on the uniformized DTMC.  Matrix-free and memory
+  light; linear convergence governed by the subdominant eigenvalue.
+
+The transient kernel implements Jensen's uniformization with strict
+truncation-error control, plus the cumulative (integrated) variant needed
+for expected accumulated reward and interval availability.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from ..exceptions import ConvergenceError, SolverError
+
+__all__ = [
+    "gth_solve",
+    "steady_state_direct",
+    "steady_state_power",
+    "uniformized_matrix",
+    "poisson_truncation_point",
+    "transient_uniformization",
+    "cumulative_uniformization",
+]
+
+
+def gth_solve(generator: np.ndarray) -> np.ndarray:
+    """Steady-state vector of an irreducible CTMC by GTH elimination.
+
+    Parameters
+    ----------
+    generator:
+        Dense infinitesimal generator ``Q`` (rows sum to zero).
+
+    Returns
+    -------
+    The stationary probability vector π with ``π Q = 0`` and ``Σ π = 1``.
+
+    Notes
+    -----
+    Runs in O(n³) time on a dense copy; intended for chains up to a few
+    thousand states.  The algorithm uses only additions, multiplications
+    and divisions of non-negative numbers, which is what makes it immune
+    to the catastrophic cancellation that plagues naive elimination on
+    stiff availability models.
+    """
+    a = np.array(generator, dtype=float)
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise SolverError(f"generator must be square, got shape {a.shape}")
+    if n == 1:
+        return np.ones(1)
+
+    # Work with the off-diagonal rates only; diagonals are implicit.
+    np.fill_diagonal(a, 0.0)
+    for k in range(n - 1, 0, -1):
+        total = a[k, :k].sum()
+        if total <= 0.0:
+            raise SolverError(
+                "GTH elimination hit a state with no transitions back into the "
+                "remaining block; the chain is not irreducible"
+            )
+        a[:k, :k] += np.outer(a[:k, k], a[k, :k]) / total
+
+    pi = np.zeros(n)
+    pi[0] = 1.0
+    for k in range(1, n):
+        total = a[k, :k].sum()
+        pi[k] = float(pi[:k] @ a[:k, k]) / total
+    pi /= pi.sum()
+    return pi
+
+
+def steady_state_direct(generator: sparse.spmatrix) -> np.ndarray:
+    """Steady state by sparse LU on ``Q^T π = 0`` with a normalization row."""
+    q = sparse.csr_matrix(generator, dtype=float)
+    n = q.shape[0]
+    if q.shape != (n, n):
+        raise SolverError(f"generator must be square, got shape {q.shape}")
+    a = q.transpose().tolil()
+    a[n - 1, :] = 1.0  # replace last balance equation with Σ π = 1
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    try:
+        pi = sparse_linalg.spsolve(sparse.csc_matrix(a), b)
+    except RuntimeError as exc:  # pragma: no cover - SuperLU failure path
+        raise SolverError(f"sparse direct solve failed: {exc}") from exc
+    if not np.all(np.isfinite(pi)):
+        raise SolverError("sparse direct solve produced non-finite probabilities")
+    pi = np.maximum(pi, 0.0)
+    total = pi.sum()
+    if total <= 0:
+        raise SolverError("sparse direct solve produced a zero vector")
+    return pi / total
+
+
+def uniformized_matrix(
+    generator: sparse.spmatrix, rate_multiplier: float = 1.02
+) -> Tuple[sparse.csr_matrix, float]:
+    """Uniformized DTMC ``P = I + Q/Λ`` and the uniformization rate Λ.
+
+    Λ is ``rate_multiplier`` times the largest exit rate, which keeps the
+    diagonal of ``P`` strictly positive and makes the chain aperiodic —
+    required for power iteration and harmless for transient analysis.
+    """
+    q = sparse.csr_matrix(generator, dtype=float)
+    diag = -q.diagonal()
+    max_rate = float(diag.max()) if diag.size else 0.0
+    if max_rate <= 0.0:
+        # All states absorbing: P is the identity.
+        return sparse.identity(q.shape[0], format="csr"), 1.0
+    lam = max_rate * float(rate_multiplier)
+    p = sparse.identity(q.shape[0], format="csr") + q / lam
+    return p.tocsr(), lam
+
+
+def steady_state_power(
+    generator: sparse.spmatrix,
+    tol: float = 1e-12,
+    max_iterations: int = 500_000,
+) -> np.ndarray:
+    """Steady state by power iteration on the uniformized chain."""
+    p, _ = uniformized_matrix(generator)
+    n = p.shape[0]
+    pi = np.full(n, 1.0 / n)
+    pt = p.transpose().tocsr()
+    for iteration in range(1, max_iterations + 1):
+        new = pt @ pi
+        new_sum = new.sum()
+        if new_sum <= 0:
+            raise SolverError("power iteration collapsed to the zero vector")
+        new /= new_sum
+        delta = float(np.abs(new - pi).max())
+        pi = new
+        if delta < tol:
+            return pi
+    raise ConvergenceError(
+        f"power iteration did not reach tol={tol} in {max_iterations} iterations",
+        iterations=max_iterations,
+        residual=delta,
+    )
+
+
+def poisson_truncation_point(lam_t: float, tol: float) -> int:
+    """Smallest K with Poisson(λt) tail mass beyond K below ``tol``."""
+    if lam_t < 0:
+        raise SolverError(f"λt must be non-negative, got {lam_t}")
+    if lam_t == 0.0:
+        return 0
+    # Walk the Poisson pmf in log space until the accumulated mass
+    # reaches 1 - tol; bound the walk generously past the mean.
+    log_pmf = -lam_t  # log P[N=0]
+    cumulative = math.exp(log_pmf)
+    k = 0
+    limit = int(lam_t + 12.0 * math.sqrt(lam_t) + 50.0)
+    while cumulative < 1.0 - tol and k < limit:
+        k += 1
+        log_pmf += math.log(lam_t / k)
+        cumulative += math.exp(log_pmf)
+    return k
+
+
+def transient_uniformization(
+    generator: sparse.spmatrix,
+    initial: np.ndarray,
+    times: np.ndarray,
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """Transient state probabilities π(t) = π(0) e^{Qt} by uniformization.
+
+    Parameters
+    ----------
+    generator:
+        CTMC generator (rows sum to zero; absorbing rows all zero).
+    initial:
+        Initial probability vector.
+    times:
+        Non-decreasing array of evaluation times.
+    tol:
+        Bound on the truncation error of each output vector (1-norm).
+
+    Returns
+    -------
+    Array of shape ``(len(times), n)``.
+    """
+    times = np.asarray(times, dtype=float)
+    if times.size and times.min() < 0:
+        raise SolverError("times must be non-negative")
+    p, lam = uniformized_matrix(generator)
+    pt = p.transpose().tocsr()
+    n = p.shape[0]
+    initial = np.asarray(initial, dtype=float)
+    if initial.shape != (n,):
+        raise SolverError(f"initial vector has shape {initial.shape}, expected ({n},)")
+
+    out = np.empty((times.size, n))
+    max_time = float(times.max()) if times.size else 0.0
+    k_max = poisson_truncation_point(lam * max_time, tol)
+
+    # Precompute the Krylov-style sequence v_k = initial P^k once, then
+    # combine with each time's Poisson weights.
+    vectors = [initial]
+    vec = initial
+    for _ in range(k_max):
+        vec = pt @ vec
+        vectors.append(vec)
+
+    for idx, t in enumerate(times):
+        lam_t = lam * float(t)
+        if lam_t == 0.0:
+            out[idx] = initial
+            continue
+        k_t = poisson_truncation_point(lam_t, tol)
+        acc = np.zeros(n)
+        log_w = -lam_t
+        for k in range(0, k_t + 1):
+            weight = math.exp(log_w)
+            if weight > 0.0:
+                acc += weight * vectors[min(k, k_max)]
+            log_w += math.log(lam_t) - math.log(k + 1)
+        out[idx] = acc
+    return out
+
+
+def cumulative_uniformization(
+    generator: sparse.spmatrix,
+    initial: np.ndarray,
+    times: np.ndarray,
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """Integrated transient probabilities ``L(t) = ∫_0^t π(u) du``.
+
+    Uses the standard uniformization identity::
+
+        L(t) = (1/Λ) Σ_k  [1 - Σ_{j<=k} pois(j; Λt)] · π(0) P^k
+
+    Truncation is controlled so the 1-norm error of ``L(t)`` is below
+    ``tol * t``.
+
+    Returns an array of shape ``(len(times), n)``; row sums equal ``t``.
+    """
+    times = np.asarray(times, dtype=float)
+    if times.size and times.min() < 0:
+        raise SolverError("times must be non-negative")
+    p, lam = uniformized_matrix(generator)
+    pt = p.transpose().tocsr()
+    n = p.shape[0]
+    initial = np.asarray(initial, dtype=float)
+
+    out = np.empty((times.size, n))
+    max_time = float(times.max()) if times.size else 0.0
+    # The tail weights decay like the Poisson tail; adding a margin to the
+    # truncation point keeps the integrated error within tolerance.
+    k_max = poisson_truncation_point(lam * max_time, tol * 1e-3) + 10
+
+    vectors = [initial]
+    vec = initial
+    for _ in range(k_max):
+        vec = pt @ vec
+        vectors.append(vec)
+
+    for idx, t in enumerate(times):
+        lam_t = lam * float(t)
+        if lam_t == 0.0:
+            out[idx] = np.zeros(n)
+            continue
+        acc = np.zeros(n)
+        log_pmf = -lam_t
+        cdf = math.exp(log_pmf)
+        k = 0
+        while True:
+            tail = max(0.0, 1.0 - cdf)
+            acc += tail * vectors[min(k, k_max)]
+            if tail < tol * 1e-3 and k > lam_t:
+                break
+            if k >= k_max:
+                break
+            k += 1
+            log_pmf += math.log(lam_t) - math.log(k)
+            cdf += math.exp(log_pmf)
+        out[idx] = acc / lam
+    return out

@@ -1,0 +1,105 @@
+"""Non-state-space dependability models (systems S2–S7 in DESIGN.md).
+
+Reliability block diagrams, fault trees and reliability graphs, their
+exact quantification engines (BDD, sum of disjoint products), bounding
+algorithms for very large models, and component importance measures.
+These methods assume statistically independent components; dependencies
+require the state-space models in :mod:`repro.markov` and
+:mod:`repro.petrinet`.
+"""
+
+from .bdd import BDD, TERMINAL_ONE, TERMINAL_ZERO
+from .ccf import beta_factor_split, redundant_group_with_ccf
+from .bounds import FaultTreeBounds, esary_proschan_bounds, truncated_cutset_bounds
+from .components import Component
+from .cutsets import (
+    disjoint_products_probability,
+    inclusion_exclusion,
+    min_cut_upper_bound,
+    minimize_cut_sets,
+    rare_event_approximation,
+    sum_of_disjoint_products,
+    truncated_inclusion_exclusion,
+)
+from .faulttree import AndGate, BasicEvent, FaultTree, FTNode, KofNGate, NotGate, OrGate
+from .modules import find_modules, modular_top_probability
+from .phased import MissionPhase, PhasedMission, PhaseVariables
+from .importance import (
+    ImportanceRow,
+    birnbaum,
+    criticality,
+    fussell_vesely,
+    importance_table,
+    risk_achievement_worth,
+    risk_reduction_worth,
+)
+from .rbd import (
+    BasicBlock,
+    KofN,
+    Parallel,
+    RBDBlock,
+    ReliabilityBlockDiagram,
+    Series,
+    k_of_n,
+    parallel,
+    series,
+)
+from .relgraph import ReliabilityGraph
+
+__all__ = [
+    # components & diagrams
+    "Component",
+    "ReliabilityBlockDiagram",
+    "RBDBlock",
+    "BasicBlock",
+    "Series",
+    "Parallel",
+    "KofN",
+    "series",
+    "parallel",
+    "k_of_n",
+    # fault trees
+    "FaultTree",
+    "FTNode",
+    "BasicEvent",
+    "AndGate",
+    "OrGate",
+    "KofNGate",
+    "NotGate",
+    # reliability graphs
+    "ReliabilityGraph",
+    # modularization
+    "find_modules",
+    "modular_top_probability",
+    # phased missions
+    "PhasedMission",
+    "MissionPhase",
+    "PhaseVariables",
+    # BDD engine
+    "BDD",
+    "TERMINAL_ZERO",
+    "TERMINAL_ONE",
+    # cut-set algebra
+    "minimize_cut_sets",
+    "inclusion_exclusion",
+    "truncated_inclusion_exclusion",
+    "rare_event_approximation",
+    "min_cut_upper_bound",
+    "sum_of_disjoint_products",
+    "disjoint_products_probability",
+    # bounds
+    "FaultTreeBounds",
+    "esary_proschan_bounds",
+    "truncated_cutset_bounds",
+    # common-cause failures
+    "beta_factor_split",
+    "redundant_group_with_ccf",
+    # importance
+    "ImportanceRow",
+    "birnbaum",
+    "criticality",
+    "fussell_vesely",
+    "risk_achievement_worth",
+    "risk_reduction_worth",
+    "importance_table",
+]

@@ -1,0 +1,366 @@
+"""Reduced ordered binary decision diagrams (ROBDD).
+
+The BDD is the production engine for exact fault-tree and reliability-graph
+quantification with repeated events (system S4 in DESIGN.md).  The
+implementation is a classic hash-consed node store with memoized ``ite``;
+probability evaluation is a single memoized bottom-up pass, so the cost of
+computing top-event probability is linear in BDD size — the property that
+lets non-state-space methods scale to hundreds of components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ModelDefinitionError
+
+__all__ = ["BDD", "TERMINAL_ZERO", "TERMINAL_ONE"]
+
+#: Node id of the constant-false terminal.
+TERMINAL_ZERO = 0
+#: Node id of the constant-true terminal.
+TERMINAL_ONE = 1
+
+
+class BDD:
+    """A shared ROBDD manager over a fixed variable order.
+
+    Nodes are integers; ``0`` and ``1`` are the terminals.  Non-terminal
+    node ``n`` has a level (index into the variable order), a ``low`` child
+    (variable false) and a ``high`` child (variable true).
+
+    Parameters
+    ----------
+    var_order:
+        Variable names, outermost (root-most) first.  Quantification cost
+        is highly order-sensitive; callers with structural knowledge (e.g.
+        fault trees) should pass a DFS order of basic events.
+
+    Examples
+    --------
+    >>> mgr = BDD(["a", "b"])
+    >>> f = mgr.apply_or(mgr.var("a"), mgr.var("b"))
+    >>> mgr.prob(f, {"a": 0.1, "b": 0.2})
+    0.28
+    """
+
+    def __init__(self, var_order: Sequence[str]):
+        if len(set(var_order)) != len(var_order):
+            raise ModelDefinitionError("BDD variable order contains duplicates")
+        self._order: Tuple[str, ...] = tuple(var_order)
+        self._level_of: Dict[str, int] = {name: i for i, name in enumerate(self._order)}
+        # node id -> (level, low, high); terminals are implicit
+        self._nodes: List[Tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------ basics
+    @property
+    def var_order(self) -> Tuple[str, ...]:
+        """The variable order this manager was created with."""
+        return self._order
+
+    def __len__(self) -> int:
+        """Total number of allocated nodes, including the two terminals."""
+        return len(self._nodes)
+
+    def level(self, node: int) -> int:
+        """Level of ``node`` (terminals report one past the last level)."""
+        if node in (TERMINAL_ZERO, TERMINAL_ONE):
+            return len(self._order)
+        return self._nodes[node][0]
+
+    def children(self, node: int) -> Tuple[int, int]:
+        """(low, high) children of a non-terminal node."""
+        level, low, high = self._nodes[node]
+        if level < 0:
+            raise ModelDefinitionError("terminals have no children")
+        return low, high
+
+    def var_at(self, node: int) -> str:
+        """Variable name tested at a non-terminal node."""
+        return self._order[self.level(node)]
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        node = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> int:
+        """BDD for the single-variable function ``name``."""
+        try:
+            level = self._level_of[name]
+        except KeyError:
+            raise ModelDefinitionError(f"unknown BDD variable: {name!r}") from None
+        return self._mk(level, TERMINAL_ZERO, TERMINAL_ONE)
+
+    def nvar(self, name: str) -> int:
+        """BDD for the negated single-variable function ``not name``."""
+        level = self._level_of.get(name)
+        if level is None:
+            raise ModelDefinitionError(f"unknown BDD variable: {name!r}")
+        return self._mk(level, TERMINAL_ONE, TERMINAL_ZERO)
+
+    # ------------------------------------------------------------ algebra
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: the function ``f ? g : h``.
+
+        All boolean connectives reduce to ``ite``; results are memoized in
+        a manager-wide cache.
+        """
+        if f == TERMINAL_ONE:
+            return g
+        if f == TERMINAL_ZERO:
+            return h
+        if g == h:
+            return g
+        if g == TERMINAL_ONE and h == TERMINAL_ZERO:
+            return f
+        key = (f, g, h)
+        found = self._ite_cache.get(key)
+        if found is not None:
+            return found
+        top = min(self.level(f), self.level(g), self.level(h))
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        if self.level(node) != level:
+            return node, node
+        _, low, high = self._nodes[node]
+        return low, high
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction ``f AND g``."""
+        return self.ite(f, g, TERMINAL_ZERO)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction ``f OR g``."""
+        return self.ite(f, TERMINAL_ONE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive-or ``f XOR g``."""
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_not(self, f: int) -> int:
+        """Negation ``NOT f``."""
+        return self.ite(f, TERMINAL_ZERO, TERMINAL_ONE)
+
+    def conjoin(self, nodes: Iterable[int]) -> int:
+        """AND of an iterable of BDD nodes (1 for an empty iterable)."""
+        acc = TERMINAL_ONE
+        for node in nodes:
+            acc = self.apply_and(acc, node)
+            if acc == TERMINAL_ZERO:
+                return acc
+        return acc
+
+    def disjoin(self, nodes: Iterable[int]) -> int:
+        """OR of an iterable of BDD nodes (0 for an empty iterable)."""
+        acc = TERMINAL_ZERO
+        for node in nodes:
+            acc = self.apply_or(acc, node)
+            if acc == TERMINAL_ONE:
+                return acc
+        return acc
+
+    def at_least_k(self, names: Sequence[str], k: int) -> int:
+        """BDD for "at least ``k`` of ``names`` are true" (k-of-n gate).
+
+        Built by dynamic programming over the counting lattice, giving a
+        polynomially sized BDD rather than expanding all combinations.
+        """
+        n = len(names)
+        if k <= 0:
+            return TERMINAL_ONE
+        if k > n:
+            return TERMINAL_ZERO
+        ordered = sorted(names, key=lambda v: self._level_of[v])
+        # row[j] = BDD for "at least j of the remaining variables", built
+        # from the innermost variable outwards.
+        row = [TERMINAL_ONE] + [TERMINAL_ZERO] * k
+        for name in reversed(ordered):
+            var_node = self.var(name)
+            new_row = [TERMINAL_ONE]
+            for j in range(1, k + 1):
+                new_row.append(self.ite(var_node, row[j - 1], row[j]))
+            row = new_row
+        return row[k]
+
+    def negate_variables(self, node: int) -> int:
+        """The function ``f(¬x1, ..., ¬xn)`` (every input complemented).
+
+        Implemented by swapping low/high children throughout, which keeps
+        the variable order intact.  Combined with :meth:`apply_not` this
+        gives the dual structure function, the bridge between path sets
+        and cut sets of coherent systems.
+        """
+        cache: Dict[int, int] = {TERMINAL_ZERO: TERMINAL_ZERO, TERMINAL_ONE: TERMINAL_ONE}
+
+        def walk(n: int) -> int:
+            found = cache.get(n)
+            if found is not None:
+                return found
+            level, low, high = self._nodes[n]
+            result = self._mk(level, walk(high), walk(low))
+            cache[n] = result
+            return result
+
+        return walk(node)
+
+    def dual(self, node: int) -> int:
+        """Dual function ``¬f(¬x)``.
+
+        For a coherent structure function over "component failed"
+        variables, the prime implicants of the dual are the minimal path
+        sets, and vice versa.
+        """
+        return self.apply_not(self.negate_variables(node))
+
+    def restrict(self, node: int, name: str, value: bool) -> int:
+        """Cofactor of ``node`` with variable ``name`` fixed to ``value``."""
+        level = self._level_of.get(name)
+        if level is None:
+            raise ModelDefinitionError(f"unknown BDD variable: {name!r}")
+        cache: Dict[int, int] = {}
+
+        def walk(n: int) -> int:
+            if self.level(n) > level:
+                return n
+            found = cache.get(n)
+            if found is not None:
+                return found
+            lvl, low, high = self._nodes[n]
+            if lvl == level:
+                result = high if value else low
+            else:
+                result = self._mk(lvl, walk(low), walk(high))
+            cache[n] = result
+            return result
+
+        return walk(node)
+
+    # -------------------------------------------------------- evaluation
+    def prob(self, node: int, probs: Mapping[str, float]) -> float:
+        """Probability that the function is true.
+
+        ``probs[name]`` is the marginal probability that variable ``name``
+        is true; variables are assumed statistically independent (the
+        defining assumption of non-state-space methods).
+        """
+        missing = [v for v in self.support(node) if v not in probs]
+        if missing:
+            raise ModelDefinitionError(f"missing probabilities for variables: {missing}")
+        cache: Dict[int, float] = {TERMINAL_ZERO: 0.0, TERMINAL_ONE: 1.0}
+
+        def walk(n: int) -> float:
+            found = cache.get(n)
+            if found is not None:
+                return found
+            level, low, high = self._nodes[n]
+            p = float(probs[self._order[level]])
+            value = (1.0 - p) * walk(low) + p * walk(high)
+            cache[n] = value
+            return value
+
+        return walk(node)
+
+    def evaluate(self, node: int, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate the function on a full (or sufficient) boolean assignment."""
+        n = node
+        while n not in (TERMINAL_ZERO, TERMINAL_ONE):
+            level, low, high = self._nodes[n]
+            name = self._order[level]
+            if name not in assignment:
+                raise ModelDefinitionError(f"assignment missing variable {name!r}")
+            n = high if assignment[name] else low
+        return n == TERMINAL_ONE
+
+    def support(self, node: int) -> List[str]:
+        """Variables the function actually depends on, in order."""
+        seen_levels = set()
+        visited = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in (TERMINAL_ZERO, TERMINAL_ONE) or n in visited:
+                continue
+            visited.add(n)
+            level, low, high = self._nodes[n]
+            seen_levels.add(level)
+            stack.append(low)
+            stack.append(high)
+        return [self._order[lvl] for lvl in sorted(seen_levels)]
+
+    def count_nodes(self, node: int) -> int:
+        """Number of distinct non-terminal nodes reachable from ``node``."""
+        visited = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in (TERMINAL_ZERO, TERMINAL_ONE) or n in visited:
+                continue
+            visited.add(n)
+            _, low, high = self._nodes[n]
+            stack.append(low)
+            stack.append(high)
+        return len(visited)
+
+    def minimal_cut_sets(self, node: int, limit: Optional[int] = None) -> List[FrozenSet[str]]:
+        """Minimal cut sets (prime implicants of a coherent function).
+
+        Valid for *coherent* structure functions (monotone increasing in
+        every variable), which covers fault trees without NOT gates.
+
+        The computation is the classical recursive minimal-solutions
+        algorithm on the BDD: at each node, the minimal sets are the
+        low-branch minimal sets plus those high-branch minimal sets (with
+        the node's variable added) not absorbed by a low-branch set.
+        Memoization over shared nodes makes the cost output-sensitive
+        rather than path-count-sensitive.
+
+        Parameters
+        ----------
+        node:
+            Root of the function.
+        limit:
+            Optional cap on the number of cut sets *returned* (smallest
+            first); enumeration itself is not truncated.
+        """
+        cache: Dict[int, List[FrozenSet[str]]] = {
+            TERMINAL_ZERO: [],
+            TERMINAL_ONE: [frozenset()],
+        }
+
+        def walk(n: int) -> List[FrozenSet[str]]:
+            found = cache.get(n)
+            if found is not None:
+                return found
+            level, low, high = self._nodes[n]
+            name = self._order[level]
+            m_low = walk(low)
+            m_high = walk(high)
+            result = list(m_low)
+            for cut in m_high:
+                # cut ∪ {name} is minimal unless some low set already
+                # covers it (low sets never contain `name`).
+                if not any(s <= cut for s in m_low):
+                    result.append(cut | {name})
+            cache[n] = result
+            return result
+
+        sets = sorted(walk(node), key=lambda s: (len(s), sorted(s)))
+        return sets[:limit] if limit is not None else sets

@@ -1,0 +1,149 @@
+"""Common-cause failures: the beta-factor model (system S3 extension).
+
+Redundancy math collapses when the replicas can fail *together* — a
+shared power feed, a bad firmware push, a cooling loss.  The standard
+engineering treatment is the **beta-factor model**: a fraction ``β`` of
+each component's failure rate is attributed to a common cause that takes
+out the whole group at once.
+
+This module rewrites a redundant group of components into the equivalent
+independent structure: each component keeps an *independent* failure
+mode at rate ``(1-β)λ``, and one extra *common-cause* basic event at
+rate ``βλ`` is OR-ed above the group.  The transformation works on both
+fixed-probability and rate-based components, so it composes with every
+non-state-space model in the library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .._validation import check_probability
+from ..distributions import Exponential
+from ..exceptions import ModelDefinitionError
+from .components import Component
+from .faulttree import AndGate, BasicEvent, FTNode, KofNGate, OrGate
+
+__all__ = ["beta_factor_split", "redundant_group_with_ccf"]
+
+
+def beta_factor_split(
+    component: Component, beta: float, ccf_name: Optional[str] = None
+) -> Tuple[Component, Component]:
+    """Split a component into (independent part, common-cause part).
+
+    Parameters
+    ----------
+    component:
+        An exponential-rate or fixed-probability component.
+    beta:
+        Fraction of the failure intensity attributed to the common cause
+        (0 <= β <= 1; β = 0.05–0.1 is the usual assumption for similar
+        redundant hardware).
+    ccf_name:
+        Name of the generated common-cause component (defaults to
+        ``"<name>_ccf"``).
+
+    Returns
+    -------
+    ``(independent, common)`` components.  For rate-based components the
+    rates split as ``(1-β)λ`` / ``βλ`` (repair carried over); for
+    fixed-probability components the unreliability splits as
+    ``1-(1-q)^(1-β)`` / ``1-(1-q)^β`` so the series combination restores
+    the original probability exactly.
+    """
+    beta = check_probability(beta, "beta")
+    name = ccf_name or f"{component.name}_ccf"
+    if component.probability is not None:
+        q = component.probability
+        independent = Component.fixed(component.name, 1.0 - (1.0 - q) ** (1.0 - beta))
+        common = Component.fixed(name, 1.0 - (1.0 - q) ** beta)
+        return independent, common
+    if not isinstance(component.failure, Exponential):
+        raise ModelDefinitionError(
+            "beta-factor split needs exponential failures or fixed probabilities"
+        )
+    lam = component.failure.rate
+    if beta < 1.0:
+        independent = Component(
+            component.name,
+            failure=Exponential((1.0 - beta) * lam),
+            repair=component.repair,
+        )
+    else:
+        independent = Component(component.name, probability=0.0)
+    if beta > 0.0:
+        common = Component(
+            name, failure=Exponential(beta * lam), repair=component.repair
+        )
+    else:
+        common = Component(name, probability=0.0)
+    return independent, common
+
+
+def redundant_group_with_ccf(
+    components: Sequence[Component],
+    k_failures_to_fail: int,
+    beta: float,
+    ccf_name: str = "common_cause",
+) -> FTNode:
+    """Fault-tree node for a redundant group under the beta-factor model.
+
+    The group fails when ``k_failures_to_fail`` of its members fail
+    independently **or** the common-cause event occurs.
+
+    Parameters
+    ----------
+    components:
+        The redundant members (exponential or fixed-probability, all with
+        the same parameters in the classical model; heterogeneous members
+        are allowed and each is split with the same β).
+    k_failures_to_fail:
+        Number of member failures that down the group (e.g. 2 for a
+        1-out-of-2 redundant pair).
+    beta:
+        Common-cause fraction.
+    ccf_name:
+        Basic-event name of the common cause.  The common-cause rate is
+        taken from the *first* member's split (the classical model assumes
+        identical members).
+
+    Returns
+    -------
+    A fault-tree node: ``OR(KofN(k, independents), ccf_event)``.
+
+    Examples
+    --------
+    >>> from repro.nonstate import Component, FaultTree
+    >>> pair = [Component.fixed("a", 0.01), Component.fixed("b", 0.01)]
+    >>> node = redundant_group_with_ccf(pair, k_failures_to_fail=2, beta=0.1)
+    >>> tree = FaultTree(node)
+    >>> tree.top_event_probability() > 0.01 * 0.01   # CCF dominates q^2
+    True
+    """
+    if not components:
+        raise ModelDefinitionError("redundant group must not be empty")
+    if not 1 <= k_failures_to_fail <= len(components):
+        raise ModelDefinitionError(
+            f"need 1 <= k <= {len(components)}, got {k_failures_to_fail}"
+        )
+    beta = check_probability(beta, "beta")
+
+    independents: List[BasicEvent] = []
+    common_component: Optional[Component] = None
+    for idx, comp in enumerate(components):
+        indep, common = beta_factor_split(comp, beta, ccf_name=ccf_name)
+        independents.append(BasicEvent(indep))
+        if idx == 0:
+            common_component = common
+
+    if k_failures_to_fail == len(components):
+        group: FTNode = AndGate(independents)
+    elif k_failures_to_fail == 1:
+        group = OrGate(independents)
+    else:
+        group = KofNGate(k_failures_to_fail, independents)
+
+    if beta == 0.0:
+        return group
+    return OrGate([group, BasicEvent(common_component)])

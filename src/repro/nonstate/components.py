@@ -1,0 +1,193 @@
+"""Basic components for non-state-space models.
+
+A :class:`Component` is the atomic unit of RBDs, fault trees and
+reliability graphs.  It carries enough information to answer the three
+questions the structural models ask of it:
+
+* probability of being failed at mission time ``t`` (no repair) —
+  drives system *reliability*;
+* steady-state unavailability (failure/repair pair) — drives system
+  *steady-state availability*;
+* instantaneous unavailability at time ``t`` — drives *point
+  availability* (closed form for the exponential/exponential case).
+
+The statistical-independence assumption across components is what makes
+these models "non-state-space": each component is summarized by a single
+marginal probability, never by joint state.
+"""
+
+from __future__ import annotations
+
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .._validation import check_positive, check_probability
+from ..distributions import Exponential, LifetimeDistribution
+from ..exceptions import ModelDefinitionError
+
+__all__ = ["Component"]
+
+
+class Component:
+    """A named basic component / basic event.
+
+    Exactly one of the following parameterizations must be supplied:
+
+    * ``probability`` — a fixed, time-independent failure probability
+      (classic fault-tree basic event);
+    * ``failure`` — a time-to-failure distribution (reliability analysis);
+    * ``failure`` and ``repair`` — both distributions (availability
+      analysis; steady state uses only the means).
+
+    Examples
+    --------
+    >>> from repro.distributions import Exponential
+    >>> c = Component("cpu", failure=Exponential(rate=1e-4), repair=Exponential(rate=0.5))
+    >>> round(c.steady_state_availability(), 6)
+    0.9998
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure: Optional[LifetimeDistribution] = None,
+        repair: Optional[LifetimeDistribution] = None,
+        probability: Optional[float] = None,
+    ):
+        if not name:
+            raise ModelDefinitionError("component name must be non-empty")
+        if probability is None and failure is None:
+            raise ModelDefinitionError(
+                f"component {name!r} needs a failure distribution or a fixed probability"
+            )
+        if probability is not None and failure is not None:
+            raise ModelDefinitionError(
+                f"component {name!r}: give either a probability or distributions, not both"
+            )
+        if repair is not None and failure is None:
+            raise ModelDefinitionError(f"component {name!r}: repair given without failure")
+        self.name = str(name)
+        self.failure = failure
+        self.repair = repair
+        self.probability = None if probability is None else check_probability(probability)
+
+    # --------------------------------------------------------- constructors
+    @classmethod
+    def from_rates(
+        cls, name: str, failure_rate: float, repair_rate: Optional[float] = None
+    ) -> "Component":
+        """Exponential component from a failure rate and optional repair rate."""
+        failure = Exponential(rate=check_positive(failure_rate, "failure_rate"))
+        repair = None
+        if repair_rate is not None:
+            repair = Exponential(rate=check_positive(repair_rate, "repair_rate"))
+        return cls(name, failure=failure, repair=repair)
+
+    @classmethod
+    def from_mttf_mttr(cls, name: str, mttf: float, mttr: Optional[float] = None) -> "Component":
+        """Exponential component from MTTF (hours) and optional MTTR."""
+        repair_rate = None if mttr is None else 1.0 / check_positive(mttr, "mttr")
+        return cls.from_rates(name, 1.0 / check_positive(mttf, "mttf"), repair_rate)
+
+    @classmethod
+    def fixed(cls, name: str, probability: float) -> "Component":
+        """Component with a fixed failure probability (basic event)."""
+        return cls(name, probability=probability)
+
+    # --------------------------------------------------------- reliability
+    def reliability(self, t):
+        """Probability the component has not failed by time ``t`` (no repair)."""
+        if self.probability is not None:
+            t = np.asarray(t, dtype=float)
+            out = np.full_like(t, 1.0 - self.probability, dtype=float)
+            return out if out.ndim else float(out)
+        return self.failure.sf(t)
+
+    def unreliability(self, t):
+        """``1 - reliability(t)``."""
+        return 1.0 - np.asarray(self.reliability(t))
+
+    def mttf(self) -> float:
+        """Mean time to failure of the component."""
+        if self.failure is None:
+            raise ModelDefinitionError(
+                f"component {self.name!r} has a fixed probability, not a lifetime"
+            )
+        return self.failure.mean()
+
+    # -------------------------------------------------------- availability
+    def steady_state_availability(self) -> float:
+        """``MTTF / (MTTF + MTTR)``, or ``1 - probability`` for fixed components.
+
+        A component with a failure distribution but no repair is never
+        restored, so its steady-state availability is zero.
+        """
+        if self.probability is not None:
+            return 1.0 - self.probability
+        if self.repair is None:
+            return 0.0
+        mttf = self.failure.mean()
+        mttr = self.repair.mean()
+        return mttf / (mttf + mttr)
+
+    def steady_state_unavailability(self) -> float:
+        """``1 - steady_state_availability()``."""
+        return 1.0 - self.steady_state_availability()
+
+    def availability(self, t):
+        """Instantaneous availability ``A(t)``.
+
+        Closed form for exponential failure & repair; fixed-probability
+        components report the constant ``1 - probability``.  Other
+        distribution pairs require state-space or simulation treatment and
+        raise :class:`ModelDefinitionError`.
+        """
+        if self.probability is not None:
+            t = np.asarray(t, dtype=float)
+            out = np.full_like(t, 1.0 - self.probability, dtype=float)
+            return out if out.ndim else float(out)
+        if self.repair is None:
+            return self.reliability(t)
+        if isinstance(self.failure, Exponential) and isinstance(self.repair, Exponential):
+            lam, mu = self.failure.rate, self.repair.rate
+            t = np.asarray(t, dtype=float)
+            out = mu / (lam + mu) + (lam / (lam + mu)) * np.exp(-(lam + mu) * t)
+            return out if out.ndim else float(out)
+        raise ModelDefinitionError(
+            f"component {self.name!r}: instantaneous availability has a closed form only "
+            "for exponential failure/repair; use an SMP or the simulator instead"
+        )
+
+    def unavailability(self, t):
+        """``1 - availability(t)``."""
+        return 1.0 - np.asarray(self.availability(t))
+
+    # --------------------------------------------------------------- misc
+    def failure_probability(self, t: Optional[float], measure: str = "reliability") -> float:
+        """Marginal failure probability under the requested measure.
+
+        ``measure`` is one of ``"reliability"`` (needs ``t``),
+        ``"availability"`` (instantaneous, needs ``t``) or ``"steady"``.
+        This is the single hook the structural models call.
+        """
+        if measure == "steady":
+            return self.steady_state_unavailability()
+        if t is None:
+            raise ModelDefinitionError(f"measure {measure!r} requires a mission time")
+        if measure == "reliability":
+            return float(np.asarray(self.unreliability(t)))
+        if measure == "availability":
+            return float(np.asarray(self.unavailability(t)))
+        raise ModelDefinitionError(f"unknown measure {measure!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [repr(self.name)]
+        if self.probability is not None:
+            parts.append(f"probability={self.probability}")
+        if self.failure is not None:
+            parts.append(f"failure={self.failure!r}")
+        if self.repair is not None:
+            parts.append(f"repair={self.repair!r}")
+        return f"Component({', '.join(parts)})"

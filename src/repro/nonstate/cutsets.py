@@ -1,0 +1,206 @@
+"""Cut-set algebra: minimization, inclusion–exclusion, disjoint products.
+
+These are the classical quantification routines that predate BDDs.  The
+library keeps them for three reasons: they are the vocabulary of the
+bounding algorithms (truncated inclusion–exclusion is exactly the Boeing
+787 technique), the sum-of-disjoint-products (SDP) form is a useful exact
+cross-check of the BDD engine, and the rare-event approximation is what
+practitioners quote.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from ..exceptions import ModelDefinitionError
+
+__all__ = [
+    "minimize_cut_sets",
+    "inclusion_exclusion",
+    "truncated_inclusion_exclusion",
+    "rare_event_approximation",
+    "min_cut_upper_bound",
+    "sum_of_disjoint_products",
+    "disjoint_products_probability",
+]
+
+CutSet = FrozenSet[str]
+
+
+def minimize_cut_sets(cut_sets: Iterable[Iterable[str]]) -> List[CutSet]:
+    """Remove non-minimal (absorbed) cut sets.
+
+    A cut set is absorbed when some other cut set is a subset of it.
+    Returns cut sets sorted by (size, lexicographic) for determinism.
+    """
+    frozen = sorted({frozenset(cs) for cs in cut_sets}, key=len)
+    minimal: List[CutSet] = []
+    for cs in frozen:
+        if not cs:
+            return [frozenset()]
+        if not any(existing <= cs for existing in minimal):
+            minimal.append(cs)
+    return sorted(minimal, key=lambda s: (len(s), sorted(s)))
+
+
+def _cut_probability(cut: CutSet, q: Mapping[str, float]) -> float:
+    prob = 1.0
+    for event in cut:
+        prob *= float(q[event])
+    return prob
+
+
+def _check_events(cut_sets: Sequence[CutSet], q: Mapping[str, float]) -> None:
+    missing = sorted({e for cs in cut_sets for e in cs if e not in q})
+    if missing:
+        raise ModelDefinitionError(f"missing event probabilities: {missing}")
+
+
+def inclusion_exclusion(cut_sets: Sequence[Iterable[str]], q: Mapping[str, float]) -> float:
+    """Exact top-event probability by full inclusion–exclusion.
+
+    Exponential in the number of cut sets — usable only as a small-model
+    oracle (the point the tutorial makes before introducing SDP/BDD).
+    """
+    sets = [frozenset(cs) for cs in cut_sets]
+    _check_events(sets, q)
+    total = 0.0
+    for r in range(1, len(sets) + 1):
+        sign = 1.0 if r % 2 == 1 else -1.0
+        for combo in itertools.combinations(sets, r):
+            union: CutSet = frozenset().union(*combo)
+            total += sign * _cut_probability(union, q)
+    return total
+
+
+def truncated_inclusion_exclusion(
+    cut_sets: Sequence[Iterable[str]], q: Mapping[str, float], depth: int
+) -> Tuple[float, float]:
+    """Bonferroni bounds from inclusion–exclusion truncated at ``depth`` terms.
+
+    Returns ``(lower, upper)``.  Odd partial sums over-estimate and even
+    partial sums under-estimate, so truncating after an odd/even number of
+    levels yields an upper/lower bound respectively; both converge to the
+    exact value as ``depth`` grows.  This is the bounding technique used
+    for the Boeing 787 subsystem model.
+
+    Parameters
+    ----------
+    depth:
+        Number of inclusion–exclusion levels to evaluate (>= 1).
+    """
+    sets = [frozenset(cs) for cs in cut_sets]
+    _check_events(sets, q)
+    if depth < 1:
+        raise ModelDefinitionError(f"depth must be >= 1, got {depth}")
+    depth = min(depth, len(sets))
+    partial = 0.0
+    upper = 1.0
+    lower = 0.0
+    for r in range(1, depth + 1):
+        sign = 1.0 if r % 2 == 1 else -1.0
+        level = 0.0
+        for combo in itertools.combinations(sets, r):
+            union: CutSet = frozenset().union(*combo)
+            level += _cut_probability(union, q)
+        partial += sign * level
+        if r % 2 == 1:
+            upper = min(upper, partial)
+        else:
+            lower = max(lower, partial)
+    if depth == len(sets):
+        # Exact: collapse the bracket.
+        lower = upper = partial
+    lower = max(lower, 0.0)
+    upper = min(upper, 1.0)
+    return lower, upper
+
+
+def rare_event_approximation(cut_sets: Sequence[Iterable[str]], q: Mapping[str, float]) -> float:
+    """First-order approximation: sum of cut-set probabilities.
+
+    Coincides with the depth-1 Bonferroni upper bound; accurate when all
+    event probabilities are small (the "rare event" regime of high-
+    reliability systems).
+    """
+    sets = [frozenset(cs) for cs in cut_sets]
+    _check_events(sets, q)
+    return sum(_cut_probability(cs, q) for cs in sets)
+
+
+def min_cut_upper_bound(cut_sets: Sequence[Iterable[str]], q: Mapping[str, float]) -> float:
+    """Esary–Proschan upper bound on top-event probability.
+
+    ``1 - Π_j (1 - P[cut_j])`` — exact when cut sets are disjoint, an
+    upper bound for coherent systems with independent components.
+    """
+    sets = [frozenset(cs) for cs in cut_sets]
+    _check_events(sets, q)
+    prod = 1.0
+    for cs in sets:
+        prod *= 1.0 - _cut_probability(cs, q)
+    return 1.0 - prod
+
+
+def sum_of_disjoint_products(
+    cut_sets: Sequence[Iterable[str]],
+) -> List[Tuple[CutSet, CutSet]]:
+    """Abraham-style sum of disjoint products.
+
+    Rewrites the union of cut sets as a disjoint union of product terms.
+    Each returned term is a pair ``(positive, negative)``: the event "all
+    of *positive* failed AND none of *negative* failed".  The term
+    probabilities then simply add up.
+
+    The expansion processes cut sets in (size, lexicographic) order and
+    expands each new cut set against the complement literals of its
+    predecessors, splitting on one missing-or-negated event at a time.
+    """
+    sets = minimize_cut_sets(cut_sets)
+    terms: List[Tuple[CutSet, CutSet]] = []
+    for idx, cs in enumerate(sets):
+        # Start with the raw product, then make it disjoint from all
+        # earlier cut sets.
+        pending: List[Tuple[CutSet, CutSet]] = [(cs, frozenset())]
+        for prev in sets[:idx]:
+            next_pending: List[Tuple[CutSet, CutSet]] = []
+            for pos, neg in pending:
+                overlap_free = prev - pos
+                if not overlap_free:
+                    # prev ⊆ pos: this term is inside an earlier cut set;
+                    # drop it entirely.
+                    continue
+                if overlap_free & neg:
+                    # Already disjoint from prev via an existing negation.
+                    next_pending.append((pos, neg))
+                    continue
+                # Split on the events of prev not yet fixed: term stays if
+                # at least one of them is working.
+                fixed_neg = neg
+                fixed_pos = pos
+                for event in sorted(overlap_free):
+                    next_pending.append((fixed_pos, fixed_neg | {event}))
+                    fixed_pos = fixed_pos | {event}
+                # The branch with all of prev failed is absorbed by prev.
+            pending = next_pending
+        terms.extend(pending)
+    return terms
+
+
+def disjoint_products_probability(
+    terms: Sequence[Tuple[CutSet, CutSet]], q: Mapping[str, float]
+) -> float:
+    """Evaluate a sum-of-disjoint-products expansion.
+
+    ``terms`` is the output of :func:`sum_of_disjoint_products`.
+    """
+    total = 0.0
+    for pos, neg in terms:
+        prob = 1.0
+        for event in pos:
+            prob *= float(q[event])
+        for event in neg:
+            prob *= 1.0 - float(q[event])
+        total += prob
+    return total

@@ -1,0 +1,348 @@
+"""Fault trees (system S3 in DESIGN.md).
+
+A fault tree is a failure-oriented structural model: the *top event*
+(system failure) is a boolean function of *basic events* (component
+failures) built from AND / OR / k-of-n / NOT gates.  Unlike a
+series-parallel RBD, a fault tree routinely *repeats* basic events under
+several gates — the case where naive bottom-up multiplication is wrong
+and the tutorial introduces sum-of-disjoint-products and BDD methods.
+
+Quantification here is BDD-based (exact, repeated events included).  The
+classical alternatives live in :mod:`repro.nonstate.cutsets` and are used
+as oracles and for the bounding algorithms.
+
+Examples
+--------
+>>> from repro.nonstate import BasicEvent, OrGate, AndGate, FaultTree
+>>> a, b, c = BasicEvent.fixed("a", 0.1), BasicEvent.fixed("b", 0.2), BasicEvent.fixed("c", 0.3)
+>>> tree = FaultTree(OrGate([AndGate([a, b]), c]))
+>>> round(tree.top_event_probability(), 6)
+0.314
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.model import DependabilityModel, mttf_from_reliability
+from ..distributions import LifetimeDistribution
+from ..exceptions import ModelDefinitionError
+from .bdd import BDD
+from .components import Component
+from .cutsets import minimize_cut_sets
+
+__all__ = [
+    "FTNode",
+    "BasicEvent",
+    "AndGate",
+    "OrGate",
+    "KofNGate",
+    "NotGate",
+    "FaultTree",
+]
+
+
+class FTNode(abc.ABC):
+    """Abstract fault-tree node."""
+
+    @abc.abstractmethod
+    def basic_events(self) -> List["BasicEvent"]:
+        """All basic-event leaves below this node (with repetitions)."""
+
+    @abc.abstractmethod
+    def to_bdd(self, manager: BDD) -> int:
+        """Failure function as a BDD over "event occurred" variables."""
+
+    @abc.abstractmethod
+    def is_coherent(self) -> bool:
+        """True when no NOT gate occurs in this subtree."""
+
+
+class BasicEvent(FTNode):
+    """A basic event: the failure of one component.
+
+    Wraps a :class:`~repro.nonstate.components.Component`; the event
+    "occurs" exactly when the component is failed under the measure being
+    evaluated (mission reliability, point availability or steady state).
+    """
+
+    def __init__(self, component: Component):
+        self.component = component
+
+    @classmethod
+    def fixed(cls, name: str, probability: float) -> "BasicEvent":
+        """Basic event with a fixed occurrence probability."""
+        return cls(Component.fixed(name, probability))
+
+    @classmethod
+    def from_rates(
+        cls, name: str, failure_rate: float, repair_rate: Optional[float] = None
+    ) -> "BasicEvent":
+        """Basic event for an exponential component."""
+        return cls(Component.from_rates(name, failure_rate, repair_rate))
+
+    @classmethod
+    def from_distribution(
+        cls,
+        name: str,
+        failure: LifetimeDistribution,
+        repair: Optional[LifetimeDistribution] = None,
+    ) -> "BasicEvent":
+        """Basic event with explicit lifetime (and optional repair) distributions."""
+        return cls(Component(name, failure=failure, repair=repair))
+
+    @property
+    def name(self) -> str:
+        return self.component.name
+
+    def basic_events(self) -> List["BasicEvent"]:
+        return [self]
+
+    def to_bdd(self, manager: BDD) -> int:
+        return manager.var(self.name)
+
+    def is_coherent(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BasicEvent({self.name!r})"
+
+
+class _GateBase(FTNode):
+    def __init__(self, children: Sequence[FTNode], minimum: int = 1):
+        if len(children) < minimum:
+            raise ModelDefinitionError(
+                f"{type(self).__name__} needs at least {minimum} child(ren), got {len(children)}"
+            )
+        for child in children:
+            if not isinstance(child, FTNode):
+                raise ModelDefinitionError(
+                    f"gate children must be fault-tree nodes, got {type(child).__name__}"
+                )
+        self.children = list(children)
+
+    def basic_events(self) -> List[BasicEvent]:
+        return [e for child in self.children for e in child.basic_events()]
+
+    def is_coherent(self) -> bool:
+        return all(child.is_coherent() for child in self.children)
+
+
+class AndGate(_GateBase):
+    """Output occurs iff *all* inputs occur (redundancy: all must fail)."""
+
+    def to_bdd(self, manager: BDD) -> int:
+        return manager.conjoin(child.to_bdd(manager) for child in self.children)
+
+
+class OrGate(_GateBase):
+    """Output occurs iff *any* input occurs (series: one failure suffices)."""
+
+    def to_bdd(self, manager: BDD) -> int:
+        return manager.disjoin(child.to_bdd(manager) for child in self.children)
+
+
+class KofNGate(_GateBase):
+    """Output occurs iff at least ``k`` of the inputs occur.
+
+    Note the failure-space convention: a "2-of-3 good" redundant subsystem
+    fails when 2 of 3 components fail, i.e. ``KofNGate(k=2, children=3)``.
+    """
+
+    def __init__(self, k: int, children: Sequence[FTNode]):
+        super().__init__(children)
+        if not 1 <= k <= len(children):
+            raise ModelDefinitionError(f"need 1 <= k <= n, got k={k}, n={len(children)}")
+        self.k = int(k)
+
+    def to_bdd(self, manager: BDD) -> int:
+        if all(isinstance(c, BasicEvent) for c in self.children):
+            names = [c.name for c in self.children]
+            if len(set(names)) == len(names):
+                return manager.at_least_k(names, self.k)
+        nodes = [c.to_bdd(manager) for c in self.children]
+        return manager.disjoin(
+            manager.conjoin(nodes[i] for i in subset)
+            for subset in itertools.combinations(range(len(nodes)), self.k)
+        )
+
+
+class NotGate(FTNode):
+    """Output occurs iff the input does not (makes the tree non-coherent)."""
+
+    def __init__(self, child: FTNode):
+        if not isinstance(child, FTNode):
+            raise ModelDefinitionError("NOT gate child must be a fault-tree node")
+        self.child = child
+
+    def basic_events(self) -> List[BasicEvent]:
+        return self.child.basic_events()
+
+    def to_bdd(self, manager: BDD) -> int:
+        return manager.apply_not(self.child.to_bdd(manager))
+
+    def is_coherent(self) -> bool:
+        return False
+
+
+class FaultTree(DependabilityModel):
+    """A fault tree with BDD-based exact quantification.
+
+    Parameters
+    ----------
+    top:
+        The top-event node (usually a gate).
+
+    Notes
+    -----
+    The BDD variable order is the depth-first discovery order of basic
+    events, a standard structural heuristic that keeps related events
+    adjacent and BDD sizes small for tree-like models.
+    """
+
+    def __init__(self, top: FTNode):
+        if not isinstance(top, FTNode):
+            raise ModelDefinitionError("top must be a fault-tree node")
+        self.top = top
+        events = top.basic_events()
+        by_name: Dict[str, BasicEvent] = {}
+        for event in events:
+            existing = by_name.get(event.name)
+            if existing is not None and existing.component is not event.component:
+                raise ModelDefinitionError(
+                    f"two distinct components share the basic-event name {event.name!r}"
+                )
+            by_name[event.name] = event
+        self._events = by_name
+        self._order = list(dict.fromkeys(e.name for e in events))
+        self._bdd: Optional[BDD] = None
+        self._bdd_top: Optional[int] = None
+
+    # ------------------------------------------------------------- access
+    @property
+    def basic_events(self) -> Dict[str, BasicEvent]:
+        """Mapping of basic-event name to event."""
+        return dict(self._events)
+
+    @property
+    def is_coherent(self) -> bool:
+        """True when the tree has no NOT gates."""
+        return self.top.is_coherent()
+
+    def _ensure_bdd(self) -> "tuple[BDD, int]":
+        if self._bdd is None:
+            self._bdd = BDD(self._order)
+            self._bdd_top = self.top.to_bdd(self._bdd)
+        return self._bdd, self._bdd_top
+
+    def bdd_size(self) -> int:
+        """Number of BDD nodes in the compiled top-event function."""
+        manager, node = self._ensure_bdd()
+        return manager.count_nodes(node)
+
+    # --------------------------------------------------------- evaluation
+    def top_event_probability(self, q: Optional[Mapping[str, float]] = None) -> float:
+        """Exact top-event probability.
+
+        Parameters
+        ----------
+        q:
+            Event occurrence probabilities by name.  When omitted, each
+            basic event must wrap a fixed-probability component and those
+            probabilities are used.
+        """
+        manager, node = self._ensure_bdd()
+        if q is None:
+            q = {}
+            for name, event in self._events.items():
+                if event.component.probability is None:
+                    raise ModelDefinitionError(
+                        f"basic event {name!r} has no fixed probability; pass q explicitly"
+                    )
+                q[name] = event.component.probability
+        return manager.prob(node, q)
+
+    def _event_q(self, t, measure: str) -> Dict[str, float]:
+        return {
+            name: event.component.failure_probability(t, measure)
+            for name, event in self._events.items()
+        }
+
+    def reliability(self, t):
+        """Mission reliability: probability the top event has not occurred by ``t``."""
+        scalar = np.isscalar(t)
+        ts = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.array([1.0 - self.top_event_probability(self._event_q(ti, "reliability")) for ti in ts])
+        return float(out[0]) if scalar else out
+
+    def availability(self, t):
+        """Instantaneous availability: top event evaluated on point unavailabilities."""
+        scalar = np.isscalar(t)
+        ts = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.array(
+            [1.0 - self.top_event_probability(self._event_q(ti, "availability")) for ti in ts]
+        )
+        return float(out[0]) if scalar else out
+
+    def steady_state_availability(self) -> float:
+        """Steady-state availability from component MTTF/MTTR pairs."""
+        return 1.0 - self.top_event_probability(self._event_q(None, "steady"))
+
+    def mttf(self) -> float:
+        """System mean time to failure."""
+        return mttf_from_reliability(lambda t: float(np.asarray(self.reliability(t))))
+
+    # ---------------------------------------------------------- structure
+    def minimal_cut_sets(self, limit: Optional[int] = None) -> List[FrozenSet[str]]:
+        """Minimal cut sets of the top event (coherent trees only)."""
+        if not self.is_coherent:
+            raise ModelDefinitionError("minimal cut sets require a coherent tree (no NOT gates)")
+        manager, node = self._ensure_bdd()
+        return manager.minimal_cut_sets(node, limit=limit)
+
+    def minimal_path_sets(self) -> List[FrozenSet[str]]:
+        """Minimal path sets (sets of components whose survival keeps the system up)."""
+        if not self.is_coherent:
+            raise ModelDefinitionError("minimal path sets require a coherent tree")
+        manager, node = self._ensure_bdd()
+        return manager.minimal_cut_sets(manager.dual(node))
+
+    def mocus_cut_sets(self) -> List[FrozenSet[str]]:
+        """Minimal cut sets by the classical MOCUS top-down expansion.
+
+        Kept as an independent oracle for the BDD extraction.  Exponential
+        in the worst case; use :meth:`minimal_cut_sets` in production.
+        """
+        if not self.is_coherent:
+            raise ModelDefinitionError("MOCUS requires a coherent tree")
+
+        def expand(node: FTNode) -> List[FrozenSet[str]]:
+            if isinstance(node, BasicEvent):
+                return [frozenset([node.name])]
+            if isinstance(node, OrGate):
+                out: List[FrozenSet[str]] = []
+                for child in node.children:
+                    out.extend(expand(child))
+                return minimize_cut_sets(out)
+            if isinstance(node, AndGate):
+                acc: List[FrozenSet[str]] = [frozenset()]
+                for child in node.children:
+                    child_sets = expand(child)
+                    acc = [a | b for a in acc for b in child_sets]
+                return minimize_cut_sets(acc)
+            if isinstance(node, KofNGate):
+                out = []
+                for combo in itertools.combinations(node.children, node.k):
+                    acc = [frozenset()]
+                    for child in combo:
+                        child_sets = expand(child)
+                        acc = [a | b for a in acc for b in child_sets]
+                    out.extend(acc)
+                return minimize_cut_sets(out)
+            raise ModelDefinitionError(f"MOCUS cannot expand {type(node).__name__}")
+
+        return expand(self.top)

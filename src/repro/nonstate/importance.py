@@ -1,0 +1,132 @@
+"""Component importance measures (system S7 in DESIGN.md).
+
+Importance measures rank components by how much they matter to system
+failure — the quantitative answer to "where should the next reliability
+dollar go?".  All measures are evaluated exactly through the model's
+top-event probability function, so they are consistent across fault
+trees, RBDs and reliability graphs.
+
+Definitions (``Q`` = top-event probability, ``q_i`` = component failure
+probability, ``Q(q_i := x)`` = top-event probability with component i's
+failure probability forced to x):
+
+* Birnbaum:        ``I_B(i) = Q(q_i := 1) - Q(q_i := 0)`` (= ∂Q/∂q_i)
+* Criticality:     ``I_C(i) = I_B(i) * q_i / Q``
+* Fussell–Vesely:  ``I_FV(i) = (Q - Q(q_i := 0)) / Q``
+* RAW:             ``Q(q_i := 1) / Q`` (risk achievement worth)
+* RRW:             ``Q / Q(q_i := 0)`` (risk reduction worth)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Mapping, NamedTuple
+
+from ..exceptions import ModelDefinitionError
+
+__all__ = [
+    "ImportanceRow",
+    "birnbaum",
+    "criticality",
+    "fussell_vesely",
+    "risk_achievement_worth",
+    "risk_reduction_worth",
+    "importance_table",
+]
+
+TopProbability = Callable[[Mapping[str, float]], float]
+
+
+class ImportanceRow(NamedTuple):
+    """All importance measures for one component."""
+
+    name: str
+    birnbaum: float
+    criticality: float
+    fussell_vesely: float
+    raw: float
+    rrw: float
+
+
+def _conditioned(top: TopProbability, q: Mapping[str, float], name: str, value: float) -> float:
+    if name not in q:
+        raise ModelDefinitionError(f"unknown component {name!r}")
+    modified = dict(q)
+    modified[name] = value
+    return top(modified)
+
+
+def birnbaum(top: TopProbability, q: Mapping[str, float], name: str) -> float:
+    """Birnbaum (marginal) importance of component ``name``."""
+    return _conditioned(top, q, name, 1.0) - _conditioned(top, q, name, 0.0)
+
+
+def criticality(top: TopProbability, q: Mapping[str, float], name: str) -> float:
+    """Criticality importance: Birnbaum scaled by ``q_i / Q``."""
+    q_sys = top(q)
+    if q_sys <= 0.0:
+        return 0.0
+    return birnbaum(top, q, name) * float(q[name]) / q_sys
+
+
+def fussell_vesely(top: TopProbability, q: Mapping[str, float], name: str) -> float:
+    """Fussell–Vesely importance: fraction of risk involving component ``name``."""
+    q_sys = top(q)
+    if q_sys <= 0.0:
+        return 0.0
+    return (q_sys - _conditioned(top, q, name, 0.0)) / q_sys
+
+
+def risk_achievement_worth(top: TopProbability, q: Mapping[str, float], name: str) -> float:
+    """RAW: risk multiplier when the component is assumed always failed."""
+    q_sys = top(q)
+    if q_sys <= 0.0:
+        return math.inf
+    return _conditioned(top, q, name, 1.0) / q_sys
+
+
+def risk_reduction_worth(top: TopProbability, q: Mapping[str, float], name: str) -> float:
+    """RRW: risk divisor when the component is assumed perfect."""
+    q_without = _conditioned(top, q, name, 0.0)
+    q_sys = top(q)
+    if q_without <= 0.0:
+        return math.inf
+    return q_sys / q_without
+
+
+def importance_table(top: TopProbability, q: Mapping[str, float]) -> Dict[str, ImportanceRow]:
+    """All importance measures for every component, ranked computation-ready.
+
+    Parameters
+    ----------
+    top:
+        Top-event probability as a function of the failure-probability
+        assignment — e.g. ``tree.top_event_probability`` for a
+        :class:`~repro.nonstate.faulttree.FaultTree`.
+    q:
+        Base failure probabilities.
+
+    Returns
+    -------
+    dict mapping component name to its :class:`ImportanceRow`.
+
+    Examples
+    --------
+    >>> from repro.nonstate import BasicEvent, OrGate, FaultTree
+    >>> tree = FaultTree(OrGate([BasicEvent.fixed("a", 0.1), BasicEvent.fixed("b", 0.01)]))
+    >>> table = importance_table(tree.top_event_probability, {"a": 0.1, "b": 0.01})
+    >>> table["a"].birnbaum > table["b"].birnbaum
+    True
+    """
+    q_sys = top(q)
+    rows: Dict[str, ImportanceRow] = {}
+    for name in q:
+        with_failed = _conditioned(top, q, name, 1.0)
+        with_perfect = _conditioned(top, q, name, 0.0)
+        birn = with_failed - with_perfect
+        crit = birn * float(q[name]) / q_sys if q_sys > 0 else 0.0
+        fv = (q_sys - with_perfect) / q_sys if q_sys > 0 else 0.0
+        raw = with_failed / q_sys if q_sys > 0 else math.inf
+        rrw = q_sys / with_perfect if with_perfect > 0 else math.inf
+        rows[name] = ImportanceRow(name, birn, crit, fv, raw, rrw)
+    return rows

@@ -1,0 +1,274 @@
+"""Phased-mission system analysis (Zang–Sun–Trivedi BDD method).
+
+A phased mission — launch / cruise / descent, or backup / verify /
+restore — changes its *success criterion* between phases while the same
+components age across all of them.  Independence across phases does NOT
+hold (a component failed in phase 1 stays failed), so multiplying
+per-phase reliabilities is wrong; the tutorial's correct method encodes
+"component c is up at the end of phase i" as a BDD variable and
+evaluates the conjunction of all phase structure functions with
+*conditional* probabilities along each component's timeline.
+
+Assumptions (the classical setting): components do not repair during the
+mission, structure functions are coherent, and component lifetimes are
+independent with arbitrary distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_positive
+from ..exceptions import ModelDefinitionError
+from .bdd import BDD, TERMINAL_ONE, TERMINAL_ZERO
+from .components import Component
+
+__all__ = ["MissionPhase", "PhasedMission"]
+
+#: a phase structure function: maps {component name: up?} to system-up
+StructureFunction = Callable[[Mapping[str, bool]], bool]
+
+
+class PhaseVariables:
+    """Variable accessor handed to phase structure builders.
+
+    Callable — ``v("pump")`` returns the BDD variable "pump up in this
+    phase" — and provides :meth:`at_least_k` for k-of-n structures over
+    component names.
+    """
+
+    def __init__(self, manager: BDD, components, suffix: str):
+        self._manager = manager
+        self._components = components
+        self._suffix = suffix
+
+    def __call__(self, name: str) -> int:
+        if name not in self._components:
+            raise ModelDefinitionError(f"unknown component {name!r}")
+        return self._manager.var(f"{name}@{self._suffix}")
+
+    def at_least_k(self, names: Sequence[str], k: int) -> int:
+        """BDD for "at least k of these components up in this phase"."""
+        unknown = [n for n in names if n not in self._components]
+        if unknown:
+            raise ModelDefinitionError(f"unknown components {unknown!r}")
+        return self._manager.at_least_k([f"{n}@{self._suffix}" for n in names], k)
+
+
+class MissionPhase:
+    """One phase: a duration plus the success structure for that phase.
+
+    Parameters
+    ----------
+    name:
+        Phase label.
+    duration:
+        Phase length (same time unit as the component lifetimes).
+    build_structure:
+        Callable receiving ``(bdd, var_of)`` where ``var_of(name)``
+        returns the BDD variable "component up *throughout this phase*";
+        must return the BDD node of the phase's success function.
+    """
+
+    def __init__(self, name: str, duration: float, build_structure):
+        self.name = str(name)
+        self.duration = check_positive(duration, "duration")
+        self.build_structure = build_structure
+
+
+class PhasedMission:
+    """Mission reliability of a multi-phase system over shared components.
+
+    Examples
+    --------
+    A two-phase mission where phase 1 needs both units and phase 2
+    tolerates one failure::
+
+        >>> from repro.nonstate import Component
+        >>> comps = [Component.from_rates("a", 0.1), Component.from_rates("b", 0.1)]
+        >>> mission = PhasedMission(comps)
+        >>> _ = mission.add_phase("strict", 1.0,
+        ...     lambda bdd, v: bdd.apply_and(v("a"), v("b")))
+        >>> _ = mission.add_phase("lenient", 2.0,
+        ...     lambda bdd, v: bdd.apply_or(v("a"), v("b")))
+        >>> 0.0 < mission.reliability() < 1.0
+        True
+    """
+
+    def __init__(self, components: Sequence[Component]):
+        if not components:
+            raise ModelDefinitionError("a phased mission needs at least one component")
+        names = [c.name for c in components]
+        if len(set(names)) != len(names):
+            raise ModelDefinitionError("duplicate component names")
+        for comp in components:
+            if comp.failure is None:
+                raise ModelDefinitionError(
+                    f"component {comp.name!r} needs a lifetime distribution"
+                )
+        self.components = {c.name: c for c in components}
+        self.phases: List[MissionPhase] = []
+
+    def add_phase(self, name: str, duration: float, build_structure) -> "PhasedMission":
+        """Append a phase (executed in insertion order)."""
+        self.phases.append(MissionPhase(name, duration, build_structure))
+        return self
+
+    # ------------------------------------------------------------ analysis
+    def _phase_end_times(self) -> List[float]:
+        times = []
+        total = 0.0
+        for phase in self.phases:
+            total += phase.duration
+            times.append(total)
+        return times
+
+    def _build_mission_bdd(self) -> Tuple[BDD, int, Dict[str, Tuple[str, int]]]:
+        """Mission BDD over variables "component c up at end of phase i".
+
+        Variable order groups all phases of a component consecutively
+        (earliest phase outermost), which is what the conditional
+        evaluation requires.
+        """
+        n_phases = len(self.phases)
+        order: List[str] = []
+        meta: Dict[str, Tuple[str, int]] = {}
+        for comp in self.components:
+            for i in range(n_phases):
+                var = f"{comp}@{i}"
+                order.append(var)
+                meta[var] = (comp, i)
+        manager = BDD(order)
+
+        mission = TERMINAL_ONE
+        for i, phase in enumerate(self.phases):
+            variables = PhaseVariables(manager, self.components, str(i))
+            node = phase.build_structure(manager, variables)
+            mission = manager.apply_and(mission, node)
+        return manager, mission, meta
+
+    def reliability(self) -> float:
+        """Probability the mission succeeds through every phase.
+
+        Evaluates the mission BDD with chain-conditional probabilities:
+        for component ``c`` with survival function ``R_c``,
+        ``P[up at T_i | up at T_{i-1}] = R_c(T_i) / R_c(T_{i-1})`` and a
+        component observed down stays down.
+        """
+        if not self.phases:
+            raise ModelDefinitionError("add at least one phase first")
+        manager, mission, meta = self._build_mission_bdd()
+        end_times = self._phase_end_times()
+        n_phases = len(self.phases)
+
+        survival: Dict[Tuple[str, int], float] = {}
+        for name, comp in self.components.items():
+            for i, t in enumerate(end_times):
+                survival[(name, i)] = float(np.asarray(comp.reliability(t)))
+
+        def conditional_up(name: str, phase: int, last_up_phase: int) -> float:
+            """P[c up at end of `phase` | c up at end of `last_up_phase`]."""
+            numerator = survival[(name, phase)]
+            if last_up_phase < 0:
+                return numerator
+            denominator = survival[(name, last_up_phase)]
+            if denominator <= 0.0:
+                return 0.0
+            return numerator / denominator
+
+        # Memoized walk.  Context = (component, last phase seen for it,
+        # and whether it was up); entering a different component resets
+        # the context.  Skipped variables of a *different* component
+        # marginalize to 1 (the function does not depend on them); a
+        # skipped variable of the same component needs no handling beyond
+        # the conditional survival ratio, which telescopes.
+        cache: Dict[Tuple[int, Optional[str], int, bool], float] = {}
+
+        def walk(node: int, ctx_comp: Optional[str], ctx_phase: int, ctx_up: bool) -> float:
+            if node == TERMINAL_ONE:
+                return 1.0
+            if node == TERMINAL_ZERO:
+                return 0.0
+            var = manager.var_at(node)
+            comp, phase = meta[var]
+            if comp != ctx_comp:
+                ctx_comp, ctx_phase, ctx_up = comp, -1, True
+            key = (node, ctx_comp, ctx_phase, ctx_up)
+            found = cache.get(key)
+            if found is not None:
+                return found
+            low, high = manager.children(node)
+            if not ctx_up:
+                # Component already observed down: it stays down.
+                value = walk(low, comp, phase, False)
+            else:
+                p_up = conditional_up(comp, phase, ctx_phase)
+                value = p_up * walk(high, comp, phase, True) + (1.0 - p_up) * walk(
+                    low, comp, phase, False
+                )
+            cache[key] = value
+            return value
+
+        return walk(mission, None, -1, True)
+
+    def naive_product_reliability(self) -> float:
+        """The *wrong* answer: per-phase reliabilities multiplied.
+
+        Treats phases as independent missions with fresh components aged
+        only by their own phase — kept as the comparison baseline the
+        tutorial warns about (benchmark E26).
+        """
+        if not self.phases:
+            raise ModelDefinitionError("add at least one phase first")
+        product = 1.0
+        for phase in self.phases:
+            manager = BDD([f"{name}@0" for name in self.components])
+            node = phase.build_structure(
+                manager, PhaseVariables(manager, self.components, "0")
+            )
+            probs = {
+                f"{name}@0": float(np.asarray(comp.reliability(phase.duration)))
+                for name, comp in self.components.items()
+            }
+            product *= manager.prob(node, probs)
+        return product
+
+    def brute_force_reliability(self, n_grid: int = 0) -> float:
+        """Exact oracle by enumerating each component's failure phase.
+
+        Exponential in the number of components — testing only.
+        """
+        import itertools
+
+        if not self.phases:
+            raise ModelDefinitionError("add at least one phase first")
+        end_times = self._phase_end_times()
+        n_phases = len(self.phases)
+        names = list(self.components)
+
+        # P[component fails during phase j] (j == n_phases means survives).
+        fail_phase_probs: Dict[str, List[float]] = {}
+        for name, comp in self.components.items():
+            probs = []
+            prev = 1.0
+            for t in end_times:
+                current = float(np.asarray(comp.reliability(t)))
+                probs.append(prev - current)
+                prev = current
+            probs.append(prev)
+            fail_phase_probs[name] = probs
+
+        manager, mission, meta = self._build_mission_bdd()
+        total = 0.0
+        for assignment in itertools.product(range(n_phases + 1), repeat=len(names)):
+            prob = 1.0
+            values: Dict[str, bool] = {}
+            for name, fail_phase in zip(names, assignment):
+                prob *= fail_phase_probs[name][fail_phase]
+                for i in range(n_phases):
+                    values[f"{name}@{i}"] = i < fail_phase
+            if prob > 0.0 and manager.evaluate(mission, values):
+                total += prob
+        return total

@@ -1,0 +1,315 @@
+"""Reliability block diagrams (system S2 in DESIGN.md).
+
+An RBD is a success-oriented structural model: the system is up when a
+path of up blocks connects input to output.  Series, parallel and k-of-n
+compositions cover the overwhelming majority of practical diagrams and
+admit linear-time compositional evaluation; diagrams that *reuse* a
+component in several blocks lose the independence between blocks and are
+routed through the BDD engine automatically, which keeps the answer exact.
+
+Examples
+--------
+>>> from repro.distributions import Exponential
+>>> from repro.nonstate import Component, ReliabilityBlockDiagram, series, parallel
+>>> a = Component.from_rates("a", failure_rate=1.0)
+>>> b = Component.from_rates("b", failure_rate=1.0)
+>>> rbd = ReliabilityBlockDiagram(parallel(a, b))
+>>> round(rbd.reliability(1.0), 6)      # 1 - (1 - e^-1)^2
+0.600424
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from collections import Counter
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.model import DependabilityModel, mttf_from_reliability
+from ..exceptions import ModelDefinitionError
+from .bdd import BDD
+from .components import Component
+
+__all__ = [
+    "RBDBlock",
+    "BasicBlock",
+    "Series",
+    "Parallel",
+    "KofN",
+    "series",
+    "parallel",
+    "k_of_n",
+    "ReliabilityBlockDiagram",
+]
+
+BlockLike = Union["RBDBlock", Component]
+
+
+def _as_block(value: BlockLike) -> "RBDBlock":
+    if isinstance(value, RBDBlock):
+        return value
+    if isinstance(value, Component):
+        return BasicBlock(value)
+    raise ModelDefinitionError(f"expected a block or component, got {type(value).__name__}")
+
+
+class RBDBlock(abc.ABC):
+    """Abstract node of an RBD structure tree."""
+
+    @abc.abstractmethod
+    def up_probability(self, p_up: Mapping[str, float]) -> float:
+        """System-up probability of this block given component up probabilities.
+
+        Only valid when no component is shared between sibling subtrees;
+        :class:`ReliabilityBlockDiagram` checks this and falls back to the
+        BDD evaluation otherwise.
+        """
+
+    @abc.abstractmethod
+    def components(self) -> List[Component]:
+        """All component leaves in this subtree (with repetitions)."""
+
+    @abc.abstractmethod
+    def to_bdd(self, manager: BDD) -> int:
+        """Structure function as a BDD over "component up" variables."""
+
+
+class BasicBlock(RBDBlock):
+    """A leaf block wrapping a single component."""
+
+    def __init__(self, component: Component):
+        self.component = component
+
+    def up_probability(self, p_up: Mapping[str, float]) -> float:
+        return float(p_up[self.component.name])
+
+    def components(self) -> List[Component]:
+        return [self.component]
+
+    def to_bdd(self, manager: BDD) -> int:
+        return manager.var(self.component.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BasicBlock({self.component.name!r})"
+
+
+class Series(RBDBlock):
+    """Series composition: up iff *every* child block is up."""
+
+    def __init__(self, blocks: Sequence[BlockLike]):
+        if not blocks:
+            raise ModelDefinitionError("series block needs at least one child")
+        self.blocks = [_as_block(b) for b in blocks]
+
+    def up_probability(self, p_up: Mapping[str, float]) -> float:
+        prob = 1.0
+        for block in self.blocks:
+            prob *= block.up_probability(p_up)
+        return prob
+
+    def components(self) -> List[Component]:
+        return [c for block in self.blocks for c in block.components()]
+
+    def to_bdd(self, manager: BDD) -> int:
+        return manager.conjoin(block.to_bdd(manager) for block in self.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Series({self.blocks!r})"
+
+
+class Parallel(RBDBlock):
+    """Parallel composition: up iff *any* child block is up."""
+
+    def __init__(self, blocks: Sequence[BlockLike]):
+        if not blocks:
+            raise ModelDefinitionError("parallel block needs at least one child")
+        self.blocks = [_as_block(b) for b in blocks]
+
+    def up_probability(self, p_up: Mapping[str, float]) -> float:
+        prob_down = 1.0
+        for block in self.blocks:
+            prob_down *= 1.0 - block.up_probability(p_up)
+        return 1.0 - prob_down
+
+    def components(self) -> List[Component]:
+        return [c for block in self.blocks for c in block.components()]
+
+    def to_bdd(self, manager: BDD) -> int:
+        return manager.disjoin(block.to_bdd(manager) for block in self.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parallel({self.blocks!r})"
+
+
+class KofN(RBDBlock):
+    """k-out-of-n:G composition: up iff at least ``k`` children are up.
+
+    Children may be heterogeneous; the evaluation uses an O(n·k) dynamic
+    program over the number-up distribution rather than the exponential
+    sum over subsets.
+    """
+
+    def __init__(self, k: int, blocks: Sequence[BlockLike]):
+        if not blocks:
+            raise ModelDefinitionError("k-of-n block needs at least one child")
+        if not 1 <= k <= len(blocks):
+            raise ModelDefinitionError(f"need 1 <= k <= n, got k={k}, n={len(blocks)}")
+        self.k = int(k)
+        self.blocks = [_as_block(b) for b in blocks]
+
+    def up_probability(self, p_up: Mapping[str, float]) -> float:
+        # dist[j] = P[j children up so far]
+        dist = np.zeros(len(self.blocks) + 1)
+        dist[0] = 1.0
+        for i, block in enumerate(self.blocks):
+            p = block.up_probability(p_up)
+            upper = i + 1
+            dist[1 : upper + 1] = dist[1 : upper + 1] * (1.0 - p) + dist[0:upper] * p
+            dist[0] *= 1.0 - p
+        return float(np.sum(dist[self.k :]))
+
+    def components(self) -> List[Component]:
+        return [c for block in self.blocks for c in block.components()]
+
+    def to_bdd(self, manager: BDD) -> int:
+        leaves_are_basic = all(isinstance(b, BasicBlock) for b in self.blocks)
+        if leaves_are_basic:
+            names = [b.component.name for b in self.blocks]
+            if len(set(names)) == len(names):
+                return manager.at_least_k(names, self.k)
+        # General case: OR over all k-subsets of children being up.  Fine
+        # for the small fan-ins where nested k-of-n blocks occur.
+        child_nodes = [b.to_bdd(manager) for b in self.blocks]
+        result = manager.disjoin(
+            manager.conjoin(child_nodes[i] for i in subset)
+            for subset in itertools.combinations(range(len(child_nodes)), self.k)
+        )
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KofN(k={self.k}, n={len(self.blocks)})"
+
+
+def series(*blocks: BlockLike) -> Series:
+    """Convenience constructor: ``series(a, b, c)``."""
+    return Series(list(blocks))
+
+
+def parallel(*blocks: BlockLike) -> Parallel:
+    """Convenience constructor: ``parallel(a, b, c)``."""
+    return Parallel(list(blocks))
+
+
+def k_of_n(k: int, *blocks: BlockLike) -> KofN:
+    """Convenience constructor: ``k_of_n(2, a, b, c)`` for a 2-of-3 block."""
+    return KofN(k, list(blocks))
+
+
+class ReliabilityBlockDiagram(DependabilityModel):
+    """A complete RBD model over a structure tree of blocks.
+
+    Shared components (same :class:`Component` name appearing in several
+    leaves) are detected at construction; such diagrams are evaluated
+    exactly through the BDD engine instead of the compositional product
+    rules, which would otherwise double-count.
+
+    Parameters
+    ----------
+    root:
+        Root block of the structure tree (or a bare component).
+    """
+
+    def __init__(self, root: BlockLike):
+        self.root = _as_block(root)
+        comps = self.root.components()
+        by_name: Dict[str, Component] = {}
+        for comp in comps:
+            existing = by_name.get(comp.name)
+            if existing is not None and existing is not comp:
+                raise ModelDefinitionError(
+                    f"two distinct Component objects share the name {comp.name!r}"
+                )
+            by_name[comp.name] = comp
+        self._components = by_name
+        counts = Counter(c.name for c in comps)
+        self._has_repeats = any(n > 1 for n in counts.values())
+        self._bdd: Optional[BDD] = None
+        self._bdd_root: Optional[int] = None
+
+    # ------------------------------------------------------------- access
+    @property
+    def components(self) -> Dict[str, Component]:
+        """Mapping of component name to component."""
+        return dict(self._components)
+
+    @property
+    def has_repeated_components(self) -> bool:
+        """True when some component appears in more than one leaf."""
+        return self._has_repeats
+
+    def _ensure_bdd(self) -> "tuple[BDD, int]":
+        if self._bdd is None:
+            order = list(dict.fromkeys(c.name for c in self.root.components()))
+            self._bdd = BDD(order)
+            self._bdd_root = self.root.to_bdd(self._bdd)
+        return self._bdd, self._bdd_root
+
+    # --------------------------------------------------------- evaluation
+    def system_up_probability(self, p_up: Mapping[str, float]) -> float:
+        """Probability the system is up given each component's up probability."""
+        missing = [name for name in self._components if name not in p_up]
+        if missing:
+            raise ModelDefinitionError(f"missing up-probabilities for components: {missing}")
+        if self._has_repeats:
+            manager, node = self._ensure_bdd()
+            return manager.prob(node, {name: float(p_up[name]) for name in self._components})
+        return self.root.up_probability(p_up)
+
+    def _component_up(self, t, measure: str) -> Dict[str, float]:
+        return {
+            name: 1.0 - comp.failure_probability(t, measure)
+            for name, comp in self._components.items()
+        }
+
+    def reliability(self, t):
+        """System reliability at mission time(s) ``t``."""
+        scalar = np.isscalar(t)
+        ts = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.array(
+            [self.system_up_probability(self._component_up(ti, "reliability")) for ti in ts]
+        )
+        return float(out[0]) if scalar else out
+
+    def availability(self, t):
+        """Instantaneous system availability at time(s) ``t``."""
+        scalar = np.isscalar(t)
+        ts = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.array(
+            [self.system_up_probability(self._component_up(ti, "availability")) for ti in ts]
+        )
+        return float(out[0]) if scalar else out
+
+    def steady_state_availability(self) -> float:
+        """Steady-state system availability from component MTTF/MTTR pairs."""
+        return self.system_up_probability(self._component_up(None, "steady"))
+
+    def mttf(self) -> float:
+        """System mean time to failure, ``∫ R(t) dt``."""
+        return mttf_from_reliability(lambda t: float(np.asarray(self.reliability(t))))
+
+    # ---------------------------------------------------------- structure
+    def minimal_path_sets(self) -> List[frozenset]:
+        """Minimal path sets (minimal sets of components whose up-ness suffices)."""
+        manager, node = self._ensure_bdd()
+        return manager.minimal_cut_sets(node)
+
+    def minimal_cut_sets(self) -> List[frozenset]:
+        """Minimal cut sets (minimal sets of components whose failure downs the system).
+
+        Uses the dual structure function so the extracted literals are the
+        *down* components, not the up ones.
+        """
+        manager, node = self._ensure_bdd()
+        return manager.minimal_cut_sets(manager.dual(node))

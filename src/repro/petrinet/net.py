@@ -1,0 +1,298 @@
+"""Petri-net structure: places, transitions, arcs, markings (system S14).
+
+The net description follows the stochastic reward net (SRN) dialect the
+tutorial uses (SPNP-style): timed transitions with possibly
+marking-dependent rates, immediate transitions with weights and
+priorities, input/output/inhibitor arcs with multiplicities, and guard
+functions — everything needed to generate the underlying CTMC
+automatically rather than by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ModelDefinitionError
+
+__all__ = ["Marking", "Place", "Transition", "PetriNet"]
+
+RateLike = Union[float, Callable[["Marking"], float]]
+Guard = Callable[["Marking"], bool]
+
+
+class Marking:
+    """An immutable token assignment, addressable by place name.
+
+    Examples
+    --------
+    >>> m = Marking(("p", "q"), (2, 0))
+    >>> m["p"], m["q"]
+    (2, 0)
+    """
+
+    __slots__ = ("_places", "_tokens", "_index")
+
+    def __init__(self, places: Tuple[str, ...], tokens: Tuple[int, ...]):
+        if len(places) != len(tokens):
+            raise ModelDefinitionError("places and token counts differ in length")
+        self._places = places
+        self._tokens = tokens
+        self._index: Optional[Dict[str, int]] = None
+
+    def _idx(self, name: str) -> int:
+        if self._index is None:
+            self._index = {p: i for i, p in enumerate(self._places)}
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ModelDefinitionError(f"unknown place: {name!r}") from None
+
+    def __getitem__(self, name: str) -> int:
+        return self._tokens[self._idx(name)]
+
+    @property
+    def tokens(self) -> Tuple[int, ...]:
+        """Raw token tuple in place order."""
+        return self._tokens
+
+    @property
+    def places(self) -> Tuple[str, ...]:
+        """Place names in order."""
+        return self._places
+
+    def with_delta(self, deltas: Mapping[int, int]) -> "Marking":
+        """New marking with token deltas applied by place index."""
+        tokens = list(self._tokens)
+        for idx, delta in deltas.items():
+            tokens[idx] += delta
+            if tokens[idx] < 0:
+                raise ModelDefinitionError("token count went negative; arcs are inconsistent")
+        return Marking(self._places, tuple(tokens))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Mapping of place name to token count."""
+        return dict(zip(self._places, self._tokens))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Marking) and self._tokens == other._tokens
+
+    def __hash__(self) -> int:
+        return hash(self._tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inside = ", ".join(f"{p}={n}" for p, n in zip(self._places, self._tokens) if n)
+        return f"Marking({inside or 'empty'})"
+
+
+class Place:
+    """A token container."""
+
+    def __init__(self, name: str, initial: int = 0):
+        if not name:
+            raise ModelDefinitionError("place name must be non-empty")
+        if initial < 0 or int(initial) != initial:
+            raise ModelDefinitionError(f"initial tokens must be a non-negative int, got {initial}")
+        self.name = str(name)
+        self.initial = int(initial)
+
+
+class Transition:
+    """A timed or immediate transition.
+
+    Timed transitions carry an exponential ``rate`` (possibly
+    marking-dependent); immediate transitions carry a ``weight`` used for
+    probabilistic resolution among equal-priority enabled immediates, and
+    a ``priority`` (higher fires first).  Guards are extra boolean
+    enabling conditions on the marking.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rate: Optional[RateLike] = None,
+        weight: Optional[RateLike] = None,
+        priority: int = 0,
+        guard: Optional[Guard] = None,
+    ):
+        if (rate is None) == (weight is None):
+            raise ModelDefinitionError(
+                f"transition {name!r}: specify exactly one of rate (timed) or weight (immediate)"
+            )
+        self.name = str(name)
+        self.rate = rate
+        self.weight = weight
+        self.priority = int(priority)
+        self.guard = guard
+        # (place index, multiplicity) triples filled in by PetriNet
+        self.inputs: List[Tuple[int, int]] = []
+        self.outputs: List[Tuple[int, int]] = []
+        self.inhibitors: List[Tuple[int, int]] = []
+
+    @property
+    def is_immediate(self) -> bool:
+        """True for immediate (zero-delay) transitions."""
+        return self.weight is not None
+
+    def is_enabled(self, marking: Marking) -> bool:
+        """Structural + guard enabling test in the given marking."""
+        for idx, mult in self.inputs:
+            if marking.tokens[idx] < mult:
+                return False
+        for idx, mult in self.inhibitors:
+            if marking.tokens[idx] >= mult:
+                return False
+        if self.guard is not None and not self.guard(marking):
+            return False
+        return True
+
+    def fire(self, marking: Marking) -> Marking:
+        """Marking reached by firing this transition."""
+        deltas: Dict[int, int] = {}
+        for idx, mult in self.inputs:
+            deltas[idx] = deltas.get(idx, 0) - mult
+        for idx, mult in self.outputs:
+            deltas[idx] = deltas.get(idx, 0) + mult
+        return marking.with_delta(deltas)
+
+    def rate_in(self, marking: Marking) -> float:
+        """Effective firing rate in ``marking`` (timed transitions)."""
+        value = self.rate(marking) if callable(self.rate) else float(self.rate)
+        if value < 0:
+            raise ModelDefinitionError(f"transition {self.name!r} produced a negative rate")
+        return value
+
+    def weight_in(self, marking: Marking) -> float:
+        """Effective weight in ``marking`` (immediate transitions)."""
+        value = self.weight(marking) if callable(self.weight) else float(self.weight)
+        if value < 0:
+            raise ModelDefinitionError(f"transition {self.name!r} produced a negative weight")
+        return value
+
+
+class PetriNet:
+    """A stochastic Petri net / stochastic reward net description.
+
+    Examples
+    --------
+    An M/M/1/K queue::
+
+        >>> net = PetriNet()
+        >>> _ = net.add_place("queue", initial=0)
+        >>> _ = net.add_timed_transition("arrive", rate=2.0)
+        >>> _ = net.add_output_arc("arrive", "queue")
+        >>> _ = net.add_inhibitor_arc("arrive", "queue", 5)   # K = 5
+        >>> _ = net.add_timed_transition("serve", rate=3.0)
+        >>> _ = net.add_input_arc("serve", "queue")
+        >>> net.initial_marking()["queue"]
+        0
+    """
+
+    def __init__(self):
+        self._places: List[Place] = []
+        self._place_index: Dict[str, int] = {}
+        self._transitions: Dict[str, Transition] = {}
+
+    # --------------------------------------------------------------- build
+    def add_place(self, name: str, initial: int = 0) -> "PetriNet":
+        """Add a place with an initial token count."""
+        if name in self._place_index:
+            raise ModelDefinitionError(f"duplicate place name: {name!r}")
+        self._place_index[name] = len(self._places)
+        self._places.append(Place(name, initial))
+        return self
+
+    def _add_transition(self, transition: Transition) -> "PetriNet":
+        if transition.name in self._transitions:
+            raise ModelDefinitionError(f"duplicate transition name: {transition.name!r}")
+        self._transitions[transition.name] = transition
+        return self
+
+    def add_timed_transition(
+        self, name: str, rate: RateLike, guard: Optional[Guard] = None
+    ) -> "PetriNet":
+        """Add an exponentially timed transition (rate may be callable)."""
+        return self._add_transition(Transition(name, rate=rate, guard=guard))
+
+    def add_immediate_transition(
+        self,
+        name: str,
+        weight: RateLike = 1.0,
+        priority: int = 1,
+        guard: Optional[Guard] = None,
+    ) -> "PetriNet":
+        """Add an immediate transition with weight and priority."""
+        return self._add_transition(
+            Transition(name, weight=weight, priority=priority, guard=guard)
+        )
+
+    def _place_idx(self, name: str) -> int:
+        try:
+            return self._place_index[name]
+        except KeyError:
+            raise ModelDefinitionError(f"unknown place: {name!r}") from None
+
+    def _transition(self, name: str) -> Transition:
+        try:
+            return self._transitions[name]
+        except KeyError:
+            raise ModelDefinitionError(f"unknown transition: {name!r}") from None
+
+    def add_input_arc(self, transition: str, place: str, multiplicity: int = 1) -> "PetriNet":
+        """Arc place → transition consuming ``multiplicity`` tokens."""
+        self._check_multiplicity(multiplicity)
+        self._transition(transition).inputs.append((self._place_idx(place), int(multiplicity)))
+        return self
+
+    def add_output_arc(self, transition: str, place: str, multiplicity: int = 1) -> "PetriNet":
+        """Arc transition → place producing ``multiplicity`` tokens."""
+        self._check_multiplicity(multiplicity)
+        self._transition(transition).outputs.append((self._place_idx(place), int(multiplicity)))
+        return self
+
+    def add_inhibitor_arc(self, transition: str, place: str, multiplicity: int = 1) -> "PetriNet":
+        """Inhibitor arc: transition disabled when place holds >= multiplicity tokens."""
+        self._check_multiplicity(multiplicity)
+        self._transition(transition).inhibitors.append((self._place_idx(place), int(multiplicity)))
+        return self
+
+    @staticmethod
+    def _check_multiplicity(multiplicity: int) -> None:
+        if multiplicity < 1 or int(multiplicity) != multiplicity:
+            raise ModelDefinitionError(f"multiplicity must be a positive int, got {multiplicity}")
+
+    # -------------------------------------------------------------- access
+    @property
+    def places(self) -> List[str]:
+        """Place names in order."""
+        return [p.name for p in self._places]
+
+    @property
+    def transitions(self) -> Dict[str, Transition]:
+        """Transitions by name."""
+        return dict(self._transitions)
+
+    def initial_marking(self) -> Marking:
+        """The marking given by every place's initial token count."""
+        return Marking(
+            tuple(p.name for p in self._places), tuple(p.initial for p in self._places)
+        )
+
+    def enabled_transitions(self, marking: Marking) -> List[Transition]:
+        """Transitions enabled in ``marking``, immediates filtered by priority.
+
+        When any immediate transition is enabled, only the highest-priority
+        enabled immediates are returned (the marking is *vanishing*);
+        otherwise the enabled timed transitions are returned (*tangible*).
+        """
+        enabled = [t for t in self._transitions.values() if t.is_enabled(marking)]
+        immediates = [t for t in enabled if t.is_immediate]
+        if immediates:
+            top = max(t.priority for t in immediates)
+            return [t for t in immediates if t.priority == top]
+        return [t for t in enabled if not t.is_immediate]
+
+    def is_vanishing(self, marking: Marking) -> bool:
+        """True when an immediate transition is enabled in ``marking``."""
+        return any(
+            t.is_immediate and t.is_enabled(marking) for t in self._transitions.values()
+        )

@@ -1,0 +1,220 @@
+"""Reachability analysis and vanishing-marking elimination (system S14).
+
+Generates the tangible reachability graph of a stochastic Petri net and
+its underlying CTMC.  Markings that enable immediate transitions
+(*vanishing* markings) are eliminated on the fly: each timed firing that
+lands on a vanishing marking is redistributed over the tangible markings
+ultimately reached, weighting by the immediate transitions' normalized
+weights.  Vanishing loops are resolved exactly by solving the linear
+system within each vanishing strongly connected component, so nets with
+cyclic immediate behaviour (e.g. weighted retries) are handled, provided
+the loop is not probability-preserving (a "timeless trap").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import StateSpaceError
+from ..markov.ctmc import CTMC
+from .net import Marking, PetriNet
+
+__all__ = ["ReachabilityResult", "build_reachability"]
+
+_DEFAULT_MAX_MARKINGS = 200_000
+_LOOP_TOLERANCE = 1e-12
+
+
+class ReachabilityResult:
+    """Outcome of reachability analysis.
+
+    Attributes
+    ----------
+    chain:
+        CTMC over tangible markings.
+    initial:
+        Initial tangible-marking distribution (a single marking when the
+        net's initial marking is tangible, otherwise the distribution the
+        immediate transitions resolve it to).
+    tangible:
+        Tangible markings in discovery order.
+    n_vanishing:
+        Number of distinct vanishing markings eliminated.
+    """
+
+    def __init__(
+        self,
+        chain: CTMC,
+        initial: Dict[Marking, float],
+        tangible: List[Marking],
+        n_vanishing: int,
+    ):
+        self.chain = chain
+        self.initial = initial
+        self.tangible = tangible
+        self.n_vanishing = n_vanishing
+
+
+def _resolve_vanishing(
+    net: PetriNet,
+    start: Marking,
+    max_markings: int,
+) -> Dict[Marking, float]:
+    """Distribution over tangible markings reached from a vanishing marking.
+
+    Performs a local expansion of the vanishing subgraph reachable from
+    ``start`` and solves ``(I - V) x = b`` where ``V`` is the
+    vanishing→vanishing jump matrix — exact even with immediate loops.
+    """
+    order: List[Marking] = []
+    index: Dict[Marking, int] = {}
+    tangible_hits: Dict[Marking, Dict[int, float]] = {}
+    queue = deque([start])
+    index[start] = 0
+    order.append(start)
+    edges: List[List[Tuple[int, float]]] = []
+
+    while queue:
+        marking = queue.popleft()
+        i = index[marking]
+        while len(edges) <= i:
+            edges.append([])
+        enabled = net.enabled_transitions(marking)
+        weights = [(t, t.weight_in(marking)) for t in enabled]
+        total = sum(w for _, w in weights)
+        if total <= 0:
+            raise StateSpaceError(
+                f"vanishing marking {marking!r} has zero total immediate weight"
+            )
+        for transition, weight in weights:
+            if weight <= 0:
+                continue
+            prob = weight / total
+            successor = transition.fire(marking)
+            if net.is_vanishing(successor):
+                j = index.get(successor)
+                if j is None:
+                    if len(index) >= max_markings:
+                        raise StateSpaceError(
+                            f"vanishing expansion exceeded {max_markings} markings"
+                        )
+                    j = len(order)
+                    index[successor] = j
+                    order.append(successor)
+                    queue.append(successor)
+                edges[i].append((j, prob))
+            else:
+                tangible_hits.setdefault(successor, {}).setdefault(i, 0.0)
+                tangible_hits[successor][i] += prob
+
+    n = len(order)
+    if n == 1 and not edges[0]:
+        # Pure tangible fan-out from a single vanishing marking.
+        return {m: probs[0] for m, probs in tangible_hits.items()}
+
+    v = np.zeros((n, n))
+    for i, outs in enumerate(edges):
+        for j, prob in outs:
+            v[i, j] += prob
+    system = np.eye(n) - v
+    try:
+        inv_first_row = np.linalg.solve(system.T, _unit(n, 0))
+    except np.linalg.LinAlgError as exc:
+        raise StateSpaceError(
+            "timeless trap: immediate transitions form a probability-preserving loop"
+        ) from exc
+    # inv_first_row[i] = expected visits to vanishing marking i from start.
+    if np.any(~np.isfinite(inv_first_row)):
+        raise StateSpaceError("vanishing-loop resolution produced non-finite visit counts")
+
+    result: Dict[Marking, float] = {}
+    for tangible_marking, contributions in tangible_hits.items():
+        prob = sum(inv_first_row[i] * p for i, p in contributions.items())
+        if prob > _LOOP_TOLERANCE:
+            result[tangible_marking] = prob
+    total = sum(result.values())
+    if abs(total - 1.0) > 1e-6:
+        raise StateSpaceError(
+            f"vanishing resolution lost probability mass (total {total}); "
+            "check for timeless traps or dead immediate branches"
+        )
+    return {m: p / total for m, p in result.items()}
+
+
+def _unit(n: int, i: int) -> np.ndarray:
+    vec = np.zeros(n)
+    vec[i] = 1.0
+    return vec
+
+
+def build_reachability(
+    net: PetriNet,
+    max_markings: int = _DEFAULT_MAX_MARKINGS,
+) -> ReachabilityResult:
+    """Generate the tangible reachability CTMC of ``net``.
+
+    Parameters
+    ----------
+    net:
+        The Petri net.
+    max_markings:
+        Safety cap on explored markings; exceeding it raises
+        :class:`~repro.exceptions.StateSpaceError` (the state-space
+        explosion the tutorial warns about, made explicit).
+    """
+    initial = net.initial_marking()
+    vanishing_seen = set()
+
+    if net.is_vanishing(initial):
+        vanishing_seen.add(initial)
+        initial_distribution = _resolve_vanishing(net, initial, max_markings)
+    else:
+        initial_distribution = {initial: 1.0}
+
+    chain = CTMC()
+    tangible: List[Marking] = []
+    seen: Dict[Marking, bool] = {}
+    queue = deque()
+    for marking in initial_distribution:
+        seen[marking] = True
+        tangible.append(marking)
+        chain.add_state(marking)
+        queue.append(marking)
+
+    vanishing_cache: Dict[Marking, Dict[Marking, float]] = {}
+
+    while queue:
+        marking = queue.popleft()
+        for transition in net.enabled_transitions(marking):
+            rate = transition.rate_in(marking)
+            if rate <= 0.0:
+                continue
+            successor = transition.fire(marking)
+            if net.is_vanishing(successor):
+                if successor not in vanishing_cache:
+                    vanishing_seen.add(successor)
+                    vanishing_cache[successor] = _resolve_vanishing(
+                        net, successor, max_markings
+                    )
+                targets = vanishing_cache[successor]
+            else:
+                targets = {successor: 1.0}
+            for target, prob in targets.items():
+                if target == marking:
+                    continue  # rate flows back: no net transition
+                if target not in seen:
+                    if len(seen) >= max_markings:
+                        raise StateSpaceError(
+                            f"reachability exceeded {max_markings} tangible markings "
+                            "(state-space explosion); simplify the net or raise the cap"
+                        )
+                    seen[target] = True
+                    tangible.append(target)
+                    chain.add_state(target)
+                    queue.append(target)
+                chain.add_transition(marking, target, rate * prob)
+
+    return ReachabilityResult(chain, initial_distribution, tangible, len(vanishing_seen))

@@ -1,0 +1,187 @@
+"""Stochastic reward nets: measures on top of the generated CTMC.
+
+An SRN is a stochastic Petri net plus reward functions on markings.  The
+class here runs reachability once (cached), then exposes the full measure
+suite — steady-state and transient reward rates, availability via an
+up-condition predicate, MTTF via absorbing analysis — and the
+:class:`~repro.core.model.DependabilityModel` adapter used by the
+hierarchy engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Mapping, Optional
+
+import numpy as np
+
+from ..core.model import DependabilityModel
+from ..exceptions import ModelDefinitionError, StateSpaceError
+from ..markov.ctmc import CTMC
+from .net import Marking, PetriNet
+from .reachability import ReachabilityResult, build_reachability
+
+__all__ = ["StochasticRewardNet", "SRNDependabilityModel"]
+
+RewardFunction = Callable[[Marking], float]
+Condition = Callable[[Marking], bool]
+
+
+class StochasticRewardNet:
+    """Measure layer over a :class:`~repro.petrinet.net.PetriNet`.
+
+    Parameters
+    ----------
+    net:
+        The Petri net description.
+    max_markings:
+        Reachability safety cap.
+
+    Examples
+    --------
+    >>> from repro.petrinet import PetriNet
+    >>> net = PetriNet()
+    >>> _ = net.add_place("queue")
+    >>> _ = net.add_timed_transition("arrive", rate=1.0)
+    >>> _ = net.add_output_arc("arrive", "queue")
+    >>> _ = net.add_inhibitor_arc("arrive", "queue", 3)
+    >>> _ = net.add_timed_transition("serve", rate=2.0)
+    >>> _ = net.add_input_arc("serve", "queue")
+    >>> srn = StochasticRewardNet(net)
+    >>> srn.n_tangible
+    4
+    """
+
+    def __init__(self, net: PetriNet, max_markings: int = 200_000):
+        self.net = net
+        self._max_markings = int(max_markings)
+        self._reach: Optional[ReachabilityResult] = None
+
+    # --------------------------------------------------------------- graph
+    @property
+    def reachability(self) -> ReachabilityResult:
+        """The (cached) tangible reachability result."""
+        if self._reach is None:
+            self._reach = build_reachability(self.net, self._max_markings)
+        return self._reach
+
+    @property
+    def chain(self) -> CTMC:
+        """The generated CTMC over tangible markings."""
+        return self.reachability.chain
+
+    @property
+    def n_tangible(self) -> int:
+        """Number of tangible markings."""
+        return len(self.reachability.tangible)
+
+    @property
+    def n_vanishing(self) -> int:
+        """Number of vanishing markings eliminated during generation."""
+        return self.reachability.n_vanishing
+
+    @property
+    def initial_distribution(self) -> Dict[Marking, float]:
+        """Initial probability over tangible markings."""
+        return dict(self.reachability.initial)
+
+    # ------------------------------------------------------------ measures
+    def steady_state(self) -> Dict[Marking, float]:
+        """Stationary distribution over tangible markings."""
+        return self.chain.steady_state()
+
+    def expected_reward_rate(self, reward: RewardFunction) -> float:
+        """Steady-state expected reward rate of a marking reward function."""
+        pi = self.steady_state()
+        return sum(reward(marking) * prob for marking, prob in pi.items())
+
+    def expected_tokens(self, place: str) -> float:
+        """Steady-state expected token count in ``place``."""
+        return self.expected_reward_rate(lambda m: float(m[place]))
+
+    def probability(self, condition: Condition) -> float:
+        """Steady-state probability that the marking satisfies ``condition``."""
+        return self.expected_reward_rate(lambda m: 1.0 if condition(m) else 0.0)
+
+    def throughput(self, transition: str) -> float:
+        """Steady-state firing rate of a timed transition.
+
+        ``Σ_m π(m) · rate(m) · [transition enabled in m]``.
+        """
+        tr = self.net.transitions.get(transition)
+        if tr is None:
+            raise ModelDefinitionError(f"unknown transition: {transition!r}")
+        if tr.is_immediate:
+            raise ModelDefinitionError(
+                f"throughput of immediate transition {transition!r} is not defined "
+                "on the tangible chain"
+            )
+        pi = self.steady_state()
+        return sum(
+            prob * tr.rate_in(marking)
+            for marking, prob in pi.items()
+            if tr.is_enabled(marking)
+        )
+
+    def transient_reward_rate(self, reward: RewardFunction, times) -> np.ndarray:
+        """Expected reward rate at each time in ``times``."""
+        ts = np.atleast_1d(np.asarray(times, dtype=float))
+        probs = self.chain.transient(ts, self.initial_distribution)
+        rewards = np.array([reward(m) for m in self.chain.states])
+        return probs @ rewards
+
+    def transient_probability(self, condition: Condition, times) -> np.ndarray:
+        """Probability the condition holds at each time in ``times``."""
+        return self.transient_reward_rate(lambda m: 1.0 if condition(m) else 0.0, times)
+
+    def mean_time_to(self, condition: Condition) -> float:
+        """Mean first-passage time into the set of markings satisfying ``condition``."""
+        targets = [m for m in self.chain.states if condition(m)]
+        if not targets:
+            raise StateSpaceError("no reachable marking satisfies the target condition")
+        return self.chain.mean_time_to_absorption(self.initial_distribution, absorbing=targets)
+
+
+class SRNDependabilityModel(DependabilityModel):
+    """Dependability adapter: an SRN plus an up-condition predicate.
+
+    Parameters
+    ----------
+    srn:
+        The stochastic reward net.
+    up:
+        Predicate on markings: True while the system is operational.
+    """
+
+    def __init__(self, srn: StochasticRewardNet, up: Condition):
+        self.srn = srn
+        self.up = up
+        states = srn.chain.states
+        self._up_states = [m for m in states if up(m)]
+        if not self._up_states:
+            raise ModelDefinitionError("no reachable marking satisfies the up condition")
+        self._down_states = [m for m in states if not up(m)]
+
+    def availability(self, t):
+        """Point availability ``P[up at t]``."""
+        scalar = np.isscalar(t)
+        out = self.srn.transient_probability(self.up, t)
+        return float(out[0]) if scalar else out
+
+    def steady_state_availability(self) -> float:
+        """Long-run probability of an up marking."""
+        return self.srn.probability(self.up)
+
+    def reliability(self, t):
+        """Probability of staying in up markings throughout ``[0, t]``."""
+        scalar = np.isscalar(t)
+        ts = np.atleast_1d(np.asarray(t, dtype=float))
+        chain = self.srn.chain.with_absorbing(self._down_states)
+        initial = self.srn.initial_distribution
+        probs = chain.transient(ts, initial)
+        idx = [chain.index_of(m) for m in self._up_states]
+        out = probs[:, idx].sum(axis=1)
+        return float(out[0]) if scalar else out
+
+    def mttf(self) -> float:
+        """Mean time to the first down marking."""
+        return self.srn.mean_time_to(lambda m: not self.up(m))

@@ -1,0 +1,165 @@
+"""Reusable SRN templates for common availability patterns.
+
+The tutorial's SRN examples keep re-drawing the same net shapes; these
+builders capture them once with documented parameters:
+
+* :func:`machine_repairman` — n machines, c repair crews;
+* :func:`redundant_pool_with_coverage` — active pool with immediate
+  covered/uncovered branching on each failure;
+* :func:`queue_with_breakdowns` — finite queue whose server fails and is
+  repaired (the classic performability example).
+
+Each returns a plain :class:`~repro.petrinet.net.PetriNet`, so callers
+can extend the nets before analysis.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_probability, check_rate
+from ..exceptions import ModelDefinitionError
+from .net import PetriNet
+
+__all__ = [
+    "machine_repairman",
+    "redundant_pool_with_coverage",
+    "queue_with_breakdowns",
+]
+
+
+def machine_repairman(
+    n_machines: int,
+    failure_rate: float,
+    repair_rate: float,
+    n_crews: int = 1,
+) -> PetriNet:
+    """The machine-repairman model: ``n`` machines, ``c`` repair crews.
+
+    Failure rate scales with the number of up machines; repair rate with
+    ``min(#down, n_crews)``.
+
+    Examples
+    --------
+    >>> net = machine_repairman(4, failure_rate=0.1, repair_rate=1.0, n_crews=2)
+    >>> net.initial_marking()["up"]
+    4
+    """
+    if n_machines < 1:
+        raise ModelDefinitionError(f"need at least one machine, got {n_machines}")
+    if n_crews < 1:
+        raise ModelDefinitionError(f"need at least one crew, got {n_crews}")
+    check_rate(failure_rate, "failure_rate")
+    check_rate(repair_rate, "repair_rate")
+    net = PetriNet()
+    net.add_place("up", n_machines)
+    net.add_place("down", 0)
+    net.add_timed_transition("fail", rate=lambda m: failure_rate * m["up"])
+    net.add_input_arc("fail", "up")
+    net.add_output_arc("fail", "down")
+    net.add_timed_transition(
+        "repair", rate=lambda m: repair_rate * min(m["down"], n_crews)
+    )
+    net.add_input_arc("repair", "down")
+    net.add_output_arc("repair", "up")
+    return net
+
+
+def redundant_pool_with_coverage(
+    n_units: int,
+    failure_rate: float,
+    repair_rate: float,
+    coverage: float,
+    uncovered_recovery_rate: float,
+) -> PetriNet:
+    """Active redundant pool with imperfect failure coverage.
+
+    On each unit failure an immediate branch decides: *covered* (the
+    failure is isolated; the unit goes to ordinary ``repairing``) with
+    probability ``coverage``, or *uncovered* — the whole pool is taken
+    down (all up tokens captured into ``outage``) until a recovery
+    transition restores them.
+
+    The marking predicate ``m["outage"] == 0 and m["up"] >= k`` is the
+    usual up-condition.
+    """
+    if n_units < 1:
+        raise ModelDefinitionError(f"need at least one unit, got {n_units}")
+    check_rate(failure_rate, "failure_rate")
+    check_rate(repair_rate, "repair_rate")
+    check_probability(coverage, "coverage")
+    check_rate(uncovered_recovery_rate, "uncovered_recovery_rate")
+    net = PetriNet()
+    net.add_place("up", n_units)
+    net.add_place("deciding", 0)
+    net.add_place("repairing", 0)
+    net.add_place("outage", 0)
+
+    net.add_timed_transition("fail", rate=lambda m: failure_rate * m["up"])
+    net.add_input_arc("fail", "up")
+    net.add_output_arc("fail", "deciding")
+
+    net.add_immediate_transition("covered", weight=coverage)
+    net.add_input_arc("covered", "deciding")
+    net.add_output_arc("covered", "repairing")
+
+    net.add_immediate_transition("uncovered", weight=1.0 - coverage)
+    net.add_input_arc("uncovered", "deciding")
+    net.add_output_arc("uncovered", "outage")
+
+    net.add_timed_transition("repair", rate=lambda m: repair_rate * m["repairing"])
+    net.add_input_arc("repair", "repairing")
+    net.add_output_arc("repair", "up")
+
+    net.add_timed_transition("recover", rate=uncovered_recovery_rate)
+    net.add_input_arc("recover", "outage")
+    net.add_output_arc("recover", "repairing")
+    return net
+
+
+def queue_with_breakdowns(
+    capacity: int,
+    arrival_rate: float,
+    service_rate: float,
+    failure_rate: float,
+    repair_rate: float,
+) -> PetriNet:
+    """M/M/1/K queue whose server breaks down and is repaired.
+
+    The classical performability example: service proceeds only while
+    the server token sits in ``server_up``; jobs keep arriving (and being
+    rejected beyond ``capacity``) during repair.
+
+    Examples
+    --------
+    >>> net = queue_with_breakdowns(5, 1.0, 2.0, 0.01, 0.5)
+    >>> sorted(net.places)
+    ['queue', 'server_down', 'server_up']
+    """
+    if capacity < 1:
+        raise ModelDefinitionError(f"capacity must be >= 1, got {capacity}")
+    for value, name in (
+        (arrival_rate, "arrival_rate"),
+        (service_rate, "service_rate"),
+        (failure_rate, "failure_rate"),
+        (repair_rate, "repair_rate"),
+    ):
+        check_rate(value, name)
+    net = PetriNet()
+    net.add_place("queue", 0)
+    net.add_place("server_up", 1)
+    net.add_place("server_down", 0)
+
+    net.add_timed_transition("arrive", rate=arrival_rate)
+    net.add_output_arc("arrive", "queue")
+    net.add_inhibitor_arc("arrive", "queue", capacity)
+
+    net.add_timed_transition("serve", rate=service_rate, guard=lambda m: m["server_up"] == 1)
+    net.add_input_arc("serve", "queue")
+
+    net.add_timed_transition("break", rate=failure_rate)
+    net.add_input_arc("break", "server_up")
+    net.add_output_arc("break", "server_down")
+
+    net.add_timed_transition("fix", rate=repair_rate)
+    net.add_input_arc("fix", "server_down")
+    net.add_output_arc("fix", "server_up")
+    return net

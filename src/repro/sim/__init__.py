@@ -1,0 +1,36 @@
+"""Discrete-event Monte Carlo simulation (system S19 in DESIGN.md).
+
+Independent validation substrate: structural (RBD/FT/relgraph) sampling,
+CTMC trajectory simulation, and Petri-net token-game simulation, each
+reporting estimates with confidence intervals via
+:class:`~repro.sim.estimators.Estimate`.
+"""
+
+from .estimators import Estimate, estimate_mean, estimate_proportion
+from .markov_sim import (
+    simulate_steady_fraction,
+    simulate_time_to_absorption,
+    simulate_transient_probability,
+)
+from .rare_event import (
+    simulate_cycle_failure_probability,
+    simulate_mttf_importance_sampling,
+)
+from .spn_sim import simulate_reward_rate, simulate_transient_reward
+from .structural import simulate_mttf, simulate_reliability, simulate_steady_availability
+
+__all__ = [
+    "Estimate",
+    "estimate_mean",
+    "estimate_proportion",
+    "simulate_reliability",
+    "simulate_mttf",
+    "simulate_steady_availability",
+    "simulate_transient_probability",
+    "simulate_steady_fraction",
+    "simulate_time_to_absorption",
+    "simulate_reward_rate",
+    "simulate_transient_reward",
+    "simulate_cycle_failure_probability",
+    "simulate_mttf_importance_sampling",
+]

@@ -1,0 +1,151 @@
+"""Trajectory simulation of CTMCs.
+
+The second half of the E22 cross-validation: simulate the chain the
+solvers analyze and check that transient probabilities, steady-state
+fractions and absorption times agree within confidence intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelDefinitionError, StateSpaceError
+from ..markov.ctmc import CTMC
+from .estimators import Estimate, estimate_mean, estimate_proportion
+
+__all__ = [
+    "simulate_transient_probability",
+    "simulate_steady_fraction",
+    "simulate_time_to_absorption",
+]
+
+State = Hashable
+
+
+def _outgoing(chain: CTMC) -> Dict[State, List[Tuple[State, float]]]:
+    out: Dict[State, List[Tuple[State, float]]] = {s: [] for s in chain.states}
+    for src in chain.states:
+        for dst in chain.states:
+            if src == dst:
+                continue
+            rate = chain.rate(src, dst)
+            if rate > 0:
+                out[src].append((dst, rate))
+    return out
+
+
+def _step(
+    state: State,
+    outgoing: Dict[State, List[Tuple[State, float]]],
+    rng: np.random.Generator,
+) -> Tuple[Optional[State], float]:
+    """(next state or None if absorbing, holding time)."""
+    moves = outgoing[state]
+    if not moves:
+        return None, float("inf")
+    total = sum(rate for _, rate in moves)
+    hold = rng.exponential(1.0 / total)
+    u = rng.uniform() * total
+    acc = 0.0
+    for target, rate in moves:
+        acc += rate
+        if u <= acc:
+            return target, hold
+    return moves[-1][0], hold
+
+
+def simulate_transient_probability(
+    chain: CTMC,
+    target_states,
+    t: float,
+    initial,
+    n_samples: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+) -> Estimate:
+    """Estimate ``P[X(t) ∈ target_states]`` by trajectory sampling."""
+    rng = rng if rng is not None else np.random.default_rng()
+    targets = set(target_states)
+    outgoing = _outgoing(chain)
+    hits = 0
+    for _ in range(n_samples):
+        state = initial
+        clock = 0.0
+        while True:
+            nxt, hold = _step(state, outgoing, rng)
+            if clock + hold > t or nxt is None:
+                break
+            clock += hold
+            state = nxt
+        if state in targets:
+            hits += 1
+    return estimate_proportion(hits, n_samples)
+
+
+def simulate_steady_fraction(
+    chain: CTMC,
+    target_states,
+    horizon: float,
+    initial,
+    n_replications: int = 32,
+    warmup_fraction: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> Estimate:
+    """Estimate the long-run fraction of time in ``target_states``."""
+    rng = rng if rng is not None else np.random.default_rng()
+    targets = set(target_states)
+    outgoing = _outgoing(chain)
+    warmup = horizon * float(warmup_fraction)
+    fractions = np.empty(n_replications)
+    for rep in range(n_replications):
+        state = initial
+        clock = 0.0
+        in_target = 0.0
+        while clock < horizon:
+            nxt, hold = _step(state, outgoing, rng)
+            end = min(clock + hold, horizon)
+            if end > warmup and state in targets:
+                in_target += end - max(clock, warmup)
+            clock = end
+            if nxt is None:
+                if state in targets and clock < horizon and horizon > warmup:
+                    in_target += horizon - max(clock, warmup)
+                break
+            if clock < horizon:
+                state = nxt
+        fractions[rep] = in_target / (horizon - warmup)
+    return estimate_mean(fractions)
+
+
+def simulate_time_to_absorption(
+    chain: CTMC,
+    initial,
+    n_samples: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+    absorbing=None,
+) -> Estimate:
+    """Estimate the mean time to absorption by trajectory sampling."""
+    rng = rng if rng is not None else np.random.default_rng()
+    target = set(absorbing) if absorbing is not None else set(chain.absorbing_states())
+    if not target:
+        raise StateSpaceError("chain has no absorbing states")
+    outgoing = _outgoing(chain)
+    times = np.empty(n_samples)
+    for k in range(n_samples):
+        state = initial
+        clock = 0.0
+        guard = 0
+        while state not in target:
+            nxt, hold = _step(state, outgoing, rng)
+            if nxt is None:
+                raise ModelDefinitionError(
+                    f"trajectory stuck in non-target absorbing state {state!r}"
+                )
+            clock += hold
+            state = nxt
+            guard += 1
+            if guard > 10_000_000:  # pragma: no cover - runaway guard
+                raise StateSpaceError("trajectory exceeded 10^7 jumps without absorbing")
+        times[k] = clock
+    return estimate_mean(times)

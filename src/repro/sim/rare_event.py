@@ -1,0 +1,198 @@
+"""Rare-event simulation: importance sampling with failure biasing.
+
+Highly available systems fail so rarely that naive simulation wastes
+almost every replication — the classic motivation for *failure biasing*:
+simulate under a distorted jump chain that makes failure transitions
+likely, and correct each outcome by its likelihood ratio.  Combined with
+the regenerative identity
+
+    MTTF  =  E[cycle length] / P[cycle ends in system failure]
+
+this estimates MTTFs of 10^9+ hours from thousands of short cycles.
+
+The implementation works on the embedded jump chain (sojourn times do
+not affect *which* absorbing set a cycle hits) and uses simple constant
+failure biasing (Lewis & Böhm): at every state with both failure-ward
+and repair-ward moves, the failure-ward moves jointly receive
+probability ``bias``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelDefinitionError, StateSpaceError
+from ..markov.ctmc import CTMC
+from .estimators import Estimate, estimate_mean
+
+__all__ = ["simulate_cycle_failure_probability", "simulate_mttf_importance_sampling"]
+
+State = Hashable
+TransitionClassifier = Callable[[State, State], bool]
+
+
+def _jump_data(chain: CTMC) -> Dict[State, List[Tuple[State, float]]]:
+    out: Dict[State, List[Tuple[State, float]]] = {s: [] for s in chain.states}
+    for src in chain.states:
+        for dst in chain.states:
+            if src != dst:
+                rate = chain.rate(src, dst)
+                if rate > 0:
+                    out[src].append((dst, rate))
+    return out
+
+
+def simulate_cycle_failure_probability(
+    chain: CTMC,
+    start: State,
+    failure_states,
+    is_failure_transition: TransitionClassifier,
+    bias: float = 0.5,
+    n_cycles: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+    max_jumps: int = 100_000,
+) -> Estimate:
+    """IS estimate of ``P[cycle from `start` hits failure before returning]``.
+
+    Parameters
+    ----------
+    chain:
+        The availability CTMC (regenerative at ``start``).
+    start:
+        The regeneration state (e.g. "all components up").
+    failure_states:
+        System-failure states; reaching any of them ends the cycle as a
+        failure.
+    is_failure_transition:
+        Classifier: True for failure-ward moves (these get boosted).
+    bias:
+        Total biased probability of the failure-ward moves in each state
+        that has both kinds (0 < bias < 1); 0.5 is the standard choice.
+    n_cycles:
+        Number of simulated regenerative cycles.
+
+    Returns
+    -------
+    An :class:`~repro.sim.estimators.Estimate` whose ``value`` is the
+    (unbiased) importance-sampling estimate of the per-cycle failure
+    probability.
+    """
+    if not 0.0 < bias < 1.0:
+        raise ModelDefinitionError(f"bias must be in (0, 1), got {bias}")
+    rng = rng if rng is not None else np.random.default_rng()
+    failures = set(failure_states)
+    if start in failures:
+        raise ModelDefinitionError("the regeneration state cannot be a failure state")
+    jumps = _jump_data(chain)
+    if not jumps.get(start):
+        raise StateSpaceError(f"start state {start!r} has no outgoing transitions")
+
+    samples = np.empty(n_cycles)
+    for k in range(n_cycles):
+        state = start
+        weight = 1.0
+        result = 0.0
+        for _ in range(max_jumps):
+            moves = jumps[state]
+            if not moves:
+                raise StateSpaceError(
+                    f"state {state!r} is absorbing but not a failure state"
+                )
+            total = sum(r for _s, r in moves)
+            fail_moves = [(s, r) for s, r in moves if is_failure_transition(state, s)]
+            other_moves = [(s, r) for s, r in moves if not is_failure_transition(state, s)]
+            fail_rate = sum(r for _s, r in fail_moves)
+
+            if fail_moves and other_moves:
+                # Biased kernel: failure-ward set gets `bias` in total.
+                if rng.uniform() < bias:
+                    target = _pick(fail_moves, rng)
+                    p_true = chain.rate(state, target) / total
+                    p_sim = bias * chain.rate(state, target) / fail_rate
+                else:
+                    target = _pick(other_moves, rng)
+                    p_true = chain.rate(state, target) / total
+                    p_sim = (1.0 - bias) * chain.rate(state, target) / (total - fail_rate)
+                weight *= p_true / p_sim
+            else:
+                target = _pick(moves, rng)
+
+            state = target
+            if state in failures:
+                result = weight
+                break
+            if state == start:
+                result = 0.0
+                break
+        else:  # pragma: no cover - runaway guard
+            raise StateSpaceError(f"cycle exceeded {max_jumps} jumps")
+        samples[k] = result
+    return estimate_mean(samples)
+
+
+def _pick(moves: List[Tuple[State, float]], rng: np.random.Generator) -> State:
+    total = sum(r for _s, r in moves)
+    u = rng.uniform() * total
+    acc = 0.0
+    for state, rate in moves:
+        acc += rate
+        if u <= acc:
+            return state
+    return moves[-1][0]
+
+
+def simulate_mttf_importance_sampling(
+    chain: CTMC,
+    start: State,
+    failure_states,
+    is_failure_transition: TransitionClassifier,
+    bias: float = 0.5,
+    n_cycles: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[float, Estimate, Estimate]:
+    """MTTF via the regenerative identity with failure biasing.
+
+    ``MTTF ≈ E[cycle length] / p`` where ``p`` is the per-cycle failure
+    probability from :func:`simulate_cycle_failure_probability` and the
+    expected cycle length is estimated under the *unbiased* dynamics
+    (cheap: cycles are short).
+
+    Returns
+    -------
+    ``(mttf_estimate, cycle_length_estimate, failure_probability_estimate)``.
+
+    Notes
+    -----
+    Strictly, the regenerative formula uses the expected cycle length
+    conditioned on no failure; for highly reliable systems (p << 1) the
+    difference is O(p) and far below the sampling noise — the standard
+    practical approximation.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    p_est = simulate_cycle_failure_probability(
+        chain, start, failure_states, is_failure_transition,
+        bias=bias, n_cycles=n_cycles, rng=rng,
+    )
+    if p_est.value <= 0.0:
+        raise StateSpaceError("no failures observed even under biasing; raise bias")
+
+    # Unbiased cycle-length estimate (failures contribute negligibly).
+    jumps = _jump_data(chain)
+    failures = set(failure_states)
+    lengths = np.empty(min(n_cycles, 5000))
+    for k in range(lengths.size):
+        state = start
+        clock = 0.0
+        while True:
+            moves = jumps[state]
+            total = sum(r for _s, r in moves)
+            clock += rng.exponential(1.0 / total)
+            state = _pick(moves, rng)
+            if state == start or state in failures:
+                break
+        lengths[k] = clock
+    length_est = estimate_mean(lengths)
+    mttf = length_est.value / p_est.value
+    return mttf, length_est, p_est

@@ -1,0 +1,189 @@
+"""Monte Carlo simulation of structural (non-state-space) models.
+
+Independent validation path for RBDs, fault trees and reliability graphs:
+sample component lifetimes (and repair cycles), replay the structure
+function, and estimate the same measures the analytic engines compute.
+Used by benchmark E22 and by the property tests as an oracle of last
+resort.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ModelDefinitionError
+from ..nonstate.components import Component
+from ..nonstate.faulttree import FaultTree
+from ..nonstate.rbd import ReliabilityBlockDiagram
+from ..nonstate.relgraph import ReliabilityGraph
+from .estimators import Estimate, estimate_mean, estimate_proportion
+
+__all__ = [
+    "simulate_reliability",
+    "simulate_mttf",
+    "simulate_steady_availability",
+]
+
+StructuralModel = Union[FaultTree, ReliabilityBlockDiagram, ReliabilityGraph]
+
+
+def _adapter(model: StructuralModel) -> Tuple[Dict[str, Component], Callable[[Mapping[str, bool]], bool]]:
+    """(components, is_up(failed_map)) for any structural model."""
+    if isinstance(model, FaultTree):
+        components = {name: ev.component for name, ev in model.basic_events.items()}
+        manager, node = model._ensure_bdd()
+
+        def is_up(failed: Mapping[str, bool]) -> bool:
+            return not manager.evaluate(node, failed)
+
+        return components, is_up
+    if isinstance(model, ReliabilityBlockDiagram):
+        components = model.components
+        manager, node = model._ensure_bdd()
+
+        def is_up(failed: Mapping[str, bool]) -> bool:
+            return manager.evaluate(node, {k: not v for k, v in failed.items()})
+
+        return components, is_up
+    if isinstance(model, ReliabilityGraph):
+        components = model.components
+        manager, node = model._ensure_bdd()
+
+        def is_up(failed: Mapping[str, bool]) -> bool:
+            return manager.evaluate(node, {k: not v for k, v in failed.items()})
+
+        return components, is_up
+    raise ModelDefinitionError(f"unsupported structural model: {type(model).__name__}")
+
+
+def _require_lifetimes(components: Dict[str, Component]) -> None:
+    fixed = [name for name, c in components.items() if c.failure is None]
+    if fixed:
+        raise ModelDefinitionError(
+            f"components without lifetime distributions cannot be simulated in time: {fixed}"
+        )
+
+
+def simulate_reliability(
+    model: StructuralModel,
+    t: float,
+    n_samples: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+) -> Estimate:
+    """Estimate mission reliability at time ``t`` by direct sampling."""
+    rng = rng if rng is not None else np.random.default_rng()
+    components, is_up = _adapter(model)
+    _require_lifetimes(components)
+    names = list(components)
+    lifetimes = {
+        name: np.asarray(components[name].failure.sample(rng, size=n_samples))
+        for name in names
+    }
+    up_count = 0
+    for k in range(n_samples):
+        failed = {name: bool(lifetimes[name][k] <= t) for name in names}
+        if is_up(failed):
+            up_count += 1
+    return estimate_proportion(up_count, n_samples)
+
+
+def simulate_mttf(
+    model: StructuralModel,
+    n_samples: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+) -> Estimate:
+    """Estimate the system MTTF by replaying failures in time order.
+
+    Valid for coherent structures: as components fail one by one the
+    system can only go down, so the system failure time is the first
+    prefix of failures that downs it.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    components, is_up = _adapter(model)
+    _require_lifetimes(components)
+    names = list(components)
+    samples = np.empty(n_samples)
+    lifetimes = {
+        name: np.asarray(components[name].failure.sample(rng, size=n_samples))
+        for name in names
+    }
+    for k in range(n_samples):
+        order = sorted(names, key=lambda name: lifetimes[name][k])
+        failed = {name: False for name in names}
+        system_failure = float("inf")
+        for name in order:
+            failed[name] = True
+            if not is_up(failed):
+                system_failure = float(lifetimes[name][k])
+                break
+        samples[k] = system_failure
+    if np.any(~np.isfinite(samples)):
+        raise ModelDefinitionError(
+            "system never failed in some replications; the structure has no cut set"
+        )
+    return estimate_mean(samples)
+
+
+def simulate_steady_availability(
+    model: StructuralModel,
+    horizon: float,
+    n_replications: int = 64,
+    warmup_fraction: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> Estimate:
+    """Estimate steady-state availability by alternating-renewal replay.
+
+    Each component alternates lifetime/repair draws independently; the
+    system up fraction over ``[warmup, horizon]`` per replication is the
+    sample.  Components must have both failure and repair distributions.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    components, is_up = _adapter(model)
+    _require_lifetimes(components)
+    missing_repair = [n for n, c in components.items() if c.repair is None]
+    if missing_repair:
+        raise ModelDefinitionError(
+            f"availability simulation needs repair distributions for: {missing_repair}"
+        )
+    names = list(components)
+    warmup = horizon * float(warmup_fraction)
+    fractions = np.empty(n_replications)
+
+    for rep in range(n_replications):
+        # Per-component alternating renewal event streams.
+        events = []  # (time, name, new_failed_state)
+        for name in names:
+            comp = components[name]
+            t = 0.0
+            failed = False
+            while t < horizon:
+                if not failed:
+                    t += float(comp.failure.sample(rng))
+                    if t < horizon:
+                        events.append((t, name, True))
+                else:
+                    t += float(comp.repair.sample(rng))
+                    if t < horizon:
+                        events.append((t, name, False))
+                failed = not failed
+        events.sort(key=lambda e: e[0])
+        failed_map = {name: False for name in names}
+        up_time = 0.0
+        current = warmup
+        system_up = True
+        # Replay events; accumulate up time after warmup.
+        for time, name, new_state in events:
+            if time > warmup:
+                if system_up:
+                    up_time += min(time, horizon) - current
+                current = min(time, horizon)
+            failed_map[name] = new_state
+            system_up = is_up(failed_map)
+            if time >= horizon:
+                break
+        if system_up:
+            up_time += horizon - current
+        fractions[rep] = up_time / (horizon - warmup)
+    return estimate_mean(fractions)

@@ -1,0 +1,21 @@
+"""Software reliability growth models (the SREPT side of the tutorial).
+
+NHPP models of failure occurrence during test/debug — Goel–Okumoto,
+delayed S-shaped, Musa–Okumoto — with MLE fitting and the Laplace trend
+test, used to answer "how many faults remain?" and "what reliability can
+we claim at release?".
+"""
+
+from .fitting import GoelOkumotoFit, LaplaceTrend, fit_goel_okumoto, laplace_trend
+from .models import DelayedSShaped, GoelOkumoto, MusaOkumoto, NHPPModel
+
+__all__ = [
+    "NHPPModel",
+    "GoelOkumoto",
+    "DelayedSShaped",
+    "MusaOkumoto",
+    "GoelOkumotoFit",
+    "fit_goel_okumoto",
+    "LaplaceTrend",
+    "laplace_trend",
+]

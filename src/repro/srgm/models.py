@@ -1,0 +1,171 @@
+"""Software reliability growth models (NHPP family).
+
+The software-reliability side of the tutorial's practice (the author's
+SREPT tool): failures during test/debug follow a non-homogeneous Poisson
+process whose mean-value function flattens as faults are removed.  The
+three classical models:
+
+* **Goel–Okumoto** — ``m(t) = a (1 - e^{-bt})``: finite fault content
+  ``a``, exponential detection;
+* **delayed S-shaped** — ``m(t) = a (1 - (1 + bt) e^{-bt})``: learning
+  phase before the detection rate peaks;
+* **Musa–Okumoto (logarithmic Poisson)** —
+  ``m(t) = (1/θ) ln(1 + λ₀ θ t)``: infinite failures, geometrically
+  decaying per-fault intensity.
+
+Every model exposes the practitioner measures: expected cumulative
+failures, failure intensity, expected residual faults, and conditional
+reliability ``R(s | t) = exp(-(m(t+s) - m(t)))``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_positive
+from ..exceptions import ModelDefinitionError
+
+__all__ = ["NHPPModel", "GoelOkumoto", "DelayedSShaped", "MusaOkumoto"]
+
+
+class NHPPModel(abc.ABC):
+    """A non-homogeneous Poisson process failure model."""
+
+    @abc.abstractmethod
+    def mean_value(self, t):
+        """Expected cumulative failures ``m(t)``."""
+
+    @abc.abstractmethod
+    def intensity(self, t):
+        """Failure intensity ``λ(t) = m'(t)``."""
+
+    def reliability(self, mission: float, after: float = 0.0) -> float:
+        """``P[no failure in (after, after + mission)]``.
+
+        The conditional reliability practitioners quote at release time
+        ``after``.
+        """
+        if mission < 0 or after < 0:
+            raise ModelDefinitionError("times must be non-negative")
+        delta = float(self.mean_value(after + mission)) - float(self.mean_value(after))
+        return math.exp(-delta)
+
+    def expected_failures(self, t1: float, t2: float) -> float:
+        """Expected failures in the interval ``(t1, t2]``."""
+        if not 0 <= t1 <= t2:
+            raise ModelDefinitionError("need 0 <= t1 <= t2")
+        return float(self.mean_value(t2)) - float(self.mean_value(t1))
+
+    def sample_failure_times(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
+        """Simulate one realization on ``(0, horizon]``.
+
+        Draws ``N ~ Poisson(m(T))`` and places the N event times i.i.d.
+        with CDF ``m(t)/m(T)`` (the standard NHPP order-statistics
+        construction), inverted numerically.
+        """
+        total = float(self.mean_value(horizon))
+        n = int(rng.poisson(total))
+        if n == 0:
+            return np.empty(0)
+        u = np.sort(rng.uniform(size=n)) * total
+        # invert m on a fine grid
+        grid = np.linspace(0.0, horizon, 20_001)
+        values = np.asarray(self.mean_value(grid), dtype=float)
+        return np.interp(u, values, grid)
+
+
+class GoelOkumoto(NHPPModel):
+    """Goel–Okumoto exponential NHPP: ``m(t) = a (1 - e^{-bt})``.
+
+    Parameters
+    ----------
+    a:
+        Expected total fault content.
+    b:
+        Per-fault detection rate.
+
+    Examples
+    --------
+    >>> model = GoelOkumoto(a=100.0, b=0.05)
+    >>> round(model.mean_value(20.0), 4)
+    63.2121
+    """
+
+    def __init__(self, a: float, b: float):
+        self.a = check_positive(a, "a")
+        self.b = check_positive(b, "b")
+
+    def mean_value(self, t):
+        t = np.asarray(t, dtype=float)
+        out = self.a * -np.expm1(-self.b * t)
+        return out if out.ndim else float(out)
+
+    def intensity(self, t):
+        t = np.asarray(t, dtype=float)
+        out = self.a * self.b * np.exp(-self.b * t)
+        return out if out.ndim else float(out)
+
+    def expected_remaining(self, t: float) -> float:
+        """Expected undetected faults at time ``t``: ``a e^{-bt}``."""
+        return self.a * math.exp(-self.b * float(t))
+
+
+class DelayedSShaped(NHPPModel):
+    """Yamada delayed S-shaped NHPP: ``m(t) = a (1 - (1 + bt) e^{-bt})``.
+
+    Examples
+    --------
+    >>> model = DelayedSShaped(a=100.0, b=0.1)
+    >>> model.intensity(0.0)
+    0.0
+    """
+
+    def __init__(self, a: float, b: float):
+        self.a = check_positive(a, "a")
+        self.b = check_positive(b, "b")
+
+    def mean_value(self, t):
+        t = np.asarray(t, dtype=float)
+        out = self.a * (1.0 - (1.0 + self.b * t) * np.exp(-self.b * t))
+        return out if out.ndim else float(out)
+
+    def intensity(self, t):
+        t = np.asarray(t, dtype=float)
+        out = self.a * self.b**2 * t * np.exp(-self.b * t)
+        return out if out.ndim else float(out)
+
+    def expected_remaining(self, t: float) -> float:
+        """Expected undetected faults at time ``t``."""
+        return self.a - float(self.mean_value(t))
+
+
+class MusaOkumoto(NHPPModel):
+    """Musa–Okumoto logarithmic Poisson: ``m(t) = ln(1 + λ₀ θ t) / θ``.
+
+    Infinite-failure model: intensity decays geometrically with the
+    number of failures experienced, never reaching zero.
+
+    Examples
+    --------
+    >>> model = MusaOkumoto(initial_intensity=10.0, decay=0.05)
+    >>> model.intensity(0.0)
+    10.0
+    """
+
+    def __init__(self, initial_intensity: float, decay: float):
+        self.initial_intensity = check_positive(initial_intensity, "initial_intensity")
+        self.decay = check_positive(decay, "decay")
+
+    def mean_value(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.log1p(self.initial_intensity * self.decay * t) / self.decay
+        return out if out.ndim else float(out)
+
+    def intensity(self, t):
+        t = np.asarray(t, dtype=float)
+        out = self.initial_intensity / (1.0 + self.initial_intensity * self.decay * t)
+        return out if out.ndim else float(out)

@@ -1,0 +1,205 @@
+"""Tests for the tutorial case studies: each module must reproduce its
+qualitative claim (who wins, by roughly what factor)."""
+
+import numpy as np
+import pytest
+
+from repro.casestudies import bladecenter, boeing, cisco, rejuvenation, sip, sun, wfs
+
+
+class TestCisco:
+    def test_redundancy_beats_simplex(self):
+        params = cisco.CiscoParameters()
+        simplex = cisco.build_simplex_processor(params)
+        redundant = cisco.build_redundant_processor(params)
+        assert (
+            redundant.steady_state_availability() > simplex.steady_state_availability()
+        )
+        # Order-of-magnitude gain on downtime:
+        assert simplex.downtime_minutes_per_year() > 10 * redundant.downtime_minutes_per_year()
+
+    def test_coverage_dominates_residual_downtime(self):
+        base = cisco.CiscoParameters()
+        better_coverage = cisco.CiscoParameters(coverage=0.999)
+        a0 = cisco.build_redundant_processor(base).downtime_minutes_per_year()
+        a1 = cisco.build_redundant_processor(better_coverage).downtime_minutes_per_year()
+        assert a1 < a0
+
+    def test_full_router_table_shape(self):
+        rows = cisco.downtime_table()
+        assert len(rows) == 4
+        names = [r[0] for r in rows]
+        assert any("simplex" in n for n in names)
+        for _name, avail, downtime in rows:
+            assert 0.99 < avail <= 1.0
+            assert downtime == pytest.approx((1 - avail) * 525_600, rel=1e-9)
+
+    def test_router_availability_below_processor(self):
+        params = cisco.CiscoParameters()
+        router = cisco.build_router(params, redundant=True)
+        proc = cisco.build_redundant_processor(params)
+        assert router.steady_state_availability() < proc.steady_state_availability()
+
+
+class TestBladeCenter:
+    def test_blade_dominates_downtime_budget(self):
+        rows = {name: downtime for name, _a, downtime in bladecenter.downtime_budget()}
+        chassis_downtime = rows["power"] + rows["cooling"] + rows["management"] + rows["switch"]
+        assert rows["blade server"] > 10 * chassis_downtime
+
+    def test_system_availability_near_four_nines(self):
+        rows = {name: avail for name, avail, _d in bladecenter.downtime_budget()}
+        assert 0.99995 > rows["system (chassis + blade)"] > 0.999
+
+    def test_redundant_pair_better_than_single(self):
+        params = bladecenter.BladeCenterParameters()
+        pair = bladecenter.build_redundant_pair(
+            params.power_failure_rate, params.chassis_repair_rate
+        )
+        single_unavail = params.power_failure_rate / (
+            params.power_failure_rate + params.chassis_repair_rate
+        )
+        assert pair.steady_state_unavailability() < single_unavail / 100
+
+    def test_hierarchy_consistent_with_direct_product(self):
+        params = bladecenter.BladeCenterParameters()
+        solution = bladecenter.build_bladecenter(params).solve()
+        direct = (
+            solution.value("chassis", "availability")
+            * solution.value("blade", "availability")
+        )
+        assert solution.value("system", "availability") == pytest.approx(direct, rel=1e-12)
+
+    def test_shared_vs_independent_repair_ordering(self):
+        params = bladecenter.BladeCenterParameters()
+        shared = bladecenter.build_redundant_pair(1e-3, 0.25, shared_repair=True)
+        independent = bladecenter.build_redundant_pair(1e-3, 0.25, shared_repair=False)
+        assert (
+            independent.steady_state_availability() > shared.steady_state_availability()
+        )
+
+
+class TestSun:
+    def test_immediate_beats_deferred(self):
+        rows = {name: avail for name, avail, _d, _dpm in sun.policy_table()}
+        assert rows["immediate"] > rows["deferred"]
+
+    def test_dpm_definition(self):
+        for _name, avail, _downtime, dpm_value in sun.policy_table():
+            assert dpm_value == pytest.approx((1 - avail) * 1e6, rel=1e-9)
+
+    def test_coverage_sweep_monotone(self):
+        rows = sun.coverage_sweep(np.linspace(0.9, 0.9999, 8))
+        dpms = [row[2] for row in rows]
+        assert all(b < a for a, b in zip(dpms, dpms[1:]))
+
+    def test_coverage_blowup_factor(self):
+        rows = sun.coverage_sweep([0.9, 0.9999])
+        # dropping coverage from 4 nines to 1 nine costs >10x the DPM
+        assert rows[0][2] > 10 * rows[1][2]
+
+
+class TestSIP:
+    def test_report_levels_ordered(self):
+        report = sip.availability_report()
+        # Composition can only lose availability vs its parts:
+        assert report["node"] <= min(report["software"], report["hardware"]) + 1e-12
+        assert report["service"] <= report["proxies"] + 1e-12
+
+    def test_software_dominates_hardware(self):
+        report = sip.availability_report()
+        assert report["software"] < report["hardware"]
+
+    def test_restart_coverage_sensitivity(self):
+        base = sip.availability_report(sip.SIPParameters())["service"]
+        better = sip.availability_report(sip.SIPParameters(restart_coverage=0.99))["service"]
+        assert better > base
+
+    def test_cluster_redundancy_masks_node_failures(self):
+        report = sip.availability_report()
+        assert report["service"] > report["node"]
+
+
+class TestBoeing:
+    def test_generator_reproducible(self):
+        t1 = boeing.generate_boeing_style_tree(seed=5)
+        t2 = boeing.generate_boeing_style_tree(seed=5)
+        assert t1.top_event_probability() == t2.top_event_probability()
+
+    def test_tree_has_repeated_events(self):
+        tree = boeing.generate_boeing_style_tree()
+        shared_used = sum(
+            1 for cs in tree.minimal_cut_sets() for e in cs if e.startswith("shared")
+        )
+        assert shared_used > 0
+
+    def test_bounds_converge_monotonically(self):
+        tree = boeing.generate_boeing_style_tree(n_sections=6)
+        rows = boeing.bounds_convergence_table(tree, depths=[1, 2, 3, 4])
+        exact = rows[0][3]
+        widths = [hi - lo for _d, lo, hi, _e in rows]
+        for _depth, lo, hi, _exact in rows:
+            assert lo - 1e-18 <= exact <= hi + 1e-18
+        assert all(b <= a + 1e-18 for a, b in zip(widths, widths[1:]))
+
+    def test_scaling_knobs(self):
+        small = boeing.generate_boeing_style_tree(n_sections=4)
+        large = boeing.generate_boeing_style_tree(n_sections=10)
+        assert len(large.basic_events) > len(small.basic_events)
+
+
+class TestRejuvenation:
+    def test_rejuvenation_reduces_total_downtime(self):
+        baseline = rejuvenation.downtime_fraction(None)
+        tuned = rejuvenation.downtime_fraction(120.0)
+        assert tuned["total"] < baseline["total"]
+
+    def test_downtime_split_consistent(self):
+        split = rejuvenation.downtime_fraction(100.0)
+        assert split["total"] == pytest.approx(split["planned"] + split["unplanned"])
+        assert split["availability"] == pytest.approx(1 - split["total"])
+
+    def test_finite_optimal_interval(self):
+        grid = np.linspace(12.0, 800.0, 30)
+        best_tau, best_cost = rejuvenation.optimal_interval(grid)
+        # optimum strictly inside the grid: the classic U-shape
+        assert grid[0] < best_tau < grid[-1]
+        rows = rejuvenation.interval_sweep([grid[0], grid[-1]])
+        assert best_cost < rows[0][3]
+        assert best_cost < rows[1][3]
+
+    def test_aggressive_rejuvenation_is_mostly_planned(self):
+        split = rejuvenation.downtime_fraction(12.0)
+        assert split["planned"] > split["unplanned"]
+
+    def test_lazy_rejuvenation_is_mostly_unplanned(self):
+        split = rejuvenation.downtime_fraction(2000.0)
+        assert split["unplanned"] > split["planned"]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            rejuvenation.build_rejuvenation_mrgp(0.0)
+
+
+class TestWFS:
+    def test_hierarchical_equals_monolithic(self):
+        params = wfs.WFSParameters()
+        assert wfs.hierarchical_availability(params) == pytest.approx(
+            wfs.monolithic_availability(params), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("n,k", [(2, 1), (4, 2), (6, 3), (8, 5)])
+    def test_agreement_across_sizes(self, n, k):
+        params = wfs.WFSParameters(n_workstations=n, k_required=k)
+        assert wfs.hierarchical_availability(params) == pytest.approx(
+            wfs.monolithic_availability(params), abs=1e-12
+        )
+
+    def test_state_count(self):
+        params = wfs.WFSParameters(n_workstations=4)
+        assert wfs.monolithic_state_count(params) == 10
+
+    def test_more_required_workstations_less_available(self):
+        loose = wfs.WFSParameters(k_required=1)
+        strict = wfs.WFSParameters(k_required=4)
+        assert wfs.hierarchical_availability(strict) < wfs.hierarchical_availability(loose)

@@ -1,0 +1,76 @@
+"""Tests for the telephone-switching DPM case study."""
+
+import pytest
+
+from repro.casestudies.telecom import (
+    LOSS_FRACTION,
+    TelecomParameters,
+    build_switch,
+    call_loss_dpm,
+    dpm_table,
+)
+
+
+class TestModelStructure:
+    def test_states(self):
+        chain = build_switch(TelecomParameters())
+        assert set(chain.states) == {"duplex", "failover", "manual", "simplex", "down"}
+
+    def test_steady_state_sums_to_one(self):
+        chain = build_switch(TelecomParameters())
+        assert sum(chain.steady_state().values()) == pytest.approx(1.0)
+
+    def test_loss_fractions_cover_states(self):
+        chain = build_switch(TelecomParameters())
+        assert set(LOSS_FRACTION) == set(chain.states)
+
+
+class TestDPM:
+    def test_decomposition_adds_up(self):
+        result = call_loss_dpm(TelecomParameters())
+        assert result["total_dpm"] == pytest.approx(
+            result["steady_dpm"] + result["impulse_dpm"]
+        )
+
+    def test_availability_hides_call_loss(self):
+        # The availability number looks superb while DPM is non-trivial —
+        # the case study's point.
+        result = call_loss_dpm(TelecomParameters())
+        assert result["availability"] > 0.999999
+        assert result["total_dpm"] > 0.1
+
+    def test_dpm_decreases_with_coverage(self):
+        rows = dpm_table((0.9, 0.99, 0.999))
+        totals = [row[4] for row in rows]
+        assert totals[0] > totals[1] > totals[2]
+
+    def test_coverage_gain_saturates(self):
+        # Going 0.9 -> 0.99 buys much more than 0.999 -> 0.9999: the
+        # switchover blackout + dropped calls set a floor coverage
+        # cannot remove.
+        rows = dpm_table((0.9, 0.99, 0.999, 0.9999))
+        first_gain = rows[0][4] - rows[1][4]
+        last_gain = rows[2][4] - rows[3][4]
+        assert first_gain > 10 * last_gain
+
+    def test_impulse_loss_immune_to_coverage(self):
+        rows = dpm_table((0.9, 0.9999))
+        # impulse loss (covered switchover drops) does NOT fall with
+        # coverage — it slightly rises as more failures are covered.
+        assert rows[1][3] >= rows[0][3]
+
+    def test_faster_switchover_reduces_dpm(self):
+        slow = call_loss_dpm(TelecomParameters(failover_rate=60.0))
+        fast = call_loss_dpm(TelecomParameters(failover_rate=3600.0))
+        assert fast["total_dpm"] < slow["total_dpm"]
+
+    def test_hitless_switchover_limit(self):
+        # No dropped calls and instant switchover: impulse goes to zero
+        # and the steady loss approaches manual+down only.
+        result = call_loss_dpm(
+            TelecomParameters(calls_dropped_per_switchover=0.0, failover_rate=3.6e6)
+        )
+        assert result["impulse_dpm"] == 0.0
+        # remaining loss is the uncovered-manual + double-failure floor
+        assert result["total_dpm"] < call_loss_dpm(TelecomParameters())["total_dpm"]
+        assert result["total_dpm"] < 0.5

@@ -1,0 +1,24 @@
+"""Shared pytest fixtures.
+
+Also makes the test suite runnable straight from a source checkout by
+putting ``src/`` on ``sys.path`` when the package is not installed.
+"""
+
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:  # pragma: no cover - source-checkout fallback
+        sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator per test."""
+    return np.random.default_rng(20160628)

@@ -1,0 +1,93 @@
+"""Unit tests for the fixed-point solver."""
+
+import math
+
+import pytest
+
+from repro.core import FixedPointSolver
+from repro.exceptions import ConvergenceError, HierarchyError
+
+
+class TestConvergence:
+    def test_linear_contraction(self):
+        solver = FixedPointSolver(lambda x: {"v": 0.5 * x["v"] + 1.0}, {"v": 0.0})
+        result = solver.solve()
+        assert result.values["v"] == pytest.approx(2.0, abs=1e-9)
+        assert result.converged
+
+    def test_geometric_rate_estimate(self):
+        solver = FixedPointSolver(lambda x: {"v": 0.5 * x["v"] + 1.0}, {"v": 0.0}, tol=1e-12)
+        result = solver.solve()
+        assert result.convergence_rate() == pytest.approx(0.5, abs=0.01)
+
+    def test_multivariate(self):
+        def update(x):
+            return {"a": 0.3 * x["b"] + 0.1, "b": 0.2 * x["a"] + 0.5}
+
+        result = FixedPointSolver(update, {"a": 0.0, "b": 0.0}).solve()
+        # a = 0.3b + 0.1, b = 0.2a + 0.5 → a = 0.26596, b = 0.55319
+        assert result.values["a"] == pytest.approx(0.25 / 0.94, abs=1e-8)
+        assert result.values["b"] == pytest.approx(0.52 / 0.94, abs=1e-8)
+
+    def test_nonlinear_babylonian_sqrt(self):
+        update = lambda x: {"v": 0.5 * (x["v"] + 2.0 / x["v"])}
+        result = FixedPointSolver(update, {"v": 1.0}).solve()
+        assert result.values["v"] == pytest.approx(math.sqrt(2.0))
+
+    def test_residual_history_decreases(self):
+        solver = FixedPointSolver(lambda x: {"v": 0.5 * x["v"]}, {"v": 1.0}, tol=1e-10)
+        result = solver.solve()
+        assert all(b <= a * 0.6 for a, b in zip(result.residuals, result.residuals[1:]))
+
+    def test_damping_stabilizes_oscillation(self):
+        # x <- -x + 2 oscillates undamped; damping 0.5 converges to 1.
+        update = lambda x: {"v": -x["v"] + 2.0}
+        undamped = FixedPointSolver(update, {"v": 0.0}, max_iterations=50, raise_on_failure=False)
+        assert not undamped.solve().converged
+        damped = FixedPointSolver(update, {"v": 0.0}, damping=0.5)
+        assert damped.solve().values["v"] == pytest.approx(1.0, abs=1e-8)
+
+    def test_already_converged(self):
+        result = FixedPointSolver(lambda x: dict(x), {"v": 1.0}).solve()
+        assert result.iterations == 1
+
+
+class TestFailureModes:
+    def test_budget_exhaustion_raises(self):
+        solver = FixedPointSolver(
+            lambda x: {"v": x["v"] + 1.0}, {"v": 0.0}, max_iterations=10
+        )
+        with pytest.raises(ConvergenceError) as err:
+            solver.solve()
+        assert err.value.iterations == 10
+
+    def test_no_raise_mode(self):
+        solver = FixedPointSolver(
+            lambda x: {"v": x["v"] + 1.0}, {"v": 0.0}, max_iterations=5,
+            raise_on_failure=False,
+        )
+        result = solver.solve()
+        assert not result.converged
+        assert result.iterations == 5
+
+    def test_changed_variable_set_rejected(self):
+        solver = FixedPointSolver(lambda x: {"other": 1.0}, {"v": 0.0})
+        with pytest.raises(HierarchyError):
+            solver.solve()
+
+    def test_empty_initial_rejected(self):
+        with pytest.raises(HierarchyError):
+            FixedPointSolver(lambda x: x, {})
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_bad_damping_rejected(self, bad):
+        with pytest.raises(HierarchyError):
+            FixedPointSolver(lambda x: x, {"v": 0.0}, damping=bad)
+
+    def test_bad_tol_rejected(self):
+        with pytest.raises(HierarchyError):
+            FixedPointSolver(lambda x: x, {"v": 0.0}, tol=0.0)
+
+    def test_rate_nan_with_few_residuals(self):
+        result = FixedPointSolver(lambda x: dict(x), {"v": 1.0}).solve()
+        assert math.isnan(result.convergence_rate())

@@ -1,0 +1,186 @@
+"""Unit tests for hierarchical model composition."""
+
+import pytest
+
+from repro.core import (
+    HierarchicalModel,
+    Submodel,
+    export_availability,
+    export_equivalent_failure_rate,
+    export_mttf,
+    export_unavailability,
+)
+from repro.exceptions import HierarchyError
+from repro.markov import CTMC, MarkovDependabilityModel
+from repro.nonstate import Component, ReliabilityBlockDiagram, series
+
+
+def leaf_builder(lam=1.0, mu=9.0):
+    def build(_params):
+        chain = CTMC()
+        chain.add_transition("up", "down", lam)
+        chain.add_transition("down", "up", mu)
+        return MarkovDependabilityModel(chain, ["up"], initial="up")
+
+    return build
+
+
+class TestAcyclic:
+    def test_two_level_availability(self):
+        h = HierarchicalModel()
+        h.add_submodel(Submodel("leaf", leaf_builder(), exports={"a": export_availability}))
+
+        def build_top(imports):
+            return ReliabilityBlockDiagram(
+                series(Component.fixed("leaf", 1.0 - imports["leaf_a"]))
+            )
+
+        h.add_submodel(
+            Submodel("top", build_top, imports={"leaf_a": ("leaf", "a")},
+                     exports={"a": export_availability})
+        )
+        solution = h.solve()
+        assert solution.value("top", "a") == pytest.approx(0.9)
+        assert solution.iterations == 1
+
+    def test_three_level_chain(self):
+        h = HierarchicalModel()
+        h.add_submodel(Submodel("l1", leaf_builder(1.0, 9.0), exports={"a": export_availability}))
+        h.add_submodel(
+            Submodel(
+                "l2",
+                lambda imp: ReliabilityBlockDiagram(
+                    series(Component.fixed("x", 1.0 - imp["a1"]))
+                ),
+                imports={"a1": ("l1", "a")},
+                exports={"a": export_availability},
+            )
+        )
+        h.add_submodel(
+            Submodel(
+                "l3",
+                lambda imp: ReliabilityBlockDiagram(
+                    series(Component.fixed("y", 1.0 - imp["a2"]),
+                           Component.fixed("z", 0.01))
+                ),
+                imports={"a2": ("l2", "a")},
+                exports={"a": export_availability},
+            )
+        )
+        solution = h.solve()
+        assert solution.value("l3", "a") == pytest.approx(0.9 * 0.99)
+
+    def test_exported_mttf_and_rate(self):
+        h = HierarchicalModel()
+        h.add_submodel(
+            Submodel(
+                "leaf",
+                leaf_builder(0.5, 9.0),
+                exports={
+                    "mttf": export_mttf,
+                    "rate": export_equivalent_failure_rate,
+                    "u": export_unavailability,
+                },
+            )
+        )
+        solution = h.solve()
+        assert solution.value("leaf", "mttf") == pytest.approx(2.0)
+        assert solution.value("leaf", "rate") == pytest.approx(0.5)
+        assert solution.value("leaf", "u") == pytest.approx(0.5 / 9.5)
+
+    def test_model_accessor(self):
+        h = HierarchicalModel()
+        h.add_submodel(Submodel("leaf", leaf_builder(), exports={"a": export_availability}))
+        solution = h.solve()
+        assert solution.model("leaf").steady_state_availability() == pytest.approx(0.9)
+
+    def test_is_acyclic(self):
+        h = HierarchicalModel()
+        h.add_submodel(Submodel("leaf", leaf_builder(), exports={"a": export_availability}))
+        assert h.is_acyclic()
+
+
+class TestValidation:
+    def test_duplicate_name_rejected(self):
+        h = HierarchicalModel()
+        h.add_submodel(Submodel("x", leaf_builder()))
+        with pytest.raises(HierarchyError):
+            h.add_submodel(Submodel("x", leaf_builder()))
+
+    def test_unknown_import_source_rejected(self):
+        h = HierarchicalModel()
+        h.add_submodel(
+            Submodel("top", leaf_builder(), imports={"p": ("ghost", "a")})
+        )
+        with pytest.raises(HierarchyError):
+            h.solve()
+
+    def test_unknown_export_rejected(self):
+        h = HierarchicalModel()
+        h.add_submodel(Submodel("leaf", leaf_builder(), exports={"a": export_availability}))
+        h.add_submodel(Submodel("top", leaf_builder(), imports={"p": ("leaf", "zzz")}))
+        with pytest.raises(HierarchyError):
+            h.solve()
+
+    def test_unknown_value_access_rejected(self):
+        h = HierarchicalModel()
+        h.add_submodel(Submodel("leaf", leaf_builder(), exports={"a": export_availability}))
+        solution = h.solve()
+        with pytest.raises(HierarchyError):
+            solution.value("leaf", "nope")
+        with pytest.raises(HierarchyError):
+            solution.model("ghost")
+
+
+class TestCyclic:
+    def build_cycle(self, k1=0.01, k2=0.02):
+        """Two RBDs whose failure probabilities scale with each other's
+        availability — an artificial contraction with a known fixed point."""
+        h = HierarchicalModel()
+        h.add_submodel(
+            Submodel(
+                "A",
+                lambda imp: ReliabilityBlockDiagram(
+                    Component.fixed("a", k1 * imp.get("b_avail", 1.0))
+                ),
+                imports={"b_avail": ("B", "avail")},
+                exports={"avail": export_availability},
+            )
+        )
+        h.add_submodel(
+            Submodel(
+                "B",
+                lambda imp: ReliabilityBlockDiagram(
+                    Component.fixed("b", k2 * imp.get("a_avail", 1.0))
+                ),
+                imports={"a_avail": ("A", "avail")},
+                exports={"avail": export_availability},
+            )
+        )
+        return h
+
+    def test_cycle_detected(self):
+        assert not self.build_cycle().is_acyclic()
+
+    def test_fixed_point_satisfies_equations(self):
+        k1, k2 = 0.01, 0.02
+        h = self.build_cycle(k1, k2)
+        solution = h.solve()
+        a = solution.value("A", "avail")
+        b = solution.value("B", "avail")
+        assert a == pytest.approx(1.0 - k1 * b, abs=1e-8)
+        assert b == pytest.approx(1.0 - k2 * a, abs=1e-8)
+        assert solution.iterations > 1
+
+    def test_damping_also_converges(self):
+        h = self.build_cycle()
+        solution = h.solve(damping=0.5)
+        a = solution.value("A", "avail")
+        assert a == pytest.approx(1.0 - 0.01 * solution.value("B", "avail"), abs=1e-6)
+
+    def test_initial_guess_respected(self):
+        h = self.build_cycle()
+        solution = h.solve(initial_guesses={("A", "avail"): 0.5, ("B", "avail"): 0.5})
+        assert solution.value("A", "avail") == pytest.approx(
+            1.0 - 0.01 * solution.value("B", "avail"), abs=1e-8
+        )

@@ -1,0 +1,87 @@
+"""Unit tests for practitioner measures and budget helpers."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    availability_from_downtime,
+    availability_from_nines,
+    defects_per_million,
+    downtime_minutes_per_year,
+    meets_slo,
+    nines_from_availability,
+    series_availability_budget,
+)
+from repro.exceptions import ModelDefinitionError
+
+
+class TestConversions:
+    @pytest.mark.parametrize("nines,avail", [(1, 0.9), (3, 0.999), (5, 0.99999)])
+    def test_nines_roundtrip(self, nines, avail):
+        assert availability_from_nines(nines) == pytest.approx(avail)
+        assert nines_from_availability(avail) == pytest.approx(nines)
+
+    def test_perfect_availability_infinite_nines(self):
+        assert math.isinf(nines_from_availability(1.0))
+
+    def test_downtime_conversion(self):
+        assert downtime_minutes_per_year(0.999) == pytest.approx(525.6)
+        assert availability_from_downtime(525.6) == pytest.approx(0.999)
+
+    def test_five_nines_is_five_minutes(self):
+        # the famous rule of thumb: five nines ~= 5.26 min/yr
+        assert downtime_minutes_per_year(0.99999) == pytest.approx(5.256)
+
+    def test_dpm(self):
+        assert defects_per_million(0.999999) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_range_validation(self, bad):
+        with pytest.raises(ModelDefinitionError):
+            nines_from_availability(bad)
+        with pytest.raises(ModelDefinitionError):
+            downtime_minutes_per_year(bad)
+        with pytest.raises(ModelDefinitionError):
+            defects_per_million(bad)
+
+
+class TestBudget:
+    def test_series_product(self):
+        total, _rows = series_availability_budget({"a": 0.999, "b": 0.9999})
+        assert total == pytest.approx(0.999 * 0.9999)
+
+    def test_shares_sum_to_one(self):
+        _total, rows = series_availability_budget(
+            {"a": 0.999, "b": 0.9999, "c": 0.99999}
+        )
+        assert sum(row.share for row in rows.values()) == pytest.approx(1.0)
+
+    def test_worst_subsystem_has_largest_share(self):
+        _total, rows = series_availability_budget({"good": 0.99999, "bad": 0.999})
+        assert rows["bad"].share > rows["good"].share
+
+    def test_single_subsystem_full_share(self):
+        _total, rows = series_availability_budget({"only": 0.999})
+        assert rows["only"].share == pytest.approx(1.0)
+
+    def test_downtime_recorded(self):
+        _total, rows = series_availability_budget({"a": 0.999})
+        assert rows["a"].downtime_minutes == pytest.approx(525.6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            series_availability_budget({})
+
+    def test_zero_availability_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            series_availability_budget({"a": 0.0})
+
+
+class TestSLO:
+    def test_meets(self):
+        assert meets_slo(0.9995, 3.0)
+        assert not meets_slo(0.998, 3.0)
+
+    def test_boundary(self):
+        assert meets_slo(0.999, 3.0)

@@ -1,0 +1,77 @@
+"""Unit tests for the DependabilityModel protocol and helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DependabilityModel, mttf_from_reliability
+from repro.exceptions import SolverError
+
+
+class ExponentialSystem(DependabilityModel):
+    """Minimal concrete model: exponential lifetime, constant availability."""
+
+    def __init__(self, rate=2.0, avail=0.99):
+        self.rate = rate
+        self.avail = avail
+
+    def reliability(self, t):
+        return np.exp(-self.rate * np.asarray(t, dtype=float))
+
+    def availability(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.full_like(t, self.avail)
+
+    def steady_state_availability(self):
+        return self.avail
+
+
+class TestDefaults:
+    def test_unreliability_complements(self):
+        m = ExponentialSystem()
+        assert m.unreliability(0.5) == pytest.approx(1 - math.exp(-1.0))
+
+    def test_default_mttf_integrates_reliability(self):
+        m = ExponentialSystem(rate=2.0)
+        assert m.mttf() == pytest.approx(0.5, rel=1e-8)
+
+    def test_steady_state_unavailability(self):
+        assert ExponentialSystem(avail=0.99).steady_state_unavailability() == pytest.approx(0.01)
+
+    def test_interval_availability_of_constant(self):
+        m = ExponentialSystem(avail=0.97)
+        assert m.interval_availability(10.0) == pytest.approx(0.97)
+
+    def test_interval_availability_requires_positive_t(self):
+        with pytest.raises(SolverError):
+            ExponentialSystem().interval_availability(0.0)
+
+    def test_downtime_minutes_per_year(self):
+        m = ExponentialSystem(avail=0.999)
+        assert m.downtime_minutes_per_year() == pytest.approx(0.001 * 525_600)
+
+    def test_nines(self):
+        assert ExponentialSystem(avail=0.999).nines() == pytest.approx(3.0)
+        assert math.isinf(ExponentialSystem(avail=1.0).nines())
+
+    def test_unimplemented_measures_raise(self):
+        class Empty(DependabilityModel):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Empty().reliability(1.0)
+        with pytest.raises(NotImplementedError):
+            Empty().availability(1.0)
+        with pytest.raises(NotImplementedError):
+            Empty().steady_state_availability()
+
+
+class TestMTTFHelper:
+    def test_truncated_integral(self):
+        mttf = mttf_from_reliability(lambda t: math.exp(-t), upper=50.0)
+        assert mttf == pytest.approx(1.0, rel=1e-6)
+
+    def test_improper_integral(self):
+        mttf = mttf_from_reliability(lambda t: math.exp(-3.0 * t))
+        assert mttf == pytest.approx(1 / 3, rel=1e-8)

@@ -1,0 +1,68 @@
+"""Unit tests for parametric sensitivity analysis."""
+
+import math
+
+import pytest
+
+from repro.core import parametric_sensitivity, rank_parameters
+from repro.exceptions import ModelDefinitionError
+
+
+class TestDerivatives:
+    def test_linear_function(self):
+        rows = parametric_sensitivity(lambda p: 3 * p["a"] - 2 * p["b"], {"a": 1.0, "b": 1.0})
+        assert rows["a"].derivative == pytest.approx(3.0, rel=1e-6)
+        assert rows["b"].derivative == pytest.approx(-2.0, rel=1e-6)
+
+    def test_product_function(self):
+        rows = parametric_sensitivity(lambda p: p["a"] * p["b"], {"a": 2.0, "b": 5.0})
+        assert rows["a"].derivative == pytest.approx(5.0, rel=1e-6)
+        assert rows["b"].derivative == pytest.approx(2.0, rel=1e-6)
+
+    def test_elasticity_of_power_law(self):
+        # y = x^3: elasticity = 3 everywhere.
+        rows = parametric_sensitivity(lambda p: p["x"] ** 3, {"x": 7.0})
+        assert rows["x"].elasticity == pytest.approx(3.0, rel=1e-5)
+
+    def test_zero_parameter_uses_absolute_step(self):
+        rows = parametric_sensitivity(lambda p: 2 * p["x"] + 1, {"x": 0.0})
+        assert rows["x"].derivative == pytest.approx(2.0, rel=1e-6)
+        assert math.isnan(rows["x"].elasticity)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            parametric_sensitivity(lambda p: 0.0, {})
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            parametric_sensitivity(lambda p: p["x"], {"x": 1.0}, rel_step=0.0)
+
+
+class TestRanking:
+    def test_elasticity_ranking(self):
+        rows = rank_parameters(
+            lambda p: p["a"] ** 2 * p["b"], {"a": 1.0, "b": 1.0}
+        )
+        assert rows[0].name == "a"  # elasticity 2 vs 1
+
+    def test_derivative_ranking(self):
+        rows = rank_parameters(
+            lambda p: 100 * p["a"] + p["b"], {"a": 0.001, "b": 1.0}, by="derivative"
+        )
+        assert rows[0].name == "a"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            rank_parameters(lambda p: p["a"], {"a": 1.0}, by="bogus")
+
+    def test_availability_bottleneck_identified(self):
+        # Series system: the worse component dominates elasticity.
+        from repro.nonstate import Component, ReliabilityBlockDiagram, series
+
+        def evaluate(params):
+            a = Component.from_rates("a", params["lam_a"], 1.0)
+            b = Component.from_rates("b", params["lam_b"], 1.0)
+            return ReliabilityBlockDiagram(series(a, b)).steady_state_unavailability()
+
+        rows = rank_parameters(evaluate, {"lam_a": 0.01, "lam_b": 0.0001})
+        assert rows[0].name == "lam_a"

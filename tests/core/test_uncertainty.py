@@ -1,0 +1,121 @@
+"""Unit tests for uncertainty propagation."""
+
+import numpy as np
+import pytest
+
+from repro.core import propagate_uncertainty, tornado_sensitivity
+from repro.distributions import Lognormal, Uniform
+from repro.exceptions import ModelDefinitionError
+
+
+class TestPropagation:
+    def test_identity_recovers_prior_mean(self, rng):
+        result = propagate_uncertainty(
+            lambda p: p["x"], {"x": Uniform(0.0, 2.0)}, n_samples=2000, rng=rng
+        )
+        assert result.mean() == pytest.approx(1.0, abs=0.03)
+
+    def test_square_of_uniform(self, rng):
+        result = propagate_uncertainty(
+            lambda p: p["x"] ** 2, {"x": Uniform(0.0, 1.0)}, n_samples=4000, rng=rng
+        )
+        assert result.mean() == pytest.approx(1.0 / 3.0, abs=0.01)
+
+    def test_lhs_lower_variance_than_mc(self):
+        # For a monotone output, LHS stratification beats plain MC.
+        def run(method, seed):
+            return propagate_uncertainty(
+                lambda p: p["x"],
+                {"x": Uniform(0.0, 1.0)},
+                n_samples=100,
+                rng=np.random.default_rng(seed),
+                method=method,
+            ).mean()
+
+        lhs_err = np.std([run("lhs", s) - 0.5 for s in range(30)])
+        mc_err = np.std([run("mc", s) - 0.5 for s in range(30)])
+        assert lhs_err < mc_err
+
+    def test_interval_contains_mass(self, rng):
+        result = propagate_uncertainty(
+            lambda p: p["x"], {"x": Uniform(0.0, 1.0)}, n_samples=5000, rng=rng
+        )
+        low, high = result.interval(0.9)
+        assert low == pytest.approx(0.05, abs=0.02)
+        assert high == pytest.approx(0.95, abs=0.02)
+
+    def test_mean_ci_shrinks_with_samples(self):
+        def width(n, seed=0):
+            result = propagate_uncertainty(
+                lambda p: p["x"],
+                {"x": Uniform(0.0, 1.0)},
+                n_samples=n,
+                rng=np.random.default_rng(seed),
+                method="mc",
+            )
+            low, high = result.mean_ci()
+            return high - low
+
+        assert width(6400) < width(100) / 4
+
+    def test_multi_parameter(self, rng):
+        result = propagate_uncertainty(
+            lambda p: p["x"] + p["y"],
+            {"x": Uniform(0.0, 1.0), "y": Uniform(0.0, 3.0)},
+            n_samples=4000,
+            rng=rng,
+        )
+        assert result.mean() == pytest.approx(2.0, abs=0.05)
+
+    def test_parameter_samples_recorded(self, rng):
+        result = propagate_uncertainty(
+            lambda p: p["x"], {"x": Uniform(0.0, 1.0)}, n_samples=50, rng=rng
+        )
+        assert result.parameter_samples["x"].shape == (50,)
+        assert result.n_samples == 50
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ModelDefinitionError):
+            propagate_uncertainty(lambda p: 0.0, {}, rng=rng)
+        with pytest.raises(ModelDefinitionError):
+            propagate_uncertainty(lambda p: 0.0, {"x": Uniform(0, 1)}, n_samples=1, rng=rng)
+        with pytest.raises(ModelDefinitionError):
+            propagate_uncertainty(
+                lambda p: 0.0, {"x": Uniform(0, 1)}, method="bogus", rng=rng
+            )
+
+    def test_availability_model_integration(self, rng):
+        # Epistemic lognormal around a failure rate: availability spread.
+        from repro.nonstate import Component, ReliabilityBlockDiagram, series
+
+        def evaluate(params):
+            comp = Component.from_rates("c", params["lam"], 1.0)
+            return ReliabilityBlockDiagram(series(comp)).steady_state_availability()
+
+        prior = Lognormal.from_mean_cv(mean=0.01, cv=0.5)
+        result = propagate_uncertainty(evaluate, {"lam": prior}, n_samples=500, rng=rng)
+        assert 0.98 < result.mean() < 1.0
+        low, high = result.interval(0.95)
+        assert low < result.mean() < high
+
+
+class TestTornado:
+    def test_dominant_parameter_ranked_first(self):
+        rows = tornado_sensitivity(
+            lambda p: p["x"] + 10 * p["y"],
+            {"x": Uniform(0.0, 1.0), "y": Uniform(0.0, 1.0)},
+        )
+        assert rows[0][0] == "y"
+        assert abs(rows[0][2] - rows[0][1]) > abs(rows[1][2] - rows[1][1])
+
+    def test_swing_quantiles(self):
+        rows = tornado_sensitivity(
+            lambda p: p["x"], {"x": Uniform(0.0, 1.0)}, low_q=0.1, high_q=0.9
+        )
+        name, low, high = rows[0]
+        assert low == pytest.approx(0.1)
+        assert high == pytest.approx(0.9)
+
+    def test_empty_priors_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            tornado_sensitivity(lambda p: 0.0, {})

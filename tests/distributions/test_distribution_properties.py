@@ -1,0 +1,107 @@
+"""Property-based tests on the distribution interface (hypothesis).
+
+Invariants every lifetime distribution must satisfy: CDFs are monotone
+in [0,1], sf + cdf == 1, moments are consistent, quantiles invert the
+CDF, and two-moment fits hit their targets.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    HypoExponential,
+    Lognormal,
+    Uniform,
+    Weibull,
+    fit_two_moments,
+)
+
+rates = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+shapes = st.floats(min_value=0.3, max_value=8.0, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+def dist_strategy():
+    return st.one_of(
+        rates.map(Exponential),
+        st.tuples(shapes, rates).map(lambda p: Weibull(shape=p[0], scale=p[1])),
+        st.tuples(st.floats(-2, 2), st.floats(0.1, 2)).map(
+            lambda p: Lognormal(mu=p[0], sigma=p[1])
+        ),
+        st.tuples(st.integers(1, 6), rates).map(lambda p: Erlang(stages=p[0], rate=p[1])),
+        st.lists(rates, min_size=1, max_size=4).map(HypoExponential),
+        st.floats(0.01, 20.0).map(Deterministic),
+        st.tuples(st.floats(0.0, 5.0), st.floats(0.1, 5.0)).map(
+            lambda p: Uniform(p[0], p[0] + p[1])
+        ),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(dist=dist_strategy(), t=times)
+def test_cdf_in_unit_interval(dist, t):
+    value = float(np.asarray(dist.cdf(t)))
+    assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(dist=dist_strategy(), t1=times, t2=times)
+def test_cdf_monotone(dist, t1, t2):
+    lo, hi = min(t1, t2), max(t1, t2)
+    assert float(np.asarray(dist.cdf(lo))) <= float(np.asarray(dist.cdf(hi))) + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(dist=dist_strategy(), t=times)
+def test_sf_complements_cdf(dist, t):
+    cdf = float(np.asarray(dist.cdf(t)))
+    sf = float(np.asarray(dist.sf(t)))
+    assert abs(cdf + sf - 1.0) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(dist=dist_strategy())
+def test_variance_non_negative(dist):
+    assert dist.variance() >= -1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(dist=dist_strategy())
+def test_mean_positive(dist):
+    assert dist.mean() >= 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(dist=dist_strategy(), q=st.floats(min_value=0.01, max_value=0.99))
+def test_ppf_inverts_cdf(dist, q):
+    if isinstance(dist, Deterministic):
+        return  # step CDF: ppf lands on the atom, cdf jumps past q
+    t = float(np.asarray(dist.ppf(q)))
+    assert abs(float(np.asarray(dist.cdf(t))) - q) < 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    mean=st.floats(min_value=0.1, max_value=50.0),
+    cv2=st.floats(min_value=0.5, max_value=30.0),
+)
+def test_fit_two_moments_hits_targets(mean, cv2):
+    d = fit_two_moments(mean, cv2)
+    assert abs(d.mean() - mean) / mean < 1e-6
+    assert abs(d.squared_cv() - cv2) / cv2 < 1e-5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mean=st.floats(min_value=0.1, max_value=50.0),
+    cv2=st.floats(min_value=0.01, max_value=0.5),
+)
+def test_fit_low_cv_preserves_mean(mean, cv2):
+    d = fit_two_moments(mean, cv2)
+    assert abs(d.mean() - mean) / mean < 1e-9
+    assert d.squared_cv() <= cv2 + 1e-9

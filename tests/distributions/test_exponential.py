@@ -1,0 +1,98 @@
+"""Unit tests for the exponential distribution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.exceptions import DistributionError
+
+
+class TestConstruction:
+    def test_rate_stored(self):
+        assert Exponential(2.0).rate == 2.0
+
+    def test_from_mean(self):
+        assert Exponential.from_mean(4.0).rate == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_rate_rejected(self, bad):
+        with pytest.raises(DistributionError):
+            Exponential(bad)
+
+
+class TestMoments:
+    def test_mean(self):
+        assert Exponential(2.0).mean() == pytest.approx(0.5)
+
+    def test_variance(self):
+        assert Exponential(2.0).variance() == pytest.approx(0.25)
+
+    def test_cv_is_one(self):
+        assert Exponential(3.7).cv() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4])
+    def test_raw_moments_closed_form(self, k):
+        d = Exponential(1.5)
+        assert d.moment(k) == pytest.approx(math.factorial(k) / 1.5**k)
+
+    def test_second_moment_consistent_with_variance(self):
+        d = Exponential(0.3)
+        assert d.moment(2) == pytest.approx(d.variance() + d.mean() ** 2)
+
+
+class TestPointwise:
+    def test_sf_at_zero(self):
+        assert Exponential(1.0).sf(0.0) == pytest.approx(1.0)
+
+    def test_cdf_sf_complementary(self):
+        d = Exponential(0.7)
+        t = np.linspace(0, 10, 11)
+        np.testing.assert_allclose(d.cdf(t) + d.sf(t), 1.0)
+
+    def test_sf_closed_form(self):
+        d = Exponential(2.0)
+        assert d.sf(1.5) == pytest.approx(math.exp(-3.0))
+
+    def test_pdf_integrates_to_cdf(self):
+        d = Exponential(1.3)
+        t = np.linspace(0, 5, 2001)
+        integral = np.trapezoid(d.pdf(t), t)
+        assert integral == pytest.approx(d.cdf(5.0), abs=1e-6)
+
+    def test_hazard_is_constant(self):
+        d = Exponential(0.4)
+        np.testing.assert_allclose(d.hazard(np.array([0.1, 1.0, 10.0])), 0.4)
+
+    def test_negative_time_handled(self):
+        d = Exponential(1.0)
+        assert d.pdf(-1.0) == 0.0
+        assert d.cdf(-1.0) == 0.0
+        assert d.sf(-1.0) == 1.0
+
+    def test_ppf_roundtrip(self):
+        d = Exponential(2.5)
+        for q in (0.1, 0.5, 0.9, 0.999):
+            assert d.cdf(d.ppf(q)) == pytest.approx(q)
+
+    def test_median(self):
+        assert Exponential(1.0).median() == pytest.approx(math.log(2.0))
+
+
+class TestSampling:
+    def test_sample_mean_converges(self, rng):
+        d = Exponential(2.0)
+        draws = d.sample(rng, size=200_000)
+        assert draws.mean() == pytest.approx(0.5, rel=0.02)
+
+    def test_scalar_sample(self, rng):
+        assert np.isscalar(Exponential(1.0).sample(rng)) or np.ndim(
+            Exponential(1.0).sample(rng)
+        ) == 0
+
+    def test_memorylessness_empirical(self, rng):
+        d = Exponential(1.0)
+        draws = d.sample(rng, size=200_000)
+        conditional = draws[draws > 1.0] - 1.0
+        assert conditional.mean() == pytest.approx(1.0, rel=0.05)

@@ -1,0 +1,85 @@
+"""Unit tests for two-moment phase-type fitting."""
+
+import pytest
+
+from repro.distributions import (
+    Erlang,
+    Exponential,
+    HyperExponential,
+    HypoExponential,
+    Lognormal,
+    Weibull,
+    erlang_stages_for_cv,
+    fit_distribution,
+    fit_two_moments,
+)
+from repro.exceptions import DistributionError
+
+
+class TestFitTwoMoments:
+    def test_cv2_one_gives_exponential(self):
+        d = fit_two_moments(mean=3.0, cv2=1.0)
+        assert isinstance(d, Exponential)
+        assert d.mean() == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("cv2", [1.5, 2.0, 4.0, 25.0])
+    def test_hyperexponential_branch_exact(self, cv2):
+        d = fit_two_moments(mean=2.0, cv2=cv2)
+        assert isinstance(d, HyperExponential)
+        assert d.mean() == pytest.approx(2.0, rel=1e-12)
+        assert d.squared_cv() == pytest.approx(cv2, rel=1e-9)
+
+    @pytest.mark.parametrize("cv2", [0.55, 0.7, 0.9, 0.99])
+    def test_hypoexponential_branch_exact(self, cv2):
+        d = fit_two_moments(mean=5.0, cv2=cv2)
+        assert d.mean() == pytest.approx(5.0, rel=1e-9)
+        assert d.squared_cv() == pytest.approx(cv2, rel=1e-6)
+
+    def test_cv2_half_gives_two_stage_erlang(self):
+        d = fit_two_moments(mean=1.0, cv2=0.5)
+        assert d.mean() == pytest.approx(1.0)
+        assert d.squared_cv() == pytest.approx(0.5, rel=1e-9)
+
+    @pytest.mark.parametrize("cv2", [0.3, 0.1, 0.05])
+    def test_low_cv2_erlang_mean_exact(self, cv2):
+        d = fit_two_moments(mean=4.0, cv2=cv2)
+        assert isinstance(d, Erlang)
+        assert d.mean() == pytest.approx(4.0)
+        # CV matched from below by the stage count
+        assert d.squared_cv() <= cv2 + 1e-12
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DistributionError):
+            fit_two_moments(mean=0.0, cv2=1.0)
+        with pytest.raises(DistributionError):
+            fit_two_moments(mean=1.0, cv2=0.0)
+
+
+class TestErlangStages:
+    @pytest.mark.parametrize("cv2,expected", [(1.0, 1), (0.5, 2), (0.34, 3), (0.25, 4)])
+    def test_stage_counts(self, cv2, expected):
+        assert erlang_stages_for_cv(cv2) == expected
+
+    def test_invalid(self):
+        with pytest.raises(DistributionError):
+            erlang_stages_for_cv(0.0)
+
+
+class TestFitDistribution:
+    def test_weibull_moments_preserved(self):
+        w = Weibull(shape=2.0, scale=3.0)
+        approx = fit_distribution(w)
+        assert approx.mean() == pytest.approx(w.mean(), rel=1e-9)
+
+    def test_lognormal_high_cv_preserved(self):
+        d = Lognormal.from_mean_cv(mean=2.0, cv=2.5)
+        approx = fit_distribution(d)
+        assert isinstance(approx, HyperExponential)
+        assert approx.mean() == pytest.approx(2.0, rel=1e-9)
+        assert approx.squared_cv() == pytest.approx(6.25, rel=1e-6)
+
+    def test_exponential_fixed_point(self):
+        e = Exponential(5.0)
+        approx = fit_distribution(e)
+        assert isinstance(approx, Exponential)
+        assert approx.rate == pytest.approx(5.0)

@@ -1,0 +1,83 @@
+"""Unit tests for the Pareto distribution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Pareto
+from repro.exceptions import DistributionError
+from repro.markov import SemiMarkovProcess
+
+
+class TestMoments:
+    def test_mean_closed_form(self):
+        assert Pareto(shape=3.0, minimum=2.0).mean() == pytest.approx(3.0)
+
+    def test_infinite_mean_for_shape_at_most_one(self):
+        assert math.isinf(Pareto(shape=1.0, minimum=1.0).mean())
+        assert math.isinf(Pareto(shape=0.5, minimum=1.0).mean())
+
+    def test_infinite_variance_for_shape_at_most_two(self):
+        assert math.isinf(Pareto(shape=2.0, minimum=1.0).variance())
+        assert math.isfinite(Pareto(shape=2.5, minimum=1.0).variance())
+
+    def test_moment_divergence_threshold(self):
+        p = Pareto(shape=2.5, minimum=1.0)
+        assert math.isfinite(p.moment(2))
+        assert math.isinf(p.moment(3))
+
+    def test_variance_closed_form(self):
+        p = Pareto(shape=3.0, minimum=1.0)
+        assert p.variance() == pytest.approx(3.0 / (4.0 * 1.0))
+
+
+class TestPointwise:
+    def test_support_starts_at_minimum(self):
+        p = Pareto(shape=2.0, minimum=5.0)
+        assert p.cdf(4.999) == 0.0
+        assert p.sf(3.0) == 1.0
+        assert p.pdf(1.0) == 0.0
+
+    def test_sf_power_law(self):
+        p = Pareto(shape=2.0, minimum=1.0)
+        assert p.sf(10.0) == pytest.approx(0.01)
+
+    def test_ppf_roundtrip(self):
+        p = Pareto(shape=1.5, minimum=2.0)
+        for q in (0.1, 0.5, 0.9, 0.999):
+            assert p.cdf(p.ppf(q)) == pytest.approx(q)
+
+    def test_hazard_decreasing(self):
+        p = Pareto(shape=2.0, minimum=1.0)
+        h = p.hazard(np.array([1.0, 2.0, 10.0]))
+        assert h[0] > h[1] > h[2]
+
+    def test_heavier_tail_than_exponential(self):
+        p = Pareto(shape=3.0, minimum=2.0)     # mean 3
+        e = Exponential.from_mean(3.0)
+        assert p.sf(30.0) > e.sf(30.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DistributionError):
+            Pareto(shape=0.0, minimum=1.0)
+        with pytest.raises(DistributionError):
+            Pareto(shape=1.0, minimum=0.0)
+
+
+class TestSampling:
+    def test_sample_mean(self, rng):
+        p = Pareto(shape=3.0, minimum=2.0)
+        draws = p.sample(rng, 200_000)
+        assert draws.mean() == pytest.approx(3.0, rel=0.02)
+        assert draws.min() >= 2.0
+
+    def test_smp_steady_state_with_pareto_repair(self):
+        # The tutorial point: SMP steady state needs only the MEAN, so a
+        # heavy-tailed (infinite-variance) repair still has a well-defined
+        # availability as long as shape > 1.
+        repair = Pareto(shape=1.5, minimum=1.0)  # mean 3, infinite variance
+        smp = SemiMarkovProcess()
+        smp.add_transition("up", "down", 1.0, Exponential(0.01))
+        smp.add_transition("down", "up", 1.0, repair)
+        assert smp.steady_state()["up"] == pytest.approx(100.0 / 103.0)

@@ -1,0 +1,185 @@
+"""Unit tests for hypo/hyper-exponential, deterministic, uniform, empirical."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    EmpiricalDistribution,
+    Exponential,
+    HyperExponential,
+    HypoExponential,
+    Uniform,
+)
+from repro.exceptions import DistributionError
+
+
+class TestHypoExponential:
+    def test_mean_and_variance(self):
+        h = HypoExponential(rates=[1.0, 2.0, 4.0])
+        assert h.mean() == pytest.approx(1.0 + 0.5 + 0.25)
+        assert h.variance() == pytest.approx(1.0 + 0.25 + 0.0625)
+
+    def test_single_stage_is_exponential(self):
+        h = HypoExponential(rates=[3.0])
+        e = Exponential(3.0)
+        t = np.linspace(0, 2, 20)
+        np.testing.assert_allclose(h.sf(t), e.sf(t), rtol=1e-12)
+
+    def test_repeated_rates_fall_back_to_matrix_form(self):
+        h = HypoExponential(rates=[2.0, 2.0])
+        # Erlang(2, 2): sf(t) = e^{-2t} (1 + 2t)
+        t = 0.7
+        assert h.sf(t) == pytest.approx(math.exp(-1.4) * (1 + 1.4), rel=1e-9)
+
+    def test_distinct_rates_partial_fractions(self):
+        h = HypoExponential(rates=[1.0, 2.0])
+        # sf(t) = 2 e^{-t} - e^{-2t}
+        t = 0.9
+        assert h.sf(t) == pytest.approx(2 * math.exp(-0.9) - math.exp(-1.8))
+
+    def test_pdf_non_negative(self):
+        h = HypoExponential(rates=[1.0, 5.0, 9.0])
+        assert np.all(np.asarray(h.pdf(np.linspace(0, 10, 100))) >= 0)
+
+    def test_cv_below_one(self):
+        assert HypoExponential(rates=[1.0, 2.0]).cv() < 1.0
+
+    def test_sampling(self, rng):
+        h = HypoExponential(rates=[1.0, 3.0])
+        assert h.sample(rng, 100_000).mean() == pytest.approx(h.mean(), rel=0.02)
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(DistributionError):
+            HypoExponential(rates=[])
+
+    def test_nearly_equal_rates_numerically_stable(self):
+        # Regression (found by hypothesis): rates differing by one ULP
+        # previously went down the partial-fraction path and suffered
+        # catastrophic cancellation; they must route to the matrix form.
+        d = HypoExponential([0.010000000000000002, 0.01])
+        assert d.cdf(d.ppf(0.5)) == pytest.approx(0.5, abs=1e-9)
+        d2 = HypoExponential([1.0, 1.0000001])
+        assert d2.cdf(d2.ppf(0.9)) == pytest.approx(0.9, abs=1e-6)
+        assert d2.mean() == pytest.approx(2.0, rel=1e-6)
+
+
+class TestHyperExponential:
+    def test_mean(self):
+        h = HyperExponential(probs=[0.3, 0.7], rates=[1.0, 2.0])
+        assert h.mean() == pytest.approx(0.3 + 0.35)
+
+    def test_cv_above_one(self):
+        h = HyperExponential(probs=[0.9, 0.1], rates=[10.0, 0.1])
+        assert h.cv() > 1.0
+
+    def test_degenerate_single_branch(self):
+        h = HyperExponential(probs=[1.0], rates=[2.0])
+        e = Exponential(2.0)
+        t = np.linspace(0, 3, 10)
+        np.testing.assert_allclose(h.sf(t), e.sf(t), rtol=1e-12)
+
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(DistributionError):
+            HyperExponential(probs=[0.5, 0.4], rates=[1.0, 2.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DistributionError):
+            HyperExponential(probs=[0.5, 0.5], rates=[1.0])
+
+    def test_sampling(self, rng):
+        h = HyperExponential(probs=[0.5, 0.5], rates=[1.0, 4.0])
+        assert h.sample(rng, 200_000).mean() == pytest.approx(h.mean(), rel=0.02)
+
+    def test_moment_formula(self):
+        h = HyperExponential(probs=[0.25, 0.75], rates=[1.0, 2.0])
+        assert h.moment(2) == pytest.approx(0.25 * 2.0 + 0.75 * 0.5)
+
+
+class TestDeterministic:
+    def test_step_cdf(self):
+        d = Deterministic(5.0)
+        assert d.cdf(4.999) == 0.0
+        assert d.cdf(5.0) == 1.0
+        assert d.cdf(5.001) == 1.0
+
+    def test_moments(self):
+        d = Deterministic(3.0)
+        assert d.mean() == 3.0
+        assert d.variance() == 0.0
+        assert d.moment(3) == 27.0
+        assert d.cv() == 0.0
+
+    def test_ppf_constant(self):
+        d = Deterministic(2.0)
+        assert d.ppf(0.01) == 2.0
+        assert d.ppf(0.99) == 2.0
+
+    def test_sampling_constant(self, rng):
+        d = Deterministic(7.0)
+        assert d.sample(rng) == 7.0
+        np.testing.assert_array_equal(d.sample(rng, 5), np.full(5, 7.0))
+
+    def test_zero_allowed(self):
+        assert Deterministic(0.0).mean() == 0.0
+
+
+class TestUniform:
+    def test_moments(self):
+        u = Uniform(1.0, 3.0)
+        assert u.mean() == pytest.approx(2.0)
+        assert u.variance() == pytest.approx(4.0 / 12.0)
+
+    def test_cdf_linear(self):
+        u = Uniform(0.0, 2.0)
+        assert u.cdf(1.0) == pytest.approx(0.5)
+        assert u.cdf(-1.0) == 0.0
+        assert u.cdf(5.0) == 1.0
+
+    def test_ppf(self):
+        u = Uniform(2.0, 4.0)
+        assert u.ppf(0.25) == pytest.approx(2.5)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(DistributionError):
+            Uniform(3.0, 1.0)
+
+    def test_sampling_bounds(self, rng):
+        u = Uniform(1.0, 2.0)
+        draws = u.sample(rng, 10_000)
+        assert draws.min() >= 1.0 and draws.max() <= 2.0
+
+
+class TestEmpirical:
+    def test_linear_cdf_mean(self):
+        d = EmpiricalDistribution([0.0, 1.0, 2.0], [0.0, 0.5, 1.0])
+        assert d.mean() == pytest.approx(1.0)
+
+    def test_matches_source_distribution(self, rng):
+        src = Exponential(2.0)
+        grid = np.linspace(0.0, 10.0, 4000)
+        d = EmpiricalDistribution(grid, src.cdf(grid))
+        assert d.mean() == pytest.approx(src.mean(), rel=1e-3)
+        assert d.cdf(0.5) == pytest.approx(src.cdf(0.5), abs=1e-4)
+
+    def test_from_samples(self, rng):
+        src = Exponential(1.0)
+        d = EmpiricalDistribution.from_samples(src.sample(rng, 50_000))
+        assert d.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_ppf_inverts_cdf(self):
+        d = EmpiricalDistribution([0.0, 1.0, 2.0], [0.0, 0.5, 1.0])
+        assert d.ppf(0.25) == pytest.approx(0.5)
+
+    def test_bad_cdf_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([0.0, 1.0], [0.0, 0.7])
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([0.0, 1.0, 0.5], [0.0, 0.5, 1.0])
+
+    def test_sampling_roundtrip(self, rng):
+        d = EmpiricalDistribution([0.0, 1.0, 2.0], [0.0, 0.5, 1.0])
+        draws = d.sample(rng, 50_000)
+        assert draws.mean() == pytest.approx(1.0, rel=0.03)

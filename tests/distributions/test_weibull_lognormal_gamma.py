@@ -1,0 +1,127 @@
+"""Unit tests for Weibull, lognormal, gamma and Erlang distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Erlang, Exponential, Gamma, Lognormal, Weibull
+from repro.exceptions import DistributionError
+
+
+class TestWeibull:
+    def test_shape_one_is_exponential(self):
+        w = Weibull(shape=1.0, scale=2.0)
+        e = Exponential(rate=0.5)
+        t = np.linspace(0.01, 10, 50)
+        np.testing.assert_allclose(w.sf(t), e.sf(t), rtol=1e-12)
+
+    def test_mean_closed_form(self):
+        w = Weibull(shape=2.0, scale=3.0)
+        assert w.mean() == pytest.approx(3.0 * math.gamma(1.5))
+
+    def test_from_mean_shape_recovers_mean(self):
+        w = Weibull.from_mean_shape(mean=5.0, shape=1.7)
+        assert w.mean() == pytest.approx(5.0)
+
+    def test_increasing_hazard_for_shape_above_one(self):
+        w = Weibull(shape=2.5, scale=1.0)
+        h = w.hazard(np.array([0.5, 1.0, 2.0]))
+        assert h[0] < h[1] < h[2]
+
+    def test_decreasing_hazard_for_shape_below_one(self):
+        w = Weibull(shape=0.5, scale=1.0)
+        h = w.hazard(np.array([0.5, 1.0, 2.0]))
+        assert h[0] > h[1] > h[2]
+
+    def test_moment_matches_quadrature_fallback(self):
+        w = Weibull(shape=1.8, scale=2.0)
+        # closed form vs the survival-integral identity
+        t = np.linspace(0, 60, 600_001)
+        numeric = np.trapezoid(3 * t**2 * w.sf(t), t)
+        assert w.moment(3) == pytest.approx(numeric, rel=1e-5)
+
+    def test_sampling_mean(self, rng):
+        w = Weibull(shape=2.0, scale=1.0)
+        assert w.sample(rng, 100_000).mean() == pytest.approx(w.mean(), rel=0.02)
+
+    def test_cv_below_one_for_wearout(self):
+        assert Weibull(shape=3.0, scale=1.0).cv() < 1.0
+
+    @pytest.mark.parametrize("shape,scale", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0)])
+    def test_invalid_parameters(self, shape, scale):
+        with pytest.raises(DistributionError):
+            Weibull(shape=shape, scale=scale)
+
+
+class TestLognormal:
+    def test_median_is_exp_mu(self):
+        assert Lognormal(mu=1.2, sigma=0.4).median() == pytest.approx(math.exp(1.2))
+
+    def test_mean_closed_form(self):
+        d = Lognormal(mu=0.0, sigma=1.0)
+        assert d.mean() == pytest.approx(math.exp(0.5))
+
+    def test_from_mean_cv(self):
+        d = Lognormal.from_mean_cv(mean=4.0, cv=1.5)
+        assert d.mean() == pytest.approx(4.0)
+        assert d.cv() == pytest.approx(1.5)
+
+    def test_moments_closed_form(self):
+        d = Lognormal(mu=0.3, sigma=0.7)
+        assert d.moment(2) == pytest.approx(math.exp(0.6 + 2 * 0.49))
+
+    def test_cdf_zero_below_support(self):
+        d = Lognormal(mu=0.0, sigma=1.0)
+        assert d.cdf(0.0) == 0.0
+        assert d.cdf(-1.0) == 0.0
+
+    def test_sampling_median(self, rng):
+        d = Lognormal(mu=0.5, sigma=0.8)
+        draws = d.sample(rng, 100_000)
+        assert np.median(draws) == pytest.approx(d.median(), rel=0.02)
+
+
+class TestGammaErlang:
+    def test_gamma_mean_var(self):
+        g = Gamma(shape=3.0, rate=2.0)
+        assert g.mean() == pytest.approx(1.5)
+        assert g.variance() == pytest.approx(0.75)
+
+    def test_gamma_moment(self):
+        g = Gamma(shape=2.0, rate=1.0)
+        assert g.moment(2) == pytest.approx(6.0)  # Γ(4)/Γ(2) = 6
+
+    def test_erlang_is_integer_gamma(self):
+        e = Erlang(stages=3, rate=2.0)
+        g = Gamma(shape=3.0, rate=2.0)
+        t = np.linspace(0.01, 5, 40)
+        np.testing.assert_allclose(e.cdf(t), g.cdf(t), rtol=1e-12)
+
+    def test_erlang_squared_cv(self):
+        assert Erlang(stages=4, rate=1.0).squared_cv() == pytest.approx(0.25)
+
+    def test_erlang_from_mean(self):
+        e = Erlang.from_mean(10.0, stages=5)
+        assert e.mean() == pytest.approx(10.0)
+        assert e.stages == 5
+
+    def test_erlang_rejects_fractional_stages(self):
+        with pytest.raises(DistributionError):
+            Erlang(stages=2.5, rate=1.0)
+
+    def test_erlang_one_stage_is_exponential(self):
+        e = Erlang(stages=1, rate=3.0)
+        x = Exponential(rate=3.0)
+        t = np.linspace(0, 3, 30)
+        np.testing.assert_allclose(e.sf(t), x.sf(t), rtol=1e-12)
+
+    def test_erlang_sampling(self, rng):
+        e = Erlang(stages=4, rate=2.0)
+        draws = e.sample(rng, 50_000)
+        assert draws.mean() == pytest.approx(2.0, rel=0.02)
+        assert draws.var() == pytest.approx(1.0, rel=0.05)
+
+    def test_erlang_scalar_sample(self, rng):
+        value = Erlang(stages=2, rate=1.0).sample(rng)
+        assert isinstance(value, float)

@@ -1,0 +1,190 @@
+"""Unit tests for the parameter-estimation package."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.estimation import (
+    estimate_availability,
+    estimate_rate,
+    fit_weibull_mle,
+    fit_weibull_moments,
+    kaplan_meier,
+    rate_confidence_interval,
+    zero_failure_rate_upper_bound,
+)
+from repro.exceptions import DistributionError
+
+
+class TestExponentialRate:
+    def test_complete_sample_mle(self):
+        est = estimate_rate([10.0, 20.0, 30.0])
+        assert est.rate == pytest.approx(3 / 60.0)
+        assert est.mttf == pytest.approx(20.0)
+
+    def test_censoring_adds_exposure_not_failures(self):
+        est = estimate_rate([100.0, 300.0], censoring_times=[600.0])
+        assert est.failures == 2
+        assert est.total_time == pytest.approx(1000.0)
+        assert est.rate == pytest.approx(0.002)
+
+    def test_recovers_true_rate(self, rng):
+        true_rate = 0.05
+        data = Exponential(true_rate).sample(rng, 20_000)
+        est = estimate_rate(data)
+        assert est.rate == pytest.approx(true_rate, rel=0.03)
+
+    def test_ci_contains_point_estimate(self):
+        lo, hi = rate_confidence_interval(5, 1000.0)
+        assert lo < 5 / 1000.0 < hi
+
+    def test_ci_narrows_with_failures(self):
+        lo1, hi1 = rate_confidence_interval(2, 1000.0)
+        lo2, hi2 = rate_confidence_interval(200, 100_000.0)
+        assert (hi2 - lo2) / (200 / 100_000.0) < (hi1 - lo1) / (2 / 1000.0)
+
+    def test_ci_coverage_simulation(self, rng):
+        true_rate = 0.01
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            data = Exponential(true_rate).sample(rng, 20)
+            est = estimate_rate(data)
+            lo, hi = est.confidence_interval(0.9)
+            if lo <= true_rate <= hi:
+                covered += 1
+        assert covered / trials == pytest.approx(0.9, abs=0.06)
+
+    def test_zero_failures_lower_bound_zero(self):
+        lo, hi = rate_confidence_interval(0, 1000.0)
+        assert lo == 0.0
+        assert hi > 0.0
+
+    def test_zero_failure_bound_formula(self):
+        assert zero_failure_rate_upper_bound(10_000.0, 0.95) == pytest.approx(
+            -math.log(0.05) / 10_000.0
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DistributionError):
+            estimate_rate([])
+        with pytest.raises(DistributionError):
+            estimate_rate([-1.0])
+        with pytest.raises(DistributionError):
+            rate_confidence_interval(2, 0.0)
+        with pytest.raises(DistributionError):
+            zero_failure_rate_upper_bound(100.0, 1.5)
+
+
+class TestWeibullFit:
+    def test_mle_recovers_parameters(self, rng):
+        data = Weibull(shape=2.0, scale=10.0).sample(rng, 5000)
+        est = fit_weibull_mle(data)
+        assert est.shape == pytest.approx(2.0, rel=0.05)
+        assert est.scale == pytest.approx(10.0, rel=0.05)
+
+    def test_mle_exponential_special_case(self, rng):
+        data = Exponential(0.1).sample(rng, 5000)
+        est = fit_weibull_mle(data)
+        assert est.shape == pytest.approx(1.0, rel=0.05)
+        assert est.scale == pytest.approx(10.0, rel=0.05)
+
+    def test_mle_with_censoring_less_biased(self, rng):
+        # Heavy right censoring at t=8 on Weibull(2, 10): ignoring the
+        # censored units badly underestimates the scale.
+        full = Weibull(shape=2.0, scale=10.0).sample(rng, 4000)
+        observed = full[full <= 8.0]
+        censored = np.full((full > 8.0).sum(), 8.0)
+        naive = fit_weibull_mle(observed)
+        proper = fit_weibull_mle(observed, censoring_times=censored)
+        assert abs(proper.scale - 10.0) < abs(naive.scale - 10.0)
+        assert proper.scale == pytest.approx(10.0, rel=0.1)
+
+    def test_moments_fit(self, rng):
+        data = Weibull(shape=3.0, scale=5.0).sample(rng, 5000)
+        est = fit_weibull_moments(data)
+        assert est.shape == pytest.approx(3.0, rel=0.1)
+        assert est.scale == pytest.approx(5.0, rel=0.05)
+
+    def test_distribution_accessor(self, rng):
+        data = Weibull(shape=2.0, scale=1.0).sample(rng, 500)
+        est = fit_weibull_mle(data)
+        assert est.distribution().mean() == pytest.approx(data.mean(), rel=0.1)
+
+    def test_needs_two_points(self):
+        with pytest.raises(DistributionError):
+            fit_weibull_mle([1.0])
+        with pytest.raises(DistributionError):
+            fit_weibull_moments([1.0])
+
+    def test_positive_times_required(self):
+        with pytest.raises(DistributionError):
+            fit_weibull_mle([1.0, 0.0])
+
+
+class TestKaplanMeier:
+    def test_no_censoring_is_ecdf(self):
+        km = kaplan_meier([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(km.survival, [0.75, 0.5, 0.25, 0.0])
+
+    def test_censoring_redistributes(self):
+        km = kaplan_meier([1.0, 3.0], censoring_times=[2.0])
+        # at t=1: 3 at risk -> 2/3; at t=3: 1 at risk -> 0
+        np.testing.assert_allclose(km.survival, [2 / 3, 0.0])
+
+    def test_step_function_evaluation(self):
+        km = kaplan_meier([1.0, 2.0])
+        assert km.survival_at(0.5) == 1.0
+        assert km.survival_at(1.5) == 0.5
+        assert km.survival_at(5.0) == 0.0
+
+    def test_matches_true_survival(self, rng):
+        dist = Exponential(1.0)
+        data = dist.sample(rng, 5000)
+        km = kaplan_meier(data)
+        for t in (0.5, 1.0, 2.0):
+            assert km.survival_at(t) == pytest.approx(dist.sf(t), abs=0.03)
+
+    def test_confidence_band_orders(self):
+        km = kaplan_meier([1.0, 2.0, 3.0, 4.0, 5.0], censoring_times=[2.5])
+        low, high = km.confidence_band(0.9)
+        assert np.all(low <= km.survival + 1e-12)
+        assert np.all(km.survival <= high + 1e-12)
+
+    def test_median(self):
+        km = kaplan_meier([1.0, 2.0, 3.0, 4.0])
+        assert km.median_lifetime() == 2.0
+
+    def test_needs_failures(self):
+        with pytest.raises(DistributionError):
+            kaplan_meier([], censoring_times=[1.0])
+
+
+class TestAvailabilityEstimation:
+    def test_point_estimate(self):
+        est = estimate_availability([99.0, 101.0, 100.0], [1.0, 1.0, 1.0])
+        assert est.availability == pytest.approx(100 / 101)
+        assert est.n_cycles == 3
+
+    def test_recovers_true_availability(self, rng):
+        up = Exponential(0.01).sample(rng, 2000)   # MTTF 100
+        down = Exponential(1.0).sample(rng, 2000)  # MTTR 1
+        est = estimate_availability(up, down)
+        assert est.availability == pytest.approx(100 / 101, abs=0.002)
+        lo, hi = est.confidence_interval(0.99)
+        assert lo <= 100 / 101 <= hi
+
+    def test_ci_clipped_to_unit_interval(self):
+        est = estimate_availability([1.0, 1.0], [0.0, 0.0])
+        lo, hi = est.confidence_interval()
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_downtime_annualization(self):
+        est = estimate_availability([99.0, 99.0], [1.0, 1.0])
+        assert est.downtime_minutes_per_year == pytest.approx(0.01 * 525_600)
+
+    def test_needs_two_cycles(self):
+        with pytest.raises(DistributionError):
+            estimate_availability([1.0], [1.0])

@@ -1,0 +1,179 @@
+"""Integration tests: the same system modeled in several formalisms must
+produce the same numbers — the tutorial's central consistency story."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Erlang, Exponential
+from repro.markov import (
+    CTMC,
+    MarkovDependabilityModel,
+    MarkovRegenerativeProcess,
+    MarkovRewardModel,
+    SemiMarkovProcess,
+    expand_two_state_availability,
+)
+from repro.nonstate import Component, FaultTree, OrGate, BasicEvent, ReliabilityBlockDiagram, parallel, series
+from repro.petrinet import PetriNet, SRNDependabilityModel, StochasticRewardNet
+
+
+class TestTwoUnitSharedRepair:
+    """2-unit parallel redundant system, one repair crew, λ=0.01, μ=1."""
+
+    LAM, MU = 0.01, 1.0
+
+    def ctmc_model(self):
+        chain = CTMC()
+        chain.add_transition(2, 1, 2 * self.LAM)
+        chain.add_transition(1, 0, self.LAM)
+        chain.add_transition(1, 2, self.MU)
+        chain.add_transition(0, 1, self.MU)
+        return MarkovDependabilityModel(chain, up_states=[2, 1], initial=2)
+
+    def srn_model(self):
+        net = PetriNet()
+        net.add_place("up", 2)
+        net.add_place("down", 0)
+        net.add_timed_transition("fail", rate=lambda m: self.LAM * m["up"])
+        net.add_input_arc("fail", "up")
+        net.add_output_arc("fail", "down")
+        net.add_timed_transition("repair", rate=self.MU)  # single crew
+        net.add_input_arc("repair", "down")
+        net.add_output_arc("repair", "up")
+        return SRNDependabilityModel(StochasticRewardNet(net), up=lambda m: m["up"] >= 1)
+
+    def smp_model(self):
+        chain = self.ctmc_model().chain
+        smp = SemiMarkovProcess.from_competing(
+            {
+                2: {1: Exponential(2 * self.LAM)},
+                1: {0: Exponential(self.LAM), 2: Exponential(self.MU)},
+                0: {1: Exponential(self.MU)},
+            }
+        )
+        return smp
+
+    def test_ctmc_equals_srn_availability(self):
+        assert self.ctmc_model().steady_state_availability() == pytest.approx(
+            self.srn_model().steady_state_availability(), rel=1e-12
+        )
+
+    def test_ctmc_equals_srn_mttf(self):
+        assert self.ctmc_model().mttf() == pytest.approx(self.srn_model().mttf(), rel=1e-10)
+
+    def test_ctmc_equals_smp_steady_state(self):
+        pi_smp = self.smp_model().steady_state()
+        a_smp = pi_smp[2] + pi_smp[1]
+        assert a_smp == pytest.approx(self.ctmc_model().steady_state_availability(), rel=1e-4)
+
+    def test_transient_availability_agreement(self):
+        ctmc = self.ctmc_model()
+        srn = self.srn_model()
+        for t in (1.0, 10.0, 100.0):
+            assert ctmc.availability(t) == pytest.approx(srn.availability(t), abs=1e-9)
+
+    def test_independence_assumption_overestimates(self):
+        # RBD with per-unit availability computed as if repairs were
+        # independent overestimates the shared-repair truth.
+        unit_avail = self.MU / (self.LAM + self.MU)
+        rbd = ReliabilityBlockDiagram(
+            parallel(
+                Component.fixed("u1", 1 - unit_avail),
+                Component.fixed("u2", 1 - unit_avail),
+            )
+        )
+        assert rbd.steady_state_availability() > self.ctmc_model().steady_state_availability()
+
+
+class TestUpDownAcrossFormalisms:
+    """Exponential up, Erlang-2 down: SMP vs PH-expanded CTMC vs MRGP."""
+
+    UP_RATE = 0.02
+    DOWN = Erlang.from_mean(4.0, stages=2)
+
+    def expected(self):
+        mttf = 1 / self.UP_RATE
+        return mttf / (mttf + self.DOWN.mean())
+
+    def test_smp(self):
+        smp = SemiMarkovProcess()
+        smp.add_transition("up", "down", 1.0, Exponential(self.UP_RATE))
+        smp.add_transition("down", "up", 1.0, self.DOWN)
+        assert smp.steady_state()["up"] == pytest.approx(self.expected(), rel=1e-12)
+
+    def test_phase_type_expansion(self):
+        chain, ups, downs = expand_two_state_availability(
+            Exponential(self.UP_RATE), self.DOWN
+        )
+        model = MarkovDependabilityModel(chain, ups, initial=ups[0])
+        assert model.steady_state_availability() == pytest.approx(self.expected(), rel=1e-12)
+
+    def test_mrgp(self):
+        mrgp = MarkovRegenerativeProcess()
+        mrgp.add_exponential("up", "down", self.UP_RATE)
+        mrgp.add_general("repair", self.DOWN, ["down"], {"down": "up"})
+        pi = mrgp.steady_state(n_quadrature=512)
+        assert pi["up"] == pytest.approx(self.expected(), rel=1e-3)
+
+
+class TestHierarchyVsMonolith:
+    def test_ft_over_ctmc_leaves_equals_product_chain(self):
+        # Two independent repairable units in series; leaves as CTMCs,
+        # top as a fault tree — must equal the 4-state product CTMC.
+        lam1, mu1, lam2, mu2 = 0.01, 1.0, 0.005, 0.5
+
+        def leaf(lam, mu):
+            chain = CTMC()
+            chain.add_transition("up", "down", lam)
+            chain.add_transition("down", "up", mu)
+            return MarkovDependabilityModel(chain, ["up"], initial="up")
+
+        a1 = leaf(lam1, mu1).steady_state_availability()
+        a2 = leaf(lam2, mu2).steady_state_availability()
+        tree = FaultTree(
+            OrGate([BasicEvent.fixed("u1", 1 - a1), BasicEvent.fixed("u2", 1 - a2)])
+        )
+        hierarchical = tree.steady_state_availability()
+
+        product = CTMC()
+        for s1 in ("u", "d"):
+            for s2 in ("u", "d"):
+                state = (s1, s2)
+                if s1 == "u":
+                    product.add_transition(state, ("d", s2), lam1)
+                else:
+                    product.add_transition(state, ("u", s2), mu1)
+                if s2 == "u":
+                    product.add_transition(state, (s1, "d"), lam2)
+                else:
+                    product.add_transition(state, (s1, "u"), mu2)
+        pi = product.steady_state()
+        monolithic = pi[("u", "u")]
+        assert hierarchical == pytest.approx(monolithic, rel=1e-12)
+
+    def test_reward_model_equals_adapter_interval_availability(self):
+        chain = CTMC()
+        chain.add_transition("up", "down", 1.0)
+        chain.add_transition("down", "up", 9.0)
+        adapter = MarkovDependabilityModel(chain, ["up"], initial="up")
+        mrm = MarkovRewardModel(chain, {"up": 1.0}, initial="up")
+        t = 3.0
+        assert adapter.interval_availability(t) == pytest.approx(
+            mrm.time_averaged_reward(t), rel=1e-8
+        )
+
+
+class TestDeterministicActivityAgreement:
+    def test_smp_and_mrgp_agree_on_deterministic_repair(self):
+        lam, tau = 0.05, 3.0
+        smp = SemiMarkovProcess()
+        smp.add_transition("up", "down", 1.0, Exponential(lam))
+        smp.add_transition("down", "up", 1.0, Deterministic(tau))
+
+        mrgp = MarkovRegenerativeProcess()
+        mrgp.add_exponential("up", "down", lam)
+        mrgp.add_general("repair", Deterministic(tau), ["down"], {"down": "up"})
+
+        assert smp.steady_state()["up"] == pytest.approx(
+            mrgp.steady_state()["up"], rel=1e-10
+        )

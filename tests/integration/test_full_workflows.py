@@ -1,0 +1,172 @@
+"""Integration tests: multi-package workflows a practitioner actually runs.
+
+Each test chains several subsystems — estimation → model → uncertainty,
+SRN leaves inside hierarchies, MRGP optimization, phased missions over
+fitted parameters — to catch interface drift that unit tests miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HierarchicalModel,
+    Submodel,
+    export_availability,
+    propagate_uncertainty,
+    series_availability_budget,
+)
+from repro.distributions import Exponential, Lognormal, Weibull
+from repro.estimation import estimate_rate, fit_weibull_mle
+from repro.markov import CTMC, MarkovDependabilityModel, reward_rate_derivative
+from repro.nonstate import Component, PhasedMission, ReliabilityBlockDiagram, parallel, series
+from repro.petrinet import PetriNet, SRNDependabilityModel, StochasticRewardNet
+from repro.sim import simulate_steady_fraction
+
+
+class TestEstimateThenModel:
+    def test_fitted_rates_drive_rbd(self, rng):
+        # 1. "field data" from known truth; 2. fit; 3. model from fits.
+        true_rate = 1.0 / 800.0
+        failures = Exponential(true_rate).sample(rng, 400)
+        est = estimate_rate(failures)
+
+        comp = Component.from_rates("srv", est.rate, 0.25)
+        rbd = ReliabilityBlockDiagram(series(comp))
+        expected = (1 / true_rate) / (1 / true_rate + 4.0)
+        assert rbd.steady_state_availability() == pytest.approx(expected, rel=0.02)
+
+    def test_weibull_fit_into_phased_mission(self, rng):
+        truth = Weibull(shape=2.0, scale=500.0)
+        fit = fit_weibull_mle(truth.sample(rng, 3000))
+        comps = [
+            Component("a", failure=fit.distribution()),
+            Component("b", failure=fit.distribution()),
+        ]
+        mission = PhasedMission(comps)
+        mission.add_phase("strict", 10.0, lambda bdd, v: bdd.apply_and(v("a"), v("b")))
+        mission.add_phase("lenient", 50.0, lambda bdd, v: bdd.apply_or(v("a"), v("b")))
+        got = mission.reliability()
+        assert got == pytest.approx(mission.brute_force_reliability(), abs=1e-12)
+        # sanity vs truth-parameter mission
+        comps_true = [Component("a", failure=truth), Component("b", failure=truth)]
+        mission_true = PhasedMission(comps_true)
+        mission_true.add_phase("strict", 10.0, lambda bdd, v: bdd.apply_and(v("a"), v("b")))
+        mission_true.add_phase("lenient", 50.0, lambda bdd, v: bdd.apply_or(v("a"), v("b")))
+        assert got == pytest.approx(mission_true.reliability(), abs=0.01)
+
+
+class TestSRNInsideHierarchy:
+    def test_srn_leaf_exports_availability(self):
+        def build_srn_leaf(_params):
+            net = PetriNet()
+            net.add_place("up", 2)
+            net.add_place("down", 0)
+            net.add_timed_transition("fail", rate=lambda m: 0.01 * m["up"])
+            net.add_input_arc("fail", "up")
+            net.add_output_arc("fail", "down")
+            net.add_timed_transition("repair", rate=1.0)
+            net.add_input_arc("repair", "down")
+            net.add_output_arc("repair", "up")
+            return SRNDependabilityModel(
+                StochasticRewardNet(net), up=lambda m: m["up"] >= 1
+            )
+
+        def build_top(imports):
+            return ReliabilityBlockDiagram(
+                series(
+                    Component.fixed("pool", 1.0 - imports["pool_avail"]),
+                    Component.from_rates("net", 1e-4, 0.5),
+                )
+            )
+
+        h = HierarchicalModel()
+        h.add_submodel(Submodel("pool", build_srn_leaf, exports={"a": export_availability}))
+        h.add_submodel(
+            Submodel(
+                "system", build_top,
+                imports={"pool_avail": ("pool", "a")},
+                exports={"a": export_availability},
+            )
+        )
+        solution = h.solve()
+        pool_avail = solution.value("pool", "a")
+        net_avail = 0.5 / (0.5 + 1e-4)
+        assert solution.value("system", "a") == pytest.approx(
+            pool_avail * net_avail, rel=1e-10
+        )
+
+
+class TestUncertaintyOverStateSpaceModel:
+    def test_epistemic_interval_on_ctmc_availability(self, rng):
+        def evaluate(params):
+            chain = CTMC()
+            chain.add_transition(2, 1, 2 * params["lam"])
+            chain.add_transition(1, 0, params["lam"])
+            chain.add_transition(1, 2, params["mu"])
+            chain.add_transition(0, 1, params["mu"])
+            model = MarkovDependabilityModel(chain, [2, 1], initial=2)
+            return model.steady_state_availability()
+
+        priors = {
+            "lam": Lognormal.from_mean_cv(0.01, cv=0.4),
+            "mu": Lognormal.from_mean_cv(1.0, cv=0.2),
+        }
+        result = propagate_uncertainty(evaluate, priors, n_samples=300, rng=rng)
+        low, high = result.interval(0.9)
+        point = evaluate({"lam": 0.01, "mu": 1.0})
+        assert low < point < high
+        assert high <= 1.0
+
+    def test_exact_sensitivity_agrees_with_sampling_direction(self, rng):
+        chain = CTMC()
+        chain.add_transition("up", "down", 0.02)
+        chain.add_transition("down", "up", 1.0)
+        d_avail = reward_rate_derivative(chain, {"up": 1.0}, {("up", "down"): 1.0})
+        assert d_avail < 0  # higher failure rate, lower availability
+
+
+class TestSimulatorClosesTheLoop:
+    def test_hierarchy_top_level_vs_simulation(self, rng):
+        lam, mu = 0.05, 1.0
+        chain = CTMC()
+        chain.add_transition(2, 1, 2 * lam)
+        chain.add_transition(1, 0, lam)
+        chain.add_transition(1, 2, mu)
+        chain.add_transition(0, 1, mu)
+        analytic = MarkovDependabilityModel(chain, [2, 1], initial=2)
+        est = simulate_steady_fraction(chain, [2, 1], 3000.0, 2, 48, rng=rng)
+        assert est.contains(analytic.steady_state_availability(), level=0.999)
+
+    def test_budget_of_modelled_subsystems(self):
+        # compose three availability numbers from three different model
+        # classes into one downtime budget
+        ctmc = CTMC()
+        ctmc.add_transition("u", "d", 0.01)
+        ctmc.add_transition("d", "u", 1.0)
+        a_ctmc = MarkovDependabilityModel(ctmc, ["u"], "u").steady_state_availability()
+
+        rbd = ReliabilityBlockDiagram(
+            parallel(Component.from_rates("x", 0.02, 1.0), Component.from_rates("y", 0.02, 1.0))
+        )
+        a_rbd = rbd.steady_state_availability()
+
+        net = PetriNet()
+        net.add_place("ok", 1)
+        net.add_place("ko", 0)
+        net.add_timed_transition("f", rate=0.005)
+        net.add_input_arc("f", "ok")
+        net.add_output_arc("f", "ko")
+        net.add_timed_transition("r", rate=0.2)
+        net.add_input_arc("r", "ko")
+        net.add_output_arc("r", "ok")
+        a_srn = SRNDependabilityModel(
+            StochasticRewardNet(net), up=lambda m: m["ok"] == 1
+        ).steady_state_availability()
+
+        total, rows = series_availability_budget(
+            {"markov": a_ctmc, "rbd": a_rbd, "srn": a_srn}
+        )
+        assert total == pytest.approx(a_ctmc * a_rbd * a_srn)
+        assert sum(r.share for r in rows.values()) == pytest.approx(1.0)
+        # the SRN subsystem (1% unavail) dominates the budget
+        assert rows["srn"].share == max(r.share for r in rows.values())

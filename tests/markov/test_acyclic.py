@@ -1,0 +1,133 @@
+"""Unit tests for the closed-form acyclic transient solver (ACE)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.stats import erlang as erlang_dist
+
+from repro.exceptions import StateSpaceError
+from repro.markov import CTMC, acyclic_transient
+from repro.markov.acyclic import ExpPolynomial
+
+
+class TestExpPolynomial:
+    def test_single_exponential(self):
+        f = ExpPolynomial.exponential(2.0, 3.0)
+        assert f(0.0) == pytest.approx(2.0)
+        assert f(1.0) == pytest.approx(2.0 * math.exp(-3.0))
+
+    def test_addition_and_scaling(self):
+        f = ExpPolynomial.exponential(1.0, 1.0) + ExpPolynomial.exponential(1.0, 1.0)
+        assert f(0.5) == pytest.approx(2.0 * math.exp(-0.5))
+        assert f.scale(0.5)(0.5) == pytest.approx(math.exp(-0.5))
+
+    def test_zero_terms_dropped(self):
+        f = ExpPolynomial.exponential(1.0, 2.0) + ExpPolynomial.exponential(-1.0, 2.0)
+        assert f.terms == {}
+        assert f(1.0) == 0.0
+
+    def test_ode_homogeneous(self):
+        # y' + 2y = 0, y(0)=3 -> 3 e^{-2t}
+        f = ExpPolynomial().solve_linear_ode(2.0, 3.0)
+        assert f(1.0) == pytest.approx(3.0 * math.exp(-2.0))
+
+    def test_ode_with_forcing(self):
+        # y' + 2y = e^{-t}, y(0)=0 -> e^{-t} - e^{-2t}
+        forcing = ExpPolynomial.exponential(1.0, 1.0)
+        f = forcing.solve_linear_ode(2.0, 0.0)
+        for t in (0.1, 1.0, 3.0):
+            assert f(t) == pytest.approx(math.exp(-t) - math.exp(-2 * t), abs=1e-12)
+
+    def test_ode_resonance(self):
+        # y' + y = e^{-t}, y(0)=0 -> t e^{-t}
+        forcing = ExpPolynomial.exponential(1.0, 1.0)
+        f = forcing.solve_linear_ode(1.0, 0.0)
+        for t in (0.2, 1.0, 4.0):
+            assert f(t) == pytest.approx(t * math.exp(-t), abs=1e-12)
+
+
+class TestAcyclicSolver:
+    def test_single_transition(self):
+        chain = CTMC()
+        chain.add_transition("up", "down", 2.0)
+        sol = acyclic_transient(chain, "up")
+        assert sol.probability("up", 0.5) == pytest.approx(math.exp(-1.0))
+        assert sol.probability("down", 0.5) == pytest.approx(1 - math.exp(-1.0))
+
+    def test_two_unit_parallel_no_repair(self):
+        chain = CTMC()
+        chain.add_transition(2, 1, 2.0)
+        chain.add_transition(1, 0, 1.0)
+        sol = acyclic_transient(chain, 2)
+        t = 1.0
+        # R(t) = 1 - (1 - e^-t)^2 for two exp(1) units in parallel
+        assert sol.reliability([2, 1], t) == pytest.approx(1 - (1 - math.exp(-t)) ** 2)
+
+    def test_erlang_absorption(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", 2.0)
+        chain.add_transition("b", "c", 2.0)
+        chain.add_transition("c", "d", 2.0)
+        sol = acyclic_transient(chain, "a")
+        t = 0.7
+        assert sol.probability("d", t) == pytest.approx(
+            erlang_dist.cdf(t, 3, scale=0.5), abs=1e-12
+        )
+
+    def test_matches_uniformization(self):
+        chain = CTMC()
+        chain.add_transition("s", "x", 1.0)
+        chain.add_transition("s", "y", 3.0)
+        chain.add_transition("x", "z", 0.5)
+        chain.add_transition("y", "z", 2.0)
+        sol = acyclic_transient(chain, "s")
+        ts = np.array([0.1, 0.5, 2.0, 10.0])
+        exact = sol.evaluate(ts)
+        uni = chain.transient(ts, "s", tol=1e-13)
+        np.testing.assert_allclose(exact, uni, atol=1e-10)
+
+    def test_probability_conservation(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", 1.0)
+        chain.add_transition("a", "c", 2.0)
+        chain.add_transition("b", "d", 3.0)
+        chain.add_transition("c", "d", 0.7)
+        sol = acyclic_transient(chain, "a")
+        ts = np.linspace(0, 5, 21)
+        np.testing.assert_allclose(sol.evaluate(ts).sum(axis=1), 1.0, atol=1e-12)
+
+    def test_initial_distribution(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", 1.0)
+        sol = acyclic_transient(chain, {"a": 0.4, "b": 0.6})
+        assert sol.probability("a", 0.0) == pytest.approx(0.4)
+        assert sol.probability("b", 0.0) == pytest.approx(0.6)
+
+    def test_cycle_rejected(self):
+        chain = CTMC()
+        chain.add_transition("up", "down", 1.0)
+        chain.add_transition("down", "up", 9.0)
+        with pytest.raises(StateSpaceError):
+            acyclic_transient(chain, "up")
+
+    def test_repeated_rates_resonance_in_chain(self):
+        # long chain with identical rates: polynomial terms t^m appear
+        chain = CTMC()
+        states = list(range(6))
+        for a, b in zip(states, states[1:]):
+            chain.add_transition(a, b, 1.0)
+        sol = acyclic_transient(chain, 0)
+        t = 2.0
+        # state k occupied = Poisson-like term e^{-t} t^k / k!
+        for k in range(5):
+            assert sol.probability(k, t) == pytest.approx(
+                math.exp(-t) * t**k / math.factorial(k), abs=1e-12
+            )
+
+    def test_term_count_reported(self):
+        chain = CTMC()
+        chain.add_transition(2, 1, 2.0)
+        chain.add_transition(1, 0, 1.0)
+        sol = acyclic_transient(chain, 2)
+        assert sol.n_terms() >= 3

@@ -1,0 +1,87 @@
+"""Unit tests for SMP / MRGP dependability adapters."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Erlang, Exponential
+from repro.exceptions import ModelDefinitionError
+from repro.markov import (
+    CTMC,
+    MarkovDependabilityModel,
+    MarkovRegenerativeProcess,
+    MRGPAvailabilityModel,
+    SemiMarkovDependabilityModel,
+    SemiMarkovProcess,
+)
+
+
+def up_down_smp(fail=Exponential(0.01), repair=Deterministic(5.0)):
+    smp = SemiMarkovProcess()
+    smp.add_transition("up", "down", 1.0, fail)
+    smp.add_transition("down", "up", 1.0, repair)
+    return smp
+
+
+class TestSMPAdapter:
+    def test_steady_state_availability(self):
+        model = SemiMarkovDependabilityModel(up_down_smp(), ["up"], "up")
+        assert model.steady_state_availability() == pytest.approx(100 / 105)
+
+    def test_mttf_is_mean_uptime(self):
+        model = SemiMarkovDependabilityModel(up_down_smp(), ["up"], "up")
+        assert model.mttf() == pytest.approx(100.0)
+
+    def test_reliability_is_survival_of_first_failure(self):
+        model = SemiMarkovDependabilityModel(up_down_smp(), ["up"], "up")
+        assert model.reliability(50.0) == pytest.approx(math.exp(-0.5), abs=1e-6)
+
+    def test_availability_exceeds_reliability(self):
+        model = SemiMarkovDependabilityModel(up_down_smp(), ["up"], "up")
+        t = 200.0
+        assert model.availability(t) > model.reliability(t)
+
+    def test_agreement_with_ctmc_adapter(self):
+        smp = up_down_smp(Exponential(1.0), Exponential(9.0))
+        smp_model = SemiMarkovDependabilityModel(smp, ["up"], "up")
+        chain = CTMC()
+        chain.add_transition("up", "down", 1.0)
+        chain.add_transition("down", "up", 9.0)
+        ctmc_model = MarkovDependabilityModel(chain, ["up"], "up")
+        assert smp_model.steady_state_availability() == pytest.approx(
+            ctmc_model.steady_state_availability()
+        )
+        assert smp_model.mttf() == pytest.approx(ctmc_model.mttf())
+        assert smp_model.availability(0.5) == pytest.approx(
+            ctmc_model.availability(0.5), abs=5e-3
+        )
+
+    def test_unknown_up_state_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            SemiMarkovDependabilityModel(up_down_smp(), ["nope"], "up")
+
+    def test_empty_up_states_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            SemiMarkovDependabilityModel(up_down_smp(), [], "up")
+
+
+class TestMRGPAdapter:
+    def build(self):
+        mrgp = MarkovRegenerativeProcess()
+        mrgp.add_exponential("up", "down", 0.01)
+        mrgp.add_general("repair", Erlang.from_mean(5.0, stages=2), ["down"], {"down": "up"})
+        return mrgp
+
+    def test_steady_state_availability(self):
+        model = MRGPAvailabilityModel(self.build(), ["up"], n_quadrature=256)
+        assert model.steady_state_availability() == pytest.approx(100 / 105, rel=1e-3)
+
+    def test_downtime_helper_via_protocol(self):
+        model = MRGPAvailabilityModel(self.build(), ["up"], n_quadrature=128)
+        expected = model.steady_state_unavailability() * 525_600
+        assert model.downtime_minutes_per_year() == pytest.approx(expected)
+
+    def test_unknown_up_state_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            MRGPAvailabilityModel(self.build(), ["ghost"])

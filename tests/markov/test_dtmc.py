@@ -1,0 +1,117 @@
+"""Unit tests for the DTMC class."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelDefinitionError, StateSpaceError
+from repro.markov import DTMC
+
+
+def weather():
+    chain = DTMC()
+    chain.add_transition("sunny", "sunny", 0.8)
+    chain.add_transition("sunny", "rainy", 0.2)
+    chain.add_transition("rainy", "sunny", 0.5)
+    chain.add_transition("rainy", "rainy", 0.5)
+    return chain
+
+
+def gambler(p=0.4, n=4):
+    """Gambler's ruin on {0..n}, absorbing at 0 and n."""
+    chain = DTMC()
+    for i in range(1, n):
+        chain.add_transition(i, i + 1, p)
+        chain.add_transition(i, i - 1, 1 - p)
+    chain.add_state(0)
+    chain.add_state(n)
+    return chain
+
+
+class TestBasics:
+    def test_transition_matrix_rows(self):
+        p = weather().transition_matrix()
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+
+    def test_bad_rows_rejected(self):
+        chain = DTMC()
+        chain.add_transition("a", "b", 0.5)
+        with pytest.raises(ModelDefinitionError):
+            chain.transition_matrix()
+
+    def test_absorbing_detection(self):
+        assert set(gambler().absorbing_states()) == {0, 4}
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            DTMC().add_transition("a", "b", 1.5)
+
+
+class TestSteadyState:
+    def test_weather(self):
+        pi = weather().steady_state()
+        assert pi["sunny"] == pytest.approx(5 / 7)
+        assert pi["rainy"] == pytest.approx(2 / 7)
+
+    def test_symmetric_chain_uniform(self):
+        chain = DTMC()
+        for a, b in [("x", "y"), ("y", "z"), ("z", "x")]:
+            chain.add_transition(a, b, 1.0)
+        pi = chain.steady_state()
+        for value in pi.values():
+            assert value == pytest.approx(1 / 3)
+
+
+class TestTransient:
+    def test_zero_steps_identity(self):
+        p = weather().transient(0, "sunny")
+        assert p["sunny"] == 1.0
+
+    def test_one_step(self):
+        p = weather().transient(1, "sunny")
+        assert p["rainy"] == pytest.approx(0.2)
+
+    def test_many_steps_converge(self):
+        p = weather().transient(200, "rainy")
+        assert p["sunny"] == pytest.approx(5 / 7, abs=1e-9)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            weather().transient(-1, "sunny")
+
+
+class TestAbsorbing:
+    def test_gambler_ruin_probability(self):
+        # Classic closed form with p=0.4, q=0.6, start 2 of 4:
+        p, n, start = 0.4, 4, 2
+        r = (1 - p) / p
+        expected_win = (1 - r**start) / (1 - r**n)
+        probs = gambler(p, n).absorption_probabilities(start)
+        assert probs[n] == pytest.approx(expected_win)
+        assert probs[0] == pytest.approx(1 - expected_win)
+
+    def test_expected_steps_positive(self):
+        steps = gambler().expected_steps_to_absorption(2)
+        assert steps > 0
+
+    def test_fundamental_matrix_visits(self):
+        # Simple 1-transient-state chain: visits to s before absorbing = 1/(1-p_ss)
+        chain = DTMC()
+        chain.add_transition("s", "s", 0.5)
+        chain.add_transition("s", "done", 0.5)
+        visits = chain.expected_visits("s")
+        assert visits["s"] == pytest.approx(2.0)
+
+    def test_expected_steps_geometric(self):
+        chain = DTMC()
+        chain.add_transition("s", "s", 0.75)
+        chain.add_transition("s", "done", 0.25)
+        assert chain.expected_steps_to_absorption("s") == pytest.approx(4.0)
+
+    def test_no_absorbing_rejected(self):
+        with pytest.raises(StateSpaceError):
+            weather().absorption_probabilities("sunny")
+
+    def test_explicit_absorbing_override(self):
+        chain = weather()
+        probs = chain.absorption_probabilities("sunny", absorbing=["rainy"])
+        assert probs["rainy"] == pytest.approx(1.0)

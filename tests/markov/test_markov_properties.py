@@ -1,0 +1,101 @@
+"""Property-based tests for Markov analysis (hypothesis).
+
+Invariants: steady-state vectors are distributions satisfying global
+balance; the three solvers agree; transients conserve probability and
+converge to the stationary vector; MTTA decomposes over first steps.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import CTMC, gth_solve
+
+rates = st.floats(min_value=0.01, max_value=50.0)
+
+
+@st.composite
+def irreducible_chains(draw, max_states=6):
+    """Random irreducible CTMCs (a cycle backbone plus random extras)."""
+    n = draw(st.integers(min_value=2, max_value=max_states))
+    chain = CTMC()
+    for i in range(n):
+        chain.add_transition(i, (i + 1) % n, draw(rates))
+    n_extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(n_extra):
+        i = draw(st.integers(0, n - 1))
+        j = draw(st.integers(0, n - 1))
+        if i != j:
+            chain.add_transition(i, j, draw(rates))
+    return chain
+
+
+@settings(max_examples=60, deadline=None)
+@given(chain=irreducible_chains())
+def test_steady_state_is_distribution(chain):
+    pi = chain.steady_state()
+    values = np.array(list(pi.values()))
+    assert values.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(values >= -1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(chain=irreducible_chains())
+def test_global_balance(chain):
+    pi = chain.steady_state()
+    q = chain.generator().toarray()
+    vec = np.array([pi[s] for s in chain.states])
+    np.testing.assert_allclose(vec @ q, 0.0, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain=irreducible_chains())
+def test_solver_agreement(chain):
+    pi_gth = chain.steady_state("gth")
+    pi_direct = chain.steady_state("direct")
+    for state in chain.states:
+        assert pi_direct[state] == pytest.approx(pi_gth[state], abs=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(chain=irreducible_chains(), t=st.floats(min_value=0.0, max_value=20.0))
+def test_transient_conserves_probability(chain, t):
+    probs = chain.transient(np.array([t]), chain.states[0])
+    assert probs[0].sum() == pytest.approx(1.0, abs=1e-8)
+    assert np.all(probs[0] >= -1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(chain=irreducible_chains())
+def test_transient_converges_to_steady_state(chain):
+    pi = chain.steady_state()
+    # mixing time scales with 1/min_rate; 60/min_exit is generous while
+    # keeping the uniformization horizon affordable
+    horizon = 60.0 / min(chain.exit_rate(s) for s in chain.states)
+    probs = chain.transient(np.array([horizon]), chain.states[0], tol=1e-8)
+    for idx, state in enumerate(chain.states):
+        assert probs[0][idx] == pytest.approx(pi[state], abs=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain=irreducible_chains(), t=st.floats(min_value=0.1, max_value=10.0))
+def test_cumulative_rows_sum_to_time(chain, t):
+    cum = chain.cumulative_transient([t], chain.states[0])
+    assert cum[0].sum() == pytest.approx(t, rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain=irreducible_chains(), rate=rates)
+def test_mtta_first_step_decomposition(chain, rate):
+    # Add an absorbing exit from state 0; check m_0 = h_0 + sum p_0j m_j.
+    chain.add_transition(0, "dead", rate)
+    states = [s for s in chain.states if s != "dead"]
+    m = {s: chain.mean_time_to_absorption(s) for s in states}
+    exit_rate = chain.exit_rate(0)
+    expected = 1.0 / exit_rate
+    for target in states:
+        r = chain.rate(0, target)
+        if r > 0:
+            expected += (r / exit_rate) * m[target]
+    assert m[0] == pytest.approx(expected, rel=1e-6)

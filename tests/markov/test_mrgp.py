@@ -1,0 +1,139 @@
+"""Unit tests for Markov regenerative processes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Erlang, Exponential
+from repro.exceptions import ModelDefinitionError, StateSpaceError
+from repro.markov import CTMC, MarkovRegenerativeProcess, SemiMarkovProcess
+
+
+class TestConstruction:
+    def test_overlapping_general_regions_rejected(self):
+        mrgp = MarkovRegenerativeProcess()
+        mrgp.add_exponential("a", "b", 1.0)
+        mrgp.add_general("g1", Deterministic(1.0), ["a"], {"a": "b"})
+        with pytest.raises(ModelDefinitionError):
+            mrgp.add_general("g2", Deterministic(2.0), ["a"], {"a": "b"})
+
+    def test_missing_target_rejected(self):
+        mrgp = MarkovRegenerativeProcess()
+        with pytest.raises(ModelDefinitionError):
+            mrgp.add_general("g", Deterministic(1.0), ["a", "b"], {"a": "c"})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            MarkovRegenerativeProcess().add_exponential("a", "a", 1.0)
+
+
+class TestDegenerateCases:
+    def test_pure_exponential_matches_ctmc(self):
+        mrgp = MarkovRegenerativeProcess()
+        mrgp.add_exponential("up", "down", 1.0)
+        mrgp.add_exponential("down", "up", 9.0)
+        pi = mrgp.steady_state()
+        assert pi["up"] == pytest.approx(0.9)
+
+    def test_deterministic_repair_matches_smp(self):
+        mrgp = MarkovRegenerativeProcess()
+        mrgp.add_exponential("up", "down", 0.01)
+        mrgp.add_general("repair", Deterministic(5.0), ["down"], {"down": "up"})
+        pi = mrgp.steady_state()
+        assert pi["up"] == pytest.approx(100.0 / 105.0, rel=1e-9)
+
+    def test_exponential_general_matches_ctmc(self):
+        # A "general" transition that happens to be exponential must agree
+        # with the plain CTMC answer (quadrature path).
+        mrgp = MarkovRegenerativeProcess()
+        mrgp.add_exponential("up", "down", 1.0)
+        mrgp.add_general("rep", Exponential(9.0), ["down"], {"down": "up"})
+        pi = mrgp.steady_state(n_quadrature=256)
+        assert pi["up"] == pytest.approx(0.9, rel=1e-3)
+
+    def test_erlang_general(self):
+        mrgp = MarkovRegenerativeProcess()
+        mrgp.add_exponential("up", "down", 0.1)
+        mrgp.add_general("rep", Erlang.from_mean(2.0, stages=4), ["down"], {"down": "up"})
+        pi = mrgp.steady_state(n_quadrature=256)
+        assert pi["up"] == pytest.approx(10.0 / 12.0, rel=1e-3)
+
+
+class TestTimerAcrossStates:
+    def rejuvenation(self, tau):
+        mrgp = MarkovRegenerativeProcess()
+        mrgp.add_exponential("robust", "degraded", 0.1)
+        mrgp.add_exponential("degraded", "failed", 0.05)
+        mrgp.add_exponential("failed", "robust", 2.0)
+        mrgp.add_exponential("rejuv", "robust", 6.0)
+        mrgp.add_general(
+            "timer", Deterministic(tau), ["robust", "degraded"],
+            {"robust": "rejuv", "degraded": "rejuv"},
+        )
+        return mrgp
+
+    def test_probabilities_sum_to_one(self):
+        pi = self.rejuvenation(8.0).steady_state()
+        assert sum(pi.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_short_timer_increases_planned_downtime(self):
+        short = self.rejuvenation(2.0).steady_state()
+        long = self.rejuvenation(50.0).steady_state()
+        assert short["rejuv"] > long["rejuv"]
+        assert short["failed"] < long["failed"]
+
+    def test_timer_longer_than_any_activity_approaches_no_rejuvenation(self):
+        pi = self.rejuvenation(100_000.0).steady_state()
+        baseline = CTMC()
+        baseline.add_transition("robust", "degraded", 0.1)
+        baseline.add_transition("degraded", "failed", 0.05)
+        baseline.add_transition("failed", "robust", 2.0)
+        pi_base = baseline.steady_state()
+        assert pi["failed"] == pytest.approx(pi_base["failed"], rel=0.01)
+        assert pi["rejuv"] == pytest.approx(0.0, abs=1e-3)
+
+    def test_agreement_with_simulation(self, rng):
+        tau = 8.0
+        pi = self.rejuvenation(tau).steady_state()
+        # hand-rolled discrete-event simulation of the same MRGP
+        horizon = 200_000.0
+        t, state, timer = 0.0, "robust", tau
+        occupancy = {"robust": 0.0, "degraded": 0.0, "failed": 0.0, "rejuv": 0.0}
+        rates = {"robust": [("degraded", 0.1)], "degraded": [("failed", 0.05)],
+                 "failed": [("robust", 2.0)], "rejuv": [("robust", 6.0)]}
+        while t < horizon:
+            moves = rates[state]
+            total = sum(r for _, r in moves)
+            dwell = rng.exponential(1 / total)
+            if state in ("robust", "degraded") and dwell >= timer:
+                occupancy[state] += timer
+                t += timer
+                state, timer = "rejuv", tau
+                continue
+            occupancy[state] += dwell
+            t += dwell
+            if state in ("robust", "degraded"):
+                timer -= dwell
+            nxt = moves[0][0]
+            if state in ("failed", "rejuv"):
+                timer = tau  # timer rearms on re-entering the up region
+            state = nxt
+        total_time = sum(occupancy.values())
+        for s in occupancy:
+            assert occupancy[s] / total_time == pytest.approx(pi[s], abs=0.01)
+
+
+class TestErrors:
+    def test_absorbing_state_rejected(self):
+        mrgp = MarkovRegenerativeProcess()
+        mrgp.add_exponential("a", "b", 1.0)  # b is absorbing
+        with pytest.raises(StateSpaceError):
+            mrgp.steady_state()
+
+    def test_reward_rate(self):
+        mrgp = MarkovRegenerativeProcess()
+        mrgp.add_exponential("up", "down", 0.01)
+        mrgp.add_general("rep", Deterministic(5.0), ["down"], {"down": "up"})
+        assert mrgp.expected_reward_rate({"up": 1.0}) == pytest.approx(100 / 105, rel=1e-9)
+        assert mrgp.steady_state_availability(["up"]) == pytest.approx(100 / 105, rel=1e-9)

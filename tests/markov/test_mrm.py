@@ -1,0 +1,106 @@
+"""Unit tests for Markov reward models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelDefinitionError
+from repro.markov import CTMC, MarkovRewardModel
+
+
+def up_down(lam=1.0, mu=9.0):
+    chain = CTMC()
+    chain.add_transition("up", "down", lam)
+    chain.add_transition("down", "up", mu)
+    return chain
+
+
+def multiprocessor(n=3, lam=0.1, mu=1.0):
+    """n processors, independent repair; state = number up."""
+    chain = CTMC()
+    for k in range(n, 0, -1):
+        chain.add_transition(k, k - 1, k * lam)
+    for k in range(0, n):
+        chain.add_transition(k, k + 1, (n - k) * mu)
+    return chain
+
+
+class TestSteadyState:
+    def test_binary_reward_is_availability(self):
+        model = MarkovRewardModel(up_down(), {"up": 1.0})
+        assert model.steady_state_reward_rate() == pytest.approx(0.9)
+
+    def test_capacity_reward(self):
+        n, lam, mu = 3, 0.1, 1.0
+        chain = multiprocessor(n, lam, mu)
+        model = MarkovRewardModel(chain, {k: float(k) for k in range(n + 1)})
+        # independent units: E[#up] = n * mu/(lam+mu)
+        assert model.steady_state_reward_rate() == pytest.approx(n * mu / (lam + mu))
+
+    def test_unknown_reward_state_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            MarkovRewardModel(up_down(), {"bogus": 1.0})
+
+
+class TestTransient:
+    def test_expected_reward_rate_at_zero(self):
+        model = MarkovRewardModel(up_down(), {"up": 1.0}, initial="up")
+        assert model.expected_reward_rate(0.0) == pytest.approx(1.0)
+
+    def test_expected_reward_rate_closed_form(self):
+        lam, mu = 1.0, 9.0
+        model = MarkovRewardModel(up_down(lam, mu), {"up": 1.0}, initial="up")
+        t = 0.4
+        expected = mu / (lam + mu) + lam / (lam + mu) * math.exp(-(lam + mu) * t)
+        assert model.expected_reward_rate(t) == pytest.approx(expected, abs=1e-10)
+
+    def test_accumulated_reward_closed_form(self):
+        lam, mu = 1.0, 9.0
+        model = MarkovRewardModel(up_down(lam, mu), {"up": 1.0}, initial="up")
+        t = 0.7
+        a_ss = mu / (lam + mu)
+        expected = a_ss * t + lam / (lam + mu) ** 2 * (1 - math.exp(-(lam + mu) * t))
+        assert model.expected_accumulated_reward(t) == pytest.approx(expected, rel=1e-8)
+
+    def test_time_averaged_reward_interval_availability(self):
+        model = MarkovRewardModel(up_down(), {"up": 1.0}, initial="up")
+        t = 5.0
+        avg = model.time_averaged_reward(t)
+        assert model.steady_state_reward_rate() < avg < 1.0
+
+    def test_time_average_requires_positive_t(self):
+        model = MarkovRewardModel(up_down(), {"up": 1.0}, initial="up")
+        with pytest.raises(ModelDefinitionError):
+            model.time_averaged_reward(0.0)
+
+    def test_missing_initial_rejected(self):
+        model = MarkovRewardModel(up_down(), {"up": 1.0})
+        with pytest.raises(ModelDefinitionError):
+            model.expected_reward_rate(1.0)
+
+    def test_initial_override(self):
+        model = MarkovRewardModel(up_down(), {"up": 1.0}, initial="up")
+        assert model.expected_reward_rate(0.0, initial="down") == pytest.approx(0.0)
+
+
+class TestAbsorbing:
+    def test_accumulated_until_absorption_is_mean_up_time(self):
+        # up -> down(absorbing): E[Y(inf)] with reward 1 on up = 1/lam
+        chain = CTMC()
+        chain.add_transition("up", "down", 0.5)
+        model = MarkovRewardModel(chain, {"up": 1.0}, initial="up")
+        assert model.accumulated_reward_until_absorption() == pytest.approx(2.0)
+
+    def test_weighted_sojourns(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", 1.0)
+        chain.add_transition("b", "done", 2.0)
+        model = MarkovRewardModel(chain, {"a": 1.0, "b": 10.0}, initial="a")
+        # E[time in a] = 1, E[time in b] = 0.5 → 1*1 + 10*0.5
+        assert model.accumulated_reward_until_absorption() == pytest.approx(6.0)
+
+    def test_no_absorbing_rejected(self):
+        model = MarkovRewardModel(up_down(), {"up": 1.0}, initial="up")
+        with pytest.raises(ModelDefinitionError):
+            model.accumulated_reward_until_absorption()

@@ -1,0 +1,154 @@
+"""Unit tests for phase-type distributions and CTMC expansion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Erlang,
+    Exponential,
+    HyperExponential,
+    HypoExponential,
+    Lognormal,
+    Weibull,
+)
+from repro.exceptions import DistributionError
+from repro.markov import (
+    CTMC,
+    MarkovDependabilityModel,
+    PhaseType,
+    as_phase_type,
+    expand_two_state_availability,
+    fit_phase_type,
+)
+
+
+class TestRepresentation:
+    def test_hypoexp_moments(self):
+        ph = PhaseType([1.0, 0.0], [[-2.0, 2.0], [0.0, -3.0]])
+        assert ph.mean() == pytest.approx(1 / 2 + 1 / 3)
+        hypo = HypoExponential([2.0, 3.0])
+        assert ph.variance() == pytest.approx(hypo.variance())
+
+    def test_cdf_matches_analytic(self):
+        ph = as_phase_type(HypoExponential([2.0, 3.0]))
+        hypo = HypoExponential([2.0, 3.0])
+        for t in (0.1, 0.5, 1.0, 3.0):
+            assert ph.cdf(t) == pytest.approx(hypo.cdf(t), abs=1e-10)
+
+    def test_pdf_matches_analytic(self):
+        ph = as_phase_type(Exponential(2.0))
+        assert ph.pdf(0.5) == pytest.approx(2.0 * math.exp(-1.0))
+
+    def test_atom_at_zero(self):
+        ph = PhaseType([0.7], [[-1.0]])
+        assert ph.cdf(0.0) == pytest.approx(0.3)
+
+    def test_invalid_subgenerator_rejected(self):
+        with pytest.raises(DistributionError):
+            PhaseType([1.0], [[1.0]])  # positive diagonal
+        with pytest.raises(DistributionError):
+            PhaseType([1.0, 0.0], [[-1.0, 2.0], [0.0, -1.0]])  # row sum > 0
+
+    def test_alpha_validation(self):
+        with pytest.raises(DistributionError):
+            PhaseType([0.7, 0.7], [[-1.0, 0.0], [0.0, -1.0]])
+
+
+class TestConversion:
+    def test_exponential(self):
+        ph = as_phase_type(Exponential(3.0))
+        assert ph.n_phases == 1
+        assert ph.mean() == pytest.approx(1 / 3)
+
+    def test_erlang(self):
+        e = Erlang(stages=4, rate=2.0)
+        ph = as_phase_type(e)
+        assert ph.n_phases == 4
+        assert ph.mean() == pytest.approx(e.mean())
+        assert ph.variance() == pytest.approx(e.variance())
+
+    def test_hyperexponential(self):
+        h = HyperExponential([0.4, 0.6], [1.0, 5.0])
+        ph = as_phase_type(h)
+        assert ph.mean() == pytest.approx(h.mean())
+        for t in (0.2, 1.0, 4.0):
+            assert ph.cdf(t) == pytest.approx(h.cdf(t), abs=1e-10)
+
+    def test_unsupported_raises(self):
+        with pytest.raises(DistributionError):
+            as_phase_type(Weibull(shape=2.0, scale=1.0))
+
+    def test_fit_weibull_two_moments(self):
+        w = Weibull(shape=2.0, scale=1.0)
+        ph = fit_phase_type(w)
+        assert ph.mean() == pytest.approx(w.mean(), rel=1e-9)
+
+
+class TestClosure:
+    def test_convolution_mean_adds(self):
+        a = as_phase_type(Exponential(1.0))
+        b = as_phase_type(Erlang(stages=2, rate=4.0))
+        conv = a.convolve(b)
+        assert conv.mean() == pytest.approx(1.0 + 0.5)
+        assert conv.variance() == pytest.approx(1.0 + 2 / 16)
+
+    def test_mixture(self):
+        a = as_phase_type(Exponential(1.0))
+        b = as_phase_type(Exponential(2.0))
+        mix = a.mixture(b, weight=0.3)
+        assert mix.mean() == pytest.approx(0.3 * 1.0 + 0.7 * 0.5)
+
+    def test_minimum_of_exponentials(self):
+        a = as_phase_type(Exponential(2.0))
+        b = as_phase_type(Exponential(3.0))
+        assert a.minimum(b).mean() == pytest.approx(0.2)
+
+    def test_minimum_cdf_dominates(self):
+        a = as_phase_type(Erlang(stages=2, rate=1.0))
+        b = as_phase_type(Exponential(0.5))
+        m = a.minimum(b)
+        for t in (0.5, 1.0, 2.0):
+            assert m.cdf(t) >= max(a.cdf(t), b.cdf(t)) - 1e-9
+
+
+class TestSampling:
+    def test_sample_mean(self, rng):
+        ph = as_phase_type(HypoExponential([1.0, 2.0]))
+        draws = ph.sample(rng, 30_000)
+        assert draws.mean() == pytest.approx(1.5, rel=0.03)
+
+    def test_hyperexp_sample(self, rng):
+        ph = as_phase_type(HyperExponential([0.5, 0.5], [1.0, 10.0]))
+        draws = ph.sample(rng, 30_000)
+        assert draws.mean() == pytest.approx(0.55, rel=0.05)
+
+
+class TestExpansion:
+    def test_to_absorbing_ctmc_mtta_is_mean(self):
+        ph = as_phase_type(Erlang(stages=3, rate=2.0))
+        chain = ph.to_absorbing_ctmc()
+        assert chain.mean_time_to_absorption("ph0") == pytest.approx(1.5)
+
+    def test_two_state_expansion_availability(self):
+        chain, ups, downs = expand_two_state_availability(
+            Erlang(2, 2.0), Exponential(4.0)
+        )
+        model = MarkovDependabilityModel(chain, ups, initial=ups[0])
+        assert model.steady_state_availability() == pytest.approx(1.0 / 1.25)
+
+    def test_expansion_fits_non_ph_uptime(self):
+        w = Weibull(shape=2.0, scale=1.0)
+        chain, ups, downs = expand_two_state_availability(w, Exponential(4.0))
+        model = MarkovDependabilityModel(chain, ups, initial=ups[0])
+        exact = w.mean() / (w.mean() + 0.25)
+        assert model.steady_state_availability() == pytest.approx(exact, rel=1e-9)
+
+    def test_expansion_phase_counts(self):
+        chain, ups, downs = expand_two_state_availability(
+            Erlang(3, 1.0), Erlang(2, 1.0)
+        )
+        assert len(ups) == 3
+        assert len(downs) == 2
+        assert chain.n_states == 5

@@ -1,0 +1,111 @@
+"""Unit tests for exact CTMC steady-state sensitivities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelDefinitionError
+from repro.markov import CTMC, reward_rate_derivative, steady_state_derivative
+
+
+def two_state(lam=0.1, mu=1.0):
+    chain = CTMC()
+    chain.add_transition("up", "down", lam)
+    chain.add_transition("down", "up", mu)
+    return chain
+
+
+def shared_repair(lam=0.01, mu=1.0):
+    chain = CTMC()
+    chain.add_transition(2, 1, 2 * lam)
+    chain.add_transition(1, 0, lam)
+    chain.add_transition(1, 2, mu)
+    chain.add_transition(0, 1, mu)
+    return chain
+
+
+class TestTwoState:
+    def test_closed_form_derivative_in_lambda(self):
+        lam, mu = 0.1, 1.0
+        d = steady_state_derivative(two_state(lam, mu), {("up", "down"): 1.0})
+        assert d["up"] == pytest.approx(-mu / (lam + mu) ** 2)
+        assert d["down"] == pytest.approx(mu / (lam + mu) ** 2)
+
+    def test_closed_form_derivative_in_mu(self):
+        lam, mu = 0.1, 1.0
+        d = steady_state_derivative(two_state(lam, mu), {("down", "up"): 1.0})
+        assert d["up"] == pytest.approx(lam / (lam + mu) ** 2)
+
+    def test_derivatives_sum_to_zero(self):
+        d = steady_state_derivative(two_state(), {("up", "down"): 1.0})
+        assert sum(d.values()) == pytest.approx(0.0, abs=1e-14)
+
+
+class TestAgainstFiniteDifferences:
+    @pytest.mark.parametrize("which", ["lambda", "mu"])
+    def test_shared_repair_availability(self, which):
+        lam, mu = 0.01, 1.0
+        h = 1e-7
+
+        def availability(l_, m_):
+            pi = shared_repair(l_, m_).steady_state()
+            return pi[2] + pi[1]
+
+        if which == "lambda":
+            # lambda appears as 2λ on (2,1) and λ on (1,0)
+            exact = reward_rate_derivative(
+                shared_repair(lam, mu),
+                {2: 1.0, 1: 1.0},
+                {(2, 1): 2.0, (1, 0): 1.0},
+            )
+            numeric = (availability(lam + h, mu) - availability(lam - h, mu)) / (2 * h)
+        else:
+            exact = reward_rate_derivative(
+                shared_repair(lam, mu),
+                {2: 1.0, 1: 1.0},
+                {(1, 2): 1.0, (0, 1): 1.0},
+            )
+            numeric = (availability(lam, mu + h) - availability(lam, mu - h)) / (2 * h)
+        assert exact == pytest.approx(numeric, rel=1e-5)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_chains(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 5
+        chain = CTMC()
+        edges = []
+        for i in range(n):
+            j = (i + 1) % n
+            rate = float(rng.uniform(0.5, 2.0))
+            chain.add_transition(i, j, rate)
+            edges.append((i, j, rate))
+        target = edges[0]
+        d = steady_state_derivative(chain, {(target[0], target[1]): 1.0})
+        # finite differences
+        h = 1e-7
+        def pi_of(bump):
+            c2 = CTMC()
+            for (i, j, rate) in edges:
+                c2.add_transition(i, j, rate + (bump if (i, j) == (target[0], target[1]) else 0.0))
+            return c2.steady_state()
+        hi, lo = pi_of(h), pi_of(-h)
+        for state in chain.states:
+            numeric = (hi[state] - lo[state]) / (2 * h)
+            assert d[state] == pytest.approx(numeric, abs=1e-6)
+
+
+class TestValidation:
+    def test_unknown_transition_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            steady_state_derivative(two_state(), {("down", "down"): 1.0})
+        with pytest.raises(ModelDefinitionError):
+            steady_state_derivative(two_state(), {("up", "ghost"): 1.0})
+
+    def test_nonexistent_edge_rejected(self):
+        chain = shared_repair()
+        with pytest.raises(ModelDefinitionError):
+            steady_state_derivative(chain, {(2, 0): 1.0})
+
+    def test_zero_derivative_of_unrelated_edge(self):
+        chain = shared_repair()
+        d = steady_state_derivative(chain, {(2, 1): 0.0})
+        assert all(abs(v) < 1e-14 for v in d.values())

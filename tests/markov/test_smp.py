@@ -1,0 +1,179 @@
+"""Unit tests for semi-Markov processes."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Erlang, Exponential, Lognormal, Weibull
+from repro.exceptions import ModelDefinitionError, StateSpaceError
+from repro.markov import CTMC, SemiMarkovProcess
+
+
+def up_down_smp(up_dist, down_dist):
+    smp = SemiMarkovProcess()
+    smp.add_transition("up", "down", 1.0, up_dist)
+    smp.add_transition("down", "up", 1.0, down_dist)
+    return smp
+
+
+class TestSteadyState:
+    def test_exponential_matches_ctmc(self):
+        smp = up_down_smp(Exponential(1.0), Exponential(9.0))
+        pi = smp.steady_state()
+        assert pi["up"] == pytest.approx(0.9)
+
+    def test_deterministic_repair(self):
+        smp = up_down_smp(Exponential(0.01), Deterministic(5.0))
+        pi = smp.steady_state()
+        assert pi["up"] == pytest.approx(100.0 / 105.0)
+
+    @pytest.mark.parametrize(
+        "repair",
+        [
+            Exponential(0.2),
+            Deterministic(5.0),
+            Erlang.from_mean(5.0, stages=4),
+            Weibull.from_mean_shape(5.0, shape=2.0),
+            Lognormal.from_mean_cv(5.0, cv=1.5),
+        ],
+    )
+    def test_insensitivity_to_repair_shape(self, repair):
+        # Steady-state availability depends only on the repair MEAN.
+        smp = up_down_smp(Exponential(0.01), repair)
+        assert smp.steady_state()["up"] == pytest.approx(100.0 / 105.0, rel=1e-9)
+
+    def test_three_state_cycle(self):
+        smp = SemiMarkovProcess()
+        smp.add_transition("a", "b", 1.0, Deterministic(1.0))
+        smp.add_transition("b", "c", 1.0, Deterministic(2.0))
+        smp.add_transition("c", "a", 1.0, Deterministic(3.0))
+        pi = smp.steady_state()
+        assert pi["a"] == pytest.approx(1 / 6)
+        assert pi["b"] == pytest.approx(2 / 6)
+        assert pi["c"] == pytest.approx(3 / 6)
+
+    def test_branching_probabilities(self):
+        smp = SemiMarkovProcess()
+        smp.add_transition("up", "minor", 0.8, Exponential(1.0))
+        smp.add_transition("up", "major", 0.2, Exponential(1.0))
+        smp.add_transition("minor", "up", 1.0, Deterministic(0.5))
+        smp.add_transition("major", "up", 1.0, Deterministic(10.0))
+        pi = smp.steady_state()
+        # mean cycle = 1 + 0.8*0.5 + 0.2*10 ... per embedded visit weights
+        total = 1.0 + 0.8 * 0.5 + 0.2 * 10.0
+        assert pi["up"] == pytest.approx(1.0 / total)
+
+    def test_unnormalized_probabilities_rejected(self):
+        smp = SemiMarkovProcess()
+        smp.add_transition("a", "b", 0.5, Exponential(1.0))
+        smp.add_transition("b", "a", 1.0, Exponential(1.0))
+        with pytest.raises(ModelDefinitionError):
+            smp.steady_state()
+
+    def test_expected_reward_rate(self):
+        smp = up_down_smp(Exponential(0.01), Deterministic(5.0))
+        assert smp.expected_reward_rate({"up": 1.0}) == pytest.approx(100 / 105)
+
+
+class TestMTTA:
+    def test_two_stage_path(self):
+        smp = SemiMarkovProcess()
+        smp.add_transition("a", "b", 1.0, Deterministic(2.0))
+        smp.add_transition("b", "dead", 1.0, Deterministic(3.0))
+        smp.add_state("dead")
+        assert smp.mean_time_to_absorption("a") == pytest.approx(5.0)
+
+    def test_with_retry_loop(self):
+        smp = SemiMarkovProcess()
+        smp.add_transition("work", "retry", 0.5, Exponential(1.0))
+        smp.add_transition("work", "done", 0.5, Exponential(1.0))
+        smp.add_transition("retry", "work", 1.0, Deterministic(1.0))
+        smp.add_state("done")
+        # m_w = 1 + 0.5 (1 + m_w) -> m_w = 3
+        assert smp.mean_time_to_absorption("work") == pytest.approx(3.0)
+
+    def test_absorbing_start_is_zero(self):
+        smp = SemiMarkovProcess()
+        smp.add_transition("a", "dead", 1.0, Exponential(1.0))
+        smp.add_state("dead")
+        assert smp.mean_time_to_absorption("dead") == 0.0
+
+    def test_no_absorbing_rejected(self):
+        smp = up_down_smp(Exponential(1.0), Exponential(1.0))
+        with pytest.raises(StateSpaceError):
+            smp.mean_time_to_absorption("up")
+
+    def test_mean_sojourn_of_absorbing_rejected(self):
+        smp = SemiMarkovProcess()
+        smp.add_transition("a", "dead", 1.0, Exponential(1.0))
+        with pytest.raises(StateSpaceError):
+            smp.mean_sojourn("dead")
+
+
+class TestCompeting:
+    def test_exponential_race_matches_ctmc(self):
+        smp = SemiMarkovProcess.from_competing(
+            {
+                "up": {"fail": Exponential(1.0), "degrade": Exponential(2.0)},
+                "fail": {"up": Exponential(10.0)},
+                "degrade": {"up": Exponential(5.0)},
+            }
+        )
+        ctmc = CTMC()
+        ctmc.add_transition("up", "fail", 1.0)
+        ctmc.add_transition("up", "degrade", 2.0)
+        ctmc.add_transition("fail", "up", 10.0)
+        ctmc.add_transition("degrade", "up", 5.0)
+        pi_smp = smp.steady_state()
+        pi_ctmc = ctmc.steady_state()
+        for state in pi_ctmc:
+            assert pi_smp[state] == pytest.approx(pi_ctmc[state], rel=1e-3)
+
+    def test_race_branch_probabilities(self):
+        smp = SemiMarkovProcess.from_competing(
+            {"s": {"a": Exponential(1.0), "b": Exponential(3.0)}, "a": {"s": Exponential(1.0)}, "b": {"s": Exponential(1.0)}}
+        )
+        dtmc = smp.embedded_dtmc()
+        p = dtmc.transition_matrix()
+        i, j = dtmc.index_of("s"), dtmc.index_of("b")
+        assert p[i, j] == pytest.approx(0.75, rel=1e-3)
+
+    def test_deterministic_beats_slow_exponential(self):
+        smp = SemiMarkovProcess.from_competing(
+            {
+                "s": {"timer": Deterministic(1.0), "fail": Exponential(0.01)},
+                "timer": {"s": Exponential(1.0)},
+                "fail": {"s": Exponential(1.0)},
+            }
+        )
+        dtmc = smp.embedded_dtmc()
+        p = dtmc.transition_matrix()
+        i = dtmc.index_of("s")
+        # P[timer wins] = P[Exp(0.01) > 1] = e^-0.01 ≈ 0.99
+        assert p[i, dtmc.index_of("timer")] == pytest.approx(np.exp(-0.01), rel=1e-3)
+
+
+class TestTransient:
+    def test_matches_ctmc_for_exponential_kernels(self):
+        smp = up_down_smp(Exponential(1.0), Exponential(9.0))
+        ctmc = CTMC()
+        ctmc.add_transition("up", "down", 1.0)
+        ctmc.add_transition("down", "up", 9.0)
+        times = np.array([0.2, 0.5, 1.0])
+        got = smp.transient(times, "up")
+        expected = ctmc.transient(times, "up")
+        np.testing.assert_allclose(got, expected, atol=5e-3)
+
+    def test_deterministic_cycle_phases(self):
+        smp = SemiMarkovProcess()
+        smp.add_transition("a", "b", 1.0, Deterministic(1.0))
+        smp.add_transition("b", "a", 1.0, Deterministic(1.0))
+        probs = smp.transient(np.array([0.5, 1.5]), "a")
+        a_idx = smp.states.index("a")
+        b_idx = smp.states.index("b")
+        assert probs[0, a_idx] == pytest.approx(1.0, abs=0.01)
+        assert probs[1, b_idx] == pytest.approx(1.0, abs=0.01)
+
+    def test_time_zero(self):
+        smp = up_down_smp(Exponential(1.0), Exponential(9.0))
+        probs = smp.transient(np.array([0.0]), "up")
+        assert probs[0, smp.states.index("up")] == pytest.approx(1.0)

@@ -1,0 +1,172 @@
+"""Unit tests for the ROBDD engine."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import ModelDefinitionError
+from repro.nonstate import BDD, TERMINAL_ONE, TERMINAL_ZERO
+
+
+class TestBasics:
+    def test_terminals(self):
+        mgr = BDD(["a"])
+        assert mgr.apply_and(TERMINAL_ONE, TERMINAL_ONE) == TERMINAL_ONE
+        assert mgr.apply_and(TERMINAL_ONE, TERMINAL_ZERO) == TERMINAL_ZERO
+        assert mgr.apply_or(TERMINAL_ZERO, TERMINAL_ZERO) == TERMINAL_ZERO
+
+    def test_var_and_negation(self):
+        mgr = BDD(["a"])
+        a = mgr.var("a")
+        assert mgr.apply_not(mgr.apply_not(a)) == a
+        assert mgr.apply_and(a, mgr.apply_not(a)) == TERMINAL_ZERO
+        assert mgr.apply_or(a, mgr.apply_not(a)) == TERMINAL_ONE
+
+    def test_nvar_equals_not_var(self):
+        mgr = BDD(["a"])
+        assert mgr.nvar("a") == mgr.apply_not(mgr.var("a"))
+
+    def test_unknown_variable_rejected(self):
+        mgr = BDD(["a"])
+        with pytest.raises(ModelDefinitionError):
+            mgr.var("zzz")
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            BDD(["a", "a"])
+
+    def test_hash_consing_dedupes(self):
+        mgr = BDD(["a", "b"])
+        f1 = mgr.apply_or(mgr.var("a"), mgr.var("b"))
+        f2 = mgr.apply_or(mgr.var("a"), mgr.var("b"))
+        assert f1 == f2
+
+    def test_idempotence_and_commutativity(self):
+        mgr = BDD(["a", "b"])
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.apply_and(a, a) == a
+        assert mgr.apply_or(a, a) == a
+        assert mgr.apply_and(a, b) == mgr.apply_and(b, a)
+        assert mgr.apply_or(a, b) == mgr.apply_or(b, a)
+
+    def test_xor(self):
+        mgr = BDD(["a", "b"])
+        f = mgr.apply_xor(mgr.var("a"), mgr.var("b"))
+        assert mgr.evaluate(f, {"a": True, "b": False})
+        assert mgr.evaluate(f, {"a": False, "b": True})
+        assert not mgr.evaluate(f, {"a": True, "b": True})
+        assert not mgr.evaluate(f, {"a": False, "b": False})
+
+
+class TestEvaluation:
+    def test_prob_or(self):
+        mgr = BDD(["a", "b"])
+        f = mgr.apply_or(mgr.var("a"), mgr.var("b"))
+        assert mgr.prob(f, {"a": 0.1, "b": 0.2}) == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_prob_and(self):
+        mgr = BDD(["a", "b"])
+        f = mgr.apply_and(mgr.var("a"), mgr.var("b"))
+        assert mgr.prob(f, {"a": 0.1, "b": 0.2}) == pytest.approx(0.02)
+
+    def test_prob_shared_variable_exact(self):
+        # f = (a & b) | (a & c): naive product rules double-count a.
+        mgr = BDD(["a", "b", "c"])
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.apply_or(mgr.apply_and(a, b), mgr.apply_and(a, c))
+        probs = {"a": 0.5, "b": 0.5, "c": 0.5}
+        # exact: P[a & (b | c)] = 0.5 * 0.75
+        assert mgr.prob(f, probs) == pytest.approx(0.375)
+
+    def test_prob_matches_truth_table(self):
+        mgr = BDD(["x", "y", "z"])
+        x, y, z = mgr.var("x"), mgr.var("y"), mgr.var("z")
+        f = mgr.apply_or(mgr.apply_and(x, mgr.apply_not(y)), z)
+        probs = {"x": 0.3, "y": 0.6, "z": 0.2}
+        brute = 0.0
+        for bits in itertools.product([False, True], repeat=3):
+            assign = dict(zip("xyz", bits))
+            if mgr.evaluate(f, assign):
+                term = 1.0
+                for name, value in assign.items():
+                    term *= probs[name] if value else 1 - probs[name]
+                brute += term
+        assert mgr.prob(f, probs) == pytest.approx(brute)
+
+    def test_prob_missing_variable_rejected(self):
+        mgr = BDD(["a", "b"])
+        f = mgr.apply_and(mgr.var("a"), mgr.var("b"))
+        with pytest.raises(ModelDefinitionError):
+            mgr.prob(f, {"a": 0.5})
+
+    def test_support(self):
+        mgr = BDD(["a", "b", "c"])
+        f = mgr.apply_and(mgr.var("a"), mgr.var("c"))
+        assert mgr.support(f) == ["a", "c"]
+
+    def test_restrict(self):
+        mgr = BDD(["a", "b"])
+        f = mgr.apply_and(mgr.var("a"), mgr.var("b"))
+        assert mgr.restrict(f, "a", True) == mgr.var("b")
+        assert mgr.restrict(f, "a", False) == TERMINAL_ZERO
+
+
+class TestKofN:
+    @pytest.mark.parametrize("n,k", [(3, 2), (5, 3), (7, 4), (10, 1), (10, 10)])
+    def test_at_least_k_counts(self, n, k):
+        names = [f"v{i}" for i in range(n)]
+        mgr = BDD(names)
+        f = mgr.at_least_k(names, k)
+        for bits in itertools.product([False, True], repeat=n):
+            expected = sum(bits) >= k
+            assert mgr.evaluate(f, dict(zip(names, bits))) == expected
+
+    def test_k_zero_and_k_over_n(self):
+        mgr = BDD(["a", "b"])
+        assert mgr.at_least_k(["a", "b"], 0) == TERMINAL_ONE
+        assert mgr.at_least_k(["a", "b"], 3) == TERMINAL_ZERO
+
+    def test_at_least_k_prob_binomial(self):
+        n, k, p = 8, 5, 0.3
+        from math import comb
+
+        names = [f"v{i}" for i in range(n)]
+        mgr = BDD(names)
+        f = mgr.at_least_k(names, k)
+        expected = sum(comb(n, i) * p**i * (1 - p) ** (n - i) for i in range(k, n + 1))
+        assert mgr.prob(f, {name: p for name in names}) == pytest.approx(expected)
+
+
+class TestStructuralOps:
+    def test_negate_variables(self):
+        mgr = BDD(["a", "b"])
+        f = mgr.apply_and(mgr.var("a"), mgr.apply_not(mgr.var("b")))
+        g = mgr.negate_variables(f)
+        for a in (False, True):
+            for b in (False, True):
+                assert mgr.evaluate(g, {"a": a, "b": b}) == mgr.evaluate(
+                    f, {"a": not a, "b": not b}
+                )
+
+    def test_dual_of_and_is_or(self):
+        mgr = BDD(["a", "b"])
+        f = mgr.apply_and(mgr.var("a"), mgr.var("b"))
+        assert mgr.dual(f) == mgr.apply_or(mgr.var("a"), mgr.var("b"))
+
+    def test_minimal_cut_sets_simple(self):
+        mgr = BDD(["a", "b", "c"])
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.apply_or(mgr.apply_and(a, b), c)
+        cuts = mgr.minimal_cut_sets(f)
+        assert cuts == [frozenset({"c"}), frozenset({"a", "b"})]
+
+    def test_minimal_cut_sets_absorption(self):
+        # (a) | (a & b): the second implicant is absorbed.
+        mgr = BDD(["a", "b"])
+        f = mgr.apply_or(mgr.var("a"), mgr.apply_and(mgr.var("a"), mgr.var("b")))
+        assert mgr.minimal_cut_sets(f) == [frozenset({"a"})]
+
+    def test_count_nodes(self):
+        mgr = BDD(["a", "b", "c"])
+        f = mgr.at_least_k(["a", "b", "c"], 2)
+        assert mgr.count_nodes(f) >= 3

@@ -1,0 +1,133 @@
+"""Unit tests for bounding algorithms."""
+
+import pytest
+
+from repro.casestudies.boeing import generate_boeing_style_tree
+from repro.exceptions import ModelDefinitionError
+from repro.nonstate import (
+    AndGate,
+    BasicEvent,
+    FaultTree,
+    FaultTreeBounds,
+    NotGate,
+    OrGate,
+    esary_proschan_bounds,
+    truncated_cutset_bounds,
+)
+
+
+def sample_tree():
+    a, b, c, d = (BasicEvent.fixed(n, p) for n, p in
+                  zip("abcd", (0.02, 0.03, 0.01, 0.05)))
+    return FaultTree(OrGate([AndGate([a, b]), AndGate([a, c]), d]))
+
+
+class TestEsaryProschan:
+    def test_brackets_exact(self):
+        tree = sample_tree()
+        analysis = FaultTreeBounds(tree)
+        exact = analysis.exact()
+        lo, hi = analysis.esary_proschan()
+        assert lo - 1e-12 <= exact <= hi + 1e-12
+
+    def test_direct_function(self):
+        tree = sample_tree()
+        q = {n: tree.basic_events[n].component.probability for n in tree.basic_events}
+        lo, hi = esary_proschan_bounds(
+            tree.minimal_path_sets(), tree.minimal_cut_sets(), q
+        )
+        exact = tree.top_event_probability()
+        assert lo <= exact <= hi
+
+    def test_upper_bound_tight_for_small_probabilities(self):
+        # In the rare-event regime the min-cut upper bound is nearly exact
+        # while the min-path lower bound is loose — the textbook behaviour.
+        tree = sample_tree()
+        analysis = FaultTreeBounds(tree)
+        exact = analysis.exact()
+        lo, hi = analysis.esary_proschan()
+        assert hi == pytest.approx(exact, rel=0.01)
+        assert lo <= exact
+
+
+class TestBonferroni:
+    def test_convergence_with_depth(self):
+        tree = sample_tree()
+        analysis = FaultTreeBounds(tree)
+        exact = analysis.exact()
+        prev_width = None
+        for depth in range(1, len(analysis.cut_sets) + 1):
+            lo, hi = analysis.bonferroni(depth)
+            assert lo - 1e-12 <= exact <= hi + 1e-12
+            width = hi - lo
+            if prev_width is not None:
+                assert width <= prev_width + 1e-12
+            prev_width = width
+        assert prev_width == pytest.approx(0.0, abs=1e-12)
+
+    def test_boeing_tree_bounds(self):
+        tree = generate_boeing_style_tree(n_sections=6, seed=7)
+        analysis = FaultTreeBounds(tree)
+        exact = analysis.exact()
+        lo, hi = analysis.bonferroni(2)
+        assert lo <= exact <= hi
+        # Depth-2 already very tight for rare events.
+        assert hi - lo < exact * 0.01 + 1e-15
+
+
+class TestTruncatedCutsets:
+    def test_order_truncation_brackets_exact(self):
+        tree = sample_tree()
+        analysis = FaultTreeBounds(tree)
+        exact = analysis.exact()
+        lo, hi = analysis.truncated(max_order=1)
+        assert lo - 1e-12 <= exact <= hi + 1e-12
+        lo2, hi2 = analysis.truncated(max_order=2)
+        assert lo2 - 1e-12 <= exact <= hi2 + 1e-12
+        assert hi2 - lo2 <= hi - lo + 1e-12
+
+    def test_probability_cutoff(self):
+        tree = sample_tree()
+        analysis = FaultTreeBounds(tree)
+        exact = analysis.exact()
+        lo, hi = analysis.truncated(probability_cutoff=1e-3)
+        assert lo - 1e-12 <= exact <= hi + 1e-12
+
+    def test_everything_dropped_gives_trivial_bounds(self):
+        tree = sample_tree()
+        analysis = FaultTreeBounds(tree)
+        lo, hi = analysis.truncated(probability_cutoff=1.0)
+        assert lo == 0.0
+        assert hi >= analysis.exact()
+
+    def test_direct_function(self):
+        cuts = [{"a", "b"}, {"c"}]
+        q = {"a": 0.1, "b": 0.1, "c": 0.01}
+        lo, hi = truncated_cutset_bounds(cuts, q, max_order=1)
+        exact = 1 - (1 - 0.01) * (1 - 0.01)  # union of {c} and {a,b}
+        exact = 0.01 + 0.01 - 0.01 * 0.01
+        assert lo <= exact <= hi
+
+
+class TestValidation:
+    def test_non_coherent_rejected(self):
+        tree = FaultTree(NotGate(BasicEvent.fixed("a", 0.1)))
+        with pytest.raises(ModelDefinitionError):
+            FaultTreeBounds(tree)
+
+    def test_rare_event_is_upper_bound(self):
+        tree = sample_tree()
+        analysis = FaultTreeBounds(tree)
+        assert analysis.rare_event() >= analysis.exact()
+
+    def test_missing_q_for_rateful_events(self):
+        tree = FaultTree(OrGate([BasicEvent.from_rates("a", 1.0)]))
+        analysis = FaultTreeBounds(tree)
+        with pytest.raises(ModelDefinitionError):
+            analysis.bonferroni(1)
+
+    def test_explicit_q_accepted(self):
+        tree = FaultTree(OrGate([BasicEvent.from_rates("a", 1.0)]))
+        analysis = FaultTreeBounds(tree)
+        lo, hi = analysis.bonferroni(1, q={"a": 0.25})
+        assert lo <= 0.25 <= hi

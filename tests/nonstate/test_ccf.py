@@ -1,0 +1,122 @@
+"""Unit tests for the beta-factor common-cause failure model."""
+
+import math
+
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.exceptions import ModelDefinitionError
+from repro.nonstate import (
+    Component,
+    FaultTree,
+    beta_factor_split,
+    redundant_group_with_ccf,
+)
+
+
+class TestBetaFactorSplit:
+    def test_rate_split(self):
+        comp = Component.from_rates("x", 1e-3, 0.5)
+        indep, common = beta_factor_split(comp, beta=0.1)
+        assert indep.failure.rate == pytest.approx(9e-4)
+        assert common.failure.rate == pytest.approx(1e-4)
+        assert indep.repair.rate == pytest.approx(0.5)
+
+    def test_rates_sum_to_original(self):
+        comp = Component.from_rates("x", 2e-3)
+        indep, common = beta_factor_split(comp, beta=0.25)
+        assert indep.failure.rate + common.failure.rate == pytest.approx(2e-3)
+
+    def test_probability_split_composes_exactly(self):
+        comp = Component.fixed("x", 0.2)
+        indep, common = beta_factor_split(comp, beta=0.3)
+        # series of the two parts restores the original unreliability
+        combined = 1 - (1 - indep.probability) * (1 - common.probability)
+        assert combined == pytest.approx(0.2)
+
+    def test_beta_zero_degenerates(self):
+        comp = Component.from_rates("x", 1e-3)
+        indep, common = beta_factor_split(comp, beta=0.0)
+        assert indep.failure.rate == pytest.approx(1e-3)
+        assert common.probability == 0.0
+
+    def test_beta_one_degenerates(self):
+        comp = Component.from_rates("x", 1e-3)
+        indep, common = beta_factor_split(comp, beta=1.0)
+        assert indep.probability == 0.0
+        assert common.failure.rate == pytest.approx(1e-3)
+
+    def test_custom_ccf_name(self):
+        comp = Component.fixed("x", 0.1)
+        _indep, common = beta_factor_split(comp, 0.1, ccf_name="shared_psu")
+        assert common.name == "shared_psu"
+
+    def test_non_exponential_rejected(self):
+        comp = Component("x", failure=Weibull(shape=2.0, scale=1.0))
+        with pytest.raises(ModelDefinitionError):
+            beta_factor_split(comp, 0.1)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            beta_factor_split(Component.fixed("x", 0.1), 1.5)
+
+
+class TestRedundantGroup:
+    def test_ccf_dominates_redundancy(self):
+        pair = [Component.fixed("a", 0.01), Component.fixed("b", 0.01)]
+        with_ccf = FaultTree(redundant_group_with_ccf(pair, 2, beta=0.1))
+        q = with_ccf.top_event_probability()
+        assert q > 0.01 * 0.01          # far worse than independent pairs
+        assert q < 0.01                 # but better than a single unit
+
+    def test_beta_zero_equals_plain_redundancy(self):
+        pair = [Component.fixed("a", 0.01), Component.fixed("b", 0.01)]
+        node = redundant_group_with_ccf(pair, 2, beta=0.0)
+        tree = FaultTree(node)
+        assert tree.top_event_probability() == pytest.approx(1e-4, rel=1e-9)
+
+    def test_availability_ordering_in_beta(self):
+        def availability(beta):
+            pair = [
+                Component.from_rates("a", 1e-4, 0.5),
+                Component.from_rates("b", 1e-4, 0.5),
+            ]
+            return FaultTree(
+                redundant_group_with_ccf(pair, 2, beta=beta)
+            ).steady_state_availability()
+
+        values = [availability(b) for b in (0.0, 0.05, 0.1, 0.3)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_one_out_of_n_uses_or(self):
+        comps = [Component.fixed(f"c{i}", 0.1) for i in range(3)]
+        tree = FaultTree(redundant_group_with_ccf(comps, 1, beta=0.0))
+        # any single failure downs the group: q = 1 - prod(1 - q_i)
+        assert tree.top_event_probability() == pytest.approx(1 - 0.9**3)
+
+    def test_kofn_group(self):
+        comps = [Component.fixed(f"c{i}", 0.2) for i in range(4)]
+        tree = FaultTree(redundant_group_with_ccf(comps, 3, beta=0.0))
+        from math import comb
+
+        expected = sum(comb(4, i) * 0.2**i * 0.8 ** (4 - i) for i in range(3, 5))
+        assert tree.top_event_probability() == pytest.approx(expected)
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            redundant_group_with_ccf([], 1, beta=0.1)
+        with pytest.raises(ModelDefinitionError):
+            redundant_group_with_ccf([Component.fixed("a", 0.1)], 2, beta=0.1)
+
+    def test_classic_3x_redundancy_study(self):
+        # With beta = 0.1, adding more replicas stops helping: the CCF
+        # floor q_ccf caps the achievable reliability.
+        def top_probability(n):
+            comps = [Component.from_rates(f"c{i}", 1e-3) for i in range(n)]
+            tree = FaultTree(redundant_group_with_ccf(comps, n, beta=0.1))
+            return 1.0 - tree.reliability(100.0)
+
+        q2, q3, q4 = (top_probability(n) for n in (2, 3, 4))
+        assert q3 < q2
+        floor = 1 - math.exp(-0.1 * 1e-3 * 100.0)
+        assert q4 == pytest.approx(floor, rel=0.05)

@@ -1,0 +1,129 @@
+"""Unit tests for non-state-space components."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Lognormal, Weibull
+from repro.exceptions import ModelDefinitionError
+from repro.nonstate import Component
+
+
+class TestConstruction:
+    def test_fixed(self):
+        c = Component.fixed("x", 0.01)
+        assert c.probability == 0.01
+
+    def test_from_rates(self):
+        c = Component.from_rates("x", failure_rate=0.001, repair_rate=0.5)
+        assert isinstance(c.failure, Exponential)
+        assert c.failure.rate == 0.001
+        assert c.repair.rate == 0.5
+
+    def test_from_mttf_mttr(self):
+        c = Component.from_mttf_mttr("x", mttf=1000.0, mttr=10.0)
+        assert c.failure.mean() == pytest.approx(1000.0)
+        assert c.repair.mean() == pytest.approx(10.0)
+
+    def test_needs_some_parameterization(self):
+        with pytest.raises(ModelDefinitionError):
+            Component("x")
+
+    def test_rejects_both_probability_and_distribution(self):
+        with pytest.raises(ModelDefinitionError):
+            Component("x", failure=Exponential(1.0), probability=0.5)
+
+    def test_repair_without_failure_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            Component("x", repair=Exponential(1.0))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            Component("", probability=0.5)
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            Component.fixed("x", 1.5)
+
+
+class TestReliability:
+    def test_exponential_reliability(self):
+        c = Component.from_rates("x", failure_rate=2.0)
+        assert c.reliability(1.0) == pytest.approx(math.exp(-2.0))
+
+    def test_fixed_probability_time_invariant(self):
+        c = Component.fixed("x", 0.2)
+        assert c.reliability(0.0) == pytest.approx(0.8)
+        assert c.reliability(100.0) == pytest.approx(0.8)
+
+    def test_weibull_component(self):
+        w = Weibull(shape=2.0, scale=100.0)
+        c = Component("x", failure=w)
+        assert c.unreliability(50.0) == pytest.approx(w.cdf(50.0))
+
+    def test_mttf(self):
+        c = Component.from_rates("x", failure_rate=0.01)
+        assert c.mttf() == pytest.approx(100.0)
+
+    def test_mttf_of_fixed_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            Component.fixed("x", 0.1).mttf()
+
+
+class TestAvailability:
+    def test_steady_state_from_rates(self):
+        c = Component.from_rates("x", failure_rate=1.0, repair_rate=9.0)
+        assert c.steady_state_availability() == pytest.approx(0.9)
+
+    def test_steady_state_non_exponential_uses_means(self):
+        c = Component(
+            "x",
+            failure=Weibull.from_mean_shape(mean=90.0, shape=2.0),
+            repair=Lognormal.from_mean_cv(mean=10.0, cv=1.0),
+        )
+        assert c.steady_state_availability() == pytest.approx(0.9)
+
+    def test_no_repair_means_zero_steady_availability(self):
+        c = Component.from_rates("x", failure_rate=1.0)
+        assert c.steady_state_availability() == 0.0
+
+    def test_point_availability_closed_form(self):
+        lam, mu = 1.0, 9.0
+        c = Component.from_rates("x", lam, mu)
+        t = 0.25
+        expected = mu / (lam + mu) + lam / (lam + mu) * math.exp(-(lam + mu) * t)
+        assert c.availability(t) == pytest.approx(expected)
+
+    def test_point_availability_at_zero_is_one(self):
+        c = Component.from_rates("x", 1.0, 9.0)
+        assert c.availability(0.0) == pytest.approx(1.0)
+
+    def test_point_availability_non_exponential_raises(self):
+        c = Component("x", failure=Weibull(shape=2.0, scale=1.0), repair=Exponential(1.0))
+        with pytest.raises(ModelDefinitionError):
+            c.availability(1.0)
+
+    def test_no_repair_availability_equals_reliability(self):
+        c = Component.from_rates("x", failure_rate=2.0)
+        assert c.availability(0.5) == pytest.approx(c.reliability(0.5))
+
+
+class TestFailureProbabilityHook:
+    def test_steady_measure(self):
+        c = Component.from_rates("x", 1.0, 9.0)
+        assert c.failure_probability(None, "steady") == pytest.approx(0.1)
+
+    def test_reliability_measure(self):
+        c = Component.from_rates("x", 1.0)
+        assert c.failure_probability(2.0, "reliability") == pytest.approx(1 - math.exp(-2.0))
+
+    def test_missing_time_rejected(self):
+        c = Component.from_rates("x", 1.0)
+        with pytest.raises(ModelDefinitionError):
+            c.failure_probability(None, "reliability")
+
+    def test_unknown_measure_rejected(self):
+        c = Component.from_rates("x", 1.0)
+        with pytest.raises(ModelDefinitionError):
+            c.failure_probability(1.0, "bogus")

@@ -1,0 +1,164 @@
+"""Unit tests for cut-set algebra: minimization, IE, SDP, bounds."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import ModelDefinitionError
+from repro.nonstate import (
+    disjoint_products_probability,
+    inclusion_exclusion,
+    min_cut_upper_bound,
+    minimize_cut_sets,
+    rare_event_approximation,
+    sum_of_disjoint_products,
+    truncated_inclusion_exclusion,
+)
+
+
+def brute_force_union(cut_sets, q):
+    """Exact P[union of cut events] by truth-table enumeration."""
+    names = sorted({e for cs in cut_sets for e in cs})
+    total = 0.0
+    for bits in itertools.product([False, True], repeat=len(names)):
+        assign = dict(zip(names, bits))
+        if any(all(assign[e] for e in cs) for cs in cut_sets):
+            term = 1.0
+            for name in names:
+                term *= q[name] if assign[name] else 1 - q[name]
+            total += term
+    return total
+
+
+CUTS = [{"a", "b"}, {"c"}, {"a", "c"}, {"b", "d"}]
+Q = {"a": 0.3, "b": 0.2, "c": 0.1, "d": 0.4}
+
+
+class TestMinimize:
+    def test_absorption(self):
+        result = minimize_cut_sets([{"a"}, {"a", "b"}, {"c", "d"}])
+        assert result == [frozenset({"a"}), frozenset({"c", "d"})]
+
+    def test_duplicates_removed(self):
+        result = minimize_cut_sets([{"a", "b"}, {"b", "a"}])
+        assert result == [frozenset({"a", "b"})]
+
+    def test_empty_cut_set_dominates(self):
+        assert minimize_cut_sets([{"a"}, set()]) == [frozenset()]
+
+    def test_deterministic_order(self):
+        result = minimize_cut_sets([{"z"}, {"a"}, {"m", "n"}])
+        assert result == [frozenset({"a"}), frozenset({"z"}), frozenset({"m", "n"})]
+
+
+class TestInclusionExclusion:
+    def test_exact_against_brute_force(self):
+        assert inclusion_exclusion(CUTS, Q) == pytest.approx(brute_force_union(CUTS, Q))
+
+    def test_single_cut(self):
+        assert inclusion_exclusion([{"a", "b"}], Q) == pytest.approx(0.06)
+
+    def test_disjoint_cuts_add(self):
+        cuts = [{"a"}, {"c"}]
+        assert inclusion_exclusion(cuts, Q) == pytest.approx(0.3 + 0.1 - 0.03)
+
+    def test_missing_probability_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            inclusion_exclusion([{"zzz"}], Q)
+
+
+class TestBonferroni:
+    def test_brackets_exact(self):
+        exact = brute_force_union(CUTS, Q)
+        for depth in range(1, len(CUTS) + 1):
+            lo, hi = truncated_inclusion_exclusion(CUTS, Q, depth)
+            assert lo - 1e-12 <= exact <= hi + 1e-12
+
+    def test_bounds_tighten_monotonically(self):
+        widths = []
+        for depth in range(1, len(CUTS) + 1):
+            lo, hi = truncated_inclusion_exclusion(CUTS, Q, depth)
+            widths.append(hi - lo)
+        assert all(w2 <= w1 + 1e-12 for w1, w2 in zip(widths, widths[1:]))
+
+    def test_full_depth_is_exact(self):
+        lo, hi = truncated_inclusion_exclusion(CUTS, Q, len(CUTS))
+        assert lo == pytest.approx(hi)
+        assert lo == pytest.approx(brute_force_union(CUTS, Q))
+
+    def test_depth_one_upper_is_rare_event(self):
+        _, hi = truncated_inclusion_exclusion(CUTS, Q, 1)
+        assert hi == pytest.approx(min(1.0, rare_event_approximation(CUTS, Q)))
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            truncated_inclusion_exclusion(CUTS, Q, 0)
+
+
+class TestRareEventAndEP:
+    def test_rare_event_upper_bounds_exact(self):
+        small_q = {k: v / 100 for k, v in Q.items()}
+        exact = brute_force_union(CUTS, small_q)
+        approx = rare_event_approximation(CUTS, small_q)
+        assert approx >= exact
+        assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_min_cut_upper_bound(self):
+        exact = brute_force_union(CUTS, Q)
+        assert min_cut_upper_bound(CUTS, Q) >= exact - 1e-12
+
+    def test_min_cut_bound_exact_for_disjoint(self):
+        cuts = [{"a"}, {"c"}]
+        assert min_cut_upper_bound(cuts, Q) == pytest.approx(1 - 0.7 * 0.9)
+
+
+class TestSDP:
+    def test_sdp_matches_brute_force(self):
+        terms = sum_of_disjoint_products(CUTS)
+        assert disjoint_products_probability(terms, Q) == pytest.approx(
+            brute_force_union(CUTS, Q)
+        )
+
+    def test_sdp_single_cut(self):
+        terms = sum_of_disjoint_products([{"a", "b"}])
+        assert terms == [(frozenset({"a", "b"}), frozenset())]
+
+    def test_sdp_terms_are_disjoint(self):
+        terms = sum_of_disjoint_products(CUTS)
+        names = sorted({e for cs in CUTS for e in cs})
+        # every truth assignment satisfies at most one term
+        for bits in itertools.product([False, True], repeat=len(names)):
+            assign = dict(zip(names, bits))
+            matches = sum(
+                1
+                for pos, neg in terms
+                if all(assign[e] for e in pos) and not any(assign[e] for e in neg)
+            )
+            assert matches <= 1
+
+    def test_sdp_covers_union(self):
+        terms = sum_of_disjoint_products(CUTS)
+        names = sorted({e for cs in CUTS for e in cs})
+        for bits in itertools.product([False, True], repeat=len(names)):
+            assign = dict(zip(names, bits))
+            in_union = any(all(assign[e] for e in cs) for cs in CUTS)
+            in_terms = any(
+                all(assign[e] for e in pos) and not any(assign[e] for e in neg)
+                for pos, neg in terms
+            )
+            assert in_union == in_terms
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sdp_random_families(self, seed):
+        import random
+
+        rnd = random.Random(seed)
+        names = list("abcdef")
+        cuts = [
+            set(rnd.sample(names, rnd.randint(1, 3))) for _ in range(rnd.randint(2, 6))
+        ]
+        q = {n: rnd.uniform(0.05, 0.5) for n in names}
+        terms = sum_of_disjoint_products(cuts)
+        assert disjoint_products_probability(terms, q) == pytest.approx(
+            brute_force_union(cuts, q)
+        )

@@ -1,0 +1,170 @@
+"""Unit tests for fault trees."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.exceptions import ModelDefinitionError
+from repro.nonstate import AndGate, BasicEvent, FaultTree, KofNGate, NotGate, OrGate
+
+
+def ev(name, p):
+    return BasicEvent.fixed(name, p)
+
+
+class TestGateSemantics:
+    def test_or_gate(self):
+        tree = FaultTree(OrGate([ev("a", 0.1), ev("b", 0.2)]))
+        assert tree.top_event_probability() == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_and_gate(self):
+        tree = FaultTree(AndGate([ev("a", 0.1), ev("b", 0.2)]))
+        assert tree.top_event_probability() == pytest.approx(0.02)
+
+    def test_nested_gates(self):
+        tree = FaultTree(OrGate([AndGate([ev("a", 0.1), ev("b", 0.2)]), ev("c", 0.3)]))
+        assert tree.top_event_probability() == pytest.approx(1 - (1 - 0.02) * 0.7)
+
+    def test_kofn_gate(self):
+        from math import comb
+
+        events = [ev(f"e{i}", 0.2) for i in range(5)]
+        tree = FaultTree(KofNGate(3, events))
+        expected = sum(comb(5, i) * 0.2**i * 0.8 ** (5 - i) for i in range(3, 6))
+        assert tree.top_event_probability() == pytest.approx(expected)
+
+    def test_not_gate_non_coherent(self):
+        tree = FaultTree(NotGate(ev("a", 0.3)))
+        assert not tree.is_coherent
+        assert tree.top_event_probability() == pytest.approx(0.7)
+
+    def test_xor_style_combination(self):
+        # (a & !b) | (!a & b)
+        a, b = ev("a", 0.3), ev("b", 0.4)
+        tree = FaultTree(OrGate([AndGate([a, NotGate(b)]), AndGate([NotGate(a), b])]))
+        assert tree.top_event_probability() == pytest.approx(0.3 * 0.6 + 0.7 * 0.4)
+
+    def test_empty_gate_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            OrGate([])
+
+    def test_kofn_invalid_k(self):
+        with pytest.raises(ModelDefinitionError):
+            KofNGate(4, [ev("a", 0.1), ev("b", 0.1)])
+
+    def test_non_node_child_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            AndGate([ev("a", 0.1), "not-a-node"])
+
+
+class TestRepeatedEvents:
+    def test_repeated_event_exact(self):
+        # top = (a & b) | (a & c); shared a must not be double-counted.
+        a, b, c = ev("a", 0.5), ev("b", 0.5), ev("c", 0.5)
+        tree = FaultTree(OrGate([AndGate([a, b]), AndGate([a, c])]))
+        assert tree.top_event_probability() == pytest.approx(0.5 * (1 - 0.25))
+
+    def test_naive_product_would_be_wrong(self):
+        a, b, c = ev("a", 0.5), ev("b", 0.5), ev("c", 0.5)
+        tree = FaultTree(OrGate([AndGate([a, b]), AndGate([a, c])]))
+        naive = 1 - (1 - 0.25) ** 2  # treats the two AND terms as independent
+        assert tree.top_event_probability() != pytest.approx(naive)
+
+    def test_same_name_distinct_component_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            FaultTree(OrGate([ev("a", 0.1), ev("a", 0.2)]))
+
+    def test_shared_event_object_allowed(self):
+        a = ev("a", 0.1)
+        tree = FaultTree(OrGate([a, AndGate([a, ev("b", 0.2)])]))
+        assert tree.top_event_probability() == pytest.approx(0.1)
+
+
+class TestCutSets:
+    def test_minimal_cut_sets(self):
+        tree = FaultTree(OrGate([AndGate([ev("a", 0.1), ev("b", 0.1)]), ev("c", 0.1)]))
+        assert tree.minimal_cut_sets() == [frozenset({"c"}), frozenset({"a", "b"})]
+
+    def test_mocus_agrees_with_bdd(self):
+        a, b, c, d = (ev(n, 0.1) for n in "abcd")
+        tree = FaultTree(AndGate([OrGate([a, b]), OrGate([c, d])]))
+        assert tree.mocus_cut_sets() == tree.minimal_cut_sets()
+
+    def test_mocus_with_repeated_events(self):
+        a, b, c = ev("a", 0.1), ev("b", 0.1), ev("c", 0.1)
+        tree = FaultTree(AndGate([OrGate([a, b]), OrGate([a, c])]))
+        expected = [frozenset({"a"}), frozenset({"b", "c"})]
+        assert tree.minimal_cut_sets() == expected
+        assert tree.mocus_cut_sets() == expected
+
+    def test_kofn_cut_sets(self):
+        events = [ev(f"e{i}", 0.1) for i in range(4)]
+        tree = FaultTree(KofNGate(2, events))
+        cuts = tree.minimal_cut_sets()
+        assert len(cuts) == 6  # C(4, 2)
+        assert all(len(cs) == 2 for cs in cuts)
+
+    def test_cut_sets_of_non_coherent_rejected(self):
+        tree = FaultTree(NotGate(ev("a", 0.1)))
+        with pytest.raises(ModelDefinitionError):
+            tree.minimal_cut_sets()
+
+    def test_path_sets_complement_cut_sets(self):
+        tree = FaultTree(OrGate([AndGate([ev("a", 0.1), ev("b", 0.1)]), ev("c", 0.1)]))
+        paths = tree.minimal_path_sets()
+        assert paths == [frozenset({"a", "c"}), frozenset({"b", "c"})]
+
+    def test_cut_set_limit(self):
+        events = [ev(f"e{i}", 0.1) for i in range(6)]
+        tree = FaultTree(KofNGate(2, events))
+        limited = tree.minimal_cut_sets(limit=5)
+        assert len(limited) <= 5
+
+
+class TestTimeMeasures:
+    def test_reliability_from_lifetimes(self):
+        a = BasicEvent.from_rates("a", 1.0)
+        b = BasicEvent.from_rates("b", 1.0)
+        tree = FaultTree(AndGate([a, b]))  # parallel redundancy
+        r = tree.reliability(1.0)
+        expected = 1 - (1 - math.exp(-1.0)) ** 2
+        assert r == pytest.approx(expected)
+
+    def test_steady_state_availability(self):
+        a = BasicEvent.from_rates("a", 1.0, 9.0)
+        tree = FaultTree(OrGate([a]))
+        assert tree.steady_state_availability() == pytest.approx(0.9)
+
+    def test_mttf_single_component(self):
+        a = BasicEvent.from_rates("a", 0.5)
+        tree = FaultTree(OrGate([a]))
+        assert tree.mttf() == pytest.approx(2.0, rel=1e-6)
+
+    def test_from_distribution_constructor(self):
+        e = BasicEvent.from_distribution("a", Exponential(2.0))
+        tree = FaultTree(OrGate([e]))
+        assert tree.reliability(1.0) == pytest.approx(math.exp(-2.0))
+
+    def test_mixed_fixed_and_timed_needs_explicit_q(self):
+        tree = FaultTree(OrGate([BasicEvent.from_rates("a", 1.0)]))
+        with pytest.raises(ModelDefinitionError):
+            tree.top_event_probability()  # no fixed probability available
+
+    def test_explicit_q_overrides(self):
+        tree = FaultTree(OrGate([ev("a", 0.5), ev("b", 0.5)]))
+        assert tree.top_event_probability({"a": 0.0, "b": 0.0}) == 0.0
+
+
+class TestBDDSize:
+    def test_bdd_size_reported(self):
+        events = [ev(f"e{i}", 0.1) for i in range(10)]
+        tree = FaultTree(KofNGate(5, events))
+        assert 0 < tree.bdd_size() <= 200
+
+    def test_kofn_bdd_polynomial_not_exponential(self):
+        events = [ev(f"e{i}", 0.1) for i in range(20)]
+        tree = FaultTree(KofNGate(10, events))
+        # DP construction: O(n*k) nodes, far below C(20,10).
+        assert tree.bdd_size() < 500

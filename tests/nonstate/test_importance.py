@@ -1,0 +1,112 @@
+"""Unit tests for importance measures."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelDefinitionError
+from repro.nonstate import (
+    AndGate,
+    BasicEvent,
+    FaultTree,
+    OrGate,
+    birnbaum,
+    criticality,
+    fussell_vesely,
+    importance_table,
+    risk_achievement_worth,
+    risk_reduction_worth,
+)
+
+Q = {"a": 0.1, "b": 0.01, "c": 0.2}
+
+
+def tree():
+    a, b, c = (BasicEvent.fixed(n, Q[n]) for n in "abc")
+    return FaultTree(OrGate([a, AndGate([b, c])]))
+
+
+class TestBirnbaum:
+    def test_or_component_derivative(self):
+        t = tree()
+        # Q = 1 - (1-qa)(1 - qb qc); dQ/dqa = 1 - qb*qc
+        assert birnbaum(t.top_event_probability, Q, "a") == pytest.approx(1 - 0.01 * 0.2)
+
+    def test_and_component_derivative(self):
+        t = tree()
+        # dQ/dqb = (1-qa) * qc
+        assert birnbaum(t.top_event_probability, Q, "b") == pytest.approx(0.9 * 0.2)
+
+    def test_series_single_point(self):
+        t = FaultTree(OrGate([BasicEvent.fixed("a", 0.5)]))
+        assert birnbaum(t.top_event_probability, {"a": 0.5}, "a") == pytest.approx(1.0)
+
+    def test_unknown_component_rejected(self):
+        t = tree()
+        with pytest.raises(ModelDefinitionError):
+            birnbaum(t.top_event_probability, Q, "zzz")
+
+
+class TestRatioMeasures:
+    def test_fussell_vesely_or_component(self):
+        t = tree()
+        q_sys = t.top_event_probability(Q)
+        q_without_a = t.top_event_probability({**Q, "a": 0.0})
+        assert fussell_vesely(t.top_event_probability, Q, "a") == pytest.approx(
+            (q_sys - q_without_a) / q_sys
+        )
+
+    def test_criticality_scaling(self):
+        t = tree()
+        q_sys = t.top_event_probability(Q)
+        expected = birnbaum(t.top_event_probability, Q, "c") * Q["c"] / q_sys
+        assert criticality(t.top_event_probability, Q, "c") == pytest.approx(expected)
+
+    def test_raw_at_least_one(self):
+        t = tree()
+        for name in Q:
+            assert risk_achievement_worth(t.top_event_probability, Q, name) >= 1.0
+
+    def test_rrw_at_least_one(self):
+        t = tree()
+        for name in Q:
+            assert risk_reduction_worth(t.top_event_probability, Q, name) >= 1.0
+
+    def test_rrw_infinite_for_only_cut(self):
+        t = FaultTree(OrGate([BasicEvent.fixed("a", 0.5)]))
+        assert math.isinf(risk_reduction_worth(t.top_event_probability, {"a": 0.5}, "a"))
+
+
+class TestTable:
+    def test_table_consistent_with_individuals(self):
+        t = tree()
+        table = importance_table(t.top_event_probability, Q)
+        for name in Q:
+            assert table[name].birnbaum == pytest.approx(
+                birnbaum(t.top_event_probability, Q, name)
+            )
+            assert table[name].fussell_vesely == pytest.approx(
+                fussell_vesely(t.top_event_probability, Q, name)
+            )
+
+    def test_dominant_component_ranked_first(self):
+        t = tree()
+        table = importance_table(t.top_event_probability, Q)
+        # "a" is a single-point-of-failure OR input: highest Birnbaum.
+        assert table["a"].birnbaum > table["b"].birnbaum
+        assert table["a"].birnbaum > table["c"].birnbaum
+
+    def test_works_on_rbd_up_function(self):
+        from repro.nonstate import Component, ReliabilityBlockDiagram, series
+
+        rbd = ReliabilityBlockDiagram(
+            series(Component.fixed("a", 0.1), Component.fixed("b", 0.2))
+        )
+
+        def top(q):
+            return 1.0 - rbd.system_up_probability({k: 1 - v for k, v in q.items()})
+
+        table = importance_table(top, {"a": 0.1, "b": 0.2})
+        # series: Birnbaum of a = availability of b
+        assert table["a"].birnbaum == pytest.approx(0.8)
+        assert table["b"].birnbaum == pytest.approx(0.9)

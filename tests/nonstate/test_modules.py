@@ -1,0 +1,108 @@
+"""Unit tests for fault-tree modularization."""
+
+import pytest
+
+from repro.exceptions import ModelDefinitionError
+from repro.nonstate import (
+    AndGate,
+    BasicEvent,
+    FaultTree,
+    KofNGate,
+    NotGate,
+    OrGate,
+    find_modules,
+    modular_top_probability,
+)
+
+
+def events(*specs):
+    return [BasicEvent.fixed(n, p) for n, p in specs]
+
+
+class TestDetection:
+    def test_simple_module(self):
+        a, b, c = events(("a", 0.1), ("b", 0.2), ("c", 0.3))
+        tree = FaultTree(OrGate([AndGate([a, b]), c]))
+        mods = find_modules(tree)
+        assert [sorted(ev) for _g, ev in mods] == [["a", "b"]]
+
+    def test_nested_modules_all_reported(self):
+        a, b, c, d, e = events(("a", 0.1), ("b", 0.2), ("c", 0.3), ("d", 0.15), ("e", 0.05))
+        tree = FaultTree(OrGate([AndGate([a, b]), AndGate([OrGate([c, d]), e])]))
+        found = {frozenset(ev) for _g, ev in find_modules(tree)}
+        assert frozenset({"a", "b"}) in found
+        assert frozenset({"c", "d"}) in found
+        assert frozenset({"c", "d", "e"}) in found
+
+    def test_shared_event_destroys_modularity(self):
+        shared, a, b = events(("s", 0.1), ("a", 0.2), ("b", 0.3))
+        tree = FaultTree(OrGate([AndGate([shared, a]), AndGate([shared, b])]))
+        assert find_modules(tree) == []
+
+    def test_largest_modules_first(self):
+        a, b, c, d, e = events(("a", 0.1), ("b", 0.2), ("c", 0.3), ("d", 0.15), ("e", 0.05))
+        tree = FaultTree(OrGate([AndGate([a, b]), AndGate([OrGate([c, d]), e])]))
+        sizes = [len(ev) for _g, ev in find_modules(tree)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_non_coherent_rejected(self):
+        tree = FaultTree(NotGate(BasicEvent.fixed("a", 0.1)))
+        with pytest.raises(ModelDefinitionError):
+            find_modules(tree)
+
+    def test_boeing_tree_is_essentially_unmodularizable(self):
+        from repro.casestudies.boeing import generate_boeing_style_tree
+
+        # Shared ground-strap events couple the sections: with enough
+        # sections every shared event is used by several, and no section
+        # can be split off — the structural reason the 787 analysis
+        # needed bounds rather than divide-and-conquer.
+        tree = generate_boeing_style_tree(n_sections=6)
+        assert find_modules(tree) == []
+
+
+class TestModularQuantification:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_equals_direct_bdd_on_random_trees(self, seed):
+        import random
+
+        rnd = random.Random(seed)
+        leaves = events(*[(f"e{i}", rnd.uniform(0.05, 0.4)) for i in range(8)])
+
+        def subtree(pool):
+            if len(pool) == 1:
+                return pool[0]
+            split = rnd.randint(1, len(pool) - 1)
+            left, right = subtree(pool[:split]), subtree(pool[split:])
+            gate = rnd.choice([AndGate, OrGate])
+            return gate([left, right])
+
+        tree = FaultTree(subtree(leaves))
+        modular, _mods = modular_top_probability(tree)
+        assert modular == pytest.approx(tree.top_event_probability(), abs=1e-12)
+
+    def test_with_kofn_modules(self):
+        a, b, c, d = events(("a", 0.1), ("b", 0.2), ("c", 0.3), ("d", 0.15))
+        tree = FaultTree(AndGate([KofNGate(2, [a, b, c]), d]))
+        modular, mods = modular_top_probability(tree)
+        assert modular == pytest.approx(tree.top_event_probability(), abs=1e-12)
+        assert len(mods) == 1
+
+    def test_with_repeated_events(self):
+        shared, a, b = events(("s", 0.5), ("a", 0.5), ("b", 0.5))
+        tree = FaultTree(OrGate([AndGate([shared, a]), AndGate([shared, b])]))
+        modular, mods = modular_top_probability(tree)
+        assert mods == {}  # nothing modularizable
+        assert modular == pytest.approx(tree.top_event_probability(), abs=1e-12)
+
+    def test_explicit_q(self):
+        a, b, c = events(("a", 0.1), ("b", 0.2), ("c", 0.3))
+        tree = FaultTree(OrGate([AndGate([a, b]), c]))
+        q = {"a": 0.5, "b": 0.5, "c": 0.0}
+        modular, _ = modular_top_probability(tree, q)
+        assert modular == pytest.approx(0.25)
+
+    def test_missing_probability_rejected(self):
+        tree = FaultTree(OrGate([BasicEvent.from_rates("a", 1.0)]))
+        with pytest.raises(ModelDefinitionError):
+            modular_top_probability(tree)

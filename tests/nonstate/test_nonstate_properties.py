@@ -1,0 +1,136 @@
+"""Property-based tests for non-state-space models (hypothesis).
+
+Core invariants: BDD quantification equals brute-force truth-table
+evaluation on random trees; coherent structure functions are monotone;
+bounds always bracket the exact value; cut-set algebra round-trips.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nonstate import (
+    AndGate,
+    BasicEvent,
+    FaultTree,
+    FaultTreeBounds,
+    KofNGate,
+    OrGate,
+    disjoint_products_probability,
+    inclusion_exclusion,
+    sum_of_disjoint_products,
+)
+
+probs = st.floats(min_value=0.01, max_value=0.7)
+
+
+@st.composite
+def coherent_trees(draw, max_events=6):
+    """Random coherent fault trees over a bounded event set."""
+    n_events = draw(st.integers(min_value=2, max_value=max_events))
+    event_probs = [draw(probs) for _ in range(n_events)]
+    events = [BasicEvent.fixed(f"e{i}", p) for i, p in enumerate(event_probs)]
+
+    def subtree(depth):
+        if depth == 0 or draw(st.booleans()):
+            return events[draw(st.integers(0, n_events - 1))]
+        kind = draw(st.sampled_from(["and", "or", "kofn"]))
+        n_children = draw(st.integers(2, 3))
+        children = [subtree(depth - 1) for _ in range(n_children)]
+        if kind == "and":
+            return AndGate(children)
+        if kind == "or":
+            return OrGate(children)
+        k = draw(st.integers(1, n_children))
+        return KofNGate(k, children)
+
+    top = OrGate([subtree(2), subtree(2)])
+    return FaultTree(top)
+
+
+def brute_force_probability(tree):
+    names = list(tree.basic_events)
+    q = {n: tree.basic_events[n].component.probability for n in names}
+    manager, node = tree._ensure_bdd()
+    total = 0.0
+    for bits in itertools.product([False, True], repeat=len(names)):
+        assign = dict(zip(names, bits))
+        if manager.evaluate(node, assign):
+            term = 1.0
+            for name in names:
+                term *= q[name] if assign[name] else 1 - q[name]
+            total += term
+    return total
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=coherent_trees())
+def test_bdd_probability_equals_truth_table(tree):
+    assert tree.top_event_probability() == pytest.approx(brute_force_probability(tree))
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=coherent_trees())
+def test_coherent_monotone_in_each_event(tree):
+    names = list(tree.basic_events)
+    q = {n: tree.basic_events[n].component.probability for n in names}
+    base = tree.top_event_probability(q)
+    for name in names:
+        higher = dict(q)
+        higher[name] = min(1.0, q[name] + 0.2)
+        assert tree.top_event_probability(higher) >= base - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=coherent_trees())
+def test_bounds_bracket_exact(tree):
+    analysis = FaultTreeBounds(tree)
+    exact = analysis.exact()
+    lo, hi = analysis.esary_proschan()
+    assert lo - 1e-9 <= exact <= hi + 1e-9
+    lo, hi = analysis.bonferroni(min(2, len(analysis.cut_sets)))
+    assert lo - 1e-9 <= exact <= hi + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=coherent_trees())
+def test_cut_sets_reconstruct_probability(tree):
+    q = {n: tree.basic_events[n].component.probability for n in tree.basic_events}
+    cuts = tree.minimal_cut_sets()
+    if not cuts or any(len(c) == 0 for c in cuts):
+        return
+    if len(cuts) > 8:
+        return  # keep inclusion-exclusion affordable
+    assert inclusion_exclusion(cuts, q) == pytest.approx(tree.top_event_probability())
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=coherent_trees())
+def test_sdp_equals_bdd(tree):
+    q = {n: tree.basic_events[n].component.probability for n in tree.basic_events}
+    cuts = tree.minimal_cut_sets()
+    if not cuts or any(len(c) == 0 for c in cuts) or len(cuts) > 10:
+        return
+    terms = sum_of_disjoint_products(cuts)
+    assert disjoint_products_probability(terms, q) == pytest.approx(
+        tree.top_event_probability()
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=coherent_trees())
+def test_mocus_equals_bdd_cut_sets(tree):
+    assert tree.mocus_cut_sets() == tree.minimal_cut_sets()
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=coherent_trees())
+def test_path_and_cut_sets_are_duals(tree):
+    # Every path set must intersect every cut set.
+    paths = tree.minimal_path_sets()
+    cuts = tree.minimal_cut_sets()
+    for path in paths:
+        for cut in cuts:
+            assert path & cut, f"path {path} misses cut {cut}"

@@ -1,0 +1,130 @@
+"""Unit tests for phased-mission analysis."""
+
+import math
+
+import pytest
+
+from repro.distributions import Weibull
+from repro.exceptions import ModelDefinitionError
+from repro.nonstate import Component, PhasedMission, ReliabilityBlockDiagram, parallel, series
+
+
+def exp_components(*specs):
+    return [Component.from_rates(name, rate) for name, rate in specs]
+
+
+class TestSinglePhase:
+    def test_equals_rbd_parallel(self):
+        comps = exp_components(("a", 0.1), ("b", 0.1))
+        mission = PhasedMission(comps)
+        mission.add_phase("only", 2.0, lambda bdd, v: bdd.apply_or(v("a"), v("b")))
+        rbd = ReliabilityBlockDiagram(
+            parallel(Component.from_rates("a", 0.1), Component.from_rates("b", 0.1))
+        )
+        assert mission.reliability() == pytest.approx(rbd.reliability(2.0), abs=1e-12)
+
+    def test_equals_rbd_series(self):
+        comps = exp_components(("a", 0.2), ("b", 0.3))
+        mission = PhasedMission(comps)
+        mission.add_phase("only", 1.5, lambda bdd, v: bdd.apply_and(v("a"), v("b")))
+        assert mission.reliability() == pytest.approx(
+            math.exp(-0.5 * 1.5), abs=1e-12
+        )
+
+
+class TestMultiPhase:
+    def make_mission(self):
+        comps = exp_components(("a", 0.1), ("b", 0.2), ("c", 0.05))
+        mission = PhasedMission(comps)
+        mission.add_phase(
+            "p1", 1.0, lambda bdd, v: bdd.apply_and(v("a"), bdd.apply_or(v("b"), v("c")))
+        )
+        mission.add_phase(
+            "p2", 2.0, lambda bdd, v: bdd.apply_or(v("a"), bdd.apply_and(v("b"), v("c")))
+        )
+        mission.add_phase("p3", 0.5, lambda bdd, v: v.at_least_k(["a", "b", "c"], 2))
+        return mission
+
+    def test_matches_brute_force(self):
+        mission = self.make_mission()
+        assert mission.reliability() == pytest.approx(
+            mission.brute_force_reliability(), abs=1e-12
+        )
+
+    def test_naive_product_overestimates(self):
+        mission = self.make_mission()
+        assert mission.naive_product_reliability() > mission.reliability()
+
+    def test_same_structure_all_phases_equals_single_long_phase(self):
+        build = lambda bdd, v: bdd.apply_or(v("a"), v("b"))  # noqa: E731
+        split = PhasedMission(exp_components(("a", 0.1), ("b", 0.1)))
+        split.add_phase("p1", 1.0, build)
+        split.add_phase("p2", 2.0, build)
+        merged = PhasedMission(exp_components(("a", 0.1), ("b", 0.1)))
+        merged.add_phase("all", 3.0, build)
+        assert split.reliability() == pytest.approx(merged.reliability(), abs=1e-12)
+
+    def test_stricter_later_phase_lowers_reliability(self):
+        lenient = PhasedMission(exp_components(("a", 0.1), ("b", 0.1)))
+        lenient.add_phase("p1", 1.0, lambda bdd, v: bdd.apply_or(v("a"), v("b")))
+        lenient.add_phase("p2", 1.0, lambda bdd, v: bdd.apply_or(v("a"), v("b")))
+        strict = PhasedMission(exp_components(("a", 0.1), ("b", 0.1)))
+        strict.add_phase("p1", 1.0, lambda bdd, v: bdd.apply_or(v("a"), v("b")))
+        strict.add_phase("p2", 1.0, lambda bdd, v: bdd.apply_and(v("a"), v("b")))
+        assert strict.reliability() < lenient.reliability()
+
+    def test_weibull_lifetimes(self):
+        comps = [
+            Component("a", failure=Weibull(shape=2.0, scale=10.0)),
+            Component("b", failure=Weibull(shape=2.0, scale=10.0)),
+        ]
+        mission = PhasedMission(comps)
+        mission.add_phase("both", 2.0, lambda bdd, v: bdd.apply_and(v("a"), v("b")))
+        mission.add_phase("either", 5.0, lambda bdd, v: bdd.apply_or(v("a"), v("b")))
+        assert mission.reliability() == pytest.approx(
+            mission.brute_force_reliability(), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_missions_match_brute_force(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        names = ["a", "b", "c", "d"][: int(rng.integers(2, 5))]
+        comps = [Component.from_rates(n, float(rng.uniform(0.02, 0.3))) for n in names]
+        mission = PhasedMission(comps)
+        for p in range(int(rng.integers(2, 4))):
+            k = int(rng.integers(1, len(names) + 1))
+            mission.add_phase(
+                f"p{p}",
+                float(rng.uniform(0.2, 2.0)),
+                lambda bdd, v, k=k, names=tuple(names): v.at_least_k(list(names), k),
+            )
+        assert mission.reliability() == pytest.approx(
+            mission.brute_force_reliability(), abs=1e-10
+        )
+
+
+class TestValidation:
+    def test_needs_components(self):
+        with pytest.raises(ModelDefinitionError):
+            PhasedMission([])
+
+    def test_needs_lifetimes(self):
+        with pytest.raises(ModelDefinitionError):
+            PhasedMission([Component.fixed("a", 0.1)])
+
+    def test_needs_phases(self):
+        mission = PhasedMission(exp_components(("a", 0.1)))
+        with pytest.raises(ModelDefinitionError):
+            mission.reliability()
+
+    def test_unknown_component_in_structure(self):
+        mission = PhasedMission(exp_components(("a", 0.1)))
+        mission.add_phase("p", 1.0, lambda bdd, v: v("ghost"))
+        with pytest.raises(ModelDefinitionError):
+            mission.reliability()
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            PhasedMission(exp_components(("a", 0.1), ("a", 0.2)))

@@ -1,0 +1,183 @@
+"""Unit tests for reliability block diagrams."""
+
+import math
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.exceptions import ModelDefinitionError
+from repro.nonstate import (
+    BasicBlock,
+    Component,
+    KofN,
+    Parallel,
+    ReliabilityBlockDiagram,
+    Series,
+    k_of_n,
+    parallel,
+    series,
+)
+
+
+def comp(name, p_fail):
+    return Component.fixed(name, p_fail)
+
+
+class TestSeriesParallel:
+    def test_series_multiplies(self):
+        rbd = ReliabilityBlockDiagram(series(comp("a", 0.1), comp("b", 0.2)))
+        assert rbd.steady_state_availability() == pytest.approx(0.9 * 0.8)
+
+    def test_parallel_complements(self):
+        rbd = ReliabilityBlockDiagram(parallel(comp("a", 0.1), comp("b", 0.2)))
+        assert rbd.steady_state_availability() == pytest.approx(1 - 0.1 * 0.2)
+
+    def test_nested_structure(self):
+        # (a || b) in series with c
+        rbd = ReliabilityBlockDiagram(series(parallel(comp("a", 0.1), comp("b", 0.1)), comp("c", 0.05)))
+        assert rbd.steady_state_availability() == pytest.approx((1 - 0.01) * 0.95)
+
+    def test_single_component_passthrough(self):
+        rbd = ReliabilityBlockDiagram(comp("a", 0.3))
+        assert rbd.steady_state_availability() == pytest.approx(0.7)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            Series([])
+
+    def test_empty_parallel_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            Parallel([])
+
+    def test_series_reliability_of_exponentials_adds_rates(self):
+        a = Component.from_rates("a", 1.0)
+        b = Component.from_rates("b", 2.0)
+        rbd = ReliabilityBlockDiagram(series(a, b))
+        assert rbd.reliability(0.5) == pytest.approx(math.exp(-1.5))
+
+    def test_parallel_mttf(self):
+        # two exponential(1) in parallel: MTTF = 1 + 1/2
+        a = Component.from_rates("a", 1.0)
+        b = Component.from_rates("b", 1.0)
+        rbd = ReliabilityBlockDiagram(parallel(a, b))
+        assert rbd.mttf() == pytest.approx(1.5, rel=1e-6)
+
+    def test_reliability_vectorized(self):
+        a = Component.from_rates("a", 1.0)
+        rbd = ReliabilityBlockDiagram(series(a))
+        ts = np.array([0.0, 0.5, 1.0])
+        np.testing.assert_allclose(rbd.reliability(ts), np.exp(-ts))
+
+
+class TestKofN:
+    @pytest.mark.parametrize("n,k,p", [(3, 2, 0.1), (5, 3, 0.2), (7, 5, 0.05)])
+    def test_identical_components_binomial(self, n, k, p):
+        comps = [comp(f"c{i}", p) for i in range(n)]
+        rbd = ReliabilityBlockDiagram(KofN(k, comps))
+        expected = sum(comb(n, i) * (1 - p) ** i * p ** (n - i) for i in range(k, n + 1))
+        assert rbd.steady_state_availability() == pytest.approx(expected)
+
+    def test_heterogeneous_matches_enumeration(self):
+        ps = [0.1, 0.2, 0.3, 0.4]
+        comps = [comp(f"c{i}", p) for i, p in enumerate(ps)]
+        rbd = ReliabilityBlockDiagram(KofN(2, comps))
+        import itertools
+
+        brute = 0.0
+        for bits in itertools.product([0, 1], repeat=4):  # 1 = up
+            if sum(bits) >= 2:
+                term = 1.0
+                for p, bit in zip(ps, bits):
+                    term *= (1 - p) if bit else p
+                brute += term
+        assert rbd.steady_state_availability() == pytest.approx(brute)
+
+    def test_k_equal_n_is_series(self):
+        comps = [comp("a", 0.1), comp("b", 0.2)]
+        rbd = ReliabilityBlockDiagram(KofN(2, comps))
+        assert rbd.steady_state_availability() == pytest.approx(0.9 * 0.8)
+
+    def test_k_one_is_parallel(self):
+        comps = [comp("a", 0.1), comp("b", 0.2)]
+        rbd = ReliabilityBlockDiagram(KofN(1, comps))
+        assert rbd.steady_state_availability() == pytest.approx(1 - 0.02)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            KofN(0, [comp("a", 0.1)])
+        with pytest.raises(ModelDefinitionError):
+            KofN(3, [comp("a", 0.1), comp("b", 0.1)])
+
+    def test_k_of_n_convenience(self):
+        block = k_of_n(2, comp("a", 0.1), comp("b", 0.1), comp("c", 0.1))
+        assert isinstance(block, KofN)
+        assert block.k == 2
+
+
+class TestRepeatedComponents:
+    def test_repeated_component_detected(self):
+        a = comp("a", 0.1)
+        rbd = ReliabilityBlockDiagram(parallel(series(a, comp("b", 0.2)), series(a, comp("c", 0.3))))
+        assert rbd.has_repeated_components
+
+    def test_repeated_component_exact(self):
+        # sys up = (a & b) | (a & c) with up-probs; exact = P[a]*(1-(1-P[b])(1-P[c]))
+        a, b, c = comp("a", 0.5), comp("b", 0.5), comp("c", 0.5)
+        rbd = ReliabilityBlockDiagram(parallel(series(a, b), series(a, c)))
+        expected = 0.5 * (1 - 0.5 * 0.5)
+        assert rbd.steady_state_availability() == pytest.approx(expected)
+
+    def test_distinct_objects_same_name_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            ReliabilityBlockDiagram(series(comp("a", 0.1), comp("a", 0.2)))
+
+
+class TestStructureSets:
+    def test_minimal_path_sets_series(self):
+        rbd = ReliabilityBlockDiagram(series(comp("a", 0.1), comp("b", 0.1)))
+        assert rbd.minimal_path_sets() == [frozenset({"a", "b"})]
+
+    def test_minimal_cut_sets_series(self):
+        rbd = ReliabilityBlockDiagram(series(comp("a", 0.1), comp("b", 0.1)))
+        assert rbd.minimal_cut_sets() == [frozenset({"a"}), frozenset({"b"})]
+
+    def test_minimal_cut_sets_parallel(self):
+        rbd = ReliabilityBlockDiagram(parallel(comp("a", 0.1), comp("b", 0.1)))
+        assert rbd.minimal_cut_sets() == [frozenset({"a", "b"})]
+
+    def test_2_of_3_cut_sets_are_pairs(self):
+        comps = [comp(f"c{i}", 0.1) for i in range(3)]
+        rbd = ReliabilityBlockDiagram(KofN(2, comps))
+        cuts = rbd.minimal_cut_sets()
+        assert len(cuts) == 3
+        assert all(len(cs) == 2 for cs in cuts)
+
+    def test_missing_probability_rejected(self):
+        rbd = ReliabilityBlockDiagram(series(comp("a", 0.1)))
+        with pytest.raises(ModelDefinitionError):
+            rbd.system_up_probability({})
+
+
+class TestMixedMeasures:
+    def test_availability_transient_approaches_steady(self):
+        a = Component.from_rates("a", 1.0, 9.0)
+        b = Component.from_rates("b", 1.0, 9.0)
+        rbd = ReliabilityBlockDiagram(parallel(a, b))
+        assert rbd.availability(100.0) == pytest.approx(rbd.steady_state_availability(), abs=1e-9)
+
+    def test_availability_at_zero_is_one(self):
+        a = Component.from_rates("a", 1.0, 9.0)
+        rbd = ReliabilityBlockDiagram(series(a))
+        assert rbd.availability(0.0) == pytest.approx(1.0)
+
+    def test_downtime_minutes_per_year(self):
+        a = Component.from_rates("a", 1.0, 99.0)  # A = 0.99
+        rbd = ReliabilityBlockDiagram(series(a))
+        assert rbd.downtime_minutes_per_year() == pytest.approx(0.01 * 525_600)
+
+    def test_nines(self):
+        a = Component.fixed("a", 1e-4)
+        rbd = ReliabilityBlockDiagram(series(a))
+        assert ReliabilityBlockDiagram(series(a)).nines() == pytest.approx(4.0)

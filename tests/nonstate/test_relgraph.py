@@ -1,0 +1,137 @@
+"""Unit tests for reliability graphs."""
+
+import math
+
+import pytest
+
+from repro.distributions import Exponential
+from repro.exceptions import ModelDefinitionError
+from repro.nonstate import Component, ReliabilityGraph
+
+
+def bridge(directed=False, p=0.1):
+    g = ReliabilityGraph("s", "t", directed=directed)
+    edges = {"e1": ("s", "a"), "e2": ("s", "b"), "e3": ("a", "t"),
+             "e4": ("b", "t"), "e5": ("a", "b")}
+    for name, (u, v) in edges.items():
+        g.add_edge(u, v, Component.fixed(name, p))
+    return g
+
+
+class TestBridge:
+    def test_undirected_bridge_closed_form(self):
+        g = bridge(directed=False)
+        p = 0.9
+        expected = 2 * p**2 + 2 * p**3 - 5 * p**4 + 2 * p**5
+        got = g.connectivity_probability({n: p for n in g.components})
+        assert got == pytest.approx(expected)
+
+    def test_directed_bridge_fewer_paths(self):
+        undirected = bridge(directed=False)
+        directed = bridge(directed=True)
+        p = {n: 0.9 for n in undirected.components}
+        assert directed.connectivity_probability(p) < undirected.connectivity_probability(p)
+
+    def test_factoring_agrees_with_bdd(self):
+        g = bridge(directed=False)
+        p = {n: 0.85 for n in g.components}
+        assert g.connectivity_by_factoring(p) == pytest.approx(
+            g.connectivity_probability(p)
+        )
+
+    def test_bridge_path_sets(self):
+        g = bridge(directed=False)
+        paths = g.minimal_path_sets()
+        assert frozenset({"e1", "e3"}) in paths
+        assert frozenset({"e2", "e4"}) in paths
+        assert frozenset({"e1", "e5", "e4"}) in paths
+        assert frozenset({"e2", "e5", "e3"}) in paths
+        assert len(paths) == 4
+
+    def test_bridge_cut_sets(self):
+        g = bridge(directed=False)
+        cuts = g.minimal_cut_sets()
+        assert frozenset({"e1", "e2"}) in cuts
+        assert frozenset({"e3", "e4"}) in cuts
+        assert frozenset({"e1", "e5", "e4"}) in cuts or frozenset({"e1", "e4", "e5"}) in cuts
+        assert len(cuts) == 4
+
+
+class TestSeriesParallelGraphs:
+    def test_series_path(self):
+        g = ReliabilityGraph("s", "t")
+        g.add_edge("s", "m", Component.fixed("a", 0.1))
+        g.add_edge("m", "t", Component.fixed("b", 0.2))
+        assert g.connectivity_probability({"a": 0.9, "b": 0.8}) == pytest.approx(0.72)
+
+    def test_parallel_edges(self):
+        g = ReliabilityGraph("s", "t")
+        g.add_edge("s", "t", Component.fixed("a", 0.1))
+        g.add_edge("s", "t", Component.fixed("b", 0.2))
+        assert g.connectivity_probability({"a": 0.9, "b": 0.8}) == pytest.approx(
+            1 - 0.1 * 0.2
+        )
+
+    def test_shared_component_across_edges(self):
+        # Same component carries two edges: perfectly correlated failures.
+        g = ReliabilityGraph("s", "t")
+        shared = Component.fixed("x", 0.5)
+        g.add_edge("s", "m", shared)
+        g.add_edge("m", "t", shared)
+        # Both edges up iff x up: probability 0.5, not 0.25.
+        assert g.connectivity_probability({"x": 0.5}) == pytest.approx(0.5)
+
+    def test_disconnected_graph_probability_zero(self):
+        g = ReliabilityGraph("s", "t")
+        g.add_edge("s", "m", Component.fixed("a", 0.1))
+        assert g.connectivity_probability({"a": 0.9}) == 0.0
+        assert g.minimal_path_sets() == []
+
+
+class TestValidation:
+    def test_same_source_target_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            ReliabilityGraph("s", "s")
+
+    def test_duplicate_component_name_rejected(self):
+        g = ReliabilityGraph("s", "t")
+        g.add_edge("s", "t", Component.fixed("a", 0.1))
+        with pytest.raises(ModelDefinitionError):
+            g.add_edge("s", "t", Component.fixed("a", 0.2))
+
+    def test_missing_probability_rejected(self):
+        g = ReliabilityGraph("s", "t")
+        g.add_edge("s", "t", Component.fixed("a", 0.1))
+        with pytest.raises(ModelDefinitionError):
+            g.connectivity_probability({})
+
+
+class TestTimeMeasures:
+    def test_reliability_two_series_edges(self):
+        g = ReliabilityGraph("s", "t")
+        g.add_edge("s", "m", Component.from_rates("a", 1.0))
+        g.add_edge("m", "t", Component.from_rates("b", 2.0))
+        assert g.reliability(0.5) == pytest.approx(math.exp(-1.5))
+
+    def test_steady_state_availability(self):
+        g = ReliabilityGraph("s", "t")
+        g.add_edge("s", "t", Component.from_rates("a", 1.0, 9.0))
+        g.add_edge("s", "t", Component.from_rates("b", 1.0, 9.0))
+        assert g.steady_state_availability() == pytest.approx(1 - 0.01)
+
+    def test_mttf_parallel_edges(self):
+        g = ReliabilityGraph("s", "t")
+        g.add_edge("s", "t", Component.from_rates("a", 1.0))
+        g.add_edge("s", "t", Component.from_rates("b", 1.0))
+        assert g.mttf() == pytest.approx(1.5, rel=1e-6)
+
+    def test_availability_point(self):
+        g = ReliabilityGraph("s", "t")
+        g.add_edge("s", "t", Component.from_rates("a", 1.0, 9.0))
+        assert g.availability(0.0) == pytest.approx(1.0)
+
+    def test_graph_beats_any_single_path(self):
+        g = bridge(directed=False)
+        p = {n: 0.9 for n in g.components}
+        whole = g.connectivity_probability(p)
+        assert whole > 0.9 * 0.9  # better than the best single path

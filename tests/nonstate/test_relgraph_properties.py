@@ -1,0 +1,112 @@
+"""Property-based tests for reliability graphs (hypothesis).
+
+Invariants on random two-terminal DAGs: BDD and factoring agree exactly;
+connectivity probability is monotone in every edge probability; every
+minimal path intersects every minimal cut; probability is bracketed by
+the best single path and the union bound.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nonstate import Component, ReliabilityGraph
+
+probs = st.floats(min_value=0.1, max_value=0.95)
+
+
+@st.composite
+def random_dags(draw):
+    """Random layered s-t DAGs with 1-3 middle nodes and 4-9 edges."""
+    n_mid = draw(st.integers(min_value=1, max_value=3))
+    nodes = ["s"] + [f"m{i}" for i in range(n_mid)] + ["t"]
+    n_edges = draw(st.integers(min_value=4, max_value=9))
+    graph = ReliabilityGraph("s", "t", directed=True)
+    p_up = {}
+    for k in range(n_edges):
+        i = draw(st.integers(min_value=0, max_value=len(nodes) - 2))
+        j = draw(st.integers(min_value=i + 1, max_value=len(nodes) - 1))
+        name = f"e{k}"
+        graph.add_edge(nodes[i], nodes[j], Component.fixed(name, 0.5))
+        p_up[name] = draw(probs)
+    return graph, p_up
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=random_dags())
+def test_bdd_equals_factoring(data):
+    graph, p_up = data
+    if not graph.minimal_path_sets():
+        return
+    assert graph.connectivity_probability(p_up) == pytest.approx(
+        graph.connectivity_by_factoring(p_up), abs=1e-10
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=random_dags())
+def test_probability_matches_truth_table(data):
+    graph, p_up = data
+    paths = graph.minimal_path_sets()
+    if not paths:
+        return
+    names = sorted({n for ps in paths for n in ps})
+    if len(names) > 10:
+        return
+    brute = 0.0
+    for bits in itertools.product([False, True], repeat=len(names)):
+        assign = dict(zip(names, bits))
+        if any(all(assign[n] for n in ps) for ps in paths):
+            term = 1.0
+            for name in names:
+                term *= p_up[name] if assign[name] else 1 - p_up[name]
+            brute += term
+    assert graph.connectivity_probability(p_up) == pytest.approx(brute, abs=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=random_dags(), bump=st.floats(min_value=0.01, max_value=0.04))
+def test_monotone_in_edge_probability(data, bump):
+    graph, p_up = data
+    if not graph.minimal_path_sets():
+        return
+    base = graph.connectivity_probability(p_up)
+    for name in p_up:
+        better = dict(p_up)
+        better[name] = min(1.0, better[name] + bump)
+        assert graph.connectivity_probability(better) >= base - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=random_dags())
+def test_paths_intersect_cuts(data):
+    graph, _p_up = data
+    paths = graph.minimal_path_sets()
+    if not paths:
+        return
+    cuts = graph.minimal_cut_sets()
+    for path in paths:
+        for cut in cuts:
+            assert path & cut
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=random_dags())
+def test_bracketed_by_best_path_and_union_bound(data):
+    graph, p_up = data
+    paths = graph.minimal_path_sets()
+    if not paths:
+        return
+    value = graph.connectivity_probability(p_up)
+
+    def path_prob(ps):
+        prob = 1.0
+        for name in ps:
+            prob *= p_up[name]
+        return prob
+
+    best_single = max(path_prob(ps) for ps in paths)
+    union_bound = min(1.0, sum(path_prob(ps) for ps in paths))
+    assert best_single - 1e-12 <= value <= union_bound + 1e-12

@@ -1,0 +1,133 @@
+"""Unit tests for the Petri-net structure layer."""
+
+import pytest
+
+from repro.exceptions import ModelDefinitionError
+from repro.petrinet import Marking, PetriNet
+
+
+def mm1k(K=3, lam=1.0, mu=2.0):
+    net = PetriNet()
+    net.add_place("queue", 0)
+    net.add_timed_transition("arrive", rate=lam)
+    net.add_output_arc("arrive", "queue")
+    net.add_inhibitor_arc("arrive", "queue", K)
+    net.add_timed_transition("serve", rate=mu)
+    net.add_input_arc("serve", "queue")
+    return net
+
+
+class TestMarking:
+    def test_access_by_name(self):
+        m = Marking(("p", "q"), (2, 0))
+        assert m["p"] == 2
+        assert m["q"] == 0
+
+    def test_unknown_place_rejected(self):
+        m = Marking(("p",), (1,))
+        with pytest.raises(ModelDefinitionError):
+            m["zzz"]
+
+    def test_hashable_and_equal(self):
+        a = Marking(("p",), (1,))
+        b = Marking(("p",), (1,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_with_delta(self):
+        m = Marking(("p", "q"), (2, 0))
+        m2 = m.with_delta({0: -1, 1: 2})
+        assert m2.tokens == (1, 2)
+
+    def test_negative_tokens_rejected(self):
+        m = Marking(("p",), (0,))
+        with pytest.raises(ModelDefinitionError):
+            m.with_delta({0: -1})
+
+    def test_as_dict(self):
+        assert Marking(("p", "q"), (1, 2)).as_dict() == {"p": 1, "q": 2}
+
+
+class TestNetConstruction:
+    def test_duplicate_place_rejected(self):
+        net = PetriNet().add_place("p")
+        with pytest.raises(ModelDefinitionError):
+            net.add_place("p")
+
+    def test_duplicate_transition_rejected(self):
+        net = PetriNet().add_timed_transition("t", rate=1.0)
+        with pytest.raises(ModelDefinitionError):
+            net.add_timed_transition("t", rate=2.0)
+
+    def test_transition_needs_rate_xor_weight(self):
+        from repro.petrinet import Transition
+
+        with pytest.raises(ModelDefinitionError):
+            Transition("t")
+        with pytest.raises(ModelDefinitionError):
+            Transition("t", rate=1.0, weight=1.0)
+
+    def test_arc_to_unknown_place_rejected(self):
+        net = PetriNet().add_timed_transition("t", rate=1.0)
+        with pytest.raises(ModelDefinitionError):
+            net.add_input_arc("t", "nowhere")
+
+    def test_zero_multiplicity_rejected(self):
+        net = mm1k()
+        with pytest.raises(ModelDefinitionError):
+            net.add_input_arc("serve", "queue", 0)
+
+    def test_initial_marking(self):
+        net = PetriNet().add_place("a", 3).add_place("b", 0)
+        m = net.initial_marking()
+        assert m["a"] == 3 and m["b"] == 0
+
+
+class TestEnabling:
+    def test_input_arc_requires_tokens(self):
+        net = mm1k()
+        empty = net.initial_marking()
+        serve = net.transitions["serve"]
+        assert not serve.is_enabled(empty)
+        assert serve.is_enabled(Marking(("queue",), (1,)))
+
+    def test_inhibitor_disables(self):
+        net = mm1k(K=2)
+        arrive = net.transitions["arrive"]
+        assert arrive.is_enabled(Marking(("queue",), (1,)))
+        assert not arrive.is_enabled(Marking(("queue",), (2,)))
+
+    def test_guard(self):
+        net = PetriNet().add_place("p", 1)
+        net.add_timed_transition("t", rate=1.0, guard=lambda m: m["p"] >= 2)
+        assert not net.transitions["t"].is_enabled(net.initial_marking())
+
+    def test_marking_dependent_rate(self):
+        net = PetriNet().add_place("p", 3)
+        net.add_timed_transition("t", rate=lambda m: 0.5 * m["p"])
+        net.add_input_arc("t", "p")
+        assert net.transitions["t"].rate_in(net.initial_marking()) == pytest.approx(1.5)
+
+    def test_immediate_priority_filtering(self):
+        net = PetriNet().add_place("p", 1)
+        net.add_immediate_transition("low", weight=1.0, priority=1)
+        net.add_input_arc("low", "p")
+        net.add_immediate_transition("high", weight=1.0, priority=2)
+        net.add_input_arc("high", "p")
+        enabled = net.enabled_transitions(net.initial_marking())
+        assert [t.name for t in enabled] == ["high"]
+
+    def test_vanishing_detection(self):
+        net = PetriNet().add_place("p", 1)
+        net.add_immediate_transition("imm", weight=1.0)
+        net.add_input_arc("imm", "p")
+        net.add_timed_transition("timed", rate=1.0)
+        net.add_input_arc("timed", "p")
+        assert net.is_vanishing(net.initial_marking())
+
+    def test_firing_moves_tokens(self):
+        net = mm1k()
+        arrive = net.transitions["arrive"]
+        m1 = arrive.fire(net.initial_marking())
+        assert m1["queue"] == 1

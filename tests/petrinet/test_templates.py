@@ -1,0 +1,120 @@
+"""Unit tests for the SRN template builders."""
+
+import pytest
+
+from repro.exceptions import ModelDefinitionError
+from repro.markov import CTMC
+from repro.petrinet import StochasticRewardNet
+from repro.petrinet.templates import (
+    machine_repairman,
+    queue_with_breakdowns,
+    redundant_pool_with_coverage,
+)
+
+
+class TestMachineRepairman:
+    def test_state_count(self):
+        srn = StochasticRewardNet(machine_repairman(4, 0.1, 1.0))
+        assert srn.n_tangible == 5
+
+    def test_single_crew_matches_hand_ctmc(self):
+        srn = StochasticRewardNet(machine_repairman(3, 0.1, 1.0, n_crews=1))
+        chain = CTMC()
+        for up in range(3, 0, -1):
+            chain.add_transition(up, up - 1, 0.1 * up)
+        for up in range(0, 3):
+            chain.add_transition(up, up + 1, 1.0)
+        pi = chain.steady_state()
+        for up in range(4):
+            assert srn.probability(lambda m, u=up: m["up"] == u) == pytest.approx(pi[up])
+
+    def test_more_crews_higher_availability(self):
+        one = StochasticRewardNet(machine_repairman(4, 0.3, 1.0, n_crews=1))
+        two = StochasticRewardNet(machine_repairman(4, 0.3, 1.0, n_crews=2))
+        up = lambda m: m["up"] >= 2  # noqa: E731
+        assert two.probability(up) > one.probability(up)
+
+    def test_crew_saturation(self):
+        # with n crews == n machines, repair rate scales fully
+        srn = StochasticRewardNet(machine_repairman(2, 0.5, 1.0, n_crews=2))
+        chain = CTMC()
+        chain.add_transition(2, 1, 1.0)
+        chain.add_transition(1, 0, 0.5)
+        chain.add_transition(1, 2, 1.0)
+        chain.add_transition(0, 1, 2.0)
+        pi = chain.steady_state()
+        assert srn.probability(lambda m: m["up"] == 2) == pytest.approx(pi[2])
+
+    def test_validation(self):
+        with pytest.raises(ModelDefinitionError):
+            machine_repairman(0, 0.1, 1.0)
+        with pytest.raises(ModelDefinitionError):
+            machine_repairman(2, 0.1, 1.0, n_crews=0)
+
+
+class TestRedundantPool:
+    def test_uncovered_failure_causes_outage(self):
+        net = redundant_pool_with_coverage(
+            3, failure_rate=0.01, repair_rate=1.0, coverage=0.9,
+            uncovered_recovery_rate=2.0,
+        )
+        srn = StochasticRewardNet(net)
+        assert srn.probability(lambda m: m["outage"] > 0) > 0.0
+        assert srn.n_vanishing > 0
+
+    def test_perfect_coverage_never_outages(self):
+        net = redundant_pool_with_coverage(
+            3, failure_rate=0.01, repair_rate=1.0, coverage=1.0,
+            uncovered_recovery_rate=2.0,
+        )
+        srn = StochasticRewardNet(net)
+        assert srn.probability(lambda m: m["outage"] > 0) == pytest.approx(0.0)
+
+    def test_coverage_monotone(self):
+        def outage_probability(c):
+            net = redundant_pool_with_coverage(
+                3, failure_rate=0.05, repair_rate=1.0, coverage=c,
+                uncovered_recovery_rate=2.0,
+            )
+            return StochasticRewardNet(net).probability(lambda m: m["outage"] > 0)
+
+        values = [outage_probability(c) for c in (0.8, 0.9, 0.99)]
+        assert values[0] > values[1] > values[2]
+
+    def test_token_conservation(self):
+        net = redundant_pool_with_coverage(
+            4, failure_rate=0.1, repair_rate=1.0, coverage=0.95,
+            uncovered_recovery_rate=2.0,
+        )
+        srn = StochasticRewardNet(net)
+        for marking in srn.chain.states:
+            total = (
+                marking["up"] + marking["deciding"] + marking["repairing"] + marking["outage"]
+            )
+            assert total == 4
+
+
+class TestQueueWithBreakdowns:
+    def test_state_count(self):
+        srn = StochasticRewardNet(queue_with_breakdowns(3, 1.0, 2.0, 0.01, 0.5))
+        assert srn.n_tangible == 2 * 4  # queue 0..3 x server up/down
+
+    def test_breakdowns_grow_queue(self):
+        reliable = StochasticRewardNet(queue_with_breakdowns(10, 1.0, 2.0, 1e-9, 1.0))
+        flaky = StochasticRewardNet(queue_with_breakdowns(10, 1.0, 2.0, 0.1, 0.2))
+        assert flaky.expected_tokens("queue") > reliable.expected_tokens("queue")
+
+    def test_reliable_limit_is_mm1k(self):
+        K, lam, mu = 5, 1.0, 2.0
+        srn = StochasticRewardNet(queue_with_breakdowns(K, lam, mu, 1e-12, 1.0))
+        rho = lam / mu
+        analytic = sum(
+            n * (1 - rho) * rho**n / (1 - rho ** (K + 1)) for n in range(K + 1)
+        )
+        assert srn.expected_tokens("queue") == pytest.approx(analytic, rel=1e-3)
+
+    def test_server_availability(self):
+        srn = StochasticRewardNet(queue_with_breakdowns(5, 1.0, 2.0, 0.1, 0.4))
+        assert srn.probability(lambda m: m["server_up"] == 1) == pytest.approx(
+            0.4 / 0.5, rel=1e-9
+        )

@@ -1,0 +1,87 @@
+"""Unit tests for importance-sampling rare-event estimation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelDefinitionError, StateSpaceError
+from repro.markov import CTMC
+from repro.sim import (
+    simulate_cycle_failure_probability,
+    simulate_mttf_importance_sampling,
+)
+
+
+def shared_repair(lam=1e-4, mu=1.0):
+    chain = CTMC()
+    chain.add_transition(2, 1, 2 * lam)
+    chain.add_transition(1, 0, lam)
+    chain.add_transition(1, 2, mu)
+    chain.add_transition(0, 1, mu)
+    return chain
+
+
+def is_failure(src, dst):
+    return dst < src
+
+
+class TestCycleProbability:
+    def test_unbiased_reference_moderate_rates(self, rng):
+        # With non-rare failures the IS estimate must match the exact
+        # jump-chain absorption probability.
+        chain = shared_repair(lam=0.2, mu=1.0)
+        exact = 0.2 / 1.2  # from 2 -> 1 (certain), then race 1 -> 0 vs 1 -> 2
+        est = simulate_cycle_failure_probability(
+            chain, 2, [0], is_failure, bias=0.5, n_cycles=20_000, rng=rng
+        )
+        assert est.contains(exact, level=0.999)
+
+    def test_rare_event_estimated_accurately(self, rng):
+        lam = 1e-4
+        chain = shared_repair(lam=lam, mu=1.0)
+        exact = lam / (lam + 1.0)
+        est = simulate_cycle_failure_probability(
+            chain, 2, [0], is_failure, bias=0.5, n_cycles=20_000, rng=rng
+        )
+        # Relative accuracy a naive simulator could never reach at n=20k:
+        assert est.value == pytest.approx(exact, rel=0.1)
+        low, high = est.interval(0.999)
+        assert low <= exact <= high
+
+    def test_bias_choice_does_not_bias_estimate(self, rng):
+        chain = shared_repair(lam=1e-3, mu=1.0)
+        exact = 1e-3 / (1e-3 + 1.0)
+        for bias in (0.3, 0.5, 0.8):
+            est = simulate_cycle_failure_probability(
+                chain, 2, [0], is_failure, bias=bias, n_cycles=20_000, rng=rng
+            )
+            assert est.value == pytest.approx(exact, rel=0.15)
+
+    def test_invalid_bias_rejected(self, rng):
+        chain = shared_repair()
+        with pytest.raises(ModelDefinitionError):
+            simulate_cycle_failure_probability(chain, 2, [0], is_failure, bias=1.0, rng=rng)
+
+    def test_start_in_failure_set_rejected(self, rng):
+        chain = shared_repair()
+        with pytest.raises(ModelDefinitionError):
+            simulate_cycle_failure_probability(chain, 2, [2], is_failure, rng=rng)
+
+
+class TestMTTF:
+    def test_matches_analytic_mttf(self, rng):
+        lam, mu = 1e-4, 1.0
+        chain = shared_repair(lam, mu)
+        exact = (3 * lam + mu) / (2 * lam**2)
+        mttf, _length, _p = simulate_mttf_importance_sampling(
+            chain, 2, [0], is_failure, n_cycles=20_000, rng=rng
+        )
+        assert mttf == pytest.approx(exact, rel=0.15)
+
+    def test_returns_component_estimates(self, rng):
+        chain = shared_repair(1e-3, 1.0)
+        mttf, length_est, p_est = simulate_mttf_importance_sampling(
+            chain, 2, [0], is_failure, n_cycles=5_000, rng=rng
+        )
+        assert mttf == pytest.approx(length_est.value / p_est.value)
+        assert length_est.value > 0
+        assert 0 < p_est.value < 1

@@ -1,0 +1,190 @@
+"""Unit tests for the Monte Carlo simulators (cross-validation, E22).
+
+These tests compare simulation estimates against the analytic engines
+using generous confidence levels: each check allows a 99.9%-CI miss, so
+spurious failures are rare while real biases are caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.exceptions import ModelDefinitionError, SolverError, StateSpaceError
+from repro.markov import CTMC
+from repro.nonstate import (
+    AndGate,
+    BasicEvent,
+    Component,
+    FaultTree,
+    OrGate,
+    ReliabilityBlockDiagram,
+    parallel,
+    series,
+)
+from repro.petrinet import PetriNet
+from repro.sim import (
+    Estimate,
+    estimate_mean,
+    estimate_proportion,
+    simulate_mttf,
+    simulate_reliability,
+    simulate_reward_rate,
+    simulate_steady_availability,
+    simulate_steady_fraction,
+    simulate_time_to_absorption,
+    simulate_transient_probability,
+)
+
+LEVEL = 0.999
+
+
+class TestEstimators:
+    def test_mean_estimate(self):
+        est = estimate_mean([1.0, 2.0, 3.0, 4.0])
+        assert est.value == pytest.approx(2.5)
+        low, high = est.interval(0.95)
+        assert low < 2.5 < high
+
+    def test_proportion_estimate(self):
+        est = estimate_proportion(30, 100)
+        assert est.value == pytest.approx(0.3)
+        assert est.contains(0.3)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(SolverError):
+            estimate_mean([1.0])
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(SolverError):
+            Estimate(1.0, 0.1, 10).interval(1.5)
+
+
+class TestStructuralSim:
+    def test_rbd_reliability(self, rng):
+        a = Component.from_rates("a", 1.0)
+        b = Component.from_rates("b", 1.0)
+        rbd = ReliabilityBlockDiagram(parallel(a, b))
+        est = simulate_reliability(rbd, 1.0, n_samples=20_000, rng=rng)
+        assert est.contains(rbd.reliability(1.0), level=LEVEL)
+
+    def test_fault_tree_reliability(self, rng):
+        tree = FaultTree(
+            OrGate([AndGate([BasicEvent.from_rates("a", 1.0), BasicEvent.from_rates("b", 1.0)]),
+                    BasicEvent.from_rates("c", 0.1)])
+        )
+        est = simulate_reliability(tree, 0.5, n_samples=20_000, rng=rng)
+        assert est.contains(tree.reliability(0.5), level=LEVEL)
+
+    def test_weibull_component_reliability(self, rng):
+        a = Component("a", failure=Weibull(shape=2.0, scale=2.0))
+        b = Component("b", failure=Weibull(shape=2.0, scale=2.0))
+        rbd = ReliabilityBlockDiagram(parallel(a, b))
+        est = simulate_reliability(rbd, 1.5, n_samples=20_000, rng=rng)
+        assert est.contains(rbd.reliability(1.5), level=LEVEL)
+
+    def test_mttf(self, rng):
+        a = Component.from_rates("a", 1.0)
+        b = Component.from_rates("b", 1.0)
+        rbd = ReliabilityBlockDiagram(parallel(a, b))
+        est = simulate_mttf(rbd, n_samples=20_000, rng=rng)
+        assert est.contains(1.5, level=LEVEL)
+
+    def test_steady_availability(self, rng):
+        a = Component.from_rates("a", 1.0, 5.0)
+        b = Component.from_rates("b", 1.0, 5.0)
+        rbd = ReliabilityBlockDiagram(parallel(a, b))
+        est = simulate_steady_availability(rbd, horizon=2000.0, n_replications=48, rng=rng)
+        assert est.contains(rbd.steady_state_availability(), level=LEVEL)
+
+    def test_fixed_component_rejected(self, rng):
+        rbd = ReliabilityBlockDiagram(series(Component.fixed("a", 0.1)))
+        with pytest.raises(ModelDefinitionError):
+            simulate_reliability(rbd, 1.0, 100, rng)
+
+    def test_availability_needs_repair(self, rng):
+        rbd = ReliabilityBlockDiagram(series(Component.from_rates("a", 1.0)))
+        with pytest.raises(ModelDefinitionError):
+            simulate_steady_availability(rbd, 100.0, 8, rng=rng)
+
+
+class TestMarkovSim:
+    def two_state(self):
+        chain = CTMC()
+        chain.add_transition("up", "down", 1.0)
+        chain.add_transition("down", "up", 9.0)
+        return chain
+
+    def test_transient_probability(self, rng):
+        chain = self.two_state()
+        est = simulate_transient_probability(chain, ["up"], 0.3, "up", 20_000, rng)
+        assert est.contains(chain.transient(0.3, "up")["up"], level=LEVEL)
+
+    def test_steady_fraction(self, rng):
+        chain = self.two_state()
+        est = simulate_steady_fraction(chain, ["up"], 500.0, "up", 48, rng=rng)
+        assert est.contains(0.9, level=LEVEL)
+
+    def test_time_to_absorption(self, rng):
+        chain = CTMC()
+        chain.add_transition(2, 1, 2.0)
+        chain.add_transition(1, 0, 1.0)
+        est = simulate_time_to_absorption(chain, 2, 20_000, rng)
+        assert est.contains(1.5, level=LEVEL)
+
+    def test_explicit_absorbing_set(self, rng):
+        chain = self.two_state()
+        est = simulate_time_to_absorption(chain, "up", 10_000, rng, absorbing=["down"])
+        assert est.contains(1.0, level=LEVEL)
+
+    def test_no_absorbing_rejected(self, rng):
+        with pytest.raises(StateSpaceError):
+            simulate_time_to_absorption(self.two_state(), "up", 100, rng)
+
+
+class TestSPNSim:
+    def test_mm1k_expected_tokens(self, rng):
+        K, lam, mu = 5, 2.0, 3.0
+        net = PetriNet()
+        net.add_place("queue", 0)
+        net.add_timed_transition("arrive", rate=lam)
+        net.add_output_arc("arrive", "queue")
+        net.add_inhibitor_arc("arrive", "queue", K)
+        net.add_timed_transition("serve", rate=mu)
+        net.add_input_arc("serve", "queue")
+        from repro.petrinet import StochasticRewardNet
+
+        srn = StochasticRewardNet(net)
+        analytic = srn.expected_tokens("queue")
+        est = simulate_reward_rate(net, lambda m: float(m["queue"]), 1500.0, 48, rng=rng)
+        assert est.contains(analytic, level=LEVEL)
+
+    def test_immediate_coverage_branching(self, rng):
+        c = 0.8
+        net = PetriNet()
+        net.add_place("up", 1)
+        net.add_place("deciding", 0)
+        net.add_place("covered", 0)
+        net.add_place("uncovered", 0)
+        net.add_timed_transition("fail", rate=1.0)
+        net.add_input_arc("fail", "up")
+        net.add_output_arc("fail", "deciding")
+        net.add_immediate_transition("cover", weight=c)
+        net.add_input_arc("cover", "deciding")
+        net.add_output_arc("cover", "covered")
+        net.add_immediate_transition("miss", weight=1 - c)
+        net.add_input_arc("miss", "deciding")
+        net.add_output_arc("miss", "uncovered")
+        net.add_timed_transition("fast", rate=10.0)
+        net.add_input_arc("fast", "covered")
+        net.add_output_arc("fast", "up")
+        net.add_timed_transition("slow", rate=0.5)
+        net.add_input_arc("slow", "uncovered")
+        net.add_output_arc("slow", "up")
+        from repro.petrinet import StochasticRewardNet
+
+        srn = StochasticRewardNet(net)
+        analytic = srn.probability(lambda m: m["up"] == 1)
+        est = simulate_reward_rate(
+            net, lambda m: float(m["up"]), 3000.0, 48, rng=rng
+        )
+        assert est.contains(analytic, level=LEVEL)

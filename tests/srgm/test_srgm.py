@@ -1,0 +1,142 @@
+"""Unit tests for software reliability growth models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DistributionError, ModelDefinitionError
+from repro.srgm import (
+    DelayedSShaped,
+    GoelOkumoto,
+    MusaOkumoto,
+    fit_goel_okumoto,
+    laplace_trend,
+)
+
+
+class TestGoelOkumoto:
+    def test_mean_value_saturates_at_a(self):
+        m = GoelOkumoto(a=100.0, b=0.05)
+        assert m.mean_value(0.0) == 0.0
+        assert m.mean_value(1e6) == pytest.approx(100.0)
+
+    def test_intensity_is_derivative(self):
+        m = GoelOkumoto(a=50.0, b=0.1)
+        t, h = 7.0, 1e-6
+        numeric = (m.mean_value(t + h) - m.mean_value(t - h)) / (2 * h)
+        assert m.intensity(t) == pytest.approx(numeric, rel=1e-6)
+
+    def test_remaining_faults(self):
+        m = GoelOkumoto(a=100.0, b=0.05)
+        assert m.expected_remaining(0.0) == pytest.approx(100.0)
+        assert m.expected_remaining(20.0) == pytest.approx(100 * math.exp(-1.0))
+
+    def test_reliability_improves_with_testing(self):
+        m = GoelOkumoto(a=100.0, b=0.05)
+        assert m.reliability(1.0, after=100.0) > m.reliability(1.0, after=0.0)
+
+    def test_expected_failures_interval(self):
+        m = GoelOkumoto(a=100.0, b=0.05)
+        assert m.expected_failures(0.0, 20.0) == pytest.approx(m.mean_value(20.0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DistributionError):
+            GoelOkumoto(a=0.0, b=1.0)
+
+    def test_negative_time_rejected(self):
+        m = GoelOkumoto(a=10.0, b=0.1)
+        with pytest.raises(ModelDefinitionError):
+            m.reliability(-1.0)
+
+
+class TestDelayedSShaped:
+    def test_intensity_starts_at_zero_and_peaks(self):
+        m = DelayedSShaped(a=100.0, b=0.1)
+        assert m.intensity(0.0) == 0.0
+        # peak at t = 1/b
+        assert m.intensity(10.0) > m.intensity(1.0)
+        assert m.intensity(10.0) > m.intensity(100.0)
+
+    def test_mean_value_saturates(self):
+        m = DelayedSShaped(a=100.0, b=0.1)
+        assert m.mean_value(1e6) == pytest.approx(100.0)
+
+    def test_s_shape_slower_start_than_go(self):
+        go = GoelOkumoto(a=100.0, b=0.1)
+        ds = DelayedSShaped(a=100.0, b=0.1)
+        assert ds.mean_value(1.0) < go.mean_value(1.0)
+
+
+class TestMusaOkumoto:
+    def test_initial_intensity(self):
+        m = MusaOkumoto(initial_intensity=10.0, decay=0.05)
+        assert m.intensity(0.0) == pytest.approx(10.0)
+
+    def test_infinite_failures(self):
+        m = MusaOkumoto(initial_intensity=10.0, decay=0.05)
+        assert m.mean_value(1e9) > 100.0  # unbounded, unlike GO
+
+    def test_intensity_decays_with_failures(self):
+        m = MusaOkumoto(initial_intensity=10.0, decay=0.05)
+        # λ(m) = λ0 e^{-θ m}: check via the identity λ(t) = λ0 exp(-θ m(t))
+        t = 3.0
+        assert m.intensity(t) == pytest.approx(
+            10.0 * math.exp(-0.05 * m.mean_value(t)), rel=1e-9
+        )
+
+
+class TestSimulationAndFit:
+    def test_sampled_count_matches_mean(self, rng):
+        m = GoelOkumoto(a=200.0, b=0.02)
+        counts = [len(m.sample_failure_times(100.0, rng)) for _ in range(200)]
+        assert np.mean(counts) == pytest.approx(m.mean_value(100.0), rel=0.05)
+
+    def test_mle_recovers_parameters(self, rng):
+        truth = GoelOkumoto(a=500.0, b=0.03)
+        times = truth.sample_failure_times(150.0, rng)
+        fit = fit_goel_okumoto(times, 150.0)
+        assert fit.a == pytest.approx(500.0, rel=0.25)
+        assert fit.b == pytest.approx(0.03, rel=0.25)
+
+    def test_fitted_model_roundtrip(self, rng):
+        truth = GoelOkumoto(a=300.0, b=0.05)
+        times = truth.sample_failure_times(120.0, rng)
+        fit = fit_goel_okumoto(times, 120.0)
+        model = fit.model()
+        assert model.mean_value(120.0) == pytest.approx(len(times), rel=0.05)
+
+    def test_no_growth_rejected(self):
+        # Uniformly spread failures: mean time = T/2, MLE does not exist.
+        times = np.linspace(1.0, 99.0, 50)
+        with pytest.raises(DistributionError):
+            fit_goel_okumoto(times, 100.0)
+
+    def test_needs_three_failures(self):
+        with pytest.raises(DistributionError):
+            fit_goel_okumoto([1.0, 2.0], 10.0)
+
+
+class TestLaplaceTrend:
+    def test_growth_detected(self):
+        trend = laplace_trend([1.0, 2.0, 4.0, 8.0], 100.0)
+        assert trend.statistic < -2.0
+        assert trend.p_value_growth < 0.05
+
+    def test_homogeneous_process_no_trend(self, rng):
+        stats = []
+        for _ in range(100):
+            times = np.sort(rng.uniform(0, 100, size=30))
+            stats.append(laplace_trend(times, 100.0).statistic)
+        assert abs(np.mean(stats)) < 0.3
+        assert np.std(stats) == pytest.approx(1.0, abs=0.3)
+
+    def test_decay_detected(self):
+        trend = laplace_trend([92.0, 96.0, 98.0, 99.0], 100.0)
+        assert trend.statistic > 2.0
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            laplace_trend([1.0], 10.0)
+        with pytest.raises(DistributionError):
+            laplace_trend([5.0, 20.0], 10.0)

@@ -1,0 +1,95 @@
+"""Run the doctest examples embedded in the public modules.
+
+Keeps every ``Examples`` block in the docstrings executable — the
+cheapest guarantee that the documentation never rots.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.fixedpoint
+import repro.core.measures
+import repro.core.sensitivity
+import repro.core.uncertainty
+import repro.distributions.degenerate
+import repro.distributions.empirical
+import repro.distributions.exponential
+import repro.distributions.fitting
+import repro.distributions.gamma
+import repro.distributions.hyperexp
+import repro.distributions.hypoexp
+import repro.distributions.lognormal
+import repro.distributions.weibull
+import repro.estimation.availability
+import repro.estimation.exponential
+import repro.estimation.nonparametric
+import repro.markov.acyclic
+import repro.markov.ctmc
+import repro.markov.dtmc
+import repro.markov.mrgp
+import repro.markov.mrm
+import repro.markov.phase
+import repro.markov.sensitivity
+import repro.markov.smp
+import repro.nonstate.bdd
+import repro.nonstate.ccf
+import repro.nonstate.faulttree
+import repro.nonstate.importance
+import repro.nonstate.modules
+import repro.nonstate.phased
+import repro.nonstate.rbd
+import repro.nonstate.relgraph
+import repro.petrinet.net
+import repro.petrinet.srn
+import repro.petrinet.templates
+import repro.srgm.fitting
+import repro.srgm.models
+
+MODULES = [
+    repro,
+    repro.core.fixedpoint,
+    repro.core.measures,
+    repro.core.sensitivity,
+    repro.core.uncertainty,
+    repro.distributions.degenerate,
+    repro.distributions.empirical,
+    repro.distributions.exponential,
+    repro.distributions.fitting,
+    repro.distributions.gamma,
+    repro.distributions.hyperexp,
+    repro.distributions.hypoexp,
+    repro.distributions.lognormal,
+    repro.distributions.weibull,
+    repro.estimation.availability,
+    repro.estimation.exponential,
+    repro.estimation.nonparametric,
+    repro.markov.acyclic,
+    repro.markov.ctmc,
+    repro.markov.dtmc,
+    repro.markov.mrgp,
+    repro.markov.mrm,
+    repro.markov.phase,
+    repro.markov.sensitivity,
+    repro.markov.smp,
+    repro.nonstate.bdd,
+    repro.nonstate.ccf,
+    repro.nonstate.faulttree,
+    repro.nonstate.importance,
+    repro.nonstate.modules,
+    repro.nonstate.phased,
+    repro.nonstate.rbd,
+    repro.nonstate.relgraph,
+    repro.petrinet.net,
+    repro.petrinet.srn,
+    repro.petrinet.templates,
+    repro.srgm.fitting,
+    repro.srgm.models,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False, raise_on_error=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"

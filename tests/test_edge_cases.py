@@ -1,0 +1,196 @@
+"""Edge-case tests across packages (paths the main suites exercise lightly)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    EmpiricalDistribution,
+    Erlang,
+    Exponential,
+    HyperExponential,
+)
+from repro.exceptions import ModelDefinitionError, SolverError
+from repro.markov import (
+    CTMC,
+    MarkovDependabilityModel,
+    PhaseType,
+    SemiMarkovProcess,
+    acyclic_transient,
+    as_phase_type,
+)
+from repro.nonstate import BasicEvent, FaultTree, FaultTreeBounds, KofNGate, OrGate
+from repro.petrinet import PetriNet, StochasticRewardNet
+
+
+class TestCTMCEdges:
+    def test_ode_with_unsorted_times(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", 1.0)
+        chain.add_transition("b", "a", 2.0)
+        sorted_result = chain.transient(np.array([0.5, 1.0, 2.0]), "a", method="ode")
+        shuffled = chain.transient(np.array([2.0, 0.5, 1.0]), "a", method="ode")
+        np.testing.assert_allclose(shuffled[1], sorted_result[0], atol=1e-8)
+        np.testing.assert_allclose(shuffled[0], sorted_result[2], atol=1e-8)
+
+    def test_transient_empty_times(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", 1.0)
+        out = chain.transient(np.array([]), "a")
+        assert out.shape == (0, 2)
+
+    def test_interval_availability_rejects_zero(self):
+        chain = CTMC()
+        chain.add_transition("u", "d", 1.0)
+        chain.add_transition("d", "u", 1.0)
+        model = MarkovDependabilityModel(chain, ["u"], "u")
+        with pytest.raises(SolverError):
+            model.interval_availability(0.0)
+
+    def test_generator_cache_invalidated_on_mutation(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", 1.0)
+        q1 = chain.generator().toarray()
+        chain.add_transition("b", "a", 3.0)
+        q2 = chain.generator().toarray()
+        assert q1.shape != q2.shape or not np.allclose(q1, q2)
+
+    def test_negative_times_rejected(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", 1.0)
+        with pytest.raises(SolverError):
+            chain.transient(np.array([-1.0]), "a")
+
+
+class TestSMPEdges:
+    def test_transient_all_zero_horizon(self):
+        smp = SemiMarkovProcess()
+        smp.add_transition("u", "d", 1.0, Exponential(1.0))
+        smp.add_transition("d", "u", 1.0, Exponential(1.0))
+        out = smp.transient(np.array([0.0, 0.0]), "u")
+        assert out[0, smp.states.index("u")] == pytest.approx(1.0)
+
+    def test_transient_empty_times(self):
+        smp = SemiMarkovProcess()
+        smp.add_transition("u", "d", 1.0, Exponential(1.0))
+        smp.add_transition("d", "u", 1.0, Exponential(1.0))
+        assert smp.transient(np.array([]), "u").shape == (0, 2)
+
+    def test_from_competing_single_target_kept_analytic(self):
+        smp = SemiMarkovProcess.from_competing(
+            {"u": {"d": Deterministic(2.0)}, "d": {"u": Exponential(1.0)}}
+        )
+        # single-clock states keep the original distribution object
+        (target, prob, holding), = smp._transitions["u"]
+        assert isinstance(holding, Deterministic)
+        assert prob == 1.0
+
+    def test_zero_probability_transition_ignored(self):
+        smp = SemiMarkovProcess()
+        smp.add_transition("u", "d", 0.0, Exponential(1.0))
+        smp.add_transition("u", "d", 1.0, Exponential(1.0))
+        smp.add_transition("d", "u", 1.0, Exponential(1.0))
+        assert len(smp._transitions["u"]) == 1
+
+
+class TestPhaseTypeEdges:
+    def test_mixture_weight_bounds(self):
+        a = as_phase_type(Exponential(1.0))
+        with pytest.raises(Exception):
+            a.mixture(a, weight=1.5)
+
+    def test_hyperexp_absorbing_ctmc(self):
+        ph = as_phase_type(HyperExponential([0.5, 0.5], [1.0, 2.0]))
+        chain = ph.to_absorbing_ctmc()
+        # mean time to absorption from a 50/50 start over the two phases
+        mtta = 0.5 * chain.mean_time_to_absorption("ph0") + 0.5 * chain.mean_time_to_absorption("ph1")
+        assert mtta == pytest.approx(ph.mean())
+
+    def test_moment_zero(self):
+        ph = as_phase_type(Erlang(2, 1.0))
+        assert ph.moment(0) == 1.0
+
+
+class TestAcyclicEdges:
+    def test_reliability_accepts_scalar_and_array(self):
+        chain = CTMC()
+        chain.add_transition("u", "d", 1.0)
+        sol = acyclic_transient(chain, "u")
+        scalar = sol.reliability(["u"], 0.5)
+        array = sol.reliability(["u"], np.array([0.5, 1.0]))
+        assert scalar == pytest.approx(array[0])
+
+    def test_all_absorbing_initial(self):
+        chain = CTMC()
+        chain.add_transition("u", "d", 1.0)
+        sol = acyclic_transient(chain, "d")
+        assert sol.probability("d", 10.0) == pytest.approx(1.0)
+
+
+class TestBoundsEdges:
+    def test_cut_set_limit_flags_truncation(self):
+        events = [BasicEvent.fixed(f"e{i}", 0.1) for i in range(6)]
+        tree = FaultTree(KofNGate(2, events))  # 15 cut sets
+        analysis = FaultTreeBounds(tree, cut_set_limit=5)
+        assert analysis.truncated_enumeration
+        assert len(analysis.cut_sets) == 5
+
+    def test_untruncated_flag(self):
+        tree = FaultTree(OrGate([BasicEvent.fixed("a", 0.1)]))
+        analysis = FaultTreeBounds(tree)
+        assert not analysis.truncated_enumeration
+
+
+class TestEmpiricalEdges:
+    def test_pdf_piecewise_constant(self):
+        d = EmpiricalDistribution([0.0, 1.0, 3.0], [0.0, 0.5, 1.0])
+        assert d.pdf(0.5) == pytest.approx(0.5)
+        assert d.pdf(2.0) == pytest.approx(0.25)
+        assert d.pdf(5.0) == 0.0
+
+    def test_variance_of_uniform_grid(self):
+        # CDF linear on [0, 2] == Uniform(0, 2)
+        d = EmpiricalDistribution([0.0, 2.0], [0.0, 1.0])
+        assert d.variance() == pytest.approx(4.0 / 12.0, rel=1e-6)
+
+    def test_equality_and_hash(self):
+        a = EmpiricalDistribution([0.0, 1.0], [0.0, 1.0])
+        b = EmpiricalDistribution([0.0, 1.0], [0.0, 1.0])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSRNEdges:
+    def test_transient_probability_series(self):
+        net = PetriNet()
+        net.add_place("q", 0)
+        net.add_timed_transition("in", rate=1.0)
+        net.add_output_arc("in", "q")
+        net.add_inhibitor_arc("in", "q", 2)
+        net.add_timed_transition("out", rate=1.0)
+        net.add_input_arc("out", "q")
+        srn = StochasticRewardNet(net)
+        probs = srn.transient_probability(lambda m: m["q"] == 0, [0.0, 1000.0])
+        assert probs[0] == pytest.approx(1.0)
+        assert probs[1] == pytest.approx(srn.probability(lambda m: m["q"] == 0), abs=1e-8)
+
+    def test_zero_rate_timed_transition_never_fires(self):
+        net = PetriNet()
+        net.add_place("p", 1)
+        net.add_place("x", 0)
+        net.add_timed_transition("never", rate=lambda m: 0.0)
+        net.add_input_arc("never", "p")
+        net.add_output_arc("never", "x")
+        net.add_timed_transition("tick", rate=1.0)
+        net.add_input_arc("tick", "p")
+        net.add_output_arc("tick", "p")  # self-cycle keeps chain alive
+        srn = StochasticRewardNet(net)
+        assert srn.n_tangible == 1
+
+    def test_negative_rate_rejected(self):
+        net = PetriNet()
+        net.add_place("p", 1)
+        net.add_timed_transition("bad", rate=lambda m: -1.0)
+        net.add_input_arc("bad", "p")
+        with pytest.raises(ModelDefinitionError):
+            StochasticRewardNet(net).steady_state()

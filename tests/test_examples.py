@@ -1,0 +1,34 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation; a broken example is a broken promise.  Each
+script is executed in a subprocess with a generous timeout and must exit
+cleanly and print something.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+    assert result.returncode == 0, f"{script.name} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_all_examples_discovered():
+    names = {s.name for s in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable floor; we ship more

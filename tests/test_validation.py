@@ -1,0 +1,112 @@
+"""Unit tests for the shared validation helpers and exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_time_array,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_rate,
+    check_time,
+    check_times,
+    check_unique_names,
+)
+from repro.exceptions import (
+    ConvergenceError,
+    DistributionError,
+    HierarchyError,
+    ModelDefinitionError,
+    ReproError,
+    SolverError,
+    StateSpaceError,
+)
+
+
+class TestCheckers:
+    def test_probability_accepts_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        assert check_probability(0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_probability_rejects(self, bad):
+        with pytest.raises(ModelDefinitionError):
+            check_probability(bad)
+
+    def test_positive(self):
+        assert check_positive(2.5) == 2.5
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(DistributionError):
+                check_positive(bad)
+
+    def test_non_negative(self):
+        assert check_non_negative(0.0) == 0.0
+        with pytest.raises(DistributionError):
+            check_non_negative(-1e-9)
+
+    def test_rate_alias(self):
+        assert check_rate(3.0) == 3.0
+        with pytest.raises(DistributionError):
+            check_rate(0.0)
+
+    def test_time(self):
+        assert check_time(0.0) == 0.0
+        with pytest.raises(DistributionError):
+            check_time(-1.0)
+
+    def test_times_array(self):
+        out = check_times([0.0, 1.0, 2.0])
+        np.testing.assert_array_equal(out, [0.0, 1.0, 2.0])
+
+    def test_times_rejects_negative(self):
+        with pytest.raises(ModelDefinitionError):
+            check_times([1.0, -1.0])
+
+    def test_times_rejects_2d(self):
+        with pytest.raises(ModelDefinitionError):
+            check_times(np.zeros((2, 2)))
+
+    def test_as_time_array_scalar(self):
+        arr, scalar = as_time_array(1.5)
+        assert scalar
+        np.testing.assert_array_equal(arr, [1.5])
+
+    def test_as_time_array_sequence(self):
+        arr, scalar = as_time_array([1.0, 2.0])
+        assert not scalar
+        assert arr.shape == (2,)
+
+    def test_unique_names(self):
+        check_unique_names(["a", "b", "c"])
+        with pytest.raises(ModelDefinitionError):
+            check_unique_names(["a", "a"])
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ModelDefinitionError,
+            SolverError,
+            ConvergenceError,
+            StateSpaceError,
+            DistributionError,
+            HierarchyError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_convergence_error_carries_diagnostics(self):
+        err = ConvergenceError("no", iterations=7, residual=0.5)
+        assert err.iterations == 7
+        assert err.residual == 0.5
+
+    def test_convergence_is_solver_error(self):
+        assert issubclass(ConvergenceError, SolverError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise StateSpaceError("boom")
