@@ -1,0 +1,123 @@
+"""E30 — batch-evaluation engine: parallel speedup, determinism, memoization.
+
+Engine claims: (1) a chunked process pool beats the serial loop by
+>= 1.5x at two or more workers on a real case-study sweep; (2) executor
+choice never changes the numbers — Serial/Thread/Process produce
+bit-identical samples for the same seed; (3) the memoizing cache turns
+the tornado design's repeated baseline points into hits, and a repeated
+analysis into pure cache traffic.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.casestudies.bladecenter import BladeCenterParameters, evaluate_availability
+from repro.core import propagate_uncertainty, tornado_sensitivity
+from repro.distributions import Lognormal
+from repro.engine import (
+    EvaluationCache,
+    ProcessExecutor,
+    SerialExecutor,
+    SwingCampaign,
+    ThreadExecutor,
+    run_campaign,
+)
+
+POINT = BladeCenterParameters()
+PRIORS = {
+    "disk_failure_rate": Lognormal.from_mean_cv(POINT.disk_failure_rate, cv=0.5),
+    "memory_failure_rate": Lognormal.from_mean_cv(POINT.memory_failure_rate, cv=0.5),
+    "software_failure_rate": Lognormal.from_mean_cv(POINT.software_failure_rate, cv=0.5),
+    "switch_failure_rate": Lognormal.from_mean_cv(POINT.switch_failure_rate, cv=0.5),
+    "blade_repair_rate": Lognormal.from_mean_cv(POINT.blade_repair_rate, cv=0.3),
+}
+
+
+def _sweep(n_samples, seed=2016, **engine_kwargs):
+    start = time.perf_counter()
+    result = propagate_uncertainty(
+        evaluate_availability,
+        PRIORS,
+        n_samples=n_samples,
+        rng=np.random.default_rng(seed),
+        **engine_kwargs,
+    )
+    return result, time.perf_counter() - start
+
+
+def test_process_pool_speedup():
+    """>= 1.5x over serial at 2+ workers on a 2k-sample BladeCenter sweep."""
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        pytest.skip(f"speedup needs >= 2 CPUs, found {cpus}")
+    n_jobs = min(4, cpus)
+    serial_result, serial_s = _sweep(2000)
+    parallel_result, parallel_s = _sweep(2000, n_jobs=n_jobs)
+    speedup = serial_s / parallel_s
+    print_table(
+        "E30: 2000-sample BladeCenter sweep, serial vs process pool",
+        ["configuration", "wall s", "solves/s"],
+        [
+            ("serial", serial_s, serial_result.stats.throughput()),
+            (f"process x{n_jobs}", parallel_s, parallel_result.stats.throughput()),
+            ("speedup", speedup, 0.0),
+        ],
+    )
+    assert np.array_equal(serial_result.samples, parallel_result.samples)
+    assert speedup > 1.5
+
+
+def test_executors_bit_identical():
+    """Same seed => identical samples across Serial/Thread/Process."""
+    rows = []
+    samples = {}
+    for executor in (SerialExecutor(), ThreadExecutor(3), ProcessExecutor(2)):
+        result, wall = _sweep(200, executor=executor)
+        samples[executor.name] = result.samples
+        rows.append((executor.name, wall, result.stats.utilization()))
+    print_table("E30b: executor ablation (200 samples)", ["executor", "wall s", "util"], rows)
+    assert np.array_equal(samples["serial"], samples["thread"])
+    assert np.array_equal(samples["serial"], samples["process"])
+
+
+def test_tornado_cache_hits():
+    """The OAT tornado design produces non-zero cache hits, and a
+    repeated analysis through a shared cache is free."""
+    cache = EvaluationCache()
+    spec = SwingCampaign(PRIORS)
+    campaign = run_campaign(evaluate_availability, spec, cache=cache)
+    k = len(PRIORS)
+    assert campaign.stats.cache_hits == k - 1  # duplicate baselines collapse
+    assert campaign.stats.cache_hit_rate() > 0.0
+    assert campaign.stats.n_evaluated == 2 * k + 1
+
+    # The classic tornado (low/high only) reuses every swing point.
+    calls = []
+
+    def counting(p):
+        calls.append(1)
+        return evaluate_availability(p)
+
+    rows = tornado_sensitivity(counting, PRIORS, cache=cache)
+    assert len(calls) == 0  # fully served from the campaign's cache
+    assert len(rows) == k
+    print_table(
+        "E30c: tornado memoization",
+        ["quantity", "value"],
+        [
+            ("campaign points", float(len(campaign))),
+            ("unique solves", float(campaign.stats.n_evaluated)),
+            ("campaign cache hits", float(campaign.stats.cache_hits)),
+            ("tornado extra solves", float(len(calls))),
+            ("lifetime hit rate", cache.hit_rate),
+        ],
+    )
+
+
+def test_sweep_cost(benchmark):
+    result = benchmark(lambda: _sweep(100)[0])
+    assert 0.999 < result.mean() < 1.0

@@ -1,0 +1,85 @@
+"""Parallel uncertainty propagation on the IBM BladeCenter model.
+
+The tutorial's closing challenge — propagate epistemic parameter
+uncertainty through a real hierarchical availability model — is a batch
+workload: thousands of independent model solves.  This example runs the
+BladeCenter sweep through :mod:`repro.engine`:
+
+* ``n_jobs=4`` fans the solves out to a chunked process pool (results
+  are bit-identical to the serial run for the same seed);
+* a :class:`~repro.engine.ProgressPrinter` reports sweep progress;
+* a shared :class:`~repro.engine.EvaluationCache` memoizes the tornado
+  and central-difference analyses that follow, so their repeated
+  median/nominal points are solved once;
+* the :class:`~repro.engine.EngineStats` attached to the result shows
+  throughput, per-solve latency and cache effectiveness.
+
+Run with ``python examples/parallel_uncertainty.py``.
+"""
+
+import numpy as np
+
+from repro.casestudies.bladecenter import BladeCenterParameters, evaluate_availability
+from repro.core import propagate_uncertainty, tornado_sensitivity
+from repro.distributions import Lognormal
+from repro.engine import EvaluationCache, ProgressPrinter, SwingCampaign, run_campaign
+
+# Epistemic priors: lognormals centered on the published point
+# estimates — generous cv for field-data rates, tighter for repair.
+POINT = BladeCenterParameters()
+PRIORS = {
+    "disk_failure_rate": Lognormal.from_mean_cv(POINT.disk_failure_rate, cv=0.5),
+    "memory_failure_rate": Lognormal.from_mean_cv(POINT.memory_failure_rate, cv=0.5),
+    "software_failure_rate": Lognormal.from_mean_cv(POINT.software_failure_rate, cv=0.5),
+    "blade_repair_rate": Lognormal.from_mean_cv(POINT.blade_repair_rate, cv=0.3),
+}
+
+N_SAMPLES = 400
+N_JOBS = 4
+
+
+def main():
+    print(f"BladeCenter availability sweep: {N_SAMPLES} LHS samples, n_jobs={N_JOBS}")
+    result = propagate_uncertainty(
+        evaluate_availability,
+        PRIORS,
+        n_samples=N_SAMPLES,
+        rng=np.random.default_rng(2016),
+        n_jobs=N_JOBS,
+        progress=ProgressPrinter(n_reports=5, prefix="  swept "),
+    )
+
+    point = evaluate_availability({})
+    low, high = result.interval(0.90)
+    print(f"\n  point estimate        {point:.6f}")
+    print(f"  epistemic mean        {result.mean():.6f}")
+    print(f"  90% interval          [{low:.6f}, {high:.6f}]")
+    print(f"  5th/95th percentile   {result.percentile(5):.6f} / {result.percentile(95):.6f}")
+
+    stats = result.stats
+    print(f"\n  engine: {stats.executor} x{stats.n_jobs}")
+    print(f"  throughput            {stats.throughput():.0f} solves/s")
+    print(f"  mean / p95 solve      {1e3 * stats.mean_time():.2f} / {1e3 * stats.percentile(95):.2f} ms")
+    print(f"  worker utilization    {stats.utilization():.0%}")
+
+    # Tornado ranking through a shared cache: the OAT design repeats the
+    # all-medians baseline once per parameter; the cache collapses the
+    # duplicates, and a follow-up tornado_sensitivity call reuses every
+    # point it shares with the campaign.
+    cache = EvaluationCache()
+    spec = SwingCampaign(PRIORS, low_q=0.05, high_q=0.95)
+    campaign = run_campaign(evaluate_availability, spec, cache=cache)
+    print(f"\n  tornado campaign: {len(campaign)} points, "
+          f"{campaign.stats.n_evaluated} solved, "
+          f"{campaign.stats.cache_hits} served from cache")
+    rows = tornado_sensitivity(evaluate_availability, PRIORS, cache=cache)
+    print(f"  follow-up tornado reused cache: "
+          f"{cache.hits} lifetime hits / {cache.misses} misses")
+    print("\n  parameter swings (5th -> 95th quantile):")
+    for name, at_low, at_high in rows:
+        print(f"    {name:<24s} {at_low:.6f} -> {at_high:.6f}  "
+              f"(swing {abs(at_high - at_low):.2e})")
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,19 @@ from .core.hierarchy import (
 from .core.model import DependabilityModel
 from .core.sensitivity import parametric_sensitivity, rank_parameters
 from .core.uncertainty import propagate_uncertainty, tornado_sensitivity
+from .engine import (
+    EngineStats,
+    EvaluationCache,
+    GridCampaign,
+    ProcessExecutor,
+    ProgressPrinter,
+    SamplingCampaign,
+    SerialExecutor,
+    SwingCampaign,
+    ThreadExecutor,
+    evaluate_batch,
+    run_campaign,
+)
 from .exceptions import (
     ConvergenceError,
     DistributionError,
@@ -84,6 +97,18 @@ __all__ = [
     "tornado_sensitivity",
     "parametric_sensitivity",
     "rank_parameters",
+    # batch-evaluation engine
+    "evaluate_batch",
+    "EvaluationCache",
+    "EngineStats",
+    "ProgressPrinter",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "GridCampaign",
+    "SwingCampaign",
+    "SamplingCampaign",
+    "run_campaign",
     # non-state-space
     "Component",
     "ReliabilityBlockDiagram",

@@ -19,11 +19,12 @@ dominate the blade's own downtime budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Tuple
 
 from ..core.hierarchy import HierarchicalModel, Submodel, export_availability
 from ..core.model import DependabilityModel
+from ..exceptions import ModelDefinitionError
 from ..markov.ctmc import CTMC, MarkovDependabilityModel
 from ..nonstate.components import Component
 from ..nonstate.rbd import ReliabilityBlockDiagram, parallel, series
@@ -35,6 +36,7 @@ __all__ = [
     "build_chassis",
     "build_bladecenter",
     "downtime_budget",
+    "evaluate_availability",
 ]
 
 
@@ -178,6 +180,26 @@ def build_bladecenter(params: BladeCenterParameters = BladeCenterParameters()) -
         )
     )
     return hierarchy
+
+
+def evaluate_availability(assignment: Mapping[str, float]) -> float:
+    """Steady-state system availability for a (partial) parameter assignment.
+
+    Keys are :class:`BladeCenterParameters` field names; unassigned
+    fields keep their published defaults.  Module-level and picklable —
+    the engine-friendly evaluator for parameter sweeps
+    (``propagate_uncertainty(evaluate_availability, ..., n_jobs=4)``).
+    """
+    try:
+        params = replace(BladeCenterParameters(), **dict(assignment))
+    except TypeError:
+        known = {f for f in BladeCenterParameters.__dataclass_fields__}
+        unknown = sorted(set(assignment) - known)
+        raise ModelDefinitionError(
+            f"unknown BladeCenter parameter(s) {unknown}; valid names: {sorted(known)}"
+        ) from None
+    solution = build_bladecenter(params).solve()
+    return float(solution.value("system", "availability"))
 
 
 def downtime_budget(

@@ -14,8 +14,9 @@ class in the library.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, NamedTuple, Tuple
+from typing import Callable, Dict, List, Mapping, NamedTuple, Optional, Tuple
 
+from ..engine import EvaluationCache, evaluate_batch
 from ..exceptions import ModelDefinitionError
 
 __all__ = ["SensitivityRow", "parametric_sensitivity", "rank_parameters"]
@@ -37,6 +38,11 @@ def parametric_sensitivity(
     evaluate: Evaluator,
     params: Mapping[str, float],
     rel_step: float = 1e-4,
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    executor=None,
+    cache: Optional[EvaluationCache] = None,
+    progress=None,
 ) -> Dict[str, SensitivityRow]:
     """Central-difference sensitivities of ``evaluate`` at ``params``.
 
@@ -49,6 +55,16 @@ def parametric_sensitivity(
     rel_step:
         Relative step ``h = rel_step * |value|`` (absolute ``rel_step``
         for zero-valued parameters).
+    n_jobs:
+        Worker count; the nominal point and the ``2k`` perturbed points
+        form one batch, fanned out through
+        :func:`repro.engine.evaluate_batch` when ``n_jobs > 1``.
+    chunk_size / executor / cache / progress:
+        Forwarded to :func:`repro.engine.evaluate_batch`.  All points
+        are routed through a memoizing
+        :class:`~repro.engine.EvaluationCache` (an ephemeral one when
+        ``cache`` is not given), so sharing a cache with an earlier
+        analysis at the same nominal point skips the repeated solves.
 
     Returns
     -------
@@ -66,16 +82,35 @@ def parametric_sensitivity(
         raise ModelDefinitionError("at least one parameter is required")
     if rel_step <= 0:
         raise ModelDefinitionError(f"rel_step must be positive, got {rel_step}")
-    base_output = float(evaluate(params))
-    rows: Dict[str, SensitivityRow] = {}
-    for name, value in params.items():
-        value = float(value)
+    names = list(params)
+    steps: Dict[str, float] = {}
+    assignments: List[Dict[str, float]] = [dict(params)]
+    for name in names:
+        value = float(params[name])
         h = rel_step * abs(value) if value != 0.0 else rel_step
+        steps[name] = h
         up = dict(params)
         down = dict(params)
         up[name] = value + h
         down[name] = value - h
-        derivative = (float(evaluate(up)) - float(evaluate(down))) / (2.0 * h)
+        assignments.extend((up, down))
+    batch = evaluate_batch(
+        evaluate,
+        assignments,
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
+        executor=executor,
+        cache=cache if cache is not None else EvaluationCache(),
+        progress=progress,
+    )
+    base_output = float(batch.outputs[0])
+    rows: Dict[str, SensitivityRow] = {}
+    for i, name in enumerate(names):
+        value = float(params[name])
+        h = steps[name]
+        up_out = float(batch.outputs[1 + 2 * i])
+        down_out = float(batch.outputs[2 + 2 * i])
+        derivative = (up_out - down_out) / (2.0 * h)
         if base_output != 0.0 and value != 0.0:
             elasticity = derivative * value / base_output
         else:
@@ -89,16 +124,19 @@ def rank_parameters(
     params: Mapping[str, float],
     rel_step: float = 1e-4,
     by: str = "elasticity",
+    **engine_kwargs,
 ) -> List[SensitivityRow]:
     """Sensitivity rows sorted by decreasing absolute impact.
 
     ``by`` selects the ranking key: ``"elasticity"`` (default,
     scale-free — the right choice when rates span orders of magnitude) or
-    ``"derivative"``.
+    ``"derivative"``.  Extra keyword arguments (``n_jobs``, ``cache``,
+    ``progress``, ...) are forwarded to
+    :func:`parametric_sensitivity`.
     """
     if by not in ("elasticity", "derivative"):
         raise ModelDefinitionError(f"unknown ranking key {by!r}")
-    rows = parametric_sensitivity(evaluate, params, rel_step)
+    rows = parametric_sensitivity(evaluate, params, rel_step, **engine_kwargs)
     key = (lambda r: abs(r.elasticity)) if by == "elasticity" else (lambda r: abs(r.derivative))
 
     def sort_key(row: SensitivityRow) -> float:

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..distributions import LifetimeDistribution
+from ..engine import EngineStats, EvaluationCache, evaluate_batch
 from ..exceptions import ModelDefinitionError
 
 __all__ = ["UncertaintyResult", "propagate_uncertainty", "tornado_sensitivity"]
@@ -34,11 +35,20 @@ class UncertaintyResult:
         The raw output samples.
     parameter_samples:
         The drawn parameter values, by name.
+    stats:
+        The engine's :class:`~repro.engine.EngineStats` for the run
+        (``None`` when the result was built directly from samples).
     """
 
-    def __init__(self, samples: np.ndarray, parameter_samples: Dict[str, np.ndarray]):
+    def __init__(
+        self,
+        samples: np.ndarray,
+        parameter_samples: Dict[str, np.ndarray],
+        stats: Optional[EngineStats] = None,
+    ):
         self.samples = np.asarray(samples, dtype=float)
         self.parameter_samples = parameter_samples
+        self.stats = stats
 
     @property
     def n_samples(self) -> int:
@@ -53,9 +63,14 @@ class UncertaintyResult:
         """Sample standard deviation of the output."""
         return float(self.samples.std(ddof=1)) if self.samples.size > 1 else 0.0
 
-    def percentile(self, q) -> float:
-        """Output percentile(s) (``q`` in [0, 100])."""
-        return np.percentile(self.samples, q)
+    def percentile(self, q):
+        """Output percentile(s) (``q`` in [0, 100]).
+
+        Returns a plain ``float`` for scalar ``q`` and a
+        :class:`numpy.ndarray` for a sequence of percentiles.
+        """
+        result = np.percentile(self.samples, q)
+        return float(result) if np.isscalar(q) else np.asarray(result)
 
     def interval(self, level: float = 0.95) -> Tuple[float, float]:
         """Central epistemic interval at the given level."""
@@ -104,6 +119,11 @@ def propagate_uncertainty(
     n_samples: int = 1000,
     rng: Optional[np.random.Generator] = None,
     method: str = "lhs",
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    executor=None,
+    cache: Optional[EvaluationCache] = None,
+    progress=None,
 ) -> UncertaintyResult:
     """Propagate parameter uncertainty through a model.
 
@@ -121,6 +141,14 @@ def propagate_uncertainty(
     method:
         ``"lhs"`` (Latin hypercube, default — lower variance for the same
         budget) or ``"mc"`` (plain Monte Carlo).
+    n_jobs:
+        Worker count for the evaluation batch; 1 (default) evaluates
+        serially, more fans out to a chunked process pool (``evaluate``
+        must then be a picklable module-level function).  The drawn
+        design — and therefore ``samples`` — is bit-identical for a
+        given ``rng`` seed regardless of executor or worker count.
+    chunk_size / executor / cache / progress:
+        Forwarded to :func:`repro.engine.evaluate_batch`; see there.
 
     Examples
     --------
@@ -137,12 +165,20 @@ def propagate_uncertainty(
         raise ModelDefinitionError("at least one uncertain parameter is required")
     rng = rng if rng is not None else np.random.default_rng()
     draws = _draw_parameters(priors, n_samples, rng, method)
-    outputs = np.empty(n_samples)
     names = list(priors)
-    for k in range(n_samples):
-        assignment = {name: float(draws[name][k]) for name in names}
-        outputs[k] = float(evaluate(assignment))
-    return UncertaintyResult(outputs, draws)
+    assignments = [
+        {name: float(draws[name][k]) for name in names} for k in range(n_samples)
+    ]
+    batch = evaluate_batch(
+        evaluate,
+        assignments,
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
+        executor=executor,
+        cache=cache,
+        progress=progress,
+    )
+    return UncertaintyResult(batch.outputs, draws, stats=batch.stats)
 
 
 def tornado_sensitivity(
@@ -150,12 +186,24 @@ def tornado_sensitivity(
     priors: Mapping[str, LifetimeDistribution],
     low_q: float = 0.05,
     high_q: float = 0.95,
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    executor=None,
+    cache: Optional[EvaluationCache] = None,
+    progress=None,
 ) -> List[Tuple[str, float, float]]:
     """One-at-a-time tornado analysis.
 
     Each parameter is swung to its ``low_q`` / ``high_q`` quantile while
     the others sit at their medians; the output swing ranks which input
     uncertainties dominate the output uncertainty.
+
+    The swing points are evaluated through the batch engine with a
+    memoizing :class:`~repro.engine.EvaluationCache` (an ephemeral one
+    when ``cache`` is not given), so coinciding assignments — e.g. a
+    degenerate prior whose quantiles equal its median, or points shared
+    with an earlier analysis through a caller-supplied ``cache`` — are
+    solved once: ``k`` parameters cost at most ``2k`` evaluator calls.
 
     Returns
     -------
@@ -165,12 +213,26 @@ def tornado_sensitivity(
     if not priors:
         raise ModelDefinitionError("at least one uncertain parameter is required")
     medians = {name: float(prior.ppf(0.5)) for name, prior in priors.items()}
-    rows: List[Tuple[str, float, float]] = []
+    names = list(priors)
+    assignments: List[Dict[str, float]] = []
     for name, prior in priors.items():
         low_params = dict(medians)
         high_params = dict(medians)
         low_params[name] = float(prior.ppf(low_q))
         high_params[name] = float(prior.ppf(high_q))
-        rows.append((name, float(evaluate(low_params)), float(evaluate(high_params))))
+        assignments.extend((low_params, high_params))
+    batch = evaluate_batch(
+        evaluate,
+        assignments,
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
+        executor=executor,
+        cache=cache if cache is not None else EvaluationCache(),
+        progress=progress,
+    )
+    rows = [
+        (name, float(batch.outputs[2 * i]), float(batch.outputs[2 * i + 1]))
+        for i, name in enumerate(names)
+    ]
     rows.sort(key=lambda row: abs(row[2] - row[1]), reverse=True)
     return rows

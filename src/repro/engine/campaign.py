@@ -1,0 +1,256 @@
+"""Declarative evaluation campaigns.
+
+A *campaign* is a named design over the parameter space — the engine
+counterpart of DAVOS-style fault-injection campaign managers: describe
+*what* to evaluate, let :func:`run_campaign` decide *how* (executor,
+chunking, memoization, progress).
+
+Three designs cover the tutorial's workloads:
+
+* :class:`GridCampaign` — full-factorial grid (what-if tables, E18/E19
+  style downtime-vs-parameter tables);
+* :class:`SwingCampaign` — one-at-a-time tornado table: each parameter
+  swung to its low/high quantile with the others at their medians,
+  baseline row included per parameter (the duplicate baselines are
+  exactly what the :class:`~repro.engine.cache.EvaluationCache`
+  deduplicates);
+* :class:`SamplingCampaign` — Monte Carlo / Latin-hypercube designs,
+  reusing the uncertainty module's sampler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelDefinitionError
+from .batch import BatchResult, evaluate_batch
+from .cache import EvaluationCache
+from .stats import EngineStats
+
+__all__ = [
+    "CampaignSpec",
+    "GridCampaign",
+    "SwingCampaign",
+    "SamplingCampaign",
+    "CampaignResult",
+    "run_campaign",
+]
+
+
+class CampaignSpec:
+    """A declarative description of which assignments to evaluate."""
+
+    def assignments(self, rng: Optional[np.random.Generator] = None) -> List[Dict[str, float]]:
+        """Materialize the design as a list of parameter assignments.
+
+        ``rng`` is consumed only by randomized designs
+        (:class:`SamplingCampaign`); deterministic designs ignore it.
+        """
+        raise NotImplementedError
+
+    def run(self, evaluate, **engine_kwargs) -> "CampaignResult":
+        """Shorthand for :func:`run_campaign` on this spec."""
+        return run_campaign(evaluate, self, **engine_kwargs)
+
+
+class GridCampaign(CampaignSpec):
+    """Full-factorial grid over explicit per-parameter value lists.
+
+    Examples
+    --------
+    >>> spec = GridCampaign({"lam": [1e-4, 1e-3], "mu": [0.25, 0.5]})
+    >>> len(spec.assignments())
+    4
+    """
+
+    def __init__(self, axes: Mapping[str, Sequence[float]]):
+        if not axes:
+            raise ModelDefinitionError("a grid campaign needs at least one axis")
+        self.axes: Dict[str, List[float]] = {}
+        for name, values in axes.items():
+            values = [float(v) for v in values]
+            if not values:
+                raise ModelDefinitionError(f"axis {name!r} has no values")
+            self.axes[str(name)] = values
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Points per axis, in axis insertion order."""
+        return tuple(len(v) for v in self.axes.values())
+
+    def assignments(self, rng=None):
+        names = list(self.axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.axes[name] for name in names))
+        ]
+
+
+class SwingCampaign(CampaignSpec):
+    """One-at-a-time tornado design from epistemic priors.
+
+    For each parameter the design emits the classic OAT triple
+    ``(low, baseline, high)`` — the parameter at its ``low_q`` / median
+    / ``high_q`` quantile, every other parameter at its median.  The
+    baseline row therefore repeats once per parameter; running the
+    campaign with an :class:`~repro.engine.cache.EvaluationCache`
+    collapses those duplicates to a single model solve (``k - 1`` cache
+    hits for ``k`` parameters).  With ``include_baseline=False`` only
+    the low/high rows are emitted (the raw tornado table).
+    """
+
+    def __init__(
+        self,
+        priors: Mapping[str, object],
+        low_q: float = 0.05,
+        high_q: float = 0.95,
+        include_baseline: bool = True,
+    ):
+        if not priors:
+            raise ModelDefinitionError("at least one uncertain parameter is required")
+        if not 0.0 < low_q < high_q < 1.0:
+            raise ModelDefinitionError(
+                f"need 0 < low_q < high_q < 1, got {low_q} and {high_q}"
+            )
+        self.priors = dict(priors)
+        self.low_q = float(low_q)
+        self.high_q = float(high_q)
+        self.include_baseline = bool(include_baseline)
+
+    @property
+    def baseline(self) -> Dict[str, float]:
+        """The all-medians anchor point."""
+        return {name: float(prior.ppf(0.5)) for name, prior in self.priors.items()}
+
+    def assignments(self, rng=None):
+        baseline = self.baseline
+        rows: List[Dict[str, float]] = []
+        for name, prior in self.priors.items():
+            low = dict(baseline)
+            high = dict(baseline)
+            low[name] = float(prior.ppf(self.low_q))
+            high[name] = float(prior.ppf(self.high_q))
+            if self.include_baseline:
+                rows.extend((low, dict(baseline), high))
+            else:
+                rows.extend((low, high))
+        return rows
+
+    def tornado_rows(self, outputs: Sequence[float]) -> List[Tuple[str, float, float]]:
+        """Fold campaign outputs into ``(name, at_low, at_high)`` rows,
+        sorted by decreasing absolute swing (the tornado ranking)."""
+        stride = 3 if self.include_baseline else 2
+        names = list(self.priors)
+        if len(outputs) != stride * len(names):
+            raise ModelDefinitionError(
+                f"expected {stride * len(names)} outputs, got {len(outputs)}"
+            )
+        rows = [
+            (name, float(outputs[stride * i]), float(outputs[stride * i + stride - 1]))
+            for i, name in enumerate(names)
+        ]
+        rows.sort(key=lambda row: abs(row[2] - row[1]), reverse=True)
+        return rows
+
+
+class SamplingCampaign(CampaignSpec):
+    """Monte Carlo (``"mc"``) or Latin-hypercube (``"lhs"``) design.
+
+    Reuses the sampler behind
+    :func:`repro.core.uncertainty.propagate_uncertainty`, so a campaign
+    with the same priors, seed and method evaluates exactly the points
+    that function would.
+    """
+
+    def __init__(self, priors: Mapping[str, object], n_samples: int, method: str = "lhs"):
+        if not priors:
+            raise ModelDefinitionError("at least one uncertain parameter is required")
+        if n_samples < 1:
+            raise ModelDefinitionError(f"n_samples must be >= 1, got {n_samples}")
+        if method not in ("mc", "lhs"):
+            raise ModelDefinitionError(f"unknown sampling method {method!r}; use 'mc' or 'lhs'")
+        self.priors = dict(priors)
+        self.n_samples = int(n_samples)
+        self.method = method
+
+    def assignments(self, rng=None):
+        from ..core.uncertainty import _draw_parameters  # local: avoids an import cycle
+
+        rng = rng if rng is not None else np.random.default_rng()
+        draws = _draw_parameters(self.priors, self.n_samples, rng, self.method)
+        names = list(self.priors)
+        return [
+            {name: float(draws[name][k]) for name in names} for k in range(self.n_samples)
+        ]
+
+
+class CampaignResult:
+    """Assignments, outputs and instrumentation of one campaign run.
+
+    Attributes
+    ----------
+    spec:
+        The :class:`CampaignSpec` that was run.
+    assignments:
+        The materialized design points, in evaluation order.
+    outputs:
+        One output per design point (:class:`numpy.ndarray`).
+    stats:
+        The run's :class:`~repro.engine.stats.EngineStats`.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        assignments: List[Dict[str, float]],
+        outputs: np.ndarray,
+        stats: EngineStats,
+    ):
+        self.spec = spec
+        self.assignments = assignments
+        self.outputs = np.asarray(outputs, dtype=float)
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return int(self.outputs.size)
+
+    def parameter_values(self, name: str) -> np.ndarray:
+        """The value of one parameter across the design points."""
+        try:
+            return np.asarray([a[name] for a in self.assignments], dtype=float)
+        except KeyError:
+            raise ModelDefinitionError(f"unknown parameter {name!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CampaignResult({len(self)} points, {self.stats!r})"
+
+
+def run_campaign(
+    evaluate,
+    spec: CampaignSpec,
+    rng: Optional[np.random.Generator] = None,
+    n_jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    executor=None,
+    cache: Optional[EvaluationCache] = None,
+    progress=None,
+) -> CampaignResult:
+    """Materialize ``spec`` and evaluate it through the engine.
+
+    ``rng`` seeds randomized designs; the remaining keyword arguments
+    are forwarded to :func:`~repro.engine.batch.evaluate_batch`.
+    """
+    assignments = spec.assignments(rng)
+    batch: BatchResult = evaluate_batch(
+        evaluate,
+        assignments,
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
+        executor=executor,
+        cache=cache,
+        progress=progress,
+    )
+    return CampaignResult(spec, assignments, batch.outputs, batch.stats)

@@ -1,0 +1,315 @@
+"""Execution backends for batch model evaluation.
+
+One abstraction — :class:`Executor` — with three implementations:
+
+* :class:`SerialExecutor` — plain loop, zero overhead, the reference;
+* :class:`ThreadExecutor` — a thread pool, right when the evaluator
+  releases the GIL (sparse linear algebra, native solvers) or does I/O;
+* :class:`ProcessExecutor` — a *chunked* process pool, right for the
+  pure-Python hot paths (BDD traversal, reachability, trajectory
+  replay) where the GIL would serialize threads.
+
+All three place results by submission index and spawn per-task random
+generators deterministically from the caller's seed, so a batch is
+**bit-identical across executors** for a given seed — swapping
+``n_jobs=1`` for ``n_jobs=8`` is a pure performance decision, never a
+numerical one.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import math
+import pickle
+import time
+from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelDefinitionError
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "spawn_generators",
+    "parallel_starmap",
+]
+
+Evaluator = Callable[..., float]
+Progress = Callable[[int, int], None]
+
+
+def spawn_generators(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
+    """``n`` independent child generators, deterministically derived.
+
+    Uses ``Generator.spawn`` (NumPy >= 1.25) with a ``SeedSequence``
+    fallback; for a generator seeded with a fixed value the children are
+    reproducible, and child ``k`` is the same no matter how many workers
+    eventually consume it — the basis of the engine's cross-executor
+    determinism for stochastic evaluators.
+    """
+    if n < 0:
+        raise ModelDefinitionError(f"cannot spawn {n} generators")
+    if n == 0:
+        return []
+    try:
+        return list(rng.spawn(n))
+    except AttributeError:  # pragma: no cover - NumPy < 1.25 fallback
+        children = rng.bit_generator.seed_seq.spawn(n)
+        return [np.random.default_rng(child) for child in children]
+
+
+def ensure_picklable(obj: Any, role: str) -> None:
+    """Raise a clear :class:`ModelDefinitionError` when ``obj`` cannot cross
+    a process boundary (lambdas, closures, locally defined functions)."""
+    try:
+        pickle.dumps(obj)
+    except Exception as exc:
+        raise ModelDefinitionError(
+            f"{role} is not picklable ({type(exc).__name__}: {exc}); "
+            f"process-based parallelism (n_jobs > 1) requires a module-level "
+            f"function and picklable arguments — use a named top-level "
+            f"function instead of a lambda/closure, or fall back to "
+            f"n_jobs=1 or the thread executor"
+        ) from exc
+
+
+def default_chunk_size(n_tasks: int, n_jobs: int) -> int:
+    """Heuristic chunk size: ~4 chunks per worker, at least 1 task each.
+
+    Large enough to amortize inter-process dispatch, small enough to
+    keep workers load-balanced when evaluation times vary.
+    """
+    if n_tasks <= 0:
+        return 1
+    return max(1, math.ceil(n_tasks / (4 * max(1, n_jobs))))
+
+
+def _chunk_indices(n_tasks: int, chunk_size: int) -> List[range]:
+    return [range(lo, min(lo + chunk_size, n_tasks)) for lo in range(0, n_tasks, chunk_size)]
+
+
+def _run_chunk(
+    evaluate: Evaluator,
+    assignments: Sequence[Mapping[str, float]],
+    rngs: Optional[Sequence[np.random.Generator]],
+) -> List[Tuple[float, float]]:
+    """Evaluate one chunk; ``(value, seconds)`` per task.
+
+    Module-level so it pickles for the process pool; also the shared
+    inner loop of the serial and thread backends.
+    """
+    results: List[Tuple[float, float]] = []
+    for k, assignment in enumerate(assignments):
+        start = time.perf_counter()
+        if rngs is None:
+            value = float(evaluate(assignment))
+        else:
+            value = float(evaluate(assignment, rngs[k]))
+        results.append((value, time.perf_counter() - start))
+    return results
+
+
+class Executor:
+    """Runs a batch of independent evaluations; results in input order.
+
+    Subclasses implement :meth:`run`; construction is cheap and the
+    underlying pool (if any) lives only for the duration of one batch,
+    so an executor instance can be reused across batches safely.
+    """
+
+    name = "abstract"
+    n_jobs = 1
+
+    def run(
+        self,
+        evaluate: Evaluator,
+        assignments: Sequence[Mapping[str, float]],
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        chunk_size: Optional[int] = None,
+        progress: Optional[Progress] = None,
+    ) -> Tuple[List[float], np.ndarray]:
+        """``(values, durations)`` for the batch, both in input order.
+
+        Parameters
+        ----------
+        evaluate:
+            ``assignment -> float`` (or ``(assignment, rng) -> float``
+            when ``rngs`` is given).
+        assignments:
+            The parameter assignments to evaluate.
+        rngs:
+            Optional per-task generators (same length as
+            ``assignments``), for stochastic evaluators.
+        chunk_size:
+            Tasks per dispatch unit for pool executors; ``None`` uses
+            :func:`default_chunk_size`.
+        progress:
+            Optional ``progress(done, total)`` callback, invoked from
+            the calling process as tasks complete.
+        """
+        raise NotImplementedError
+
+    def _validate(self, assignments, rngs) -> int:
+        n = len(assignments)
+        if rngs is not None and len(rngs) != n:
+            raise ModelDefinitionError(
+                f"rngs length {len(rngs)} does not match {n} assignments"
+            )
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_jobs={self.n_jobs})"
+
+
+class SerialExecutor(Executor):
+    """In-process loop — the reference implementation and the default."""
+
+    name = "serial"
+    n_jobs = 1
+
+    def run(self, evaluate, assignments, rngs=None, chunk_size=None, progress=None):
+        n = self._validate(assignments, rngs)
+        values: List[float] = []
+        durations = np.empty(n)
+        for k in range(n):
+            chunk = _run_chunk(evaluate, assignments[k : k + 1], None if rngs is None else rngs[k : k + 1])
+            values.append(chunk[0][0])
+            durations[k] = chunk[0][1]
+            if progress is not None:
+                progress(k + 1, n)
+        return values, durations
+
+
+class _PoolExecutor(Executor):
+    """Shared chunked fan-out logic for the thread and process pools."""
+
+    def __init__(self, n_jobs: int = 2):
+        if n_jobs < 1:
+            raise ModelDefinitionError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_jobs = int(n_jobs)
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        raise NotImplementedError
+
+    def _check_batch(self, evaluate, assignments, rngs) -> None:
+        """Backend-specific pre-dispatch validation (pickling guard)."""
+
+    def run(self, evaluate, assignments, rngs=None, chunk_size=None, progress=None):
+        n = self._validate(assignments, rngs)
+        if n == 0:
+            return [], np.empty(0)
+        self._check_batch(evaluate, assignments, rngs)
+        size = chunk_size if chunk_size is not None else default_chunk_size(n, self.n_jobs)
+        if size < 1:
+            raise ModelDefinitionError(f"chunk_size must be >= 1, got {size}")
+        chunks = _chunk_indices(n, size)
+        values: List[Optional[float]] = [None] * n
+        durations = np.empty(n)
+        done = 0
+        with self._make_pool() as pool:
+            futures = {
+                pool.submit(
+                    _run_chunk,
+                    evaluate,
+                    [assignments[i] for i in chunk],
+                    None if rngs is None else [rngs[i] for i in chunk],
+                ): chunk
+                for chunk in chunks
+            }
+            for future in concurrent.futures.as_completed(futures):
+                chunk = futures[future]
+                for i, (value, seconds) in zip(chunk, future.result()):
+                    values[i] = value
+                    durations[i] = seconds
+                done += len(chunk)
+                if progress is not None:
+                    progress(done, n)
+        return values, durations
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool backend — shared memory, no pickling requirements.
+
+    Python-level evaluators stay GIL-bound (no speedup); use it when the
+    evaluator spends its time in native code or I/O, or to overlap an
+    expensive progress callback with evaluation.
+    """
+
+    name = "thread"
+
+    def _make_pool(self):
+        return concurrent.futures.ThreadPoolExecutor(max_workers=self.n_jobs)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Chunked process-pool backend — true parallelism for Python code.
+
+    The evaluator and its assignments must pickle (checked up front with
+    a clear error); chunking amortizes the per-dispatch IPC cost so even
+    millisecond-scale model solves scale with cores.
+    """
+
+    name = "process"
+
+    def _make_pool(self):
+        return concurrent.futures.ProcessPoolExecutor(max_workers=self.n_jobs)
+
+    def _check_batch(self, evaluate, assignments, rngs) -> None:
+        ensure_picklable(evaluate, "the evaluator")
+        if len(assignments):
+            ensure_picklable(assignments[0], "the parameter assignment")
+
+
+def resolve_executor(n_jobs: int = 1, executor=None) -> Executor:
+    """Normalize user intent into an :class:`Executor` instance.
+
+    ``executor`` may be an instance (returned as-is), one of the names
+    ``"serial"`` / ``"thread"`` / ``"process"``, or ``None`` — in which
+    case ``n_jobs`` decides: 1 is serial, more is a process pool (the
+    backend that actually speeds up the library's pure-Python solvers).
+    """
+    if isinstance(executor, Executor):
+        return executor
+    if executor is None:
+        if n_jobs < 1:
+            raise ModelDefinitionError(f"n_jobs must be >= 1, got {n_jobs}")
+        return SerialExecutor() if n_jobs == 1 else ProcessExecutor(n_jobs)
+    names = {"serial": SerialExecutor, "thread": ThreadExecutor, "process": ProcessExecutor}
+    try:
+        cls = names[executor]
+    except (KeyError, TypeError):
+        raise ModelDefinitionError(
+            f"unknown executor {executor!r}; use an Executor instance or one of "
+            f"{sorted(names)}"
+        ) from None
+    return cls() if cls is SerialExecutor else cls(max(2, n_jobs))
+
+
+def parallel_starmap(
+    fn: Callable[..., Any],
+    argtuples: Iterable[Tuple],
+    n_jobs: int,
+) -> List[Any]:
+    """Order-preserving ``starmap`` over a process pool.
+
+    The low-level sibling of :meth:`Executor.run` for workloads whose
+    tasks are not parameter assignments (the Monte Carlo simulators map
+    *trial chunks*, not parameter dicts).  ``n_jobs == 1`` degenerates
+    to an in-process loop; otherwise ``fn`` and every argument tuple
+    must pickle (checked up front with a clear error).
+    """
+    tasks = list(argtuples)
+    if n_jobs < 1:
+        raise ModelDefinitionError(f"n_jobs must be >= 1, got {n_jobs}")
+    if n_jobs == 1 or len(tasks) <= 1:
+        return [fn(*args) for args in tasks]
+    ensure_picklable(fn, "the worker function")
+    for args in tasks[:1]:
+        ensure_picklable(args, "the worker arguments")
+    with concurrent.futures.ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        return list(pool.map(fn, *zip(*tasks)))

@@ -1,0 +1,151 @@
+"""Instrumentation for batch evaluation runs.
+
+Every :func:`repro.engine.evaluate_batch` call returns an
+:class:`EngineStats` alongside the outputs: per-evaluation wall times,
+throughput, cache effectiveness and worker utilization.  The numbers are
+what a practitioner needs to answer "is the sweep compute-bound, and is
+the cache earning its keep?" before scaling a campaign up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["EngineStats", "ProgressPrinter"]
+
+
+class EngineStats:
+    """Timing and bookkeeping for one batch evaluation.
+
+    Attributes
+    ----------
+    executor:
+        Name of the executor that ran the batch (``"serial"``,
+        ``"thread"``, ``"process"``).
+    n_jobs:
+        Worker count of that executor.
+    n_tasks:
+        Number of requested evaluations, including ones served from the
+        cache.
+    n_evaluated:
+        Number of actual evaluator calls (``n_tasks`` minus cache hits).
+    cache_hits / cache_misses:
+        Cache traffic observed during this batch (both zero when no
+        cache was supplied).
+    durations:
+        Per-evaluation wall time in seconds (length ``n_evaluated``),
+        in submission order.
+    wall_time:
+        End-to-end wall time of the batch in seconds.
+    """
+
+    def __init__(
+        self,
+        executor: str,
+        n_jobs: int,
+        n_tasks: int,
+        durations: Sequence[float],
+        wall_time: float,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ):
+        self.executor = str(executor)
+        self.n_jobs = int(n_jobs)
+        self.n_tasks = int(n_tasks)
+        self.durations = np.asarray(durations, dtype=float)
+        self.wall_time = float(wall_time)
+        self.cache_hits = int(cache_hits)
+        self.cache_misses = int(cache_misses)
+
+    @property
+    def n_evaluated(self) -> int:
+        """Number of actual evaluator calls performed."""
+        return int(self.durations.size)
+
+    def throughput(self) -> float:
+        """Completed tasks per second of wall time (cache hits included)."""
+        if self.wall_time <= 0.0:
+            return float("inf") if self.n_tasks else 0.0
+        return self.n_tasks / self.wall_time
+
+    def mean_time(self) -> float:
+        """Mean per-evaluation wall time in seconds."""
+        return float(self.durations.mean()) if self.durations.size else 0.0
+
+    def percentile(self, q) -> float:
+        """Percentile(s) of the per-evaluation wall times (``q`` in [0, 100])."""
+        if not self.durations.size:
+            return float("nan")
+        result = np.percentile(self.durations, q)
+        return float(result) if np.isscalar(q) else np.asarray(result)
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of tasks served from the cache (0.0 without a cache)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def utilization(self) -> float:
+        """Fraction of worker capacity spent inside the evaluator.
+
+        ``sum(durations) / (wall_time * n_jobs)`` — low values on a
+        parallel executor mean the batch is dominated by dispatch
+        overhead (use larger chunks or a cheaper executor).
+        """
+        if self.wall_time <= 0.0 or self.n_jobs <= 0:
+            return 0.0
+        return float(self.durations.sum()) / (self.wall_time * self.n_jobs)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline numbers (handy for table printing)."""
+        return {
+            "n_tasks": float(self.n_tasks),
+            "n_evaluated": float(self.n_evaluated),
+            "wall_time_s": self.wall_time,
+            "throughput_per_s": self.throughput(),
+            "mean_eval_ms": 1e3 * self.mean_time(),
+            "p95_eval_ms": 1e3 * self.percentile(95) if self.durations.size else 0.0,
+            "cache_hit_rate": self.cache_hit_rate(),
+            "utilization": self.utilization(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EngineStats({self.executor} x{self.n_jobs}: {self.n_tasks} tasks, "
+            f"{self.n_evaluated} evaluated, {self.wall_time:.3g}s wall, "
+            f"hit rate {self.cache_hit_rate():.1%})"
+        )
+
+
+class ProgressPrinter:
+    """Minimal ``progress(done, total)`` callback that prints milestones.
+
+    Prints at most ``n_reports`` evenly spaced progress lines, so a
+    100k-sample sweep does not flood the terminal.
+
+    Examples
+    --------
+    >>> progress = ProgressPrinter(n_reports=2, stream=None)
+    >>> progress(5, 10)
+    >>> progress(10, 10)
+    """
+
+    def __init__(self, n_reports: int = 10, prefix: str = "", stream="stdout"):
+        self.n_reports = max(1, int(n_reports))
+        self.prefix = prefix
+        self._stream = stream
+        self._last_milestone = 0
+
+    def __call__(self, done: int, total: int) -> None:
+        if total <= 0:
+            return
+        milestone = (done * self.n_reports) // total
+        if milestone > self._last_milestone or done == total:
+            self._last_milestone = milestone
+            if self._stream is not None:  # pragma: no branch
+                line = f"{self.prefix}{done}/{total} ({100.0 * done / total:.0f}%)"
+                if self._stream == "stdout":
+                    print(line)
+                else:  # pragma: no cover - custom stream
+                    self._stream.write(line + "\n")

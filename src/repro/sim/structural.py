@@ -5,14 +5,24 @@ sample component lifetimes (and repair cycles), replay the structure
 function, and estimate the same measures the analytic engines compute.
 Used by benchmark E22 and by the property tests as an oracle of last
 resort.
+
+All three estimators accept ``n_jobs``: with ``n_jobs > 1`` the trials
+are split into fixed-size chunks, each chunk gets its own child
+generator spawned deterministically from the caller's ``rng``
+(:func:`repro.engine.spawn_generators`), and the chunks run on a
+process pool (:func:`repro.engine.parallel_starmap`).  Because the
+chunk partition does not depend on the worker count, a given seed
+produces identical estimates for every ``n_jobs > 1``; the serial path
+(``n_jobs=1``) keeps the library's historical single-stream draw order.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from ..engine.executors import parallel_starmap, spawn_generators
 from ..exceptions import ModelDefinitionError
 from ..nonstate.components import Component
 from ..nonstate.faulttree import FaultTree
@@ -27,6 +37,12 @@ __all__ = [
 ]
 
 StructuralModel = Union[FaultTree, ReliabilityBlockDiagram, ReliabilityGraph]
+
+#: Trials per dispatched chunk when ``n_jobs > 1`` — fixed (independent
+#: of the worker count) so results only depend on the seed.
+_TRIAL_CHUNK = 512
+#: Replications per chunk for the availability estimator.
+_REPLICATION_CHUNK = 8
 
 
 def _adapter(model: StructuralModel) -> Tuple[Dict[str, Component], Callable[[Mapping[str, bool]], bool]]:
@@ -66,50 +82,37 @@ def _require_lifetimes(components: Dict[str, Component]) -> None:
         )
 
 
-def simulate_reliability(
-    model: StructuralModel,
-    t: float,
-    n_samples: int = 10_000,
-    rng: Optional[np.random.Generator] = None,
-) -> Estimate:
-    """Estimate mission reliability at time ``t`` by direct sampling."""
-    rng = rng if rng is not None else np.random.default_rng()
+def _chunk_sizes(total: int, chunk: int) -> List[int]:
+    sizes = [chunk] * (total // chunk)
+    if total % chunk:
+        sizes.append(total % chunk)
+    return sizes
+
+
+def _reliability_chunk(model: StructuralModel, t: float, n: int, rng: np.random.Generator) -> int:
+    """Up-count over ``n`` trials (module-level: pickles for the pool)."""
     components, is_up = _adapter(model)
-    _require_lifetimes(components)
     names = list(components)
     lifetimes = {
-        name: np.asarray(components[name].failure.sample(rng, size=n_samples))
-        for name in names
+        name: np.asarray(components[name].failure.sample(rng, size=n)) for name in names
     }
     up_count = 0
-    for k in range(n_samples):
+    for k in range(n):
         failed = {name: bool(lifetimes[name][k] <= t) for name in names}
         if is_up(failed):
             up_count += 1
-    return estimate_proportion(up_count, n_samples)
+    return up_count
 
 
-def simulate_mttf(
-    model: StructuralModel,
-    n_samples: int = 10_000,
-    rng: Optional[np.random.Generator] = None,
-) -> Estimate:
-    """Estimate the system MTTF by replaying failures in time order.
-
-    Valid for coherent structures: as components fail one by one the
-    system can only go down, so the system failure time is the first
-    prefix of failures that downs it.
-    """
-    rng = rng if rng is not None else np.random.default_rng()
+def _mttf_chunk(model: StructuralModel, n: int, rng: np.random.Generator) -> np.ndarray:
+    """System failure times over ``n`` trials."""
     components, is_up = _adapter(model)
-    _require_lifetimes(components)
     names = list(components)
-    samples = np.empty(n_samples)
+    samples = np.empty(n)
     lifetimes = {
-        name: np.asarray(components[name].failure.sample(rng, size=n_samples))
-        for name in names
+        name: np.asarray(components[name].failure.sample(rng, size=n)) for name in names
     }
-    for k in range(n_samples):
+    for k in range(n):
         order = sorted(names, key=lambda name: lifetimes[name][k])
         failed = {name: False for name in names}
         system_failure = float("inf")
@@ -119,36 +122,19 @@ def simulate_mttf(
                 system_failure = float(lifetimes[name][k])
                 break
         samples[k] = system_failure
-    if np.any(~np.isfinite(samples)):
-        raise ModelDefinitionError(
-            "system never failed in some replications; the structure has no cut set"
-        )
-    return estimate_mean(samples)
+    return samples
 
 
-def simulate_steady_availability(
+def _availability_chunk(
     model: StructuralModel,
     horizon: float,
-    n_replications: int = 64,
-    warmup_fraction: float = 0.1,
-    rng: Optional[np.random.Generator] = None,
-) -> Estimate:
-    """Estimate steady-state availability by alternating-renewal replay.
-
-    Each component alternates lifetime/repair draws independently; the
-    system up fraction over ``[warmup, horizon]`` per replication is the
-    sample.  Components must have both failure and repair distributions.
-    """
-    rng = rng if rng is not None else np.random.default_rng()
+    warmup: float,
+    n_replications: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-replication up fractions over ``[warmup, horizon]``."""
     components, is_up = _adapter(model)
-    _require_lifetimes(components)
-    missing_repair = [n for n, c in components.items() if c.repair is None]
-    if missing_repair:
-        raise ModelDefinitionError(
-            f"availability simulation needs repair distributions for: {missing_repair}"
-        )
     names = list(components)
-    warmup = horizon * float(warmup_fraction)
     fractions = np.empty(n_replications)
 
     for rep in range(n_replications):
@@ -186,4 +172,105 @@ def simulate_steady_availability(
         if system_up:
             up_time += horizon - current
         fractions[rep] = up_time / (horizon - warmup)
+    return fractions
+
+
+def _fan_out(worker, model, extra_args, total: int, chunk: int, rng, n_jobs: int):
+    """Run ``worker(model, *extra_args, size, rng_k)`` over deterministic
+    trial chunks on a process pool; results in chunk order."""
+    sizes = _chunk_sizes(total, chunk)
+    rngs = spawn_generators(rng, len(sizes))
+    tasks = [(model, *extra_args, size, rngs[k]) for k, size in enumerate(sizes)]
+    return parallel_starmap(worker, tasks, n_jobs)
+
+
+def simulate_reliability(
+    model: StructuralModel,
+    t: float,
+    n_samples: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+    n_jobs: int = 1,
+) -> Estimate:
+    """Estimate mission reliability at time ``t`` by direct sampling.
+
+    ``n_jobs > 1`` distributes trial chunks over a process pool; the
+    model must pickle (all library structural models do).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    components, _ = _adapter(model)
+    _require_lifetimes(components)
+    if n_jobs == 1:
+        up_count = _reliability_chunk(model, t, n_samples, rng)
+    else:
+        up_count = sum(_fan_out(_reliability_chunk, model, (t,), n_samples, _TRIAL_CHUNK, rng, n_jobs))
+    return estimate_proportion(up_count, n_samples)
+
+
+def simulate_mttf(
+    model: StructuralModel,
+    n_samples: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+    n_jobs: int = 1,
+) -> Estimate:
+    """Estimate the system MTTF by replaying failures in time order.
+
+    Valid for coherent structures: as components fail one by one the
+    system can only go down, so the system failure time is the first
+    prefix of failures that downs it.  ``n_jobs > 1`` distributes trial
+    chunks over a process pool.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    components, _ = _adapter(model)
+    _require_lifetimes(components)
+    if n_jobs == 1:
+        samples = _mttf_chunk(model, n_samples, rng)
+    else:
+        samples = np.concatenate(
+            _fan_out(_mttf_chunk, model, (), n_samples, _TRIAL_CHUNK, rng, n_jobs)
+        )
+    if np.any(~np.isfinite(samples)):
+        raise ModelDefinitionError(
+            "system never failed in some replications; the structure has no cut set"
+        )
+    return estimate_mean(samples)
+
+
+def simulate_steady_availability(
+    model: StructuralModel,
+    horizon: float,
+    n_replications: int = 64,
+    warmup_fraction: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+    n_jobs: int = 1,
+) -> Estimate:
+    """Estimate steady-state availability by alternating-renewal replay.
+
+    Each component alternates lifetime/repair draws independently; the
+    system up fraction over ``[warmup, horizon]`` per replication is the
+    sample.  Components must have both failure and repair distributions.
+    ``n_jobs > 1`` distributes replication chunks over a process pool.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    components, _ = _adapter(model)
+    _require_lifetimes(components)
+    missing_repair = [n for n, c in components.items() if c.repair is None]
+    if missing_repair:
+        raise ModelDefinitionError(
+            f"availability simulation needs repair distributions for: {missing_repair}"
+        )
+    warmup = horizon * float(warmup_fraction)
+    if n_jobs == 1:
+        fractions = _availability_chunk(model, horizon, warmup, n_replications, rng)
+    else:
+        fractions = np.concatenate(
+            _fan_out(
+                _availability_chunk,
+                model,
+                (horizon, warmup),
+                n_replications,
+                _REPLICATION_CHUNK,
+                rng,
+                n_jobs,
+            )
+        )
     return estimate_mean(fractions)

@@ -66,3 +66,45 @@ class TestRanking:
 
         rows = rank_parameters(evaluate, {"lam_a": 0.01, "lam_b": 0.0001})
         assert rows[0].name == "lam_a"
+
+
+class TestEngineRouting:
+    def test_call_count_is_base_plus_2k(self):
+        # Regression: k parameters cost exactly 1 + 2k evaluator calls
+        # (nominal point once, up/down per parameter), never more.
+        calls = []
+
+        def evaluate(p):
+            calls.append(dict(p))
+            return p["a"] * 2 + p["b"]
+
+        parametric_sensitivity(evaluate, {"a": 1.0, "b": 2.0})
+        assert len(calls) == 1 + 2 * 2
+
+    def test_shared_cache_skips_repeated_nominal_point(self):
+        # Two analyses at the same nominal point share the base solve
+        # (and every perturbed point) through a caller-supplied cache.
+        from repro.engine import EvaluationCache
+
+        calls = []
+
+        def evaluate(p):
+            calls.append(1)
+            return p["a"] ** 2
+
+        cache = EvaluationCache()
+        first = parametric_sensitivity(evaluate, {"a": 1.5}, cache=cache)
+        count = len(calls)
+        second = parametric_sensitivity(evaluate, {"a": 1.5}, cache=cache)
+        assert len(calls) == count
+        assert first == second
+        assert cache.hits >= 3
+
+    def test_results_unchanged_by_executor(self):
+        rows = parametric_sensitivity(
+            lambda p: p["a"] * 10 + p["b"], {"a": 1.0, "b": 2.0}
+        )
+        threaded = parametric_sensitivity(
+            lambda p: p["a"] * 10 + p["b"], {"a": 1.0, "b": 2.0}, executor="thread"
+        )
+        assert rows == threaded

@@ -99,6 +99,25 @@ class TestPropagation:
         assert low < result.mean() < high
 
 
+class TestPercentileTypes:
+    def test_scalar_q_returns_float(self, rng):
+        result = propagate_uncertainty(
+            lambda p: p["x"], {"x": Uniform(0.0, 1.0)}, n_samples=100, rng=rng
+        )
+        value = result.percentile(50)
+        assert type(value) is float
+        assert 0.0 < value < 1.0
+
+    def test_sequence_q_returns_array(self, rng):
+        result = propagate_uncertainty(
+            lambda p: p["x"], {"x": Uniform(0.0, 1.0)}, n_samples=100, rng=rng
+        )
+        values = result.percentile([5, 50, 95])
+        assert isinstance(values, np.ndarray)
+        assert values.shape == (3,)
+        assert values[0] < values[1] < values[2]
+
+
 class TestTornado:
     def test_dominant_parameter_ranked_first(self):
         rows = tornado_sensitivity(
@@ -119,3 +138,57 @@ class TestTornado:
     def test_empty_priors_rejected(self):
         with pytest.raises(ModelDefinitionError):
             tornado_sensitivity(lambda p: 0.0, {})
+
+    def test_call_count_bounded_by_2k(self):
+        # Regression (engine memoization): tornado on k parameters makes
+        # at most 2k unique evaluator calls.
+        calls = []
+
+        def evaluate(p):
+            calls.append(dict(p))
+            return p["x"] + p["y"] + p["z"]
+
+        priors = {
+            "x": Uniform(0.0, 1.0),
+            "y": Uniform(0.0, 2.0),
+            "z": Uniform(0.0, 4.0),
+        }
+        tornado_sensitivity(evaluate, priors)
+        assert len(calls) <= 2 * len(priors)
+
+    def test_degenerate_prior_deduplicated(self):
+        # A point-mass prior has low == median == high, so its two swing
+        # assignments coincide and must be evaluated once, not twice.
+        from repro.distributions import Deterministic
+
+        calls = []
+
+        def evaluate(p):
+            calls.append(dict(p))
+            return p["x"] + p["d"]
+
+        rows = tornado_sensitivity(
+            evaluate, {"x": Uniform(0.0, 1.0), "d": Deterministic(3.0)}
+        )
+        assert len(calls) == 3  # 2 for x, 1 (deduplicated) for d
+        d_row = next(row for row in rows if row[0] == "d")
+        assert d_row[1] == d_row[2]
+
+    def test_shared_cache_across_analyses(self):
+        # A caller-supplied cache carries evaluations across calls: the
+        # second identical tornado run costs zero evaluator calls.
+        from repro.engine import EvaluationCache
+
+        calls = []
+
+        def evaluate(p):
+            calls.append(1)
+            return p["x"] ** 2
+
+        cache = EvaluationCache()
+        priors = {"x": Uniform(0.5, 1.5)}
+        first = tornado_sensitivity(evaluate, priors, cache=cache)
+        count_after_first = len(calls)
+        second = tornado_sensitivity(evaluate, priors, cache=cache)
+        assert len(calls) == count_after_first
+        assert first == second

@@ -1,0 +1,136 @@
+"""Unit tests for declarative campaign designs."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Uniform
+from repro.engine import (
+    EvaluationCache,
+    GridCampaign,
+    SamplingCampaign,
+    SwingCampaign,
+    run_campaign,
+)
+from repro.exceptions import ModelDefinitionError
+
+
+def linear(p):
+    return p.get("a", 0.0) + 10.0 * p.get("b", 0.0)
+
+
+class TestGrid:
+    def test_full_factorial(self):
+        spec = GridCampaign({"a": [1.0, 2.0], "b": [0.0, 1.0, 2.0]})
+        points = spec.assignments()
+        assert len(points) == 6
+        assert spec.shape == (2, 3)
+        # first axis varies slowest (itertools.product order)
+        assert points[0] == {"a": 1.0, "b": 0.0}
+        assert points[-1] == {"a": 2.0, "b": 2.0}
+
+    def test_validation(self):
+        with pytest.raises(ModelDefinitionError):
+            GridCampaign({})
+        with pytest.raises(ModelDefinitionError):
+            GridCampaign({"a": []})
+
+    def test_run(self):
+        result = run_campaign(linear, GridCampaign({"a": [1.0, 2.0], "b": [1.0]}))
+        assert list(result.outputs) == [11.0, 12.0]
+        assert list(result.parameter_values("a")) == [1.0, 2.0]
+        with pytest.raises(ModelDefinitionError):
+            result.parameter_values("zzz")
+
+
+class TestSwing:
+    PRIORS = {"a": Uniform(0.0, 1.0), "b": Uniform(0.0, 2.0), "c": Uniform(0.0, 4.0)}
+
+    def test_baseline_is_medians(self):
+        spec = SwingCampaign(self.PRIORS)
+        assert spec.baseline == {"a": 0.5, "b": 1.0, "c": 2.0}
+
+    def test_design_repeats_baseline_per_parameter(self):
+        spec = SwingCampaign(self.PRIORS, low_q=0.25, high_q=0.75)
+        points = spec.assignments()
+        assert len(points) == 9
+        assert points.count(spec.baseline) == 3
+
+    def test_cache_collapses_duplicate_baselines(self):
+        spec = SwingCampaign(self.PRIORS)
+        cache = EvaluationCache()
+        result = run_campaign(linear, spec, cache=cache)
+        k = len(self.PRIORS)
+        assert result.stats.cache_hits == k - 1
+        assert result.stats.n_evaluated == 2 * k + 1
+
+    def test_tornado_rows_sorted_by_swing(self):
+        spec = SwingCampaign(self.PRIORS)
+        result = run_campaign(linear, spec, cache=EvaluationCache())
+        rows = spec.tornado_rows(result.outputs)
+        assert rows[0][0] == "b"  # weight 10 on b dominates
+        swings = [abs(high - low) for _, low, high in rows]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_matches_tornado_sensitivity(self):
+        from repro.core import tornado_sensitivity
+
+        spec = SwingCampaign(self.PRIORS, include_baseline=False)
+        result = run_campaign(linear, spec)
+        assert len(result) == 6
+        assert spec.tornado_rows(result.outputs) == tornado_sensitivity(linear, self.PRIORS)
+
+    def test_output_length_validated(self):
+        spec = SwingCampaign(self.PRIORS)
+        with pytest.raises(ModelDefinitionError):
+            spec.tornado_rows([1.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(ModelDefinitionError):
+            SwingCampaign({})
+        with pytest.raises(ModelDefinitionError):
+            SwingCampaign(self.PRIORS, low_q=0.9, high_q=0.1)
+
+
+class TestSampling:
+    def test_matches_propagation_design(self):
+        # Same priors + seed + method => exactly the points
+        # propagate_uncertainty evaluates.
+        from repro.core import propagate_uncertainty
+
+        priors = {"x": Uniform(0.0, 1.0), "y": Uniform(0.0, 2.0)}
+        spec = SamplingCampaign(priors, n_samples=50, method="lhs")
+        points = spec.assignments(np.random.default_rng(7))
+        result = propagate_uncertainty(
+            lambda p: p["x"] + p["y"], priors, n_samples=50,
+            rng=np.random.default_rng(7), method="lhs",
+        )
+        outputs = np.asarray([p["x"] + p["y"] for p in points])
+        assert np.array_equal(outputs, result.samples)
+
+    def test_mc_design(self):
+        spec = SamplingCampaign({"x": Uniform(0.0, 1.0)}, n_samples=10, method="mc")
+        points = spec.assignments(np.random.default_rng(0))
+        assert len(points) == 10
+        assert all(0.0 <= p["x"] <= 1.0 for p in points)
+
+    def test_validation(self):
+        with pytest.raises(ModelDefinitionError):
+            SamplingCampaign({}, n_samples=10)
+        with pytest.raises(ModelDefinitionError):
+            SamplingCampaign({"x": Uniform(0, 1)}, n_samples=0)
+        with pytest.raises(ModelDefinitionError):
+            SamplingCampaign({"x": Uniform(0, 1)}, n_samples=5, method="sobol")
+
+
+class TestRunCampaign:
+    def test_spec_run_shorthand(self):
+        spec = GridCampaign({"a": [1.0, 2.0, 3.0]})
+        result = spec.run(linear)
+        assert list(result.outputs) == [1.0, 2.0, 3.0]
+        assert len(result) == 3
+
+    def test_stats_populated(self):
+        result = run_campaign(linear, GridCampaign({"a": [1.0] * 1}), cache=None)
+        assert result.stats.n_tasks == 1
+        assert result.stats.executor == "serial"
+        assert result.stats.throughput() > 0

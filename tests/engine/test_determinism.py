@@ -1,0 +1,157 @@
+"""Determinism suite: the engine's core guarantee is that executor
+choice and worker count are pure performance decisions — for a given
+seed the numbers are bit-identical across Serial/Thread/Process
+backends, with and without the cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import parametric_sensitivity, propagate_uncertainty, tornado_sensitivity
+from repro.distributions import Lognormal, Uniform
+from repro.engine import (
+    EvaluationCache,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    evaluate_batch,
+)
+from repro.exceptions import ModelDefinitionError
+
+PRIORS = {
+    "lam": Lognormal.from_mean_cv(1e-3, cv=0.5),
+    "mu": Lognormal.from_mean_cv(0.25, cv=0.3),
+    "c": Uniform(0.9, 1.0),
+}
+
+
+def availability_proxy(p):
+    """Module-level, picklable: a cheap availability-shaped evaluator."""
+    return p["c"] * p["mu"] / (p["lam"] + p["mu"])
+
+
+def stochastic_proxy(p, rng):
+    """Module-level stochastic evaluator (simulation-style)."""
+    return p["c"] + rng.normal(scale=p["mu"])
+
+
+EXECUTORS = [SerialExecutor(), ThreadExecutor(3), ProcessExecutor(2)]
+IDS = ["serial", "thread", "process"]
+
+
+class TestCrossExecutor:
+    @pytest.mark.parametrize("executor", EXECUTORS[1:], ids=IDS[1:])
+    def test_propagation_samples_bit_identical(self, executor):
+        reference = propagate_uncertainty(
+            availability_proxy, PRIORS, n_samples=64, rng=np.random.default_rng(42)
+        )
+        other = propagate_uncertainty(
+            availability_proxy,
+            PRIORS,
+            n_samples=64,
+            rng=np.random.default_rng(42),
+            executor=executor,
+        )
+        assert np.array_equal(reference.samples, other.samples)
+        for name in PRIORS:
+            assert np.array_equal(
+                reference.parameter_samples[name], other.parameter_samples[name]
+            )
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=IDS)
+    def test_rng_spawning_bit_identical(self, executor):
+        assignments = [{"c": float(k), "mu": 1.0} for k in range(16)]
+        reference = evaluate_batch(
+            stochastic_proxy, assignments, rng=np.random.default_rng(5)
+        ).outputs
+        other = evaluate_batch(
+            stochastic_proxy,
+            assignments,
+            rng=np.random.default_rng(5),
+            executor=executor,
+            chunk_size=3,
+        ).outputs
+        assert np.array_equal(reference, other)
+
+    def test_n_jobs_matches_legacy_serial_loop(self):
+        # The engine's serial path must reproduce the historical plain
+        # for-loop bit for bit.
+        rng = np.random.default_rng(2016)
+        from repro.core.uncertainty import _draw_parameters
+
+        draws = _draw_parameters(PRIORS, 32, np.random.default_rng(2016), "lhs")
+        names = list(PRIORS)
+        legacy = np.asarray(
+            [
+                availability_proxy({n: float(draws[n][k]) for n in names})
+                for k in range(32)
+            ]
+        )
+        result = propagate_uncertainty(availability_proxy, PRIORS, n_samples=32, rng=rng)
+        assert np.array_equal(legacy, result.samples)
+
+
+class TestCacheCorrectness:
+    def test_cached_uncached_identical_through_propagation(self):
+        plain = propagate_uncertainty(
+            availability_proxy, PRIORS, n_samples=48, rng=np.random.default_rng(9)
+        )
+        cached = propagate_uncertainty(
+            availability_proxy,
+            PRIORS,
+            n_samples=48,
+            rng=np.random.default_rng(9),
+            cache=EvaluationCache(),
+        )
+        assert np.array_equal(plain.samples, cached.samples)
+
+    def test_sensitivity_paths_cache_invariant(self):
+        point = {"lam": 1e-3, "mu": 0.25, "c": 0.95}
+        shared = EvaluationCache()
+        plain = parametric_sensitivity(availability_proxy, point)
+        cached = parametric_sensitivity(availability_proxy, point, cache=shared)
+        recached = parametric_sensitivity(availability_proxy, point, cache=shared)
+        assert plain == cached == recached
+        plain_rows = tornado_sensitivity(availability_proxy, PRIORS)
+        cached_rows = tornado_sensitivity(availability_proxy, PRIORS, cache=EvaluationCache())
+        assert plain_rows == cached_rows
+
+
+class TestPicklingGuard:
+    def test_propagation_with_closure_raises_clearly(self):
+        scale = 2.0
+        with pytest.raises(ModelDefinitionError, match="picklable"):
+            propagate_uncertainty(
+                lambda p: scale * p["c"], PRIORS, n_samples=8,
+                rng=np.random.default_rng(0), n_jobs=2,
+            )
+
+    def test_stats_reported(self):
+        result = propagate_uncertainty(
+            availability_proxy, PRIORS, n_samples=16, rng=np.random.default_rng(1)
+        )
+        assert result.stats is not None
+        assert result.stats.n_tasks == 16
+        assert result.stats.n_evaluated == 16
+        assert result.stats.wall_time > 0.0
+        assert 0.0 < result.stats.utilization() <= 1.0
+
+
+class TestSimulatorDeterminism:
+    def test_structural_sim_invariant_in_worker_count(self):
+        from repro.distributions import Exponential
+        from repro.nonstate import Component, ReliabilityBlockDiagram, parallel
+        from repro.sim import simulate_mttf, simulate_reliability
+
+        model = ReliabilityBlockDiagram(
+            parallel(
+                Component("a", failure=Exponential(1e-3)),
+                Component("b", failure=Exponential(2e-3)),
+            )
+        )
+        r2 = simulate_reliability(model, 400.0, n_samples=600, rng=np.random.default_rng(8), n_jobs=2)
+        r3 = simulate_reliability(model, 400.0, n_samples=600, rng=np.random.default_rng(8), n_jobs=3)
+        assert r2.value == r3.value
+        m2 = simulate_mttf(model, n_samples=600, rng=np.random.default_rng(8), n_jobs=2)
+        m3 = simulate_mttf(model, n_samples=600, rng=np.random.default_rng(8), n_jobs=3)
+        assert m2.value == m3.value
+        assert m2.std_error == m3.std_error

@@ -1,0 +1,171 @@
+"""Unit tests for the engine's executor backends."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    evaluate_batch,
+    resolve_executor,
+    spawn_generators,
+)
+from repro.engine.executors import default_chunk_size, parallel_starmap
+from repro.exceptions import ModelDefinitionError
+
+
+def quadratic(assignment):
+    """Module-level evaluator: picklable for the process pool."""
+    return assignment["x"] ** 2 + 3.0 * assignment.get("y", 0.0)
+
+
+def stochastic(assignment, rng):
+    """Module-level stochastic evaluator for RNG-spawning tests."""
+    return assignment["x"] + rng.normal()
+
+
+def chunk_worker(n, rng):
+    """Module-level starmap worker."""
+    return float(rng.uniform(size=n).sum())
+
+
+ASSIGNMENTS = [{"x": float(k % 5), "y": float(k // 5)} for k in range(23)]
+EXPECTED = [quadratic(a) for a in ASSIGNMENTS]
+
+
+class TestBackends:
+    @pytest.mark.parametrize(
+        "executor",
+        [SerialExecutor(), ThreadExecutor(3), ProcessExecutor(2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_outputs_in_input_order(self, executor):
+        values, durations = executor.run(quadratic, ASSIGNMENTS)
+        assert list(values) == EXPECTED
+        assert durations.shape == (len(ASSIGNMENTS),)
+        assert np.all(durations >= 0.0)
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 7, 100])
+    def test_chunking_never_changes_results(self, chunk_size):
+        values, _ = ThreadExecutor(4).run(quadratic, ASSIGNMENTS, chunk_size=chunk_size)
+        assert list(values) == EXPECTED
+
+    def test_empty_batch(self):
+        for executor in (SerialExecutor(), ThreadExecutor(2), ProcessExecutor(2)):
+            values, durations = executor.run(quadratic, [])
+            assert values == []
+            assert durations.size == 0
+
+    def test_progress_reaches_total(self):
+        seen = []
+        SerialExecutor().run(quadratic, ASSIGNMENTS, progress=lambda d, t: seen.append((d, t)))
+        assert seen[-1] == (len(ASSIGNMENTS), len(ASSIGNMENTS))
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+    def test_pool_progress_monotone(self):
+        seen = []
+        ThreadExecutor(3).run(
+            quadratic, ASSIGNMENTS, chunk_size=4, progress=lambda d, t: seen.append(d)
+        )
+        assert seen[-1] == len(ASSIGNMENTS)
+        assert seen == sorted(seen)
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ModelDefinitionError):
+            ThreadExecutor(0)
+        with pytest.raises(ModelDefinitionError):
+            ProcessExecutor(-1)
+
+    def test_rng_length_mismatch_rejected(self):
+        rngs = spawn_generators(np.random.default_rng(0), 2)
+        with pytest.raises(ModelDefinitionError):
+            SerialExecutor().run(stochastic, ASSIGNMENTS, rngs=rngs)
+
+
+class TestResolve:
+    def test_default_is_serial(self):
+        assert resolve_executor().name == "serial"
+
+    def test_n_jobs_selects_process(self):
+        executor = resolve_executor(n_jobs=3)
+        assert executor.name == "process"
+        assert executor.n_jobs == 3
+
+    def test_names(self):
+        assert resolve_executor(executor="serial").name == "serial"
+        assert resolve_executor(executor="thread").name == "thread"
+        assert resolve_executor(n_jobs=4, executor="process").n_jobs == 4
+
+    def test_instance_passthrough(self):
+        executor = ThreadExecutor(5)
+        assert resolve_executor(n_jobs=1, executor=executor) is executor
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            resolve_executor(executor="gpu")
+        with pytest.raises(ModelDefinitionError):
+            resolve_executor(n_jobs=0)
+
+
+class TestPicklingGuard:
+    def test_lambda_with_process_pool_raises_clearly(self):
+        with pytest.raises(ModelDefinitionError, match="picklable"):
+            ProcessExecutor(2).run(lambda a: a["x"], [{"x": 1.0}, {"x": 2.0}])
+
+    def test_closure_via_evaluate_batch(self):
+        offset = 2.0
+
+        def closure(assignment):
+            return assignment["x"] + offset
+
+        # Closures over module scope do pickle; a local lambda does not.
+        with pytest.raises(ModelDefinitionError, match="n_jobs=1"):
+            evaluate_batch(lambda a: a["x"], [{"x": 1.0}, {"x": 2.0}], n_jobs=2)
+
+    def test_thread_pool_accepts_lambdas(self):
+        values, _ = ThreadExecutor(2).run(lambda a: a["x"] * 2, [{"x": 1.0}, {"x": 4.0}])
+        assert values == [2.0, 8.0]
+
+
+class TestSpawning:
+    def test_spawn_deterministic(self):
+        a = spawn_generators(np.random.default_rng(9), 5)
+        b = spawn_generators(np.random.default_rng(9), 5)
+        for ga, gb in zip(a, b):
+            assert ga.uniform() == gb.uniform()
+
+    def test_children_independent(self):
+        children = spawn_generators(np.random.default_rng(9), 3)
+        draws = {round(g.uniform(), 12) for g in children}
+        assert len(draws) == 3
+
+    def test_spawn_validation(self):
+        assert spawn_generators(np.random.default_rng(0), 0) == []
+        with pytest.raises(ModelDefinitionError):
+            spawn_generators(np.random.default_rng(0), -1)
+
+
+class TestStarmap:
+    def test_serial_and_parallel_agree(self):
+        rngs = spawn_generators(np.random.default_rng(4), 6)
+        tasks = [(8, rng) for rng in rngs]
+        serial = parallel_starmap(chunk_worker, tasks, n_jobs=1)
+        rngs = spawn_generators(np.random.default_rng(4), 6)
+        parallel = parallel_starmap(chunk_worker, [(8, rng) for rng in rngs], n_jobs=2)
+        assert serial == parallel
+
+    def test_pickling_guard(self):
+        with pytest.raises(ModelDefinitionError, match="picklable"):
+            parallel_starmap(lambda n: n, [(1,), (2,)], n_jobs=2)
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ModelDefinitionError):
+            parallel_starmap(chunk_worker, [], n_jobs=0)
+
+
+def test_default_chunk_size_heuristic():
+    assert default_chunk_size(0, 4) == 1
+    assert default_chunk_size(1, 4) == 1
+    assert default_chunk_size(1000, 4) == 63  # ~4 chunks per worker
+    assert default_chunk_size(3, 8) == 1

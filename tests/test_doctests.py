@@ -13,6 +13,10 @@ import repro.core.fixedpoint
 import repro.core.measures
 import repro.core.sensitivity
 import repro.core.uncertainty
+import repro.engine.batch
+import repro.engine.cache
+import repro.engine.campaign
+import repro.engine.stats
 import repro.distributions.degenerate
 import repro.distributions.empirical
 import repro.distributions.exponential
@@ -53,6 +57,10 @@ MODULES = [
     repro.core.measures,
     repro.core.sensitivity,
     repro.core.uncertainty,
+    repro.engine.batch,
+    repro.engine.cache,
+    repro.engine.campaign,
+    repro.engine.stats,
     repro.distributions.degenerate,
     repro.distributions.empirical,
     repro.distributions.exponential,
