@@ -68,6 +68,7 @@ from .exceptions import (
 )
 from .markov.ctmc import CTMC, MarkovDependabilityModel
 from .markov.dtmc import DTMC
+from .markov.fallback import SolverReport, solve_steady_state
 from .markov.mrgp import MarkovRegenerativeProcess
 from .markov.mrm import MarkovRewardModel
 from .markov.smp import SemiMarkovProcess
@@ -77,6 +78,7 @@ from .nonstate.rbd import KofN, Parallel, ReliabilityBlockDiagram, Series, k_of_
 from .nonstate.relgraph import ReliabilityGraph
 from .petrinet.net import PetriNet
 from .petrinet.srn import SRNDependabilityModel, StochasticRewardNet
+from .robust import ErrorRecord, FaultInjector, FaultPolicy, FaultReport
 
 __version__ = "1.0.0"
 
@@ -109,6 +111,13 @@ __all__ = [
     "SwingCampaign",
     "SamplingCampaign",
     "run_campaign",
+    # robustness
+    "FaultPolicy",
+    "FaultReport",
+    "ErrorRecord",
+    "FaultInjector",
+    "solve_steady_state",
+    "SolverReport",
     # non-state-space
     "Component",
     "ReliabilityBlockDiagram",

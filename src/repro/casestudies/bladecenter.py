@@ -19,6 +19,7 @@ dominate the blade's own downtime budget.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Tuple
 
@@ -189,7 +190,20 @@ def evaluate_availability(assignment: Mapping[str, float]) -> float:
     fields keep their published defaults.  Module-level and picklable —
     the engine-friendly evaluator for parameter sweeps
     (``propagate_uncertainty(evaluate_availability, ..., n_jobs=4)``).
+
+    Values are validated up front (finite, non-negative) so that a bad
+    draw from a heavy-tailed prior fails loudly as a
+    :class:`~repro.exceptions.ModelDefinitionError` — which a
+    :class:`~repro.robust.FaultPolicy` can then isolate to that one
+    draw — instead of surfacing as a cryptic solver failure.
     """
+    for name, value in assignment.items():
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ModelDefinitionError(
+                f"BladeCenter parameter {name!r} must be finite and non-negative, "
+                f"got {value}"
+            )
     try:
         params = replace(BladeCenterParameters(), **dict(assignment))
     except TypeError:

@@ -43,6 +43,7 @@ def parametric_sensitivity(
     executor=None,
     cache: Optional[EvaluationCache] = None,
     progress=None,
+    policy=None,
 ) -> Dict[str, SensitivityRow]:
     """Central-difference sensitivities of ``evaluate`` at ``params``.
 
@@ -65,6 +66,11 @@ def parametric_sensitivity(
         :class:`~repro.engine.EvaluationCache` (an ephemeral one when
         ``cache`` is not given), so sharing a cache with an earlier
         analysis at the same nominal point skips the repeated solves.
+    policy:
+        Optional :class:`~repro.robust.FaultPolicy`; failed perturbed
+        points yield ``NaN`` derivatives for the affected parameters
+        instead of aborting the whole analysis (``rank_parameters``
+        already sorts NaN rows last).
 
     Returns
     -------
@@ -102,6 +108,7 @@ def parametric_sensitivity(
         executor=executor,
         cache=cache if cache is not None else EvaluationCache(),
         progress=progress,
+        policy=policy,
     )
     base_output = float(batch.outputs[0])
     rows: Dict[str, SensitivityRow] = {}

@@ -32,12 +32,19 @@ class UncertaintyResult:
     Attributes
     ----------
     samples:
-        The raw output samples.
+        The raw output samples, in draw order.  Draws that failed under
+        a ``"skip"`` / ``"retry"`` fault policy hold ``NaN``; the
+        summary statistics below are computed over the finite samples
+        only, so a handful of failed points degrades precision instead
+        of poisoning the whole campaign.
     parameter_samples:
         The drawn parameter values, by name.
     stats:
         The engine's :class:`~repro.engine.EngineStats` for the run
         (``None`` when the result was built directly from samples).
+    errors:
+        Terminal :class:`~repro.robust.ErrorRecord` per failed draw
+        (empty on a clean run).
     """
 
     def __init__(
@@ -45,49 +52,72 @@ class UncertaintyResult:
         samples: np.ndarray,
         parameter_samples: Dict[str, np.ndarray],
         stats: Optional[EngineStats] = None,
+        errors=None,
     ):
         self.samples = np.asarray(samples, dtype=float)
         self.parameter_samples = parameter_samples
         self.stats = stats
+        self.errors = list(errors or [])
 
     @property
     def n_samples(self) -> int:
-        """Number of model evaluations."""
+        """Number of model evaluations (failed draws included)."""
         return self.samples.size
 
+    @property
+    def valid_samples(self) -> np.ndarray:
+        """The finite output samples (all of them on a clean run)."""
+        return self.samples[np.isfinite(self.samples)]
+
+    @property
+    def n_failed(self) -> int:
+        """Number of draws without a finite output."""
+        return int(self.samples.size - self.valid_samples.size)
+
+    def _finite(self) -> np.ndarray:
+        valid = self.valid_samples
+        if valid.size == 0:
+            raise ModelDefinitionError(
+                "no finite output samples: every evaluation in the batch failed"
+            )
+        return valid
+
     def mean(self) -> float:
-        """Sample mean of the output."""
-        return float(self.samples.mean())
+        """Sample mean of the output (finite samples)."""
+        return float(self._finite().mean())
 
     def std(self) -> float:
-        """Sample standard deviation of the output."""
-        return float(self.samples.std(ddof=1)) if self.samples.size > 1 else 0.0
+        """Sample standard deviation of the output (finite samples)."""
+        valid = self._finite()
+        return float(valid.std(ddof=1)) if valid.size > 1 else 0.0
 
     def percentile(self, q):
-        """Output percentile(s) (``q`` in [0, 100]).
+        """Output percentile(s) (``q`` in [0, 100]), over finite samples.
 
         Returns a plain ``float`` for scalar ``q`` and a
         :class:`numpy.ndarray` for a sequence of percentiles.
         """
-        result = np.percentile(self.samples, q)
+        result = np.percentile(self._finite(), q)
         return float(result) if np.isscalar(q) else np.asarray(result)
 
     def interval(self, level: float = 0.95) -> Tuple[float, float]:
         """Central epistemic interval at the given level."""
         if not 0.0 < level < 1.0:
             raise ModelDefinitionError(f"level must be in (0, 1), got {level}")
+        valid = self._finite()
         alpha = 100.0 * (1.0 - level) / 2.0
-        return float(np.percentile(self.samples, alpha)), float(
-            np.percentile(self.samples, 100.0 - alpha)
+        return float(np.percentile(valid, alpha)), float(
+            np.percentile(valid, 100.0 - alpha)
         )
 
     def mean_ci(self, level: float = 0.95) -> Tuple[float, float]:
         """Confidence interval for the *mean* (CLT); shrinks as 1/√n."""
-        if self.samples.size < 2:
+        valid = self._finite()
+        if valid.size < 2:
             raise ModelDefinitionError("need at least two samples for a CI")
         from scipy import stats
 
-        half = stats.norm.ppf(0.5 + level / 2.0) * self.std() / math.sqrt(self.n_samples)
+        half = stats.norm.ppf(0.5 + level / 2.0) * self.std() / math.sqrt(valid.size)
         mu = self.mean()
         return mu - half, mu + half
 
@@ -124,6 +154,7 @@ def propagate_uncertainty(
     executor=None,
     cache: Optional[EvaluationCache] = None,
     progress=None,
+    policy=None,
 ) -> UncertaintyResult:
     """Propagate parameter uncertainty through a model.
 
@@ -149,6 +180,12 @@ def propagate_uncertainty(
         given ``rng`` seed regardless of executor or worker count.
     chunk_size / executor / cache / progress:
         Forwarded to :func:`repro.engine.evaluate_batch`; see there.
+    policy:
+        Optional :class:`~repro.robust.FaultPolicy`.  With
+        ``on_error="skip"`` or ``"retry"`` a failing draw becomes a
+        ``NaN`` sample plus an :class:`~repro.robust.ErrorRecord` on the
+        result instead of aborting the sweep; the summary statistics
+        then use the finite samples only.
 
     Examples
     --------
@@ -177,8 +214,9 @@ def propagate_uncertainty(
         executor=executor,
         cache=cache,
         progress=progress,
+        policy=policy,
     )
-    return UncertaintyResult(batch.outputs, draws, stats=batch.stats)
+    return UncertaintyResult(batch.outputs, draws, stats=batch.stats, errors=batch.errors)
 
 
 def tornado_sensitivity(
@@ -191,6 +229,7 @@ def tornado_sensitivity(
     executor=None,
     cache: Optional[EvaluationCache] = None,
     progress=None,
+    policy=None,
 ) -> List[Tuple[str, float, float]]:
     """One-at-a-time tornado analysis.
 
@@ -208,7 +247,9 @@ def tornado_sensitivity(
     Returns
     -------
     List of ``(name, output_at_low, output_at_high)`` sorted by
-    decreasing absolute swing.
+    decreasing absolute swing.  Under a ``"skip"`` / ``"retry"``
+    ``policy``, swing points that failed surface as ``NaN`` entries and
+    their rows rank last.
     """
     if not priors:
         raise ModelDefinitionError("at least one uncertain parameter is required")
@@ -229,10 +270,16 @@ def tornado_sensitivity(
         executor=executor,
         cache=cache if cache is not None else EvaluationCache(),
         progress=progress,
+        policy=policy,
     )
     rows = [
         (name, float(batch.outputs[2 * i]), float(batch.outputs[2 * i + 1]))
         for i, name in enumerate(names)
     ]
-    rows.sort(key=lambda row: abs(row[2] - row[1]), reverse=True)
+
+    def swing(row: Tuple[str, float, float]) -> float:
+        delta = abs(row[2] - row[1])
+        return delta if math.isfinite(delta) else -math.inf  # failed rows rank last
+
+    rows.sort(key=swing, reverse=True)
     return rows

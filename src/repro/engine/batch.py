@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ModelDefinitionError
+from ..robust.policy import ErrorRecord, FaultPolicy, FaultReport
 from .cache import EvaluationCache, freeze_assignment
 from .executors import Executor, resolve_executor, spawn_generators
 from .stats import EngineStats
@@ -33,19 +34,49 @@ class BatchResult:
     ----------
     outputs:
         ``float`` array, one entry per input assignment, input order.
+        Tasks that failed under a ``"skip"`` / ``"retry"`` fault policy
+        hold ``NaN``.
     stats:
         The :class:`~repro.engine.stats.EngineStats` for the batch.
+    errors:
+        Terminal :class:`~repro.robust.ErrorRecord` per failed task
+        (empty on a clean batch or under ``on_error="raise"``).
     """
 
-    def __init__(self, outputs: np.ndarray, stats: EngineStats):
+    def __init__(
+        self,
+        outputs: np.ndarray,
+        stats: EngineStats,
+        errors: Optional[Sequence[ErrorRecord]] = None,
+    ):
         self.outputs = np.asarray(outputs, dtype=float)
         self.stats = stats
+        self.errors: List[ErrorRecord] = sorted(errors or [], key=lambda e: e.index)
+
+    @property
+    def n_failed(self) -> int:
+        """Number of tasks that failed terminally."""
+        return len(self.errors)
+
+    @property
+    def failed_indices(self) -> List[int]:
+        """Input-order indices of the failed tasks."""
+        return [error.index for error in self.errors]
+
+    @property
+    def ok(self) -> np.ndarray:
+        """Boolean mask, ``True`` where the task produced a value."""
+        mask = np.ones(self.outputs.size, dtype=bool)
+        for error in self.errors:
+            mask[error.index] = False
+        return mask
 
     def __len__(self) -> int:
         return int(self.outputs.size)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"BatchResult({self.outputs.size} outputs, {self.stats!r})"
+        failed = f", {self.n_failed} failed" if self.errors else ""
+        return f"BatchResult({self.outputs.size} outputs{failed}, {self.stats!r})"
 
 
 def evaluate_batch(
@@ -57,6 +88,7 @@ def evaluate_batch(
     cache: Optional[EvaluationCache] = None,
     rng: Optional[np.random.Generator] = None,
     progress=None,
+    policy: Optional[FaultPolicy] = None,
 ) -> BatchResult:
     """Evaluate every assignment; outputs in input order plus stats.
 
@@ -91,6 +123,15 @@ def evaluate_batch(
         Optional ``progress(done, total)`` callback (see
         :class:`~repro.engine.stats.ProgressPrinter`), invoked in the
         calling process; cache hits count as immediately done.
+    policy:
+        Optional :class:`~repro.robust.FaultPolicy` isolating task
+        faults: ``"skip"`` records failures and emits ``NaN``
+        placeholders, ``"retry"`` re-attempts with deterministic
+        backoff first, and a broken process pool is recovered by
+        serial re-dispatch.  ``None`` (default) fails fast, exactly as
+        before the policy existed.  Failed evaluations are never
+        written to the ``cache``, so a later batch (or a retry at
+        campaign level) re-attempts them.
 
     Examples
     --------
@@ -113,11 +154,25 @@ def evaluate_batch(
 
     if cache is None:
         rngs = spawn_generators(rng, n) if rng is not None else None
-        values, durations = ex.run(
-            evaluate, assignments, rngs=rngs, chunk_size=chunk_size, progress=progress
+        values, durations, report = ex.run(
+            evaluate,
+            assignments,
+            rngs=rngs,
+            chunk_size=chunk_size,
+            progress=progress,
+            policy=policy,
         )
-        stats = EngineStats(ex.name, ex.n_jobs, n, durations, perf_counter() - start)
-        return BatchResult(np.asarray(values, dtype=float), stats)
+        stats = EngineStats(
+            ex.name,
+            ex.n_jobs,
+            n,
+            durations,
+            perf_counter() - start,
+            n_failed=report.n_failed,
+            n_retries=report.n_retries,
+            pool_recoveries=report.pool_recoveries,
+        )
+        return BatchResult(np.asarray(values, dtype=float), stats, report.errors)
 
     # Cache-aware path: resolve hits, dedupe within the batch, evaluate
     # only the unique misses, then fan values back out by index.
@@ -151,16 +206,25 @@ def evaluate_batch(
         def shifted(done, total, _hits=hits, _n=n):
             progress(_hits + done, _n)
 
-    values, durations = ex.run(
+    values, durations, report = ex.run(
         evaluate,
         [assignment for _, assignment in to_evaluate],
         chunk_size=chunk_size,
         progress=shifted,
+        policy=policy,
     )
-    for (key, _), value in zip(to_evaluate, values):
-        cache.put(key, value)
+    # Failed evaluations fan their NaN out to every duplicate index but
+    # are not memoized — a later batch through the same cache retries.
+    failed_local = {error.index: error for error in report.errors}
+    errors: List[ErrorRecord] = []
+    for j, ((key, _), value) in enumerate(zip(to_evaluate, values)):
+        error = failed_local.get(j)
+        if error is None:
+            cache.put(key, value)
         for i in pending[key]:
             outputs[i] = value
+            if error is not None:
+                errors.append(error.with_index(i))
     stats = EngineStats(
         ex.name,
         ex.n_jobs,
@@ -169,5 +233,8 @@ def evaluate_batch(
         perf_counter() - start,
         cache_hits=hits,
         cache_misses=misses,
+        n_failed=len(errors),
+        n_retries=report.n_retries,
+        pool_recoveries=report.pool_recoveries,
     )
-    return BatchResult(outputs, stats)
+    return BatchResult(outputs, stats, errors)

@@ -197,9 +197,13 @@ class CampaignResult:
     assignments:
         The materialized design points, in evaluation order.
     outputs:
-        One output per design point (:class:`numpy.ndarray`).
+        One output per design point (:class:`numpy.ndarray`); ``NaN``
+        at points that failed under a ``"skip"`` / ``"retry"`` policy.
     stats:
         The run's :class:`~repro.engine.stats.EngineStats`.
+    errors:
+        Terminal :class:`~repro.robust.ErrorRecord` per failed design
+        point (empty on a clean run).
     """
 
     def __init__(
@@ -208,11 +212,18 @@ class CampaignResult:
         assignments: List[Dict[str, float]],
         outputs: np.ndarray,
         stats: EngineStats,
+        errors=None,
     ):
         self.spec = spec
         self.assignments = assignments
         self.outputs = np.asarray(outputs, dtype=float)
         self.stats = stats
+        self.errors = list(errors or [])
+
+    @property
+    def n_failed(self) -> int:
+        """Number of design points that failed terminally."""
+        return len(self.errors)
 
     def __len__(self) -> int:
         return int(self.outputs.size)
@@ -237,11 +248,14 @@ def run_campaign(
     executor=None,
     cache: Optional[EvaluationCache] = None,
     progress=None,
+    policy=None,
 ) -> CampaignResult:
     """Materialize ``spec`` and evaluate it through the engine.
 
-    ``rng`` seeds randomized designs; the remaining keyword arguments
-    are forwarded to :func:`~repro.engine.batch.evaluate_batch`.
+    ``rng`` seeds randomized designs; the remaining keyword arguments —
+    including an optional :class:`~repro.robust.FaultPolicy` ``policy``
+    isolating per-point faults — are forwarded to
+    :func:`~repro.engine.batch.evaluate_batch`.
     """
     assignments = spec.assignments(rng)
     batch: BatchResult = evaluate_batch(
@@ -252,5 +266,6 @@ def run_campaign(
         executor=executor,
         cache=cache,
         progress=progress,
+        policy=policy,
     )
-    return CampaignResult(spec, assignments, batch.outputs, batch.stats)
+    return CampaignResult(spec, assignments, batch.outputs, batch.stats, batch.errors)

@@ -14,6 +14,15 @@ generators deterministically from the caller's seed, so a batch is
 **bit-identical across executors** for a given seed — swapping
 ``n_jobs=1`` for ``n_jobs=8`` is a pure performance decision, never a
 numerical one.
+
+Every backend accepts a :class:`~repro.robust.FaultPolicy` and then
+isolates task faults instead of failing fast: exceptions become
+``NaN`` placeholders plus :class:`~repro.robust.ErrorRecord` entries,
+transient faults are retried with deterministic jittered backoff, slow
+tasks are flagged against a soft wall-clock budget, and a process pool
+that a dying worker takes down is recovered by re-dispatching the
+unfinished chunks serially.  ``policy=None`` keeps the historical
+fail-fast behaviour bit for bit.
 """
 
 from __future__ import annotations
@@ -27,7 +36,8 @@ from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, T
 
 import numpy as np
 
-from ..exceptions import ModelDefinitionError
+from ..exceptions import EvaluationTimeout, ModelDefinitionError, SolverError
+from ..robust.policy import ErrorRecord, FaultPolicy, FaultReport
 
 __all__ = [
     "Executor",
@@ -93,24 +103,82 @@ def _chunk_indices(n_tasks: int, chunk_size: int) -> List[range]:
     return [range(lo, min(lo + chunk_size, n_tasks)) for lo in range(0, n_tasks, chunk_size)]
 
 
+def _run_task(
+    evaluate: Evaluator,
+    assignment: Mapping[str, float],
+    rng: Optional[np.random.Generator],
+    policy: Optional[FaultPolicy],
+    index: int,
+) -> Tuple[float, float, Optional[ErrorRecord], int]:
+    """One evaluation under the fault policy.
+
+    Returns ``(value, seconds, error, attempts)``: *error* is ``None``
+    on success and the terminal :class:`ErrorRecord` otherwise (value is
+    then ``NaN``).  ``policy=None`` — and ``on_error="raise"`` — let the
+    first exception propagate unchanged, preserving fail-fast semantics.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        start = time.perf_counter()
+        try:
+            if rng is None:
+                value = float(evaluate(assignment))
+            else:
+                value = float(evaluate(assignment, rng))
+            elapsed = time.perf_counter() - start
+            if policy is not None:
+                if policy.timeout is not None and elapsed > policy.timeout:
+                    raise EvaluationTimeout(
+                        f"evaluation took {elapsed:.3g}s, budget {policy.timeout:.3g}s"
+                    )
+                if policy.treat_nan_as_failure and not math.isfinite(value):
+                    raise SolverError(f"evaluator returned non-finite value {value!r}")
+            return value, elapsed, None, attempts
+        except Exception as exc:
+            elapsed = time.perf_counter() - start
+            if policy is None or policy.on_error == "raise":
+                raise
+            if policy.should_retry(attempts):
+                delay = policy.retry_delay(index, attempts)
+                if delay > 0.0:
+                    time.sleep(delay)
+                continue
+            record = ErrorRecord(
+                index=int(index),
+                error_type=type(exc).__name__,
+                message=str(exc),
+                attempts=attempts,
+                duration=elapsed,
+            )
+            return float("nan"), elapsed, record, attempts
+
+
 def _run_chunk(
     evaluate: Evaluator,
     assignments: Sequence[Mapping[str, float]],
     rngs: Optional[Sequence[np.random.Generator]],
-) -> List[Tuple[float, float]]:
-    """Evaluate one chunk; ``(value, seconds)`` per task.
+    policy: Optional[FaultPolicy] = None,
+    indices: Optional[Sequence[int]] = None,
+) -> List[Tuple[float, float, Optional[ErrorRecord], int]]:
+    """Evaluate one chunk; ``(value, seconds, error, attempts)`` per task.
 
     Module-level so it pickles for the process pool; also the shared
-    inner loop of the serial and thread backends.
+    inner loop of the serial and thread backends.  ``indices`` carries
+    the batch-global task indices so error records and backoff jitter
+    stay addressed in input order regardless of chunking.
     """
-    results: List[Tuple[float, float]] = []
+    results: List[Tuple[float, float, Optional[ErrorRecord], int]] = []
     for k, assignment in enumerate(assignments):
-        start = time.perf_counter()
-        if rngs is None:
-            value = float(evaluate(assignment))
-        else:
-            value = float(evaluate(assignment, rngs[k]))
-        results.append((value, time.perf_counter() - start))
+        results.append(
+            _run_task(
+                evaluate,
+                assignment,
+                None if rngs is None else rngs[k],
+                policy,
+                k if indices is None else indices[k],
+            )
+        )
     return results
 
 
@@ -132,8 +200,9 @@ class Executor:
         rngs: Optional[Sequence[np.random.Generator]] = None,
         chunk_size: Optional[int] = None,
         progress: Optional[Progress] = None,
-    ) -> Tuple[List[float], np.ndarray]:
-        """``(values, durations)`` for the batch, both in input order.
+        policy: Optional[FaultPolicy] = None,
+    ) -> Tuple[List[float], np.ndarray, FaultReport]:
+        """``(values, durations, report)`` for the batch, in input order.
 
         Parameters
         ----------
@@ -151,6 +220,20 @@ class Executor:
         progress:
             Optional ``progress(done, total)`` callback, invoked from
             the calling process as tasks complete.
+        policy:
+            Optional :class:`~repro.robust.FaultPolicy`.  ``None`` (and
+            ``on_error="raise"``) fails fast: the first evaluation error
+            cancels the chunks not yet dispatched, waits for in-flight
+            chunks, and re-raises the original exception.  ``"skip"`` /
+            ``"retry"`` isolate the fault: the failed task yields ``NaN``
+            and an :class:`~repro.robust.ErrorRecord` in the report, and
+            every other task still completes.
+
+        Returns
+        -------
+        ``values`` (``NaN`` at failed positions), per-task ``durations``
+        (seconds), and the batch :class:`~repro.robust.FaultReport`
+        (empty on a clean run).
         """
         raise NotImplementedError
 
@@ -172,17 +255,21 @@ class SerialExecutor(Executor):
     name = "serial"
     n_jobs = 1
 
-    def run(self, evaluate, assignments, rngs=None, chunk_size=None, progress=None):
+    def run(self, evaluate, assignments, rngs=None, chunk_size=None, progress=None, policy=None):
         n = self._validate(assignments, rngs)
         values: List[float] = []
         durations = np.empty(n)
+        report = FaultReport()
         for k in range(n):
-            chunk = _run_chunk(evaluate, assignments[k : k + 1], None if rngs is None else rngs[k : k + 1])
-            values.append(chunk[0][0])
-            durations[k] = chunk[0][1]
+            value, seconds, error, attempts = _run_task(
+                evaluate, assignments[k], None if rngs is None else rngs[k], policy, k
+            )
+            values.append(value)
+            durations[k] = seconds
+            report.record(error, attempts)
             if progress is not None:
                 progress(k + 1, n)
-        return values, durations
+        return values, durations, report
 
 
 class _PoolExecutor(Executor):
@@ -199,10 +286,10 @@ class _PoolExecutor(Executor):
     def _check_batch(self, evaluate, assignments, rngs) -> None:
         """Backend-specific pre-dispatch validation (pickling guard)."""
 
-    def run(self, evaluate, assignments, rngs=None, chunk_size=None, progress=None):
+    def run(self, evaluate, assignments, rngs=None, chunk_size=None, progress=None, policy=None):
         n = self._validate(assignments, rngs)
         if n == 0:
-            return [], np.empty(0)
+            return [], np.empty(0), FaultReport()
         self._check_batch(evaluate, assignments, rngs)
         size = chunk_size if chunk_size is not None else default_chunk_size(n, self.n_jobs)
         if size < 1:
@@ -210,7 +297,22 @@ class _PoolExecutor(Executor):
         chunks = _chunk_indices(n, size)
         values: List[Optional[float]] = [None] * n
         durations = np.empty(n)
+        report = FaultReport()
+        completed: set = set()
         done = 0
+
+        def consume(chunk, chunk_results):
+            nonlocal done
+            for i, (value, seconds, error, attempts) in zip(chunk, chunk_results):
+                values[i] = value
+                durations[i] = seconds
+                report.record(error, attempts)
+            completed.add(chunk)
+            done += len(chunk)
+            if progress is not None:
+                progress(done, n)
+
+        broken: Optional[BaseException] = None
         with self._make_pool() as pool:
             futures = {
                 pool.submit(
@@ -218,18 +320,54 @@ class _PoolExecutor(Executor):
                     evaluate,
                     [assignments[i] for i in chunk],
                     None if rngs is None else [rngs[i] for i in chunk],
+                    policy,
+                    list(chunk),
                 ): chunk
                 for chunk in chunks
             }
             for future in concurrent.futures.as_completed(futures):
                 chunk = futures[future]
-                for i, (value, seconds) in zip(chunk, future.result()):
-                    values[i] = value
-                    durations[i] = seconds
-                done += len(chunk)
-                if progress is not None:
-                    progress(done, n)
-        return values, durations
+                try:
+                    chunk_results = future.result()
+                except concurrent.futures.BrokenExecutor as exc:
+                    # A worker died (segfault, os._exit, OOM kill): every
+                    # outstanding future is lost.  Leave the pool; the
+                    # unfinished chunks are re-dispatched serially below
+                    # when the policy allows it.
+                    broken = exc
+                    break
+                except Exception:
+                    # Fail-fast path (policy None / on_error="raise"):
+                    # drop the chunks not yet dispatched, let in-flight
+                    # ones finish, re-raise the evaluator's exception.
+                    for pending_future in futures:
+                        pending_future.cancel()
+                    raise
+                consume(chunk, chunk_results)
+
+        if broken is not None:
+            if policy is None or not policy.recover_broken_pool:
+                raise SolverError(
+                    f"worker pool broke mid-batch ({type(broken).__name__}: {broken}); "
+                    f"pass a FaultPolicy(recover_broken_pool=True) to re-dispatch the "
+                    f"unfinished chunks serially"
+                ) from broken
+            # Evaluators routed through the engine are pure functions of
+            # (assignment, rng), so chunks that finished in a worker but
+            # were not yet consumed can simply be evaluated again.
+            report.pool_recoveries += 1
+            for chunk in chunks:
+                if chunk in completed:
+                    continue
+                chunk_results = _run_chunk(
+                    evaluate,
+                    [assignments[i] for i in chunk],
+                    None if rngs is None else [rngs[i] for i in chunk],
+                    policy,
+                    list(chunk),
+                )
+                consume(chunk, chunk_results)
+        return values, durations, report
 
 
 class ThreadExecutor(_PoolExecutor):
@@ -287,7 +425,11 @@ def resolve_executor(n_jobs: int = 1, executor=None) -> Executor:
             f"unknown executor {executor!r}; use an Executor instance or one of "
             f"{sorted(names)}"
         ) from None
-    return cls() if cls is SerialExecutor else cls(max(2, n_jobs))
+    if n_jobs < 1:
+        raise ModelDefinitionError(f"n_jobs must be >= 1, got {n_jobs}")
+    # The requested worker count is respected exactly — a named pool
+    # backend with n_jobs=1 is a one-worker pool, not a silent upgrade.
+    return cls() if cls is SerialExecutor else cls(n_jobs)
 
 
 def parallel_starmap(

@@ -39,6 +39,12 @@ class EngineStats:
         in submission order.
     wall_time:
         End-to-end wall time of the batch in seconds.
+    n_failed / n_retries / pool_recoveries:
+        Fault bookkeeping under a :class:`~repro.robust.FaultPolicy`:
+        tasks that failed terminally (their outputs are ``NaN``), extra
+        attempts spent on retries (recovered or not), and broken
+        process pools survived by serial re-dispatch.  All zero on a
+        clean batch or without a policy.
     """
 
     def __init__(
@@ -50,6 +56,9 @@ class EngineStats:
         wall_time: float,
         cache_hits: int = 0,
         cache_misses: int = 0,
+        n_failed: int = 0,
+        n_retries: int = 0,
+        pool_recoveries: int = 0,
     ):
         self.executor = str(executor)
         self.n_jobs = int(n_jobs)
@@ -58,6 +67,9 @@ class EngineStats:
         self.wall_time = float(wall_time)
         self.cache_hits = int(cache_hits)
         self.cache_misses = int(cache_misses)
+        self.n_failed = int(n_failed)
+        self.n_retries = int(n_retries)
+        self.pool_recoveries = int(pool_recoveries)
 
     @property
     def n_evaluated(self) -> int:
@@ -86,6 +98,12 @@ class EngineStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    def completion_rate(self) -> float:
+        """Fraction of tasks that produced a value (1.0 on a clean batch)."""
+        if self.n_tasks <= 0:
+            return 1.0
+        return (self.n_tasks - self.n_failed) / self.n_tasks
+
     def utilization(self) -> float:
         """Fraction of worker capacity spent inside the evaluator.
 
@@ -108,13 +126,22 @@ class EngineStats:
             "p95_eval_ms": 1e3 * self.percentile(95) if self.durations.size else 0.0,
             "cache_hit_rate": self.cache_hit_rate(),
             "utilization": self.utilization(),
+            "n_failed": float(self.n_failed),
+            "n_retries": float(self.n_retries),
+            "completion_rate": self.completion_rate(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        faults = ""
+        if self.n_failed or self.n_retries or self.pool_recoveries:
+            faults = (
+                f", {self.n_failed} failed / {self.n_retries} retries"
+                f"{f' / {self.pool_recoveries} pool recoveries' if self.pool_recoveries else ''}"
+            )
         return (
             f"EngineStats({self.executor} x{self.n_jobs}: {self.n_tasks} tasks, "
             f"{self.n_evaluated} evaluated, {self.wall_time:.3g}s wall, "
-            f"hit rate {self.cache_hit_rate():.1%})"
+            f"hit rate {self.cache_hit_rate():.1%}{faults})"
         )
 
 

@@ -16,6 +16,7 @@ __all__ = [
     "StateSpaceError",
     "DistributionError",
     "HierarchyError",
+    "EvaluationTimeout",
 ]
 
 
@@ -58,3 +59,12 @@ class DistributionError(ReproError):
 
 class HierarchyError(ReproError):
     """Invalid hierarchical model composition (unknown import, bad binding, ...)."""
+
+
+class EvaluationTimeout(ReproError):
+    """A batch evaluation exceeded the :class:`~repro.robust.FaultPolicy` time budget.
+
+    The budget is *soft*: a running Python frame cannot be interrupted
+    safely, so the evaluation completes and is then flagged — the value
+    is discarded and the task handled per the policy's ``on_error``.
+    """

@@ -9,6 +9,13 @@ from .acyclic import AcyclicTransientSolution, ExpPolynomial, acyclic_transient
 from .adapters import MRGPAvailabilityModel, SemiMarkovDependabilityModel
 from .ctmc import CTMC, MarkovDependabilityModel
 from .dtmc import DTMC
+from .fallback import (
+    GeneratorDiagnostics,
+    SolverAttempt,
+    SolverReport,
+    generator_diagnostics,
+    solve_steady_state,
+)
 from .mrgp import GeneralTransition, MarkovRegenerativeProcess
 from .mrm import MarkovRewardModel
 from .phase import PhaseType, as_phase_type, expand_two_state_availability, fit_phase_type
@@ -20,8 +27,10 @@ from .solvers import (
     poisson_truncation_point,
     steady_state_direct,
     steady_state_power,
+    transient_ode,
     transient_uniformization,
     uniformized_matrix,
+    validate_generator,
 )
 
 __all__ = [
@@ -48,6 +57,13 @@ __all__ = [
     "steady_state_power",
     "uniformized_matrix",
     "poisson_truncation_point",
+    "transient_ode",
     "transient_uniformization",
     "cumulative_uniformization",
+    "validate_generator",
+    "generator_diagnostics",
+    "GeneratorDiagnostics",
+    "SolverAttempt",
+    "SolverReport",
+    "solve_steady_state",
 ]

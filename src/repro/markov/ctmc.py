@@ -33,7 +33,6 @@ import math
 from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
-from scipy import integrate as scipy_integrate
 from scipy import sparse
 
 from .._validation import check_rate
@@ -44,6 +43,7 @@ from .solvers import (
     gth_solve,
     steady_state_direct,
     steady_state_power,
+    transient_ode,
     transient_uniformization,
 )
 
@@ -164,8 +164,11 @@ class CTMC:
         ----------
         method:
             ``"gth"`` (default, dense, stiffness-proof), ``"direct"``
-            (sparse LU) or ``"power"`` (power iteration on the
-            uniformized chain).
+            (sparse LU), ``"power"`` (power iteration on the uniformized
+            chain), or ``"auto"`` — the diagnosed fallback chain of
+            :func:`~repro.markov.fallback.solve_steady_state` (use
+            :meth:`steady_state_report` to also see which stage won and
+            why).
         """
         q = self.generator()
         if method == "gth":
@@ -174,9 +177,26 @@ class CTMC:
             pi = steady_state_direct(q)
         elif method == "power":
             pi = steady_state_power(q)
+        elif method == "auto":
+            from .fallback import solve_steady_state
+
+            pi = solve_steady_state(q, strategy="auto").pi
         else:
             raise SolverError(f"unknown steady-state method {method!r}")
         return {state: float(pi[i]) for state, i in self._index.items()}
+
+    def steady_state_report(self, strategy: str = "auto", **kwargs):
+        """Stationary solve with full fallback diagnostics.
+
+        Runs :func:`~repro.markov.fallback.solve_steady_state` on the
+        generator and returns its :class:`~repro.markov.fallback.SolverReport`
+        (``report.pi`` follows :attr:`states` order; extra keyword
+        arguments — ``order``, ``residual_tol``, ``stages``, ... — are
+        forwarded).
+        """
+        from .fallback import solve_steady_state
+
+        return solve_steady_state(self.generator(), strategy=strategy, **kwargs)
 
     def expected_reward_rate(
         self, rewards: Mapping[State, float], method: str = "gth"
@@ -225,29 +245,7 @@ class CTMC:
     def _transient_ode(
         q: sparse.spmatrix, p0: np.ndarray, ts: np.ndarray, tol: float
     ) -> np.ndarray:
-        qt = sparse.csr_matrix(q).transpose().tocsr()
-
-        def rhs(_t: float, y: np.ndarray) -> np.ndarray:
-            return qt @ y
-
-        horizon = float(ts.max()) if ts.size else 0.0
-        if horizon == 0.0:
-            return np.tile(p0, (ts.size, 1))
-        solution = scipy_integrate.solve_ivp(
-            rhs,
-            (0.0, horizon),
-            p0,
-            t_eval=np.sort(ts),
-            method="LSODA",
-            rtol=max(tol, 1e-12),
-            atol=max(tol * 1e-2, 1e-14),
-        )
-        if not solution.success:  # pragma: no cover - scipy failure path
-            raise SolverError(f"ODE transient solver failed: {solution.message}")
-        order = np.argsort(ts)
-        out = np.empty((ts.size, p0.size))
-        out[order] = solution.y.T
-        return out
+        return transient_ode(q, p0, ts, tol=tol)
 
     def cumulative_transient(self, times, initial, tol: float = 1e-10) -> np.ndarray:
         """Expected total time spent in each state during ``[0, t]``.

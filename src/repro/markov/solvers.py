@@ -25,20 +25,80 @@ import math
 from typing import Optional, Tuple
 
 import numpy as np
+from scipy import integrate as scipy_integrate
 from scipy import sparse
 from scipy.sparse import linalg as sparse_linalg
 
-from ..exceptions import ConvergenceError, SolverError
+from ..exceptions import ConvergenceError, ModelDefinitionError, SolverError
 
 __all__ = [
+    "validate_generator",
     "gth_solve",
     "steady_state_direct",
     "steady_state_power",
     "uniformized_matrix",
     "poisson_truncation_point",
     "transient_uniformization",
+    "transient_ode",
     "cumulative_uniformization",
 ]
+
+
+def validate_generator(generator, tol: float = 1e-8) -> int:
+    """Check that a matrix is a CTMC generator; return its dimension.
+
+    Shared pre-flight for every steady-state solver: ``generator`` must
+    be square with finite entries, non-negative off-diagonal rates, and
+    rows summing to zero — all within ``tol`` scaled by the largest
+    absolute rate.  Raises
+    :class:`~repro.exceptions.ModelDefinitionError` naming the worst
+    offending row, which turns the solvers' downstream garbage
+    (singular factorizations, non-converging iterations, negative
+    "probabilities") into one early, diagnosable failure.
+
+    Accepts dense arrays and scipy sparse matrices.  Also valid for the
+    ``P - I`` matrices the DTMC stationary solver feeds to GTH.
+    """
+    if tol < 0.0:
+        raise ModelDefinitionError(f"tolerance must be >= 0, got {tol}")
+    if sparse.issparse(generator):
+        q = sparse.csr_matrix(generator, dtype=float)
+        n = q.shape[0]
+        if q.shape != (n, n):
+            raise ModelDefinitionError(f"generator must be square, got shape {q.shape}")
+        data = q.data
+        if data.size and not np.all(np.isfinite(data)):
+            raise ModelDefinitionError("generator contains non-finite entries")
+        scale = max(1.0, float(np.abs(data).max())) if data.size else 1.0
+        off = q - sparse.diags(q.diagonal())
+        min_off = float(off.data.min()) if off.data.size else 0.0
+        row_sums = np.asarray(q.sum(axis=1)).ravel()
+    else:
+        a = np.asarray(generator, dtype=float)
+        n = a.shape[0] if a.ndim == 2 else -1
+        if a.ndim != 2 or a.shape != (n, n):
+            raise ModelDefinitionError(f"generator must be square, got shape {a.shape}")
+        if not np.all(np.isfinite(a)):
+            raise ModelDefinitionError("generator contains non-finite entries")
+        scale = max(1.0, float(np.abs(a).max())) if a.size else 1.0
+        off_mask = ~np.eye(n, dtype=bool)
+        min_off = float(a[off_mask].min()) if n > 1 else 0.0
+        row_sums = a.sum(axis=1)
+    if min_off < -tol * scale:
+        raise ModelDefinitionError(
+            f"generator has a negative off-diagonal rate {min_off:.6g}; "
+            f"transition rates must be non-negative"
+        )
+    if row_sums.size:
+        worst = int(np.abs(row_sums).argmax())
+        deviation = float(row_sums[worst])
+        if abs(deviation) > tol * scale:
+            raise ModelDefinitionError(
+                f"generator row {worst} sums to {deviation:.6g} (tolerance "
+                f"{tol * scale:.3g}); CTMC generator rows must sum to zero — "
+                f"check the diagonal of that row"
+            )
+    return n
 
 
 def gth_solve(generator: np.ndarray) -> np.ndarray:
@@ -62,9 +122,7 @@ def gth_solve(generator: np.ndarray) -> np.ndarray:
     stiff availability models.
     """
     a = np.array(generator, dtype=float)
-    n = a.shape[0]
-    if a.shape != (n, n):
-        raise SolverError(f"generator must be square, got shape {a.shape}")
+    n = validate_generator(a)
     if n == 1:
         return np.ones(1)
 
@@ -91,9 +149,7 @@ def gth_solve(generator: np.ndarray) -> np.ndarray:
 def steady_state_direct(generator: sparse.spmatrix) -> np.ndarray:
     """Steady state by sparse LU on ``Q^T π = 0`` with a normalization row."""
     q = sparse.csr_matrix(generator, dtype=float)
-    n = q.shape[0]
-    if q.shape != (n, n):
-        raise SolverError(f"generator must be square, got shape {q.shape}")
+    n = validate_generator(q)
     a = q.transpose().tolil()
     a[n - 1, :] = 1.0  # replace last balance equation with Σ π = 1
     b = np.zeros(n)
@@ -137,6 +193,7 @@ def steady_state_power(
     max_iterations: int = 500_000,
 ) -> np.ndarray:
     """Steady state by power iteration on the uniformized chain."""
+    validate_generator(generator)
     p, _ = uniformized_matrix(generator)
     n = p.shape[0]
     pi = np.full(n, 1.0 / n)
@@ -158,23 +215,107 @@ def steady_state_power(
     )
 
 
-def poisson_truncation_point(lam_t: float, tol: float) -> int:
-    """Smallest K with Poisson(λt) tail mass beyond K below ``tol``."""
+def poisson_truncation_point(lam_t: float, tol: float, limit: Optional[int] = None) -> int:
+    """Smallest K with Poisson(λt) tail mass beyond K below ``tol``.
+
+    ``limit`` bounds the walk (default ``λt + 12·√λt + 50``, generously
+    past any realistic truncation point).  Hitting the bound with more
+    than ``tol`` tail mass still missing raises
+    :class:`~repro.exceptions.SolverError` instead of silently
+    returning a too-small K — a truncated uniformization sum that
+    *looks* converged but is not would corrupt every downstream
+    transient measure.  In practice the error fires only for
+    tolerances below floating-point resolution or a caller-supplied
+    ``limit`` that is genuinely too small.
+    """
     if lam_t < 0:
         raise SolverError(f"λt must be non-negative, got {lam_t}")
     if lam_t == 0.0:
         return 0
+    if limit is None:
+        limit = int(lam_t + 12.0 * math.sqrt(lam_t) + 50.0)
     # Walk the Poisson pmf in log space until the accumulated mass
-    # reaches 1 - tol; bound the walk generously past the mean.
+    # reaches 1 - tol.  Kahan-compensated summation keeps the rounding
+    # error of the O(λt)-term sum near one ulp, so the stop condition
+    # stays meaningful for tolerances down to ~1e-15.
     log_pmf = -lam_t  # log P[N=0]
     cumulative = math.exp(log_pmf)
+    compensation = 0.0
     k = 0
-    limit = int(lam_t + 12.0 * math.sqrt(lam_t) + 50.0)
-    while cumulative < 1.0 - tol and k < limit:
+    while cumulative < 1.0 - tol:
+        if k + 1.0 > lam_t:
+            # Geometric tail bound: beyond the mode the pmf decays faster
+            # than ratio^j with ratio = λt/(k+1), so the true remaining
+            # mass is below pmf(k)·ratio/(1-ratio).  This second stop
+            # criterion keeps the walk finite when accumulated rounding
+            # error pins `cumulative` just below 1-tol for tolerances
+            # near machine epsilon.
+            ratio = lam_t / (k + 1.0)
+            if math.exp(log_pmf) * ratio / (1.0 - ratio) < tol:
+                return k
+        if k >= limit:
+            raise SolverError(
+                f"Poisson truncation for λt={lam_t:.6g} did not reach mass "
+                f"1-tol within {limit} terms (accumulated {cumulative:.17g}, "
+                f"tol={tol:.3g}); raise `limit` or loosen `tol` — a silently "
+                f"truncated sum would lose more than the requested accuracy"
+            )
         k += 1
         log_pmf += math.log(lam_t / k)
-        cumulative += math.exp(log_pmf)
+        term = math.exp(log_pmf) - compensation
+        total = cumulative + term
+        compensation = (total - cumulative) - term
+        cumulative = total
     return k
+
+
+def transient_ode(
+    generator: sparse.spmatrix,
+    initial: np.ndarray,
+    times: np.ndarray,
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """Transient probabilities by stiff ODE integration (LSODA).
+
+    The E09 ablation partner of :func:`transient_uniformization` and its
+    overflow fallback for huge ``Λt``: the Kolmogorov forward equations
+    ``dπ/dt = π Q`` integrated with adaptive step control, whose cost
+    scales with stiffness rather than with ``Λ·t`` terms.
+
+    Returns an array of shape ``(len(times), n)``; ``times`` may be in
+    any order (rows follow the input order).
+    """
+    times = np.asarray(times, dtype=float)
+    if times.size and times.min() < 0:
+        raise SolverError("times must be non-negative")
+    qt = sparse.csr_matrix(generator, dtype=float).transpose().tocsr()
+    p0 = np.asarray(initial, dtype=float)
+    if p0.shape != (qt.shape[0],):
+        raise SolverError(
+            f"initial vector has shape {p0.shape}, expected ({qt.shape[0]},)"
+        )
+
+    def rhs(_t: float, y: np.ndarray) -> np.ndarray:
+        return qt @ y
+
+    horizon = float(times.max()) if times.size else 0.0
+    if horizon == 0.0:
+        return np.tile(p0, (times.size, 1))
+    solution = scipy_integrate.solve_ivp(
+        rhs,
+        (0.0, horizon),
+        p0,
+        t_eval=np.sort(times),
+        method="LSODA",
+        rtol=max(tol, 1e-12),
+        atol=max(tol * 1e-2, 1e-14),
+    )
+    if not solution.success:  # pragma: no cover - scipy failure path
+        raise SolverError(f"ODE transient solver failed: {solution.message}")
+    order = np.argsort(times)
+    out = np.empty((times.size, p0.size))
+    out[order] = solution.y.T
+    return out
 
 
 def transient_uniformization(
@@ -182,6 +323,7 @@ def transient_uniformization(
     initial: np.ndarray,
     times: np.ndarray,
     tol: float = 1e-10,
+    max_terms: int = 100_000,
 ) -> np.ndarray:
     """Transient state probabilities π(t) = π(0) e^{Qt} by uniformization.
 
@@ -195,6 +337,13 @@ def transient_uniformization(
         Non-decreasing array of evaluation times.
     tol:
         Bound on the truncation error of each output vector (1-norm).
+    max_terms:
+        Overflow guard.  Uniformization needs ~``Λ·t_max`` matrix-vector
+        products and as many stored vectors; when the truncation point
+        exceeds this bound — very stiff generator, very long horizon —
+        the computation silently switches to :func:`transient_ode`,
+        whose cost does not grow with ``Λt``, instead of exhausting
+        time and memory.
 
     Returns
     -------
@@ -212,7 +361,14 @@ def transient_uniformization(
 
     out = np.empty((times.size, n))
     max_time = float(times.max()) if times.size else 0.0
-    k_max = poisson_truncation_point(lam * max_time, tol)
+    try:
+        k_max = poisson_truncation_point(lam * max_time, tol)
+    except SolverError:
+        # Truncation point unreachable (tol below float resolution for
+        # this Λt): fall through to the ODE integrator.
+        return transient_ode(generator, initial, times, tol)
+    if k_max > max_terms:
+        return transient_ode(generator, initial, times, tol)
 
     # Precompute the Krylov-style sequence v_k = initial P^k once, then
     # combine with each time's Poisson weights.

@@ -1,0 +1,40 @@
+"""Fault tolerance for the evaluation stack itself (E31).
+
+The tutorial's premise is that dependability models must keep producing
+answers under component faults; this package applies the same standard
+to the *toolchain*.  Three pieces:
+
+* :class:`FaultPolicy` — declarative error handling for batch
+  evaluation: ``on_error="raise" | "skip" | "retry"``, bounded retries
+  with deterministic jittered backoff, a per-evaluation soft wall-clock
+  timeout, and broken-process-pool recovery.  Consumed by every
+  :class:`~repro.engine.executors.Executor` backend and surfaced through
+  :func:`~repro.engine.evaluate_batch`, uncertainty propagation,
+  campaigns and sensitivity analysis.
+* :class:`ErrorRecord` / :class:`FaultReport` — the structured account
+  of what failed: exception type, message, attempt count and duration
+  per task, plus batch-level retry and pool-recovery counters.
+* :mod:`~repro.robust.faultinject` — a deterministic, seeded
+  fault-injection harness (:class:`FaultInjector`,
+  :class:`FailingCallable`) that wraps any evaluator or solver with
+  programmable fault programs (raise-on-selected-calls, hash-selected
+  raise/NaN/slow/worker-crash), so every degradation path above is
+  testable and benchmarkable rather than aspirational.
+
+The solver-side counterpart — generator pre-checks and the
+GTH → sparse-direct → power fallback chain with a structured
+:class:`~repro.markov.fallback.SolverReport` — lives in
+:mod:`repro.markov.fallback`.
+"""
+
+from .faultinject import FailingCallable, FaultInjector, InjectedFault
+from .policy import ErrorRecord, FaultPolicy, FaultReport
+
+__all__ = [
+    "FaultPolicy",
+    "ErrorRecord",
+    "FaultReport",
+    "FaultInjector",
+    "FailingCallable",
+    "InjectedFault",
+]

@@ -1,0 +1,255 @@
+"""Deterministic fault injection for evaluators and solvers.
+
+Dependability toolchains treat fault injection as a first-class
+activity: a degradation path that has never been exercised is assumed
+broken.  This module wraps any evaluator in a *seeded, deterministic*
+fault program so the engine's :class:`~repro.robust.policy.FaultPolicy`
+paths — skip, retry, timeout, broken-pool recovery — can be tested and
+benchmarked with reproducible campaigns.
+
+Two wrappers:
+
+* :class:`FaultInjector` — wraps a batch evaluator.  Which assignments
+  fault is decided either by an explicit call-number set (``fail_calls``,
+  the classic raise-on-k-th-call program) or by a seeded stable hash of
+  the assignment itself (``rate`` + ``seed``) — the latter makes the
+  fault set a pure function of the *inputs*, hence identical across
+  serial, thread and process executors regardless of chunking.
+* :class:`FailingCallable` — wraps any callable (typically a
+  steady-state solver stage) to fail its first ``n_failures`` calls,
+  the hook used to exercise :func:`repro.markov.fallback.solve_steady_state`
+  fallback chains.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+import os
+import time
+from typing import Callable, Dict, Iterable, Mapping, Optional, Set, Tuple
+
+from ..exceptions import ReproError, SolverError
+
+__all__ = ["InjectedFault", "FaultInjector", "FailingCallable"]
+
+_MODES = ("raise", "nan", "slow", "crash")
+
+
+class InjectedFault(ReproError):
+    """Raised (or simulated) by the fault-injection harness, never by real code."""
+
+
+def _freeze(assignment: Mapping[str, float]) -> Tuple[Tuple[str, float], ...]:
+    return tuple(sorted((str(k), float(v)) for k, v in assignment.items()))
+
+
+def _stable_uniform(key: Tuple, seed: int) -> float:
+    """Deterministic u in [0, 1) from a frozen assignment and a seed.
+
+    Uses BLAKE2 rather than ``hash()`` so the decision survives
+    ``PYTHONHASHSEED`` randomization and process boundaries.
+    """
+    digest = hashlib.blake2b(
+        repr((seed, key)).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+class FaultInjector:
+    """Wrap an evaluator with a deterministic, seeded fault program.
+
+    Parameters
+    ----------
+    evaluate:
+        The real evaluator ``assignment -> float`` (module-level and
+        picklable if the wrapped evaluator is to cross process
+        boundaries).
+    mode:
+        What an injected fault looks like:
+
+        * ``"raise"`` — raise :class:`InjectedFault`;
+        * ``"nan"`` — return ``float("nan")`` (exercises
+          ``FaultPolicy(treat_nan_as_failure=True)``);
+        * ``"slow"`` — sleep ``delay`` seconds before answering
+          (exercises the policy timeout);
+        * ``"crash"`` — kill the *worker process* with ``os._exit``
+          (exercises broken-pool recovery).  In the main process —
+          serial execution, threads, or the pool-recovery re-dispatch —
+          a crash is downgraded to :class:`InjectedFault` so the harness
+          never takes the caller down.
+    rate / seed:
+        Hash-selected fault program: an assignment faults iff its
+        seeded stable hash falls below ``rate``.  The fault set is a
+        pure function of the assignment, so it is identical across
+        executors, worker counts and chunk sizes.
+    fail_calls:
+        Alternative call-count program: the k-th call faults iff
+        ``k in fail_calls`` (1-based).  Call counters are per process —
+        with a process pool each worker counts its own calls — so this
+        program is intended for serial/thread harness tests.
+    fail_attempts:
+        How many times a selected assignment faults before succeeding:
+        ``1`` (default) models a transient fault recoverable by one
+        retry; ``None`` models a persistent fault that never recovers.
+        Attempt counters live per process, which matches the engine's
+        retry loop (retries run in the same worker as the first try).
+    delay:
+        Sleep applied in ``"slow"`` mode.
+
+    Examples
+    --------
+    >>> injector = FaultInjector(lambda p: p["x"], rate=1.0, fail_attempts=1)
+    >>> try:
+    ...     injector({"x": 2.0})
+    ... except InjectedFault:
+    ...     print("faulted once")
+    faulted once
+    >>> injector({"x": 2.0})  # same assignment, second attempt: recovered
+    2.0
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[Mapping[str, float]], float],
+        mode: str = "raise",
+        rate: float = 0.05,
+        seed: int = 0,
+        fail_calls: Optional[Iterable[int]] = None,
+        fail_attempts: Optional[int] = 1,
+        delay: float = 0.0,
+    ):
+        if mode not in _MODES:
+            raise SolverError(f"unknown fault mode {mode!r}; use one of {_MODES}")
+        if not 0.0 <= rate <= 1.0:
+            raise SolverError(f"fault rate must be in [0, 1], got {rate}")
+        if fail_attempts is not None and fail_attempts < 1:
+            raise SolverError(f"fail_attempts must be >= 1 or None, got {fail_attempts}")
+        if delay < 0.0:
+            raise SolverError(f"delay must be >= 0, got {delay}")
+        self.evaluate = evaluate
+        self.mode = mode
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.fail_calls: Optional[Set[int]] = (
+            None if fail_calls is None else {int(k) for k in fail_calls}
+        )
+        self.fail_attempts = fail_attempts
+        self.delay = float(delay)
+        self.calls = 0
+        self.faults_fired = 0
+        self._attempts: Dict[Tuple, int] = {}
+
+    # The per-process counters are diagnostics, not shared state; a
+    # pickled copy starts fresh in its worker, which is exactly the
+    # behaviour the engine's in-worker retry loop expects.
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["calls"] = 0
+        state["faults_fired"] = 0
+        state["_attempts"] = {}
+        return state
+
+    def selects(self, assignment: Mapping[str, float]) -> bool:
+        """Whether the hash program marks this assignment as faulty."""
+        return _stable_uniform(_freeze(assignment), self.seed) < self.rate
+
+    def _should_fault(self, assignment: Mapping[str, float]) -> bool:
+        if self.fail_calls is not None:
+            return self.calls in self.fail_calls
+        if not self.selects(assignment):
+            return False
+        if self.fail_attempts is None:
+            return True
+        attempts = self._attempts.get(_freeze(assignment), 0)
+        return attempts <= self.fail_attempts
+
+    def __call__(self, assignment: Mapping[str, float], rng=None) -> float:
+        self.calls += 1
+        key = _freeze(assignment)
+        self._attempts[key] = self._attempts.get(key, 0) + 1
+        if self._should_fault(assignment):
+            self.faults_fired += 1
+            if self.mode == "raise":
+                raise InjectedFault(f"injected fault (call {self.calls})")
+            if self.mode == "nan":
+                return float("nan")
+            if self.mode == "slow":
+                time.sleep(self.delay)
+            elif self.mode == "crash":
+                if multiprocessing.parent_process() is not None:
+                    os._exit(17)  # kill the worker; breaks the process pool
+                raise InjectedFault(
+                    f"injected crash downgraded to an exception in the main "
+                    f"process (call {self.calls})"
+                )
+        if rng is None:
+            return float(self.evaluate(assignment))
+        return float(self.evaluate(assignment, rng))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        program = (
+            f"fail_calls={sorted(self.fail_calls)}"
+            if self.fail_calls is not None
+            else f"rate={self.rate}, seed={self.seed}"
+        )
+        return (
+            f"FaultInjector(mode={self.mode!r}, {program}, "
+            f"fail_attempts={self.fail_attempts}, {self.faults_fired}/{self.calls} faulted)"
+        )
+
+
+class FailingCallable:
+    """Wrap any callable to fail its first ``n_failures`` calls.
+
+    The solver-side injection hook: hand
+    :func:`repro.markov.fallback.solve_steady_state` a stage wrapped in
+    ``FailingCallable(gth_solve, n_failures=1)`` and the first-choice
+    solver fails deterministically, forcing (and thereby testing) the
+    fallback chain.
+
+    Parameters
+    ----------
+    inner:
+        The real callable.
+    n_failures:
+        How many leading calls fail (``None`` = every call).
+    exception:
+        Exception *class* to raise (default
+        :class:`~repro.exceptions.SolverError`).
+    corrupt:
+        Instead of raising, return ``float("nan")``-corrupted output:
+        the inner result with every entry replaced by NaN (requires the
+        inner callable to return a NumPy array).  Exercises the NaN/Inf
+        guards *between* fallback stages rather than the exception path.
+    """
+
+    def __init__(
+        self,
+        inner: Callable,
+        n_failures: Optional[int] = 1,
+        exception=SolverError,
+        corrupt: bool = False,
+    ):
+        if n_failures is not None and n_failures < 0:
+            raise SolverError(f"n_failures must be >= 0 or None, got {n_failures}")
+        self.inner = inner
+        self.n_failures = n_failures
+        self.exception = exception
+        self.corrupt = bool(corrupt)
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        failing = self.n_failures is None or self.calls <= self.n_failures
+        if failing and not self.corrupt:
+            raise self.exception(
+                f"injected solver failure (call {self.calls}/{self.n_failures})"
+            )
+        result = self.inner(*args, **kwargs)
+        if failing:
+            import numpy as np
+
+            return np.full_like(np.asarray(result, dtype=float), math.nan)
+        return result

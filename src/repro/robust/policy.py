@@ -1,0 +1,199 @@
+"""Fault policies and error records for batch evaluation.
+
+One poisoned parameter point must not kill a 100k-point campaign.  A
+:class:`FaultPolicy` tells the engine what to do when an evaluation
+raises, hangs past its time budget, or takes a worker process down with
+it; :class:`ErrorRecord` and :class:`FaultReport` carry the structured
+account of what happened back to the caller.
+
+This module deliberately depends on nothing but the exception hierarchy,
+so the engine, the solvers and the simulators can all consume it without
+import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from ..exceptions import ModelDefinitionError
+
+__all__ = ["FaultPolicy", "ErrorRecord", "FaultReport"]
+
+_ON_ERROR = ("raise", "skip", "retry")
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One task's terminal failure inside a batch.
+
+    Attributes
+    ----------
+    index:
+        Position of the failed task in the batch's input order.
+    error_type:
+        Exception class name (``"SolverError"``, ``"EvaluationTimeout"``,
+        ...).
+    message:
+        The exception's string form.
+    attempts:
+        Total evaluation attempts spent on the task (1 without retries).
+    duration:
+        Wall-clock seconds of the final, failing attempt.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    attempts: int = 1
+    duration: float = 0.0
+
+    def with_index(self, index: int) -> "ErrorRecord":
+        """Copy of the record re-addressed to another task index."""
+        return replace(self, index=int(index))
+
+    def __str__(self) -> str:
+        return (
+            f"task {self.index}: {self.error_type}: {self.message} "
+            f"({self.attempts} attempt{'s' if self.attempts != 1 else ''})"
+        )
+
+
+@dataclass
+class FaultReport:
+    """Batch-level fault bookkeeping returned by :meth:`Executor.run`.
+
+    Attributes
+    ----------
+    errors:
+        Terminal :class:`ErrorRecord` per failed task (empty on a clean
+        batch), ordered by task index.
+    n_retries:
+        Total extra attempts spent across the batch (successful
+        recoveries included).
+    pool_recoveries:
+        Number of broken-pool incidents survived by re-dispatching the
+        unfinished chunks serially in the calling process.
+    """
+
+    errors: List[ErrorRecord] = field(default_factory=list)
+    n_retries: int = 0
+    pool_recoveries: int = 0
+
+    @property
+    def n_failed(self) -> int:
+        """Number of tasks that exhausted the policy and failed."""
+        return len(self.errors)
+
+    def record(self, error: Optional[ErrorRecord], attempts: int) -> None:
+        """Fold one task outcome into the report."""
+        self.n_retries += max(0, int(attempts) - 1)
+        if error is not None:
+            self.errors.append(error)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultReport({self.n_failed} failed, {self.n_retries} retries, "
+            f"{self.pool_recoveries} pool recoveries)"
+        )
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Declarative error handling for one batch evaluation.
+
+    Parameters
+    ----------
+    on_error:
+        * ``"raise"`` — fail fast: the first evaluation error aborts the
+          batch and propagates (the engine's historical behaviour, and
+          what ``policy=None`` means);
+        * ``"skip"`` — record an :class:`ErrorRecord`, emit ``NaN`` for
+          the failed task, keep going;
+        * ``"retry"`` — re-attempt the task up to ``max_retries`` times
+          with deterministic jittered exponential backoff, then skip.
+    max_retries:
+        Extra attempts per task under ``"retry"`` (the task runs at most
+        ``1 + max_retries`` times).
+    backoff:
+        Base delay in seconds before retry ``k`` (scaled by
+        ``2**(k-1)``).  The default 0.0 retries immediately — right for
+        deterministic in-process faults; set a positive value when the
+        evaluator contends for an external resource.
+    backoff_jitter:
+        Fraction of the delay added as *deterministic* jitter derived
+        from ``(task index, attempt)``, so two retrying tasks do not
+        thunder in lock-step yet a rerun of the batch sleeps identically.
+    timeout:
+        Soft per-evaluation wall-clock budget in seconds.  A running
+        Python frame cannot be safely interrupted, so the evaluation is
+        not killed; a task whose attempt exceeds the budget is treated
+        as failed with :class:`~repro.exceptions.EvaluationTimeout` and
+        handled per ``on_error``.  ``None`` disables the check.
+    treat_nan_as_failure:
+        When true, a non-finite return value is converted into a
+        failure (and retried under ``"retry"``) instead of flowing into
+        the outputs silently.
+    recover_broken_pool:
+        When a worker process dies mid-batch (segfault, ``os._exit``,
+        OOM kill) the process pool breaks.  With this flag (default) the
+        engine re-dispatches every unfinished chunk serially in the
+        calling process and counts a pool recovery; without it the
+        breakage propagates as a :class:`~repro.exceptions.SolverError`.
+
+    Examples
+    --------
+    >>> policy = FaultPolicy(on_error="retry", max_retries=2)
+    >>> policy.max_attempts
+    3
+    >>> FaultPolicy(on_error="skip").retry_delay(7, 1)
+    0.0
+    """
+
+    on_error: str = "raise"
+    max_retries: int = 2
+    backoff: float = 0.0
+    backoff_jitter: float = 0.1
+    timeout: Optional[float] = None
+    treat_nan_as_failure: bool = False
+    recover_broken_pool: bool = True
+
+    def __post_init__(self):
+        if self.on_error not in _ON_ERROR:
+            raise ModelDefinitionError(
+                f"on_error must be one of {_ON_ERROR}, got {self.on_error!r}"
+            )
+        if self.max_retries < 0:
+            raise ModelDefinitionError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff < 0.0:
+            raise ModelDefinitionError(f"backoff must be >= 0, got {self.backoff}")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ModelDefinitionError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
+        if self.timeout is not None and self.timeout <= 0.0:
+            raise ModelDefinitionError(f"timeout must be positive, got {self.timeout}")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts a task may consume (1 unless retrying)."""
+        return 1 + (self.max_retries if self.on_error == "retry" else 0)
+
+    def should_retry(self, attempts: int) -> bool:
+        """Whether a task that has failed ``attempts`` times gets another."""
+        return self.on_error == "retry" and attempts < self.max_attempts
+
+    def retry_delay(self, index: int, attempts: int) -> float:
+        """Backoff before the next attempt, deterministic in (index, attempts).
+
+        ``backoff * 2**(attempts-1) * (1 + backoff_jitter * u)`` with
+        ``u`` in ``[0, 1)`` drawn from a fixed integer hash — the same
+        task retries after the same delay on every rerun, on every
+        executor.
+        """
+        if self.backoff <= 0.0:
+            return 0.0
+        # Knuth-style multiplicative hash; cheap, stable across processes.
+        mixed = (int(index) * 2654435761 + int(attempts) * 40503 + 12345) % (2**32)
+        u = mixed / 2.0**32
+        return self.backoff * 2.0 ** (attempts - 1) * (1.0 + self.backoff_jitter * u)

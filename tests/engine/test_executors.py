@@ -1,5 +1,7 @@
 """Unit tests for the engine's executor backends."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -12,7 +14,8 @@ from repro.engine import (
     spawn_generators,
 )
 from repro.engine.executors import default_chunk_size, parallel_starmap
-from repro.exceptions import ModelDefinitionError
+from repro.exceptions import ModelDefinitionError, SolverError
+from repro.robust import FaultPolicy
 
 
 def quadratic(assignment):
@@ -41,21 +44,23 @@ class TestBackends:
         ids=["serial", "thread", "process"],
     )
     def test_outputs_in_input_order(self, executor):
-        values, durations = executor.run(quadratic, ASSIGNMENTS)
+        values, durations, report = executor.run(quadratic, ASSIGNMENTS)
         assert list(values) == EXPECTED
         assert durations.shape == (len(ASSIGNMENTS),)
         assert np.all(durations >= 0.0)
+        assert report.n_failed == 0 and report.n_retries == 0
 
     @pytest.mark.parametrize("chunk_size", [1, 2, 7, 100])
     def test_chunking_never_changes_results(self, chunk_size):
-        values, _ = ThreadExecutor(4).run(quadratic, ASSIGNMENTS, chunk_size=chunk_size)
+        values, _, _ = ThreadExecutor(4).run(quadratic, ASSIGNMENTS, chunk_size=chunk_size)
         assert list(values) == EXPECTED
 
     def test_empty_batch(self):
         for executor in (SerialExecutor(), ThreadExecutor(2), ProcessExecutor(2)):
-            values, durations = executor.run(quadratic, [])
+            values, durations, report = executor.run(quadratic, [])
             assert values == []
             assert durations.size == 0
+            assert report.n_failed == 0
 
     def test_progress_reaches_total(self):
         seen = []
@@ -97,6 +102,13 @@ class TestResolve:
         assert resolve_executor(executor="thread").name == "thread"
         assert resolve_executor(n_jobs=4, executor="process").n_jobs == 4
 
+    def test_named_backend_respects_n_jobs(self):
+        # Regression: "thread" with n_jobs=1 used to be silently promoted
+        # to a two-worker pool; a one-worker pool is a legitimate request.
+        assert resolve_executor(n_jobs=1, executor="thread").n_jobs == 1
+        assert resolve_executor(n_jobs=1, executor="process").n_jobs == 1
+        assert resolve_executor(n_jobs=3, executor="thread").n_jobs == 3
+
     def test_instance_passthrough(self):
         executor = ThreadExecutor(5)
         assert resolve_executor(n_jobs=1, executor=executor) is executor
@@ -124,7 +136,7 @@ class TestPicklingGuard:
             evaluate_batch(lambda a: a["x"], [{"x": 1.0}, {"x": 2.0}], n_jobs=2)
 
     def test_thread_pool_accepts_lambdas(self):
-        values, _ = ThreadExecutor(2).run(lambda a: a["x"] * 2, [{"x": 1.0}, {"x": 4.0}])
+        values, _, _ = ThreadExecutor(2).run(lambda a: a["x"] * 2, [{"x": 1.0}, {"x": 4.0}])
         assert values == [2.0, 8.0]
 
 
@@ -162,6 +174,80 @@ class TestStarmap:
     def test_invalid_n_jobs(self):
         with pytest.raises(ModelDefinitionError):
             parallel_starmap(chunk_worker, [], n_jobs=0)
+
+
+def failing_at_seven(assignment):
+    """Module-level evaluator that raises on one specific input."""
+    if assignment["x"] == 7.0:
+        raise ValueError("boom at 7")
+    return assignment["x"] * 2.0
+
+
+def slow_then_value(assignment):
+    """Sleeps long enough to trip a tight soft timeout."""
+    time.sleep(0.05)
+    return assignment["x"]
+
+
+class TestFaultSemantics:
+    """Fail-fast default vs FaultPolicy isolation (pins PR-2 semantics)."""
+
+    ASSIGN = [{"x": float(k)} for k in range(16)]
+
+    @pytest.mark.parametrize(
+        "executor",
+        [ThreadExecutor(3), ProcessExecutor(2)],
+        ids=["thread", "process"],
+    )
+    def test_pool_mid_batch_raise_propagates(self, executor):
+        # Without a policy the first evaluator exception aborts the batch:
+        # remaining chunks are cancelled and the original error surfaces.
+        with pytest.raises(ValueError, match="boom at 7"):
+            executor.run(failing_at_seven, self.ASSIGN, chunk_size=2)
+
+    def test_explicit_raise_policy_matches_default(self):
+        with pytest.raises(ValueError, match="boom at 7"):
+            ThreadExecutor(3).run(
+                failing_at_seven,
+                self.ASSIGN,
+                chunk_size=2,
+                policy=FaultPolicy(on_error="raise"),
+            )
+
+    def test_skip_policy_isolates_the_failure(self):
+        values, _, report = ThreadExecutor(3).run(
+            failing_at_seven,
+            self.ASSIGN,
+            chunk_size=2,
+            policy=FaultPolicy(on_error="skip"),
+        )
+        assert report.n_failed == 1
+        assert report.errors[0].index == 7
+        assert report.errors[0].error_type == "ValueError"
+        assert np.isnan(values[7])
+        clean = [v for i, v in enumerate(values) if i != 7]
+        assert clean == [a["x"] * 2.0 for i, a in enumerate(self.ASSIGN) if i != 7]
+
+    def test_thread_soft_timeout_records_failure(self):
+        # The soft deadline cannot interrupt a running frame, but the
+        # over-budget evaluation must come back as a timeout ErrorRecord.
+        values, _, report = ThreadExecutor(2).run(
+            slow_then_value,
+            [{"x": 1.0}, {"x": 2.0}],
+            policy=FaultPolicy(on_error="skip", timeout=0.005),
+        )
+        assert report.n_failed == 2
+        assert all(e.error_type == "EvaluationTimeout" for e in report.errors)
+        assert np.all(np.isnan(values))
+
+    def test_timeout_generous_budget_passes(self):
+        values, _, report = ThreadExecutor(2).run(
+            slow_then_value,
+            [{"x": 1.0}, {"x": 2.0}],
+            policy=FaultPolicy(on_error="skip", timeout=30.0),
+        )
+        assert report.n_failed == 0
+        assert values == [1.0, 2.0]
 
 
 def test_default_chunk_size_heuristic():

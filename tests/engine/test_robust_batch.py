@@ -1,0 +1,208 @@
+"""Acceptance tests for fault-tolerant batch evaluation (PR-2 tentpole).
+
+The headline guarantee: a large batch with a few percent of injected
+faults completes under ``retry`` (faults recovered) and ``skip`` (faults
+reported, partial outputs), and the surviving outputs are bit-identical
+across the serial, thread and process executors — the fault set is a
+pure function of the assignments, never of scheduling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.uncertainty import propagate_uncertainty
+from repro.distributions import Uniform
+from repro.engine import (
+    EvaluationCache,
+    GridCampaign,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    evaluate_batch,
+    run_campaign,
+)
+from repro.exceptions import SolverError
+from repro.robust import FaultInjector, FaultPolicy, InjectedFault
+
+N_TASKS = 1000
+FAULT_RATE = 0.05
+SEED = 11
+
+ASSIGNMENTS = [{"x": float(k), "y": float(k % 7)} for k in range(N_TASKS)]
+
+
+def polynomial(assignment):
+    """Module-level evaluator (picklable for the process pool)."""
+    return assignment["x"] ** 2 + 3.0 * assignment["y"]
+
+
+def transient_faulty():
+    """A 5%-fault injector where every fault clears after one retry."""
+    return FaultInjector(polynomial, mode="raise", rate=FAULT_RATE, seed=SEED, fail_attempts=1)
+
+
+def persistent_faulty():
+    """A 5%-fault injector whose faults never recover."""
+    return FaultInjector(polynomial, mode="raise", rate=FAULT_RATE, seed=SEED, fail_attempts=None)
+
+
+EXPECTED = np.array([polynomial(a) for a in ASSIGNMENTS])
+FAULTY_INDICES = sorted(
+    i for i, a in enumerate(ASSIGNMENTS) if transient_faulty().selects(a)
+)
+
+
+def test_the_injected_fault_set_is_nontrivial():
+    # ~5% of 1000, and a pure function of the assignments.
+    assert 20 <= len(FAULTY_INDICES) <= 90
+
+
+class TestRetryCompletes:
+    @pytest.mark.parametrize(
+        "engine_kwargs",
+        [
+            {},
+            {"executor": ThreadExecutor(4), "chunk_size": 16},
+            {"n_jobs": 2, "chunk_size": 64},
+        ],
+        ids=["serial", "thread", "process"],
+    )
+    def test_retry_recovers_every_transient_fault(self, engine_kwargs):
+        policy = FaultPolicy(on_error="retry", max_retries=2)
+        batch = evaluate_batch(transient_faulty(), ASSIGNMENTS, policy=policy, **engine_kwargs)
+        assert batch.n_failed == 0
+        assert batch.stats.n_failed == 0
+        assert batch.stats.n_retries >= len(FAULTY_INDICES)
+        assert batch.stats.completion_rate() == 1.0
+        # Bit-identical to the clean ground truth.
+        np.testing.assert_array_equal(batch.outputs, EXPECTED)
+
+    def test_retry_budget_exhausted_becomes_skip(self):
+        policy = FaultPolicy(on_error="retry", max_retries=2)
+        batch = evaluate_batch(persistent_faulty(), ASSIGNMENTS, policy=policy)
+        assert batch.failed_indices == FAULTY_INDICES
+        assert all(e.attempts == 3 for e in batch.errors)
+        assert np.all(np.isnan(batch.outputs[FAULTY_INDICES]))
+
+
+class TestSkipReportsAndContinues:
+    @pytest.mark.parametrize(
+        "engine_kwargs",
+        [
+            {},
+            {"executor": ThreadExecutor(4), "chunk_size": 16},
+            {"n_jobs": 2, "chunk_size": 64},
+        ],
+        ids=["serial", "thread", "process"],
+    )
+    def test_skip_partial_outputs_bit_identical(self, engine_kwargs):
+        policy = FaultPolicy(on_error="skip")
+        batch = evaluate_batch(persistent_faulty(), ASSIGNMENTS, policy=policy, **engine_kwargs)
+        assert batch.failed_indices == FAULTY_INDICES
+        assert all(e.error_type == "InjectedFault" for e in batch.errors)
+        # Surviving evaluations are bit-identical to the clean run,
+        # regardless of executor, worker count or chunking.
+        ok = batch.ok
+        assert not any(ok[i] for i in FAULTY_INDICES)
+        np.testing.assert_array_equal(batch.outputs[ok], EXPECTED[ok])
+        assert np.all(np.isnan(batch.outputs[~ok]))
+
+    def test_no_policy_still_fails_fast(self):
+        with pytest.raises(InjectedFault):
+            evaluate_batch(persistent_faulty(), ASSIGNMENTS)
+
+    def test_nan_as_failure_policy(self):
+        injector = FaultInjector(
+            polynomial, mode="nan", rate=FAULT_RATE, seed=SEED, fail_attempts=None
+        )
+        policy = FaultPolicy(on_error="skip", treat_nan_as_failure=True)
+        batch = evaluate_batch(injector, ASSIGNMENTS, policy=policy)
+        assert batch.failed_indices == FAULTY_INDICES
+        assert all("non-finite" in e.message for e in batch.errors)
+
+
+class TestBrokenPoolRecovery:
+    ASSIGN = [{"x": float(k), "y": 0.0} for k in range(24)]
+
+    def _crashing(self, fail_attempts):
+        return FaultInjector(
+            polynomial, mode="crash", rate=0.15, seed=2, fail_attempts=fail_attempts
+        )
+
+    def test_worker_crash_is_survived_and_counted(self):
+        policy = FaultPolicy(on_error="retry", max_retries=1)
+        batch = evaluate_batch(
+            self._crashing(fail_attempts=1),
+            self.ASSIGN,
+            executor=ProcessExecutor(2),
+            chunk_size=2,
+            policy=policy,
+        )
+        # In the serial re-dispatch the crash downgrades to an exception,
+        # which the retry policy then recovers.
+        assert batch.stats.pool_recoveries >= 1
+        assert batch.n_failed == 0
+        expected = np.array([polynomial(a) for a in self.ASSIGN])
+        np.testing.assert_array_equal(batch.outputs, expected)
+
+    def test_recovery_disabled_propagates(self):
+        policy = FaultPolicy(on_error="retry", max_retries=1, recover_broken_pool=False)
+        with pytest.raises(SolverError, match="pool"):
+            evaluate_batch(
+                self._crashing(fail_attempts=None),
+                self.ASSIGN,
+                executor=ProcessExecutor(2),
+                chunk_size=2,
+                policy=policy,
+            )
+
+
+class TestFailuresAndCache:
+    def test_failed_evaluations_are_not_cached(self):
+        cache = EvaluationCache()
+        injector = FaultInjector(polynomial, rate=1.0, seed=0, fail_attempts=1)
+        policy_skip = FaultPolicy(on_error="skip")
+        first = evaluate_batch(injector, ASSIGNMENTS[:8], cache=cache, policy=policy_skip)
+        assert first.n_failed == 8
+        assert len(cache) == 0
+        # Same cache, second pass: the transient faults have cleared, the
+        # points are re-evaluated (not served stale NaNs) and now cached.
+        second = evaluate_batch(injector, ASSIGNMENTS[:8], cache=cache, policy=policy_skip)
+        assert second.n_failed == 0
+        np.testing.assert_array_equal(second.outputs, EXPECTED[:8])
+        assert len(cache) == 8
+
+    def test_duplicate_failed_points_share_the_error(self):
+        cache = EvaluationCache()
+        injector = FaultInjector(polynomial, rate=1.0, seed=0, fail_attempts=None)
+        duplicated = [ASSIGNMENTS[0], ASSIGNMENTS[1], dict(ASSIGNMENTS[0])]
+        batch = evaluate_batch(
+            injector, duplicated, cache=cache, policy=FaultPolicy(on_error="skip")
+        )
+        assert batch.failed_indices == [0, 1, 2]
+        assert np.all(np.isnan(batch.outputs))
+
+
+class TestPropagationThroughAnalyses:
+    def test_uncertainty_statistics_use_surviving_samples(self):
+        injector = FaultInjector(polynomial, rate=0.2, seed=5, fail_attempts=None)
+        result = propagate_uncertainty(
+            injector,
+            {"x": Uniform(0.0, 1.0), "y": Uniform(0.0, 1.0)},
+            n_samples=200,
+            rng=np.random.default_rng(0),
+            policy=FaultPolicy(on_error="skip"),
+        )
+        assert 0 < result.n_failed < 200
+        assert result.valid_samples.size == 200 - result.n_failed
+        assert np.isfinite(result.mean())
+        low, high = result.interval(0.9)
+        assert low <= high
+
+    def test_campaign_carries_errors(self):
+        injector = FaultInjector(polynomial, rate=0.3, seed=1, fail_attempts=None)
+        spec = GridCampaign({"x": [float(k) for k in range(10)], "y": [0.0, 1.0]})
+        result = run_campaign(injector, spec, policy=FaultPolicy(on_error="skip"))
+        assert result.n_failed == sum(np.isnan(result.outputs))
+        assert result.n_failed > 0
+        assert result.stats.n_failed == result.n_failed

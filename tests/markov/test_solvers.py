@@ -7,7 +7,7 @@ import pytest
 from scipy import sparse
 from scipy.linalg import expm
 
-from repro.exceptions import SolverError
+from repro.exceptions import ModelDefinitionError, SolverError
 from repro.markov import (
     cumulative_uniformization,
     gth_solve,
@@ -66,7 +66,7 @@ class TestGTH:
             gth_solve(q)
 
     def test_non_square_rejected(self):
-        with pytest.raises(SolverError):
+        with pytest.raises(ModelDefinitionError):
             gth_solve(np.zeros((2, 3)))
 
 

@@ -1,0 +1,131 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.robust import FailingCallable, FaultInjector, InjectedFault
+
+
+def linear(assignment):
+    """Module-level evaluator (picklable)."""
+    return assignment["x"] * 2.0
+
+
+ASSIGNMENTS = [{"x": float(k)} for k in range(400)]
+
+
+class TestHashProgram:
+    def test_fault_set_is_deterministic(self):
+        a = FaultInjector(linear, rate=0.05, seed=3)
+        b = FaultInjector(linear, rate=0.05, seed=3)
+        assert [a.selects(p) for p in ASSIGNMENTS] == [b.selects(p) for p in ASSIGNMENTS]
+
+    def test_fault_rate_is_approximately_honoured(self):
+        injector = FaultInjector(linear, rate=0.05, seed=0)
+        hits = sum(injector.selects(p) for p in ASSIGNMENTS)
+        assert 0.01 < hits / len(ASSIGNMENTS) < 0.12
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(linear, rate=0.2, seed=0)
+        b = FaultInjector(linear, rate=0.2, seed=1)
+        assert [a.selects(p) for p in ASSIGNMENTS] != [b.selects(p) for p in ASSIGNMENTS]
+
+    def test_transient_fault_recovers_on_second_attempt(self):
+        injector = FaultInjector(linear, rate=1.0, seed=0, fail_attempts=1)
+        with pytest.raises(InjectedFault):
+            injector({"x": 4.0})
+        assert injector({"x": 4.0}) == 8.0  # retry in the same process succeeds
+
+    def test_persistent_fault_never_recovers(self):
+        injector = FaultInjector(linear, rate=1.0, seed=0, fail_attempts=None)
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                injector({"x": 4.0})
+
+    def test_unselected_assignments_flow_through(self):
+        injector = FaultInjector(linear, rate=0.0, seed=0)
+        assert [injector(p) for p in ASSIGNMENTS[:5]] == [
+            linear(p) for p in ASSIGNMENTS[:5]
+        ]
+        assert injector.faults_fired == 0
+        assert injector.calls == 5
+
+
+class TestCallProgram:
+    def test_kth_call_faults(self):
+        injector = FaultInjector(linear, fail_calls=[2])
+        assert injector({"x": 1.0}) == 2.0
+        with pytest.raises(InjectedFault):
+            injector({"x": 1.0})
+        assert injector({"x": 1.0}) == 2.0
+
+
+class TestModes:
+    def test_nan_mode_returns_nan(self):
+        injector = FaultInjector(linear, mode="nan", rate=1.0, fail_attempts=None)
+        assert np.isnan(injector({"x": 1.0}))
+
+    def test_crash_mode_downgrades_in_main_process(self):
+        injector = FaultInjector(linear, mode="crash", rate=1.0, fail_attempts=None)
+        with pytest.raises(InjectedFault, match="downgraded"):
+            injector({"x": 1.0})
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            FaultInjector(linear, mode="meltdown")
+        with pytest.raises(SolverError):
+            FaultInjector(linear, rate=1.5)
+        with pytest.raises(SolverError):
+            FaultInjector(linear, fail_attempts=0)
+        with pytest.raises(SolverError):
+            FaultInjector(linear, delay=-1.0)
+
+
+class TestPickling:
+    def test_counters_reset_across_the_boundary(self):
+        injector = FaultInjector(linear, rate=1.0, seed=0, fail_attempts=1)
+        with pytest.raises(InjectedFault):
+            injector({"x": 4.0})
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone.calls == 0
+        # A fresh worker sees the fault again: first attempt there faults.
+        with pytest.raises(InjectedFault):
+            clone({"x": 4.0})
+        assert clone({"x": 4.0}) == 8.0
+
+    def test_fault_program_survives_pickling(self):
+        injector = FaultInjector(linear, rate=0.1, seed=7)
+        clone = pickle.loads(pickle.dumps(injector))
+        assert [injector.selects(p) for p in ASSIGNMENTS] == [
+            clone.selects(p) for p in ASSIGNMENTS
+        ]
+
+
+class TestFailingCallable:
+    def test_fails_then_recovers(self):
+        wrapped = FailingCallable(lambda x: x + 1, n_failures=2)
+        with pytest.raises(SolverError):
+            wrapped(1)
+        with pytest.raises(SolverError):
+            wrapped(1)
+        assert wrapped(1) == 2
+        assert wrapped.calls == 3
+
+    def test_custom_exception(self):
+        wrapped = FailingCallable(lambda: 0, n_failures=1, exception=ValueError)
+        with pytest.raises(ValueError):
+            wrapped()
+
+    def test_corrupt_mode_nans_the_output(self):
+        wrapped = FailingCallable(lambda: np.ones(3), n_failures=1, corrupt=True)
+        assert np.all(np.isnan(wrapped()))
+        assert np.all(wrapped() == 1.0)
+
+    def test_always_failing(self):
+        wrapped = FailingCallable(lambda: 0, n_failures=None)
+        for _ in range(4):
+            with pytest.raises(SolverError):
+                wrapped()

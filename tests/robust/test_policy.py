@@ -1,0 +1,81 @@
+"""Unit tests for FaultPolicy, ErrorRecord and FaultReport."""
+
+import pytest
+
+from repro.exceptions import ModelDefinitionError
+from repro.robust import ErrorRecord, FaultPolicy, FaultReport
+
+
+class TestFaultPolicy:
+    def test_defaults_are_fail_fast(self):
+        policy = FaultPolicy()
+        assert policy.on_error == "raise"
+        assert policy.max_attempts == 1
+        assert not policy.should_retry(1)
+
+    def test_retry_budget(self):
+        policy = FaultPolicy(on_error="retry", max_retries=2)
+        assert policy.max_attempts == 3
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    def test_skip_never_retries(self):
+        policy = FaultPolicy(on_error="skip", max_retries=5)
+        assert policy.max_attempts == 1
+        assert not policy.should_retry(1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"on_error": "explode"},
+            {"max_retries": -1},
+            {"backoff": -0.5},
+            {"backoff_jitter": 1.5},
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ModelDefinitionError):
+            FaultPolicy(**kwargs)
+
+    def test_retry_delay_deterministic_and_exponential(self):
+        policy = FaultPolicy(on_error="retry", backoff=0.1, backoff_jitter=0.1)
+        first = policy.retry_delay(3, 1)
+        assert first == policy.retry_delay(3, 1)  # pure in (index, attempt)
+        assert 0.1 <= first <= 0.1 * 1.1
+        second = policy.retry_delay(3, 2)
+        assert 0.2 <= second <= 0.2 * 1.1
+        # Different tasks get different jitter.
+        assert policy.retry_delay(4, 1) != first
+
+    def test_zero_backoff_is_free(self):
+        policy = FaultPolicy(on_error="retry", backoff=0.0)
+        assert policy.retry_delay(0, 1) == 0.0
+        assert policy.retry_delay(9, 3) == 0.0
+
+
+class TestErrorRecord:
+    def test_with_index_readdresses(self):
+        record = ErrorRecord(3, "ValueError", "boom", attempts=2, duration=0.5)
+        moved = record.with_index(11)
+        assert moved.index == 11
+        assert moved.error_type == "ValueError"
+        assert moved.attempts == 2
+        assert record.index == 3  # original untouched (frozen)
+
+    def test_str_mentions_the_essentials(self):
+        text = str(ErrorRecord(5, "SolverError", "singular", attempts=3))
+        assert "task 5" in text and "SolverError" in text and "3 attempts" in text
+
+
+class TestFaultReport:
+    def test_record_folds_outcomes(self):
+        report = FaultReport()
+        report.record(None, attempts=1)  # clean first try
+        report.record(None, attempts=3)  # recovered after two retries
+        report.record(ErrorRecord(7, "ValueError", "boom", attempts=3), attempts=3)
+        assert report.n_failed == 1
+        assert report.n_retries == 4
+        assert report.errors[0].index == 7

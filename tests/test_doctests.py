@@ -32,6 +32,7 @@ import repro.estimation.nonparametric
 import repro.markov.acyclic
 import repro.markov.ctmc
 import repro.markov.dtmc
+import repro.markov.fallback
 import repro.markov.mrgp
 import repro.markov.mrm
 import repro.markov.phase
@@ -39,6 +40,8 @@ import repro.markov.sensitivity
 import repro.markov.smp
 import repro.nonstate.bdd
 import repro.nonstate.ccf
+import repro.robust.faultinject
+import repro.robust.policy
 import repro.nonstate.faulttree
 import repro.nonstate.importance
 import repro.nonstate.modules
@@ -76,11 +79,14 @@ MODULES = [
     repro.markov.acyclic,
     repro.markov.ctmc,
     repro.markov.dtmc,
+    repro.markov.fallback,
     repro.markov.mrgp,
     repro.markov.mrm,
     repro.markov.phase,
     repro.markov.sensitivity,
     repro.markov.smp,
+    repro.robust.faultinject,
+    repro.robust.policy,
     repro.nonstate.bdd,
     repro.nonstate.ccf,
     repro.nonstate.faulttree,
