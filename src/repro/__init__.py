@@ -16,14 +16,23 @@ Modeling in Practice*:
 * **hierarchical & fixed-point composition**, parametric uncertainty
   propagation and sensitivity analysis (:mod:`repro.core`);
 * **Monte Carlo simulation** for cross-validation (:mod:`repro.sim`);
+* a **batch-evaluation engine** with fault policies
+  (:mod:`repro.engine`, :mod:`repro.robust`) and a zero-dependency
+  **observability layer** — hierarchical tracing and metrics over every
+  solver and sweep (:mod:`repro.obs`);
 * the tutorial's **industrial case studies** — IBM BladeCenter, Cisco
   GSR 12000, Sun carrier-grade platform, Boeing-scale bounded fault
   trees, IBM SIP/WebSphere, software rejuvenation, workstations & file
   server (:mod:`repro.casestudies`).
 
+The top-level namespace is a curated, lazily-imported surface: the names
+in ``__all__`` resolve on first access (``from repro import CTMC,
+trace, evaluate_batch``), so ``import repro`` stays cheap.  Everything
+else lives in the submodules; see ``docs/API.md`` for the public map.
+
 Quickstart
 ----------
->>> from repro.nonstate import Component, ReliabilityBlockDiagram, parallel
+>>> from repro import Component, ReliabilityBlockDiagram, parallel
 >>> a = Component.from_mttf_mttr("a", mttf=1000.0, mttr=10.0)
 >>> b = Component.from_mttf_mttr("b", mttf=1000.0, mttr=10.0)
 >>> system = ReliabilityBlockDiagram(parallel(a, b))
@@ -31,126 +40,196 @@ Quickstart
 0.999902
 """
 
-from .core.fixedpoint import FixedPointResult, FixedPointSolver
-from .core.hierarchy import (
-    HierarchicalModel,
-    HierarchySolution,
-    Submodel,
-    export_availability,
-    export_equivalent_failure_rate,
-    export_mttf,
-    export_unavailability,
-)
-from .core.model import DependabilityModel
-from .core.sensitivity import parametric_sensitivity, rank_parameters
-from .core.uncertainty import propagate_uncertainty, tornado_sensitivity
-from .engine import (
-    EngineStats,
-    EvaluationCache,
-    GridCampaign,
-    ProcessExecutor,
-    ProgressPrinter,
-    SamplingCampaign,
-    SerialExecutor,
-    SwingCampaign,
-    ThreadExecutor,
-    evaluate_batch,
-    run_campaign,
-)
-from .exceptions import (
-    ConvergenceError,
-    DistributionError,
-    HierarchyError,
-    ModelDefinitionError,
-    ReproError,
-    SolverError,
-    StateSpaceError,
-)
-from .markov.ctmc import CTMC, MarkovDependabilityModel
-from .markov.dtmc import DTMC
-from .markov.fallback import SolverReport, solve_steady_state
-from .markov.mrgp import MarkovRegenerativeProcess
-from .markov.mrm import MarkovRewardModel
-from .markov.smp import SemiMarkovProcess
-from .nonstate.components import Component
-from .nonstate.faulttree import AndGate, BasicEvent, FaultTree, KofNGate, NotGate, OrGate
-from .nonstate.rbd import KofN, Parallel, ReliabilityBlockDiagram, Series, k_of_n, parallel, series
-from .nonstate.relgraph import ReliabilityGraph
-from .petrinet.net import PetriNet
-from .petrinet.srn import SRNDependabilityModel, StochasticRewardNet
-from .robust import ErrorRecord, FaultInjector, FaultPolicy, FaultReport
+from typing import TYPE_CHECKING
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "__version__",
-    # protocol & composition
-    "DependabilityModel",
-    "HierarchicalModel",
-    "HierarchySolution",
-    "Submodel",
-    "export_availability",
-    "export_unavailability",
-    "export_mttf",
-    "export_equivalent_failure_rate",
-    "FixedPointSolver",
-    "FixedPointResult",
-    "propagate_uncertainty",
-    "tornado_sensitivity",
-    "parametric_sensitivity",
-    "rank_parameters",
-    # batch-evaluation engine
-    "evaluate_batch",
-    "EvaluationCache",
-    "EngineStats",
-    "ProgressPrinter",
-    "SerialExecutor",
-    "ThreadExecutor",
-    "ProcessExecutor",
-    "GridCampaign",
-    "SwingCampaign",
-    "SamplingCampaign",
-    "run_campaign",
-    # robustness
-    "FaultPolicy",
-    "FaultReport",
-    "ErrorRecord",
-    "FaultInjector",
-    "solve_steady_state",
-    "SolverReport",
-    # non-state-space
-    "Component",
-    "ReliabilityBlockDiagram",
-    "Series",
-    "Parallel",
-    "KofN",
-    "series",
-    "parallel",
-    "k_of_n",
-    "FaultTree",
-    "BasicEvent",
-    "AndGate",
-    "OrGate",
-    "KofNGate",
-    "NotGate",
-    "ReliabilityGraph",
-    # state-space
-    "CTMC",
-    "DTMC",
-    "MarkovDependabilityModel",
-    "MarkovRewardModel",
-    "SemiMarkovProcess",
-    "MarkovRegenerativeProcess",
-    # Petri nets
-    "PetriNet",
-    "StochasticRewardNet",
-    "SRNDependabilityModel",
+#: Public name → defining submodule.  ``__getattr__`` below resolves the
+#: import on first attribute access and caches the result in the module
+#: dict, so repeated lookups are plain attribute hits.
+_EXPORTS = {
+    # protocol & composition (repro.core)
+    "DependabilityModel": "repro.core.model",
+    "HierarchicalModel": "repro.core.hierarchy",
+    "HierarchySolution": "repro.core.hierarchy",
+    "Submodel": "repro.core.hierarchy",
+    "export_availability": "repro.core.hierarchy",
+    "export_unavailability": "repro.core.hierarchy",
+    "export_mttf": "repro.core.hierarchy",
+    "export_equivalent_failure_rate": "repro.core.hierarchy",
+    "FixedPointSolver": "repro.core.fixedpoint",
+    "FixedPointResult": "repro.core.fixedpoint",
+    "propagate_uncertainty": "repro.core.uncertainty",
+    "tornado_sensitivity": "repro.core.uncertainty",
+    "parametric_sensitivity": "repro.core.sensitivity",
+    "rank_parameters": "repro.core.sensitivity",
+    # batch-evaluation engine (repro.engine)
+    "evaluate_batch": "repro.engine",
+    "BatchResult": "repro.engine",
+    "EngineOptions": "repro.engine",
+    "EvaluationCache": "repro.engine",
+    "EngineStats": "repro.engine",
+    "ProgressPrinter": "repro.engine",
+    "SerialExecutor": "repro.engine",
+    "ThreadExecutor": "repro.engine",
+    "ProcessExecutor": "repro.engine",
+    "CampaignSpec": "repro.engine",
+    "GridCampaign": "repro.engine",
+    "SwingCampaign": "repro.engine",
+    "SamplingCampaign": "repro.engine",
+    "CampaignResult": "repro.engine",
+    "run_campaign": "repro.engine",
+    # observability (repro.obs)
+    "trace": "repro.obs",
+    "Tracer": "repro.obs",
+    "NullTracer": "repro.obs",
+    "Span": "repro.obs",
+    "get_tracer": "repro.obs",
+    "MetricsRegistry": "repro.obs",
+    "Observation": "repro.obs",
+    "format_trace": "repro.obs",
+    "to_prometheus": "repro.obs",
+    # robustness (repro.robust)
+    "FaultPolicy": "repro.robust",
+    "FaultReport": "repro.robust",
+    "ErrorRecord": "repro.robust",
+    "FaultInjector": "repro.robust",
+    # state-space (repro.markov)
+    "CTMC": "repro.markov.ctmc",
+    "DTMC": "repro.markov.dtmc",
+    "MarkovDependabilityModel": "repro.markov.ctmc",
+    "MarkovRewardModel": "repro.markov.mrm",
+    "SemiMarkovProcess": "repro.markov.smp",
+    "MarkovRegenerativeProcess": "repro.markov.mrgp",
+    "solve_steady_state": "repro.markov.fallback",
+    "SolverReport": "repro.markov.fallback",
+    "solve_transient": "repro.markov.solvers",
+    # non-state-space (repro.nonstate)
+    "Component": "repro.nonstate.components",
+    "ReliabilityBlockDiagram": "repro.nonstate.rbd",
+    "Series": "repro.nonstate.rbd",
+    "Parallel": "repro.nonstate.rbd",
+    "KofN": "repro.nonstate.rbd",
+    "series": "repro.nonstate.rbd",
+    "parallel": "repro.nonstate.rbd",
+    "k_of_n": "repro.nonstate.rbd",
+    "FaultTree": "repro.nonstate.faulttree",
+    "BasicEvent": "repro.nonstate.faulttree",
+    "AndGate": "repro.nonstate.faulttree",
+    "OrGate": "repro.nonstate.faulttree",
+    "KofNGate": "repro.nonstate.faulttree",
+    "NotGate": "repro.nonstate.faulttree",
+    "ReliabilityGraph": "repro.nonstate.relgraph",
+    # Petri nets (repro.petrinet)
+    "PetriNet": "repro.petrinet.net",
+    "StochasticRewardNet": "repro.petrinet.srn",
+    "SRNDependabilityModel": "repro.petrinet.srn",
     # exceptions
-    "ReproError",
-    "ModelDefinitionError",
-    "SolverError",
-    "ConvergenceError",
-    "StateSpaceError",
-    "DistributionError",
-    "HierarchyError",
-]
+    "ReproError": "repro.exceptions",
+    "ModelDefinitionError": "repro.exceptions",
+    "SolverError": "repro.exceptions",
+    "ConvergenceError": "repro.exceptions",
+    "StateSpaceError": "repro.exceptions",
+    "DistributionError": "repro.exceptions",
+    "HierarchyError": "repro.exceptions",
+}
+
+__all__ = ["__version__", *_EXPORTS]
+
+
+def __getattr__(name: str):
+    """Resolve a curated export on first access (PEP 562)."""
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .core.fixedpoint import FixedPointResult, FixedPointSolver
+    from .core.hierarchy import (
+        HierarchicalModel,
+        HierarchySolution,
+        Submodel,
+        export_availability,
+        export_equivalent_failure_rate,
+        export_mttf,
+        export_unavailability,
+    )
+    from .core.model import DependabilityModel
+    from .core.sensitivity import parametric_sensitivity, rank_parameters
+    from .core.uncertainty import propagate_uncertainty, tornado_sensitivity
+    from .engine import (
+        BatchResult,
+        CampaignResult,
+        CampaignSpec,
+        EngineOptions,
+        EngineStats,
+        EvaluationCache,
+        GridCampaign,
+        ProcessExecutor,
+        ProgressPrinter,
+        SamplingCampaign,
+        SerialExecutor,
+        SwingCampaign,
+        ThreadExecutor,
+        evaluate_batch,
+        run_campaign,
+    )
+    from .exceptions import (
+        ConvergenceError,
+        DistributionError,
+        HierarchyError,
+        ModelDefinitionError,
+        ReproError,
+        SolverError,
+        StateSpaceError,
+    )
+    from .markov.ctmc import CTMC, MarkovDependabilityModel
+    from .markov.dtmc import DTMC
+    from .markov.fallback import SolverReport, solve_steady_state
+    from .markov.mrgp import MarkovRegenerativeProcess
+    from .markov.mrm import MarkovRewardModel
+    from .markov.smp import SemiMarkovProcess
+    from .markov.solvers import solve_transient
+    from .nonstate.components import Component
+    from .nonstate.faulttree import (
+        AndGate,
+        BasicEvent,
+        FaultTree,
+        KofNGate,
+        NotGate,
+        OrGate,
+    )
+    from .nonstate.rbd import (
+        KofN,
+        Parallel,
+        ReliabilityBlockDiagram,
+        Series,
+        k_of_n,
+        parallel,
+        series,
+    )
+    from .nonstate.relgraph import ReliabilityGraph
+    from .obs import (
+        MetricsRegistry,
+        NullTracer,
+        Observation,
+        Span,
+        Tracer,
+        format_trace,
+        get_tracer,
+        to_prometheus,
+        trace,
+    )
+    from .petrinet.net import PetriNet
+    from .petrinet.srn import SRNDependabilityModel, StochasticRewardNet
+    from .robust import ErrorRecord, FaultInjector, FaultPolicy, FaultReport

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, NamedTuple, Optional, Tuple
 
-from ..engine import EvaluationCache, evaluate_batch
+from ..engine import EngineOptions, EvaluationCache, evaluate_batch, resolve_options
 from ..exceptions import ModelDefinitionError
 
 __all__ = ["SensitivityRow", "parametric_sensitivity", "rank_parameters"]
@@ -38,12 +38,14 @@ def parametric_sensitivity(
     evaluate: Evaluator,
     params: Mapping[str, float],
     rel_step: float = 1e-4,
-    n_jobs: int = 1,
+    n_jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
     executor=None,
     cache: Optional[EvaluationCache] = None,
     progress=None,
     policy=None,
+    options: Optional[EngineOptions] = None,
+    tracer=None,
 ) -> Dict[str, SensitivityRow]:
     """Central-difference sensitivities of ``evaluate`` at ``params``.
 
@@ -66,6 +68,10 @@ def parametric_sensitivity(
         :class:`~repro.engine.EvaluationCache` (an ephemeral one when
         ``cache`` is not given), so sharing a cache with an earlier
         analysis at the same nominal point skips the repeated solves.
+    options / tracer:
+        One bundled :class:`~repro.engine.EngineOptions` (loose keywords
+        override its fields) and an optional
+        :class:`~repro.obs.Tracer` activated for the batch.
     policy:
         Optional :class:`~repro.robust.FaultPolicy`; failed perturbed
         points yield ``NaN`` derivatives for the affected parameters
@@ -100,16 +106,19 @@ def parametric_sensitivity(
         up[name] = value + h
         down[name] = value - h
         assignments.extend((up, down))
-    batch = evaluate_batch(
-        evaluate,
-        assignments,
+    opts = resolve_options(
+        options,
         n_jobs=n_jobs,
         chunk_size=chunk_size,
         executor=executor,
-        cache=cache if cache is not None else EvaluationCache(),
+        cache=cache,
         progress=progress,
         policy=policy,
+        tracer=tracer,
     )
+    if opts.cache is None:
+        opts = opts.replace(cache=EvaluationCache())
+    batch = evaluate_batch(evaluate, assignments, options=opts)
     base_output = float(batch.outputs[0])
     rows: Dict[str, SensitivityRow] = {}
     for i, name in enumerate(names):

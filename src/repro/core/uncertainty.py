@@ -18,7 +18,13 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..distributions import LifetimeDistribution
-from ..engine import EngineStats, EvaluationCache, evaluate_batch
+from ..engine import (
+    EngineOptions,
+    EngineStats,
+    EvaluationCache,
+    evaluate_batch,
+    resolve_options,
+)
 from ..exceptions import ModelDefinitionError
 
 __all__ = ["UncertaintyResult", "propagate_uncertainty", "tornado_sensitivity"]
@@ -149,12 +155,14 @@ def propagate_uncertainty(
     n_samples: int = 1000,
     rng: Optional[np.random.Generator] = None,
     method: str = "lhs",
-    n_jobs: int = 1,
+    n_jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
     executor=None,
     cache: Optional[EvaluationCache] = None,
     progress=None,
     policy=None,
+    options: Optional[EngineOptions] = None,
+    tracer=None,
 ) -> UncertaintyResult:
     """Propagate parameter uncertainty through a model.
 
@@ -180,6 +188,10 @@ def propagate_uncertainty(
         given ``rng`` seed regardless of executor or worker count.
     chunk_size / executor / cache / progress:
         Forwarded to :func:`repro.engine.evaluate_batch`; see there.
+    options / tracer:
+        One bundled :class:`~repro.engine.EngineOptions` (loose keywords
+        override its fields) and an optional
+        :class:`~repro.obs.Tracer` activated for the whole propagation.
     policy:
         Optional :class:`~repro.robust.FaultPolicy`.  With
         ``on_error="skip"`` or ``"retry"`` a failing draw becomes a
@@ -206,16 +218,17 @@ def propagate_uncertainty(
     assignments = [
         {name: float(draws[name][k]) for name in names} for k in range(n_samples)
     ]
-    batch = evaluate_batch(
-        evaluate,
-        assignments,
+    opts = resolve_options(
+        options,
         n_jobs=n_jobs,
         chunk_size=chunk_size,
         executor=executor,
         cache=cache,
         progress=progress,
         policy=policy,
+        tracer=tracer,
     )
+    batch = evaluate_batch(evaluate, assignments, options=opts)
     return UncertaintyResult(batch.outputs, draws, stats=batch.stats, errors=batch.errors)
 
 
@@ -224,12 +237,14 @@ def tornado_sensitivity(
     priors: Mapping[str, LifetimeDistribution],
     low_q: float = 0.05,
     high_q: float = 0.95,
-    n_jobs: int = 1,
+    n_jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
     executor=None,
     cache: Optional[EvaluationCache] = None,
     progress=None,
     policy=None,
+    options: Optional[EngineOptions] = None,
+    tracer=None,
 ) -> List[Tuple[str, float, float]]:
     """One-at-a-time tornado analysis.
 
@@ -262,16 +277,19 @@ def tornado_sensitivity(
         low_params[name] = float(prior.ppf(low_q))
         high_params[name] = float(prior.ppf(high_q))
         assignments.extend((low_params, high_params))
-    batch = evaluate_batch(
-        evaluate,
-        assignments,
+    opts = resolve_options(
+        options,
         n_jobs=n_jobs,
         chunk_size=chunk_size,
         executor=executor,
-        cache=cache if cache is not None else EvaluationCache(),
+        cache=cache,
         progress=progress,
         policy=policy,
+        tracer=tracer,
     )
+    if opts.cache is None:
+        opts = opts.replace(cache=EvaluationCache())
+    batch = evaluate_batch(evaluate, assignments, options=opts)
     rows = [
         (name, float(batch.outputs[2 * i]), float(batch.outputs[2 * i + 1]))
         for i, name in enumerate(names)

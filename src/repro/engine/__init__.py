@@ -39,11 +39,14 @@ from .executors import (
     resolve_executor,
     spawn_generators,
 )
+from .options import EngineOptions, resolve_options
 from .stats import EngineStats, ProgressPrinter
 
 __all__ = [
     "evaluate_batch",
     "BatchResult",
+    "EngineOptions",
+    "resolve_options",
     "EvaluationCache",
     "freeze_assignment",
     "Executor",

@@ -11,15 +11,18 @@ the chosen :class:`~repro.engine.executors.Executor`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from time import perf_counter
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ModelDefinitionError
+from ..obs.trace import activate_tracer, get_tracer
 from ..robust.policy import ErrorRecord, FaultPolicy, FaultReport
 from .cache import EvaluationCache, freeze_assignment
 from .executors import Executor, resolve_executor, spawn_generators
+from .options import EngineOptions, resolve_options
 from .stats import EngineStats
 
 __all__ = ["BatchResult", "evaluate_batch"]
@@ -82,13 +85,15 @@ class BatchResult:
 def evaluate_batch(
     evaluate: Evaluator,
     assignments: Sequence[Mapping[str, float]],
-    n_jobs: int = 1,
+    n_jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
     executor=None,
     cache: Optional[EvaluationCache] = None,
     rng: Optional[np.random.Generator] = None,
     progress=None,
     policy: Optional[FaultPolicy] = None,
+    options: Optional[EngineOptions] = None,
+    tracer=None,
 ) -> BatchResult:
     """Evaluate every assignment; outputs in input order plus stats.
 
@@ -132,6 +137,14 @@ def evaluate_batch(
         before the policy existed.  Failed evaluations are never
         written to the ``cache``, so a later batch (or a retry at
         campaign level) re-attempts them.
+    options:
+        An :class:`~repro.engine.EngineOptions` naming the six loose
+        keywords above plus ``tracer`` in one object.  Loose keywords
+        explicitly passed override the corresponding field.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` made active for the
+        duration of the call; ``None`` uses the ambient one installed
+        by a surrounding :func:`repro.obs.trace` block.
 
     Examples
     --------
@@ -141,15 +154,79 @@ def evaluate_batch(
     >>> result.stats.n_evaluated
     2
     """
+    opts = resolve_options(
+        options,
+        n_jobs=n_jobs,
+        chunk_size=chunk_size,
+        executor=executor,
+        cache=cache,
+        progress=progress,
+        policy=policy,
+        tracer=tracer,
+    )
+    scope = activate_tracer(opts.tracer) if opts.tracer is not None else nullcontext()
+    with scope:
+        return _evaluate_batch(evaluate, assignments, opts, rng)
+
+
+def _evaluate_batch(
+    evaluate: Evaluator,
+    assignments: Sequence[Mapping[str, float]],
+    opts: EngineOptions,
+    rng: Optional[np.random.Generator],
+) -> BatchResult:
     assignments = list(assignments)
     n = len(assignments)
+    chunk_size, cache, progress, policy = (
+        opts.chunk_size,
+        opts.cache,
+        opts.progress,
+        opts.policy,
+    )
     if cache is not None and rng is not None:
         raise ModelDefinitionError(
             "cache and rng are mutually exclusive: memoization assumes a "
             "deterministic evaluator, per-task RNG spawning assumes a "
             "stochastic one"
         )
-    ex = resolve_executor(n_jobs, executor)
+    ex = resolve_executor(opts.n_jobs, opts.executor)
+    active = get_tracer()
+    batch_span = (
+        active.span("engine.batch", executor=ex.name, n_jobs=ex.n_jobs, n_tasks=n)
+        if active.enabled
+        else nullcontext()
+    )
+    with batch_span as span:
+        result = _evaluate_resolved(
+            evaluate, assignments, n, ex, chunk_size, cache, progress, policy, rng
+        )
+    if active.enabled:
+        span.observe(result.stats, key="stats")
+        metrics = active.metrics
+        metrics.counter("engine.tasks").inc(n)
+        metrics.counter("engine.evaluated").inc(result.stats.n_evaluated)
+        if result.stats.cache_hits or result.stats.cache_misses:
+            metrics.counter("engine.cache.hits").inc(result.stats.cache_hits)
+            metrics.counter("engine.cache.misses").inc(result.stats.cache_misses)
+        if result.stats.n_failed:
+            metrics.counter("engine.failed").inc(result.stats.n_failed)
+        if result.stats.n_retries:
+            metrics.counter("engine.retries").inc(result.stats.n_retries)
+        metrics.histogram("engine.eval_seconds").observe_many(result.stats.durations)
+    return result
+
+
+def _evaluate_resolved(
+    evaluate: Evaluator,
+    assignments: List[Mapping[str, float]],
+    n: int,
+    ex: Executor,
+    chunk_size: Optional[int],
+    cache: Optional[EvaluationCache],
+    progress,
+    policy: Optional[FaultPolicy],
+    rng: Optional[np.random.Generator],
+) -> BatchResult:
     start = perf_counter()
 
     if cache is None:

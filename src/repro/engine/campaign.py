@@ -21,13 +21,16 @@ Three designs cover the tutorial's workloads:
 from __future__ import annotations
 
 import itertools
+from contextlib import nullcontext
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ModelDefinitionError
+from ..obs.trace import activate_tracer, get_tracer
 from .batch import BatchResult, evaluate_batch
 from .cache import EvaluationCache
+from .options import EngineOptions, resolve_options
 from .stats import EngineStats
 
 __all__ = [
@@ -243,29 +246,50 @@ def run_campaign(
     evaluate,
     spec: CampaignSpec,
     rng: Optional[np.random.Generator] = None,
-    n_jobs: int = 1,
+    n_jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
     executor=None,
     cache: Optional[EvaluationCache] = None,
     progress=None,
     policy=None,
+    options: Optional[EngineOptions] = None,
+    tracer=None,
 ) -> CampaignResult:
     """Materialize ``spec`` and evaluate it through the engine.
 
     ``rng`` seeds randomized designs; the remaining keyword arguments —
     including an optional :class:`~repro.robust.FaultPolicy` ``policy``
-    isolating per-point faults — are forwarded to
-    :func:`~repro.engine.batch.evaluate_batch`.
+    isolating per-point faults, or one bundled
+    :class:`~repro.engine.EngineOptions` ``options`` (loose keywords
+    override its fields) — are forwarded to
+    :func:`~repro.engine.batch.evaluate_batch`.  When tracing is active
+    the whole run is wrapped in an ``engine.campaign`` span.
     """
-    assignments = spec.assignments(rng)
-    batch: BatchResult = evaluate_batch(
-        evaluate,
-        assignments,
+    opts = resolve_options(
+        options,
         n_jobs=n_jobs,
         chunk_size=chunk_size,
         executor=executor,
         cache=cache,
         progress=progress,
         policy=policy,
+        tracer=tracer,
     )
+    scope = activate_tracer(opts.tracer) if opts.tracer is not None else nullcontext()
+    with scope:
+        assignments = spec.assignments(rng)
+        active = get_tracer()
+        span = (
+            active.span(
+                "engine.campaign", spec=type(spec).__name__, n_points=len(assignments)
+            )
+            if active.enabled
+            else nullcontext()
+        )
+        with span:
+            batch: BatchResult = evaluate_batch(
+                evaluate,
+                assignments,
+                options=opts.replace(tracer=None),
+            )
     return CampaignResult(spec, assignments, batch.outputs, batch.stats, batch.errors)

@@ -32,11 +32,12 @@ import itertools
 import math
 import pickle
 import time
-from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import EvaluationTimeout, ModelDefinitionError, SolverError
+from ..obs.trace import get_tracer, record_span
 from ..robust.policy import ErrorRecord, FaultPolicy, FaultReport
 
 __all__ = [
@@ -182,6 +183,30 @@ def _run_chunk(
     return results
 
 
+def _run_chunk_traced(
+    evaluate: Evaluator,
+    assignments: Sequence[Mapping[str, float]],
+    rngs: Optional[Sequence[np.random.Generator]],
+    policy: Optional[FaultPolicy],
+    indices: Optional[Sequence[int]],
+    span_attributes: Mapping[str, Any],
+):
+    """:func:`_run_chunk` wrapped in the engine's trace envelope.
+
+    Runs the chunk under a worker-local recorder tracer and returns
+    ``(chunk_results, span_dict)``; any instrumented library code the
+    evaluator calls (solver stages, BDD builds) nests under the chunk
+    span and travels back with it.  Module-level so it pickles for the
+    process pool.
+    """
+    return record_span(
+        _run_chunk,
+        (evaluate, assignments, rngs, policy, indices),
+        name="engine.chunk",
+        attributes=span_attributes,
+    )
+
+
 class Executor:
     """Runs a batch of independent evaluations; results in input order.
 
@@ -257,6 +282,11 @@ class SerialExecutor(Executor):
 
     def run(self, evaluate, assignments, rngs=None, chunk_size=None, progress=None, policy=None):
         n = self._validate(assignments, rngs)
+        tracer = get_tracer()
+        if tracer.enabled and n:
+            return self._run_traced(
+                tracer, evaluate, assignments, rngs, chunk_size, progress, policy
+            )
         values: List[float] = []
         durations = np.empty(n)
         report = FaultReport()
@@ -269,6 +299,29 @@ class SerialExecutor(Executor):
             report.record(error, attempts)
             if progress is not None:
                 progress(k + 1, n)
+        return values, durations, report
+
+    def _run_traced(self, tracer, evaluate, assignments, rngs, chunk_size, progress, policy):
+        """The traced serial path: the same loop, grouped into the same
+        per-chunk spans the pool backends emit — so a serial trace of a
+        batch is structurally identical to a pooled one (for the same
+        ``chunk_size``) modulo timings."""
+        n = len(assignments)
+        size = chunk_size if chunk_size is not None else default_chunk_size(n, self.n_jobs)
+        values: List[float] = []
+        durations = np.empty(n)
+        report = FaultReport()
+        for ci, chunk in enumerate(_chunk_indices(n, max(1, size))):
+            with tracer.span("engine.chunk", index=ci, tasks=len(chunk)):
+                for k in chunk:
+                    value, seconds, error, attempts = _run_task(
+                        evaluate, assignments[k], None if rngs is None else rngs[k], policy, k
+                    )
+                    values.append(value)
+                    durations[k] = seconds
+                    report.record(error, attempts)
+                    if progress is not None:
+                        progress(k + 1, n)
         return values, durations, report
 
 
@@ -300,9 +353,36 @@ class _PoolExecutor(Executor):
         report = FaultReport()
         completed: set = set()
         done = 0
+        tracer = get_tracer()
+        traced = tracer.enabled
+        # Worker-recorded chunk spans, keyed by chunk position so the
+        # grafted tree is in submission order regardless of the
+        # completion order `as_completed` happens to produce.
+        span_dicts: Dict[int, dict] = {}
+        chunk_pos = {chunk: ci for ci, chunk in enumerate(chunks)}
 
-        def consume(chunk, chunk_results):
+        def submit_args(chunk):
+            args = (
+                evaluate,
+                [assignments[i] for i in chunk],
+                None if rngs is None else [rngs[i] for i in chunk],
+                policy,
+                list(chunk),
+            )
+            if traced:
+                ci = chunk_pos[chunk]
+                return _run_chunk_traced, args + (
+                    {"index": ci, "tasks": len(chunk)},
+                )
+            return _run_chunk, args
+
+        def consume(chunk, outcome):
             nonlocal done
+            if traced:
+                chunk_results, span_dict = outcome
+                span_dicts[chunk_pos[chunk]] = span_dict
+            else:
+                chunk_results = outcome
             for i, (value, seconds, error, attempts) in zip(chunk, chunk_results):
                 values[i] = value
                 durations[i] = seconds
@@ -314,21 +394,14 @@ class _PoolExecutor(Executor):
 
         broken: Optional[BaseException] = None
         with self._make_pool() as pool:
-            futures = {
-                pool.submit(
-                    _run_chunk,
-                    evaluate,
-                    [assignments[i] for i in chunk],
-                    None if rngs is None else [rngs[i] for i in chunk],
-                    policy,
-                    list(chunk),
-                ): chunk
-                for chunk in chunks
-            }
+            futures = {}
+            for chunk in chunks:
+                fn, args = submit_args(chunk)
+                futures[pool.submit(fn, *args)] = chunk
             for future in concurrent.futures.as_completed(futures):
                 chunk = futures[future]
                 try:
-                    chunk_results = future.result()
+                    outcome = future.result()
                 except concurrent.futures.BrokenExecutor as exc:
                     # A worker died (segfault, os._exit, OOM kill): every
                     # outstanding future is lost.  Leave the pool; the
@@ -343,7 +416,7 @@ class _PoolExecutor(Executor):
                     for pending_future in futures:
                         pending_future.cancel()
                     raise
-                consume(chunk, chunk_results)
+                consume(chunk, outcome)
 
         if broken is not None:
             if policy is None or not policy.recover_broken_pool:
@@ -359,14 +432,11 @@ class _PoolExecutor(Executor):
             for chunk in chunks:
                 if chunk in completed:
                     continue
-                chunk_results = _run_chunk(
-                    evaluate,
-                    [assignments[i] for i in chunk],
-                    None if rngs is None else [rngs[i] for i in chunk],
-                    policy,
-                    list(chunk),
-                )
-                consume(chunk, chunk_results)
+                fn, args = submit_args(chunk)
+                consume(chunk, fn(*args))
+        if traced:
+            for ci in sorted(span_dicts):
+                tracer.graft(span_dicts[ci])
         return values, durations, report
 
 

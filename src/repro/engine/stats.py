@@ -115,6 +115,21 @@ class EngineStats:
             return 0.0
         return float(self.durations.sum()) / (self.wall_time * self.n_jobs)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict of the run — the :class:`~repro.obs.Observation`
+        archival form attached to ``engine.batch`` trace spans.
+
+        Carries the executor identity alongside every :meth:`summary`
+        number plus the raw fault counters; the per-evaluation durations
+        array is summarized (not embedded) to keep span payloads small.
+        """
+        out: Dict[str, object] = {"executor": self.executor, "n_jobs": self.n_jobs}
+        out.update(self.summary())
+        out["cache_hits"] = self.cache_hits
+        out["cache_misses"] = self.cache_misses
+        out["pool_recoveries"] = self.pool_recoveries
+        return out
+
     def summary(self) -> Dict[str, float]:
         """Flat dict of the headline numbers (handy for table printing)."""
         return {

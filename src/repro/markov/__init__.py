@@ -14,6 +14,7 @@ from .fallback import (
     SolverAttempt,
     SolverReport,
     generator_diagnostics,
+    resolve_method_kwarg,
     solve_steady_state,
 )
 from .mrgp import GeneralTransition, MarkovRegenerativeProcess
@@ -25,6 +26,7 @@ from .solvers import (
     cumulative_uniformization,
     gth_solve,
     poisson_truncation_point,
+    solve_transient,
     steady_state_direct,
     steady_state_power,
     transient_ode,
@@ -57,6 +59,7 @@ __all__ = [
     "steady_state_power",
     "uniformized_matrix",
     "poisson_truncation_point",
+    "solve_transient",
     "transient_ode",
     "transient_uniformization",
     "cumulative_uniformization",
@@ -66,4 +69,5 @@ __all__ = [
     "SolverAttempt",
     "SolverReport",
     "solve_steady_state",
+    "resolve_method_kwarg",
 ]

@@ -38,13 +38,14 @@ from scipy import sparse
 from .._validation import check_rate
 from ..core.model import DependabilityModel
 from ..exceptions import ModelDefinitionError, SolverError, StateSpaceError
+from ..obs.trace import get_tracer
 from .solvers import (
     cumulative_uniformization,
     gth_solve,
+    solve_transient,
     steady_state_direct,
     steady_state_power,
     transient_ode,
-    transient_uniformization,
 )
 
 __all__ = ["CTMC", "MarkovDependabilityModel"]
@@ -171,32 +172,43 @@ class CTMC:
             why).
         """
         q = self.generator()
-        if method == "gth":
-            pi = gth_solve(q.toarray())
-        elif method == "direct":
-            pi = steady_state_direct(q)
-        elif method == "power":
-            pi = steady_state_power(q)
-        elif method == "auto":
+        if method == "auto":
             from .fallback import solve_steady_state
 
-            pi = solve_steady_state(q, strategy="auto").pi
-        else:
+            pi = solve_steady_state(q, method="auto").pi
+            return {state: float(pi[i]) for state, i in self._index.items()}
+        kernels = {
+            "gth": lambda: gth_solve(q.toarray()),
+            "direct": lambda: steady_state_direct(q),
+            "power": lambda: steady_state_power(q),
+        }
+        if method not in kernels:
             raise SolverError(f"unknown steady-state method {method!r}")
+        tracer = get_tracer()
+        with tracer.span(
+            "solver.steady_state", method=method, n_states=self.n_states
+        ):
+            with tracer.span("solver.stage", method=method) as span:
+                pi = kernels[method]()
+                span.set(success=True)
+            tracer.metrics.counter("solver.stage.success", method=method).inc()
         return {state: float(pi[i]) for state, i in self._index.items()}
 
-    def steady_state_report(self, strategy: str = "auto", **kwargs):
+    def steady_state_report(self, method: str = None, strategy: str = None, **kwargs):
         """Stationary solve with full fallback diagnostics.
 
         Runs :func:`~repro.markov.fallback.solve_steady_state` on the
         generator and returns its :class:`~repro.markov.fallback.SolverReport`
         (``report.pi`` follows :attr:`states` order; extra keyword
         arguments — ``order``, ``residual_tol``, ``stages``, ... — are
-        forwarded).
+        forwarded).  ``method`` defaults to ``"auto"``; the pre-unification
+        spelling ``strategy=`` keeps working with a
+        :class:`DeprecationWarning`.
         """
-        from .fallback import solve_steady_state
+        from .fallback import resolve_method_kwarg, solve_steady_state
 
-        return solve_steady_state(self.generator(), strategy=strategy, **kwargs)
+        method = resolve_method_kwarg(method, strategy, "steady_state_report")
+        return solve_steady_state(self.generator(), method=method, **kwargs)
 
     def expected_reward_rate(
         self, rewards: Mapping[State, float], method: str = "gth"
@@ -224,15 +236,17 @@ class CTMC:
         initial:
             A state label or a mapping state → probability.
         method:
-            ``"uniformization"`` (default, error-controlled) or ``"ode"``
-            (``scipy.integrate.solve_ivp``, the E09 ablation).
+            ``"uniformization"`` (default, error-controlled), ``"ode"``
+            (``scipy.integrate.solve_ivp``, the E09 ablation), or
+            ``"auto"`` — delegate the choice to
+            :func:`~repro.markov.solvers.solve_transient`.
         """
         scalar = np.isscalar(times)
         ts = np.atleast_1d(np.asarray(times, dtype=float))
         p0 = self._initial_vector(initial)
         q = self.generator()
-        if method == "uniformization":
-            probs = transient_uniformization(q, p0, ts, tol=tol)
+        if method in ("auto", "uniformization"):
+            probs = solve_transient(q, p0, ts, method=method, tol=tol)
         elif method == "ode":
             probs = self._transient_ode(q, p0, ts, tol)
         else:

@@ -17,14 +17,16 @@ solved by the second-choice method instead of silently diverging.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+import warnings
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
 from scipy.sparse import csgraph
 
 from ..exceptions import ModelDefinitionError, ReproError, SolverError
+from ..obs.trace import get_tracer
 from .solvers import (
     gth_solve,
     steady_state_direct,
@@ -38,6 +40,7 @@ __all__ = [
     "SolverAttempt",
     "SolverReport",
     "solve_steady_state",
+    "resolve_method_kwarg",
 ]
 
 @dataclass(frozen=True)
@@ -185,6 +188,32 @@ class SolverReport:
         """How many stages failed before one succeeded."""
         return sum(1 for attempt in self.attempts if not attempt.success)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of the solve — the :class:`~repro.obs.Observation`
+        archival form attached to ``solver.steady_state`` trace spans
+        (the stationary vector itself is not embedded)."""
+        return {
+            "strategy": self.strategy,
+            "order": list(self.order),
+            "method": self.method,
+            "ok": self.ok,
+            "fallbacks_used": self.fallbacks_used,
+            "diagnostics": asdict(self.diagnostics),
+            "attempts": [asdict(attempt) for attempt in self.attempts],
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline numbers (handy for table printing)."""
+        winning = next((a for a in self.attempts if a.success), None)
+        return {
+            "n_states": float(self.diagnostics.n_states),
+            "stiffness_ratio": self.diagnostics.stiffness_ratio,
+            "n_attempts": float(len(self.attempts)),
+            "fallbacks_used": float(self.fallbacks_used),
+            "solve_time_s": float(sum(a.duration for a in self.attempts)),
+            "residual": winning.residual if winning is not None else float("nan"),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         trail = " -> ".join(
             f"{a.method}{'✓' if a.success else '✗'}" for a in self.attempts
@@ -212,14 +241,45 @@ def _relative_residual(q: sparse.csr_matrix, pi: np.ndarray, max_rate: float) ->
     return float(residual.max()) / max(1.0, max_rate)
 
 
+def resolve_method_kwarg(
+    method: Optional[str],
+    strategy: Optional[str],
+    function: str,
+    default: str = "auto",
+) -> str:
+    """Fold the deprecated ``strategy=`` kwarg into ``method=``.
+
+    The shim behind the library-wide solver API unification: ``method=``
+    is the one spelling (matching :meth:`CTMC.steady_state` and
+    :meth:`CTMC.transient`), ``strategy=`` keeps working with a
+    :class:`DeprecationWarning`, and passing both with different values
+    is an error.
+    """
+    if strategy is not None:
+        warnings.warn(
+            f"{function}(strategy=...) is deprecated; use method=... "
+            f"(same values, same semantics)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if method is not None and method != strategy:
+            raise ModelDefinitionError(
+                f"{function}() got both method={method!r} and the deprecated "
+                f"strategy={strategy!r}; pass method= only"
+            )
+        return strategy
+    return default if method is None else method
+
+
 def solve_steady_state(
     generator,
-    strategy: str = "auto",
+    method: Optional[str] = None,
     order: Optional[Sequence[str]] = None,
     residual_tol: float = 1e-8,
     dense_limit: int = 2000,
     stiffness_threshold: float = 1e8,
     stages: Optional[Mapping[str, Callable]] = None,
+    strategy: Optional[str] = None,
 ) -> SolverReport:
     """Steady-state vector via a diagnosed, guarded solver fallback chain.
 
@@ -232,14 +292,15 @@ def solve_steady_state(
         vector and raises
         :class:`~repro.exceptions.ModelDefinitionError` before any
         solver runs.
-    strategy:
+    method:
         ``"auto"`` (default) walks a fallback chain ordered by the
         diagnostics: GTH first for chains that are small
         (``n <= dense_limit``) or stiff
         (``stiffness_ratio >= stiffness_threshold``), sparse-direct
         first for large well-conditioned chains; power iteration is
         always the last resort.  ``"gth"`` / ``"direct"`` / ``"power"``
-        run a single stage (guards still applied).
+        run a single stage (guards still applied).  Matches the
+        ``method=`` kwarg of :meth:`repro.CTMC.steady_state`.
     order:
         Explicit stage order overriding the heuristic (implies
         ``"auto"`` semantics).
@@ -255,6 +316,10 @@ def solve_steady_state(
         the injection point used by the fault-injection harness
         (:class:`~repro.robust.FailingCallable`) to force and test
         fallbacks.
+    strategy:
+        Deprecated alias of ``method`` (the pre-unification spelling).
+        Accepted with a :class:`DeprecationWarning`; results are
+        bit-identical to the ``method=`` path.
 
     Returns
     -------
@@ -273,6 +338,7 @@ def solve_steady_state(
     >>> np.round(report.pi, 8).tolist()
     [0.66666667, 0.33333333]
     """
+    method = resolve_method_kwarg(method, strategy, "solve_steady_state")
     q = sparse.csr_matrix(generator, dtype=float)
     validate_generator(q)
     diagnostics = generator_diagnostics(q)
@@ -290,7 +356,7 @@ def solve_steady_state(
         known.update(stages)
     if order is not None:
         chain = tuple(order)
-    elif strategy == "auto":
+    elif method == "auto":
         if (
             diagnostics.n_states <= dense_limit
             or diagnostics.stiffness_ratio >= stiffness_threshold
@@ -298,59 +364,84 @@ def solve_steady_state(
             chain = ("gth", "direct", "power")
         else:
             chain = ("direct", "power", "gth")
-    elif strategy in known:
-        chain = (strategy,)
+    elif method in known:
+        chain = (method,)
     else:
         raise SolverError(
-            f"unknown strategy {strategy!r}; use 'auto', one of "
+            f"unknown method {method!r}; use 'auto', one of "
             f"{sorted(known)}, or pass an explicit order"
         )
     unknown = [name for name in chain if name not in known]
     if unknown:
         raise SolverError(f"unknown solver stage(s) {unknown}; known: {sorted(known)}")
 
-    report = SolverReport(strategy, chain, diagnostics)
-    for name in chain:
-        start = time.perf_counter()
-        try:
-            pi = np.asarray(known[name](q), dtype=float)
-            if pi.shape != (diagnostics.n_states,):
-                raise SolverError(
-                    f"stage returned shape {pi.shape}, expected ({diagnostics.n_states},)"
+    tracer = get_tracer()
+    report = SolverReport(method, chain, diagnostics)
+    with tracer.span(
+        "solver.steady_state",
+        method=method,
+        n_states=diagnostics.n_states,
+        stiffness_ratio=diagnostics.stiffness_ratio,
+    ) as outer_span:
+        for name in chain:
+            start = time.perf_counter()
+            with tracer.span("solver.stage", method=name) as span:
+                try:
+                    pi = np.asarray(known[name](q), dtype=float)
+                    if pi.shape != (diagnostics.n_states,):
+                        raise SolverError(
+                            f"stage returned shape {pi.shape}, expected ({diagnostics.n_states},)"
+                        )
+                    if not np.all(np.isfinite(pi)):
+                        raise SolverError("stage produced non-finite probabilities")
+                    if float(pi.min()) < -1e-12:
+                        raise SolverError(
+                            f"stage produced negative probability {pi.min():.3g}"
+                        )
+                    total = float(pi.sum())
+                    if total <= 0.0:
+                        raise SolverError("stage produced a zero vector")
+                    pi = np.maximum(pi, 0.0) / total
+                    residual = _relative_residual(q, pi, diagnostics.max_rate)
+                    if residual > residual_tol:
+                        raise SolverError(
+                            f"stage residual {residual:.3g} exceeds tolerance "
+                            f"{residual_tol:.3g}"
+                        )
+                except (
+                    ReproError,
+                    np.linalg.LinAlgError,
+                    ValueError,
+                    ArithmeticError,
+                    RuntimeError,
+                ) as exc:
+                    report.attempts.append(
+                        SolverAttempt(
+                            method=name,
+                            success=False,
+                            duration=time.perf_counter() - start,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    span.set(success=False, error=f"{type(exc).__name__}: {exc}")
+                    tracer.metrics.counter("solver.stage.failure", method=name).inc()
+                    continue
+                report.attempts.append(
+                    SolverAttempt(
+                        method=name,
+                        success=True,
+                        duration=time.perf_counter() - start,
+                        residual=residual,
+                    )
                 )
-            if not np.all(np.isfinite(pi)):
-                raise SolverError("stage produced non-finite probabilities")
-            if float(pi.min()) < -1e-12:
-                raise SolverError(f"stage produced negative probability {pi.min():.3g}")
-            total = float(pi.sum())
-            if total <= 0.0:
-                raise SolverError("stage produced a zero vector")
-            pi = np.maximum(pi, 0.0) / total
-            residual = _relative_residual(q, pi, diagnostics.max_rate)
-            if residual > residual_tol:
-                raise SolverError(
-                    f"stage residual {residual:.3g} exceeds tolerance {residual_tol:.3g}"
-                )
-        except (ReproError, np.linalg.LinAlgError, ValueError, ArithmeticError, RuntimeError) as exc:
-            report.attempts.append(
-                SolverAttempt(
-                    method=name,
-                    success=False,
-                    duration=time.perf_counter() - start,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
-            )
-            continue
-        report.attempts.append(
-            SolverAttempt(
-                method=name,
-                success=True,
-                duration=time.perf_counter() - start,
-                residual=residual,
-            )
-        )
-        report.pi = pi
-        return report
+                span.set(success=True, residual=residual)
+                tracer.metrics.counter("solver.stage.success", method=name).inc()
+                if report.fallbacks_used:
+                    tracer.metrics.counter("solver.fallbacks").inc(report.fallbacks_used)
+            if report.attempts[-1].success:
+                report.pi = pi
+                outer_span.observe(report, key="solver_report")
+                return report
 
     trail = "; ".join(f"{a.method}: {a.error}" for a in report.attempts)
     error = SolverError(

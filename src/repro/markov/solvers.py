@@ -30,6 +30,7 @@ from scipy import sparse
 from scipy.sparse import linalg as sparse_linalg
 
 from ..exceptions import ConvergenceError, ModelDefinitionError, SolverError
+from ..obs.trace import get_tracer
 
 __all__ = [
     "validate_generator",
@@ -38,6 +39,7 @@ __all__ = [
     "steady_state_power",
     "uniformized_matrix",
     "poisson_truncation_point",
+    "solve_transient",
     "transient_uniformization",
     "transient_ode",
     "cumulative_uniformization",
@@ -301,17 +303,24 @@ def transient_ode(
     horizon = float(times.max()) if times.size else 0.0
     if horizon == 0.0:
         return np.tile(p0, (times.size, 1))
-    solution = scipy_integrate.solve_ivp(
-        rhs,
-        (0.0, horizon),
-        p0,
-        t_eval=np.sort(times),
-        method="LSODA",
-        rtol=max(tol, 1e-12),
-        atol=max(tol * 1e-2, 1e-14),
-    )
-    if not solution.success:  # pragma: no cover - scipy failure path
-        raise SolverError(f"ODE transient solver failed: {solution.message}")
+    with get_tracer().span(
+        "solver.transient",
+        method="ode",
+        n_states=qt.shape[0],
+        n_times=int(times.size),
+        horizon=horizon,
+    ):
+        solution = scipy_integrate.solve_ivp(
+            rhs,
+            (0.0, horizon),
+            p0,
+            t_eval=np.sort(times),
+            method="LSODA",
+            rtol=max(tol, 1e-12),
+            atol=max(tol * 1e-2, 1e-14),
+        )
+        if not solution.success:  # pragma: no cover - scipy failure path
+            raise SolverError(f"ODE transient solver failed: {solution.message}")
     order = np.argsort(times)
     out = np.empty((times.size, p0.size))
     out[order] = solution.y.T
@@ -361,38 +370,98 @@ def transient_uniformization(
 
     out = np.empty((times.size, n))
     max_time = float(times.max()) if times.size else 0.0
+    tracer = get_tracer()
     try:
         k_max = poisson_truncation_point(lam * max_time, tol)
     except SolverError:
         # Truncation point unreachable (tol below float resolution for
         # this Λt): fall through to the ODE integrator.
-        return transient_ode(generator, initial, times, tol)
+        with tracer.span(
+            "solver.transient", method="uniformization", n_states=n, fallback="ode"
+        ):
+            return transient_ode(generator, initial, times, tol)
     if k_max > max_terms:
-        return transient_ode(generator, initial, times, tol)
+        with tracer.span(
+            "solver.transient",
+            method="uniformization",
+            n_states=n,
+            truncation_point=k_max,
+            fallback="ode",
+        ):
+            return transient_ode(generator, initial, times, tol)
 
-    # Precompute the Krylov-style sequence v_k = initial P^k once, then
-    # combine with each time's Poisson weights.
-    vectors = [initial]
-    vec = initial
-    for _ in range(k_max):
-        vec = pt @ vec
-        vectors.append(vec)
+    with tracer.span(
+        "solver.transient",
+        method="uniformization",
+        n_states=n,
+        n_times=int(times.size),
+        truncation_point=k_max,
+        uniformization_rate=float(lam),
+    ):
+        # Precompute the Krylov-style sequence v_k = initial P^k once,
+        # then combine with each time's Poisson weights.
+        vectors = [initial]
+        vec = initial
+        for _ in range(k_max):
+            vec = pt @ vec
+            vectors.append(vec)
 
-    for idx, t in enumerate(times):
-        lam_t = lam * float(t)
-        if lam_t == 0.0:
-            out[idx] = initial
-            continue
-        k_t = poisson_truncation_point(lam_t, tol)
-        acc = np.zeros(n)
-        log_w = -lam_t
-        for k in range(0, k_t + 1):
-            weight = math.exp(log_w)
-            if weight > 0.0:
-                acc += weight * vectors[min(k, k_max)]
-            log_w += math.log(lam_t) - math.log(k + 1)
-        out[idx] = acc
+        for idx, t in enumerate(times):
+            lam_t = lam * float(t)
+            if lam_t == 0.0:
+                out[idx] = initial
+                continue
+            k_t = poisson_truncation_point(lam_t, tol)
+            acc = np.zeros(n)
+            log_w = -lam_t
+            for k in range(0, k_t + 1):
+                weight = math.exp(log_w)
+                if weight > 0.0:
+                    acc += weight * vectors[min(k, k_max)]
+                log_w += math.log(lam_t) - math.log(k + 1)
+            out[idx] = acc
     return out
+
+
+def solve_transient(
+    generator: sparse.spmatrix,
+    initial: np.ndarray,
+    times: np.ndarray,
+    method: str = "auto",
+    tol: float = 1e-10,
+    max_terms: int = 100_000,
+) -> np.ndarray:
+    """Unified front door for transient analysis π(t) = π(0) e^{Qt}.
+
+    The transient counterpart of
+    :func:`repro.markov.fallback.solve_steady_state`: pick a kernel by
+    name instead of importing it.
+
+    Parameters
+    ----------
+    method:
+        ``"auto"`` (default) — uniformization, which itself falls back
+        to the ODE integrator for huge ``Λt``; ``"uniformization"`` —
+        Jensen's method (the overflow guard is part of the kernel, so
+        the ODE escape hatch still applies); ``"ode"`` — stiff LSODA
+        integration of the Kolmogorov forward equations.
+    tol:
+        Truncation-error bound (uniformization) or integration tolerance
+        (ODE).
+
+    Returns
+    -------
+    Array of shape ``(len(times), n)``.
+    """
+    if method in ("auto", "uniformization"):
+        return transient_uniformization(
+            generator, initial, times, tol=tol, max_terms=max_terms
+        )
+    if method == "ode":
+        return transient_ode(generator, initial, times, tol=tol)
+    raise ModelDefinitionError(
+        f"unknown transient method {method!r}; use 'auto', 'uniformization' or 'ode'"
+    )
 
 
 def cumulative_uniformization(

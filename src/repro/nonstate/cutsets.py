@@ -14,6 +14,7 @@ import itertools
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
 
 from ..exceptions import ModelDefinitionError
+from ..obs.trace import get_tracer
 
 __all__ = [
     "minimize_cut_sets",
@@ -159,32 +160,36 @@ def sum_of_disjoint_products(
     """
     sets = minimize_cut_sets(cut_sets)
     terms: List[Tuple[CutSet, CutSet]] = []
-    for idx, cs in enumerate(sets):
-        # Start with the raw product, then make it disjoint from all
-        # earlier cut sets.
-        pending: List[Tuple[CutSet, CutSet]] = [(cs, frozenset())]
-        for prev in sets[:idx]:
-            next_pending: List[Tuple[CutSet, CutSet]] = []
-            for pos, neg in pending:
-                overlap_free = prev - pos
-                if not overlap_free:
-                    # prev ⊆ pos: this term is inside an earlier cut set;
-                    # drop it entirely.
-                    continue
-                if overlap_free & neg:
-                    # Already disjoint from prev via an existing negation.
-                    next_pending.append((pos, neg))
-                    continue
-                # Split on the events of prev not yet fixed: term stays if
-                # at least one of them is working.
-                fixed_neg = neg
-                fixed_pos = pos
-                for event in sorted(overlap_free):
-                    next_pending.append((fixed_pos, fixed_neg | {event}))
-                    fixed_pos = fixed_pos | {event}
-                # The branch with all of prev failed is absorbed by prev.
-            pending = next_pending
-        terms.extend(pending)
+    with get_tracer().span("sdp.expand", n_cutsets=len(sets)) as span:
+        for idx, cs in enumerate(sets):
+            # Start with the raw product, then make it disjoint from all
+            # earlier cut sets.
+            pending: List[Tuple[CutSet, CutSet]] = [(cs, frozenset())]
+            for prev in sets[:idx]:
+                next_pending: List[Tuple[CutSet, CutSet]] = []
+                for pos, neg in pending:
+                    overlap_free = prev - pos
+                    if not overlap_free:
+                        # prev ⊆ pos: this term is inside an earlier cut
+                        # set; drop it entirely.
+                        continue
+                    if overlap_free & neg:
+                        # Already disjoint from prev via an existing
+                        # negation.
+                        next_pending.append((pos, neg))
+                        continue
+                    # Split on the events of prev not yet fixed: term
+                    # stays if at least one of them is working.
+                    fixed_neg = neg
+                    fixed_pos = pos
+                    for event in sorted(overlap_free):
+                        next_pending.append((fixed_pos, fixed_neg | {event}))
+                        fixed_pos = fixed_pos | {event}
+                    # The branch with all of prev failed is absorbed by
+                    # prev.
+                pending = next_pending
+            terms.extend(pending)
+        span.set(n_products=len(terms))
     return terms
 
 

@@ -31,9 +31,26 @@ import numpy as np
 from ..core.model import DependabilityModel, mttf_from_reliability
 from ..distributions import LifetimeDistribution
 from ..exceptions import ModelDefinitionError
+from ..obs.trace import get_tracer
 from .bdd import BDD
 from .components import Component
 from .cutsets import minimize_cut_sets
+
+
+def _traced_to_bdd(gate, manager: BDD, fan_in: int, build):
+    """Run one gate's BDD construction under a ``bdd.gate`` span.
+
+    The node count is only computed when a real tracer is active —
+    ``count_nodes`` walks the sub-BDD, which would be pure overhead on
+    the untraced path.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return build()
+    with tracer.span("bdd.gate", kind=type(gate).__name__, fan_in=fan_in) as span:
+        node = build()
+        span.set(nodes=manager.count_nodes(node))
+    return node
 
 __all__ = [
     "FTNode",
@@ -136,14 +153,24 @@ class AndGate(_GateBase):
     """Output occurs iff *all* inputs occur (redundancy: all must fail)."""
 
     def to_bdd(self, manager: BDD) -> int:
-        return manager.conjoin(child.to_bdd(manager) for child in self.children)
+        return _traced_to_bdd(
+            self,
+            manager,
+            len(self.children),
+            lambda: manager.conjoin(child.to_bdd(manager) for child in self.children),
+        )
 
 
 class OrGate(_GateBase):
     """Output occurs iff *any* input occurs (series: one failure suffices)."""
 
     def to_bdd(self, manager: BDD) -> int:
-        return manager.disjoin(child.to_bdd(manager) for child in self.children)
+        return _traced_to_bdd(
+            self,
+            manager,
+            len(self.children),
+            lambda: manager.disjoin(child.to_bdd(manager) for child in self.children),
+        )
 
 
 class KofNGate(_GateBase):
@@ -160,15 +187,18 @@ class KofNGate(_GateBase):
         self.k = int(k)
 
     def to_bdd(self, manager: BDD) -> int:
-        if all(isinstance(c, BasicEvent) for c in self.children):
-            names = [c.name for c in self.children]
-            if len(set(names)) == len(names):
-                return manager.at_least_k(names, self.k)
-        nodes = [c.to_bdd(manager) for c in self.children]
-        return manager.disjoin(
-            manager.conjoin(nodes[i] for i in subset)
-            for subset in itertools.combinations(range(len(nodes)), self.k)
-        )
+        def build() -> int:
+            if all(isinstance(c, BasicEvent) for c in self.children):
+                names = [c.name for c in self.children]
+                if len(set(names)) == len(names):
+                    return manager.at_least_k(names, self.k)
+            nodes = [c.to_bdd(manager) for c in self.children]
+            return manager.disjoin(
+                manager.conjoin(nodes[i] for i in subset)
+                for subset in itertools.combinations(range(len(nodes)), self.k)
+            )
+
+        return _traced_to_bdd(self, manager, len(self.children), build)
 
 
 class NotGate(FTNode):
@@ -183,7 +213,9 @@ class NotGate(FTNode):
         return self.child.basic_events()
 
     def to_bdd(self, manager: BDD) -> int:
-        return manager.apply_not(self.child.to_bdd(manager))
+        return _traced_to_bdd(
+            self, manager, 1, lambda: manager.apply_not(self.child.to_bdd(manager))
+        )
 
     def is_coherent(self) -> bool:
         return False
@@ -235,8 +267,16 @@ class FaultTree(DependabilityModel):
 
     def _ensure_bdd(self) -> "tuple[BDD, int]":
         if self._bdd is None:
-            self._bdd = BDD(self._order)
-            self._bdd_top = self.top.to_bdd(self._bdd)
+            tracer = get_tracer()
+            if tracer.enabled:
+                with tracer.span("bdd.build", n_events=len(self._order)) as span:
+                    self._bdd = BDD(self._order)
+                    self._bdd_top = self.top.to_bdd(self._bdd)
+                    span.set(nodes=self._bdd.count_nodes(self._bdd_top))
+                tracer.metrics.counter("bdd.builds").inc()
+            else:
+                self._bdd = BDD(self._order)
+                self._bdd_top = self.top.to_bdd(self._bdd)
         return self._bdd, self._bdd_top
 
     def bdd_size(self) -> int:

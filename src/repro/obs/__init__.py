@@ -1,0 +1,78 @@
+"""Zero-dependency tracing + metrics observability layer (E32).
+
+``repro.obs`` answers the question a large availability study always
+ends up asking: *where did the time go, and which solver stage actually
+ran?*  It provides
+
+* hierarchical :class:`Span` traces with a context-local active
+  :class:`Tracer` (:func:`trace` / :func:`get_tracer`), propagated into
+  thread/process pool workers through the engine's task envelopes
+  (:func:`record_span` / :meth:`Tracer.graft`);
+* a :class:`MetricsRegistry` of counters, gauges and timing histograms
+  (:data:`NULL_METRICS` when tracing is off);
+* exporters: :meth:`Tracer.to_json`, the Prometheus text format
+  (:func:`to_prometheus`) and a human tree view (:func:`format_trace`);
+* the :class:`Observation` protocol shared by every reporting object
+  (:class:`~repro.engine.EngineStats`,
+  :class:`~repro.markov.fallback.SolverReport`,
+  :class:`~repro.robust.ErrorRecord`).
+
+The instrumentation built into the engine, the Markov solvers, the BDD
+compiler and the simulators is permanently enabled but guarded by the
+no-op :class:`NullTracer`, so with no :func:`trace` block active the
+overhead is a single context-variable lookup per operation.
+
+Examples
+--------
+>>> from repro.obs import trace
+>>> from repro.engine import evaluate_batch
+>>> with trace("sweep") as t:
+...     result = evaluate_batch(lambda p: p["x"] ** 2, [{"x": 2.0}, {"x": 3.0}])
+>>> t.root.children[0].name
+'engine.batch'
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from .observation import Observation
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    activate_tracer,
+    get_tracer,
+    record_span,
+    span_signature,
+    trace,
+)
+from .export import format_trace, to_prometheus
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "trace",
+    "get_tracer",
+    "activate_tracer",
+    "record_span",
+    "span_signature",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "DEFAULT_BUCKETS",
+    "Observation",
+    "format_trace",
+    "to_prometheus",
+]

@@ -1,0 +1,143 @@
+"""Exporters for traces and metrics.
+
+Three targets cover the practitioner workflows:
+
+* :func:`format_trace` — a human terminal tree, the "where did the
+  campaign spend its time" view;
+* :meth:`Tracer.to_json <repro.obs.trace.Tracer.to_json>` — a
+  machine-readable document (span tree + metrics) for archiving a run
+  alongside its results;
+* :func:`to_prometheus` — the Prometheus text exposition format, so a
+  long-running service wrapping the library can expose its counters on
+  a ``/metrics`` endpoint with zero extra dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Union
+
+from .metrics import MetricsRegistry, NullMetrics
+from .trace import NullTracer, Span, Tracer
+
+__all__ = ["format_trace", "to_prometheus"]
+
+#: Attribute keys rendered inline next to the span name, in this order.
+_INLINE_ATTRS = ("method", "kind", "executor", "spec", "index", "tasks", "n_states", "trials")
+
+
+def _span_line(span: Span) -> str:
+    inline = [
+        f"{key}={span.attributes[key]}" for key in _INLINE_ATTRS if key in span.attributes
+    ]
+    if "error" in span.attributes:
+        inline.append(f"error={span.attributes['error']!r}")
+    detail = f" [{' '.join(inline)}]" if inline else ""
+    return f"{span.name}{detail} ({1e3 * span.duration:.3g} ms)"
+
+
+def format_trace(
+    trace: Union[Tracer, NullTracer, Span],
+    max_depth: Optional[int] = None,
+) -> str:
+    """Render a trace (or any span subtree) as an indented tree.
+
+    Parameters
+    ----------
+    trace:
+        A :class:`~repro.obs.Tracer` (its root is rendered) or a single
+        :class:`~repro.obs.Span`.  The disabled tracer renders as
+        ``"<no trace>"``.
+    max_depth:
+        Optional depth cutoff; deeper subtrees are summarized as
+        ``"… (n spans)"`` so a 100k-point campaign stays readable.
+
+    Examples
+    --------
+    >>> from repro.obs import trace, format_trace
+    >>> with trace("sweep") as t:
+    ...     with t.span("chunk", index=0, tasks=2):
+    ...         pass
+    >>> print(format_trace(t))  # doctest: +ELLIPSIS
+    sweep (... ms)
+    └─ chunk [index=0 tasks=2] (... ms)
+    """
+    if isinstance(trace, NullTracer):
+        return "<no trace>"
+    root = trace.root if isinstance(trace, Tracer) else trace
+    lines: List[str] = [_span_line(root)]
+
+    def walk(span: Span, prefix: str, depth: int) -> None:
+        for i, child in enumerate(span.children):
+            last = i == len(span.children) - 1
+            branch = "└─ " if last else "├─ "
+            if max_depth is not None and depth >= max_depth:
+                hidden = sum(1 for _ in child.iter())
+                lines.append(f"{prefix}{branch}… ({hidden} spans)")
+                continue
+            lines.append(f"{prefix}{branch}{_span_line(child)}")
+            walk(child, prefix + ("   " if last else "│  "), depth + 1)
+
+    walk(root, "", 1)
+    return "\n".join(lines)
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    sanitized = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{prefix}{sanitized}"
+
+
+def _label_str(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{{{inner}}}"
+
+
+def _merge_labels(labels, extra_key: str, extra_value: str) -> str:
+    merged = list(labels) + [(extra_key, extra_value)]
+    return _label_str(merged)
+
+
+def to_prometheus(
+    metrics: Union[MetricsRegistry, NullMetrics, Tracer],
+    prefix: str = "repro_",
+) -> str:
+    """Serialize a metrics registry in the Prometheus text format.
+
+    Accepts a registry or a :class:`~repro.obs.Tracer` (its registry is
+    used).  Metric names are sanitized (``engine.cache.hits`` →
+    ``repro_engine_cache_hits``); histograms emit the conventional
+    ``_bucket``/``_sum``/``_count`` series with cumulative ``le`` labels.
+
+    Examples
+    --------
+    >>> from repro.obs import MetricsRegistry, to_prometheus
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("engine.tasks").inc(3)
+    >>> print(to_prometheus(registry))
+    # TYPE repro_engine_tasks counter
+    repro_engine_tasks 3
+    """
+    if isinstance(metrics, Tracer):
+        metrics = metrics.metrics
+    lines: List[str] = []
+    typed: set = set()
+    for instrument in metrics.instruments():
+        name = _metric_name(instrument.name, prefix)
+        if name not in typed:
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            typed.add(name)
+        if instrument.kind == "histogram":
+            bounds = [f"{b:g}" for b in instrument.buckets] + ["+Inf"]
+            for bound, count in zip(bounds, instrument.bucket_counts):
+                labels = _merge_labels(instrument.labels, "le", bound)
+                lines.append(f"{name}_bucket{labels} {count}")
+            labels = _label_str(instrument.labels)
+            lines.append(f"{name}_sum{labels} {instrument.sum:g}")
+            lines.append(f"{name}_count{labels} {instrument.count}")
+        else:
+            labels = _label_str(instrument.labels)
+            value = instrument.value
+            text = f"{value:g}" if value != int(value) else f"{int(value)}"
+            lines.append(f"{name}{labels} {text}")
+    return "\n".join(lines)

@@ -1,0 +1,289 @@
+"""Counters, gauges and timing histograms with Prometheus-style export.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments,
+optionally carrying label sets (``counter("solver.stage", method="gth")``).
+Instruments are memoized by ``(name, labels)``, so instrumentation sites
+just ask the registry every time — no instance threading.
+
+The registry is deliberately zero-dependency: values live in plain
+Python attributes, histograms use fixed logarithmic buckets (the
+Prometheus convention), and the exporters
+(:meth:`MetricsRegistry.to_dict` for JSON,
+:func:`~repro.obs.export.to_prometheus` for the text exposition format)
+do nothing more exotic than string formatting.
+
+:data:`NULL_METRICS` is the no-op twin used by the disabled tracer:
+every instrument it hands out swallows updates, so instrumented code
+never needs an ``if metrics is not None`` guard.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets (seconds): 1 µs … 100 s, one per decade,
+#: with an implicit +Inf bucket — wide enough for everything from a
+#: cache hit to a long campaign.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(10.0 ** e for e in range(-6, 3))
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Mapping[str, Any]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelSet = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, node count, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelSet = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram of observations (timings, sizes).
+
+    ``buckets`` are upper bounds in increasing order; an implicit +Inf
+    bucket catches the rest.  ``bucket_counts[i]`` is the number of
+    observations ``<= buckets[i]`` — the cumulative convention the
+    Prometheus text format expects.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "_counts", "count", "sum")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram buckets must be strictly increasing: {bounds}")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = overflow (+Inf)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._counts[i] += 1
+                return
+        self._counts[-1] += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations (e.g. a durations array)."""
+        for value in values:
+            self.observe(value)
+
+    @property
+    def bucket_counts(self) -> List[int]:
+        """Cumulative counts per bucket bound, +Inf bucket last."""
+        cumulative: List[int] = []
+        running = 0
+        for count in self._counts:
+            running += count
+            cumulative.append(running)
+        return cumulative
+
+    def mean(self) -> float:
+        """Mean of the observations (NaN when empty)."""
+        return self.sum / self.count if self.count else float("nan")
+
+
+class _NullInstrument:
+    """Accepts every update and records nothing."""
+
+    __slots__ = ()
+    name = "null"
+    labels: LabelSet = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """A namespace of memoized counters, gauges and histograms.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("engine.tasks").inc(5)
+    >>> registry.counter("engine.tasks").value
+    5.0
+    >>> registry.counter("solver.stage", method="gth").inc()
+    >>> sorted(m.name for m in registry.instruments())
+    ['engine.tasks', 'solver.stage']
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._instruments: Dict[Tuple[str, str, LabelSet], Any] = {}
+
+    def _get(self, kind: str, cls, name: str, labels: Mapping[str, Any], **kwargs):
+        key = (kind, str(name), _freeze_labels(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(str(name), key[2], **kwargs)
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS, **labels: Any
+    ) -> Histogram:
+        return self._get("histogram", Histogram, name, labels, buckets=buckets)
+
+    def instruments(self) -> List[Any]:
+        """Every instrument, in registration order."""
+        return list(self._instruments.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary of every instrument."""
+        out: Dict[str, Any] = {}
+        for instrument in self._instruments.values():
+            entry: Dict[str, Any]
+            if instrument.kind == "histogram":
+                entry = {
+                    "kind": "histogram",
+                    "count": instrument.count,
+                    "sum": instrument.sum,
+                    "buckets": {
+                        str(bound): count
+                        for bound, count in zip(
+                            list(instrument.buckets) + ["+Inf"],
+                            instrument.bucket_counts,
+                        )
+                    },
+                }
+            else:
+                entry = {"kind": instrument.kind, "value": instrument.value}
+            if instrument.labels:
+                entry["labels"] = dict(instrument.labels)
+            key = instrument.name
+            if instrument.labels:
+                key = f"{key}{{{','.join(f'{k}={v}' for k, v in instrument.labels)}}}"
+            out[key] = entry
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        """Flat name → value map (histograms contribute count and sum)."""
+        out: Dict[str, float] = {}
+        for instrument in self._instruments.values():
+            key = instrument.name
+            if instrument.labels:
+                key = f"{key}{{{','.join(f'{k}={v}' for k, v in instrument.labels)}}}"
+            if instrument.kind == "histogram":
+                out[f"{key}.count"] = float(instrument.count)
+                out[f"{key}.sum"] = float(instrument.sum)
+            else:
+                out[key] = float(instrument.value)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricsRegistry({len(self._instruments)} instruments)"
+
+
+class NullMetrics:
+    """The disabled registry: hands out the shared no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def instruments(self) -> List[Any]:
+        return []
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def summary(self) -> Dict[str, float]:
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullMetrics()"
+
+
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,35 @@
+"""The :class:`Observation` protocol — the shared reporting contract.
+
+PR 1 and PR 2 each grew an ad-hoc reporting surface
+(:class:`~repro.engine.EngineStats`,
+:class:`~repro.markov.fallback.SolverReport`,
+:class:`~repro.robust.ErrorRecord`).  This protocol unifies them: an
+*observation* is any object that can render itself as
+
+* ``to_dict()`` — a JSON-safe nested dict, the archival form attached
+  to trace spans (:meth:`repro.obs.Span.observe`);
+* ``summary()`` — a flat ``name → float`` dict of headline numbers, the
+  table-printing form.
+
+The protocol is ``runtime_checkable``, so
+``isinstance(stats, Observation)`` works for duck-typed reporters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Protocol, runtime_checkable
+
+__all__ = ["Observation"]
+
+
+@runtime_checkable
+class Observation(Protocol):
+    """Structural interface of every reporting object in the library."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe nested dict of everything the observation knows."""
+        ...  # pragma: no cover - protocol
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline numbers (for table printing)."""
+        ...  # pragma: no cover - protocol

@@ -1,0 +1,384 @@
+"""Hierarchical tracing with a context-local active tracer.
+
+The library's observability spine: a :class:`Span` is one timed,
+attributed node of a trace tree; a :class:`Tracer` owns such a tree and
+a :class:`~repro.obs.metrics.MetricsRegistry`; :func:`trace` installs a
+tracer as the *active* one for the enclosing context so that every
+instrumented hot path — the batch engine, the solver fallback chains,
+BDD compilation, the simulators — records into it without any plumbing
+through intermediate call signatures.
+
+Two properties make the design safe to leave permanently enabled in the
+instrumentation sites:
+
+* **Zero-cost when off.**  The default active tracer is the singleton
+  :data:`NULL_TRACER`, whose ``enabled`` flag is ``False`` and whose
+  ``span()`` returns a shared no-op context manager.  Instrumented code
+  fetches the tracer once per operation (one ``ContextVar`` lookup) and
+  guards anything more expensive behind ``tracer.enabled``.
+* **Worker propagation by envelope.**  ``ContextVar`` values do not
+  cross thread- or process-pool boundaries, so pool backends wrap each
+  dispatched chunk in :func:`record_span`: the worker records into a
+  private tracer, the finished span travels back with the results as a
+  plain dict, and the parent grafts it into the live tree
+  (:meth:`Tracer.graft`) in deterministic submission order.  The
+  resulting span tree is therefore identical across Serial / Thread /
+  Process executors modulo timings.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from contextvars import ContextVar
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .metrics import NULL_METRICS, MetricsRegistry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "trace",
+    "get_tracer",
+    "activate_tracer",
+    "record_span",
+    "span_signature",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of attribute values to JSON-safe types."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    # numpy scalars and arrays, and anything else with item()/tolist()
+    for method in ("item", "tolist"):
+        fn = getattr(value, method, None)
+        if callable(fn):
+            try:
+                return _jsonable(fn())
+            except Exception:  # pragma: no cover - exotic array-likes
+                break
+    return repr(value)
+
+
+class Span:
+    """One timed node of a trace tree.
+
+    Attributes
+    ----------
+    name:
+        The operation name (``"engine.batch"``, ``"solver.stage"``, ...).
+    attributes:
+        Arbitrary key → value annotations.  By convention timing-like
+        values are floats, so :func:`span_signature` can exclude them
+        when comparing trees across executors.
+    children:
+        Nested spans, in start order.
+    start_time / end_time:
+        ``perf_counter`` readings; ``None`` while the span is open.
+        Spans grafted from another process keep only their duration
+        (clock readings are not comparable across processes).
+    """
+
+    __slots__ = ("name", "attributes", "children", "start_time", "end_time")
+
+    def __init__(self, name: str, attributes: Optional[Mapping[str, Any]] = None):
+        self.name = str(name)
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List["Span"] = []
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Span duration in seconds (0.0 while the span is still open)."""
+        if self.start_time is None or self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def observe(self, observation: Any, key: Optional[str] = None) -> "Span":
+        """Attach an :class:`~repro.obs.Observation` (anything with
+        ``to_dict()``) under its lower-cased class name (or ``key``)."""
+        name = key if key is not None else type(observation).__name__.lower()
+        self.attributes[name] = observation.to_dict()
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe nested dict (the wire format used to cross pools)."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "attributes": {str(k): _jsonable(v) for k, v in self.attributes.items()},
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Span":
+        """Rebuild a span (tree) from :meth:`to_dict` output.
+
+        Only the duration survives; absolute clock readings from another
+        process would be meaningless here.
+        """
+        span = cls(data["name"], data.get("attributes"))
+        span.start_time = 0.0
+        span.end_time = float(data.get("duration_s", 0.0))
+        span.children = [cls.from_dict(child) for child in data.get("children", ())]
+        return span
+
+    def iter(self):
+        """Depth-first iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendant spans (including self) with the given name."""
+        return [span for span in self.iter() if span.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, {self.duration:.3g}s, "
+            f"{len(self.children)} children)"
+        )
+
+
+def span_signature(span: Span) -> Tuple:
+    """Structural identity of a span tree, timings excluded.
+
+    Returns ``(name, static_attrs, child_signatures)`` where
+    ``static_attrs`` keeps only non-float scalar attribute values —
+    floats are, by the library's convention, timings/residuals that may
+    legitimately differ between two otherwise identical runs.  Two
+    traces of the same workload through different executors compare
+    equal under this signature.
+    """
+    static = tuple(
+        sorted(
+            (key, value)
+            for key, value in (
+                (k, _jsonable(v)) for k, v in span.attributes.items()
+            )
+            if isinstance(value, (str, int, bool)) and not isinstance(value, float)
+        )
+    )
+    return (span.name, static, tuple(span_signature(c) for c in span.children))
+
+
+class _NullSpan:
+    """Shared no-op span: context manager, ``set`` and ``observe`` sinks."""
+
+    __slots__ = ()
+    name = "null"
+    attributes: Dict[str, Any] = {}
+    children: List[Span] = []
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def observe(self, observation: Any, key: Optional[str] = None) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Installed as the default active tracer so instrumentation sites can
+    call ``get_tracer().span(...)`` unconditionally; the whole code path
+    costs one context-variable lookup and an attribute check.
+    """
+
+    enabled = False
+    metrics = NULL_METRICS
+
+    @property
+    def current(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def root(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def graft(self, span_dict: Mapping[str, Any], parent: Optional[Span] = None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """A live trace: a root span, a cursor stack and a metrics registry.
+
+    Not thread-safe by design — pool backends record worker-side spans
+    into private tracers via :func:`record_span` and graft the results
+    back in the calling thread, so a single :class:`Tracer` instance is
+    only ever mutated from one thread.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "trace", metrics: Optional[MetricsRegistry] = None):
+        self.root = Span(name)
+        self.root.start_time = perf_counter()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._stack: List[Span] = [self.root]
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span (the root when none is open)."""
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any):
+        """Open a child span of the current one for the ``with`` body.
+
+        An exception raised inside the body is annotated on the span as
+        ``error="ExceptionType: message"`` and re-raised.
+        """
+        span = Span(name, attributes)
+        span.start_time = perf_counter()
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.attributes.setdefault("error", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            span.end_time = perf_counter()
+            self._stack.pop()
+
+    def graft(self, span_dict: Mapping[str, Any], parent: Optional[Span] = None) -> Span:
+        """Attach a worker-recorded span dict under ``parent`` (default:
+        the current span); returns the reconstructed :class:`Span`."""
+        span = Span.from_dict(span_dict)
+        (parent if parent is not None else self.current).children.append(span)
+        return span
+
+    def close(self) -> None:
+        """Stamp the root span's end time (idempotent)."""
+        if self.root.end_time is None:
+            self.root.end_time = perf_counter()
+
+    # ------------------------------------------------------------ export
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The whole trace — span tree plus metrics — as a JSON document."""
+        self.close()
+        return json.dumps(
+            {"trace": self.root.to_dict(), "metrics": self.metrics.to_dict()},
+            indent=indent,
+        )
+
+    def format(self, max_depth: Optional[int] = None) -> str:
+        """Human-readable tree rendering (see :func:`~repro.obs.format_trace`)."""
+        from .export import format_trace
+
+        return format_trace(self, max_depth=max_depth)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n_spans = sum(1 for _ in self.root.iter())
+        return f"Tracer({self.root.name!r}, {n_spans} spans)"
+
+
+_ACTIVE_TRACER: ContextVar["Tracer | NullTracer"] = ContextVar(
+    "repro_active_tracer", default=NULL_TRACER
+)
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The context-local active tracer (:data:`NULL_TRACER` by default).
+
+    This is the single lookup every instrumentation site performs; with
+    no :func:`trace` block active it returns the shared no-op tracer.
+    """
+    return _ACTIVE_TRACER.get()
+
+
+@contextmanager
+def activate_tracer(tracer: "Tracer | NullTracer"):
+    """Install ``tracer`` as the active one for the ``with`` body.
+
+    The lower-level sibling of :func:`trace` for pre-built tracers —
+    e.g. the one carried by :class:`repro.engine.EngineOptions`.
+    """
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)
+
+
+@contextmanager
+def trace(name: str = "trace", metrics: Optional[MetricsRegistry] = None):
+    """Record everything in the ``with`` body into a fresh :class:`Tracer`.
+
+    Examples
+    --------
+    >>> from repro.obs import trace
+    >>> with trace("demo") as t:
+    ...     with t.span("work", items=3):
+    ...         pass
+    >>> [s.name for s in t.root.iter()]
+    ['demo', 'work']
+    """
+    tracer = Tracer(name, metrics)
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        tracer.close()
+        _ACTIVE_TRACER.reset(token)
+
+
+def record_span(
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: Optional[Mapping[str, Any]] = None,
+    name: str = "task",
+    attributes: Optional[Mapping[str, Any]] = None,
+) -> Tuple[Any, Dict[str, Any]]:
+    """Run ``fn`` under a private tracer; return ``(result, span_dict)``.
+
+    The engine's *task envelope*: module-level (hence picklable by
+    reference) so pool backends can dispatch it to thread or process
+    workers.  Inside the worker it installs a fresh recorder tracer as
+    the context-local active one, so any instrumented library code the
+    task calls — solver stages, BDD builds — nests under the envelope
+    span exactly as it would have in-process.  The finished span comes
+    back as a plain dict for :meth:`Tracer.graft`.
+    """
+    recorder = Tracer(name="__recorder__", metrics=MetricsRegistry())
+    token = _ACTIVE_TRACER.set(recorder)
+    try:
+        with recorder.span(name, **(attributes or {})):
+            result = fn(*args, **(kwargs or {}))
+    finally:
+        _ACTIVE_TRACER.reset(token)
+    return result, recorder.root.children[0].to_dict()

@@ -13,8 +13,8 @@ import cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional
 
 from ..exceptions import ModelDefinitionError
 
@@ -51,6 +51,18 @@ class ErrorRecord:
     def with_index(self, index: int) -> "ErrorRecord":
         """Copy of the record re-addressed to another task index."""
         return replace(self, index=int(index))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict form (:class:`~repro.obs.Observation`)."""
+        return asdict(self)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numeric digest of the failure."""
+        return {
+            "index": float(self.index),
+            "attempts": float(self.attempts),
+            "duration_s": float(self.duration),
+        }
 
     def __str__(self) -> str:
         return (
@@ -90,6 +102,22 @@ class FaultReport:
         self.n_retries += max(0, int(attempts) - 1)
         if error is not None:
             self.errors.append(error)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict form (:class:`~repro.obs.Observation`)."""
+        return {
+            "errors": [e.to_dict() for e in self.errors],
+            "n_retries": self.n_retries,
+            "pool_recoveries": self.pool_recoveries,
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numeric digest of the batch's fault bookkeeping."""
+        return {
+            "n_failed": float(self.n_failed),
+            "n_retries": float(self.n_retries),
+            "pool_recoveries": float(self.pool_recoveries),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..engine.executors import parallel_starmap, spawn_generators
 from ..exceptions import ModelDefinitionError
+from ..obs.trace import get_tracer, record_span
 from ..nonstate.components import Component
 from ..nonstate.faulttree import FaultTree
 from ..nonstate.rbd import ReliabilityBlockDiagram
@@ -180,6 +181,28 @@ def _fan_out(worker, model, extra_args, total: int, chunk: int, rng, n_jobs: int
     trial chunks on a process pool; results in chunk order."""
     sizes = _chunk_sizes(total, chunk)
     rngs = spawn_generators(rng, len(sizes))
+    tracer = get_tracer()
+    if tracer.enabled:
+        # Same envelope trick as the engine executors: each chunk runs
+        # under a worker-local recorder tracer whose span dict is
+        # grafted back in chunk order, so the trace is identical for
+        # every n_jobs.
+        tasks = [
+            (
+                worker,
+                (model, *extra_args, size, rngs[k]),
+                None,
+                "sim.trial_chunk",
+                {"index": k, "trials": size},
+            )
+            for k, size in enumerate(sizes)
+        ]
+        outcomes = parallel_starmap(record_span, tasks, n_jobs)
+        results = []
+        for result, span_dict in outcomes:
+            results.append(result)
+            tracer.graft(span_dict)
+        return results
     tasks = [(model, *extra_args, size, rngs[k]) for k, size in enumerate(sizes)]
     return parallel_starmap(worker, tasks, n_jobs)
 
@@ -199,10 +222,16 @@ def simulate_reliability(
     rng = rng if rng is not None else np.random.default_rng()
     components, _ = _adapter(model)
     _require_lifetimes(components)
-    if n_jobs == 1:
-        up_count = _reliability_chunk(model, t, n_samples, rng)
-    else:
-        up_count = sum(_fan_out(_reliability_chunk, model, (t,), n_samples, _TRIAL_CHUNK, rng, n_jobs))
+    with get_tracer().span(
+        "sim.reliability", n_samples=int(n_samples), n_jobs=int(n_jobs), t=float(t)
+    ):
+        if n_jobs == 1:
+            with get_tracer().span("sim.trial_chunk", index=0, trials=int(n_samples)):
+                up_count = _reliability_chunk(model, t, n_samples, rng)
+        else:
+            up_count = sum(
+                _fan_out(_reliability_chunk, model, (t,), n_samples, _TRIAL_CHUNK, rng, n_jobs)
+            )
     return estimate_proportion(up_count, n_samples)
 
 
@@ -222,12 +251,14 @@ def simulate_mttf(
     rng = rng if rng is not None else np.random.default_rng()
     components, _ = _adapter(model)
     _require_lifetimes(components)
-    if n_jobs == 1:
-        samples = _mttf_chunk(model, n_samples, rng)
-    else:
-        samples = np.concatenate(
-            _fan_out(_mttf_chunk, model, (), n_samples, _TRIAL_CHUNK, rng, n_jobs)
-        )
+    with get_tracer().span("sim.mttf", n_samples=int(n_samples), n_jobs=int(n_jobs)):
+        if n_jobs == 1:
+            with get_tracer().span("sim.trial_chunk", index=0, trials=int(n_samples)):
+                samples = _mttf_chunk(model, n_samples, rng)
+        else:
+            samples = np.concatenate(
+                _fan_out(_mttf_chunk, model, (), n_samples, _TRIAL_CHUNK, rng, n_jobs)
+            )
     if np.any(~np.isfinite(samples)):
         raise ModelDefinitionError(
             "system never failed in some replications; the structure has no cut set"
@@ -259,18 +290,27 @@ def simulate_steady_availability(
             f"availability simulation needs repair distributions for: {missing_repair}"
         )
     warmup = horizon * float(warmup_fraction)
-    if n_jobs == 1:
-        fractions = _availability_chunk(model, horizon, warmup, n_replications, rng)
-    else:
-        fractions = np.concatenate(
-            _fan_out(
-                _availability_chunk,
-                model,
-                (horizon, warmup),
-                n_replications,
-                _REPLICATION_CHUNK,
-                rng,
-                n_jobs,
+    with get_tracer().span(
+        "sim.availability",
+        n_replications=int(n_replications),
+        n_jobs=int(n_jobs),
+        horizon=float(horizon),
+    ):
+        if n_jobs == 1:
+            with get_tracer().span(
+                "sim.trial_chunk", index=0, trials=int(n_replications)
+            ):
+                fractions = _availability_chunk(model, horizon, warmup, n_replications, rng)
+        else:
+            fractions = np.concatenate(
+                _fan_out(
+                    _availability_chunk,
+                    model,
+                    (horizon, warmup),
+                    n_replications,
+                    _REPLICATION_CHUNK,
+                    rng,
+                    n_jobs,
+                )
             )
-        )
     return estimate_mean(fractions)

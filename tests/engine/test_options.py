@@ -1,0 +1,93 @@
+"""Unit tests for the unified EngineOptions keyword surface."""
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import parametric_sensitivity
+from repro.core.uncertainty import propagate_uncertainty, tornado_sensitivity
+from repro.distributions import Uniform
+from repro.engine import (
+    EngineOptions,
+    EvaluationCache,
+    ThreadExecutor,
+    evaluate_batch,
+    resolve_options,
+    run_campaign,
+    GridCampaign,
+)
+from repro.exceptions import ModelDefinitionError
+from repro.robust import FaultPolicy
+
+
+def quadratic(assignment):
+    return assignment["x"] ** 2
+
+
+POINTS = [{"x": float(k)} for k in range(6)]
+
+
+class TestResolveOptions:
+    def test_defaults(self):
+        opts = resolve_options()
+        assert opts == EngineOptions()
+        assert opts.n_jobs == 1 and opts.cache is None and opts.tracer is None
+
+    def test_loose_kwargs_override_options_fields(self):
+        base = EngineOptions(n_jobs=4, chunk_size=10)
+        opts = resolve_options(base, n_jobs=2)
+        assert opts.n_jobs == 2
+        assert opts.chunk_size == 10  # untouched field survives
+        assert base.n_jobs == 4  # original is not mutated
+
+    def test_none_loose_kwargs_do_not_override(self):
+        base = EngineOptions(n_jobs=4)
+        assert resolve_options(base, n_jobs=None, cache=None) == base
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ModelDefinitionError, match="EngineOptions"):
+            resolve_options({"n_jobs": 2})
+
+    def test_replace_and_merged(self):
+        opts = EngineOptions(n_jobs=4)
+        assert opts.replace(n_jobs=1).n_jobs == 1
+        assert opts.merged(n_jobs=None).n_jobs == 4
+        assert opts.merged(n_jobs=8).n_jobs == 8
+
+
+class TestOptionsThroughEntryPoints:
+    def test_evaluate_batch_accepts_options(self):
+        cache = EvaluationCache()
+        opts = EngineOptions(cache=cache, chunk_size=3)
+        result = evaluate_batch(quadratic, POINTS + POINTS, options=opts)
+        assert result.stats.cache_hits == len(POINTS)
+        np.testing.assert_array_equal(result.outputs[: len(POINTS)], result.outputs[len(POINTS) :])
+
+    def test_loose_kwarg_beats_options_field(self):
+        opts = EngineOptions(executor=ThreadExecutor(2))
+        result = evaluate_batch(quadratic, POINTS, options=opts, executor="serial")
+        assert result.stats.executor == "serial"
+
+    def test_run_campaign_accepts_options(self):
+        spec = GridCampaign({"x": [1.0, 2.0, 3.0]})
+        result = run_campaign(quadratic, spec, options=EngineOptions(n_jobs=1))
+        np.testing.assert_allclose(result.outputs, [1.0, 4.0, 9.0])
+
+    def test_uncertainty_and_sensitivity_accept_options(self):
+        priors = {"x": Uniform(0.5, 1.5)}
+        opts = EngineOptions(policy=FaultPolicy(on_error="skip"))
+        unc = propagate_uncertainty(
+            quadratic, priors, n_samples=16, rng=np.random.default_rng(3), options=opts
+        )
+        assert unc.samples.size == 16
+        rows = tornado_sensitivity(quadratic, priors, options=opts)
+        assert rows[0][0] == "x"
+        sens = parametric_sensitivity(quadratic, {"x": 2.0}, options=opts)
+        assert sens["x"].derivative == pytest.approx(4.0, rel=1e-4)
+
+    def test_results_identical_options_vs_loose(self):
+        cache_a, cache_b = EvaluationCache(), EvaluationCache()
+        via_options = evaluate_batch(
+            quadratic, POINTS, options=EngineOptions(cache=cache_a, chunk_size=2)
+        )
+        via_loose = evaluate_batch(quadratic, POINTS, cache=cache_b, chunk_size=2)
+        np.testing.assert_array_equal(via_options.outputs, via_loose.outputs)

@@ -132,12 +132,12 @@ class TestSolveSteadyState:
         report = solve_steady_state(q, dense_limit=10)
         assert report.order[0] == "direct"
         assert report.method == "direct"
-        expected = solve_steady_state(q, strategy="gth").pi
+        expected = solve_steady_state(q, method="gth").pi
         np.testing.assert_allclose(report.pi, expected, atol=1e-10)
 
-    def test_single_stage_strategies_agree(self):
+    def test_single_stage_methods_agree(self):
         results = {
-            name: solve_steady_state(TWO_STATE, strategy=name).pi
+            name: solve_steady_state(TWO_STATE, method=name).pi
             for name in ("gth", "direct", "power")
         }
         for pi in results.values():
@@ -182,9 +182,9 @@ class TestSolveSteadyState:
         with pytest.raises(ModelDefinitionError, match="irreducible"):
             solve_steady_state(q)
 
-    def test_unknown_strategy_and_stage_rejected(self):
-        with pytest.raises(SolverError, match="strategy"):
-            solve_steady_state(TWO_STATE, strategy="magic")
+    def test_unknown_method_and_stage_rejected(self):
+        with pytest.raises(SolverError, match="method"):
+            solve_steady_state(TWO_STATE, method="magic")
         with pytest.raises(SolverError, match="stage"):
             solve_steady_state(TWO_STATE, order=["gth", "quantum"])
 

@@ -1,0 +1,92 @@
+"""Unit tests for counters, gauges, histograms and their exporters."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    MetricsRegistry,
+    to_prometheus,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.tasks").inc()
+        registry.counter("engine.tasks").inc(4.0)
+        assert registry.counter("engine.tasks").value == 5.0
+
+    def test_counter_rejects_negative_increments(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match=">= 0"):
+            registry.counter("x").inc(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("queue.depth")
+        gauge.set(10.0)
+        gauge.inc(2.0)
+        gauge.dec(5.0)
+        assert gauge.value == 7.0
+
+    def test_labels_address_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("solver.stage", method="gth").inc()
+        registry.counter("solver.stage", method="power").inc(2)
+        assert registry.counter("solver.stage", method="gth").value == 1.0
+        assert registry.counter("solver.stage", method="power").value == 2.0
+        assert len(registry.instruments()) == 2
+
+    def test_histogram_cumulative_buckets(self):
+        hist = MetricsRegistry().histogram("eval", buckets=(0.1, 1.0, 10.0))
+        hist.observe_many([0.05, 0.5, 0.5, 5.0, 50.0])
+        assert hist.bucket_counts == [1, 3, 4, 5]  # cumulative, +Inf last
+        assert hist.count == 5
+        assert hist.mean() == pytest.approx(56.05 / 5)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            MetricsRegistry().histogram("bad", buckets=(1.0, 0.5))
+
+    def test_default_buckets_span_microseconds_to_seconds(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(100.0)
+
+
+class TestExport:
+    def test_to_dict_and_summary(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.tasks").inc(3)
+        registry.histogram("eval", buckets=(1.0,)).observe(0.5)
+        doc = registry.to_dict()
+        assert doc["engine.tasks"] == {"kind": "counter", "value": 3}
+        assert doc["eval"]["count"] == 1
+        flat = registry.summary()
+        assert flat["engine.tasks"] == 3.0
+        assert flat["eval.count"] == 1.0
+        assert flat["eval.sum"] == 0.5
+
+    def test_prometheus_counter_and_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.cache.hits").inc(7)
+        text = to_prometheus(registry)
+        assert "# TYPE repro_engine_cache_hits counter" in text
+        assert "repro_engine_cache_hits 7" in text
+
+    def test_prometheus_labels_and_histogram_series(self):
+        registry = MetricsRegistry()
+        registry.counter("solver.stage", method="gth").inc()
+        registry.histogram("eval_seconds", buckets=(1.0,)).observe(0.5)
+        text = to_prometheus(registry)
+        assert 'repro_solver_stage{method="gth"} 1' in text
+        assert 'repro_eval_seconds_bucket{le="1"} 1' in text
+        assert 'repro_eval_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_eval_seconds_sum 0.5" in text
+        assert "repro_eval_seconds_count 1" in text
+
+    def test_null_registry_is_silent(self):
+        NULL_METRICS.counter("anything").inc(100)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert NULL_METRICS.to_dict() == {}
+        assert NULL_METRICS.summary() == {}
+        assert to_prometheus(NULL_METRICS) == ""

@@ -1,0 +1,155 @@
+"""Trace propagation across executors and through real workloads.
+
+The contract under test: a traced batch produces the *same span tree* —
+modulo timings — whether it runs serially, on a thread pool or on a
+process pool, because pool backends record worker-side spans into
+envelopes and graft them back in deterministic chunk order.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.casestudies.bladecenter import evaluate_availability
+from repro.engine import (
+    EngineOptions,
+    GridCampaign,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    evaluate_batch,
+    run_campaign,
+)
+from repro.markov import CTMC
+from repro.obs import span_signature, to_prometheus, trace
+
+ASSIGNMENTS = [{"x": float(k)} for k in range(8)]
+
+
+def quadratic(assignment):
+    """Module-level evaluator: picklable for the process pool."""
+    return assignment["x"] ** 2
+
+
+def availability(assignment):
+    """Evaluator that exercises instrumented solver code in the worker."""
+    lam = 1e-4 * (1.0 + assignment["x"])
+    chain = CTMC()
+    chain.add_transition("up", "down", lam)
+    chain.add_transition("down", "up", 0.5)
+    pi = chain.steady_state(method="auto")
+    return pi["up"]
+
+
+def _traced_batch(evaluate, executor):
+    with trace("batch") as t:
+        result = evaluate_batch(
+            evaluate, ASSIGNMENTS, executor=executor, chunk_size=4
+        )
+    return result, t
+
+
+class TestCrossExecutorIdentity:
+    @pytest.mark.parametrize(
+        "executor", [ThreadExecutor(2), ProcessExecutor(2)], ids=["thread", "process"]
+    )
+    def test_span_tree_matches_serial(self, executor):
+        serial_result, serial_trace = _traced_batch(quadratic, SerialExecutor())
+        pool_result, pool_trace = _traced_batch(quadratic, executor)
+        np.testing.assert_array_equal(serial_result.outputs, pool_result.outputs)
+        serial_batch = serial_trace.root.find("engine.batch")[0]
+        pool_batch = pool_trace.root.find("engine.batch")[0]
+        # The executor name legitimately differs; chunk structure must not.
+        serial_chunks = [span_signature(c) for c in serial_batch.children]
+        pool_chunks = [span_signature(c) for c in pool_batch.children]
+        assert serial_chunks == pool_chunks
+        assert len(serial_chunks) == 2  # 8 tasks / chunk_size 4
+
+    @pytest.mark.parametrize(
+        "executor", [ThreadExecutor(2), ProcessExecutor(2)], ids=["thread", "process"]
+    )
+    def test_worker_side_solver_spans_graft_back(self, executor):
+        _, pool_trace = _traced_batch(availability, executor)
+        _, serial_trace = _traced_batch(availability, SerialExecutor())
+        # Each of the 2 chunks carries the solver spans its 4 tasks opened.
+        pool_solves = pool_trace.root.find("solver.steady_state")
+        assert len(pool_solves) == len(ASSIGNMENTS)
+        serial_batch = serial_trace.root.find("engine.batch")[0]
+        pool_batch = pool_trace.root.find("engine.batch")[0]
+        assert [span_signature(c) for c in serial_batch.children] == [
+            span_signature(c) for c in pool_batch.children
+        ]
+
+    def test_chunk_spans_arrive_in_chunk_order(self):
+        _, t = _traced_batch(quadratic, ProcessExecutor(2))
+        batch = t.root.find("engine.batch")[0]
+        assert [c.attributes["index"] for c in batch.children] == [0, 1]
+
+
+class TestUntracedPathsUnchanged:
+    def test_outputs_bit_identical_with_and_without_tracing(self):
+        untraced = evaluate_batch(quadratic, ASSIGNMENTS, chunk_size=4)
+        with trace("batch"):
+            traced = evaluate_batch(quadratic, ASSIGNMENTS, chunk_size=4)
+        np.testing.assert_array_equal(untraced.outputs, traced.outputs)
+
+    def test_no_tracer_records_nothing(self):
+        from repro.obs import NULL_TRACER, get_tracer
+
+        evaluate_batch(quadratic, ASSIGNMENTS)
+        assert get_tracer() is NULL_TRACER
+
+
+class TestOptionsTracer:
+    def test_tracer_via_engine_options(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer("opts")
+        result = evaluate_batch(
+            quadratic, ASSIGNMENTS, options=EngineOptions(chunk_size=4, tracer=tracer)
+        )
+        assert result.outputs.size == len(ASSIGNMENTS)
+        assert len(tracer.root.find("engine.chunk")) == 2
+
+
+class TestEndToEndCampaign:
+    def test_bladecenter_campaign_trace(self):
+        spec = GridCampaign({"cpu_failure_rate": [1e-6, 2e-6, 3e-6, 4e-6]})
+        with trace("bladecenter") as t:
+            result = run_campaign(evaluate_availability, spec, chunk_size=2)
+        assert np.all((result.outputs > 0.99) & (result.outputs <= 1.0))
+        # campaign → batch → chunks → solver stages, one nested tree
+        campaign = t.root.find("engine.campaign")
+        assert len(campaign) == 1
+        assert campaign[0].attributes["spec"] == "GridCampaign"
+        batch = campaign[0].find("engine.batch")
+        assert len(batch) == 1
+        chunks = batch[0].children
+        assert [c.name for c in chunks] == ["engine.chunk", "engine.chunk"]
+        assert t.root.find("solver.steady_state")
+        assert t.root.find("solver.stage")
+        # the batch span archives the run's EngineStats observation
+        assert batch[0].attributes["stats"]["n_tasks"] == 4.0
+
+        doc = json.loads(t.to_json())
+        assert doc["trace"]["name"] == "bladecenter"
+        assert doc["metrics"]["engine.tasks"]["value"] == 4
+
+        text = to_prometheus(t)
+        assert "repro_engine_tasks 4" in text
+        assert "# TYPE repro_engine_eval_seconds histogram" in text
+
+    def test_simulation_trial_chunks_traced(self):
+        from repro.nonstate import Component, ReliabilityBlockDiagram, parallel
+        from repro.sim.structural import simulate_reliability
+
+        a = Component.from_rates("a", failure_rate=1e-3)
+        b = Component.from_rates("b", failure_rate=1e-3)
+        system = ReliabilityBlockDiagram(parallel(a, b))
+        with trace("sim") as t:
+            simulate_reliability(system, t=100.0, n_samples=256, rng=np.random.default_rng(7))
+        sim_span = t.root.find("sim.reliability")
+        assert len(sim_span) == 1
+        assert sim_span[0].attributes["n_samples"] == 256
+        assert t.root.find("sim.trial_chunk")

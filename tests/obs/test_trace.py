@@ -1,0 +1,165 @@
+"""Unit tests for the tracing core: spans, tracers, context propagation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    activate_tracer,
+    format_trace,
+    get_tracer,
+    record_span,
+    span_signature,
+    trace,
+)
+
+
+class TestSpan:
+    def test_nesting_and_iteration(self):
+        with trace("root") as t:
+            with t.span("outer", index=0):
+                with t.span("inner", index=1):
+                    pass
+            with t.span("sibling"):
+                pass
+        names = [s.name for s in t.root.iter()]
+        assert names == ["root", "outer", "inner", "sibling"]
+        assert [s.name for s in t.root.find("inner")] == ["inner"]
+
+    def test_set_and_observe(self):
+        class Obs:
+            def to_dict(self):
+                return {"value": 7}
+
+        span = Span("work")
+        span.set(method="gth", n_states=4).observe(Obs(), key="report")
+        assert span.attributes["method"] == "gth"
+        assert span.attributes["report"] == {"value": 7}
+
+    def test_durations_stamped(self):
+        with trace("root") as t:
+            with t.span("work"):
+                pass
+        assert t.root.children[0].duration >= 0.0
+        t.close()
+        assert t.root.duration >= t.root.children[0].duration
+
+    def test_exception_annotated_and_reraised(self):
+        with pytest.raises(ValueError, match="boom"):
+            with trace("root") as t:
+                with t.span("work"):
+                    raise ValueError("boom")
+        assert t.root.children[0].attributes["error"] == "ValueError: boom"
+
+    def test_round_trip_through_dict(self):
+        with trace("root") as t:
+            with t.span("outer", method="gth", residual=1e-12):
+                with t.span("inner", count=np.int64(3)):
+                    pass
+        wire = t.root.to_dict()
+        rebuilt = Span.from_dict(wire)
+        assert span_signature(rebuilt) == span_signature(t.root)
+        # numpy values are converted to plain JSON types on the wire
+        assert json.loads(json.dumps(wire))["children"][0]["children"][0][
+            "attributes"
+        ] == {"count": 3}
+
+    def test_signature_ignores_float_attributes(self):
+        a = Span("s", {"method": "gth", "residual": 1e-9})
+        b = Span("s", {"method": "gth", "residual": 2e-7})
+        c = Span("s", {"method": "power", "residual": 1e-9})
+        assert span_signature(a) == span_signature(b)
+        assert span_signature(a) != span_signature(c)
+
+
+class TestActiveTracer:
+    def test_default_is_null(self):
+        tracer = get_tracer()
+        assert isinstance(tracer, NullTracer)
+        assert not tracer.enabled
+
+    def test_trace_installs_and_restores(self):
+        assert get_tracer() is NULL_TRACER
+        with trace("root") as t:
+            assert get_tracer() is t
+            assert t.enabled
+        assert get_tracer() is NULL_TRACER
+
+    def test_activate_tracer_restores_on_error(self):
+        tracer = Tracer("manual")
+        with pytest.raises(RuntimeError):
+            with activate_tracer(tracer):
+                assert get_tracer() is tracer
+                raise RuntimeError("boom")
+        assert get_tracer() is NULL_TRACER
+
+    def test_null_tracer_is_inert(self):
+        span = NULL_TRACER.span("anything", key="value")
+        with span as s:
+            s.set(more="attrs").observe(object)  # never stored
+        assert NULL_TRACER.root.children == []
+        NULL_TRACER.metrics.counter("x").inc()
+        assert NULL_TRACER.metrics.to_dict() == {}
+
+
+class TestRecordSpan:
+    def test_envelope_returns_result_and_span_dict(self):
+        result, span_dict = record_span(
+            lambda x: x * 2, (21,), None, name="task", attributes={"index": 5}
+        )
+        assert result == 42
+        assert span_dict["name"] == "task"
+        assert span_dict["attributes"]["index"] == 5
+
+    def test_nested_instrumented_calls_are_captured(self):
+        def inner_work():
+            with get_tracer().span("nested"):
+                return "done"
+
+        result, span_dict = record_span(inner_work, name="task")
+        assert result == "done"
+        assert [c["name"] for c in span_dict["children"]] == ["nested"]
+
+    def test_graft_preserves_structure(self):
+        _, span_dict = record_span(lambda: None, name="task", attributes={"index": 0})
+        with trace("root") as t:
+            with t.span("batch"):
+                t.graft(span_dict)
+        batch = t.root.children[0]
+        assert [c.name for c in batch.children] == ["task"]
+        assert batch.children[0].attributes["index"] == 0
+
+
+class TestExport:
+    def test_to_json_carries_trace_and_metrics(self):
+        with trace("root") as t:
+            with t.span("work", method="gth"):
+                t.metrics.counter("ops").inc(3)
+        doc = json.loads(t.to_json())
+        assert doc["trace"]["name"] == "root"
+        assert doc["trace"]["children"][0]["attributes"]["method"] == "gth"
+        assert doc["metrics"]["ops"] == {"kind": "counter", "value": 3}
+
+    def test_format_trace_renders_tree(self):
+        with trace("root") as t:
+            with t.span("solver.stage", method="gth"):
+                pass
+        text = format_trace(t)
+        assert "root" in text
+        assert "solver.stage" in text
+        assert "method=gth" in text
+
+    def test_format_trace_respects_max_depth(self):
+        with trace("root") as t:
+            with t.span("level1"):
+                with t.span("level2"):
+                    pass
+        shallow = format_trace(t, max_depth=2)
+        assert "level1" in shallow
+        assert "level2" not in shallow
+        assert "… (1 spans)" in shallow
