@@ -1,0 +1,95 @@
+"""E33 — compiled sweep kernels: build structure once, solve many points.
+
+Claim: compiling the BladeCenter hierarchy (frozen CTMC sparsity +
+vectorized structure functions, :mod:`repro.compile`) makes a serial
+200-point availability sweep at least 5x faster than rebuilding the
+model at every point, while producing the same numbers — the engine's
+auto-substitution is bit-identical, so the tolerance check here is a
+formality.  The wall-clock record lands in ``BENCH_e33.json`` so the
+perf trajectory is tracked across revisions.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.casestudies.bladecenter import evaluate_availability
+from repro.compile import compile_model
+from repro.engine import evaluate_batch
+
+N_POINTS = 200
+
+POINTS = [
+    {
+        "disk_failure_rate": 1e-5 * (1.0 + 0.005 * k),
+        "software_failure_rate": 1.0 / 1440.0 * (1.0 + 0.002 * k),
+    }
+    for k in range(N_POINTS)
+]
+
+RECORD_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_e33.json"
+
+
+def test_compiled_sweep_speedup():
+    """Serial 200-point BladeCenter sweep: compiled >= 5x uncompiled."""
+    # Warm both paths outside the timed region (imports, BDD build,
+    # compiled-structure singletons, numpy caches).
+    evaluate_availability(POINTS[0])
+    compiled = compile_model(evaluate_availability)
+    compiled(POINTS[0])
+
+    start = time.perf_counter()
+    uncompiled = evaluate_batch(evaluate_availability, POINTS, compile=False)
+    uncompiled_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = evaluate_batch(evaluate_availability, POINTS)  # auto-compiles
+    compiled_s = time.perf_counter() - start
+
+    speedup = uncompiled_s / compiled_s
+    print_table(
+        f"E33: {N_POINTS}-point BladeCenter sweep, uncompiled vs compiled (serial)",
+        ["path", "wall s", "points/s"],
+        [
+            ("uncompiled", uncompiled_s, N_POINTS / uncompiled_s),
+            ("compiled", compiled_s, N_POINTS / compiled_s),
+            ("speedup", speedup, 0.0),
+        ],
+    )
+
+    ref = np.asarray(uncompiled.outputs)
+    got = np.asarray(fast.outputs)
+    assert np.max(np.abs(got - ref)) <= 1e-12
+    # Substitution is in fact bit-identical, not merely within tolerance.
+    assert got.tobytes() == ref.tobytes()
+
+    RECORD_PATH.write_text(
+        json.dumps(
+            {
+                "points": N_POINTS,
+                "uncompiled_s": uncompiled_s,
+                "compiled_s": compiled_s,
+                "speedup": speedup,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        pytest.skip(f"speedup assertion needs >= 2 CPUs for stable timing, found {cpus}")
+    assert speedup >= 5.0, f"compiled path only {speedup:.2f}x faster"
+
+
+def test_evaluate_many_matches_per_point_calls():
+    """The batched kernel equals the one-at-a-time compiled calls."""
+    compiled = compile_model(evaluate_availability)
+    batch = compiled.evaluate_many(POINTS[:20])
+    singles = np.array([compiled(p) for p in POINTS[:20]])
+    assert batch.tobytes() == singles.tobytes()

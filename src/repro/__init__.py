@@ -17,7 +17,9 @@ Modeling in Practice*:
   propagation and sensitivity analysis (:mod:`repro.core`);
 * **Monte Carlo simulation** for cross-validation (:mod:`repro.sim`);
 * a **batch-evaluation engine** with fault policies
-  (:mod:`repro.engine`, :mod:`repro.robust`) and a zero-dependency
+  (:mod:`repro.engine`, :mod:`repro.robust`), **compiled sweep
+  kernels** that build model structure once and solve many parameter
+  points fast (:mod:`repro.compile`), and a zero-dependency
   **observability layer** — hierarchical tracing and metrics over every
   solver and sweep (:mod:`repro.obs`);
 * the tutorial's **industrial case studies** — IBM BladeCenter, Cisco
@@ -79,6 +81,11 @@ _EXPORTS = {
     "SamplingCampaign": "repro.engine",
     "CampaignResult": "repro.engine",
     "run_campaign": "repro.engine",
+    # compiled sweep kernels (repro.compile)
+    "compile_model": "repro.compile",
+    "supports_compilation": "repro.compile",
+    "CompiledCTMC": "repro.compile",
+    "CompiledStructureFunction": "repro.compile",
     # observability (repro.obs)
     "trace": "repro.obs",
     "Tracer": "repro.obs",
@@ -163,6 +170,12 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         export_equivalent_failure_rate,
         export_mttf,
         export_unavailability,
+    )
+    from .compile import (
+        CompiledCTMC,
+        CompiledStructureFunction,
+        compile_model,
+        supports_compilation,
     )
     from .core.model import DependabilityModel
     from .core.sensitivity import parametric_sensitivity, rank_parameters

@@ -37,6 +37,7 @@ __all__ = [
     "build_chassis",
     "build_bladecenter",
     "downtime_budget",
+    "resolve_parameters",
     "evaluate_availability",
 ]
 
@@ -183,13 +184,8 @@ def build_bladecenter(params: BladeCenterParameters = BladeCenterParameters()) -
     return hierarchy
 
 
-def evaluate_availability(assignment: Mapping[str, float]) -> float:
-    """Steady-state system availability for a (partial) parameter assignment.
-
-    Keys are :class:`BladeCenterParameters` field names; unassigned
-    fields keep their published defaults.  Module-level and picklable —
-    the engine-friendly evaluator for parameter sweeps
-    (``propagate_uncertainty(evaluate_availability, ..., n_jobs=4)``).
+def resolve_parameters(assignment: Mapping[str, float]) -> BladeCenterParameters:
+    """Validate a (partial) assignment and merge it over the defaults.
 
     Values are validated up front (finite, non-negative) so that a bad
     draw from a heavy-tailed prior fails loudly as a
@@ -205,15 +201,34 @@ def evaluate_availability(assignment: Mapping[str, float]) -> float:
                 f"got {value}"
             )
     try:
-        params = replace(BladeCenterParameters(), **dict(assignment))
+        return replace(BladeCenterParameters(), **dict(assignment))
     except TypeError:
         known = {f for f in BladeCenterParameters.__dataclass_fields__}
         unknown = sorted(set(assignment) - known)
         raise ModelDefinitionError(
             f"unknown BladeCenter parameter(s) {unknown}; valid names: {sorted(known)}"
         ) from None
+
+
+def evaluate_availability(assignment: Mapping[str, float]) -> float:
+    """Steady-state system availability for a (partial) parameter assignment.
+
+    Keys are :class:`BladeCenterParameters` field names; unassigned
+    fields keep their published defaults.  Module-level and picklable —
+    the engine-friendly evaluator for parameter sweeps
+    (``propagate_uncertainty(evaluate_availability, ..., n_jobs=4)``).
+
+    Sweeps should prefer the compiled form
+    (``repro.compile.compile_model(evaluate_availability)``), which the
+    engine auto-substitutes: it produces bit-identical results while
+    building the hierarchy's structure only once.
+    """
+    params = resolve_parameters(assignment)
     solution = build_bladecenter(params).solve()
     return float(solution.value("system", "availability"))
+
+
+evaluate_availability.__compiles_to__ = "repro.compile.model:CompiledBladeCenter"
 
 
 def downtime_budget(

@@ -16,15 +16,25 @@ downtime.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Tuple
 
 from ..core.model import DependabilityModel
+from ..exceptions import ModelDefinitionError
 from ..markov.ctmc import CTMC, MarkovDependabilityModel
 from ..nonstate.components import Component
 from ..nonstate.rbd import ReliabilityBlockDiagram, series
 
-__all__ = ["CiscoParameters", "build_simplex_processor", "build_redundant_processor", "build_router", "downtime_table"]
+__all__ = [
+    "CiscoParameters",
+    "build_simplex_processor",
+    "build_redundant_processor",
+    "build_router",
+    "downtime_table",
+    "resolve_parameters",
+    "evaluate_availability",
+]
 
 
 @dataclass
@@ -113,6 +123,45 @@ def build_router(
             )
         )
     return ReliabilityBlockDiagram(series(*blocks))
+
+
+def resolve_parameters(assignment: Mapping[str, float]) -> CiscoParameters:
+    """Validate a (partial) assignment and merge it over the defaults.
+
+    Values must be finite and non-negative; unknown names raise a
+    :class:`~repro.exceptions.ModelDefinitionError` listing the valid
+    field names — the same contract as the BladeCenter evaluator.
+    """
+    for name, value in assignment.items():
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ModelDefinitionError(
+                f"Cisco parameter {name!r} must be finite and non-negative, got {value}"
+            )
+    try:
+        return replace(CiscoParameters(), **dict(assignment))
+    except TypeError:
+        known = {f for f in CiscoParameters.__dataclass_fields__}
+        unknown = sorted(set(assignment) - known)
+        raise ModelDefinitionError(
+            f"unknown Cisco parameter(s) {unknown}; valid names: {sorted(known)}"
+        ) from None
+
+
+def evaluate_availability(assignment: Mapping[str, float]) -> float:
+    """Steady-state availability of the redundant router for a sweep point.
+
+    Keys are :class:`CiscoParameters` field names; unassigned fields
+    keep the published defaults.  Module-level and picklable — the
+    engine evaluator for coverage/repair sweeps.  The engine substitutes
+    the bit-identical compiled form
+    (:class:`repro.compile.CompiledCiscoRouter`) automatically.
+    """
+    params = resolve_parameters(assignment)
+    return float(build_router(params, redundant=True).steady_state_availability())
+
+
+evaluate_availability.__compiles_to__ = "repro.compile.model:CompiledCiscoRouter"
 
 
 def downtime_table(params: CiscoParameters = CiscoParameters()) -> List[Tuple[str, float, float]]:

@@ -21,12 +21,22 @@ Defects-per-million (DPM) is the telecom measure the tutorial quotes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+import math
+from dataclasses import dataclass, replace
+from typing import List, Mapping, Tuple
 
+from ..exceptions import ModelDefinitionError
 from ..markov.ctmc import CTMC, MarkovDependabilityModel
 
-__all__ = ["SunParameters", "build_platform", "dpm", "policy_table", "coverage_sweep"]
+__all__ = [
+    "SunParameters",
+    "build_platform",
+    "dpm",
+    "policy_table",
+    "coverage_sweep",
+    "resolve_parameters",
+    "evaluate_availability",
+]
 
 
 @dataclass
@@ -82,6 +92,46 @@ def build_platform(
     chain.add_transition("0", "1", params.repair_rate)
     up = ["2", "1", "1w"] if policy == "deferred" else ["2", "1"]
     return MarkovDependabilityModel(chain, up_states=up, initial="2")
+
+
+def resolve_parameters(assignment: Mapping[str, float]) -> SunParameters:
+    """Validate a (partial) assignment and merge it over the defaults.
+
+    Values must be finite and non-negative; unknown names raise a
+    :class:`~repro.exceptions.ModelDefinitionError` listing the valid
+    field names — the same contract as the BladeCenter evaluator.
+    """
+    for name, value in assignment.items():
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ModelDefinitionError(
+                f"Sun parameter {name!r} must be finite and non-negative, got {value}"
+            )
+    try:
+        return replace(SunParameters(), **dict(assignment))
+    except TypeError:
+        known = {f for f in SunParameters.__dataclass_fields__}
+        unknown = sorted(set(assignment) - known)
+        raise ModelDefinitionError(
+            f"unknown Sun parameter(s) {unknown}; valid names: {sorted(known)}"
+        ) from None
+
+
+def evaluate_availability(assignment: Mapping[str, float]) -> float:
+    """Steady-state availability under immediate repair for a sweep point.
+
+    Keys are :class:`SunParameters` field names; unassigned fields keep
+    the published defaults.  Module-level and picklable — the engine
+    evaluator for coverage sweeps (the classic DPM blow-up).  The engine
+    substitutes the bit-identical compiled form
+    (:class:`repro.compile.CompiledSunPlatform`) automatically; only the
+    immediate policy is compiled.
+    """
+    params = resolve_parameters(assignment)
+    return float(build_platform(params, policy="immediate").steady_state_availability())
+
+
+evaluate_availability.__compiles_to__ = "repro.compile.model:CompiledSunPlatform"
 
 
 def dpm(model: MarkovDependabilityModel) -> float:

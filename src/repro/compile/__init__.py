@@ -1,0 +1,44 @@
+"""repro.compile — compiled-model sweep kernels.
+
+Separates **symbolic structure** (built once) from **numeric fill**
+(per sweep point):
+
+* :class:`CompiledCTMC` — frozen state order + sparsity pattern,
+  ``fill``-into-preallocated-buffers, pattern-reusing solves;
+* :class:`CompiledStructureFunction` — RBD/fault-tree structure
+  lowered once, all sweep points evaluated in one vectorized pass;
+* :func:`compile_model` / :func:`supports_compilation` — turn case
+  studies and model objects into picklable batch evaluators the engine
+  ships once per worker.
+
+All compiled paths are bit-identical to their uncompiled counterparts;
+see ``docs/PERFORMANCE.md`` for when compilation pays off.
+"""
+
+from .ctmc import CompiledCTMC, Complement, Const, Param, RateTerm, Scaled, Times
+from .model import (
+    CompiledBladeCenter,
+    CompiledCiscoRouter,
+    CompiledEvaluator,
+    CompiledSunPlatform,
+    compile_model,
+    supports_compilation,
+)
+from .structure import CompiledStructureFunction
+
+__all__ = [
+    "RateTerm",
+    "Const",
+    "Param",
+    "Scaled",
+    "Times",
+    "Complement",
+    "CompiledCTMC",
+    "CompiledStructureFunction",
+    "CompiledEvaluator",
+    "CompiledBladeCenter",
+    "CompiledCiscoRouter",
+    "CompiledSunPlatform",
+    "compile_model",
+    "supports_compilation",
+]

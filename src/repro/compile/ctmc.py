@@ -1,0 +1,494 @@
+"""Compiled CTMC kernels: freeze structure once, fill and solve per point.
+
+A parameter sweep over a CTMC model re-solves the *same* chain topology
+at every point — only the numeric rates change.  The uncompiled path
+rebuilds everything per point: label→index maps, the rate dictionary,
+the COO triplets, the CSR generator, and (for reliability measures) a
+second absorbing chain.  :class:`CompiledCTMC` hoists all of that out of
+the loop:
+
+* the **state ordering** and the **sparsity pattern** (COO row/column
+  index arrays, one slot per distinct transition) are frozen at compile
+  time;
+* :meth:`fill` evaluates the symbolic rate terms into a preallocated
+  dense buffer (one per thread) — per-point cost is "evaluate the terms
+  and write ``nnz`` cells", not "rebuild the model";
+* :meth:`steady_state` feeds the filled buffer straight to the GTH
+  kernel with ``validated=True`` (the fill itself enforces positive
+  finite rates, exactly like :meth:`repro.markov.CTMC.add_transition`);
+  the sparse-direct method reuses a precomputed CSC pattern so each
+  solve only writes a data vector;
+* :meth:`transient` assembles the CSR generator from the frozen pattern
+  and delegates to :func:`~repro.markov.solvers.solve_transient`, whose
+  Poisson truncation points are memoized on ``(λt, tol)`` — nearby
+  points with identical rates share the truncation machinery.
+
+Results are **bit-identical** to building the equivalent
+:class:`~repro.markov.CTMC` and solving it: the fill accumulates
+duplicate transitions and the diagonal in the same floating-point order
+as ``CTMC.add_transition`` + ``CTMC.generator()``.
+
+Rates are expressed as picklable :class:`RateTerm` objects over a
+parameter mapping (:class:`Const`, :class:`Param`, :class:`Scaled`,
+:class:`Times`, :class:`Complement`), so a compiled chain can cross a
+process boundary once and be filled many times in the worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from .._validation import check_rate
+from ..exceptions import ModelDefinitionError, SolverError
+from ..markov.solvers import gth_solve, solve_transient, steady_state_direct, steady_state_power
+from ..obs.trace import get_tracer
+
+__all__ = [
+    "RateTerm",
+    "Const",
+    "Param",
+    "Scaled",
+    "Times",
+    "Complement",
+    "CompiledCTMC",
+]
+
+State = Hashable
+
+
+class RateTerm:
+    """A picklable symbolic rate: ``term(values) -> float``.
+
+    Subclasses reproduce the exact floating-point expression the
+    uncompiled model constructor evaluates, so the filled generator is
+    bit-identical to the one ``CTMC.add_transition`` would build.
+    """
+
+    def __call__(self, values: Mapping[str, float]) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(RateTerm):
+    """A fixed rate, independent of the sweep parameters."""
+
+    value: float
+
+    def __call__(self, values: Mapping[str, float]) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Param(RateTerm):
+    """The rate is the parameter ``name`` itself.
+
+    Returns the raw mapping value (no float coercion): validation and
+    conversion happen in :meth:`CompiledCTMC.fill`, in the same order
+    ``CTMC.add_transition`` applies them.
+    """
+
+    name: str
+
+    def __call__(self, values: Mapping[str, float]) -> float:
+        return values[self.name]
+
+
+@dataclass(frozen=True)
+class Scaled(RateTerm):
+    """``factor * values[name]`` — e.g. ``2.0 * failure_rate``."""
+
+    factor: float
+    name: str
+
+    def __call__(self, values: Mapping[str, float]) -> float:
+        return self.factor * values[self.name]
+
+
+@dataclass(frozen=True)
+class Times(RateTerm):
+    """Product of two terms — e.g. ``failure_rate * coverage``."""
+
+    left: RateTerm
+    right: RateTerm
+
+    def __call__(self, values: Mapping[str, float]) -> float:
+        return self.left(values) * self.right(values)
+
+
+@dataclass(frozen=True)
+class Complement(RateTerm):
+    """``1.0 - term`` — e.g. the uncovered branch ``1 - coverage``."""
+
+    term: RateTerm
+
+    def __call__(self, values: Mapping[str, float]) -> float:
+        return 1.0 - self.term(values)
+
+
+class CompiledCTMC:
+    """A CTMC whose structure is frozen and whose rates are symbolic.
+
+    Parameters
+    ----------
+    states:
+        State labels in index order (the order ``CTMC.add_state`` would
+        assign while replaying the transitions).
+    transitions:
+        ``(source_index, target_index, term)`` triples in the order the
+        uncompiled constructor adds them.  Duplicate ``(i, j)`` pairs
+        accumulate in insertion order, exactly like repeated
+        ``add_transition`` calls.
+
+    Examples
+    --------
+    >>> cc = CompiledCTMC([2, 1, 0], [
+    ...     (0, 1, Scaled(2.0, "lam")), (1, 2, Param("lam")),
+    ...     (1, 0, Param("mu")), (2, 1, Param("mu"))])
+    >>> pi = cc.steady_state({"lam": 0.001, "mu": 0.1})
+    >>> round(float(pi[0] + pi[1]), 8)
+    0.99980396
+    """
+
+    def __init__(
+        self,
+        states: Sequence[State],
+        transitions: Sequence[Tuple[int, int, RateTerm]],
+    ):
+        self.states: Tuple[State, ...] = tuple(states)
+        self.n = len(self.states)
+        if self.n == 0:
+            raise ModelDefinitionError("chain has no states")
+        self._index: Dict[State, int] = {s: i for i, s in enumerate(self.states)}
+        if len(self._index) != self.n:
+            raise ModelDefinitionError("duplicate state labels")
+        # Group terms by (i, j) in first-insertion order — one COO slot
+        # per distinct pair, matching the CTMC rate-dict accumulation.
+        slots: Dict[Tuple[int, int], List[RateTerm]] = {}
+        for i, j, term in transitions:
+            i, j = int(i), int(j)
+            if i == j:
+                raise ModelDefinitionError("self-loops are meaningless in a CTMC")
+            if not (0 <= i < self.n and 0 <= j < self.n):
+                raise ModelDefinitionError(
+                    f"transition ({i}, {j}) outside the {self.n}-state space"
+                )
+            slots.setdefault((i, j), []).append(term)
+        self._slot_terms: Tuple[Tuple[int, int, Tuple[RateTerm, ...]], ...] = tuple(
+            (i, j, tuple(terms)) for (i, j), terms in slots.items()
+        )
+        nnz = len(self._slot_terms)
+        # Frozen COO pattern: transition slots first, diagonal last —
+        # the exact layout CTMC.generator() emits.
+        rows = np.empty(nnz + self.n, dtype=np.int64)
+        cols = np.empty(nnz + self.n, dtype=np.int64)
+        for k, (i, j, _) in enumerate(self._slot_terms):
+            rows[k] = i
+            cols[k] = j
+        rows[nnz:] = np.arange(self.n)
+        cols[nnz:] = np.arange(self.n)
+        self._coo_rows = rows
+        self._coo_cols = cols
+        self._nnz = nnz
+        # Lazily-built CSC pattern for the sparse-direct method.
+        self._direct_pattern: Optional[Tuple[np.ndarray, ...]] = None
+        self._local = threading.local()
+        self._param_names: Tuple[str, ...] = self.parameters()
+        # Stationary-vector memo keyed on (method, parameter values):
+        # in a sweep most leaf chains see the same rates at every point.
+        self._memo: Dict[Tuple, np.ndarray] = {}
+
+    @classmethod
+    def from_ctmc(cls, chain) -> "CompiledCTMC":
+        """Freeze an existing :class:`~repro.markov.CTMC`.
+
+        Every transition becomes a :class:`Const` term, so the compiled
+        chain reproduces ``chain.generator()`` exactly; combine with
+        hand-written :class:`Param` terms when rates should track a
+        sweep instead.
+        """
+        transitions = [
+            (int(i), int(j), Const(float(v)))
+            for i, j, v in zip(chain._coo_rows, chain._coo_cols, chain._coo_vals)
+        ]
+        return cls(chain.states, transitions)
+
+    # ---------------------------------------------------------- pickling
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["_local"] = None  # thread-local buffers never cross processes
+        state["_memo"] = {}  # solves are cheap to redo; keep payloads small
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._local = threading.local()
+
+    # ------------------------------------------------------------ access
+    def index_of(self, state: State) -> int:
+        """Index of a state label (frozen at compile time)."""
+        try:
+            return self._index[state]
+        except KeyError:
+            raise ModelDefinitionError(f"unknown state: {state!r}") from None
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self.n
+
+    def parameters(self) -> Tuple[str, ...]:
+        """Parameter names the rate terms read, in first-use order."""
+        names: Dict[str, None] = {}
+
+        def walk(term: RateTerm) -> None:
+            if isinstance(term, (Param, Scaled)):
+                names.setdefault(term.name)
+            elif isinstance(term, Times):
+                walk(term.left)
+                walk(term.right)
+            elif isinstance(term, Complement):
+                walk(term.term)
+
+        for _, _, terms in self._slot_terms:
+            for term in terms:
+                walk(term)
+        return tuple(names)
+
+    # -------------------------------------------------------------- fill
+    def _workspace(self) -> threading.local:
+        ws = self._local
+        if getattr(ws, "dense", None) is None:
+            ws.dense = np.zeros((self.n, self.n))
+            ws.diag = np.zeros(self.n)
+            ws.vals = np.empty(self._nnz + self.n)
+        return ws
+
+    def fill(self, values: Mapping[str, float]) -> np.ndarray:
+        """Evaluate the rate terms into the preallocated dense generator.
+
+        Every term is validated with the same ``check_rate`` check (and
+        in the same order) as the equivalent ``add_transition`` calls,
+        so a bad parameter raises the identical
+        :class:`~repro.exceptions.DistributionError`.  Returns the
+        thread-local ``(n, n)`` buffer — copy it if you need to keep it
+        across calls.
+        """
+        ws = self._workspace()
+        dense = ws.dense
+        diag = ws.diag
+        vals = ws.vals
+        dense[...] = 0.0
+        diag[...] = 0.0
+        for k, (i, j, terms) in enumerate(self._slot_terms):
+            rate = 0.0
+            for term in terms:
+                r = term(values)
+                check_rate(r)
+                rate = rate + float(r)
+            vals[k] = rate
+            diag[i] -= rate
+            dense[i, j] = rate
+        vals[self._nnz :] = diag
+        dense[np.arange(self.n), np.arange(self.n)] = diag
+        return dense
+
+    def validate(self, values: Mapping[str, float]) -> None:
+        """Run the per-transition rate checks without touching buffers.
+
+        Raises exactly what :meth:`fill` would raise, in the same order
+        — the cheap stand-in when a caller needs the error contract of a
+        model build but the solve itself will come from the memo.
+        """
+        for _, _, terms in self._slot_terms:
+            for term in terms:
+                check_rate(term(values))
+
+    def generator(self, values: Mapping[str, float]) -> sparse.csr_matrix:
+        """The filled generator as a CSR matrix (frozen pattern).
+
+        Bit-identical to ``CTMC.generator()`` of the equivalent chain:
+        same COO layout, same duplicate accumulation, same diagonal
+        subtraction order.
+        """
+        ws = self._workspace()
+        self.fill(values)
+        return sparse.csr_matrix(
+            (ws.vals.copy(), (self._coo_rows, self._coo_cols)),
+            shape=(self.n, self.n),
+            dtype=float,
+        )
+
+    # ------------------------------------------------------------- solve
+    def steady_state(self, values: Mapping[str, float], method: str = "gth") -> np.ndarray:
+        """Stationary vector at one parameter point (index order).
+
+        ``method="gth"`` (default) runs GTH elimination on the filled
+        dense buffer; ``"direct"`` reuses the precomputed CSC pattern of
+        the normalized system across solves; ``"power"`` iterates on the
+        uniformized chain.  All three skip re-validation (the fill
+        enforces the generator invariants by construction) and return
+        the same bits as the uncompiled ``CTMC.steady_state``.
+        """
+        tracer = get_tracer()
+        t0 = perf_counter()
+        dense = self.fill(values)
+        t1 = perf_counter()
+        if method == "gth":
+            pi = gth_solve(dense, validated=True)
+        elif method == "direct":
+            pi = self._steady_state_direct(dense)
+        elif method == "power":
+            ws = self._workspace()
+            q = sparse.csr_matrix(
+                (ws.vals.copy(), (self._coo_rows, self._coo_cols)),
+                shape=(self.n, self.n),
+                dtype=float,
+            )
+            pi = steady_state_power(q, validated=True)
+        else:
+            raise SolverError(f"unknown steady-state method {method!r}")
+        if tracer.enabled:
+            t2 = perf_counter()
+            tracer.metrics.counter("compile.reuse", kind="ctmc").inc()
+            tracer.metrics.counter("compile.fill_seconds").inc(t1 - t0)
+            tracer.metrics.counter("compile.solve_seconds").inc(t2 - t1)
+        return pi
+
+    _MEMO_LIMIT = 1024
+
+    def memo_key(self, values: Mapping[str, float], method: str = "gth") -> Tuple:
+        """Memo key for one parameter point: the raw swept values."""
+        return (method,) + tuple(values[name] for name in self._param_names)
+
+    def memoized(self, values: Mapping[str, float], method: str = "gth") -> bool:
+        """Whether :meth:`steady_state_cached` would be a memo hit."""
+        return self.memo_key(values, method) in self._memo
+
+    def steady_state_cached(self, values: Mapping[str, float], method: str = "gth") -> np.ndarray:
+        """Memoized :meth:`steady_state` — treat the result as read-only.
+
+        Sweeps usually vary a handful of parameters; every leaf chain
+        whose rates happen to be constant across points re-solves the
+        identical generator at every one of them.  The memo keys on the
+        raw parameter values, so a hit returns the exact array an
+        earlier solve produced (bit-identity is trivial).  Failures are
+        never cached — a bad value misses the memo, and the fill inside
+        :meth:`steady_state` raises exactly as the uncompiled build
+        would.  The returned array is shared with the memo: copy it
+        before mutating.
+        """
+        key = self.memo_key(values, method)
+        pi = self._memo.get(key)
+        if pi is None:
+            pi = self.steady_state(values, method)
+            if len(self._memo) >= self._MEMO_LIMIT:
+                self._memo.clear()
+            self._memo[key] = pi
+        else:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.metrics.counter("compile.reuse", kind="ctmc-memo").inc()
+        return pi
+
+    def _ensure_direct_pattern(self) -> Tuple[np.ndarray, ...]:
+        """CSC pattern of ``[Q^T with last row ← 1]``, built once.
+
+        The pattern depends only on the frozen transition structure
+        (explicit zeros are preserved through the conversions), so a
+        single template conversion — the exact
+        ``transpose().tolil()`` route of
+        :func:`~repro.markov.solvers.steady_state_direct` — yields the
+        index arrays every subsequent solve writes its data into.
+        """
+        if self._direct_pattern is None:
+            ws = self._workspace()
+            q = sparse.csr_matrix(
+                (ws.vals.copy(), (self._coo_rows, self._coo_cols)),
+                shape=(self.n, self.n),
+                dtype=float,
+            )
+            a = q.transpose().tolil()
+            a[self.n - 1, :] = 1.0
+            template = sparse.csc_matrix(a)
+            indices = template.indices.copy()
+            indptr = template.indptr.copy()
+            # Position p in column c holds A[r, c] = Q[c, r] (or 1.0 in
+            # the normalization row r = n-1).
+            col_of = np.repeat(np.arange(self.n), np.diff(indptr))
+            is_norm = indices == self.n - 1
+            self._direct_pattern = (indices, indptr, col_of, is_norm)
+        return self._direct_pattern
+
+    def _steady_state_direct(self, dense: np.ndarray) -> np.ndarray:
+        if self.n == 1:
+            return np.ones(1)
+        indices, indptr, col_of, is_norm = self._ensure_direct_pattern()
+        data = dense[col_of, indices]
+        data[is_norm] = 1.0
+        a = sparse.csc_matrix((data, indices, indptr), shape=(self.n, self.n))
+        b = np.zeros(self.n)
+        b[self.n - 1] = 1.0
+        try:
+            pi = sparse_linalg.spsolve(a, b)
+        except RuntimeError as exc:  # pragma: no cover - SuperLU failure path
+            raise SolverError(f"sparse direct solve failed: {exc}") from exc
+        if not np.all(np.isfinite(pi)):
+            raise SolverError("sparse direct solve produced non-finite probabilities")
+        pi = np.maximum(pi, 0.0)
+        total = pi.sum()
+        if total <= 0:
+            raise SolverError("sparse direct solve produced a zero vector")
+        return pi / total
+
+    # --------------------------------------------------------- transient
+    def initial_vector(self, initial) -> np.ndarray:
+        """Initial probability vector from a label or a distribution."""
+        vec = np.zeros(self.n)
+        if isinstance(initial, Mapping):
+            total = 0.0
+            for state, prob in initial.items():
+                vec[self.index_of(state)] = float(prob)
+                total += float(prob)
+            if abs(total - 1.0) > 1e-9:
+                raise ModelDefinitionError(
+                    f"initial probabilities sum to {total}, expected 1"
+                )
+        else:
+            vec[self.index_of(initial)] = 1.0
+        return vec
+
+    def transient(
+        self,
+        values: Mapping[str, float],
+        times,
+        initial,
+        method: str = "auto",
+        tol: float = 1e-10,
+    ) -> np.ndarray:
+        """Transient probabilities ``(len(times), n)`` at one point.
+
+        Assembles the CSR generator from the frozen pattern and
+        delegates to :func:`~repro.markov.solvers.solve_transient`;
+        across nearby points with identical rates the Poisson truncation
+        points are served from the ``(λt, tol)`` memo instead of being
+        re-derived.
+        """
+        ts = np.atleast_1d(np.asarray(times, dtype=float))
+        p0 = self.initial_vector(initial)
+        q = self.generator(values)
+        return solve_transient(q, p0, ts, method=method, tol=tol)
+
+    def steady_state_direct_reference(self, values: Mapping[str, float]) -> np.ndarray:
+        """Uncompiled-route direct solve (for verification): builds the
+        CSR generator and calls :func:`steady_state_direct` as-is."""
+        return steady_state_direct(self.generator(values), validated=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompiledCTMC(n_states={self.n}, n_transitions={self._nnz})"

@@ -163,6 +163,7 @@ def propagate_uncertainty(
     policy=None,
     options: Optional[EngineOptions] = None,
     tracer=None,
+    compile=None,
 ) -> UncertaintyResult:
     """Propagate parameter uncertainty through a model.
 
@@ -192,6 +193,11 @@ def propagate_uncertainty(
         One bundled :class:`~repro.engine.EngineOptions` (loose keywords
         override its fields) and an optional
         :class:`~repro.obs.Tracer` activated for the whole propagation.
+    compile:
+        Compiled-evaluator substitution (see :mod:`repro.compile`).
+        ``None`` auto-compiles evaluators that advertise a compiled
+        form; ``False`` disables; ``True`` forces.  Bit-identical
+        either way — the draws never see the difference.
     policy:
         Optional :class:`~repro.robust.FaultPolicy`.  With
         ``on_error="skip"`` or ``"retry"`` a failing draw becomes a
@@ -227,6 +233,7 @@ def propagate_uncertainty(
         progress=progress,
         policy=policy,
         tracer=tracer,
+        compile=compile,
     )
     batch = evaluate_batch(evaluate, assignments, options=opts)
     return UncertaintyResult(batch.outputs, draws, stats=batch.stats, errors=batch.errors)
@@ -245,6 +252,7 @@ def tornado_sensitivity(
     policy=None,
     options: Optional[EngineOptions] = None,
     tracer=None,
+    compile=None,
 ) -> List[Tuple[str, float, float]]:
     """One-at-a-time tornado analysis.
 
@@ -286,6 +294,7 @@ def tornado_sensitivity(
         progress=progress,
         policy=policy,
         tracer=tracer,
+        compile=compile,
     )
     if opts.cache is None:
         opts = opts.replace(cache=EvaluationCache())

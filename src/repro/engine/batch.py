@@ -94,6 +94,7 @@ def evaluate_batch(
     policy: Optional[FaultPolicy] = None,
     options: Optional[EngineOptions] = None,
     tracer=None,
+    compile=None,
 ) -> BatchResult:
     """Evaluate every assignment; outputs in input order plus stats.
 
@@ -145,6 +146,14 @@ def evaluate_batch(
         Optional :class:`~repro.obs.Tracer` made active for the
         duration of the call; ``None`` uses the ambient one installed
         by a surrounding :func:`repro.obs.trace` block.
+    compile:
+        ``None`` (default) auto-substitutes the bit-identical compiled
+        form of evaluators that advertise one (``__compiles_to__``,
+        e.g. the case-study ``evaluate_availability`` functions) when
+        no ``rng`` is given; ``True`` forces compilation via
+        :func:`repro.compile.compile_model` (raising when the
+        evaluator has no compiled form); ``False`` always runs the
+        evaluator as passed.
 
     Examples
     --------
@@ -163,10 +172,45 @@ def evaluate_batch(
         progress=progress,
         policy=policy,
         tracer=tracer,
+        compile=compile,
     )
     scope = activate_tracer(opts.tracer) if opts.tracer is not None else nullcontext()
     with scope:
         return _evaluate_batch(evaluate, assignments, opts, rng)
+
+
+def _maybe_compile(evaluate: Evaluator, opts: EngineOptions, rng) -> Evaluator:
+    """Substitute the compiled form of ``evaluate`` when appropriate.
+
+    ``opts.compile`` is ``None`` (auto: compile evaluators advertising
+    ``__compiles_to__``, unless an ``rng`` is in play), ``True`` (force:
+    :func:`repro.compile.compile_model` raises when unsupported) or
+    ``False`` (never).  Substitution is bit-preserving by construction —
+    compiled evaluators replicate the uncompiled arithmetic exactly —
+    so cached values and cross-executor determinism are unaffected.
+    """
+    mode = opts.compile
+    if mode is False:
+        return evaluate
+    from ..compile.model import CompiledEvaluator, compile_model
+
+    if isinstance(evaluate, CompiledEvaluator):
+        return evaluate
+    if mode is None:
+        if rng is not None or getattr(evaluate, "__compiles_to__", None) is None:
+            return evaluate
+    elif rng is not None:
+        raise ModelDefinitionError(
+            "compile=True cannot be combined with rng: compiled evaluators "
+            "are deterministic and do not take a per-task generator"
+        )
+    compiled = compile_model(evaluate)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.metrics.counter(
+            "engine.compiled_batches", evaluator=type(compiled).__name__
+        ).inc()
+    return compiled
 
 
 def _evaluate_batch(
@@ -189,6 +233,7 @@ def _evaluate_batch(
             "deterministic evaluator, per-task RNG spawning assumes a "
             "stochastic one"
         )
+    evaluate = _maybe_compile(evaluate, opts, rng)
     ex = resolve_executor(opts.n_jobs, opts.executor)
     active = get_tracer()
     batch_span = (

@@ -254,6 +254,7 @@ def run_campaign(
     policy=None,
     options: Optional[EngineOptions] = None,
     tracer=None,
+    compile=None,
 ) -> CampaignResult:
     """Materialize ``spec`` and evaluate it through the engine.
 
@@ -263,7 +264,10 @@ def run_campaign(
     :class:`~repro.engine.EngineOptions` ``options`` (loose keywords
     override its fields) — are forwarded to
     :func:`~repro.engine.batch.evaluate_batch`.  When tracing is active
-    the whole run is wrapped in an ``engine.campaign`` span.
+    the whole run is wrapped in an ``engine.campaign`` span.  ``compile``
+    controls compiled-evaluator substitution (see :mod:`repro.compile`);
+    the design ``rng`` never reaches the evaluator, so auto-compilation
+    applies to campaigns exactly as it does to plain batches.
     """
     opts = resolve_options(
         options,
@@ -274,6 +278,7 @@ def run_campaign(
         progress=progress,
         policy=policy,
         tracer=tracer,
+        compile=compile,
     )
     scope = activate_tracer(opts.tracer) if opts.tracer is not None else nullcontext()
     with scope:

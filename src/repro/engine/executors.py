@@ -89,6 +89,56 @@ def ensure_picklable(obj: Any, role: str) -> None:
         ) from exc
 
 
+#: worker-side registry of evaluators installed by the pool initializer
+_SHIPPED_EVALUATORS: Dict[str, Any] = {}
+
+_ship_counter = itertools.count()
+
+
+def _install_shipped_evaluator(key: str, payload: bytes) -> None:
+    """Pool initializer: unpickle a ship-once evaluator into the worker.
+
+    Runs exactly once per worker process, so a compiled evaluator (which
+    may carry sizeable frozen structure) crosses the process boundary
+    once per worker instead of once per submitted chunk.
+    """
+    _SHIPPED_EVALUATORS[key] = pickle.loads(payload)
+
+
+class _ShippedEvaluator:
+    """Lightweight stand-in submitted in place of a ship-once evaluator.
+
+    Pickles to just its registry key; in a worker it resolves to the
+    instance the pool initializer installed, in the parent (serial
+    re-dispatch after a broken pool) it still holds the original.
+    """
+
+    def __init__(self, key: str, evaluate: Evaluator):
+        self._key = key
+        self._evaluate: Optional[Evaluator] = evaluate
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"_key": self._key, "_evaluate": None}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
+    def _resolve(self) -> Evaluator:
+        if self._evaluate is None:
+            try:
+                self._evaluate = _SHIPPED_EVALUATORS[self._key]
+            except KeyError:  # pragma: no cover - initializer never ran
+                raise SolverError(
+                    f"shipped evaluator {self._key!r} missing from the worker; "
+                    "the pool initializer did not run"
+                ) from None
+        return self._evaluate
+
+    def __call__(self, assignment, rng=None):
+        evaluate = self._resolve()
+        return evaluate(assignment) if rng is None else evaluate(assignment, rng)
+
+
 def default_chunk_size(n_tasks: int, n_jobs: int) -> int:
     """Heuristic chunk size: ~4 chunks per worker, at least 1 task each.
 
@@ -333,17 +383,26 @@ class _PoolExecutor(Executor):
             raise ModelDefinitionError(f"n_jobs must be >= 1, got {n_jobs}")
         self.n_jobs = int(n_jobs)
 
-    def _make_pool(self) -> concurrent.futures.Executor:
+    def _make_pool(self, **pool_kwargs: Any) -> concurrent.futures.Executor:
         raise NotImplementedError
 
     def _check_batch(self, evaluate, assignments, rngs) -> None:
         """Backend-specific pre-dispatch validation (pickling guard)."""
+
+    def _prepare(self, evaluate: Evaluator) -> Tuple[Dict[str, Any], Evaluator]:
+        """Backend hook: ``(pool kwargs, evaluator to submit)``.
+
+        The process backend overrides this to ship ``__ship_once__``
+        evaluators through a pool initializer instead of per chunk.
+        """
+        return {}, evaluate
 
     def run(self, evaluate, assignments, rngs=None, chunk_size=None, progress=None, policy=None):
         n = self._validate(assignments, rngs)
         if n == 0:
             return [], np.empty(0), FaultReport()
         self._check_batch(evaluate, assignments, rngs)
+        pool_kwargs, evaluate = self._prepare(evaluate)
         size = chunk_size if chunk_size is not None else default_chunk_size(n, self.n_jobs)
         if size < 1:
             raise ModelDefinitionError(f"chunk_size must be >= 1, got {size}")
@@ -393,7 +452,7 @@ class _PoolExecutor(Executor):
                 progress(done, n)
 
         broken: Optional[BaseException] = None
-        with self._make_pool() as pool:
+        with self._make_pool(**pool_kwargs) as pool:
             futures = {}
             for chunk in chunks:
                 fn, args = submit_args(chunk)
@@ -450,8 +509,8 @@ class ThreadExecutor(_PoolExecutor):
 
     name = "thread"
 
-    def _make_pool(self):
-        return concurrent.futures.ThreadPoolExecutor(max_workers=self.n_jobs)
+    def _make_pool(self, **pool_kwargs):
+        return concurrent.futures.ThreadPoolExecutor(max_workers=self.n_jobs, **pool_kwargs)
 
 
 class ProcessExecutor(_PoolExecutor):
@@ -464,13 +523,37 @@ class ProcessExecutor(_PoolExecutor):
 
     name = "process"
 
-    def _make_pool(self):
-        return concurrent.futures.ProcessPoolExecutor(max_workers=self.n_jobs)
+    def _make_pool(self, **pool_kwargs):
+        return concurrent.futures.ProcessPoolExecutor(max_workers=self.n_jobs, **pool_kwargs)
 
     def _check_batch(self, evaluate, assignments, rngs) -> None:
         ensure_picklable(evaluate, "the evaluator")
         if len(assignments):
             ensure_picklable(assignments[0], "the parameter assignment")
+
+    def _prepare(self, evaluate: Evaluator) -> Tuple[Dict[str, Any], Evaluator]:
+        """Ship ``__ship_once__`` evaluators once per worker.
+
+        The evaluator is pickled a single time into the pool
+        initializer's arguments; submitted chunks carry only a
+        :class:`_ShippedEvaluator` key.  Values are unchanged — the
+        worker calls the identical unpickled instance it would otherwise
+        receive per chunk.
+        """
+        if not getattr(evaluate, "__ship_once__", False):
+            return {}, evaluate
+        key = f"ship-{next(_ship_counter)}"
+        payload = pickle.dumps(evaluate)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.metrics.counter(
+                "engine.shipped_evaluators", evaluator=type(evaluate).__name__
+            ).inc()
+        pool_kwargs = {
+            "initializer": _install_shipped_evaluator,
+            "initargs": (key, payload),
+        }
+        return pool_kwargs, _ShippedEvaluator(key, evaluate)
 
 
 def resolve_executor(n_jobs: int = 1, executor=None) -> Executor:

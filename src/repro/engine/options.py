@@ -57,6 +57,14 @@ class EngineOptions:
         in ``with activate_tracer(tracer):``.  ``None`` (default) uses
         whatever tracer the ambient :func:`repro.obs.trace` block
         installed, or the no-op tracer outside any block.
+    compile:
+        Compiled-evaluator substitution (see :mod:`repro.compile`).
+        ``None`` (default) auto-compiles evaluators that advertise a
+        compiled form (``__compiles_to__``) whenever no ``rng`` is in
+        play — results are bit-identical, so this is purely a
+        performance decision.  ``True`` forces compilation (raising
+        when the evaluator has no compiled form); ``False`` disables
+        substitution entirely.
     """
 
     n_jobs: int = 1
@@ -66,6 +74,7 @@ class EngineOptions:
     progress: Optional[Callable[[int, int], None]] = None
     policy: Any = None
     tracer: Any = None
+    compile: Any = None
 
     def replace(self, **changes: Any) -> "EngineOptions":
         """A copy with the given fields changed."""

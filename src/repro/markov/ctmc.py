@@ -65,6 +65,14 @@ class CTMC:
         self._states: List[State] = []
         self._index: Dict[State, int] = {}
         self._rates: Dict[Tuple[int, int], float] = {}
+        # COO triplet buffers kept in sync with _rates: one slot per
+        # distinct (i, j) pair in first-insertion order, so generator()
+        # assembles the CSR matrix from flat arrays in O(nnz) instead of
+        # re-walking the dict on every build-modify-build cycle.
+        self._coo_pos: Dict[Tuple[int, int], int] = {}
+        self._coo_rows: List[int] = []
+        self._coo_cols: List[int] = []
+        self._coo_vals: List[float] = []
         self._generator_cache: Optional[sparse.csr_matrix] = None
         for state in states:
             self.add_state(state)
@@ -86,7 +94,16 @@ class CTMC:
         self.add_state(source)
         self.add_state(target)
         key = (self._index[source], self._index[target])
-        self._rates[key] = self._rates.get(key, 0.0) + float(rate)
+        value = self._rates.get(key, 0.0) + float(rate)
+        self._rates[key] = value
+        pos = self._coo_pos.get(key)
+        if pos is None:
+            self._coo_pos[key] = len(self._coo_rows)
+            self._coo_rows.append(key[0])
+            self._coo_cols.append(key[1])
+            self._coo_vals.append(value)
+        else:
+            self._coo_vals[pos] = value
         self._generator_cache = None
         return self
 
@@ -123,16 +140,20 @@ class CTMC:
             n = self.n_states
             if n == 0:
                 raise ModelDefinitionError("chain has no states")
-            rows, cols, vals = [], [], []
+            nnz = len(self._coo_rows)
+            rows = np.empty(nnz + n, dtype=np.int64)
+            cols = np.empty(nnz + n, dtype=np.int64)
+            vals = np.empty(nnz + n, dtype=float)
+            rows[:nnz] = self._coo_rows
+            cols[:nnz] = self._coo_cols
+            vals[:nnz] = self._coo_vals
             diag = np.zeros(n)
-            for (i, j), rate in self._rates.items():
-                rows.append(i)
-                cols.append(j)
-                vals.append(rate)
-                diag[i] -= rate
-            rows.extend(range(n))
-            cols.extend(range(n))
-            vals.extend(diag.tolist())
+            # In-order subtraction matches the historical per-entry
+            # `diag[i] -= rate` loop bit for bit.
+            np.subtract.at(diag, rows[:nnz], vals[:nnz])
+            rows[nnz:] = np.arange(n)
+            cols[nnz:] = np.arange(n)
+            vals[nnz:] = diag
             self._generator_cache = sparse.csr_matrix(
                 (vals, (rows, cols)), shape=(n, n), dtype=float
             )

@@ -163,12 +163,17 @@ class SolverReport:
         strategy: str,
         order: Tuple[str, ...],
         diagnostics: GeneratorDiagnostics,
+        validation_seconds: float = 0.0,
     ):
         self.strategy = strategy
         self.order = tuple(order)
         self.diagnostics = diagnostics
         self.attempts: List[SolverAttempt] = []
         self.pi: Optional[np.ndarray] = None
+        #: The generator is validated exactly once, up front; the stage
+        #: solvers run with ``validated=True`` and skip the re-check.
+        self.validations = 1
+        self.validation_seconds = validation_seconds
 
     @property
     def ok(self) -> bool:
@@ -198,6 +203,8 @@ class SolverReport:
             "method": self.method,
             "ok": self.ok,
             "fallbacks_used": self.fallbacks_used,
+            "validations": self.validations,
+            "validation_seconds": self.validation_seconds,
             "diagnostics": asdict(self.diagnostics),
             "attempts": [asdict(attempt) for attempt in self.attempts],
         }
@@ -226,13 +233,23 @@ class SolverReport:
 
 
 def _stage_gth(q: sparse.spmatrix) -> np.ndarray:
-    return gth_solve(q.toarray())
+    return gth_solve(q.toarray(), validated=True)
 
 
+def _stage_direct(q: sparse.spmatrix) -> np.ndarray:
+    return steady_state_direct(q, validated=True)
+
+
+def _stage_power(q: sparse.spmatrix) -> np.ndarray:
+    return steady_state_power(q, validated=True)
+
+
+# The chain validates the generator once up front, so every default
+# stage runs with validated=True instead of re-checking the same matrix.
 _DEFAULT_STAGES: Dict[str, Callable[[sparse.spmatrix], np.ndarray]] = {
     "gth": _stage_gth,
-    "direct": steady_state_direct,
-    "power": steady_state_power,
+    "direct": _stage_direct,
+    "power": _stage_power,
 }
 
 
@@ -340,7 +357,9 @@ def solve_steady_state(
     """
     method = resolve_method_kwarg(method, strategy, "solve_steady_state")
     q = sparse.csr_matrix(generator, dtype=float)
+    validation_start = time.perf_counter()
     validate_generator(q)
+    validation_seconds = time.perf_counter() - validation_start
     diagnostics = generator_diagnostics(q)
     if diagnostics.n_states == 0:
         raise ModelDefinitionError("generator has no states")
@@ -376,7 +395,7 @@ def solve_steady_state(
         raise SolverError(f"unknown solver stage(s) {unknown}; known: {sorted(known)}")
 
     tracer = get_tracer()
-    report = SolverReport(method, chain, diagnostics)
+    report = SolverReport(method, chain, diagnostics, validation_seconds)
     with tracer.span(
         "solver.steady_state",
         method=method,

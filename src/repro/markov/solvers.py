@@ -22,6 +22,7 @@ for expected accumulated reward and interval availability.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Optional, Tuple
 
 import numpy as np
@@ -103,7 +104,7 @@ def validate_generator(generator, tol: float = 1e-8) -> int:
     return n
 
 
-def gth_solve(generator: np.ndarray) -> np.ndarray:
+def gth_solve(generator: np.ndarray, validated: bool = False) -> np.ndarray:
     """Steady-state vector of an irreducible CTMC by GTH elimination.
 
     Parameters
@@ -122,9 +123,13 @@ def gth_solve(generator: np.ndarray) -> np.ndarray:
     and divisions of non-negative numbers, which is what makes it immune
     to the catastrophic cancellation that plagues naive elimination on
     stiff availability models.
+
+    ``validated=True`` skips the :func:`validate_generator` pre-flight —
+    for callers (the fallback chain, compiled models) that have already
+    validated the exact same matrix.
     """
     a = np.array(generator, dtype=float)
-    n = validate_generator(a)
+    n = a.shape[0] if validated else validate_generator(a)
     if n == 1:
         return np.ones(1)
 
@@ -148,10 +153,16 @@ def gth_solve(generator: np.ndarray) -> np.ndarray:
     return pi
 
 
-def steady_state_direct(generator: sparse.spmatrix) -> np.ndarray:
-    """Steady state by sparse LU on ``Q^T π = 0`` with a normalization row."""
+def steady_state_direct(
+    generator: sparse.spmatrix, validated: bool = False
+) -> np.ndarray:
+    """Steady state by sparse LU on ``Q^T π = 0`` with a normalization row.
+
+    ``validated=True`` skips the shared pre-flight check for callers that
+    have already run :func:`validate_generator` on this matrix.
+    """
     q = sparse.csr_matrix(generator, dtype=float)
-    n = validate_generator(q)
+    n = q.shape[0] if validated else validate_generator(q)
     a = q.transpose().tolil()
     a[n - 1, :] = 1.0  # replace last balance equation with Σ π = 1
     b = np.zeros(n)
@@ -193,9 +204,15 @@ def steady_state_power(
     generator: sparse.spmatrix,
     tol: float = 1e-12,
     max_iterations: int = 500_000,
+    validated: bool = False,
 ) -> np.ndarray:
-    """Steady state by power iteration on the uniformized chain."""
-    validate_generator(generator)
+    """Steady state by power iteration on the uniformized chain.
+
+    ``validated=True`` skips the shared pre-flight check for callers that
+    have already run :func:`validate_generator` on this matrix.
+    """
+    if not validated:
+        validate_generator(generator)
     p, _ = uniformized_matrix(generator)
     n = p.shape[0]
     pi = np.full(n, 1.0 / n)
@@ -269,6 +286,21 @@ def poisson_truncation_point(lam_t: float, tol: float, limit: Optional[int] = No
         compensation = (total - cumulative) - term
         cumulative = total
     return k
+
+
+@lru_cache(maxsize=4096)
+def _truncation_point_cached(lam_t: float, tol: float) -> int:
+    """Memoized :func:`poisson_truncation_point` on ``(λt, tol)``.
+
+    Sweeps over non-rate parameters (coverage factors, structure
+    probabilities) solve transients with identical ``λt`` at every point;
+    the truncation walk is O(λt) and pure, so caching it turns the
+    repeated work into a dict hit.  Failures (SolverError at the limit)
+    are never cached by ``lru_cache``, preserving the raise-every-time
+    contract, and the default ``limit`` is derived from ``lam_t`` so the
+    two-argument key is complete.
+    """
+    return poisson_truncation_point(lam_t, tol)
 
 
 def transient_ode(
@@ -372,7 +404,7 @@ def transient_uniformization(
     max_time = float(times.max()) if times.size else 0.0
     tracer = get_tracer()
     try:
-        k_max = poisson_truncation_point(lam * max_time, tol)
+        k_max = _truncation_point_cached(lam * max_time, tol)
     except SolverError:
         # Truncation point unreachable (tol below float resolution for
         # this Λt): fall through to the ODE integrator.
@@ -411,7 +443,7 @@ def transient_uniformization(
             if lam_t == 0.0:
                 out[idx] = initial
                 continue
-            k_t = poisson_truncation_point(lam_t, tol)
+            k_t = _truncation_point_cached(lam_t, tol)
             acc = np.zeros(n)
             log_w = -lam_t
             for k in range(0, k_t + 1):
@@ -493,7 +525,7 @@ def cumulative_uniformization(
     max_time = float(times.max()) if times.size else 0.0
     # The tail weights decay like the Poisson tail; adding a margin to the
     # truncation point keeps the integrated error within tolerance.
-    k_max = poisson_truncation_point(lam * max_time, tol * 1e-3) + 10
+    k_max = _truncation_point_cached(lam * max_time, tol * 1e-3) + 10
 
     vectors = [initial]
     vec = initial

@@ -1,0 +1,158 @@
+"""CompiledStructureFunction: one lowering, vectorized bit-identical sweeps."""
+
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.compile import CompiledStructureFunction
+from repro.exceptions import ModelDefinitionError
+from repro.nonstate.components import Component
+from repro.nonstate.faulttree import AndGate, BasicEvent, FaultTree, KofNGate, OrGate
+from repro.nonstate.rbd import ReliabilityBlockDiagram, k_of_n, parallel, series
+
+
+def bits(x) -> bytes:
+    return struct.pack("<d", float(x))
+
+
+def comp(name: str) -> Component:
+    return Component.fixed(name, 0.01)
+
+
+def tree_rbd() -> ReliabilityBlockDiagram:
+    """Series / parallel / k-of-n mix without repeated components."""
+    return ReliabilityBlockDiagram(
+        series(
+            comp("a"),
+            parallel(comp("b"), comp("c")),
+            k_of_n(2, comp("d"), comp("e"), comp("f")),
+        )
+    )
+
+
+def repeated_rbd() -> ReliabilityBlockDiagram:
+    """Repeated component 'shared' forces the BDD path."""
+    shared = comp("shared")
+    return ReliabilityBlockDiagram(
+        parallel(series(shared, comp("x")), series(shared, comp("y")))
+    )
+
+
+def probe_points(names, n_points, seed=11):
+    rng = np.random.default_rng(seed)
+    return [
+        {name: float(p) for name, p in zip(names, row)}
+        for row in rng.uniform(0.05, 0.999, size=(n_points, len(names)))
+    ]
+
+
+class TestTreeMode:
+    def test_single_point_bit_identical(self):
+        rbd = tree_rbd()
+        sf = CompiledStructureFunction.from_rbd(rbd)
+        for p_up in probe_points(sf.names, 25):
+            assert bits(sf.prob(p_up)) == bits(rbd.system_up_probability(p_up))
+
+    def test_vectorized_matrix_matches_loop(self):
+        rbd = tree_rbd()
+        sf = CompiledStructureFunction.from_rbd(rbd)
+        points = probe_points(sf.names, 40)
+        P = np.array([[p[name] for name in sf.names] for p in points])
+        vec = sf.evaluate(P)
+        for k, p_up in enumerate(points):
+            assert bits(vec[k]) == bits(rbd.system_up_probability(p_up))
+
+    def test_missing_component_message_matches(self):
+        rbd = tree_rbd()
+        sf = CompiledStructureFunction.from_rbd(rbd)
+        partial = {"a": 0.9, "d": 0.9}
+        with pytest.raises(ModelDefinitionError) as compiled_exc:
+            sf.prob(partial)
+        with pytest.raises(ModelDefinitionError) as uncompiled_exc:
+            rbd.system_up_probability(partial)
+        assert str(compiled_exc.value) == str(uncompiled_exc.value)
+
+
+class TestBDDMode:
+    def test_repeated_components_bit_identical(self):
+        rbd = repeated_rbd()
+        sf = CompiledStructureFunction.from_rbd(rbd)
+        assert rbd.has_repeated_components
+        for p_up in probe_points(sf.names, 25):
+            assert bits(sf.prob(p_up)) == bits(rbd.system_up_probability(p_up))
+
+    def test_vectorized_matches_loop(self):
+        rbd = repeated_rbd()
+        sf = CompiledStructureFunction.from_rbd(rbd)
+        points = probe_points(sf.names, 30)
+        P = np.array([[p[name] for name in sf.names] for p in points])
+        vec = sf.evaluate(P)
+        for k, p_up in enumerate(points):
+            assert bits(vec[k]) == bits(rbd.system_up_probability(p_up))
+
+    def test_missing_component_message_matches(self):
+        rbd = repeated_rbd()
+        sf = CompiledStructureFunction.from_rbd(rbd)
+        partial = {"shared": 0.9}
+        with pytest.raises(ModelDefinitionError) as compiled_exc:
+            sf.prob(partial)
+        with pytest.raises(ModelDefinitionError) as uncompiled_exc:
+            rbd.system_up_probability(partial)
+        assert str(compiled_exc.value) == str(uncompiled_exc.value)
+
+
+class TestFaultTree:
+    def build(self) -> FaultTree:
+        # A repeated basic event must be the *same* object in both gates.
+        power = BasicEvent.fixed("power", 0.01)
+        pump_a = BasicEvent.fixed("pump_a", 0.05)
+        pump_b = BasicEvent.fixed("pump_b", 0.05)
+        valve = BasicEvent.fixed("valve", 0.02)
+        top = OrGate(
+            [
+                AndGate([power, pump_a]),
+                AndGate([power, pump_b]),
+                KofNGate(2, [pump_a, pump_b, valve]),
+            ]
+        )
+        return FaultTree(top)
+
+    def test_top_event_bit_identical(self):
+        tree = self.build()
+        sf = CompiledStructureFunction.from_fault_tree(tree)
+        assert sf.kind == "event"
+        for q in probe_points(sf.names, 25, seed=5):
+            assert bits(sf.prob(q)) == bits(tree.top_event_probability(q))
+
+    def test_missing_variable_message_matches(self):
+        tree = self.build()
+        sf = CompiledStructureFunction.from_fault_tree(tree)
+        partial = {"power": 0.1}
+        with pytest.raises(ModelDefinitionError) as compiled_exc:
+            sf.prob(partial)
+        with pytest.raises(ModelDefinitionError) as uncompiled_exc:
+            tree.top_event_probability(partial)
+        assert str(compiled_exc.value) == str(uncompiled_exc.value)
+
+
+class TestContract:
+    def test_wrong_shape_rejected(self):
+        sf = CompiledStructureFunction.from_rbd(tree_rbd())
+        with pytest.raises(ModelDefinitionError, match="matrix"):
+            sf.evaluate(np.ones((4, 2)))
+        with pytest.raises(ModelDefinitionError, match="matrix"):
+            sf.evaluate(np.ones(6))
+
+    def test_exactly_one_program_required(self):
+        with pytest.raises(ModelDefinitionError, match="exactly one"):
+            CompiledStructureFunction(["a"])
+
+    def test_pickle_roundtrip(self):
+        for build in (tree_rbd, repeated_rbd):
+            rbd = build()
+            sf = CompiledStructureFunction.from_rbd(rbd)
+            clone = pickle.loads(pickle.dumps(sf))
+            for p_up in probe_points(sf.names, 5, seed=3):
+                assert bits(clone.prob(p_up)) == bits(rbd.system_up_probability(p_up))

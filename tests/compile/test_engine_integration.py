@@ -1,0 +1,217 @@
+"""Engine auto-compilation: substitution is invisible except in speed.
+
+Across Serial/Thread/Process, with and without the cache and a fault
+policy, a batch over a case-study evaluator must produce the same bits
+— and the same ErrorRecords — whether or not the engine swapped in the
+compiled form.
+"""
+
+import math
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.casestudies import bladecenter, sun
+from repro.compile import compile_model
+from repro.core import propagate_uncertainty, tornado_sensitivity
+from repro.distributions import Lognormal
+from repro.engine import (
+    EngineOptions,
+    EvaluationCache,
+    GridCampaign,
+    evaluate_batch,
+    run_campaign,
+)
+from repro.engine.executors import _ShippedEvaluator
+from repro.exceptions import ModelDefinitionError
+from repro.obs import Tracer, activate_tracer
+from repro.robust import FaultPolicy
+
+
+def bits(values) -> list:
+    return [b"nan" if math.isnan(v) else struct.pack("<d", float(v)) for v in values]
+
+
+POINTS = [{"disk_failure_rate": 1e-5 * (1.0 + 0.07 * k)} for k in range(10)]
+
+EXECUTORS = [None, "thread", "process"]
+IDS = ["serial", "thread", "process"]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return bits(
+        evaluate_batch(bladecenter.evaluate_availability, POINTS, compile=False).outputs
+    )
+
+
+class TestSubstitution:
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=IDS)
+    @pytest.mark.parametrize("with_cache", [False, True], ids=["nocache", "cache"])
+    def test_bit_identical_across_executors(self, executor, with_cache, reference):
+        result = evaluate_batch(
+            bladecenter.evaluate_availability,
+            POINTS,
+            executor=executor,
+            n_jobs=1 if executor is None else 2,
+            cache=EvaluationCache() if with_cache else None,
+        )
+        assert bits(result.outputs) == reference
+
+    def test_compile_false_disables_substitution(self, reference):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            result = evaluate_batch(
+                bladecenter.evaluate_availability, POINTS, compile=False
+            )
+        assert bits(result.outputs) == reference
+        assert "engine.compiled_batches" not in str(tracer.metrics.to_dict())
+
+    def test_compile_true_forces_substitution(self, reference):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            result = evaluate_batch(
+                bladecenter.evaluate_availability, POINTS, compile=True
+            )
+        assert bits(result.outputs) == reference
+        snapshot = tracer.metrics.to_dict()
+        assert any("engine.compiled_batches" in key for key in snapshot)
+
+    def test_compile_true_without_compiled_form_raises(self):
+        with pytest.raises(ModelDefinitionError, match="cannot compile"):
+            evaluate_batch(lambda a: 1.0, [{}], compile=True)
+
+    def test_compile_true_with_rng_raises(self):
+        with pytest.raises(ModelDefinitionError, match="rng"):
+            evaluate_batch(
+                lambda a, rng: 1.0,
+                [{}],
+                rng=np.random.default_rng(0),
+                compile=True,
+            )
+
+    def test_rng_skips_auto_compilation(self):
+        # Stochastic evaluators are left alone even when auto mode is on.
+        result = evaluate_batch(
+            _stochastic, [{"x": 1.0}] * 4, rng=np.random.default_rng(3)
+        )
+        assert all(math.isfinite(v) for v in result.outputs)
+
+    def test_precompiled_evaluator_accepted_directly(self, reference):
+        compiled = compile_model(bladecenter.evaluate_availability)
+        result = evaluate_batch(compiled, POINTS)
+        assert bits(result.outputs) == reference
+
+    def test_options_object_carries_compile(self, reference):
+        opts = EngineOptions(compile=True)
+        result = evaluate_batch(bladecenter.evaluate_availability, POINTS, options=opts)
+        assert bits(result.outputs) == reference
+
+
+def _stochastic(p, rng):
+    return p["x"] + rng.normal()
+
+
+class TestFaultPolicyParity:
+    BAD_POINTS = [
+        {"disk_failure_rate": 1e-5},
+        {"disk_failure_rate": -1.0},
+        {"disk_failure_rate": float("nan")},
+        {"unknown_knob": 1.0},
+        {"disk_failure_rate": 2e-5},
+    ]
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=IDS)
+    def test_error_records_match_uncompiled(self, executor):
+        policy = FaultPolicy(on_error="skip")
+        ref = evaluate_batch(
+            bladecenter.evaluate_availability,
+            self.BAD_POINTS,
+            policy=policy,
+            compile=False,
+        )
+        got = evaluate_batch(
+            bladecenter.evaluate_availability,
+            self.BAD_POINTS,
+            policy=policy,
+            executor=executor,
+            n_jobs=1 if executor is None else 2,
+        )
+        assert bits(got.outputs) == bits(ref.outputs)
+        assert len(got.errors) == len(ref.errors) == 3
+        for mine, theirs in zip(got.errors, ref.errors):
+            assert mine.index == theirs.index
+            assert mine.error_type == theirs.error_type
+            assert mine.message == theirs.message
+
+
+class TestShipOnce:
+    def test_placeholder_pickles_without_evaluator(self):
+        compiled = compile_model(bladecenter.evaluate_availability)
+        placeholder = _ShippedEvaluator("ship-test", compiled)
+        payload = pickle.dumps(placeholder)
+        # The placeholder must not drag the compiled structure along.
+        assert len(payload) < len(pickle.dumps(compiled))
+        clone = pickle.loads(payload)
+        assert clone._evaluate is None  # resolved via the worker registry
+
+    def test_parent_side_placeholder_still_callable(self):
+        compiled = compile_model(bladecenter.evaluate_availability)
+        placeholder = _ShippedEvaluator("ship-test-2", compiled)
+        # Broken-pool serial re-dispatch calls the parent-held instance.
+        assert placeholder({}) == compiled({})
+
+    def test_process_run_ships_once(self):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            evaluate_batch(
+                bladecenter.evaluate_availability,
+                POINTS,
+                executor="process",
+                n_jobs=2,
+            )
+        snapshot = tracer.metrics.to_dict()
+        shipped = [key for key in snapshot if "engine.shipped_evaluators" in key]
+        assert shipped and snapshot[shipped[0]]["value"] == 1.0
+
+
+class TestHigherLevelEntryPoints:
+    PRIORS = {"disk_failure_rate": Lognormal.from_mean_cv(1e-5, cv=0.4)}
+
+    def test_propagate_uncertainty_bit_identical(self):
+        ref = propagate_uncertainty(
+            bladecenter.evaluate_availability,
+            self.PRIORS,
+            n_samples=16,
+            rng=np.random.default_rng(9),
+            compile=False,
+        )
+        got = propagate_uncertainty(
+            bladecenter.evaluate_availability,
+            self.PRIORS,
+            n_samples=16,
+            rng=np.random.default_rng(9),
+        )
+        assert np.asarray(got.samples).tobytes() == np.asarray(ref.samples).tobytes()
+
+    def test_tornado_bit_identical(self):
+        ref = tornado_sensitivity(
+            sun.evaluate_availability,
+            {"coverage": Lognormal.from_mean_cv(0.99, cv=0.001)},
+            compile=False,
+        )
+        got = tornado_sensitivity(
+            sun.evaluate_availability,
+            {"coverage": Lognormal.from_mean_cv(0.99, cv=0.001)},
+        )
+        assert bits(v for row in got for v in row[1:]) == bits(
+            v for row in ref for v in row[1:]
+        )
+
+    def test_run_campaign_bit_identical(self):
+        spec = GridCampaign({"disk_failure_rate": [1e-5, 2e-5, 4e-5]})
+        ref = run_campaign(bladecenter.evaluate_availability, spec, compile=False)
+        got = run_campaign(bladecenter.evaluate_availability, spec)
+        assert bits(got.outputs) == bits(ref.outputs)

@@ -1,0 +1,134 @@
+"""Satellite changes riding with the compile PR.
+
+* the fallback chain validates the generator exactly once and records
+  it on the :class:`~repro.markov.SolverReport`;
+* Poisson truncation points are memoized on ``(λt, tol)``;
+* ``CTMC.generator()`` assembles from incrementally maintained COO
+  buffers that survive build-modify-build cycles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.markov.ctmc import CTMC
+from repro.markov.fallback import solve_steady_state
+from repro.markov.solvers import _truncation_point_cached, poisson_truncation_point
+
+
+def two_state_q():
+    return np.array([[-1.0, 1.0], [2.0, -2.0]])
+
+
+class TestValidateOnce:
+    def test_report_records_single_validation(self):
+        report = solve_steady_state(two_state_q())
+        assert report.ok
+        assert report.validations == 1
+        assert report.validation_seconds >= 0.0
+
+    def test_to_dict_carries_validation_fields(self):
+        payload = solve_steady_state(two_state_q()).to_dict()
+        assert payload["validations"] == 1
+        assert payload["validation_seconds"] >= 0.0
+
+    @pytest.mark.parametrize("method", ["gth", "direct", "power"])
+    def test_single_stage_methods_still_solve(self, method):
+        report = solve_steady_state(two_state_q(), method=method)
+        assert report.ok and report.method == method
+        assert report.validations == 1
+
+    def test_validated_stages_match_unvalidated(self):
+        from repro.markov.solvers import (
+            gth_solve,
+            steady_state_direct,
+            steady_state_power,
+        )
+
+        q = two_state_q()
+        assert gth_solve(q, validated=True).tobytes() == gth_solve(q).tobytes()
+        assert (
+            steady_state_direct(q, validated=True).tobytes()
+            == steady_state_direct(q).tobytes()
+        )
+        assert (
+            steady_state_power(q, validated=True).tobytes()
+            == steady_state_power(q).tobytes()
+        )
+
+
+class TestTruncationMemo:
+    def test_cached_value_matches_direct_walk(self):
+        _truncation_point_cached.cache_clear()
+        for lam_t, tol in [(0.5, 1e-10), (25.0, 1e-12), (400.0, 1e-8)]:
+            assert _truncation_point_cached(lam_t, tol) == poisson_truncation_point(
+                lam_t, tol
+            )
+
+    def test_repeat_calls_hit_the_cache(self):
+        _truncation_point_cached.cache_clear()
+        _truncation_point_cached(30.0, 1e-10)
+        before = _truncation_point_cached.cache_info()
+        _truncation_point_cached(30.0, 1e-10)
+        after = _truncation_point_cached.cache_info()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_failures_are_not_cached(self):
+        from repro.exceptions import SolverError
+
+        _truncation_point_cached.cache_clear()
+        with pytest.raises(SolverError):
+            poisson_truncation_point(1e6, 1e-12, limit=3)
+        assert _truncation_point_cached.cache_info().currsize == 0
+
+    def test_transient_sweep_reuses_truncation(self):
+        _truncation_point_cached.cache_clear()
+        chain = CTMC()
+        chain.add_transition("up", "down", 1e-3)
+        chain.add_transition("down", "up", 0.1)
+        for coverage in (0.9, 0.95, 0.99):  # rates identical across points
+            _ = coverage
+            chain.transient(times=[10.0, 100.0], initial="up")
+        info = _truncation_point_cached.cache_info()
+        assert info.hits >= info.misses  # later sweep points were dict hits
+
+
+class TestGeneratorCOOBuffers:
+    def test_build_modify_build_matches_fresh_chain(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", 0.5)
+        chain.add_transition("b", "a", 1.5)
+        first = chain.generator().toarray()
+        chain.add_transition("a", "c", 0.25)
+        chain.add_transition("c", "a", 2.0)
+        second = chain.generator().toarray()
+
+        fresh = CTMC()
+        fresh.add_transition("a", "b", 0.5)
+        fresh.add_transition("b", "a", 1.5)
+        fresh.add_transition("a", "c", 0.25)
+        fresh.add_transition("c", "a", 2.0)
+        assert np.array_equal(second, fresh.generator().toarray())
+        assert first.shape == (2, 2) and second.shape == (3, 3)
+
+    def test_accumulating_duplicates_updates_single_slot(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", 0.5)
+        chain.add_transition("b", "a", 1.0)
+        chain.generator()
+        chain.add_transition("a", "b", 0.25)  # accumulate onto existing slot
+        q = chain.generator()
+        assert q.nnz <= 4  # one slot per (i, j) pair plus diagonal
+        assert q.toarray()[0, 1] == 0.5 + 0.25
+        assert chain.rate("a", "b") == 0.5 + 0.25
+
+    def test_generator_cache_invalidation(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", 1.0)
+        chain.add_transition("b", "a", 1.0)
+        q1 = chain.generator()
+        assert chain.generator() is q1  # cached
+        chain.add_transition("a", "b", 1.0)
+        q2 = chain.generator()
+        assert q2 is not q1
+        assert q2.toarray()[0, 1] == 2.0

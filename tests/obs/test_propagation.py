@@ -116,8 +116,13 @@ class TestOptionsTracer:
 class TestEndToEndCampaign:
     def test_bladecenter_campaign_trace(self):
         spec = GridCampaign({"cpu_failure_rate": [1e-6, 2e-6, 3e-6, 4e-6]})
+        # compile=False: this test pins the *uncompiled* per-point route,
+        # whose trace descends into solver.steady_state spans (the compiled
+        # route reports compile.* counters instead — see the next test).
         with trace("bladecenter") as t:
-            result = run_campaign(evaluate_availability, spec, chunk_size=2)
+            result = run_campaign(
+                evaluate_availability, spec, chunk_size=2, compile=False
+            )
         assert np.all((result.outputs > 0.99) & (result.outputs <= 1.0))
         # campaign → batch → chunks → solver stages, one nested tree
         campaign = t.root.find("engine.campaign")
@@ -139,6 +144,20 @@ class TestEndToEndCampaign:
         text = to_prometheus(t)
         assert "repro_engine_tasks 4" in text
         assert "# TYPE repro_engine_eval_seconds histogram" in text
+
+    def test_bladecenter_campaign_compiled_trace(self):
+        spec = GridCampaign({"cpu_failure_rate": [1e-6, 2e-6, 3e-6, 4e-6]})
+        with trace("bladecenter") as t:
+            result = run_campaign(evaluate_availability, spec, chunk_size=2)
+        assert np.all((result.outputs > 0.99) & (result.outputs <= 1.0))
+        # Same campaign → batch → chunk skeleton, but the evaluations run
+        # through the compiled kernel: no solver spans, compile.* counters.
+        campaign = t.root.find("engine.campaign")
+        assert len(campaign) == 1
+        assert not t.root.find("solver.steady_state")
+        metrics = t.metrics.to_dict()
+        assert any(k.startswith("engine.compiled_batches") for k in metrics)
+        assert any(k.startswith("compile.reuse") for k in metrics)
 
     def test_simulation_trial_chunks_traced(self):
         from repro.nonstate import Component, ReliabilityBlockDiagram, parallel
