@@ -124,7 +124,7 @@ def test_deprecated_strategy_bit_identical_to_method():
     for name in ("auto", "gth", "direct", "power"):
         new = solve_steady_state(q, method=name)
         with pytest.warns(DeprecationWarning):
-            old = solve_steady_state(q, strategy=name)
+            old = solve_steady_state(q, strategy=name)  # noqa: R001 (deprecation bit-identity)
         identical = np.array_equal(old.pi, new.pi)
         rows.append((name, new.method, identical))
         assert identical, f"strategy={name!r} diverged from method={name!r}"

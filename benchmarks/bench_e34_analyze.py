@@ -1,0 +1,116 @@
+"""E34 — static diagnostics overhead: pre-flight costs < 2% of a sweep.
+
+Claim: the :mod:`repro.analyze` pre-flight runs *once per batch* in the
+parent process, so turning ``diagnostics="warn"`` on for a 200-point
+compiled BladeCenter sweep costs less than 2% extra wall time.  A
+second measurement records raw analyzer throughput — full lint passes
+per second over the largest CTMC the case studies build — so the cost
+of one pass is tracked across revisions in ``BENCH_e34.json``.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from conftest import print_table
+from repro.analyze import analyze
+from repro.casestudies.bladecenter import evaluate_availability
+from repro.engine import evaluate_batch
+
+N_POINTS = 200
+
+POINTS = [
+    {
+        "disk_failure_rate": 1e-5 * (1.0 + 0.005 * k),
+        "software_failure_rate": 1.0 / 1440.0 * (1.0 + 0.002 * k),
+    }
+    for k in range(N_POINTS)
+]
+
+RECORD_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_e34.json"
+
+
+def _largest_casestudy_ctmc():
+    """The biggest chain any case study builds (SIP composite model)."""
+    best = None
+    from repro.analyze.__main__ import CASE_STUDIES
+    from repro.markov import CTMC
+
+    for case, build in sorted(CASE_STUDIES.items()):
+        for label, model, _params, _query in build():
+            chain = model.chain if hasattr(model, "chain") else model
+            if isinstance(chain, CTMC):
+                if best is None or chain.n_states > best[2].n_states:
+                    best = (case, label, chain)
+    return best
+
+
+def _time_sweep(repeats=5, **kwargs):
+    best, batch = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        batch = evaluate_batch(evaluate_availability, POINTS, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return batch, best
+
+
+def test_diagnostics_overhead_under_2_percent():
+    """``diagnostics="warn"`` on a 200-point compiled sweep: < 2% extra."""
+    # Warm both paths (compile cache, imports, analyzer dispatch).
+    _time_sweep(repeats=1)
+    _time_sweep(repeats=1, diagnostics="warn")
+
+    off_batch, off_s = _time_sweep()
+    on_batch, on_s = _time_sweep(diagnostics="warn")
+
+    overhead = on_s / off_s - 1.0
+
+    case, label, chain = _largest_casestudy_ctmc()
+    reps = 20
+    analyze(chain, query="steady_state")  # warm
+    start = time.perf_counter()
+    for _ in range(reps):
+        analyze(chain, query="steady_state")
+    per_pass = (time.perf_counter() - start) / reps
+
+    print_table(
+        f"E34: {N_POINTS}-point BladeCenter sweep, diagnostics off vs warn",
+        ["quantity", "value"],
+        [
+            ("sweep, diagnostics=ignore (s)", off_s),
+            ("sweep, diagnostics=warn (s)", on_s),
+            ("overhead (%)", 100.0 * overhead),
+            (f"lint pass over {case}:{label} ({chain.n_states} states) (ms)",
+             1e3 * per_pass),
+            ("lint passes / s", 1.0 / per_pass),
+        ],
+    )
+
+    # Diagnostics never perturb the numbers, only observe them.
+    np.testing.assert_array_equal(
+        np.asarray(off_batch.outputs), np.asarray(on_batch.outputs)
+    )
+    assert overhead < 0.02, f"diagnostics overhead {overhead:.1%} >= 2%"
+
+    RECORD_PATH.write_text(
+        json.dumps(
+            {
+                "points": N_POINTS,
+                "sweep_ignore_s": off_s,
+                "sweep_warn_s": on_s,
+                "overhead_fraction": overhead,
+                "largest_ctmc": f"{case}:{label}",
+                "largest_ctmc_states": chain.n_states,
+                "lint_pass_s": per_pass,
+                "lint_passes_per_s": 1.0 / per_pass,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+if __name__ == "__main__":
+    test_diagnostics_overhead_under_2_percent()

@@ -22,6 +22,10 @@ Modeling in Practice*:
   points fast (:mod:`repro.compile`), and a zero-dependency
   **observability layer** — hierarchical tracing and metrics over every
   solver and sweep (:mod:`repro.obs`);
+* **static model diagnostics** — a lint pass over CTMCs, SRNs, RBDs,
+  fault trees, reliability graphs and hierarchies with stable codes and
+  fix hints, wired into every solver front door via ``diagnostics=``
+  (:mod:`repro.analyze`, ``python -m repro.analyze <casestudy>``);
 * the tutorial's **industrial case studies** — IBM BladeCenter, Cisco
   GSR 12000, Sun carrier-grade platform, Boeing-scale bounded fault
   trees, IBM SIP/WebSphere, software rejuvenation, workstations & file
@@ -81,6 +85,11 @@ _EXPORTS = {
     "SamplingCampaign": "repro.engine",
     "CampaignResult": "repro.engine",
     "run_campaign": "repro.engine",
+    # static model diagnostics (repro.analyze)
+    "analyze": "repro.analyze",
+    "AnalysisReport": "repro.analyze",
+    "Diagnostic": "repro.analyze",
+    "run_diagnostics": "repro.analyze",
     # compiled sweep kernels (repro.compile)
     "compile_model": "repro.compile",
     "supports_compilation": "repro.compile",
@@ -139,6 +148,8 @@ _EXPORTS = {
     "StateSpaceError": "repro.exceptions",
     "DistributionError": "repro.exceptions",
     "HierarchyError": "repro.exceptions",
+    "ModelDiagnosticError": "repro.exceptions",
+    "DiagnosticWarning": "repro.exceptions",
 }
 
 __all__ = ["__version__", *_EXPORTS]
@@ -161,6 +172,7 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .analyze import AnalysisReport, Diagnostic, analyze, run_diagnostics
     from .core.fixedpoint import FixedPointResult, FixedPointSolver
     from .core.hierarchy import (
         HierarchicalModel,
@@ -199,9 +211,11 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
     from .exceptions import (
         ConvergenceError,
+        DiagnosticWarning,
         DistributionError,
         HierarchyError,
         ModelDefinitionError,
+        ModelDiagnosticError,
         ReproError,
         SolverError,
         StateSpaceError,

@@ -1,0 +1,269 @@
+"""Static model diagnostics: a lint pass over every model family.
+
+:func:`analyze` inspects a model *before* it is solved and returns an
+:class:`AnalysisReport` of :class:`Diagnostic` findings — non-conservative
+generator rows, absorbing states under a steady-state query, structurally
+dead Petri transitions, out-of-range probabilities, dangling hierarchy
+imports, symbolic rate terms reading unsupplied parameters, and so on.
+The full code table lives in :data:`~repro.analyze.diagnostics.CODES`
+and ``docs/DIAGNOSTICS.md``.
+
+The same checks are wired into the solver front doors and the batch
+engine through a ``diagnostics=`` mode:
+
+* ``"ignore"`` (default) — no lint, no overhead;
+* ``"warn"`` — lint once, emit a :class:`~repro.exceptions.DiagnosticWarning`
+  and ``analyze.*`` observability counters for any finding;
+* ``"strict"`` — lint once, raise
+  :class:`~repro.exceptions.ModelDiagnosticError` when any
+  error-severity finding exists (the report rides on the exception).
+
+Examples
+--------
+>>> from repro.markov import CTMC
+>>> from repro.analyze import analyze
+>>> chain = CTMC().add_transition("up", "down", 1e-4).add_transition("down", "up", 0.1)
+>>> analyze(chain).ok
+True
+>>> chain = CTMC().add_transition("up", "down", 1e-4)     # no repair
+>>> [d.code for d in analyze(chain, query="steady_state")]
+['M101', 'M102', 'M104']
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..exceptions import DiagnosticWarning, ModelDefinitionError, ModelDiagnosticError
+from ..obs.trace import get_tracer
+from .compiled import lint_compiled_ctmc, lint_compiled_evaluator
+from .diagnostics import (
+    CODES,
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+)
+from .hierarchy import lint_hierarchy
+from .markov import generator_defects, lint_ctmc, lint_dtmc, lint_generator, lint_mrgp
+from .petri import lint_petri_net, lint_srn
+from .structure import lint_fault_tree, lint_rbd, lint_relgraph
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "CODES",
+    "Diagnostic",
+    "AnalysisReport",
+    "ModelDiagnosticError",
+    "DiagnosticWarning",
+    "DIAGNOSTIC_MODES",
+    "analyze",
+    "run_diagnostics",
+    "generator_defects",
+    "lint_generator",
+    "lint_ctmc",
+    "lint_dtmc",
+    "lint_mrgp",
+    "lint_petri_net",
+    "lint_srn",
+    "lint_rbd",
+    "lint_fault_tree",
+    "lint_relgraph",
+    "lint_hierarchy",
+    "lint_compiled_ctmc",
+    "lint_compiled_evaluator",
+]
+
+#: Valid values of every ``diagnostics=`` keyword in the library.
+DIAGNOSTIC_MODES: Tuple[str, ...] = ("ignore", "warn", "strict")
+
+Runner = Callable[[Any, Optional[Mapping[str, float]], Optional[str]], List[Diagnostic]]
+
+#: (defining module, class name) -> (pass name, runner).  Dispatch walks
+#: the model's MRO and matches on *names*, so no model package is ever
+#: imported by the analyzer — if the class exists, its module is loaded.
+_DISPATCH: Dict[Tuple[str, str], Tuple[str, Runner]] = {
+    ("repro.markov.ctmc", "CTMC"): (
+        "markov.ctmc",
+        lambda m, p, q: lint_ctmc(m, query=q),
+    ),
+    ("repro.markov.ctmc", "MarkovDependabilityModel"): (
+        "markov.ctmc",
+        lambda m, p, q: lint_ctmc(m.chain, query=q),
+    ),
+    ("repro.markov.dtmc", "DTMC"): (
+        "markov.dtmc",
+        lambda m, p, q: lint_dtmc(m),
+    ),
+    ("repro.markov.mrgp", "MarkovRegenerativeProcess"): (
+        "markov.mrgp",
+        lambda m, p, q: lint_mrgp(m, query=q),
+    ),
+    ("repro.petrinet.net", "PetriNet"): (
+        "petri.net",
+        lambda m, p, q: lint_petri_net(m),
+    ),
+    ("repro.petrinet.srn", "StochasticRewardNet"): (
+        "petri.srn",
+        lambda m, p, q: lint_srn(m, query=q),
+    ),
+    ("repro.petrinet.srn", "SRNDependabilityModel"): (
+        "petri.srn",
+        lambda m, p, q: lint_srn(m.srn, query=q),
+    ),
+    ("repro.nonstate.rbd", "ReliabilityBlockDiagram"): (
+        "structure.rbd",
+        lambda m, p, q: lint_rbd(m),
+    ),
+    ("repro.nonstate.faulttree", "FaultTree"): (
+        "structure.faulttree",
+        lambda m, p, q: lint_fault_tree(m),
+    ),
+    ("repro.nonstate.relgraph", "ReliabilityGraph"): (
+        "structure.relgraph",
+        lambda m, p, q: lint_relgraph(m),
+    ),
+    ("repro.core.hierarchy", "HierarchicalModel"): (
+        "hierarchy",
+        lambda m, p, q: lint_hierarchy(m),
+    ),
+    ("repro.compile.ctmc", "CompiledCTMC"): (
+        "compiled.ctmc",
+        lambda m, p, q: lint_compiled_ctmc(m, values=p, query=q),
+    ),
+    ("repro.compile.model", "CompiledEvaluator"): (
+        "compiled.evaluator",
+        lambda m, p, q: lint_compiled_evaluator(m, values=p, query=q),
+    ),
+}
+
+
+def _is_generator_like(model) -> bool:
+    import numpy as np
+    from scipy import sparse
+
+    return isinstance(model, (np.ndarray, list, tuple)) or sparse.issparse(model)
+
+
+def analyze(
+    model,
+    params: Optional[Mapping[str, float]] = None,
+    query: Optional[str] = None,
+) -> AnalysisReport:
+    """Run every matching lint pass over ``model`` and report the findings.
+
+    Parameters
+    ----------
+    model:
+        Any library model: a :class:`~repro.markov.CTMC` or
+        :class:`~repro.markov.DTMC`, a raw generator matrix (dense or
+        sparse), a :class:`~repro.petrinet.PetriNet` /
+        :class:`~repro.petrinet.StochasticRewardNet`, an RBD, fault
+        tree or reliability graph, a
+        :class:`~repro.core.HierarchicalModel`, a compiled model, or a
+        case-study evaluator function advertising ``__compiles_to__``.
+    params:
+        Parameter values for compiled models — enables the value-level
+        checks (C001/C002) and the lint of the filled generator.
+    query:
+        ``None``, ``"steady_state"`` or ``"transient"``.  Adjusts the
+        severity of structural findings: absorbing states and reducible
+        chains are *errors* under a steady-state query and silent under
+        a transient one.
+
+    Raises
+    ------
+    ModelDefinitionError
+        When no analyzer pass knows the model type.
+    """
+    if query not in (None, "steady_state", "transient"):
+        raise ModelDefinitionError(
+            f"query must be None, 'steady_state' or 'transient', got {query!r}"
+        )
+    model_type = type(model).__name__
+    passes: List[str] = []
+    diagnostics: List[Diagnostic] = []
+    if _is_generator_like(model):
+        passes.append("markov.generator")
+        diagnostics = lint_generator(model, query=query)
+    else:
+        for cls in type(model).__mro__:
+            entry = _DISPATCH.get((cls.__module__, cls.__name__))
+            if entry is not None:
+                pass_name, runner = entry
+                passes.append(pass_name)
+                diagnostics = runner(model, params, query)
+                break
+        else:
+            if getattr(model, "__compiles_to__", None) is not None:
+                from ..compile.model import compile_model
+
+                compiled = compile_model(model)
+                model_type = f"{model_type}->{type(compiled).__name__}"
+                passes.append("compiled.evaluator")
+                diagnostics = lint_compiled_evaluator(compiled, values=params, query=query)
+            else:
+                raise ModelDefinitionError(
+                    f"analyze() has no lint pass for {model_type}; supported "
+                    f"families: Markov chains and generators, Petri nets/SRNs, "
+                    f"RBDs, fault trees, reliability graphs, hierarchies and "
+                    f"compiled models"
+                )
+    report = AnalysisReport(model_type, diagnostics, passes)
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span("analyze.run", kind=model_type, passes=len(passes)) as span:
+            span.set(
+                n_errors=len(report.errors),
+                n_warnings=len(report.warnings),
+                n_infos=len(report.infos),
+            )
+        tracer.metrics.counter("analyze.runs", kind=model_type).inc()
+        for diag in report:
+            tracer.metrics.counter(
+                "analyze.diagnostics", code=diag.code, severity=diag.severity
+            ).inc()
+    return report
+
+
+def run_diagnostics(
+    model,
+    mode: str,
+    params: Optional[Mapping[str, float]] = None,
+    query: Optional[str] = None,
+    where: str = "",
+) -> Optional[AnalysisReport]:
+    """Shared ``diagnostics=`` plumbing of the solver and engine front doors.
+
+    ``"ignore"`` returns ``None`` without analyzing; ``"warn"`` analyzes
+    and emits one :class:`~repro.exceptions.DiagnosticWarning` listing
+    the findings; ``"strict"`` analyzes and raises
+    :class:`~repro.exceptions.ModelDiagnosticError` on any error-severity
+    finding.  Returns the report in the last two modes.
+    """
+    if mode not in DIAGNOSTIC_MODES:
+        raise ModelDefinitionError(
+            f"diagnostics must be one of {DIAGNOSTIC_MODES}, got {mode!r}"
+        )
+    if mode == "ignore":
+        return None
+    report = analyze(model, params=params, query=query)
+    if mode == "strict":
+        report.raise_if_errors()
+    if report.diagnostics:
+        prefix = f"{where}: " if where else ""
+        warnings.warn(
+            f"{prefix}model diagnostics found {len(report.errors)} error(s), "
+            f"{len(report.warnings)} warning(s), {len(report.infos)} info(s) "
+            f"in {report.model_type}: "
+            + "; ".join(d.render() for d in report.diagnostics),
+            DiagnosticWarning,
+            stacklevel=3,
+        )
+    return report

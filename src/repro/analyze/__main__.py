@@ -1,0 +1,180 @@
+"""Command-line model lint: ``python -m repro.analyze [case-study ...]``.
+
+With no arguments every case study is analyzed; with names only those.
+Exit status is non-zero when any error-severity diagnostic is found, or
+when a warning is not acknowledged by the case-study module.  A module
+acknowledges genuine findings with::
+
+    __diagnostics_acknowledged__ = {"M101": "reliability chain is absorbing by design"}
+
+Acknowledged findings are printed with an ``(acknowledged)`` tag and do
+not affect the exit status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import AnalysisReport, analyze
+
+#: case-study name -> builder returning [(label, model, params, query), ...]
+ModelSpec = Tuple[str, object, Optional[dict], Optional[str]]
+CASE_STUDIES: Dict[str, Callable[[], List[ModelSpec]]] = {}
+
+
+def _register(name: str):
+    def deco(fn: Callable[[], List[ModelSpec]]):
+        CASE_STUDIES[name] = fn
+        return fn
+
+    return deco
+
+
+@_register("bladecenter")
+def _bladecenter() -> List[ModelSpec]:
+    from ..casestudies import bladecenter
+
+    return [
+        ("hierarchy", bladecenter.build_bladecenter(), None, None),
+        ("compiled evaluator", bladecenter.evaluate_availability, {}, "steady_state"),
+    ]
+
+
+@_register("boeing")
+def _boeing() -> List[ModelSpec]:
+    from ..casestudies import boeing
+
+    return [("fault tree", boeing.generate_boeing_style_tree(), None, None)]
+
+
+@_register("cisco")
+def _cisco() -> List[ModelSpec]:
+    from ..casestudies import cisco
+
+    params = cisco.CiscoParameters()
+    return [
+        ("router RBD", cisco.build_router(params), None, None),
+        ("redundant processor", cisco.build_redundant_processor(params), None, "steady_state"),
+        ("compiled evaluator", cisco.evaluate_availability, {}, "steady_state"),
+    ]
+
+
+@_register("rejuvenation")
+def _rejuvenation() -> List[ModelSpec]:
+    from ..casestudies import rejuvenation
+
+    return [("MRGP (240 h timer)", rejuvenation.build_rejuvenation_mrgp(240.0), None, None)]
+
+
+@_register("sip")
+def _sip() -> List[ModelSpec]:
+    from ..casestudies import sip
+
+    return [("hierarchy", sip.build_sip_service(), None, None)]
+
+
+@_register("sun")
+def _sun() -> List[ModelSpec]:
+    from ..casestudies import sun
+
+    params = sun.SunParameters()
+    return [
+        ("immediate policy", sun.build_platform(params, "immediate"), None, "steady_state"),
+        ("deferred policy", sun.build_platform(params, "deferred"), None, "steady_state"),
+        ("compiled evaluator", sun.evaluate_availability, {}, "steady_state"),
+    ]
+
+
+@_register("telecom")
+def _telecom() -> List[ModelSpec]:
+    from ..casestudies import telecom
+
+    return [("switch CTMC", telecom.build_switch(telecom.TelecomParameters()), None, "steady_state")]
+
+
+@_register("wfs")
+def _wfs() -> List[ModelSpec]:
+    from ..casestudies import wfs
+
+    params = wfs.WFSParameters()
+    return [
+        ("workstation pool", wfs.build_workstation_pool(params), None, "steady_state"),
+        ("file server", wfs.build_file_server(params), None, "steady_state"),
+    ]
+
+
+def _acknowledged(case: str) -> Dict[str, str]:
+    import importlib
+
+    module = importlib.import_module(f"repro.casestudies.{case}")
+    return dict(getattr(module, "__diagnostics_acknowledged__", {}))
+
+
+def lint_case_study(case: str) -> Tuple[List[Tuple[str, AnalysisReport]], List[str]]:
+    """Analyze every registered model of one case study.
+
+    Returns ``(reports, failures)`` where ``failures`` lists the
+    human-readable reasons the case study is not clean: any error, or
+    any warning whose code the module does not acknowledge.
+    """
+    acknowledged = _acknowledged(case)
+    reports: List[Tuple[str, AnalysisReport]] = []
+    failures: List[str] = []
+    for label, model, params, query in CASE_STUDIES[case]():
+        report = analyze(model, params=params, query=query)
+        reports.append((label, report))
+        for diag in report.errors:
+            failures.append(f"{case}/{label}: {diag.render()}")
+        for diag in report.warnings:
+            if diag.code not in acknowledged:
+                failures.append(f"{case}/{label}: unacknowledged {diag.render()}")
+    return reports, failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Static model diagnostics over the tutorial case studies.",
+    )
+    parser.add_argument(
+        "cases",
+        nargs="*",
+        metavar="case-study",
+        help=f"case studies to lint (default: all of {', '.join(sorted(CASE_STUDIES))})",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="only print failures and the final verdict"
+    )
+    args = parser.parse_args(argv)
+    cases = args.cases or sorted(CASE_STUDIES)
+    unknown = sorted(set(cases) - set(CASE_STUDIES))
+    if unknown:
+        parser.error(f"unknown case stud{'y' if len(unknown) == 1 else 'ies'}: {', '.join(unknown)}")
+
+    all_failures: List[str] = []
+    for case in cases:
+        acknowledged = _acknowledged(case)
+        reports, failures = lint_case_study(case)
+        all_failures.extend(failures)
+        for label, report in reports:
+            n = len(report.diagnostics)
+            status = "clean" if n == 0 else f"{n} finding(s)"
+            if not args.quiet:
+                print(f"{case}/{label} [{report.model_type}]: {status}")
+                for diag in report:
+                    tag = " (acknowledged)" if diag.code in acknowledged else ""
+                    print(f"  {diag.render()}{tag}")
+    if all_failures:
+        print(f"\nFAIL: {len(all_failures)} unacknowledged finding(s)")
+        for failure in all_failures:
+            print(f"  {failure}")
+        return 1
+    if not args.quiet:
+        print(f"\nOK: {len(cases)} case stud{'y' if len(cases) == 1 else 'ies'} clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

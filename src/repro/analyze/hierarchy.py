@@ -1,0 +1,64 @@
+"""Analyzer passes for hierarchical models and their import graphs.
+
+H001 replicates the unknown-submodel / unknown-export checks that
+:meth:`HierarchicalModel._import_graph` performs at *solve* time, so a
+bad composition is caught before any submodel is built.  H002 flags
+cyclic import graphs: they are legal (the fixed-point solver handles
+them) but convergence is a property of the models, not the graph, so the
+cycle is surfaced as an informational finding.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .diagnostics import Diagnostic
+
+__all__ = ["lint_hierarchy"]
+
+
+def lint_hierarchy(model) -> List[Diagnostic]:
+    """Lint a :class:`~repro.core.HierarchicalModel`."""
+    import networkx as nx
+
+    diagnostics: List[Diagnostic] = []
+    submodels = model._submodels
+    graph = nx.DiGraph()
+    for name in submodels:
+        graph.add_node(name)
+    for name, sub in submodels.items():
+        for param, (source, export) in sub.imports.items():
+            location = f"submodel {name!r} import {param!r}"
+            if source not in submodels:
+                diagnostics.append(
+                    Diagnostic(
+                        "H001",
+                        f"submodel {name!r} imports parameter {param!r} from "
+                        f"unknown submodel {source!r}",
+                        location=location,
+                    )
+                )
+                continue
+            if export not in submodels[source].exports:
+                diagnostics.append(
+                    Diagnostic(
+                        "H001",
+                        f"submodel {name!r} imports unknown export {export!r} "
+                        f"of {source!r} for parameter {param!r}",
+                        location=location,
+                    )
+                )
+                continue
+            graph.add_edge(source, name, param=param)
+    if not diagnostics and not nx.is_directed_acyclic_graph(graph):
+        cycle = nx.find_cycle(graph)
+        path = " -> ".join(u for u, _v in cycle) + f" -> {cycle[-1][1]}"
+        diagnostics.append(
+            Diagnostic(
+                "H002",
+                f"import graph is cyclic ({path}); the hierarchy will be "
+                f"solved by fixed-point iteration, whose convergence depends "
+                f"on the submodels being a contraction",
+            )
+        )
+    return diagnostics

@@ -1,0 +1,155 @@
+"""Analyzer passes for Petri nets and stochastic reward nets.
+
+Everything here is *structural* — the checks read the net description
+(arcs, initial tokens, weights, priorities) without building the
+reachability graph, so they are safe to run on nets whose state space
+would explode.  When an SRN has already built its reachability, the
+generated CTMC is linted too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .diagnostics import Diagnostic
+
+__all__ = ["lint_petri_net", "lint_srn"]
+
+
+def lint_petri_net(net) -> List[Diagnostic]:
+    """Lint a :class:`~repro.petrinet.PetriNet` (P101–P105)."""
+    diagnostics: List[Diagnostic] = []
+    places = net._places
+    transitions = net._transitions
+
+    touched: Set[int] = set()
+    fed_places: Set[int] = set()  # places some transition outputs into
+    for t in transitions.values():
+        for idx, _mult in t.inputs + t.inhibitors:
+            touched.add(idx)
+        for idx, _mult in t.outputs:
+            touched.add(idx)
+            fed_places.add(idx)
+
+    for t in sorted(transitions.values(), key=lambda t: t.name):
+        location = f"transition {t.name!r}"
+        produced = sum(m for _i, m in t.outputs)
+        consumed = sum(m for _i, m in t.inputs)
+        if produced > consumed and not t.inhibitors and t.guard is None:
+            gaining = sorted(
+                {places[i].name for i, _m in t.outputs}
+                - {places[i].name for i, _m in t.inputs}
+            )
+            into = f" into {', '.join(repr(p) for p in gaining)}" if gaining else ""
+            diagnostics.append(
+                Diagnostic(
+                    "P101",
+                    f"{location} produces {produced} token(s) but consumes "
+                    f"{consumed} with no inhibitor arc or guard{into}; the net "
+                    f"may be unbounded and reachability may not terminate",
+                    location=location,
+                )
+            )
+        # Structurally dead: an input place that starts short of the arc
+        # multiplicity and that nothing ever feeds.
+        for idx, mult in t.inputs:
+            if places[idx].initial < mult and idx not in fed_places:
+                diagnostics.append(
+                    Diagnostic(
+                        "P102",
+                        f"{location} needs {mult} token(s) in place "
+                        f"{places[idx].name!r}, which starts with "
+                        f"{places[idx].initial} and is never replenished; the "
+                        f"transition can never fire",
+                        location=location,
+                    )
+                )
+        if t.is_immediate and not callable(t.weight) and float(t.weight) == 0.0:
+            diagnostics.append(
+                Diagnostic(
+                    "P104",
+                    f"immediate {location} has weight 0; it can never be "
+                    f"selected among competing immediates",
+                    location=location,
+                )
+            )
+
+    diagnostics.extend(_vanishing_loops(net))
+
+    for i, place in enumerate(places):
+        if i not in touched:
+            diagnostics.append(
+                Diagnostic(
+                    "P105",
+                    f"place {place.name!r} is connected to no arc; its token "
+                    f"count can never change",
+                    location=f"place {place.name!r}",
+                )
+            )
+    return diagnostics
+
+
+def _vanishing_loops(net) -> List[Diagnostic]:
+    """P103: cycles among immediate transitions (t1 feeds a place t2 reads).
+
+    A cycle of immediates *can* loop forever inside vanishing markings —
+    the elimination step then diverges.  Guards or priorities usually
+    break such loops in practice, so this stays a warning.
+    """
+    immediates = [t for t in net._transitions.values() if t.is_immediate]
+    if not immediates:
+        return []
+    feeds: Dict[str, Set[str]] = {t.name: set() for t in immediates}
+    for t1 in immediates:
+        out_places = {idx for idx, _m in t1.outputs}
+        for t2 in immediates:
+            if out_places & {idx for idx, _m in t2.inputs}:
+                feeds[t1.name].add(t2.name)
+
+    # Iterative DFS cycle detection over the small immediate subgraph.
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {name: WHITE for name in feeds}
+    on_cycle: List[str] = []
+    for start in sorted(feeds):
+        if colour[start] != WHITE:
+            continue
+        stack = [(start, iter(sorted(feeds[start])))]
+        colour[start] = GREY
+        while stack:
+            node, children = stack[-1]
+            for child in children:
+                if colour[child] == GREY:
+                    on_cycle.append(child)
+                elif colour[child] == WHITE:
+                    colour[child] = GREY
+                    stack.append((child, iter(sorted(feeds[child]))))
+                    break
+            else:
+                colour[node] = BLACK
+                stack.pop()
+    if not on_cycle:
+        return []
+    shown = ", ".join(repr(n) for n in sorted(set(on_cycle))[:6])
+    return [
+        Diagnostic(
+            "P103",
+            f"immediate transitions form a cycle (through {shown}); vanishing "
+            f"markings may loop and the elimination step may not terminate "
+            f"unless guards or priorities break the loop",
+        )
+    ]
+
+
+def lint_srn(srn, query=None) -> List[Diagnostic]:
+    """Lint a :class:`~repro.petrinet.StochasticRewardNet`.
+
+    The net is always linted structurally.  The generated CTMC is linted
+    only when the reachability graph has *already* been built — analysis
+    must never be the thing that triggers a state-space explosion.
+    """
+    diagnostics = lint_petri_net(srn.net)
+    if srn._reach is not None:
+        from .markov import lint_ctmc
+
+        diagnostics.extend(lint_ctmc(srn.chain, query=query))
+    return diagnostics

@@ -1,0 +1,204 @@
+"""Analyzer passes for structure models: RBDs, fault trees, reliability graphs.
+
+All checks are structural and run without quantifying the model:
+out-of-range fixed probabilities (S001), k-of-n arity violations (S002),
+degenerate single-input gates (S003), repeated components that force the
+BDD path and make its variable order matter (S004), reliability-graph
+edges that can never lie on a source-target path (S005), and basic
+events that will need an explicit ``q=`` at quantification time (S006).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from .diagnostics import Diagnostic
+
+__all__ = ["lint_component", "lint_rbd", "lint_fault_tree", "lint_relgraph"]
+
+
+def lint_component(component, where: str = "") -> List[Diagnostic]:
+    """S001/S006 checks on one :class:`~repro.nonstate.Component`."""
+    location = where or f"component {component.name!r}"
+    p = getattr(component, "probability", None)
+    if p is not None:
+        p = float(p)
+        if not (0.0 <= p <= 1.0) or p != p:
+            return [
+                Diagnostic(
+                    "S001",
+                    f"{location} has fixed probability {p!r}, outside [0, 1]",
+                    location=location,
+                )
+            ]
+        return []
+    if getattr(component, "failure", None) is None:
+        return [
+            Diagnostic(
+                "S006",
+                f"{location} has neither a fixed probability nor a failure "
+                f"distribution; quantification will need an explicit q= mapping",
+                location=location,
+            )
+        ]
+    return []
+
+
+def _repeat_diagnostic(counts: Counter, kind: str) -> Optional[Diagnostic]:
+    repeated = sorted(name for name, n in counts.items() if n > 1)
+    if not repeated:
+        return None
+    shown = ", ".join(repr(r) for r in repeated[:6])
+    if len(repeated) > 6:
+        shown += f", … ({len(repeated)} total)"
+    return Diagnostic(
+        "S004",
+        f"repeated {kind}: {shown}; compositional products would double-count, "
+        f"so the exact BDD engine is used — variable order follows first "
+        f"occurrence",
+    )
+
+
+def lint_rbd(rbd) -> List[Diagnostic]:
+    """Lint a :class:`~repro.nonstate.ReliabilityBlockDiagram`."""
+    from ..nonstate.rbd import KofN, Parallel, Series
+
+    diagnostics: List[Diagnostic] = []
+    seen_components = set()
+
+    def walk(block, path: str) -> None:
+        blocks = getattr(block, "blocks", None)
+        if blocks is None:  # leaf
+            component = block.component
+            if id(component) not in seen_components:
+                seen_components.add(id(component))
+                diagnostics.extend(lint_component(component, where=path))
+            return
+        kind = type(block).__name__
+        if isinstance(block, KofN):
+            k, n = block.k, len(blocks)
+            if not 1 <= k <= n:
+                diagnostics.append(
+                    Diagnostic(
+                        "S002",
+                        f"{path} is a {k}-of-{n} block; need 1 <= k <= n",
+                        location=path,
+                    )
+                )
+        elif isinstance(block, (Series, Parallel)) and len(blocks) == 1:
+            diagnostics.append(
+                Diagnostic(
+                    "S003",
+                    f"{path} ({kind}) has a single child and is an identity; "
+                    f"inline the child",
+                    location=path,
+                )
+            )
+        for i, child in enumerate(blocks):
+            walk(child, f"{path}.{type(child).__name__}[{i}]")
+
+    walk(rbd.root, type(rbd.root).__name__)
+    repeat = _repeat_diagnostic(
+        Counter(c.name for c in rbd.root.components()), "components"
+    )
+    if repeat is not None:
+        diagnostics.append(repeat)
+    return diagnostics
+
+
+def lint_fault_tree(tree) -> List[Diagnostic]:
+    """Lint a :class:`~repro.nonstate.FaultTree`."""
+    from ..nonstate.faulttree import AndGate, BasicEvent, KofNGate, OrGate
+
+    diagnostics: List[Diagnostic] = []
+    seen_events = set()
+
+    def walk(node, path: str) -> None:
+        if isinstance(node, BasicEvent):
+            if node.name not in seen_events:
+                seen_events.add(node.name)
+                diagnostics.extend(
+                    lint_component(node.component, where=f"basic event {node.name!r}")
+                )
+            return
+        children = getattr(node, "children", None)
+        if children is None:  # NotGate and future single-child nodes
+            child = getattr(node, "child", None)
+            if child is not None:
+                walk(child, f"{path}.{type(child).__name__}")
+            return
+        kind = type(node).__name__
+        if isinstance(node, KofNGate):
+            k, n = node.k, len(children)
+            if not 1 <= k <= n:
+                diagnostics.append(
+                    Diagnostic(
+                        "S002",
+                        f"{path} is a {k}-of-{n} gate; need 1 <= k <= n",
+                        location=path,
+                    )
+                )
+        if isinstance(node, (AndGate, OrGate, KofNGate)) and len(children) < 2:
+            diagnostics.append(
+                Diagnostic(
+                    "S003",
+                    f"{path} ({kind}) has {len(children)} input(s); a gate needs "
+                    f"at least 2 to do any logic",
+                    location=path,
+                )
+            )
+        for i, child in enumerate(children):
+            walk(child, f"{path}.{type(child).__name__}[{i}]")
+
+    walk(tree.top, type(tree.top).__name__)
+    repeat = _repeat_diagnostic(
+        Counter(e.name for e in tree.top.basic_events()), "basic events"
+    )
+    if repeat is not None:
+        diagnostics.append(repeat)
+    return diagnostics
+
+
+def lint_relgraph(graph) -> List[Diagnostic]:
+    """Lint a :class:`~repro.nonstate.ReliabilityGraph` (S005 + component checks)."""
+    import networkx as nx
+
+    diagnostics: List[Diagnostic] = []
+    g = graph._graph
+    reachable = set(nx.descendants(g, graph.source)) | {graph.source}
+    coreachable = set(nx.ancestors(g, graph.target)) | {graph.target}
+    # An edge can lie on a simple s-t path only when its tail is
+    # reachable from s, its head co-reaches t, and it neither leaves the
+    # target nor enters the source (simple paths start at s and end at
+    # t, so such edges only occur on revisiting walks).  A *component*
+    # is flagged when every one of its edges fails the test — undirected
+    # graphs store both directions under one component, and the useful
+    # direction redeems its reversed twin.
+    edges_of: Dict[str, List[tuple]] = {}
+    useful = set()
+    for u, v, data in g.edges(data=True):
+        name = data.get("component")
+        edges_of.setdefault(name, []).append((u, v))
+        if (
+            u in reachable
+            and v in coreachable
+            and u != graph.target
+            and v != graph.source
+        ):
+            useful.add(name)
+    for name in sorted(set(edges_of) - useful, key=repr):
+        u, v = edges_of[name][0]
+        diagnostics.append(
+            Diagnostic(
+                "S005",
+                f"component {name!r} (edge {u!r} -> {v!r}) cannot lie on any "
+                f"{graph.source!r} -> {graph.target!r} path",
+                location=f"component {name!r}",
+            )
+        )
+    for name in sorted(graph._components):
+        diagnostics.extend(
+            lint_component(graph._components[name], where=f"component {name!r}")
+        )
+    return diagnostics

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, List, Mapping, Tuple
+from typing import List, Mapping, Tuple
 
 from ..core.model import DependabilityModel
 from ..exceptions import ModelDefinitionError
@@ -35,6 +35,14 @@ __all__ = [
     "resolve_parameters",
     "evaluate_availability",
 ]
+
+#: Genuine lint findings (``python -m repro.analyze cisco``): the processor
+#: CTMC races per-hour failure rates (~1e-5, coverage-split down to 1e-7)
+#: against failover/repair rates (~120/h) — the stiffness is the published
+#: model, and the GTH solver handles it exactly.
+__diagnostics_acknowledged__ = {
+    "M103": "stiffness is inherent to the published rates; GTH elimination is exact"
+}
 
 
 @dataclass

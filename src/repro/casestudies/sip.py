@@ -26,7 +26,7 @@ paper's conclusion that recovery tuning beats hardware upgrades.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from ..core.hierarchy import HierarchicalModel, Submodel, export_availability
 from ..markov.ctmc import CTMC, MarkovDependabilityModel

@@ -17,7 +17,6 @@ fraction of the state count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from ..markov.ctmc import CTMC, MarkovDependabilityModel
 

@@ -304,11 +304,14 @@ class CompiledCTMC:
 
         Raises exactly what :meth:`fill` would raise, in the same order
         — the cheap stand-in when a caller needs the error contract of a
-        model build but the solve itself will come from the memo.
+        model build but the solve itself will come from the memo.  The
+        walk lives in :func:`repro.analyze.compiled.validate_terms`, the
+        same scan the :func:`repro.analyze.analyze` lint reuses, so the
+        two accept/reject bit-identically by construction.
         """
-        for _, _, terms in self._slot_terms:
-            for term in terms:
-                check_rate(term(values))
+        from ..analyze.compiled import validate_terms
+
+        validate_terms(self._slot_terms, values)
 
     def generator(self, values: Mapping[str, float]) -> sparse.csr_matrix:
         """The filled generator as a CSR matrix (frozen pattern).

@@ -26,13 +26,13 @@ auto-compile hook and :func:`supports_compilation` key off it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._validation import check_positive, check_probability
 from ..exceptions import ModelDefinitionError
-from .ctmc import CompiledCTMC, Complement, Const, Param, RateTerm, Scaled, Times
+from .ctmc import CompiledCTMC, Complement, Param, Scaled, Times
 from .structure import CompiledStructureFunction
 
 __all__ = [

@@ -10,7 +10,7 @@ E16 measures the rate and the effect of damping.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping
 
 from ..exceptions import ConvergenceError, HierarchyError
 

@@ -9,7 +9,7 @@ N nines?".
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, NamedTuple, Sequence, Tuple
+from typing import Dict, Mapping, NamedTuple, Tuple
 
 from ..exceptions import ModelDefinitionError
 

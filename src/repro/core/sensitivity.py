@@ -14,7 +14,7 @@ class in the library.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, NamedTuple, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, NamedTuple, Optional
 
 from ..engine import EngineOptions, EvaluationCache, evaluate_batch, resolve_options
 from ..exceptions import ModelDefinitionError

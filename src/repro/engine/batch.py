@@ -19,7 +19,7 @@ import numpy as np
 
 from ..exceptions import ModelDefinitionError
 from ..obs.trace import activate_tracer, get_tracer
-from ..robust.policy import ErrorRecord, FaultPolicy, FaultReport
+from ..robust.policy import ErrorRecord, FaultPolicy
 from .cache import EvaluationCache, freeze_assignment
 from .executors import Executor, resolve_executor, spawn_generators
 from .options import EngineOptions, resolve_options
@@ -95,6 +95,7 @@ def evaluate_batch(
     options: Optional[EngineOptions] = None,
     tracer=None,
     compile=None,
+    diagnostics: Optional[str] = None,
 ) -> BatchResult:
     """Evaluate every assignment; outputs in input order plus stats.
 
@@ -154,6 +155,16 @@ def evaluate_batch(
         :func:`repro.compile.compile_model` (raising when the
         evaluator has no compiled form); ``False`` always runs the
         evaluator as passed.
+    diagnostics:
+        ``"ignore"`` (default), ``"warn"`` or ``"strict"`` — one-shot
+        :mod:`repro.analyze` pre-flight over the (compiled) evaluator
+        with the first assignment, run once in the parent process
+        before any fan-out so every executor backend behaves
+        identically.  ``"strict"`` raises
+        :class:`~repro.exceptions.ModelDiagnosticError` on
+        error-severity findings; ``"warn"`` emits one
+        :class:`~repro.exceptions.DiagnosticWarning`.  Plain Python
+        evaluators are opaque and skipped.
 
     Examples
     --------
@@ -173,6 +184,7 @@ def evaluate_batch(
         policy=policy,
         tracer=tracer,
         compile=compile,
+        diagnostics=diagnostics,
     )
     scope = activate_tracer(opts.tracer) if opts.tracer is not None else nullcontext()
     with scope:
@@ -213,6 +225,35 @@ def _maybe_compile(evaluate: Evaluator, opts: EngineOptions, rng) -> Evaluator:
     return compiled
 
 
+def _preflight_diagnostics(
+    evaluate: Evaluator,
+    assignments: Sequence[Mapping[str, float]],
+    mode: str,
+) -> None:
+    """One-shot :mod:`repro.analyze` pre-flight for the batch.
+
+    Runs once in the parent process, before any executor fan-out, so the
+    serial, thread and process backends behave identically.  Only
+    compiled evaluators expose analyzable structure — a plain Python
+    callable is opaque and is skipped (after the mode string is
+    validated).  The first assignment stands in for the sweep: compiled
+    evaluators share one structure across all points, so the structural
+    findings are batch-wide.
+    """
+    from ..analyze import DIAGNOSTIC_MODES, run_diagnostics
+
+    if mode not in DIAGNOSTIC_MODES:
+        raise ModelDefinitionError(
+            f"diagnostics must be one of {DIAGNOSTIC_MODES}, got {mode!r}"
+        )
+    from ..compile.model import CompiledEvaluator
+
+    if not isinstance(evaluate, CompiledEvaluator):
+        return
+    params = dict(assignments[0]) if assignments else None
+    run_diagnostics(evaluate, mode, params=params, where="evaluate_batch")
+
+
 def _evaluate_batch(
     evaluate: Evaluator,
     assignments: Sequence[Mapping[str, float]],
@@ -234,6 +275,8 @@ def _evaluate_batch(
             "stochastic one"
         )
     evaluate = _maybe_compile(evaluate, opts, rng)
+    if opts.diagnostics != "ignore":
+        _preflight_diagnostics(evaluate, assignments, opts.diagnostics)
     ex = resolve_executor(opts.n_jobs, opts.executor)
     active = get_tracer()
     batch_span = (

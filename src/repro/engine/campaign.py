@@ -255,6 +255,7 @@ def run_campaign(
     options: Optional[EngineOptions] = None,
     tracer=None,
     compile=None,
+    diagnostics: Optional[str] = None,
 ) -> CampaignResult:
     """Materialize ``spec`` and evaluate it through the engine.
 
@@ -268,6 +269,10 @@ def run_campaign(
     controls compiled-evaluator substitution (see :mod:`repro.compile`);
     the design ``rng`` never reaches the evaluator, so auto-compilation
     applies to campaigns exactly as it does to plain batches.
+    ``diagnostics`` (``"ignore"``/``"warn"``/``"strict"``) runs the
+    one-shot :mod:`repro.analyze` pre-flight of
+    :func:`~repro.engine.batch.evaluate_batch` over the campaign's
+    evaluator before the sweep.
     """
     opts = resolve_options(
         options,
@@ -279,6 +284,7 @@ def run_campaign(
         policy=policy,
         tracer=tracer,
         compile=compile,
+        diagnostics=diagnostics,
     )
     scope = activate_tracer(opts.tracer) if opts.tracer is not None else nullcontext()
     with scope:

@@ -65,6 +65,16 @@ class EngineOptions:
         performance decision.  ``True`` forces compilation (raising
         when the evaluator has no compiled form); ``False`` disables
         substitution entirely.
+    diagnostics:
+        Static-analysis mode for the evaluator (see
+        :mod:`repro.analyze`): ``"ignore"`` (default) skips the lint,
+        ``"warn"`` runs a one-shot pre-flight before the batch and
+        reports findings as :class:`~repro.exceptions.DiagnosticWarning`,
+        ``"strict"`` raises
+        :class:`~repro.exceptions.ModelDiagnosticError` on any
+        error-severity finding.  The pre-flight runs once in the parent
+        process, so serial, thread and process executors behave
+        identically.
     """
 
     n_jobs: int = 1
@@ -75,6 +85,7 @@ class EngineOptions:
     policy: Any = None
     tracer: Any = None
     compile: Any = None
+    diagnostics: str = "ignore"
 
     def replace(self, **changes: Any) -> "EngineOptions":
         """A copy with the given fields changed."""

@@ -9,7 +9,7 @@ the cache earning its keep?" before scaling a campaign up.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ModelDefinitionError",
+    "ModelDiagnosticError",
+    "DiagnosticWarning",
     "SolverError",
     "ConvergenceError",
     "StateSpaceError",
@@ -26,6 +28,29 @@ class ReproError(Exception):
 
 class ModelDefinitionError(ReproError):
     """A model was structurally invalid (bad gate arity, unknown block, ...)."""
+
+
+class ModelDiagnosticError(ModelDefinitionError):
+    """A model failed a ``diagnostics="strict"`` pre-flight lint.
+
+    Raised by the solver front doors and the batch engine when the
+    :func:`repro.analyze.analyze` pass finds error-severity diagnostics
+    and the caller asked for strict mode.
+
+    Attributes
+    ----------
+    report:
+        The full :class:`~repro.analyze.AnalysisReport` — every
+        diagnostic found, not just the errors that triggered the raise.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class DiagnosticWarning(UserWarning):
+    """Emitted in ``diagnostics="warn"`` mode when a model lint finds issues."""
 
 
 class SolverError(ReproError):

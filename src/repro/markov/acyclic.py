@@ -23,7 +23,7 @@ independent oracle for the uniformization solver.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, Mapping, Tuple
 
 import networkx as nx
 import numpy as np

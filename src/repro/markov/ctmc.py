@@ -30,7 +30,7 @@ A two-unit parallel system with a single shared repair facility::
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -179,7 +179,9 @@ class CTMC:
         return vec
 
     # ------------------------------------------------------- steady state
-    def steady_state(self, method: str = "gth") -> Dict[State, float]:
+    def steady_state(
+        self, method: str = "gth", diagnostics: str = "ignore"
+    ) -> Dict[State, float]:
         """Stationary distribution of an irreducible chain.
 
         Parameters
@@ -191,7 +193,18 @@ class CTMC:
             :func:`~repro.markov.fallback.solve_steady_state` (use
             :meth:`steady_state_report` to also see which stage won and
             why).
+        diagnostics:
+            ``"ignore"`` (default), ``"warn"`` or ``"strict"`` — run the
+            :mod:`repro.analyze` lint pass (steady-state query, so
+            absorbing states and reducibility are errors under
+            ``"strict"``) before solving.
         """
+        if diagnostics != "ignore":
+            from ..analyze import run_diagnostics
+
+            run_diagnostics(
+                self, diagnostics, query="steady_state", where="CTMC.steady_state"
+            )
         q = self.generator()
         if method == "auto":
             from .fallback import solve_steady_state
@@ -245,6 +258,7 @@ class CTMC:
         initial,
         method: str = "uniformization",
         tol: float = 1e-10,
+        diagnostics: str = "ignore",
     ) -> "np.ndarray | Dict[State, float]":
         """State probabilities at one or many time points.
 
@@ -261,7 +275,17 @@ class CTMC:
             (``scipy.integrate.solve_ivp``, the E09 ablation), or
             ``"auto"`` — delegate the choice to
             :func:`~repro.markov.solvers.solve_transient`.
+        diagnostics:
+            ``"ignore"`` (default), ``"warn"`` or ``"strict"`` — run the
+            :mod:`repro.analyze` lint pass (transient query: absorbing
+            states and reducibility are fine) before solving.
         """
+        if diagnostics != "ignore":
+            from ..analyze import run_diagnostics
+
+            run_diagnostics(
+                self, diagnostics, query="transient", where="CTMC.transient"
+            )
         scalar = np.isscalar(times)
         ts = np.atleast_1d(np.asarray(times, dtype=float))
         p0 = self._initial_vector(initial)

@@ -297,6 +297,7 @@ def solve_steady_state(
     stiffness_threshold: float = 1e8,
     stages: Optional[Mapping[str, Callable]] = None,
     strategy: Optional[str] = None,
+    diagnostics: str = "ignore",
 ) -> SolverReport:
     """Steady-state vector via a diagnosed, guarded solver fallback chain.
 
@@ -337,6 +338,11 @@ def solve_steady_state(
         Deprecated alias of ``method`` (the pre-unification spelling).
         Accepted with a :class:`DeprecationWarning`; results are
         bit-identical to the ``method=`` path.
+    diagnostics:
+        ``"ignore"`` (default), ``"warn"`` or ``"strict"`` — run the
+        full :mod:`repro.analyze` lint pass (steady-state query) before
+        solving.  Independent of the hard pre-flight validation, which
+        always runs.
 
     Returns
     -------
@@ -357,6 +363,10 @@ def solve_steady_state(
     """
     method = resolve_method_kwarg(method, strategy, "solve_steady_state")
     q = sparse.csr_matrix(generator, dtype=float)
+    if diagnostics != "ignore":
+        from ..analyze import run_diagnostics
+
+        run_diagnostics(q, diagnostics, query="steady_state", where="solve_steady_state")
     validation_start = time.perf_counter()
     validate_generator(q)
     validation_seconds = time.perf_counter() - validation_start

@@ -31,7 +31,7 @@ quantile quadrature.
 from __future__ import annotations
 
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 import networkx as nx
 import numpy as np

@@ -15,7 +15,7 @@ time average.
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping, Optional
+from typing import Hashable, Mapping
 
 import numpy as np
 

@@ -61,46 +61,20 @@ def validate_generator(generator, tol: float = 1e-8) -> int:
 
     Accepts dense arrays and scipy sparse matrices.  Also valid for the
     ``P - I`` matrices the DTMC stationary solver feeds to GTH.
+
+    The checks themselves live in
+    :func:`repro.analyze.markov.generator_defects` — the same scan the
+    :func:`repro.analyze.analyze` lint runs — so the solvers and the
+    static analyzer accept/reject bit-identically by construction; this
+    wrapper raises the first defect's message.
     """
     if tol < 0.0:
         raise ModelDefinitionError(f"tolerance must be >= 0, got {tol}")
-    if sparse.issparse(generator):
-        q = sparse.csr_matrix(generator, dtype=float)
-        n = q.shape[0]
-        if q.shape != (n, n):
-            raise ModelDefinitionError(f"generator must be square, got shape {q.shape}")
-        data = q.data
-        if data.size and not np.all(np.isfinite(data)):
-            raise ModelDefinitionError("generator contains non-finite entries")
-        scale = max(1.0, float(np.abs(data).max())) if data.size else 1.0
-        off = q - sparse.diags(q.diagonal())
-        min_off = float(off.data.min()) if off.data.size else 0.0
-        row_sums = np.asarray(q.sum(axis=1)).ravel()
-    else:
-        a = np.asarray(generator, dtype=float)
-        n = a.shape[0] if a.ndim == 2 else -1
-        if a.ndim != 2 or a.shape != (n, n):
-            raise ModelDefinitionError(f"generator must be square, got shape {a.shape}")
-        if not np.all(np.isfinite(a)):
-            raise ModelDefinitionError("generator contains non-finite entries")
-        scale = max(1.0, float(np.abs(a).max())) if a.size else 1.0
-        off_mask = ~np.eye(n, dtype=bool)
-        min_off = float(a[off_mask].min()) if n > 1 else 0.0
-        row_sums = a.sum(axis=1)
-    if min_off < -tol * scale:
-        raise ModelDefinitionError(
-            f"generator has a negative off-diagonal rate {min_off:.6g}; "
-            f"transition rates must be non-negative"
-        )
-    if row_sums.size:
-        worst = int(np.abs(row_sums).argmax())
-        deviation = float(row_sums[worst])
-        if abs(deviation) > tol * scale:
-            raise ModelDefinitionError(
-                f"generator row {worst} sums to {deviation:.6g} (tolerance "
-                f"{tol * scale:.3g}); CTMC generator rows must sum to zero — "
-                f"check the diagonal of that row"
-            )
+    from ..analyze.markov import generator_defects
+
+    n, defects = generator_defects(generator, tol)
+    if defects:
+        raise ModelDefinitionError(defects[0].message)
     return n
 
 
@@ -462,6 +436,7 @@ def solve_transient(
     method: str = "auto",
     tol: float = 1e-10,
     max_terms: int = 100_000,
+    diagnostics: str = "ignore",
 ) -> np.ndarray:
     """Unified front door for transient analysis π(t) = π(0) e^{Qt}.
 
@@ -480,11 +455,20 @@ def solve_transient(
     tol:
         Truncation-error bound (uniformization) or integration tolerance
         (ODE).
+    diagnostics:
+        ``"ignore"`` (default), ``"warn"`` or ``"strict"`` — run the
+        :mod:`repro.analyze` lint pass (transient query) before solving.
 
     Returns
     -------
     Array of shape ``(len(times), n)``.
     """
+    if diagnostics != "ignore":
+        from ..analyze import run_diagnostics
+
+        run_diagnostics(
+            generator, diagnostics, query="transient", where="solve_transient"
+        )
     if method in ("auto", "uniformization"):
         return transient_uniformization(
             generator, initial, times, tol=tol, max_terms=max_terms

@@ -19,7 +19,7 @@ marginal probability, never by joint state.
 from __future__ import annotations
 
 
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 

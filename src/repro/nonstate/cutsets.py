@@ -11,7 +11,7 @@ practitioners quote.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Mapping, Sequence, Tuple
 
 from ..exceptions import ModelDefinitionError
 from ..obs.trace import get_tracer

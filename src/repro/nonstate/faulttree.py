@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 import itertools
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Union
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 import numpy as np
 

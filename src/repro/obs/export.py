@@ -14,7 +14,7 @@ Three targets cover the practitioner workflows:
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Union
+from typing import List, Optional, Union
 
 from .metrics import MetricsRegistry, NullMetrics
 from .trace import NullTracer, Span, Tracer

@@ -19,8 +19,7 @@ never needs an ``if metrics is not None`` guard.
 
 from __future__ import annotations
 
-import math
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 __all__ = [
     "Counter",

@@ -10,7 +10,7 @@ automatically rather than by hand.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..exceptions import ModelDefinitionError
 

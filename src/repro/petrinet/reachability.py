@@ -14,7 +14,7 @@ the loop is not probability-preserving (a "timeless trap").
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

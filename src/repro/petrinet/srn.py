@@ -10,7 +10,7 @@ hierarchy engine.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Mapping, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Optional
 
 import numpy as np
 

@@ -1,0 +1,96 @@
+"""Diagnostic / AnalysisReport data-model tests."""
+
+import pytest
+
+from repro.analyze import AnalysisReport, Diagnostic
+from repro.exceptions import ModelDiagnosticError
+
+
+class TestDiagnostic:
+    def test_severity_defaults_from_code_table(self):
+        assert Diagnostic("M001", "bad row sum").severity == "error"
+        assert Diagnostic("M101", "absorbing").severity == "warning"
+        assert Diagnostic("M104", "transient states").severity == "info"
+        assert Diagnostic("S004", "repeated").severity == "info"
+        assert Diagnostic("P105", "isolated").severity == "info"
+
+    def test_explicit_severity_overrides_table(self):
+        d = Diagnostic("M101", "absorbing", severity="error")
+        assert d.severity == "error"
+
+    def test_unknown_code_without_severity_raises(self):
+        with pytest.raises(ValueError):
+            Diagnostic("Z999", "mystery")
+
+    def test_unknown_severity_raises(self):
+        with pytest.raises(ValueError):
+            Diagnostic("M001", "msg", severity="fatal")
+
+    def test_render_with_and_without_location(self):
+        d = Diagnostic("M001", "row 0 sums to 1", location="row 0")
+        assert d.render() == "M001 error [row 0]: row 0 sums to 1"
+        d = Diagnostic("M103", "stiff")
+        assert d.render() == "M103 warning: stiff"
+
+    def test_frozen(self):
+        d = Diagnostic("M001", "msg")
+        with pytest.raises(Exception):
+            d.message = "other"
+
+
+class TestAnalysisReport:
+    def _report(self):
+        return AnalysisReport(
+            "CTMC",
+            diagnostics=[
+                Diagnostic("M001", "bad row"),
+                Diagnostic("M101", "absorbing state"),
+                Diagnostic("M104", "transient"),
+            ],
+            passes=["markov"],
+        )
+
+    def test_severity_buckets(self):
+        r = self._report()
+        assert [d.code for d in r.errors] == ["M001"]
+        assert [d.code for d in r.warnings] == ["M101"]
+        assert [d.code for d in r.infos] == ["M104"]
+        assert r.codes == ["M001", "M101", "M104"]
+        assert not r.ok
+
+    def test_ok_when_no_errors(self):
+        r = AnalysisReport("CTMC", diagnostics=[Diagnostic("M103", "stiff")])
+        assert r.ok  # warnings do not flip ok
+        assert AnalysisReport("CTMC").ok
+
+    def test_filter(self):
+        r = self._report()
+        assert [d.code for d in r.filter(severity="error")] == ["M001"]
+        assert [d.code for d in r.filter(code="M104")] == ["M104"]
+
+    def test_sequence_protocol(self):
+        r = self._report()
+        assert len(r) == 3
+        assert r[0].code == "M001"
+        assert [d.code for d in r] == r.codes
+
+    def test_raise_if_errors(self):
+        r = self._report()
+        with pytest.raises(ModelDiagnosticError) as excinfo:
+            r.raise_if_errors()
+        assert excinfo.value.report is r
+        assert "1 error(s)" in str(excinfo.value)
+        # no errors -> no raise
+        AnalysisReport("CTMC", diagnostics=[Diagnostic("M103", "x")]).raise_if_errors()
+
+    def test_to_dict_and_summary(self):
+        r = self._report()
+        d = r.to_dict()
+        assert d["model_type"] == "CTMC"
+        assert d["ok"] is False
+        assert d["n_errors"] == 1
+        assert len(d["diagnostics"]) == 3
+        s = r.summary()
+        assert s["n_errors"] == 1.0
+        assert s["n_diagnostics"] == 3.0
+        assert "M001" in r.render()

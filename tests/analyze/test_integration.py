@@ -1,0 +1,158 @@
+"""The ``diagnostics=`` mode threaded through every solver front door."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineOptions, evaluate_batch
+from repro.engine.executors import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.exceptions import (
+    DiagnosticWarning,
+    ModelDefinitionError,
+    ModelDiagnosticError,
+)
+from repro.markov import CTMC
+from repro.markov.fallback import solve_steady_state
+from repro.markov.solvers import solve_transient
+
+CLEAN_Q = np.array([[-1e-3, 1e-3], [0.5, -0.5]])
+
+
+def no_repair_chain():
+    return CTMC().add_transition("up", "down", 1e-3)
+
+
+def stiff_chain():
+    """Irreducible (so it solves) but stiff (so warn mode has a finding)."""
+    return (
+        CTMC()
+        .add_transition("up", "down", 1e-9)
+        .add_transition("down", "up", 10.0)
+    )
+
+
+class TestSolverFrontDoors:
+    def test_ctmc_steady_state_strict_raises(self):
+        with pytest.raises(ModelDiagnosticError) as excinfo:
+            no_repair_chain().steady_state(diagnostics="strict")
+        assert {"M101", "M102"} <= set(excinfo.value.report.codes)
+
+    def test_ctmc_steady_state_warn_warns_and_solves(self):
+        with pytest.warns(DiagnosticWarning, match="M103"):
+            pi = stiff_chain().steady_state(diagnostics="warn")
+        assert pi["up"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_ctmc_steady_state_ignore_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            stiff_chain().steady_state()  # default is "ignore"
+
+    def test_ctmc_transient_strict_passes_no_repair(self):
+        # transient questions are fine on absorbing chains: the
+        # steady-state structure codes are suppressed for this query.
+        probs = no_repair_chain().transient(
+            [0.0, 100.0], {"up": 1.0}, diagnostics="strict"
+        )
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_solve_steady_state_strict_raises(self):
+        q = no_repair_chain().generator().toarray()
+        with pytest.raises(ModelDiagnosticError) as excinfo:
+            solve_steady_state(q, diagnostics="strict")
+        assert {"M101", "M102"} <= set(excinfo.value.report.codes)
+
+    def test_solve_steady_state_warn_matches_ignore_bitwise(self):
+        q = stiff_chain().generator().toarray()
+        with pytest.warns(DiagnosticWarning, match="M103"):
+            warned = solve_steady_state(q, diagnostics="warn")
+        silent = solve_steady_state(q)
+        np.testing.assert_array_equal(warned.pi, silent.pi)
+
+    def test_solve_transient_strict_on_malformed_generator(self):
+        q = np.array([[-1.0, 0.5], [2.0, -2.0]])  # M001
+        with pytest.raises(ModelDiagnosticError):
+            solve_transient(q, np.array([1.0, 0.0]), np.array([1.0]), diagnostics="strict")
+
+    def test_solve_transient_clean_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = solve_transient(
+                CLEAN_Q, np.array([1.0, 0.0]), np.array([0.0, 1.0]), diagnostics="warn"
+            )
+        assert out.shape == (2, 2)
+
+    @pytest.mark.parametrize("mode", ["loud", "", None, "Strict"])
+    def test_invalid_mode_rejected(self, mode):
+        with pytest.raises(ModelDefinitionError, match="diagnostics must be one of"):
+            no_repair_chain().steady_state(diagnostics=mode)
+
+
+class TestEngineFrontDoor:
+    """Pre-flight diagnostics for compiled sweeps, once per batch."""
+
+    def _evaluator(self):
+        from repro.casestudies import bladecenter
+
+        return bladecenter.evaluate_availability
+
+    def test_options_field_default(self):
+        assert EngineOptions().diagnostics == "ignore"
+
+    @pytest.mark.parametrize(
+        "executor", [None, SerialExecutor(), ThreadExecutor(n_jobs=2)],
+        ids=["auto", "serial", "thread"],
+    )
+    def test_strict_clean_sweep_solves(self, executor):
+        batch = evaluate_batch(
+            self._evaluator(),
+            [{}, {"cpu_failure_rate": 2e-4}],
+            executor=executor,
+            diagnostics="strict",
+        )
+        assert batch.outputs[0] == pytest.approx(0.9999398296568841)
+
+    def test_strict_clean_sweep_process_executor(self):
+        batch = evaluate_batch(
+            self._evaluator(),
+            [{}, {}],
+            executor=ProcessExecutor(n_jobs=2),
+            diagnostics="strict",
+        )
+        assert batch.outputs[0] == pytest.approx(0.9999398296568841)
+
+    def test_strict_rejects_unknown_parameter_before_evaluating(self):
+        with pytest.raises(ModelDiagnosticError) as excinfo:
+            evaluate_batch(
+                self._evaluator(),
+                [{"cpu_failure_rte": 2e-4}],  # typo
+                diagnostics="strict",
+            )
+        assert "U001" in excinfo.value.report.codes
+
+    def test_warn_mode_emits_single_warning_then_evaluation_rejects(self):
+        # warn surfaces the typo once for the whole batch; the evaluator's
+        # own validation still rejects it per point (warn never masks it).
+        with pytest.warns(DiagnosticWarning) as record:
+            with pytest.raises(ModelDefinitionError, match="cpu_failure_rte"):
+                evaluate_batch(
+                    self._evaluator(),
+                    [{"cpu_failure_rte": 2e-4} for _ in range(10)],
+                    diagnostics="warn",
+                )
+        assert len([w for w in record if w.category is DiagnosticWarning]) == 1
+
+    def test_mode_via_engine_options(self):
+        with pytest.raises(ModelDiagnosticError):
+            evaluate_batch(
+                self._evaluator(),
+                [{"no_such_param": 1.0}],
+                options=EngineOptions(diagnostics="strict"),
+            )
+
+    def test_plain_function_is_opaque_but_mode_still_validated(self):
+        # plain callables can't be analyzed — strict must not reject them
+        batch = evaluate_batch(lambda a: a["x"], [{"x": 2.0}], diagnostics="strict")
+        assert batch.outputs[0] == 2.0
+        with pytest.raises(ModelDefinitionError, match="diagnostics must be one of"):
+            evaluate_batch(lambda a: a["x"], [{"x": 2.0}], diagnostics="loud")

@@ -1,0 +1,214 @@
+"""tools/lint_repro.py — the project-specific AST lint rules."""
+
+import importlib.util
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "lint_repro", REPO_ROOT / "tools" / "lint_repro.py"
+)
+lint_repro = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint_repro)
+
+
+def lint_source(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_repro.lint_file(path)
+
+
+def codes(findings):
+    return [code for _path, _line, code, _msg in findings]
+
+
+class TestR001DeprecatedStrategy:
+    def test_flags_strategy_kwarg(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from repro.markov.fallback import solve_steady_state
+            report = solve_steady_state(q, strategy="gth")
+            """,
+        )
+        assert codes(findings) == ["R001"]
+        assert "method=" in findings[0][3]
+
+    def test_flags_attribute_calls(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import repro.markov.fallback as fb
+            fb.steady_state_report(q, strategy="auto")
+            """,
+        )
+        assert codes(findings) == ["R001"]
+
+    def test_method_kwarg_is_fine(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            solve_steady_state(q, method="gth")
+            other_function(strategy="whatever")
+            """,
+        )
+        assert findings == []
+
+
+class TestR002MutableDefaults:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "{1}", "list()", "dict()", "set()", "deque()"]
+    )
+    def test_flags_mutable_defaults(self, tmp_path, default):
+        findings = lint_source(tmp_path, f"def f(x, y={default}):\n    pass\n")
+        assert codes(findings) == ["R002"]
+        assert "'y'" in findings[0][3]
+
+    def test_kwonly_and_posonly_defaults(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def f(a=1, /, b=2, *, c=[]):
+                pass
+            """,
+        )
+        assert codes(findings) == ["R002"]
+        assert "'c'" in findings[0][3]
+
+    def test_immutable_defaults_are_fine(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def f(a=1, b=(), c=None, d="x", e=frozenset()):
+                pass
+            """,
+        )
+        assert findings == []
+
+
+class TestR004AllNames:
+    def test_flags_unbound_name(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            __all__ = ["present", "missing"]
+            def present():
+                pass
+            """,
+        )
+        assert codes(findings) == ["R004"]
+        assert "'missing'" in findings[0][3]
+
+    def test_conditional_bindings_count(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            __all__ = ["fast", "Slow"]
+            try:
+                from _accel import fast
+            except ImportError:
+                def fast():
+                    pass
+            if True:
+                class Slow:
+                    pass
+            """,
+        )
+        assert findings == []
+
+    def test_pep562_lazy_module_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            __all__ = ["lazy_thing"]
+            def __getattr__(name):
+                raise AttributeError(name)
+            """,
+        )
+        assert findings == []
+
+
+class TestNoqaWaiver:
+    def test_noqa_suppresses_matching_rule(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            solve_steady_state(q, strategy="gth")  # noqa: R001 (bit-identity)
+            """,
+        )
+        assert findings == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            solve_steady_state(q, strategy="gth")  # noqa: R002
+            """,
+        )
+        assert codes(findings) == ["R001"]
+
+
+class TestR003LazyNamespace:
+    def _init(self, tmp_path, body):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        path = pkg / "__init__.py"
+        path.write_text(textwrap.dedent(body))
+        return path
+
+    def test_consistent_namespace_is_clean(self, tmp_path):
+        path = self._init(
+            tmp_path,
+            """
+            from typing import TYPE_CHECKING
+            _EXPORTS = {"CTMC": "repro.markov"}
+            if TYPE_CHECKING:
+                from .markov import CTMC
+            __all__ = ["CTMC", "__version__"]
+            """,
+        )
+        assert lint_repro.check_lazy_namespace(path) == []
+
+    def test_drift_is_flagged_in_all_three_directions(self, tmp_path):
+        path = self._init(
+            tmp_path,
+            """
+            from typing import TYPE_CHECKING
+            _EXPORTS = {"CTMC": "repro.markov", "DTMC": "repro.markov"}
+            if TYPE_CHECKING:
+                from .markov import CTMC, SMP
+            __all__ = ["CTMC", "Ghost"]
+            """,
+        )
+        messages = [m for _p, _l, _c, m in lint_repro.check_lazy_namespace(path)]
+        assert any("'DTMC' missing from __all__" in m for m in messages)
+        assert any("'Ghost' with no _EXPORTS entry" in m for m in messages)
+        assert any("'DTMC' missing from the TYPE_CHECKING" in m for m in messages)
+        assert any("'SMP' which has no _EXPORTS entry" in m for m in messages)
+
+    def test_missing_exports_table(self, tmp_path):
+        path = self._init(tmp_path, "__all__ = []\n")
+        findings = lint_repro.check_lazy_namespace(path)
+        assert codes(findings) == ["R003"]
+
+
+class TestRealTree:
+    def test_shipping_tree_is_clean(self):
+        findings = lint_repro.lint_paths(
+            [REPO_ROOT / p for p in lint_repro.DEFAULT_PATHS]
+        )
+        assert findings == []
+
+    def test_main_returns_zero_on_clean_tree(self, capsys):
+        assert lint_repro.main([]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_main_returns_one_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    pass\n")
+        assert lint_repro.main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R002" in out and "1 finding(s)" in out

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Repository check gate: static checks + custom lint + test suite.
+#
+# ruff and mypy are optional — environments without them (e.g. the
+# minimal CI image, which bakes in only numpy/scipy/networkx/pytest)
+# skip those stages with a notice instead of failing.  The custom AST
+# lint (tools/lint_repro.py) and the test suite always run: they need
+# nothing beyond the standard library and the test dependencies.
+#
+# Usage: sh tools/check.sh [--no-tests]
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+status=0
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src/repro tools tests benchmarks || status=1
+else
+    echo "== ruff == (not installed; skipped)"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy =="
+    mypy || status=1
+else
+    echo "== mypy == (not installed; skipped)"
+fi
+
+echo "== lint_repro =="
+python tools/lint_repro.py || status=1
+
+echo "== analyze (case studies) =="
+python -m repro.analyze || status=1
+
+if [ "${1:-}" != "--no-tests" ]; then
+    echo "== pytest =="
+    python -m pytest -q || status=1
+fi
+
+exit $status

@@ -1,0 +1,312 @@
+#!/usr/bin/env python
+"""Project-specific AST lint — rules no off-the-shelf tool enforces.
+
+Stdlib-only (runs in the minimal CI image, where ruff/mypy may be
+absent).  Rules:
+
+``R001 deprecated-strategy-kwarg``
+    Internal callers must not pass the deprecated ``strategy=`` keyword
+    to the steady-state front doors (``solve_steady_state``,
+    ``steady_state_report``); the unified spelling is ``method=``.  The
+    shim exists for *external* callers only — tests exercising the
+    deprecation path are exempt (the ``tests/`` tree is not scanned).
+
+``R002 mutable-default-arg``
+    A ``def f(x=[])`` / ``def f(x={})`` / ``def f(x=set())`` default is
+    shared across calls; use ``None`` plus an in-body default.
+
+``R003 lazy-namespace-drift``
+    ``src/repro/__init__.py`` keeps three parallel listings of the
+    public surface: the ``_EXPORTS`` lazy-import table, ``__all__`` and
+    the ``TYPE_CHECKING`` import block.  They must agree, or a name
+    either fails to resolve at runtime or is invisible to type
+    checkers.
+
+``R004 all-name-undefined``
+    Every string in a module's ``__all__`` must be bound at module top
+    level (def / class / import / assignment).
+
+Usage::
+
+    python tools/lint_repro.py [paths...]
+
+Defaults to ``src/repro``, ``examples``, ``benchmarks`` and ``tools``.
+Prints ``path:line: CODE message`` per finding; exits 1 when any fired.
+"""
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = ("src/repro", "examples", "benchmarks", "tools")
+
+#: front doors whose ``strategy=`` keyword is deprecated (R001)
+DEPRECATED_STRATEGY_CALLEES = {"solve_steady_state", "steady_state_report"}
+
+Finding = Tuple[str, int, str, str]  # (path, line, code, message)
+
+
+def _callee_name(func: ast.expr) -> str:
+    """Trailing name of a call target: ``f`` for ``f(...)`` and ``m.f(...)``."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def check_strategy_kwarg(tree: ast.AST, path: str) -> List[Finding]:
+    """R001: deprecated ``strategy=`` keyword on the steady-state front doors."""
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _callee_name(node.func) not in DEPRECATED_STRATEGY_CALLEES:
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "strategy":
+                findings.append(
+                    (
+                        path,
+                        node.lineno,
+                        "R001",
+                        f"deprecated strategy= keyword in call to "
+                        f"{_callee_name(node.func)}(); use method=",
+                    )
+                )
+    return findings
+
+
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _is_mutable_default(default: ast.expr) -> bool:
+    if isinstance(default, _MUTABLE_DISPLAYS):
+        return True
+    if isinstance(default, ast.Call) and _callee_name(default.func) in _MUTABLE_CONSTRUCTORS:
+        return True
+    return False
+
+
+def check_mutable_defaults(tree: ast.AST, path: str) -> List[Finding]:
+    """R002: mutable default argument values."""
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        defaults = list(zip(args.posonlyargs + args.args, _padded(args)))
+        defaults += [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)]
+        for arg, default in defaults:
+            if default is not None and _is_mutable_default(default):
+                findings.append(
+                    (
+                        path,
+                        default.lineno,
+                        "R002",
+                        f"mutable default for argument {arg.arg!r} of "
+                        f"{node.name}(); use None and fill in the body",
+                    )
+                )
+    return findings
+
+
+def _padded(args: ast.arguments):
+    """Positional defaults left-padded with None to align with the args."""
+    positional = args.posonlyargs + args.args
+    pad = [None] * (len(positional) - len(args.defaults))
+    return pad + list(args.defaults)
+
+
+def _string_elements(node: ast.expr) -> List[str]:
+    """Constant string elements of a list/tuple display (starred skipped)."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return []
+    return [
+        element.value
+        for element in node.elts
+        if isinstance(element, ast.Constant) and isinstance(element.value, str)
+    ]
+
+
+def _toplevel_bindings(tree: ast.Module) -> set:
+    """Names bound at module top level (defs, imports, assignments)."""
+    bound = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        bound.add(name_node.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # conditionally-bound names (TYPE_CHECKING / fallback imports)
+            # count as bindings for __all__ purposes
+            bound |= _toplevel_bindings(ast.Module(body=node.body, type_ignores=[]))
+            for handler in getattr(node, "handlers", []):
+                bound |= _toplevel_bindings(ast.Module(body=handler.body, type_ignores=[]))
+            bound |= _toplevel_bindings(
+                ast.Module(body=getattr(node, "orelse", []), type_ignores=[])
+            )
+    return bound
+
+
+def check_all_names(tree: ast.Module, path: str) -> List[Finding]:
+    """R004: every constant string in ``__all__`` is bound in the module."""
+    findings = []
+    all_node = None
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            all_node = node
+    if all_node is None:
+        return findings
+    names = _string_elements(all_node.value)
+    has_starred = isinstance(all_node.value, (ast.List, ast.Tuple)) and any(
+        isinstance(e, ast.Starred) for e in all_node.value.elts
+    )
+    bound = _toplevel_bindings(tree)
+    lazy = "__getattr__" in bound  # PEP 562 module: names resolve lazily
+    for name in names:
+        if name in bound or name == "__version__":
+            continue
+        if lazy or has_starred:
+            continue
+        findings.append(
+            (path, all_node.lineno, "R004", f"__all__ lists {name!r} but the module never binds it")
+        )
+    return findings
+
+
+def check_lazy_namespace(init_path: Path) -> List[Finding]:
+    """R003: ``_EXPORTS`` vs ``__all__`` vs ``TYPE_CHECKING`` imports."""
+    findings: List[Finding] = []
+    path = str(init_path)
+    tree = ast.parse(init_path.read_text())
+    exports, export_line = set(), 1
+    all_names, all_starred, all_line = set(), False, 1
+    type_checking: set = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            target_ids = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "_EXPORTS" in target_ids and isinstance(node.value, ast.Dict):
+                export_line = node.lineno
+                for key in node.value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        exports.add(key.value)
+            if "__all__" in target_ids:
+                all_line = node.lineno
+                all_names = set(_string_elements(node.value))
+                all_starred = isinstance(node.value, (ast.List, ast.Tuple)) and any(
+                    isinstance(e, ast.Starred) for e in node.value.elts
+                )
+        elif isinstance(node, ast.If):
+            test = node.test
+            is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+                isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+            )
+            if is_tc:
+                type_checking |= _toplevel_bindings(
+                    ast.Module(body=node.body, type_ignores=[])
+                )
+    if not exports:
+        return [(path, 1, "R003", "no _EXPORTS table found in the lazy namespace")]
+    if not all_starred:
+        # with a literal __all__, every export must be listed explicitly
+        for name in sorted(exports - all_names):
+            findings.append(
+                (path, all_line, "R003", f"_EXPORTS entry {name!r} missing from __all__")
+            )
+        for name in sorted(all_names - exports - {"__version__"}):
+            findings.append(
+                (path, all_line, "R003", f"__all__ lists {name!r} with no _EXPORTS entry")
+            )
+    for name in sorted(exports - type_checking):
+        findings.append(
+            (
+                path,
+                export_line,
+                "R003",
+                f"_EXPORTS entry {name!r} missing from the TYPE_CHECKING import block",
+            )
+        )
+    for name in sorted(type_checking - exports):
+        findings.append(
+            (
+                path,
+                export_line,
+                "R003",
+                f"TYPE_CHECKING imports {name!r} which has no _EXPORTS entry",
+            )
+        )
+    return findings
+
+
+def lint_file(py_path: Path) -> List[Finding]:
+    """All per-file rules over one source file.
+
+    A ``# noqa: R00x`` comment on the flagged line waives that rule
+    there — for code that exists *to* exercise a deprecated path (e.g.
+    the strategy=/method= bit-identity benchmark).
+    """
+    path = str(py_path)
+    source = py_path.read_text()
+    tree = ast.parse(source, filename=path)
+    findings = check_strategy_kwarg(tree, path)
+    findings += check_mutable_defaults(tree, path)
+    findings += check_all_names(tree, path)
+    lines = source.splitlines()
+    return [
+        f
+        for f in findings
+        if f"noqa: {f[2]}" not in (lines[f[1] - 1] if 0 < f[1] <= len(lines) else "")
+    ]
+
+
+def lint_paths(paths) -> List[Finding]:
+    """All rules over files/trees; adds the R003 namespace check when
+    the scanned set includes the top-level ``repro/__init__.py``."""
+    findings: List[Finding] = []
+    files: List[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        elif entry.suffix == ".py":
+            files.append(entry)
+    for py_path in files:
+        findings.extend(lint_file(py_path))
+        if py_path.name == "__init__.py" and py_path.parent.name == "repro":
+            findings.extend(check_lazy_namespace(py_path))
+    return findings
+
+
+def main(argv=None) -> int:
+    paths = (argv if argv is not None else sys.argv[1:]) or [
+        REPO_ROOT / p for p in DEFAULT_PATHS
+    ]
+    findings = lint_paths(paths)
+    for path, line, code, message in findings:
+        print(f"{path}:{line}: {code} {message}")
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("lint_repro: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
