@@ -26,6 +26,10 @@ Modeling in Practice*:
   fault trees, reliability graphs and hierarchies with stable codes and
   fix hints, wired into every solver front door via ``diagnostics=``
   (:mod:`repro.analyze`, ``python -m repro.analyze <casestudy>``);
+* an **always-on availability-query daemon** — a zero-dependency HTTP
+  service over a registry of warm compiled evaluators with request
+  micro-batching and a result cache (:mod:`repro.serve`,
+  ``python -m repro.serve``);
 * the tutorial's **industrial case studies** — IBM BladeCenter, Cisco
   GSR 12000, Sun carrier-grade platform, Boeing-scale bounded fault
   trees, IBM SIP/WebSphere, software rejuvenation, workstations & file
@@ -85,6 +89,7 @@ _EXPORTS = {
     "SamplingCampaign": "repro.engine",
     "CampaignResult": "repro.engine",
     "run_campaign": "repro.engine",
+    "canonical_point_key": "repro.engine",
     # static model diagnostics (repro.analyze)
     "analyze": "repro.analyze",
     "AnalysisReport": "repro.analyze",
@@ -95,6 +100,15 @@ _EXPORTS = {
     "supports_compilation": "repro.compile",
     "CompiledCTMC": "repro.compile",
     "CompiledStructureFunction": "repro.compile",
+    # availability-query daemon (repro.serve)
+    "ServeApp": "repro.serve",
+    "ServeServer": "repro.serve",
+    "create_server": "repro.serve",
+    "ModelRegistry": "repro.serve",
+    "RegisteredModel": "repro.serve",
+    "default_registry": "repro.serve",
+    "MicroBatcher": "repro.serve",
+    "ResultCache": "repro.serve",
     # observability (repro.obs)
     "trace": "repro.obs",
     "Tracer": "repro.obs",
@@ -102,6 +116,7 @@ _EXPORTS = {
     "Span": "repro.obs",
     "get_tracer": "repro.obs",
     "MetricsRegistry": "repro.obs",
+    "ThreadSafeMetricsRegistry": "repro.obs",
     "Observation": "repro.obs",
     "format_trace": "repro.obs",
     "to_prometheus": "repro.obs",
@@ -206,6 +221,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         SerialExecutor,
         SwingCampaign,
         ThreadExecutor,
+        canonical_point_key,
         evaluate_batch,
         run_campaign,
     )
@@ -251,11 +267,22 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         NullTracer,
         Observation,
         Span,
+        ThreadSafeMetricsRegistry,
         Tracer,
         format_trace,
         get_tracer,
         to_prometheus,
         trace,
+    )
+    from .serve import (
+        MicroBatcher,
+        ModelRegistry,
+        RegisteredModel,
+        ResultCache,
+        ServeApp,
+        ServeServer,
+        create_server,
+        default_registry,
     )
     from .petrinet.net import PetriNet
     from .petrinet.srn import SRNDependabilityModel, StochasticRewardNet

@@ -19,14 +19,21 @@ reproducible.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import math
+from typing import List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..exceptions import ModelDefinitionError
 from ..nonstate.bounds import FaultTreeBounds
 from ..nonstate.faulttree import AndGate, BasicEvent, FaultTree, KofNGate, OrGate
 
-__all__ = ["generate_boeing_style_tree", "bounds_convergence_table"]
+__all__ = [
+    "generate_boeing_style_tree",
+    "bounds_convergence_table",
+    "resolve_parameters",
+    "evaluate_availability",
+]
 
 #: Genuine lint findings (``python -m repro.analyze boeing``): the shared
 #: ground-strap events repeat across sections *by design* — defeating
@@ -92,3 +99,65 @@ def bounds_convergence_table(
         lower, upper = analysis.bonferroni(depth)
         rows.append((depth, lower, upper, exact))
     return rows
+
+
+#: Generator knobs the point-evaluator wrapper accepts (and their
+#: defaults); these are the :func:`generate_boeing_style_tree` keyword
+#: arguments — there is no dataclass because the "model" is a generator.
+PARAMETER_DEFAULTS = {
+    "n_sections": 8,
+    "events_per_section": 6,
+    "shared_events": 4,
+    "event_probability": 1.0e-3,
+    "shared_probability": 5.0e-4,
+    "seed": 2016,
+}
+
+#: integer-valued generator knobs (counts / seed, not probabilities)
+_INT_FIELDS = ("n_sections", "events_per_section", "shared_events", "seed")
+
+
+def resolve_parameters(assignment: Mapping[str, float]) -> dict:
+    """Validate a (partial) assignment and merge it over the defaults.
+
+    Values must be finite and non-negative; the count fields (and the
+    ``seed``) must additionally be whole numbers.  Unknown names raise a
+    :class:`~repro.exceptions.ModelDefinitionError` listing the valid
+    field names — the same contract as the BladeCenter evaluator.
+
+    Returns the full keyword dict for :func:`generate_boeing_style_tree`.
+    """
+    merged = dict(PARAMETER_DEFAULTS)
+    for name, value in assignment.items():
+        if name not in PARAMETER_DEFAULTS:
+            raise ModelDefinitionError(
+                f"unknown Boeing parameter(s) {[name]};"
+                f" valid names: {sorted(PARAMETER_DEFAULTS)}"
+            )
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ModelDefinitionError(
+                f"Boeing parameter {name!r} must be finite and non-negative, got {value}"
+            )
+        if name in _INT_FIELDS:
+            if value != int(value):
+                raise ModelDefinitionError(
+                    f"Boeing parameter {name!r} must be a whole number, got {value}"
+                )
+            merged[name] = int(value)
+        else:
+            merged[name] = value
+    return merged
+
+
+def evaluate_availability(assignment: Mapping[str, float]) -> float:
+    """Probability the top event does *not* occur, for a sweep point.
+
+    Keys are the :func:`generate_boeing_style_tree` knobs; unassigned
+    knobs keep the published defaults.  The generator is deterministic
+    given the ``seed``, so this is a pure function of the assignment —
+    module-level and picklable, the engine / serving-registry evaluator
+    for the E05 case study.
+    """
+    tree = generate_boeing_style_tree(**resolve_parameters(assignment))
+    return float(1.0 - tree.top_event_probability())

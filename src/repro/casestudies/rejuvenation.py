@@ -17,12 +17,12 @@ sufficiently more expensive than rejuvenation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
-
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..distributions import Deterministic
+from ..exceptions import ModelDefinitionError
 from ..markov.mrgp import MarkovRegenerativeProcess
 
 __all__ = [
@@ -31,7 +31,13 @@ __all__ = [
     "downtime_fraction",
     "interval_sweep",
     "optimal_interval",
+    "resolve_parameters",
+    "evaluate_availability",
 ]
+
+#: Default rejuvenation timer (hours) for the point-evaluator wrapper —
+#: one aging time constant, a sensible operating point on the E12 curve.
+DEFAULT_INTERVAL = 240.0
 
 
 @dataclass
@@ -140,3 +146,56 @@ def optimal_interval(
     rows = interval_sweep(intervals, params, repair_cost, rejuvenation_cost)
     best = min(rows, key=lambda row: row[3])
     return best[0], best[3]
+
+
+def resolve_parameters(
+    assignment: Mapping[str, float],
+) -> Tuple[float, RejuvenationParameters]:
+    """Validate a (partial) assignment and merge it over the defaults.
+
+    Besides the :class:`RejuvenationParameters` fields, the assignment
+    may carry an ``interval`` key (the deterministic rejuvenation timer,
+    hours; default :data:`DEFAULT_INTERVAL`, must be positive).  Values
+    must be finite and non-negative.  Unknown names raise a
+    :class:`~repro.exceptions.ModelDefinitionError` listing the valid
+    field names — the same contract as the BladeCenter evaluator.
+
+    Returns ``(interval, params)``.
+    """
+    merged = {}
+    interval = DEFAULT_INTERVAL
+    for name, value in assignment.items():
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ModelDefinitionError(
+                f"rejuvenation parameter {name!r} must be finite and non-negative,"
+                f" got {value}"
+            )
+        if name == "interval":
+            if value <= 0.0:
+                raise ModelDefinitionError(
+                    f"rejuvenation 'interval' must be positive, got {value}"
+                )
+            interval = value
+        else:
+            merged[name] = value
+    try:
+        return interval, replace(RejuvenationParameters(), **merged)
+    except TypeError:
+        known = {f for f in RejuvenationParameters.__dataclass_fields__} | {"interval"}
+        unknown = sorted(set(assignment) - known)
+        raise ModelDefinitionError(
+            f"unknown rejuvenation parameter(s) {unknown}; valid names: {sorted(known)}"
+        ) from None
+
+
+def evaluate_availability(assignment: Mapping[str, float]) -> float:
+    """Steady-state availability under the rejuvenation timer.
+
+    Keys are :class:`RejuvenationParameters` field names plus
+    ``interval`` (timer length, hours); unassigned fields keep the
+    published defaults.  Module-level and picklable — the engine /
+    serving-registry evaluator for the E12 case study.
+    """
+    interval, params = resolve_parameters(assignment)
+    return float(downtime_fraction(interval, params)["availability"])

@@ -25,10 +25,12 @@ paper's conclusion that recovery tuning beats hardware upgrades.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping
 
 from ..core.hierarchy import HierarchicalModel, Submodel, export_availability
+from ..exceptions import ModelDefinitionError
 from ..markov.ctmc import CTMC, MarkovDependabilityModel
 from ..nonstate.components import Component
 from ..nonstate.rbd import KofN, ReliabilityBlockDiagram, series
@@ -40,7 +42,12 @@ __all__ = [
     "build_proxy_pair",
     "build_sip_service",
     "availability_report",
+    "resolve_parameters",
+    "evaluate_availability",
 ]
+
+#: integer-valued fields of :class:`SIPParameters` (counts, not rates)
+_INT_FIELDS = ("n_nodes", "k_required")
 
 
 @dataclass
@@ -189,3 +196,50 @@ def availability_report(params: SIPParameters = SIPParameters()) -> Dict[str, fl
         "proxies": solution.value("proxies", "availability"),
         "service": solution.value("service", "availability"),
     }
+
+
+def resolve_parameters(assignment: Mapping[str, float]) -> SIPParameters:
+    """Validate a (partial) assignment and merge it over the defaults.
+
+    Values must be finite and non-negative; the count fields
+    (``n_nodes``, ``k_required``) must additionally be whole numbers.
+    Unknown names raise a
+    :class:`~repro.exceptions.ModelDefinitionError` listing the valid
+    field names — the same contract as the BladeCenter evaluator.
+    """
+    merged = {}
+    for name, value in assignment.items():
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ModelDefinitionError(
+                f"SIP parameter {name!r} must be finite and non-negative, got {value}"
+            )
+        if name in _INT_FIELDS:
+            if value != int(value):
+                raise ModelDefinitionError(
+                    f"SIP parameter {name!r} must be a whole number, got {value}"
+                )
+            merged[name] = int(value)
+        else:
+            merged[name] = value
+    try:
+        return replace(SIPParameters(), **merged)
+    except TypeError:
+        known = {f for f in SIPParameters.__dataclass_fields__}
+        unknown = sorted(set(assignment) - known)
+        raise ModelDefinitionError(
+            f"unknown SIP parameter(s) {unknown}; valid names: {sorted(known)}"
+        ) from None
+
+
+def evaluate_availability(assignment: Mapping[str, float]) -> float:
+    """Top-level SIP service availability for a sweep point.
+
+    Keys are :class:`SIPParameters` field names; unassigned fields keep
+    the published defaults.  Builds and solves the full hierarchy per
+    call — module-level and picklable, the engine / serving-registry
+    evaluator for the E21 case study.
+    """
+    params = resolve_parameters(assignment)
+    solution = build_sip_service(params).solve()
+    return float(solution.value("service", "availability"))

@@ -25,13 +25,22 @@ The model: a duplex call processor with imperfect coverage.  States:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Tuple
 
+from ..exceptions import ModelDefinitionError
 from ..markov.ctmc import CTMC
 from ..markov.mrm import MarkovRewardModel
 
-__all__ = ["TelecomParameters", "build_switch", "call_loss_dpm", "dpm_table"]
+__all__ = [
+    "TelecomParameters",
+    "build_switch",
+    "call_loss_dpm",
+    "dpm_table",
+    "resolve_parameters",
+    "evaluate_availability",
+]
 
 #: Genuine lint findings (``python -m repro.analyze telecom``): hardware
 #: failure rates (~1e-6/h) race call-level recovery (~600/h) in one chain
@@ -147,3 +156,40 @@ def dpm_table(
             )
         )
     return rows
+
+
+def resolve_parameters(assignment: Mapping[str, float]) -> TelecomParameters:
+    """Validate a (partial) assignment and merge it over the defaults.
+
+    Values must be finite and non-negative.  Unknown names raise a
+    :class:`~repro.exceptions.ModelDefinitionError` listing the valid
+    field names — the same contract as the BladeCenter evaluator.
+    """
+    merged = {}
+    for name, value in assignment.items():
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ModelDefinitionError(
+                f"telecom parameter {name!r} must be finite and non-negative, got {value}"
+            )
+        merged[name] = value
+    try:
+        return replace(TelecomParameters(), **merged)
+    except TypeError:
+        known = {f for f in TelecomParameters.__dataclass_fields__}
+        unknown = sorted(set(assignment) - known)
+        raise ModelDefinitionError(
+            f"unknown telecom parameter(s) {unknown}; valid names: {sorted(known)}"
+        ) from None
+
+
+def evaluate_availability(assignment: Mapping[str, float]) -> float:
+    """Switch availability (the naive measure) for a sweep point.
+
+    Keys are :class:`TelecomParameters` field names; unassigned fields
+    keep the published defaults.  Module-level and picklable — the
+    engine / serving-registry evaluator for the telecom case study.  For
+    the performability measure the DPM study is really about, call
+    :func:`call_loss_dpm` directly.
+    """
+    return float(call_loss_dpm(resolve_parameters(assignment))["availability"])

@@ -16,8 +16,11 @@ fraction of the state count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
+from typing import Mapping
 
+from ..exceptions import ModelDefinitionError
 from ..markov.ctmc import CTMC, MarkovDependabilityModel
 
 __all__ = [
@@ -27,7 +30,12 @@ __all__ = [
     "hierarchical_availability",
     "monolithic_availability",
     "monolithic_state_count",
+    "resolve_parameters",
+    "evaluate_availability",
 ]
+
+#: integer-valued fields of :class:`WFSParameters` (counts, not rates)
+_INT_FIELDS = ("n_workstations", "k_required")
 
 
 @dataclass
@@ -102,3 +110,47 @@ def monolithic_availability(params: WFSParameters = WFSParameters()) -> float:
 def monolithic_state_count(params: WFSParameters) -> int:
     """Size of the product state space, ``2 (n + 1)``."""
     return 2 * (params.n_workstations + 1)
+
+
+def resolve_parameters(assignment: Mapping[str, float]) -> WFSParameters:
+    """Validate a (partial) assignment and merge it over the defaults.
+
+    Values must be finite and non-negative; the count fields
+    (``n_workstations``, ``k_required``) must additionally be whole
+    numbers.  Unknown names raise a
+    :class:`~repro.exceptions.ModelDefinitionError` listing the valid
+    field names — the same contract as the BladeCenter evaluator.
+    """
+    merged = {}
+    for name, value in assignment.items():
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ModelDefinitionError(
+                f"WFS parameter {name!r} must be finite and non-negative, got {value}"
+            )
+        if name in _INT_FIELDS:
+            if value != int(value):
+                raise ModelDefinitionError(
+                    f"WFS parameter {name!r} must be a whole number, got {value}"
+                )
+            merged[name] = int(value)
+        else:
+            merged[name] = value
+    try:
+        return replace(WFSParameters(), **merged)
+    except TypeError:
+        known = {f for f in WFSParameters.__dataclass_fields__}
+        unknown = sorted(set(assignment) - known)
+        raise ModelDefinitionError(
+            f"unknown WFS parameter(s) {unknown}; valid names: {sorted(known)}"
+        ) from None
+
+
+def evaluate_availability(assignment: Mapping[str, float]) -> float:
+    """Hierarchical service availability for a sweep point.
+
+    Keys are :class:`WFSParameters` field names; unassigned fields keep
+    the textbook defaults.  Module-level and picklable — the engine /
+    serving-registry evaluator for the WFS case study.
+    """
+    return float(hierarchical_availability(resolve_parameters(assignment)))

@@ -92,6 +92,49 @@ class CompiledEvaluator:
         """Evaluate a whole batch; default is the per-point loop."""
         raise NotImplementedError
 
+    def size(self) -> Dict[str, int]:
+        """Model-scale metadata: aggregate state/component counts.
+
+        Walks the evaluator's frozen structure and sums what it finds —
+        ``n_states`` over every embedded :class:`CompiledCTMC` (plain
+        attributes and dict values, the layouts the case-study
+        evaluators use), ``n_components`` over every
+        :class:`CompiledStructureFunction` — plus ``n_chains`` /
+        ``n_structure_functions`` counts.  This is the introspectable
+        answer to "how big is this model?" that benchmark notes used to
+        bury; the serving registry republishes it per model.
+        """
+        n_states = n_chains = n_components = n_sfs = 0
+
+        def visit(value) -> None:
+            nonlocal n_states, n_chains, n_components, n_sfs
+            if isinstance(value, CompiledCTMC):
+                n_states += value.n_states
+                n_chains += 1
+            elif isinstance(value, CompiledStructureFunction):
+                n_components += value.n_components
+                n_sfs += 1
+
+        for attr_value in vars(self).values():
+            visit(attr_value)
+            if isinstance(attr_value, dict):
+                for inner in attr_value.values():
+                    visit(inner)
+        return {
+            "n_states": n_states,
+            "n_chains": n_chains,
+            "n_components": n_components,
+            "n_structure_functions": n_sfs,
+        }
+
+    def describe(self) -> Dict[str, object]:
+        """Advertised metadata: evaluator class, parameters and size."""
+        return {
+            "evaluator": type(self).__name__,
+            "parameters": list(self.parameters),
+            "size": self.size(),
+        }
+
 
 class CompiledBladeCenter(CompiledEvaluator):
     """Compiled IBM BladeCenter hierarchy (case study E19).

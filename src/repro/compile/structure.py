@@ -90,6 +90,12 @@ class CompiledStructureFunction:
         # BDD support for fault trees (mirroring the uncompiled checks).
         self._required: Tuple[str, ...] = tuple(self.names if required is None else required)
 
+    @property
+    def n_components(self) -> int:
+        """Number of component/variable columns (the model-scale metric
+        a serving registry advertises for non-state-space structure)."""
+        return len(self.names)
+
     # -------------------------------------------------------- construction
     @classmethod
     def from_rbd(cls, rbd) -> "CompiledStructureFunction":

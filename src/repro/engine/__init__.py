@@ -21,7 +21,7 @@ designs — routes through :func:`evaluate_batch`, which composes
 """
 
 from .batch import BatchResult, evaluate_batch
-from .cache import EvaluationCache, freeze_assignment
+from .cache import EvaluationCache, canonical_point_key, freeze_assignment
 from .campaign import (
     CampaignResult,
     CampaignSpec,
@@ -48,6 +48,7 @@ __all__ = [
     "EngineOptions",
     "resolve_options",
     "EvaluationCache",
+    "canonical_point_key",
     "freeze_assignment",
     "Executor",
     "SerialExecutor",

@@ -18,19 +18,41 @@ from typing import Callable, Mapping, Optional, Tuple
 
 from ..exceptions import ModelDefinitionError
 
-__all__ = ["EvaluationCache", "freeze_assignment"]
+__all__ = ["EvaluationCache", "canonical_point_key", "freeze_assignment"]
 
 Key = Tuple[Tuple[str, float], ...]
 
 
-def freeze_assignment(assignment: Mapping[str, float]) -> Key:
-    """Canonical hashable key for a parameter assignment.
+def canonical_point_key(assignment: Mapping[str, float]) -> Key:
+    """Canonical hashable key for a parameter point.
 
     Name-sorted tuple of ``(name, float(value))`` pairs — insertion
     order of the mapping does not matter, so ``{"a": 1, "b": 2}`` and
-    ``{"b": 2, "a": 1}`` share a cache entry.
+    ``{"b": 2, "a": 1}`` share a cache entry.  Values are normalized
+    through ``float()`` (ints, bools and numpy scalars collapse onto
+    the equal float) and ``-0.0`` is canonicalized to ``0.0``, so every
+    representation of the same mathematical point maps to the same key.
+
+    This is the *single* key function for memoized parameter points:
+    :class:`EvaluationCache` uses it (via its :func:`freeze_assignment`
+    alias), and so does the :class:`repro.serve.ResultCache` — one
+    definition, so the two can never drift.
+
+    Examples
+    --------
+    >>> canonical_point_key({"b": 2, "a": 1}) == canonical_point_key({"a": 1.0, "b": 2.0})
+    True
+    >>> canonical_point_key({"x": -0.0}) == canonical_point_key({"x": 0.0})
+    True
     """
-    return tuple(sorted((str(k), float(v)) for k, v in assignment.items()))
+    return tuple(sorted((str(k), float(v) + 0.0) for k, v in assignment.items()))
+
+
+#: The engine cache's historical key-function name.  Deliberately a
+#: module-level alias of :func:`canonical_point_key` (not a wrapper), so
+#: the ``EvaluationCache`` keys and any other consumer of the canonical
+#: helper are bit-identical by construction.
+freeze_assignment = canonical_point_key
 
 
 class EvaluationCache:

@@ -40,6 +40,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     NullMetrics,
+    ThreadSafeMetricsRegistry,
 )
 from .observation import Observation
 from .trace import (
@@ -69,6 +70,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ThreadSafeMetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
     "DEFAULT_BUCKETS",

@@ -19,6 +19,7 @@ never needs an ``if metrics is not None`` guard.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ThreadSafeMetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
     "DEFAULT_BUCKETS",
@@ -256,6 +258,66 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MetricsRegistry({len(self._instruments)} instruments)"
+
+
+class _LockedCounter(Counter):
+    __slots__ = ("_lock",)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            super().inc(amount)
+
+
+class _LockedGauge(Gauge):
+    __slots__ = ("_lock",)
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            super().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            super().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            super().dec(amount)
+
+
+class _LockedHistogram(Histogram):
+    __slots__ = ("_lock",)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            super().observe(value)
+
+
+_LOCKED_CLASSES = {Counter: _LockedCounter, Gauge: _LockedGauge, Histogram: _LockedHistogram}
+
+
+class ThreadSafeMetricsRegistry(MetricsRegistry):
+    """A :class:`MetricsRegistry` safe to mutate from many threads.
+
+    The plain registry is single-writer by design (the engine's pool
+    backends record worker metrics privately and merge in the calling
+    thread).  A long-running server mutates counters from every request
+    thread concurrently, so this variant serializes instrument creation
+    *and* every update behind one lock — ``value += amount`` is a
+    read-modify-write, not an atomic op, even under the GIL.  The
+    exporters (:meth:`to_dict`, :func:`~repro.obs.export.to_prometheus`)
+    work unchanged because the instruments are plain subclasses.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def _get(self, kind: str, cls, name: str, labels: Mapping[str, Any], **kwargs):
+        with self._lock:
+            instrument = super()._get(kind, _LOCKED_CLASSES[cls], name, labels, **kwargs)
+            if getattr(instrument, "_lock", None) is None:
+                instrument._lock = self._lock
+            return instrument
 
 
 class NullMetrics:

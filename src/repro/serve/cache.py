@@ -1,0 +1,106 @@
+"""The daemon's result cache: per-model LRU memo of served points.
+
+A thin aggregation of :class:`~repro.engine.EvaluationCache` instances,
+one per model name, keyed on the engine's
+:func:`~repro.engine.canonical_point_key` — the *same* function the
+batch engine memoizes with, so a point served over HTTP and a point
+swept through :func:`~repro.engine.evaluate_batch` share one notion of
+identity.  The cache inherits the engine cache's semantics wholesale:
+LRU eviction past ``maxsize``, lifetime hit/miss counters, and —
+critically for a daemon — **failures are never cached** (a point that
+raised is retried on the next request, never replayed from memory).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..engine.cache import EvaluationCache, canonical_point_key
+from ..exceptions import ModelDefinitionError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Per-model LRU result memo for the serve layer.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry bound *per model*; ``0`` disables caching entirely
+        (every lookup misses without counting, every store is dropped).
+
+    Examples
+    --------
+    >>> cache = ResultCache(maxsize=8)
+    >>> cache.get("m", {"x": 1.0})
+    (False, nan)
+    >>> cache.put("m", {"x": 1.0}, 0.5)
+    >>> cache.get("m", {"b": 0, "x": 1})   # different point, same model
+    (False, nan)
+    >>> cache.get("m", {"x": 1})           # canonical: int 1 == float 1.0
+    (True, 0.5)
+    >>> cache.stats()["hits"], cache.stats()["misses"]
+    (1, 2)
+    """
+
+    def __init__(self, maxsize: Optional[int] = 1024):
+        if maxsize is not None and maxsize < 0:
+            raise ModelDefinitionError(f"maxsize must be >= 0 or None, got {maxsize}")
+        if maxsize == 0:
+            maxsize = None
+            self.enabled = False
+        else:
+            self.enabled = True
+        self.maxsize = maxsize
+        self._per_model: Dict[str, EvaluationCache] = {}
+
+    def _cache(self, model: str) -> EvaluationCache:
+        cache = self._per_model.get(model)
+        if cache is None:
+            cache = self._per_model[model] = EvaluationCache(maxsize=self.maxsize)
+        return cache
+
+    def get(self, model: str, assignment: Mapping[str, float]) -> Tuple[bool, float]:
+        """``(found, value)``; counts one hit or miss when enabled."""
+        if not self.enabled:
+            return False, float("nan")
+        cache = self._cache(model)
+        found, value = cache.peek(canonical_point_key(assignment))
+        if found:
+            cache.count_hits(1)
+        else:
+            cache.count_misses(1)
+        return found, value
+
+    def put(self, model: str, assignment: Mapping[str, float], value: float) -> None:
+        """Store a *successful* evaluation (callers must not cache failures)."""
+        if self.enabled:
+            self._cache(model).put(canonical_point_key(assignment), float(value))
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept, engine-cache style)."""
+        for cache in self._per_model.values():
+            cache.clear()
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-safe totals plus a per-model breakdown."""
+        per_model = {
+            name: {"entries": len(cache), "hits": cache.hits, "misses": cache.misses}
+            for name, cache in sorted(self._per_model.items())
+        }
+        return {
+            "enabled": self.enabled,
+            "maxsize": self.maxsize,
+            "entries": sum(m["entries"] for m in per_model.values()),
+            "hits": sum(m["hits"] for m in per_model.values()),
+            "misses": sum(m["misses"] for m in per_model.values()),
+            "models": per_model,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        totals = self.stats()
+        return (
+            f"ResultCache({totals['entries']} entries, "
+            f"{totals['hits']} hits / {totals['misses']} misses)"
+        )

@@ -1,0 +1,147 @@
+"""Wire formats of the serve API: parsing, validation, JSON envelopes.
+
+Kept separate from the HTTP plumbing so the contract is testable
+without a socket.  Two principles govern every byte that leaves the
+daemon:
+
+* **structured errors only** — a client never sees a bare traceback;
+  every failure is an :class:`~repro.robust.ErrorRecord` rendered as
+  JSON under a conventional ``{"error": {...}}`` envelope, with the
+  HTTP status carrying the class of failure (400 malformed, 404
+  unknown, 405 method, 422 evaluation failure, 500 internal);
+* **round-tripping floats** — values are serialized with
+  :func:`json.dumps` defaults (``repr``-based shortest round-trip), so
+  a served availability compares bit-identical to the same point from
+  a direct :func:`~repro.engine.evaluate_batch` call.
+
+The evaluate request body is either a single JSON object (one
+assignment: ``{"x": 1.0}``) or an array of objects (a client batch).
+The response mirrors the shape: ``"value"`` for a single point,
+``"values"`` for a batch — failed entries are ``null`` with a record in
+``"errors"``, the engine's NaN-placeholder convention translated to
+valid JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..robust.policy import ErrorRecord
+
+__all__ = [
+    "RequestError",
+    "parse_evaluate_request",
+    "json_body",
+    "error_body",
+    "evaluate_response",
+]
+
+#: Hard cap on points per request — a parse-time guard so one client
+#: cannot park an unbounded batch in the flush queue.
+MAX_POINTS_PER_REQUEST = 4096
+
+
+class RequestError(Exception):
+    """A client-side protocol violation: HTTP status + structured record."""
+
+    def __init__(self, status: int, error_type: str, message: str):
+        super().__init__(message)
+        self.status = int(status)
+        self.record = ErrorRecord(index=0, error_type=error_type, message=message)
+
+
+def _check_assignment(obj, index: int) -> Dict[str, float]:
+    if not isinstance(obj, dict):
+        raise RequestError(
+            400,
+            "MalformedRequest",
+            f"point {index}: expected a JSON object of parameter values, "
+            f"got {type(obj).__name__}",
+        )
+    out: Dict[str, float] = {}
+    for key, value in obj.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise RequestError(
+                400,
+                "MalformedRequest",
+                f"point {index}: parameter {key!r} must be a number, "
+                f"got {json.dumps(value)}",
+            )
+        out[str(key)] = value
+    return out
+
+
+def parse_evaluate_request(body: bytes) -> Tuple[List[Dict[str, float]], bool]:
+    """Decode a ``POST .../evaluate`` body into assignments.
+
+    Returns ``(assignments, single)`` where ``single`` records whether
+    the client sent one object (response carries ``"value"``) or an
+    array (response carries ``"values"``).  Raises :class:`RequestError`
+    (status 400) on anything that is not valid JSON of the documented
+    shape.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RequestError(400, "MalformedRequest", f"invalid JSON body: {exc}") from None
+    if isinstance(payload, dict):
+        return [_check_assignment(payload, 0)], True
+    if isinstance(payload, list):
+        if not payload:
+            raise RequestError(400, "MalformedRequest", "empty point list")
+        if len(payload) > MAX_POINTS_PER_REQUEST:
+            raise RequestError(
+                400,
+                "MalformedRequest",
+                f"{len(payload)} points exceeds the per-request cap of "
+                f"{MAX_POINTS_PER_REQUEST}",
+            )
+        return [_check_assignment(obj, i) for i, obj in enumerate(payload)], False
+    raise RequestError(
+        400,
+        "MalformedRequest",
+        "body must be a JSON object (one point) or array of objects (a batch), "
+        f"got {type(payload).__name__}",
+    )
+
+
+def json_body(payload) -> bytes:
+    """Serialize a response payload (UTF-8, strict JSON — no NaN/Inf)."""
+    return json.dumps(payload, allow_nan=False).encode("utf-8")
+
+
+def error_body(record: ErrorRecord) -> bytes:
+    """The ``{"error": {...}}`` envelope for a failure response."""
+    return json_body({"error": record.to_dict()})
+
+
+def _clean(value: float) -> Optional[float]:
+    """JSON-safe value: finite floats pass, NaN/Inf become ``null``."""
+    return value if math.isfinite(value) else None
+
+
+def evaluate_response(
+    model: str,
+    values: List[float],
+    errors: List[ErrorRecord],
+    single: bool,
+    cached: int = 0,
+    batched: bool = True,
+) -> Dict[str, object]:
+    """The success-path payload of ``POST /models/<name>/evaluate``."""
+    out: Dict[str, object] = {"model": model}
+    if single:
+        out["value"] = _clean(values[0]) if values else None
+    else:
+        out["values"] = [_clean(v) for v in values]
+    if errors:
+        out["errors"] = [e.to_dict() for e in errors]
+    out["stats"] = {
+        "n_points": len(values),
+        "n_failed": len(errors),
+        "cache_hits": cached,
+        "batched": batched,
+    }
+    return out

@@ -1,0 +1,25 @@
+"""Shared serve-test fixtures: one warm registry per test session.
+
+Building :func:`repro.serve.default_registry` compiles, analyzes and
+probes all eight case studies — a second or two of work that would
+otherwise repeat per test.  Registration is startup-time by contract
+(the registry is immutable while serving), so sharing the warmed
+entries through :meth:`~repro.serve.ModelRegistry.subset` is safe; each
+test still gets its *own* registry object.
+"""
+
+import pytest
+
+from repro.serve import default_registry
+
+
+@pytest.fixture(scope="session")
+def warm_registry():
+    """The eight case studies, compiled + analyzed + probed once."""
+    return default_registry()
+
+
+@pytest.fixture
+def registry(warm_registry):
+    """A per-test registry sharing the session's warm entries."""
+    return warm_registry.subset(warm_registry.names())

@@ -1,0 +1,232 @@
+"""End-to-end tests over a real socket: ephemeral-port daemon + http.client.
+
+The byte-identity contract from ISSUE.md is pinned here: a value served
+over HTTP must equal the direct :func:`~repro.engine.evaluate_batch`
+answer bit for bit, JSON round-trip included.
+"""
+
+import http.client
+import json
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.engine import evaluate_batch
+from repro.serve import ServeApp, create_server
+
+
+@pytest.fixture
+def server(registry):
+    app = ServeApp(registry, flush_window=0.001)
+    with create_server(app, port=0) as srv:
+        yield srv
+
+
+def request(server, method, path, body=None, conn=None):
+    own = conn is None
+    if own:
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        content_type = response.headers.get("Content-Type", "")
+        if content_type.startswith("application/json"):
+            return response.status, json.loads(raw)
+        return response.status, raw.decode()
+    finally:
+        if own:
+            conn.close()
+
+
+class TestOverTheWire:
+    def test_bladecenter_single_point_byte_identical(self, server, registry):
+        # The ISSUE.md acceptance criterion, verbatim: POST the default
+        # point and compare against a direct engine call — exactly, not
+        # approximately.
+        expected = float(
+            evaluate_batch(registry.get("bladecenter").evaluate, [{}]).outputs[0]
+        )
+        status, payload = request(
+            server, "POST", "/models/bladecenter/evaluate", body={}
+        )
+        assert status == 200
+        assert payload["value"] == expected
+
+    def test_batch_request_byte_identical(self, server, registry):
+        points = [{"cpu_failure_rate": r} for r in (1e-6, 2e-6, 4e-6)]
+        expected = evaluate_batch(registry.get("bladecenter").evaluate, points)
+        status, payload = request(
+            server, "POST", "/models/bladecenter/evaluate", body=points
+        )
+        assert status == 200
+        assert payload["values"] == [float(v) for v in expected.outputs]
+
+    def test_all_models_serve_their_defaults(self, server, registry):
+        status, listing = request(server, "GET", "/models")
+        assert status == 200
+        for row in listing["models"]:
+            name = row["name"]
+            expected = registry.get(name).evaluate({})
+            status, payload = request(
+                server, "POST", f"/models/{name}/evaluate", body={}
+            )
+            assert status == 200, name
+            assert payload["value"] == expected, name
+
+    def test_keep_alive_connection_reuse(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            for _ in range(3):
+                status, payload = request(server, "GET", "/healthz", conn=conn)
+                assert status == 200 and payload["status"] == "ok"
+        finally:
+            conn.close()
+
+    def test_concurrent_clients_coalesce_and_agree(self, server, registry):
+        serial = evaluate_batch(
+            registry.get("wfs").evaluate,
+            [{"n_workstations": float(n)} for n in range(3, 11)],
+        ).outputs
+        results = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def client(i):
+            barrier.wait()
+            _, payload = request(
+                server,
+                "POST",
+                "/models/wfs/evaluate",
+                body={"n_workstations": i + 3},
+            )
+            results[i] = payload["value"]
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [float(v) for v in serial]
+
+
+class TestWireErrors:
+    def test_malformed_json_400(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/models/wfs/evaluate", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert payload["error"]["error_type"] == "MalformedRequest"
+
+    def test_unknown_model_404(self, server):
+        status, payload = request(
+            server, "POST", "/models/atlantis/evaluate", body={}
+        )
+        assert status == 404
+        assert payload["error"]["error_type"] == "UnknownModel"
+
+    def test_method_not_allowed_405(self, server):
+        status, payload = request(server, "PUT", "/models/wfs/evaluate", body={})
+        assert status == 405
+        assert payload["error"]["error_type"] == "MethodNotAllowed"
+
+    def test_failed_single_point_422(self, server):
+        status, payload = request(
+            server, "POST", "/models/wfs/evaluate", body={"k_required": 2.5}
+        )
+        assert status == 422
+        assert payload["value"] is None
+        assert payload["errors"][0]["error_type"] == "ModelDefinitionError"
+
+
+class TestMetricsOverTheWire:
+    def test_prometheus_exposition_parses(self, server):
+        request(server, "POST", "/models/sun/evaluate", body={})
+        status, text = request(server, "GET", "/metrics")
+        assert status == 200
+        seen_types = {}
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ")
+                seen_types[name] = kind
+            elif line and not line.startswith("#"):
+                # Every sample line is "name[{labels}] value".
+                name_part, _, value = line.rpartition(" ")
+                float(value)  # parses
+                assert name_part.split("{", 1)[0].startswith("repro_")
+        assert seen_types.get("repro_serve_requests") == "counter"
+        assert seen_types.get("repro_serve_request_seconds") == "histogram"
+        assert seen_types.get("repro_serve_batch_flushes") == "counter"
+
+    def test_cache_counters_advance(self, server):
+        body = {"n_workstations": 7}
+        request(server, "POST", "/models/wfs/evaluate", body=body)
+        request(server, "POST", "/models/wfs/evaluate", body=body)
+        _, health = request(server, "GET", "/healthz")
+        assert health["cache"]["hits"] >= 1
+        assert health["cache"]["models"]["wfs"]["entries"] >= 1
+
+
+class TestGracefulShutdown:
+    def test_close_drains_inflight_requests(self, registry):
+        # A slow in-flight request must complete while close() waits
+        # for the drain, and the daemon must refuse new work afterwards.
+        app = ServeApp(registry, flush_window=0.2, max_batch=1000)
+        server = create_server(app, port=0).start()
+        outcome = {}
+
+        def slow_client():
+            conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+            try:
+                conn.request(
+                    "POST",
+                    "/models/wfs/evaluate",
+                    body=json.dumps({"n_workstations": 5}).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                outcome["status"] = response.status
+                outcome["payload"] = json.loads(response.read())
+            finally:
+                conn.close()
+
+        thread = threading.Thread(target=slow_client)
+        thread.start()
+        # Wait until the request is actually in flight (parked in the
+        # 0.2 s flush window), then shut down underneath it.
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while not app._inflight and time.monotonic() < deadline:
+            time.sleep(0.001)
+        server.close()
+        thread.join(timeout=30)
+        assert outcome["status"] == 200
+        assert outcome["payload"]["value"] is not None
+
+    def test_close_is_idempotent(self, registry):
+        server = create_server(ServeApp(registry, flush_window=0.001), port=0).start()
+        server.close()
+        server.close()
+
+
+class TestSelfcheck:
+    def test_module_selfcheck_exits_zero(self):
+        # The tools/check.sh gate, exercised exactly as CI runs it.
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.serve", "--selfcheck", "-q"],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,157 @@
+"""Registry contract: warm-up, metadata, registration-time diagnostics."""
+
+import pytest
+
+from repro.compile.model import CompiledEvaluator
+from repro.exceptions import ModelDefinitionError, ModelDiagnosticError
+from repro.markov.ctmc import CTMC
+from repro.serve import ModelRegistry, UnknownModelError, default_registry
+
+ALL_MODELS = [
+    "bladecenter",
+    "boeing",
+    "cisco",
+    "rejuvenation",
+    "sip",
+    "sun",
+    "telecom",
+    "wfs",
+]
+
+
+class TestDefaultRegistry:
+    def test_preloads_all_eight_case_studies(self, registry):
+        assert registry.names() == ALL_MODELS
+        assert len(registry) == 8
+
+    def test_compiled_studies_serve_warm_evaluators(self, registry):
+        for name in ("bladecenter", "cisco", "sun"):
+            entry = registry.get(name)
+            assert entry.compiled
+            assert isinstance(entry.evaluate, CompiledEvaluator)
+            assert entry.parameters  # advertised from the compiled form
+
+    def test_every_entry_advertises_size(self, registry):
+        for name in registry:
+            size = registry.get(name).size
+            assert size is not None, name
+            assert size["n_states"] + size["n_components"] > 0, name
+
+    def test_compiled_size_matches_evaluator_size(self, registry):
+        entry = registry.get("bladecenter")
+        assert entry.size == entry.evaluate.size()
+        assert entry.size["n_states"] > 0
+        assert entry.size["n_chains"] > 0
+
+    def test_every_entry_carries_a_diagnostics_report(self, registry):
+        for name in registry:
+            report = registry.get(name).report
+            assert report is not None, name
+            assert report.ok, name  # strict registration admitted it
+
+    def test_defaults_are_evaluable(self, registry):
+        for name in registry:
+            entry = registry.get(name)
+            assert 0.0 < entry.evaluate(entry.defaults) <= 1.0
+
+    def test_describe_rows(self, registry):
+        rows = registry.describe()
+        assert [row["name"] for row in rows] == ALL_MODELS
+        for row in rows:
+            assert "size" in row and "compiled" in row
+
+    def test_verbose_describe_includes_defaults_and_diagnostics(self, registry):
+        full = registry.get("telecom").describe(verbose=True)
+        assert full["defaults"]["coverage"] == 0.99
+        assert full["diagnostics"]["model_type"] == "CTMC"
+
+    def test_unknown_name_raises_with_known_names(self, registry):
+        with pytest.raises(UnknownModelError, match="bladecenter"):
+            registry.get("nope")
+
+    def test_subset_shares_warm_entries(self, registry):
+        subset = registry.subset(["wfs", "sun"])
+        assert subset.names() == ["sun", "wfs"]
+        assert subset.get("sun") is registry.get("sun")
+        with pytest.raises(UnknownModelError):
+            subset.get("bladecenter")
+
+
+def _defective_chain() -> CTMC:
+    """A chain whose steady state is meaningless: no repair, absorbing."""
+    chain = CTMC()
+    chain.add_transition("up", "down", 1.0e-3)
+    return chain
+
+
+class TestRegistration:
+    def test_strict_rejects_error_severity_findings(self):
+        registry = ModelRegistry()
+        with pytest.raises(ModelDiagnosticError, match="error"):
+            registry.register(
+                "broken",
+                lambda a: 0.5,
+                model=_defective_chain(),
+                query="steady_state",
+                probe=False,
+            )
+        assert "broken" not in registry
+
+    def test_warn_admits_but_warns(self):
+        registry = ModelRegistry()
+        with pytest.warns(Warning, match="serve.register"):
+            registry.register(
+                "shaky",
+                lambda a: 0.5,
+                model=_defective_chain(),
+                query="steady_state",
+                diagnostics="warn",
+                probe=False,
+            )
+        assert "shaky" in registry
+        assert not registry.get("shaky").report.ok
+
+    def test_ignore_admits_silently_but_still_stores_report(self):
+        registry = ModelRegistry()
+        registry.register(
+            "quiet",
+            lambda a: 0.5,
+            model=_defective_chain(),
+            query="steady_state",
+            diagnostics="ignore",
+            probe=False,
+        )
+        report = registry.get("quiet").report
+        assert report is not None and not report.ok
+
+    def test_probe_failure_rejects_registration(self):
+        registry = ModelRegistry()
+
+        def explodes(assignment):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            registry.register("bad", explodes)
+        assert "bad" not in registry
+
+    def test_opaque_callable_without_model_has_no_report(self):
+        registry = ModelRegistry()
+        entry = registry.register("opaque", lambda a: 0.75)
+        assert entry.report is None
+        assert not entry.compiled
+        assert entry.size is None
+
+    def test_duplicate_name_rejected(self, registry):
+        with pytest.raises(ModelDefinitionError, match="already registered"):
+            registry.register("wfs", lambda a: 1.0, probe=False)
+
+    def test_path_hostile_names_rejected(self):
+        registry = ModelRegistry()
+        for name in ("", "a/b"):
+            with pytest.raises(ModelDefinitionError, match="path segment"):
+                registry.register(name, lambda a: 1.0, probe=False)
+
+    def test_invalid_diagnostics_mode_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(ModelDefinitionError, match="diagnostics"):
+            registry.register("x", lambda a: 1.0, diagnostics="loud", probe=False)

@@ -51,6 +51,7 @@ import repro.nonstate.relgraph
 import repro.petrinet.net
 import repro.petrinet.srn
 import repro.petrinet.templates
+import repro.serve.cache
 import repro.srgm.fitting
 import repro.srgm.models
 
@@ -98,6 +99,7 @@ MODULES = [
     repro.petrinet.net,
     repro.petrinet.srn,
     repro.petrinet.templates,
+    repro.serve.cache,
     repro.srgm.fitting,
     repro.srgm.models,
 ]

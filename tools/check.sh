@@ -35,6 +35,9 @@ python tools/lint_repro.py || status=1
 echo "== analyze (case studies) =="
 python -m repro.analyze || status=1
 
+echo "== serve (selfcheck) =="
+python -m repro.serve --selfcheck -q || status=1
+
 if [ "${1:-}" != "--no-tests" ]; then
     echo "== pytest =="
     python -m pytest -q || status=1

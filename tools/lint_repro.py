@@ -26,6 +26,14 @@ absent).  Rules:
     Every string in a module's ``__all__`` must be bound at module top
     level (def / class / import / assignment).
 
+``R005 serve-swallowed-exception``
+    In the serving daemon (``src/repro/serve``) a broad handler —
+    ``except Exception`` / ``except BaseException`` / bare ``except:``
+    — must either build a structured ``ErrorRecord`` or re-raise.  The
+    daemon's contract is that no failure ever leaves as a bare
+    traceback (or vanishes silently), so a handler that swallows
+    broadly without producing a record is a bug by construction.
+
 Usage::
 
     python tools/lint_repro.py [paths...]
@@ -191,6 +199,49 @@ def check_all_names(tree: ast.Module, path: str) -> List[Finding]:
     return findings
 
 
+def check_serve_error_records(tree: ast.AST, path: str) -> List[Finding]:
+    """R005: serve-path broad except handlers must emit an ErrorRecord.
+
+    Only files under ``src/repro/serve`` are checked.  A handler
+    passes when its body references the name ``ErrorRecord`` (building
+    the structured record that becomes the wire error) or contains a
+    bare ``raise`` (propagating to a handler that does).
+    """
+    if "repro/serve" not in path.replace("\\", "/"):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            broad = True  # bare except:
+        else:
+            caught = [
+                name.id for name in ast.walk(node.type) if isinstance(name, ast.Name)
+            ]
+            broad = any(name in ("Exception", "BaseException") for name in caught)
+        if not broad:
+            continue
+        handles = False
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Name) and sub.id == "ErrorRecord":
+                    handles = True
+                if isinstance(sub, ast.Raise) and sub.exc is None:
+                    handles = True
+        if not handles:
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    "R005",
+                    "broad except in serve code must build an ErrorRecord or "
+                    "re-raise; the daemon never swallows failures bare",
+                )
+            )
+    return findings
+
+
 def check_lazy_namespace(init_path: Path) -> List[Finding]:
     """R003: ``_EXPORTS`` vs ``__all__`` vs ``TYPE_CHECKING`` imports."""
     findings: List[Finding] = []
@@ -268,6 +319,7 @@ def lint_file(py_path: Path) -> List[Finding]:
     findings = check_strategy_kwarg(tree, path)
     findings += check_mutable_defaults(tree, path)
     findings += check_all_names(tree, path)
+    findings += check_serve_error_records(tree, path)
     lines = source.splitlines()
     return [
         f
