@@ -13,7 +13,7 @@ import time
 
 import numpy as np
 
-from conftest import print_table
+from conftest import print_table, write_record
 from repro.engine import evaluate_batch
 from repro.markov.fallback import solve_steady_state
 from repro.markov.solvers import gth_solve
@@ -56,6 +56,17 @@ def test_fault_policy_overhead_under_5_percent():
         ],
     )
     np.testing.assert_array_equal(baseline_batch.outputs, policy_batch.outputs)
+    write_record(
+        "e31",
+        {
+            "evals": N_CLEAN,
+            "baseline_s": baseline_s,
+            "policy_s": policy_s,
+            "overhead_fraction": overhead,
+            "baseline_evals_per_s": N_CLEAN / baseline_s,
+            "policy_evals_per_s": N_CLEAN / policy_s,
+        },
+    )
     assert policy_batch.stats.n_failed == 0
     assert overhead < 0.05
 

@@ -15,7 +15,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import print_table
+from conftest import print_table, write_record
 from repro.engine import evaluate_batch
 from repro.markov.fallback import solve_steady_state
 from repro.obs import trace
@@ -96,6 +96,17 @@ def test_tracing_off_overhead_under_5_percent():
     )
     # Bit-identical outputs regardless of tracing.
     np.testing.assert_array_equal(off_batch.outputs, on_batch.outputs)
+    write_record(
+        "e32",
+        {
+            "evals": N_CLEAN,
+            "tracing_off_s": off_s,
+            "tracing_on_s": on_s,
+            "null_site_ns": 1e9 * site_s,
+            "smallest_solve_us": 1e6 * solve_s,
+            "projected_overhead_fraction": overhead,
+        },
+    )
     assert overhead < 0.05, f"off-path overhead {overhead:.1%} >= 5%"
 
 

@@ -9,15 +9,13 @@ formality.  The wall-clock record lands in ``BENCH_e33.json`` so the
 perf trajectory is tracked across revisions.
 """
 
-import json
 import os
-import pathlib
 import time
 
 import numpy as np
 import pytest
 
-from conftest import print_table
+from conftest import print_table, write_record
 from repro.casestudies.bladecenter import evaluate_availability
 from repro.compile import compile_model
 from repro.engine import evaluate_batch
@@ -31,9 +29,6 @@ POINTS = [
     }
     for k in range(N_POINTS)
 ]
-
-RECORD_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_e33.json"
-
 
 def test_compiled_sweep_speedup():
     """Serial 200-point BladeCenter sweep: compiled >= 5x uncompiled."""
@@ -68,17 +63,14 @@ def test_compiled_sweep_speedup():
     # Substitution is in fact bit-identical, not merely within tolerance.
     assert got.tobytes() == ref.tobytes()
 
-    RECORD_PATH.write_text(
-        json.dumps(
-            {
-                "points": N_POINTS,
-                "uncompiled_s": uncompiled_s,
-                "compiled_s": compiled_s,
-                "speedup": speedup,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_record(
+        "e33",
+        {
+            "points": N_POINTS,
+            "uncompiled_s": uncompiled_s,
+            "compiled_s": compiled_s,
+            "speedup": speedup,
+        },
     )
 
     cpus = os.cpu_count() or 1

@@ -8,13 +8,11 @@ per second over the largest CTMC the case studies build — so the cost
 of one pass is tracked across revisions in ``BENCH_e34.json``.
 """
 
-import json
-import pathlib
 import time
 
 import numpy as np
 
-from conftest import print_table
+from conftest import print_table, write_record
 from repro.analyze import analyze
 from repro.casestudies.bladecenter import evaluate_availability
 from repro.engine import evaluate_batch
@@ -28,9 +26,6 @@ POINTS = [
     }
     for k in range(N_POINTS)
 ]
-
-RECORD_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_e34.json"
-
 
 def _largest_casestudy_ctmc():
     """The biggest chain any case study builds (SIP composite model)."""
@@ -94,21 +89,18 @@ def test_diagnostics_overhead_under_2_percent():
     )
     assert overhead < 0.02, f"diagnostics overhead {overhead:.1%} >= 2%"
 
-    RECORD_PATH.write_text(
-        json.dumps(
-            {
-                "points": N_POINTS,
-                "sweep_ignore_s": off_s,
-                "sweep_warn_s": on_s,
-                "overhead_fraction": overhead,
-                "largest_ctmc": f"{case}:{label}",
-                "largest_ctmc_states": chain.n_states,
-                "lint_pass_s": per_pass,
-                "lint_passes_per_s": 1.0 / per_pass,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_record(
+        "e34",
+        {
+            "points": N_POINTS,
+            "sweep_ignore_s": off_s,
+            "sweep_warn_s": on_s,
+            "overhead_fraction": overhead,
+            "largest_ctmc": f"{case}:{label}",
+            "largest_ctmc_states": chain.n_states,
+            "lint_pass_s": per_pass,
+            "lint_passes_per_s": 1.0 / per_pass,
+        },
     )
 
 

@@ -16,19 +16,16 @@ is always written, skip or not.
 import http.client
 import json
 import os
-import pathlib
 import threading
 import time
 
 import numpy as np
 
-from conftest import print_table
+from conftest import print_table, write_record
 from repro.serve import ServeApp, create_server, default_registry
 
 N_CLIENTS = 8
 REQUESTS_PER_CLIENT = 25
-
-RECORD_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_e35.json"
 
 
 def _workload(models):
@@ -141,21 +138,18 @@ def test_serving_throughput():
     gate_ran = n_cpus >= 2
     speedup = batched["qps"] / naive["qps"]
 
-    RECORD_PATH.write_text(
-        json.dumps(
-            {
-                "clients": N_CLIENTS,
-                "requests_per_client": REQUESTS_PER_CLIENT,
-                "models": models,
-                "modes": [naive, batched, cached],
-                "batched_vs_naive_speedup": speedup,
-                "cached_vs_naive_speedup": cached["qps"] / naive["qps"],
-                "n_cpus": n_cpus,
-                "gate_ran": gate_ran,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_record(
+        "e35",
+        {
+            "clients": N_CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "models": models,
+            "modes": [naive, batched, cached],
+            "batched_vs_naive_speedup": speedup,
+            "cached_vs_naive_speedup": cached["qps"] / naive["qps"],
+            "n_cpus": n_cpus,
+            "gate_ran": gate_ran,
+        },
     )
 
     # The cache must actually have been exercised in cached mode only.

@@ -2,9 +2,14 @@
 
 Each ``bench_eXX_*.py`` file regenerates one experiment from DESIGN.md's
 index: it asserts the tutorial's qualitative claim and prints the
-table/series rows (visible with ``pytest benchmarks/ -s``).
+table/series rows (visible with ``pytest benchmarks/ -s``).  Wall-clock
+records land in ``BENCH_<name>.json`` (via :func:`write_record`) so the
+perf trajectory is tracked across revisions; writing the record must
+happen *before* any environment-dependent gate (CPU-count skips and the
+like), so a record exists for every run, gated or not.
 """
 
+import json
 import pathlib
 import sys
 
@@ -13,6 +18,18 @@ try:
     import repro  # noqa: F401
 except ImportError:  # pragma: no cover - source-checkout fallback
     sys.path.insert(0, str(_SRC))
+
+
+def write_record(name, payload):
+    """Persist one experiment's machine-readable record.
+
+    Writes ``benchmarks/BENCH_<name>.json`` (e.g. ``write_record("e33",
+    {...})``) and returns the path.  Keep the payload plain JSON — these
+    files are committed, diffed across revisions, and read by humans.
+    """
+    path = pathlib.Path(__file__).resolve().parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 
 def print_table(title, header, rows):

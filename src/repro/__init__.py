@@ -84,6 +84,7 @@ _EXPORTS = {
     "ThreadExecutor": "repro.engine",
     "ProcessExecutor": "repro.engine",
     "CampaignSpec": "repro.engine",
+    "PointsCampaign": "repro.engine",
     "GridCampaign": "repro.engine",
     "SwingCampaign": "repro.engine",
     "SamplingCampaign": "repro.engine",
@@ -109,6 +110,14 @@ _EXPORTS = {
     "default_registry": "repro.serve",
     "MicroBatcher": "repro.serve",
     "ResultCache": "repro.serve",
+    # durable campaign store (repro.store)
+    "CampaignStore": "repro.store",
+    "StoredResult": "repro.store",
+    "StoreBackedCache": "repro.store",
+    "ResumableCampaign": "repro.store",
+    "resume_campaign": "repro.store",
+    "model_name_for": "repro.store",
+    "resolve_evaluator": "repro.store",
     # observability (repro.obs)
     "trace": "repro.obs",
     "Tracer": "repro.obs",
@@ -125,6 +134,7 @@ _EXPORTS = {
     "FaultReport": "repro.robust",
     "ErrorRecord": "repro.robust",
     "FaultInjector": "repro.robust",
+    "GracefulShutdown": "repro.robust",
     # state-space (repro.markov)
     "CTMC": "repro.markov.ctmc",
     "DTMC": "repro.markov.dtmc",
@@ -215,6 +225,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         EngineStats,
         EvaluationCache,
         GridCampaign,
+        PointsCampaign,
         ProcessExecutor,
         ProgressPrinter,
         SamplingCampaign,
@@ -286,4 +297,19 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
     from .petrinet.net import PetriNet
     from .petrinet.srn import SRNDependabilityModel, StochasticRewardNet
-    from .robust import ErrorRecord, FaultInjector, FaultPolicy, FaultReport
+    from .robust import (
+        ErrorRecord,
+        FaultInjector,
+        FaultPolicy,
+        FaultReport,
+        GracefulShutdown,
+    )
+    from .store import (
+        CampaignStore,
+        ResumableCampaign,
+        StoreBackedCache,
+        StoredResult,
+        model_name_for,
+        resolve_evaluator,
+        resume_campaign,
+    )

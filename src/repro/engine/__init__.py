@@ -26,6 +26,7 @@ from .campaign import (
     CampaignResult,
     CampaignSpec,
     GridCampaign,
+    PointsCampaign,
     SamplingCampaign,
     SwingCampaign,
     run_campaign,
@@ -60,6 +61,7 @@ __all__ = [
     "EngineStats",
     "ProgressPrinter",
     "CampaignSpec",
+    "PointsCampaign",
     "GridCampaign",
     "SwingCampaign",
     "SamplingCampaign",

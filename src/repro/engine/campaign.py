@@ -21,6 +21,7 @@ Three designs cover the tutorial's workloads:
 from __future__ import annotations
 
 import itertools
+import os
 from contextlib import nullcontext
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -35,6 +36,7 @@ from .stats import EngineStats
 
 __all__ = [
     "CampaignSpec",
+    "PointsCampaign",
     "GridCampaign",
     "SwingCampaign",
     "SamplingCampaign",
@@ -57,6 +59,33 @@ class CampaignSpec:
     def run(self, evaluate, **engine_kwargs) -> "CampaignResult":
         """Shorthand for :func:`run_campaign` on this spec."""
         return run_campaign(evaluate, self, **engine_kwargs)
+
+
+class PointsCampaign(CampaignSpec):
+    """An explicit, pre-materialized list of design points.
+
+    The degenerate-but-essential design: no generation rule, just the
+    points themselves.  This is what :mod:`repro.store` reconstructs
+    when it resumes a campaign from its durable task list (the stored
+    point keys *are* the design), and what ad-hoc studies use to replay
+    an exact point set.
+
+    Examples
+    --------
+    >>> spec = PointsCampaign([{"x": 1.0}, {"x": 2.0}])
+    >>> spec.assignments()
+    [{'x': 1.0}, {'x': 2.0}]
+    """
+
+    def __init__(self, points: Sequence[Mapping[str, float]]):
+        if not points:
+            raise ModelDefinitionError("a points campaign needs at least one point")
+        self.points: List[Dict[str, float]] = [
+            {str(k): float(v) for k, v in point.items()} for point in points
+        ]
+
+    def assignments(self, rng=None):
+        return [dict(point) for point in self.points]
 
 
 class GridCampaign(CampaignSpec):
@@ -256,6 +285,8 @@ def run_campaign(
     tracer=None,
     compile=None,
     diagnostics: Optional[str] = None,
+    store=None,
+    resume: Optional[bool] = None,
 ) -> CampaignResult:
     """Materialize ``spec`` and evaluate it through the engine.
 
@@ -273,6 +304,15 @@ def run_campaign(
     one-shot :mod:`repro.analyze` pre-flight of
     :func:`~repro.engine.batch.evaluate_batch` over the campaign's
     evaluator before the sweep.
+
+    ``store`` (a :class:`~repro.store.CampaignStore` or a path string)
+    makes the campaign durable: execution routes through
+    :class:`~repro.store.ResumableCampaign`, committing each completed
+    chunk so a killed process resumes instead of restarting — with
+    ``resume=True`` (the default) stored successes are reused and
+    stored failures re-dispatched; ``resume=False`` records durably but
+    re-evaluates everything this run.  Outputs are bit-identical to the
+    in-memory path either way.
     """
     opts = resolve_options(
         options,
@@ -285,9 +325,13 @@ def run_campaign(
         tracer=tracer,
         compile=compile,
         diagnostics=diagnostics,
+        store=store,
+        resume=resume,
     )
     scope = activate_tracer(opts.tracer) if opts.tracer is not None else nullcontext()
     with scope:
+        if opts.store is not None:
+            return _run_stored_campaign(evaluate, spec, opts, rng)
         assignments = spec.assignments(rng)
         active = get_tracer()
         span = (
@@ -304,3 +348,60 @@ def run_campaign(
                 options=opts.replace(tracer=None),
             )
     return CampaignResult(spec, assignments, batch.outputs, batch.stats, batch.errors)
+
+
+def _run_stored_campaign(
+    evaluate, spec: CampaignSpec, opts: EngineOptions, rng
+) -> CampaignResult:
+    """The durable campaign path behind ``run_campaign(..., store=...)``.
+
+    Imported lazily: :mod:`repro.store` builds on the engine, so the
+    engine must not import it at module load.
+    """
+    from ..store import CampaignStore, ResumableCampaign, model_name_for
+
+    owns_store = isinstance(opts.store, (str, bytes, os.PathLike))
+    if owns_store:
+        store = CampaignStore(opts.store)
+    elif isinstance(opts.store, CampaignStore):
+        store = opts.store
+    else:
+        raise ModelDefinitionError(
+            "store= must be a path or a repro.store.CampaignStore, "
+            f"got {type(opts.store).__name__}"
+        )
+    inner = opts.replace(store=None, resume=None, tracer=None, progress=None)
+    try:
+        if opts.resume is False:
+            # record durably, but evaluate every point fresh this run
+            assignments = spec.assignments(rng)
+            batch = evaluate_batch(evaluate, assignments, options=inner)
+            errors_by_index = {err.index: err for err in batch.errors}
+            model = model_name_for(evaluate)
+            store.record_many(
+                model,
+                [
+                    (
+                        assignment,
+                        float(batch.outputs[i]),
+                        errors_by_index.get(i),
+                        0.0,
+                        getattr(errors_by_index.get(i), "attempts", 1),
+                    )
+                    for i, assignment in enumerate(assignments)
+                ],
+            )
+            return CampaignResult(
+                spec, assignments, batch.outputs, batch.stats, batch.errors
+            )
+        campaign = ResumableCampaign(
+            evaluate,
+            spec,
+            store,
+            chunk_size=opts.chunk_size if opts.chunk_size else 25,
+            options=inner.replace(chunk_size=None),
+        )
+        return campaign.run(rng)
+    finally:
+        if owns_store:
+            store.close()

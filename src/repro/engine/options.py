@@ -75,6 +75,17 @@ class EngineOptions:
         error-severity finding.  The pre-flight runs once in the parent
         process, so serial, thread and process executors behave
         identically.
+    store:
+        Optional durable :class:`~repro.store.CampaignStore` (or a path
+        string opened as one).  Campaign entry points route through
+        :class:`~repro.store.ResumableCampaign`, checkpointing each
+        completed chunk so the sweep survives process death; see
+        ``docs/DURABILITY.md``.  Non-campaign batch calls ignore it.
+    resume:
+        Only meaningful with ``store``.  ``None``/``True`` (default)
+        reuses stored successes and re-dispatches stored failures —
+        restart loses at most one in-flight chunk.  ``False`` records
+        durably but evaluates every point fresh this run.
     """
 
     n_jobs: int = 1
@@ -86,6 +97,8 @@ class EngineOptions:
     tracer: Any = None
     compile: Any = None
     diagnostics: str = "ignore"
+    store: Any = None
+    resume: Optional[bool] = None
 
     def replace(self, **changes: Any) -> "EngineOptions":
         """A copy with the given fields changed."""

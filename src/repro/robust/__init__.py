@@ -18,8 +18,12 @@ to the *toolchain*.  Three pieces:
   fault-injection harness (:class:`FaultInjector`,
   :class:`FailingCallable`) that wraps any evaluator or solver with
   programmable fault programs (raise-on-selected-calls, hash-selected
-  raise/NaN/slow/worker-crash), so every degradation path above is
-  testable and benchmarkable rather than aspirational.
+  raise/NaN/slow/worker-crash/process-kill), so every degradation path
+  above is testable and benchmarkable rather than aspirational.
+* :class:`GracefulShutdown` — the two-stage SIGTERM/SIGINT contract
+  shared by ``python -m repro.serve`` and the :mod:`repro.store`
+  campaign worker: first signal drains in-flight work and exits 0,
+  second signal force-exits.
 
 The solver-side counterpart — generator pre-checks and the
 GTH → sparse-direct → power fallback chain with a structured
@@ -29,6 +33,7 @@ GTH → sparse-direct → power fallback chain with a structured
 
 from .faultinject import FailingCallable, FaultInjector, InjectedFault
 from .policy import ErrorRecord, FaultPolicy, FaultReport
+from .shutdown import GracefulShutdown
 
 __all__ = [
     "FaultPolicy",
@@ -37,4 +42,5 @@ __all__ = [
     "FaultInjector",
     "FailingCallable",
     "InjectedFault",
+    "GracefulShutdown",
 ]

@@ -34,7 +34,7 @@ from ..exceptions import ReproError, SolverError
 
 __all__ = ["InjectedFault", "FaultInjector", "FailingCallable"]
 
-_MODES = ("raise", "nan", "slow", "crash")
+_MODES = ("raise", "nan", "slow", "crash", "kill")
 
 
 class InjectedFault(ReproError):
@@ -79,6 +79,13 @@ class FaultInjector:
           serial execution, threads, or the pool-recovery re-dispatch —
           a crash is downgraded to :class:`InjectedFault` so the harness
           never takes the caller down.
+        * ``"kill"`` — ``SIGKILL`` the **current process**, whoever it
+          is.  The end-to-end crash-recovery harness: a campaign worker
+          subprocess wraps its evaluator in a ``kill`` injector, dies
+          mid-chunk with no chance to flush or handle anything, and the
+          parent asserts the resumed campaign is bit-identical (see
+          ``python -m repro.store --selfcheck``).  Never use it in a
+          process you are not prepared to lose.
     rate / seed:
         Hash-selected fault program: an assignment faults iff its
         seeded stable hash falls below ``rate``.  The fault set is a
@@ -177,6 +184,10 @@ class FaultInjector:
                 return float("nan")
             if self.mode == "slow":
                 time.sleep(self.delay)
+            elif self.mode == "kill":
+                import signal
+
+                os.kill(os.getpid(), signal.SIGKILL)  # no cleanup, no goodbye
             elif self.mode == "crash":
                 if multiprocessing.parent_process() is not None:
                     os._exit(17)  # kill the worker; breaks the process pool

@@ -1,0 +1,131 @@
+"""Two-stage signal handling for long-running processes.
+
+Both daemons this library ships — ``python -m repro.serve`` and the
+``python -m repro.store resume`` campaign worker — want the same
+shutdown contract:
+
+* the **first** ``SIGTERM``/``SIGINT`` asks nicely: finish the work in
+  flight (the current request, the claimed chunk), flush durable state,
+  exit 0;
+* the **second** signal means *now*: ``os._exit`` immediately, because
+  an operator pressing Ctrl-C twice has already decided.
+
+:class:`GracefulShutdown` packages that contract as a context manager.
+The handler itself only flips a flag (and optionally fires a callback);
+the drain logic stays in the caller's main loop, which polls
+``shutdown.requested`` — or passes the instance directly as a
+``should_stop`` callable, which is exactly the hook
+:meth:`repro.store.ResumableCampaign.run` exposes.
+
+Examples
+--------
+>>> shutdown = GracefulShutdown(signals=())   # no handlers: plain flag
+>>> bool(shutdown)
+False
+>>> shutdown.request()
+>>> shutdown.requested, bool(shutdown), shutdown()
+(True, True, True)
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import Callable, Iterable, Optional
+
+__all__ = ["GracefulShutdown"]
+
+
+class GracefulShutdown:
+    """Trap SIGTERM/SIGINT once to drain, force-exit on the second.
+
+    Parameters
+    ----------
+    signals:
+        Signal numbers to trap (default ``SIGTERM`` and ``SIGINT``).
+        Pass ``()`` for a handler-free flag (tests, worker threads).
+    on_first:
+        Optional zero-argument callback fired from the handler on the
+        first signal — runs in signal-handler context, so it must be
+        quick and reentrant; spawning a drain thread is the usual move.
+    force_exit_code:
+        Process exit status used by the second-signal ``os._exit``.
+
+    Notes
+    -----
+    Installing is only possible from the main thread (a CPython signal
+    rule); ``install=False`` plus :meth:`request` gives worker threads
+    the same polling surface without handlers.
+    """
+
+    def __init__(
+        self,
+        signals: Optional[Iterable[int]] = None,
+        on_first: Optional[Callable[[], None]] = None,
+        force_exit_code: int = 130,
+    ):
+        self.signals = (
+            (signal.SIGTERM, signal.SIGINT) if signals is None else tuple(signals)
+        )
+        self.on_first = on_first
+        self.force_exit_code = int(force_exit_code)
+        self._event = threading.Event()
+        self._previous: dict = {}
+        self._installed = False
+
+    # ------------------------------------------------------------- state
+    @property
+    def requested(self) -> bool:
+        """True once the first signal (or :meth:`request`) arrived."""
+        return self._event.is_set()
+
+    def __bool__(self) -> bool:
+        return self.requested
+
+    def __call__(self) -> bool:
+        """The instance doubles as a ``should_stop()`` callable."""
+        return self.requested
+
+    def request(self) -> None:
+        """Programmatic first-signal: flip the flag, fire the callback."""
+        first = not self._event.is_set()
+        self._event.set()
+        if first and self.on_first is not None:
+            self.on_first()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until shutdown is requested (or the timeout elapses)."""
+        return self._event.wait(timeout)
+
+    # ----------------------------------------------------------- handler
+    def _handle(self, signum, frame) -> None:
+        if self._event.is_set():
+            os._exit(self.force_exit_code)  # second signal: no more patience
+        self.request()
+
+    def install(self) -> "GracefulShutdown":
+        """Install the handlers (idempotent; main thread only)."""
+        if not self._installed:
+            for signum in self.signals:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the previous handlers (idempotent)."""
+        if self._installed:
+            for signum, previous in self._previous.items():
+                signal.signal(signum, previous)
+            self._previous.clear()
+            self._installed = False
+
+    def __enter__(self) -> "GracefulShutdown":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "requested" if self.requested else "armed"
+        return f"GracefulShutdown({state}, installed={self._installed})"

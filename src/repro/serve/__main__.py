@@ -1,7 +1,9 @@
 """CLI entry point: ``python -m repro.serve [--port N] [--selfcheck]``.
 
 Without ``--selfcheck`` this binds the daemon and serves until
-interrupted.  With ``--selfcheck`` it instead boots a complete server
+interrupted — the first ``SIGTERM``/``SIGINT`` drains in-flight
+requests and exits 0, a second force-exits
+(:class:`~repro.robust.GracefulShutdown`).  With ``--selfcheck`` it instead boots a complete server
 on an ephemeral port, exercises every registered model over real HTTP —
 values must match direct evaluation bit-for-bit — probes the error
 paths (malformed JSON, unknown model) and the ``/metrics`` endpoint,
@@ -16,8 +18,10 @@ import argparse
 import http.client
 import json
 import sys
+import threading
 from typing import List, Optional, Tuple
 
+from ..robust.shutdown import GracefulShutdown
 from .app import ServeApp, create_server
 from .registry import default_registry
 
@@ -200,13 +204,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"repro.serve: {len(registry)} model(s) on "
             f"http://{server.host}:{server.port} (Ctrl-C to stop)"
         )
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
+
+    # Two-stage shutdown: the first SIGTERM/SIGINT drains in-flight
+    # requests and exits 0; a second signal force-exits.  server.close()
+    # calls shutdown(), which deadlocks if invoked from the thread inside
+    # serve_forever() — hence the drain thread.
+    def drain() -> None:
         if not args.quiet:
             print("repro.serve: draining and shutting down")
-    finally:
-        server.close()
+        threading.Thread(target=server.close, name="repro-serve-drain").start()
+
+    shutdown = GracefulShutdown(on_first=drain)
+    with shutdown:
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - direct ^C without handler
+            drain()
+        finally:
+            server.close()
     return 0
 
 

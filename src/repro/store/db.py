@@ -1,0 +1,240 @@
+"""The store's one and only sqlite doorway: :class:`StoreDB`.
+
+Durability is easy to get wrong with sqlite under concurrency, so the
+whole subsystem funnels every database touch through a single pattern:
+one connection, owned by one dedicated *serializer thread*, executing
+submitted closures in order.  Request threads (engine workers, the HTTP
+daemon, the CLI) never see the connection object; they submit a
+``fn(conn)`` and wait on a future.  Consequences:
+
+* **no cross-thread connection sharing** — the sqlite object graph is
+  touched by exactly one thread for its whole life;
+* **writer serialization for free** — sqlite allows one writer at a
+  time anyway; funneling writes through one thread turns lock
+  contention into an orderly queue;
+* **multi-process safety** — each process owns its own serializer +
+  connection against the same file; WAL journaling lets N processes
+  interleave readers with a single writer, with ``busy_timeout``
+  absorbing writer collisions.
+
+``tools/lint_repro.py`` rule **R006** enforces the funnel statically:
+``sqlite3.connect`` may appear in this module and nowhere else under
+``repro.store``.
+
+The schema itself also lives here (one place to read it, one place to
+migrate it): a ``meta`` key/value table carrying ``schema_version``,
+``results`` (the durable memo), ``campaigns`` + ``tasks`` (declared
+work), and ``leases`` (multi-worker chunk ownership).  See
+``docs/DURABILITY.md`` for the full data model.
+"""
+
+from __future__ import annotations
+
+import queue
+import sqlite3
+import threading
+from typing import Any, Callable, Optional
+
+from ..exceptions import ModelDefinitionError, SolverError
+
+__all__ = ["SCHEMA_VERSION", "StoreDB"]
+
+#: Bump on any incompatible schema change; ``StoreDB`` refuses files
+#: written by a different version instead of corrupting them.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    model      TEXT NOT NULL,
+    point_key  TEXT NOT NULL,
+    seed       TEXT NOT NULL DEFAULT '',
+    status     TEXT NOT NULL CHECK (status IN ('ok', 'error')),
+    value      REAL,
+    error_type TEXT,
+    message    TEXT,
+    attempts   INTEGER NOT NULL DEFAULT 1,
+    duration   REAL NOT NULL DEFAULT 0.0,
+    worker_id  TEXT,
+    created_at REAL NOT NULL,
+    PRIMARY KEY (model, point_key, seed)
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id TEXT PRIMARY KEY,
+    model       TEXT NOT NULL,
+    seed        TEXT NOT NULL DEFAULT '',
+    n_points    INTEGER NOT NULL,
+    chunk_size  INTEGER NOT NULL,
+    created_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS tasks (
+    campaign_id TEXT NOT NULL,
+    idx         INTEGER NOT NULL,
+    point_key   TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, idx)
+);
+CREATE TABLE IF NOT EXISTS leases (
+    campaign_id  TEXT NOT NULL,
+    chunk_id     INTEGER NOT NULL,
+    worker_id    TEXT,
+    lease_expiry REAL,
+    heartbeat    REAL,
+    completed    INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (campaign_id, chunk_id)
+);
+CREATE INDEX IF NOT EXISTS idx_results_model ON results (model, seed, status);
+CREATE INDEX IF NOT EXISTS idx_tasks_campaign ON tasks (campaign_id);
+"""
+
+
+class _Job:
+    """One submitted closure plus the slot its outcome lands in."""
+
+    __slots__ = ("fn", "event", "result", "error")
+
+    def __init__(self, fn: Callable[[sqlite3.Connection], Any]):
+        self.fn = fn
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+    def wait(self) -> Any:
+        self.event.wait()
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class StoreDB:
+    """A sqlite file behind a single-writer serializer thread.
+
+    Parameters
+    ----------
+    path:
+        Database file path (``":memory:"`` works for tests but is
+        obviously not durable and cannot be shared across processes).
+    timeout:
+        ``busy_timeout`` in seconds — how long a write waits out another
+        *process* holding the write lock before failing.
+
+    Examples
+    --------
+    >>> db = StoreDB(":memory:")
+    >>> db.run(lambda conn: conn.execute("SELECT 1").fetchone()[0])
+    1
+    >>> db.close()
+    """
+
+    def __init__(self, path: str, timeout: float = 30.0):
+        if timeout <= 0:
+            raise ModelDefinitionError(f"timeout must be positive, got {timeout}")
+        self.path = str(path)
+        self.timeout = float(timeout)
+        self._queue: "queue.SimpleQueue[Optional[_Job]]" = queue.SimpleQueue()
+        self._closed = threading.Event()
+        self._boot_error: Optional[BaseException] = None
+        self._booted = threading.Event()
+        self._thread = threading.Thread(
+            target=self._serve, name=f"repro-store-{self.path}", daemon=True
+        )
+        self._thread.start()
+        self._booted.wait()
+        if self._boot_error is not None:
+            raise self._boot_error
+
+    # ------------------------------------------------------- serializer
+    def _serve(self) -> None:
+        """The serializer loop: open, migrate, then drain jobs forever."""
+        try:
+            conn = self._open()
+        except BaseException as exc:  # propagate to the constructor
+            self._boot_error = exc
+            self._booted.set()
+            return
+        self._booted.set()
+        try:
+            while True:
+                job = self._queue.get()
+                if job is None:
+                    break
+                try:
+                    job.result = job.fn(conn)
+                    if conn.in_transaction:
+                        conn.commit()
+                except BaseException as exc:
+                    if conn.in_transaction:
+                        conn.rollback()
+                    job.error = exc
+                finally:
+                    job.event.set()
+        finally:
+            conn.close()
+
+    def _open(self) -> sqlite3.Connection:
+        """Open + migrate; the only ``sqlite3.connect`` in ``repro.store``."""
+        conn = sqlite3.connect(self.path)  # serializer thread only (R006 home)
+        conn.execute(f"PRAGMA busy_timeout = {int(self.timeout * 1000)}")
+        conn.execute("PRAGMA journal_mode = WAL")
+        conn.execute("PRAGMA synchronous = NORMAL")
+        conn.execute("PRAGMA foreign_keys = ON")
+        conn.executescript(_SCHEMA)
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        elif int(row[0]) != SCHEMA_VERSION:
+            conn.close()
+            raise SolverError(
+                f"store file {self.path!r} has schema version {row[0]}, this "
+                f"library writes version {SCHEMA_VERSION}; refusing to touch it"
+            )
+        conn.commit()
+        return conn
+
+    # ------------------------------------------------------------ public
+    def submit(self, fn: Callable[[sqlite3.Connection], Any]) -> _Job:
+        """Queue ``fn(conn)`` for the serializer thread; returns the job.
+
+        ``fn`` runs with the connection in autocommit-off mode; a clean
+        return commits, an exception rolls back (so a multi-statement
+        closure is one transaction — the store's chunk-checkpoint
+        atomicity comes straight from this).
+        """
+        if self._closed.is_set():
+            raise SolverError(f"store {self.path!r} is closed")
+        job = _Job(fn)
+        self._queue.put(job)
+        return job
+
+    def run(self, fn: Callable[[sqlite3.Connection], Any]) -> Any:
+        """Submit and wait: the synchronous doorway everything uses."""
+        return self.submit(fn).wait()
+
+    def close(self) -> None:
+        """Drain queued jobs, stop the serializer, close the file.  Idempotent."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._queue.put(None)
+        self._thread.join(timeout=30.0)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def __enter__(self) -> "StoreDB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else "open"
+        return f"StoreDB({self.path!r}, {state})"

@@ -1,0 +1,108 @@
+"""Stable model names for stored results.
+
+A durable store outlives the process that filled it, so rows cannot be
+keyed by a function object — they carry a *name* that a later process
+can resolve back to the evaluator.  The convention matches
+:mod:`repro.serve`'s registry: a case study is addressed by its module
+basename (``"bladecenter"``, ``"cisco"``, ``"sun"``, ...), so a store
+filled by a campaign is queryable by the same names the HTTP daemon
+serves.  Anything else falls back to a fully-qualified
+``"module:qualname"`` spec, and any callable can opt into a custom name
+with a ``__store_name__`` attribute.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from ..exceptions import SolverError
+
+__all__ = ["model_name_for", "resolve_evaluator"]
+
+_CASESTUDY_PREFIX = "repro.casestudies."
+
+
+def model_name_for(evaluate) -> str:
+    """The durable name under which ``evaluate``'s results are stored.
+
+    Resolution order: an explicit ``__store_name__`` attribute; the
+    case-study module basename for evaluators living under
+    ``repro.casestudies`` (and for their compiled forms, which resolve
+    through :mod:`repro.compile`'s registry); otherwise the
+    ``"module:qualname"`` of the callable.
+
+    Examples
+    --------
+    >>> from repro.casestudies.bladecenter import evaluate_availability
+    >>> model_name_for(evaluate_availability)
+    'bladecenter'
+    """
+    explicit = getattr(evaluate, "__store_name__", None)
+    if isinstance(explicit, str) and explicit:
+        return explicit
+    from ..compile.model import _NAMED_MODELS, CompiledEvaluator
+
+    if isinstance(evaluate, CompiledEvaluator):
+        for name, cls in _NAMED_MODELS.items():
+            if type(evaluate) is cls:
+                return name
+        evaluate = type(evaluate)
+    module = getattr(evaluate, "__module__", "") or ""
+    qualname = getattr(evaluate, "__qualname__", "") or getattr(
+        evaluate, "__name__", ""
+    )
+    if module.startswith(_CASESTUDY_PREFIX):
+        basename = module[len(_CASESTUDY_PREFIX) :].split(".", 1)[0]
+        if basename:
+            return basename
+    if not module or not qualname:
+        raise SolverError(
+            f"cannot derive a durable store name for {evaluate!r}; give it a "
+            "__store_name__ attribute or pass model= explicitly"
+        )
+    return f"{module}:{qualname}"
+
+
+def resolve_evaluator(name: str) -> Callable:
+    """Resolve a stored model name back to its evaluator callable.
+
+    The inverse of :func:`model_name_for`: a bare name loads
+    ``repro.casestudies.<name>.evaluate_availability``; a
+    ``"module:qualname"`` spec imports the module and walks the
+    qualified name.  Raises :class:`~repro.exceptions.SolverError` when
+    nothing resolves — the CLI surfaces this as "store names a model
+    this installation does not know".
+    """
+    if not isinstance(name, str) or not name:
+        raise SolverError(f"model name must be a non-empty string, got {name!r}")
+    if ":" not in name:
+        try:
+            module = importlib.import_module(_CASESTUDY_PREFIX + name)
+        except ImportError as exc:
+            raise SolverError(
+                f"unknown case-study model {name!r} (no module "
+                f"{_CASESTUDY_PREFIX + name})"
+            ) from exc
+        evaluate = getattr(module, "evaluate_availability", None)
+        if evaluate is None:
+            raise SolverError(
+                f"case-study module {module.__name__!r} has no "
+                "evaluate_availability"
+            )
+        return evaluate
+    module_name, _, qualname = name.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SolverError(f"cannot import module {module_name!r} for model {name!r}") from exc
+    target = module
+    for part in qualname.split("."):
+        target = getattr(target, part, None)
+        if target is None:
+            raise SolverError(
+                f"module {module_name!r} has no attribute path {qualname!r}"
+            )
+    if not callable(target):
+        raise SolverError(f"resolved {name!r} to non-callable {target!r}")
+    return target

@@ -1,0 +1,11 @@
+"""A tiny module-importable evaluator for crash-recovery subprocess tests.
+
+The worker subprocess resolves its evaluator from the stored model name
+(``tests.store.crash_model:evaluate``), so this must live in a real
+module, importable from the repository root.
+"""
+
+
+def evaluate(assignment):
+    x = float(assignment["x"])
+    return 1.0 / (1.0 + x * x)

@@ -1,0 +1,96 @@
+"""``python -m repro.store`` — the operational verbs, exercised in-process."""
+
+import json
+
+import pytest
+
+from repro.store import CampaignStore, ResumableCampaign
+from repro.store.__main__ import main
+from tests.store.crash_model import evaluate
+
+POINTS = [{"x": float(x)} for x in range(8)]
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    """A store file with one half-drained campaign and one stray failure."""
+    from repro.robust import ErrorRecord
+
+    path = str(tmp_path / "cli.sqlite")
+    with CampaignStore(path) as store:
+        campaign = ResumableCampaign(
+            evaluate, POINTS, store, model="tests.store.crash_model:evaluate",
+            chunk_size=2,
+        )
+        campaign.run(max_chunks=2, wait=False)
+        store.record_failure(
+            "other",
+            {"x": 99.0},
+            ErrorRecord(index=0, error_type="ValueError", message="x", attempts=1),
+        )
+    return path
+
+
+class TestStatus:
+    def test_human_output(self, store_path, capsys):
+        assert main(["status", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "schema v1" in out
+        assert "2/4 chunks" in out
+        assert "4/8 points ok" in out
+
+    def test_json_output(self, store_path, capsys):
+        assert main(["status", "--store", store_path, "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        (campaign,) = snapshot["campaigns"]
+        assert campaign["chunks_completed"] == 2
+        assert snapshot["models"]["other"]["error"] == 1
+
+    def test_missing_store_file(self, tmp_path, capsys):
+        assert main(["status", "--store", str(tmp_path / "nope.sqlite")]) == 2
+        assert "no store file" in capsys.readouterr().err
+
+
+class TestResume:
+    def test_drains_the_campaign(self, store_path, capsys):
+        assert main(["resume", "--store", store_path, "--no-wait"]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert "4 evaluated" in out  # the remaining half; stored half untouched
+        with CampaignStore(store_path) as store:
+            assert store.counts("tests.store.crash_model:evaluate")["ok"] == 8
+
+    def test_unknown_campaign(self, store_path, capsys):
+        assert main(["resume", "--store", store_path, "--campaign", "bogus"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+
+class TestRetryFailed:
+    def test_drops_failures(self, store_path, capsys):
+        assert main(["retry-failed", "--store", store_path, "--model", "other"]) == 0
+        assert "dropped 1 stored failure" in capsys.readouterr().out
+        with CampaignStore(store_path) as store:
+            assert store.counts("other") == {"ok": 0, "error": 0}
+
+
+class TestVacuumExport:
+    def test_vacuum(self, store_path, capsys):
+        assert main(["vacuum", "--store", store_path]) == 0
+        assert "bytes" in capsys.readouterr().out
+
+    def test_export(self, store_path, capsys):
+        assert main(["export", "--store", store_path, "--model", "other"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["status"] == "error"
+        assert rows[0]["value"] is None  # strict JSON: no NaN
+
+    def test_export_compact_is_one_line(self, store_path, capsys):
+        assert main(["export", "--store", store_path, "--compact"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 1
+
+
+class TestTopLevel:
+    def test_no_verb_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "resume" in capsys.readouterr().out

@@ -1,0 +1,130 @@
+"""StoreDB — the single-writer sqlite serializer."""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.exceptions import ModelDefinitionError, SolverError
+from repro.store.db import SCHEMA_VERSION, StoreDB
+
+
+class TestSerializer:
+    def test_run_executes_on_the_serializer_thread(self):
+        with StoreDB(":memory:") as db:
+            main = threading.current_thread()
+            ran_on = db.run(lambda conn: threading.current_thread())
+            assert ran_on is not main
+            assert ran_on.name.startswith("repro-store-")
+
+    def test_jobs_are_serialized_in_order(self):
+        with StoreDB(":memory:") as db:
+            db.run(lambda conn: conn.execute("CREATE TABLE t (v INTEGER)"))
+            for v in range(20):
+                db.submit(lambda conn, v=v: conn.execute("INSERT INTO t VALUES (?)", (v,)))
+            rows = db.run(
+                lambda conn: [r[0] for r in conn.execute("SELECT v FROM t ORDER BY rowid")]
+            )
+            assert rows == list(range(20))
+
+    def test_closure_is_one_transaction_rollback_on_error(self, tmp_path):
+        path = str(tmp_path / "t.sqlite")
+        with StoreDB(path) as db:
+            db.run(lambda conn: conn.execute("CREATE TABLE t (v INTEGER)"))
+
+            def half_write(conn):
+                conn.execute("INSERT INTO t VALUES (1)")
+                raise RuntimeError("mid-transaction death")
+
+            with pytest.raises(RuntimeError):
+                db.run(half_write)
+            count = db.run(lambda conn: conn.execute("SELECT COUNT(*) FROM t").fetchone()[0])
+            assert count == 0  # the partial insert rolled back
+
+    def test_exceptions_propagate_to_the_caller(self):
+        with StoreDB(":memory:") as db:
+            with pytest.raises(sqlite3.OperationalError):
+                db.run(lambda conn: conn.execute("SELECT * FROM missing_table"))
+            # the serializer survives a failed job
+            assert db.run(lambda conn: conn.execute("SELECT 1").fetchone()[0]) == 1
+
+    def test_concurrent_submitters(self):
+        with StoreDB(":memory:") as db:
+            db.run(lambda conn: conn.execute("CREATE TABLE t (v INTEGER)"))
+
+            def writer(lo):
+                for v in range(lo, lo + 25):
+                    db.run(lambda conn, v=v: conn.execute("INSERT INTO t VALUES (?)", (v,)))
+
+            threads = [threading.Thread(target=writer, args=(k * 25,)) for k in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            count = db.run(lambda conn: conn.execute("SELECT COUNT(*) FROM t").fetchone()[0])
+            assert count == 100
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_blocks_submit(self):
+        db = StoreDB(":memory:")
+        db.close()
+        db.close()
+        assert db.closed
+        with pytest.raises(SolverError, match="closed"):
+            db.run(lambda conn: None)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ModelDefinitionError, match="timeout"):
+            StoreDB(":memory:", timeout=0.0)
+
+    def test_boot_error_propagates_to_constructor(self, tmp_path):
+        target = tmp_path / "no" / "such" / "dir" / "s.sqlite"
+        with pytest.raises(sqlite3.OperationalError):
+            StoreDB(str(target))
+
+
+class TestSchema:
+    def test_schema_version_row_is_written(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        with StoreDB(path) as db:
+            row = db.run(
+                lambda conn: conn.execute(
+                    "SELECT value FROM meta WHERE key = 'schema_version'"
+                ).fetchone()
+            )
+            assert int(row[0]) == SCHEMA_VERSION
+
+    def test_refuses_foreign_schema_version(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        with StoreDB(path) as db:
+            db.run(
+                lambda conn: conn.execute(
+                    "UPDATE meta SET value = '999' WHERE key = 'schema_version'"
+                )
+            )
+        with pytest.raises(SolverError, match="schema version 999"):
+            StoreDB(path)
+
+    def test_reopen_existing_file_keeps_data(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        with StoreDB(path) as db:
+            db.run(
+                lambda conn: conn.execute(
+                    "INSERT INTO results (model, point_key, status, value, created_at) "
+                    "VALUES ('m', '[]', 'ok', 1.5, 0.0)"
+                )
+            )
+        with StoreDB(path) as db:
+            value = db.run(
+                lambda conn: conn.execute("SELECT value FROM results").fetchone()[0]
+            )
+            assert value == 1.5
+
+    def test_wal_mode_is_active_on_file_stores(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        with StoreDB(path) as db:
+            mode = db.run(
+                lambda conn: conn.execute("PRAGMA journal_mode").fetchone()[0]
+            )
+            assert mode == "wal"

@@ -1,0 +1,171 @@
+"""CampaignStore — durable result semantics and campaign bookkeeping."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelDefinitionError, SolverError
+from repro.robust import ErrorRecord
+from repro.store import (
+    CampaignStore,
+    decode_point_key,
+    encode_point_key,
+)
+
+
+@pytest.fixture()
+def store():
+    with CampaignStore(":memory:") as s:
+        yield s
+
+
+def error(message="boom", attempts=2):
+    return ErrorRecord(
+        index=0, error_type="ValueError", message=message, attempts=attempts, duration=0.25
+    )
+
+
+class TestPointKeys:
+    def test_round_trip_is_exact(self):
+        point = {"a": 0.1, "b": 1e-300, "c": 3.141592653589793, "d": -7.0}
+        key = encode_point_key(point)
+        assert decode_point_key(key) == tuple(sorted((k, float(v)) for k, v in point.items()))
+
+    def test_insertion_order_is_canonicalized(self):
+        assert encode_point_key({"b": 2, "a": 1}) == encode_point_key({"a": 1.0, "b": 2.0})
+
+    def test_accepts_frozen_keys(self):
+        key = (("a", 1.0), ("b", 2.0))
+        assert encode_point_key(key) == encode_point_key({"a": 1, "b": 2})
+
+    def test_negative_zero_collapses(self):
+        assert encode_point_key({"x": -0.0}) == encode_point_key({"x": 0.0})
+
+
+class TestResultSemantics:
+    def test_success_round_trip(self, store):
+        assert store.record_success("m", {"x": 1.0}, 0.75, worker_id="w1") is True
+        result = store.lookup("m", {"x": 1.0})
+        assert result.ok and result.value == 0.75 and result.worker_id == "w1"
+
+    def test_first_success_wins(self, store):
+        store.record_success("m", {"x": 1.0}, 0.5)
+        assert store.record_success("m", {"x": 1.0}, 0.9) is False
+        assert store.lookup("m", {"x": 1.0}).value == 0.5
+
+    def test_failure_never_clobbers_success(self, store):
+        store.record_success("m", {"x": 1.0}, 0.5)
+        assert store.record_failure("m", {"x": 1.0}, error()) is False
+        assert store.lookup("m", {"x": 1.0}).ok
+
+    def test_success_overwrites_failure(self, store):
+        store.record_failure("m", {"x": 1.0}, error())
+        assert store.record_success("m", {"x": 1.0}, 0.5) is True
+        assert store.lookup("m", {"x": 1.0}).value == 0.5
+
+    def test_failure_carries_the_error_record(self, store):
+        store.record_failure("m", {"x": 2.0}, error("kaput", attempts=3))
+        stored = store.lookup("m", {"x": 2.0})
+        assert not stored.ok
+        assert math.isnan(stored.value)
+        record = stored.to_error_record(index=7)
+        assert record.index == 7
+        assert record.error_type == "ValueError"
+        assert record.message == "kaput"
+        assert record.attempts == 3
+
+    def test_to_error_record_refuses_success(self, store):
+        store.record_success("m", {"x": 1.0}, 0.5)
+        with pytest.raises(ModelDefinitionError):
+            store.lookup("m", {"x": 1.0}).to_error_record()
+
+    def test_seed_partitions_results(self, store):
+        store.record_success("m", {"x": 1.0}, 0.1, seed="a")
+        store.record_success("m", {"x": 1.0}, 0.2, seed="b")
+        assert store.lookup("m", {"x": 1.0}, seed="a").value == 0.1
+        assert store.lookup("m", {"x": 1.0}, seed="b").value == 0.2
+        assert store.lookup("m", {"x": 1.0}) is None
+
+    def test_lookup_many(self, store):
+        points = [{"x": float(x)} for x in range(5)]
+        for p in points[:3]:
+            store.record_success("m", p, p["x"] * 2)
+        found = store.lookup_many("m", points)
+        assert len(found) == 3
+        assert found[encode_point_key(points[0])].value == 0.0
+
+    def test_record_many_counts(self, store):
+        rows = [({"x": 1.0}, 1.0, None, 0.0, 1), ({"x": 2.0}, 2.0, None, 0.0, 1)]
+        assert store.record_many("m", rows) == (2, 0)
+        assert store.record_many("m", rows) == (0, 2)  # all duplicates
+
+    def test_counts_failures_and_clear(self, store):
+        store.record_success("m", {"x": 1.0}, 1.0)
+        store.record_failure("m", {"x": 2.0}, error())
+        store.record_failure("other", {"x": 3.0}, error())
+        assert store.counts("m") == {"ok": 1, "error": 1}
+        assert store.counts() == {"ok": 1, "error": 2}
+        assert len(store.failures("m")) == 1
+        assert store.clear_failures("m") == 1
+        assert store.counts("m") == {"ok": 1, "error": 0}
+        assert store.clear_failures() == 1  # the 'other' failure
+
+    def test_export_json(self, store):
+        store.record_success("m", {"x": 1.0}, 0.5)
+        store.record_failure("m", {"x": 2.0}, error())
+        rows = store.export_json("m")
+        assert len(rows) == 2
+        by_status = {row["status"]: row for row in rows}
+        assert by_status["ok"]["point"] == {"x": 1.0}
+        assert by_status["ok"]["value"] == 0.5
+        assert by_status["error"]["error_type"] == "ValueError"
+
+
+class TestCampaigns:
+    def test_create_is_idempotent(self, store):
+        points = [{"x": float(x)} for x in range(5)]
+        n1 = store.create_campaign("c1", "m", points, chunk_size=2)
+        n2 = store.create_campaign("c1", "m", points, chunk_size=2)
+        assert n1 == n2 == 3
+        assert store.campaign_ids() == ["c1"]
+
+    def test_create_refuses_shape_change(self, store):
+        points = [{"x": float(x)} for x in range(5)]
+        store.create_campaign("c1", "m", points, chunk_size=2)
+        with pytest.raises(SolverError, match="refusing to redeclare"):
+            store.create_campaign("c1", "m", points, chunk_size=3)
+        with pytest.raises(SolverError, match="refusing to redeclare"):
+            store.create_campaign("c1", "other", points, chunk_size=2)
+
+    def test_campaign_header_and_points(self, store):
+        points = [{"x": float(x)} for x in range(3)]
+        store.create_campaign("c1", "m", points, chunk_size=2, seed="s")
+        header = store.campaign("c1")
+        assert header["model"] == "m"
+        assert header["seed"] == "s"
+        assert header["n_points"] == 3
+        keys = store.campaign_points("c1")
+        assert [dict(decode_point_key(k)) for k in keys] == points
+
+    def test_unknown_campaign_raises(self, store):
+        with pytest.raises(SolverError, match="unknown campaign"):
+            store.campaign("nope")
+        with pytest.raises(SolverError, match="unknown campaign"):
+            store.campaign_points("nope")
+
+    def test_validation(self, store):
+        with pytest.raises(ModelDefinitionError):
+            store.create_campaign("c1", "m", [], chunk_size=2)
+        with pytest.raises(ModelDefinitionError):
+            store.create_campaign("c1", "m", [{"x": 1.0}], chunk_size=0)
+
+    def test_status_snapshot(self, store):
+        points = [{"x": float(x)} for x in range(4)]
+        store.create_campaign("c1", "m", points, chunk_size=2)
+        store.record_success("m", points[0], 1.0)
+        snap = store.status()
+        assert snap["models"]["m"]["ok"] == 1
+        (campaign,) = snap["campaigns"]
+        assert campaign["chunks"] == 2
+        assert campaign["chunks_completed"] == 0
+        assert campaign["points_ok"] == 1

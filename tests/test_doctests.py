@@ -42,6 +42,9 @@ import repro.nonstate.bdd
 import repro.nonstate.ccf
 import repro.robust.faultinject
 import repro.robust.policy
+import repro.robust.shutdown
+import repro.store.cache
+import repro.store.resumable
 import repro.nonstate.faulttree
 import repro.nonstate.importance
 import repro.nonstate.modules
@@ -88,6 +91,9 @@ MODULES = [
     repro.markov.smp,
     repro.robust.faultinject,
     repro.robust.policy,
+    repro.robust.shutdown,
+    repro.store.cache,
+    repro.store.resumable,
     repro.nonstate.bdd,
     repro.nonstate.ccf,
     repro.nonstate.faulttree,

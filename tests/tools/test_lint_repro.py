@@ -212,3 +212,57 @@ class TestRealTree:
         assert lint_repro.main([str(bad)]) == 1
         out = capsys.readouterr().out
         assert "R002" in out and "1 finding(s)" in out
+
+
+class TestR006StoreSqlite:
+    """R006 is path-sensitive: it polices ``src/repro/store`` only."""
+
+    def lint_at(self, tmp_path, relpath, source):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return lint_repro.lint_file(path)
+
+    def test_flags_connect_call_in_store_module(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/store/helper.py",
+            """
+            import sqlite3
+            conn = sqlite3.connect("file.sqlite")
+            """,
+        )
+        assert codes(findings) == ["R006"]
+        assert "StoreDB serializer" in findings[0][3]
+
+    def test_flags_from_import_connect(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/store/other.py",
+            """
+            from sqlite3 import connect
+            """,
+        )
+        assert codes(findings) == ["R006"]
+
+    def test_db_py_is_the_permitted_home(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/store/db.py",
+            """
+            import sqlite3
+            conn = sqlite3.connect("file.sqlite")
+            """,
+        )
+        assert findings == []
+
+    def test_outside_the_store_package_is_ignored(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/engine/whatever.py",
+            """
+            import sqlite3
+            conn = sqlite3.connect("file.sqlite")
+            """,
+        )
+        assert findings == []

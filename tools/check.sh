@@ -38,6 +38,9 @@ python -m repro.analyze || status=1
 echo "== serve (selfcheck) =="
 python -m repro.serve --selfcheck -q || status=1
 
+echo "== store (selfcheck: create -> kill -> resume -> verify) =="
+python -m repro.store --selfcheck -q || status=1
+
 if [ "${1:-}" != "--no-tests" ]; then
     echo "== pytest =="
     python -m pytest -q || status=1

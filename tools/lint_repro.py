@@ -34,6 +34,13 @@ absent).  Rules:
     traceback (or vanishes silently), so a handler that swallows
     broadly without producing a record is a bug by construction.
 
+``R006 store-bare-sqlite``
+    All sqlite access in ``src/repro/store`` goes through the
+    single-writer serializer (``StoreDB`` in ``db.py``); a
+    ``sqlite3.connect`` anywhere else under the package bypasses the
+    one-connection-one-thread invariant the store's durability
+    guarantees are built on.
+
 Usage::
 
     python tools/lint_repro.py [paths...]
@@ -242,6 +249,50 @@ def check_serve_error_records(tree: ast.AST, path: str) -> List[Finding]:
     return findings
 
 
+def check_store_sqlite(tree: ast.AST, path: str) -> List[Finding]:
+    """R006: ``sqlite3.connect`` only in the store's serializer module.
+
+    Checks files under ``src/repro/store``; the single permitted home
+    is ``db.py`` (the ``StoreDB`` serializer).  Both spellings are
+    caught: ``sqlite3.connect(...)`` and ``from sqlite3 import
+    connect``.
+    """
+    normalized = path.replace("\\", "/")
+    if "repro/store" not in normalized or normalized.endswith("/db.py"):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "connect"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "sqlite3"
+        ):
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    "R006",
+                    "bare sqlite3.connect outside repro/store/db.py; all store "
+                    "database access goes through the StoreDB serializer",
+                )
+            )
+        elif isinstance(node, ast.ImportFrom) and node.module == "sqlite3" and any(
+            alias.name == "connect" for alias in node.names
+        ):
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    "R006",
+                    "importing sqlite3.connect outside repro/store/db.py; all "
+                    "store database access goes through the StoreDB serializer",
+                )
+            )
+    return findings
+
+
 def check_lazy_namespace(init_path: Path) -> List[Finding]:
     """R003: ``_EXPORTS`` vs ``__all__`` vs ``TYPE_CHECKING`` imports."""
     findings: List[Finding] = []
@@ -320,6 +371,7 @@ def lint_file(py_path: Path) -> List[Finding]:
     findings += check_mutable_defaults(tree, path)
     findings += check_all_names(tree, path)
     findings += check_serve_error_records(tree, path)
+    findings += check_store_sqlite(tree, path)
     lines = source.splitlines()
     return [
         f
