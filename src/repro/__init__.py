@@ -165,6 +165,11 @@ _EXPORTS = {
     "PetriNet": "repro.petrinet.net",
     "StochasticRewardNet": "repro.petrinet.srn",
     "SRNDependabilityModel": "repro.petrinet.srn",
+    # large state spaces (repro.sparse)
+    "SparseCTMC": "repro.sparse.ctmc",
+    "SparseReachabilityResult": "repro.sparse.reachability",
+    "build_sparse_reachability": "repro.sparse.reachability",
+    "SolverRegistry": "repro.markov.registry",
     # exceptions
     "ReproError": "repro.exceptions",
     "ModelDefinitionError": "repro.exceptions",
@@ -177,15 +182,30 @@ _EXPORTS = {
     "DiagnosticWarning": "repro.exceptions",
 }
 
-__all__ = ["__version__", *_EXPORTS]
+#: Public name → submodule exported *as a module object* (``repro.sparse``
+#: resolves to the package itself, not an attribute of it).  Module
+#: exports appear in ``__all__`` but not in the ``TYPE_CHECKING`` block —
+#: static analyzers resolve submodules natively (lint rule R003 checks
+#: both tables).
+_MODULE_EXPORTS = {
+    "sparse": "repro.sparse",
+}
+
+__all__ = ["__version__", *_EXPORTS, *_MODULE_EXPORTS]
 
 
 def __getattr__(name: str):
     """Resolve a curated export on first access (PEP 562)."""
+    import importlib
+
     module_name = _EXPORTS.get(name)
     if module_name is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    import importlib
+        target = _MODULE_EXPORTS.get(name)
+        if target is None:
+            raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+        value = importlib.import_module(target)
+        globals()[name] = value
+        return value
 
     value = getattr(importlib.import_module(module_name), name)
     globals()[name] = value  # cache: next access skips __getattr__
@@ -295,8 +315,11 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         create_server,
         default_registry,
     )
+    from .markov.registry import SolverRegistry
     from .petrinet.net import PetriNet
     from .petrinet.srn import SRNDependabilityModel, StochasticRewardNet
+    from .sparse.ctmc import SparseCTMC
+    from .sparse.reachability import SparseReachabilityResult, build_sparse_reachability
     from .robust import (
         ErrorRecord,
         FaultInjector,

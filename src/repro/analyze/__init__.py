@@ -105,6 +105,10 @@ _DISPATCH: Dict[Tuple[str, str], Tuple[str, Runner]] = {
         "markov.mrgp",
         lambda m, p, q: lint_mrgp(m, query=q),
     ),
+    ("repro.sparse.ctmc", "SparseCTMC"): (
+        "markov.generator",
+        lambda m, p, q: lint_generator(m.generator(), query=q),
+    ),
     ("repro.petrinet.net", "PetriNet"): (
         "petri.net",
         lambda m, p, q: lint_petri_net(m),

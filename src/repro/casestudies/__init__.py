@@ -12,9 +12,20 @@ regenerates:
 * :mod:`~repro.casestudies.rejuvenation` — software rejuvenation MRGP (E12)
 * :mod:`~repro.casestudies.wfs` — workstations & file server (E15)
 * :mod:`~repro.casestudies.telecom` — switching-system call-loss DPM
+* :mod:`~repro.casestudies.nfvchain` — scalable NFV service chain (E37)
 """
 
-from . import bladecenter, boeing, cisco, rejuvenation, sip, sun, telecom, wfs
+from . import (
+    bladecenter,
+    boeing,
+    cisco,
+    nfvchain,
+    rejuvenation,
+    sip,
+    sun,
+    telecom,
+    wfs,
+)
 
 __all__ = [
     "cisco",
@@ -25,4 +36,5 @@ __all__ = [
     "rejuvenation",
     "wfs",
     "telecom",
+    "nfvchain",
 ]

@@ -404,8 +404,11 @@ def supports_compilation(target) -> bool:
     from ..markov.ctmc import CTMC
     from ..nonstate.faulttree import FaultTree
     from ..nonstate.rbd import ReliabilityBlockDiagram
+    from ..sparse.ctmc import SparseCTMC
 
-    if isinstance(target, (CompiledEvaluator, CTMC, ReliabilityBlockDiagram, FaultTree)):
+    if isinstance(
+        target, (CompiledEvaluator, CTMC, SparseCTMC, ReliabilityBlockDiagram, FaultTree)
+    ):
         return True
     if isinstance(target, str):
         return target in _NAMED_MODELS
@@ -427,6 +430,10 @@ def compile_model(target):
         * a case-study name: ``"bladecenter"``, ``"cisco"``, ``"sun"``;
         * a :class:`~repro.markov.CTMC` →
           :meth:`CompiledCTMC.from_ctmc`;
+        * a :class:`~repro.sparse.SparseCTMC` — returned as-is: its CSR
+          generator is already structure-and-value frozen, so it *is*
+          its own compiled form (and carries ``__ship_once__`` for the
+          process pool);
         * a :class:`~repro.nonstate.ReliabilityBlockDiagram` or
           :class:`~repro.nonstate.FaultTree` →
           :class:`CompiledStructureFunction`.
@@ -451,6 +458,10 @@ def compile_model(target):
         return _instance(cls)
     if isinstance(target, CTMC):
         return CompiledCTMC.from_ctmc(target)
+    from ..sparse.ctmc import SparseCTMC
+
+    if isinstance(target, SparseCTMC):
+        return target
     if isinstance(target, ReliabilityBlockDiagram):
         return CompiledStructureFunction.from_rbd(target)
     if isinstance(target, FaultTree):

@@ -234,11 +234,12 @@ def _preflight_diagnostics(
 
     Runs once in the parent process, before any executor fan-out, so the
     serial, thread and process backends behave identically.  Only
-    compiled evaluators expose analyzable structure — a plain Python
-    callable is opaque and is skipped (after the mode string is
-    validated).  The first assignment stands in for the sweep: compiled
-    evaluators share one structure across all points, so the structural
-    findings are batch-wide.
+    structure-frozen evaluators — compiled evaluators and
+    :class:`~repro.sparse.SparseCTMC` instances — expose analyzable
+    structure; a plain Python callable is opaque and is skipped (after
+    the mode string is validated).  The first assignment stands in for
+    the sweep: frozen evaluators share one structure across all points,
+    so the structural findings are batch-wide.
     """
     from ..analyze import DIAGNOSTIC_MODES, run_diagnostics
 
@@ -247,8 +248,9 @@ def _preflight_diagnostics(
             f"diagnostics must be one of {DIAGNOSTIC_MODES}, got {mode!r}"
         )
     from ..compile.model import CompiledEvaluator
+    from ..sparse.ctmc import SparseCTMC
 
-    if not isinstance(evaluate, CompiledEvaluator):
+    if not isinstance(evaluate, (CompiledEvaluator, SparseCTMC)):
         return
     params = dict(assignments[0]) if assignments else None
     run_diagnostics(evaluate, mode, params=params, where="evaluate_batch")

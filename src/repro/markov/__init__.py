@@ -20,6 +20,7 @@ from .fallback import (
 from .mrgp import GeneralTransition, MarkovRegenerativeProcess
 from .mrm import MarkovRewardModel
 from .phase import PhaseType, as_phase_type, expand_two_state_availability, fit_phase_type
+from .registry import STEADY_STATE, TRANSIENT, SolverMethod, SolverRegistry
 from .sensitivity import reward_rate_derivative, steady_state_derivative
 from .smp import SemiMarkovProcess
 from .solvers import (
@@ -70,4 +71,8 @@ __all__ = [
     "SolverReport",
     "solve_steady_state",
     "resolve_method_kwarg",
+    "SolverMethod",
+    "SolverRegistry",
+    "STEADY_STATE",
+    "TRANSIENT",
 ]

@@ -217,6 +217,16 @@ class CTMC:
             "power": lambda: steady_state_power(q),
         }
         if method not in kernels:
+            from .registry import STEADY_STATE
+
+            if method in STEADY_STATE:
+                # Registry backends (gmres, bicgstab, third-party) run
+                # through the guarded fallback front door as a
+                # single-stage chain.
+                from .fallback import solve_steady_state
+
+                pi = solve_steady_state(q, method=method).pi
+                return {state: float(pi[i]) for state, i in self._index.items()}
             raise SolverError(f"unknown steady-state method {method!r}")
         tracer = get_tracer()
         with tracer.span(
@@ -295,7 +305,11 @@ class CTMC:
         elif method == "ode":
             probs = self._transient_ode(q, p0, ts, tol)
         else:
-            raise SolverError(f"unknown transient method {method!r}")
+            from .registry import TRANSIENT
+
+            if method not in TRANSIENT:
+                raise SolverError(f"unknown transient method {method!r}")
+            probs = solve_transient(q, p0, ts, method=method, tol=tol)
         if scalar:
             return {state: float(probs[0, i]) for state, i in self._index.items()}
         return probs

@@ -27,12 +27,8 @@ from scipy.sparse import csgraph
 
 from ..exceptions import ModelDefinitionError, ReproError, SolverError
 from ..obs.trace import get_tracer
-from .solvers import (
-    gth_solve,
-    steady_state_direct,
-    steady_state_power,
-    validate_generator,
-)
+from .registry import STEADY_STATE, SolverMethod
+from .solvers import validate_generator
 
 __all__ = [
     "GeneratorDiagnostics",
@@ -232,27 +228,6 @@ class SolverReport:
         )
 
 
-def _stage_gth(q: sparse.spmatrix) -> np.ndarray:
-    return gth_solve(q.toarray(), validated=True)
-
-
-def _stage_direct(q: sparse.spmatrix) -> np.ndarray:
-    return steady_state_direct(q, validated=True)
-
-
-def _stage_power(q: sparse.spmatrix) -> np.ndarray:
-    return steady_state_power(q, validated=True)
-
-
-# The chain validates the generator once up front, so every default
-# stage runs with validated=True instead of re-checking the same matrix.
-_DEFAULT_STAGES: Dict[str, Callable[[sparse.spmatrix], np.ndarray]] = {
-    "gth": _stage_gth,
-    "direct": _stage_direct,
-    "power": _stage_power,
-}
-
-
 def _relative_residual(q: sparse.csr_matrix, pi: np.ndarray, max_rate: float) -> float:
     residual = np.abs(q.transpose().tocsr() @ pi)
     return float(residual.max()) / max(1.0, max_rate)
@@ -295,6 +270,7 @@ def solve_steady_state(
     residual_tol: float = 1e-8,
     dense_limit: int = 2000,
     stiffness_threshold: float = 1e8,
+    iterative_limit: int = 50_000,
     stages: Optional[Mapping[str, Callable]] = None,
     strategy: Optional[str] = None,
     diagnostics: str = "ignore",
@@ -315,10 +291,16 @@ def solve_steady_state(
         diagnostics: GTH first for chains that are small
         (``n <= dense_limit``) or stiff
         (``stiffness_ratio >= stiffness_threshold``), sparse-direct
-        first for large well-conditioned chains; power iteration is
-        always the last resort.  ``"gth"`` / ``"direct"`` / ``"power"``
-        run a single stage (guards still applied).  Matches the
-        ``method=`` kwarg of :meth:`repro.CTMC.steady_state`.
+        first for large well-conditioned chains, and preconditioned
+        Krylov iteration (``gmres`` → ``bicgstab`` → ``power``) above
+        ``iterative_limit`` states, where factorizations stop being
+        affordable.  Any single method name registered in
+        :data:`repro.markov.registry.STEADY_STATE` — the built-ins
+        ``"gth"`` / ``"direct"`` / ``"power"`` / ``"gmres"`` /
+        ``"bicgstab"`` or a third-party backend added with
+        ``register_method`` — runs as a one-stage chain (guards still
+        applied).  Matches the ``method=`` kwarg of
+        :meth:`repro.CTMC.steady_state`.
     order:
         Explicit stage order overriding the heuristic (implies
         ``"auto"`` semantics).
@@ -327,13 +309,14 @@ def solve_steady_state(
         is finite, non-negative and normalizable with relative residual
         ``‖π Q‖∞ / max(1, max|Q|) <= residual_tol``; otherwise the next
         stage runs.
-    dense_limit / stiffness_threshold:
+    dense_limit / stiffness_threshold / iterative_limit:
         Knobs of the ``"auto"`` ordering heuristic.
     stages:
         Optional overrides ``{name: callable}`` for individual stages —
         the injection point used by the fault-injection harness
         (:class:`~repro.robust.FailingCallable`) to force and test
-        fallbacks.
+        fallbacks.  Overridden stages run exactly as given, without the
+        registered method's pre-checks.
     strategy:
         Deprecated alias of ``method`` (the pre-unification spelling).
         Accepted with a :class:`DeprecationWarning`; results are
@@ -380,21 +363,37 @@ def solve_steady_state(
             f"the recurrent class(es) separately"
         )
 
-    known = dict(_DEFAULT_STAGES)
+    known: Dict[str, Callable] = dict(STEADY_STATE.stages())
     if stages:
+        # Explicit overrides (fault injection, experiments) replace the
+        # whole stage including its pre-checks.
         known.update(stages)
     if order is not None:
-        chain = tuple(order)
+        chain = tuple(STEADY_STATE.resolve(name) if name not in known else name
+                      for name in order)
     elif method == "auto":
-        if (
+        if diagnostics.n_states > iterative_limit:
+            chain = ("gmres", "bicgstab", "power")
+        elif (
             diagnostics.n_states <= dense_limit
             or diagnostics.stiffness_ratio >= stiffness_threshold
         ):
             chain = ("gth", "direct", "power")
         else:
             chain = ("direct", "power", "gth")
-    elif method in known:
-        chain = (method,)
+        # Methods whose supports-predicate rejects this chain drop out of
+        # the auto ordering (an explicit method= still runs them).
+        chain = tuple(
+            name
+            for name in chain
+            if not (
+                isinstance(known.get(name), SolverMethod)
+                and known[name].supports is not None
+                and not known[name].supports(diagnostics)
+            )
+        )
+    elif STEADY_STATE.resolve(method) in known:
+        chain = (STEADY_STATE.resolve(method),)
     else:
         raise SolverError(
             f"unknown method {method!r}; use 'auto', one of "

@@ -333,6 +333,34 @@ def transient_ode(
     return out
 
 
+def _uniformization_overflow_fallback(
+    generator,
+    initial: np.ndarray,
+    times: np.ndarray,
+    tol: float,
+    n: int,
+    tracer,
+    truncation_point: Optional[int],
+) -> np.ndarray:
+    """Escape hatch when the uniformization series is too long to store.
+
+    Krylov ``expm_multiply`` stepping first — it handles very large
+    ``Λt`` with bounded memory and keeps near-machine accuracy — then
+    stiff ODE integration if the Krylov kernel itself fails.
+    """
+    attrs = {"method": "uniformization", "n_states": n}
+    if truncation_point is not None:
+        attrs["truncation_point"] = truncation_point
+    try:
+        from ..sparse.krylov import transient_krylov
+
+        with tracer.span("solver.transient", fallback="krylov", **attrs):
+            return transient_krylov(generator, initial, times, tol=tol)
+    except SolverError:
+        with tracer.span("solver.transient", fallback="ode", **attrs):
+            return transient_ode(generator, initial, times, tol)
+
+
 def transient_uniformization(
     generator: sparse.spmatrix,
     initial: np.ndarray,
@@ -356,9 +384,10 @@ def transient_uniformization(
         Overflow guard.  Uniformization needs ~``Λ·t_max`` matrix-vector
         products and as many stored vectors; when the truncation point
         exceeds this bound — very stiff generator, very long horizon —
-        the computation silently switches to :func:`transient_ode`,
-        whose cost does not grow with ``Λt``, instead of exhausting
-        time and memory.
+        the computation silently switches to Krylov ``expm_multiply``
+        stepping (:func:`repro.sparse.krylov.transient_krylov`, whose
+        cost does not store ``Λt`` vectors), with stiff ODE integration
+        (:func:`transient_ode`) as the final fallback.
 
     Returns
     -------
@@ -381,20 +410,14 @@ def transient_uniformization(
         k_max = _truncation_point_cached(lam * max_time, tol)
     except SolverError:
         # Truncation point unreachable (tol below float resolution for
-        # this Λt): fall through to the ODE integrator.
-        with tracer.span(
-            "solver.transient", method="uniformization", n_states=n, fallback="ode"
-        ):
-            return transient_ode(generator, initial, times, tol)
+        # this Λt): hand off to a kernel whose cost is Λt-independent.
+        return _uniformization_overflow_fallback(
+            generator, initial, times, tol, n, tracer, truncation_point=None
+        )
     if k_max > max_terms:
-        with tracer.span(
-            "solver.transient",
-            method="uniformization",
-            n_states=n,
-            truncation_point=k_max,
-            fallback="ode",
-        ):
-            return transient_ode(generator, initial, times, tol)
+        return _uniformization_overflow_fallback(
+            generator, initial, times, tol, n, tracer, truncation_point=k_max
+        )
 
     with tracer.span(
         "solver.transient",
@@ -447,14 +470,17 @@ def solve_transient(
     Parameters
     ----------
     method:
-        ``"auto"`` (default) — uniformization, which itself falls back
-        to the ODE integrator for huge ``Λt``; ``"uniformization"`` —
-        Jensen's method (the overflow guard is part of the kernel, so
-        the ODE escape hatch still applies); ``"ode"`` — stiff LSODA
-        integration of the Kolmogorov forward equations.
+        ``"auto"`` (default) — uniformization for chains up to 50 000
+        states (with its built-in Krylov/ODE escape hatch for huge
+        ``Λt``), Krylov ``expm_multiply`` stepping above; or any name
+        registered in :data:`repro.markov.registry.TRANSIENT` —
+        ``"uniformization"``, ``"ode"``, ``"krylov"`` (alias
+        ``"expm_multiply"``) or a third-party backend added with
+        ``register_method``.
     tol:
         Truncation-error bound (uniformization) or integration tolerance
-        (ODE).
+        (ODE); advisory for Krylov stepping, which controls its own
+        error to near machine precision.
     diagnostics:
         ``"ignore"`` (default), ``"warn"`` or ``"strict"`` — run the
         :mod:`repro.analyze` lint pass (transient query) before solving.
@@ -469,15 +495,19 @@ def solve_transient(
         run_diagnostics(
             generator, diagnostics, query="transient", where="solve_transient"
         )
-    if method in ("auto", "uniformization"):
-        return transient_uniformization(
-            generator, initial, times, tol=tol, max_terms=max_terms
-        )
-    if method == "ode":
-        return transient_ode(generator, initial, times, tol=tol)
-    raise ModelDefinitionError(
-        f"unknown transient method {method!r}; use 'auto', 'uniformization' or 'ode'"
-    )
+    from .registry import TRANSIENT, TRANSIENT_KRYLOV_LIMIT
+
+    if method == "auto":
+        n = generator.shape[0]
+        method = "krylov" if n > TRANSIENT_KRYLOV_LIMIT else "uniformization"
+    try:
+        kernel = TRANSIENT.get(method)
+    except SolverError:
+        raise ModelDefinitionError(
+            f"unknown transient method {method!r}; use 'auto' or one of "
+            f"{sorted(TRANSIENT.names())}"
+        ) from None
+    return kernel(generator, initial, times, tol=tol, max_terms=max_terms)
 
 
 def cumulative_uniformization(

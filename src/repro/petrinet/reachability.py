@@ -18,7 +18,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..exceptions import StateSpaceError
+from ..exceptions import ModelDefinitionError, StateSpaceError
 from ..markov.ctmc import CTMC
 from .net import Marking, PetriNet
 
@@ -153,7 +153,9 @@ def _unit(n: int, i: int) -> np.ndarray:
 def build_reachability(
     net: PetriNet,
     max_markings: int = _DEFAULT_MAX_MARKINGS,
-) -> ReachabilityResult:
+    lazy: bool = False,
+    **lazy_options,
+) -> "ReachabilityResult":
     """Generate the tangible reachability CTMC of ``net``.
 
     Parameters
@@ -164,7 +166,25 @@ def build_reachability(
         Safety cap on explored markings; exceeding it raises
         :class:`~repro.exceptions.StateSpaceError` (the state-space
         explosion the tutorial warns about, made explicit).
+    lazy:
+        ``False`` (default) builds a dict-based
+        :class:`~repro.markov.CTMC` — right for chains whose markings
+        you want as live labels.  ``True`` streams the same BFS into
+        CSR triplet buffers via
+        :func:`repro.sparse.build_sparse_reachability` and returns a
+        :class:`~repro.sparse.SparseReachabilityResult` whose ``chain``
+        is a :class:`~repro.sparse.SparseCTMC`; identical state order,
+        10^6+ marking capacity, bounded memory.  Extra keyword options
+        (``memory_limit_mb``, ``chunk``, ``up``) are forwarded.
     """
+    if lazy:
+        from ..sparse.reachability import build_sparse_reachability
+
+        return build_sparse_reachability(net, max_markings, **lazy_options)
+    if lazy_options:
+        raise ModelDefinitionError(
+            f"options {sorted(lazy_options)} require lazy=True"
+        )
     initial = net.initial_marking()
     vanishing_seen = set()
 

@@ -19,7 +19,7 @@ pays once, at startup, for everything a query should never wait on:
   evaluator that cannot even produce its nominal point fails
   registration, not the first customer request.
 
-:func:`default_registry` preloads the eight tutorial case studies.
+:func:`default_registry` preloads the nine tutorial case studies.
 """
 
 from __future__ import annotations
@@ -260,18 +260,21 @@ class ModelRegistry:
 
 
 def default_registry(diagnostics: str = "strict", probe: bool = True) -> ModelRegistry:
-    """A registry preloaded with the eight tutorial case studies.
+    """A registry preloaded with the nine tutorial case studies.
 
     The three compiled studies (BladeCenter, Cisco, Sun) serve their
     warm :class:`~repro.compile.CompiledEvaluator` singletons; the
-    remaining five serve their module-level ``evaluate_availability``
+    remaining six serve their module-level ``evaluate_availability``
     wrappers with an explicit analyzable model and honest hand-counted
-    ``size`` metadata.
+    ``size`` metadata.  The NFV chain is the scalable entry: its
+    evaluator regenerates the lazy sparse chain per parameter point, so
+    callers can dial ``n_vnfs``/``replicas`` up to 10^5+ states.
     """
     from ..casestudies import (
         bladecenter,
         boeing,
         cisco,
+        nfvchain,
         rejuvenation,
         sip,
         sun,
@@ -372,6 +375,21 @@ def default_registry(diagnostics: str = "strict", probe: bool = True) -> ModelRe
         query=None,
         size={
             "n_states": 4,
+            "n_chains": 1,
+            "n_components": 0,
+            "n_structure_functions": 0,
+        },
+    )
+    nfv_spec = nfvchain.NFVChainSpec()
+    add(
+        "nfvchain",
+        nfvchain.evaluate_availability,
+        "NFV service-chain availability, scalable lazy-sparse SRN (E37)",
+        parameters=tuple(nfvchain.NFVChainSpec.__dataclass_fields__),
+        defaults=asdict(nfv_spec),
+        model=nfvchain.build_nfv_srn(nfv_spec).chain,
+        size={
+            "n_states": nfvchain.state_count(nfv_spec),
             "n_chains": 1,
             "n_components": 0,
             "n_structure_functions": 0,

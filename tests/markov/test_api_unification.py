@@ -121,7 +121,7 @@ class TestSolverSpans:
         assert spans[0].attributes["method"] == "uniformization"
         assert spans[0].attributes["truncation_point"] >= 1
 
-    def test_transient_ode_fallback_annotated(self):
+    def test_transient_overflow_fallback_annotated(self):
         from repro.obs import trace
 
         with trace("solve") as t:
@@ -135,7 +135,7 @@ class TestSolverSpans:
         uni = [
             s
             for s in t.root.find("solver.transient")
-            if s.attributes.get("fallback") == "ode"
+            if s.attributes.get("fallback") == "krylov"
         ]
         assert len(uni) == 1
-        assert uni[0].find("solver.transient")[1].attributes["method"] == "ode"
+        assert uni[0].find("solver.transient")[1].attributes["method"] == "krylov"

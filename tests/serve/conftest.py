@@ -1,7 +1,7 @@
 """Shared serve-test fixtures: one warm registry per test session.
 
 Building :func:`repro.serve.default_registry` compiles, analyzes and
-probes all eight case studies — a second or two of work that would
+probes all nine case studies — a second or two of work that would
 otherwise repeat per test.  Registration is startup-time by contract
 (the registry is immutable while serving), so sharing the warmed
 entries through :meth:`~repro.serve.ModelRegistry.subset` is safe; each
@@ -15,7 +15,7 @@ from repro.serve import default_registry
 
 @pytest.fixture(scope="session")
 def warm_registry():
-    """The eight case studies, compiled + analyzed + probed once."""
+    """The nine case studies, compiled + analyzed + probed once."""
     return default_registry()
 
 

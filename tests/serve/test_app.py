@@ -33,7 +33,7 @@ class TestRoutes:
         status, payload = call(app, "GET", "/healthz")
         assert status == 200
         assert payload["status"] == "ok"
-        assert payload["models"] == 8
+        assert payload["models"] == 9
         assert payload["batching"] is True
         assert payload["uptime_s"] >= 0.0
 

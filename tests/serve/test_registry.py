@@ -11,6 +11,7 @@ ALL_MODELS = [
     "bladecenter",
     "boeing",
     "cisco",
+    "nfvchain",
     "rejuvenation",
     "sip",
     "sun",
@@ -20,9 +21,9 @@ ALL_MODELS = [
 
 
 class TestDefaultRegistry:
-    def test_preloads_all_eight_case_studies(self, registry):
+    def test_preloads_all_nine_case_studies(self, registry):
         assert registry.names() == ALL_MODELS
-        assert len(registry) == 8
+        assert len(registry) == 9
 
     def test_compiled_studies_serve_warm_evaluators(self, registry):
         for name in ("bladecenter", "cisco", "sun"):

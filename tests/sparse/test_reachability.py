@@ -1,0 +1,157 @@
+"""Lazy CSR reachability vs the eager dict-built path.
+
+The load-bearing contract: ``lazy=True`` replicates the eager BFS
+exactly — same state order, same triplet order, hence *bit-identical*
+CSR generators — on every SRN shape the library ships (plain timed
+nets, marking-dependent rates, immediate transitions with vanishing
+elimination, guards and inhibitors).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelDefinitionError, StateSpaceError
+from repro.petrinet import PetriNet, StochasticRewardNet
+from repro.petrinet.reachability import build_reachability
+from repro.petrinet.templates import (
+    machine_repairman,
+    queue_with_breakdowns,
+    redundant_pool_with_coverage,
+)
+from repro.sparse import SparseCTMC, build_sparse_reachability
+
+
+def mm1k(K=5, lam=2.0, mu=3.0):
+    net = PetriNet()
+    net.add_place("queue", 0)
+    net.add_timed_transition("arrive", rate=lam)
+    net.add_output_arc("arrive", "queue")
+    net.add_inhibitor_arc("arrive", "queue", K)
+    net.add_timed_transition("serve", rate=mu)
+    net.add_input_arc("serve", "queue")
+    return net
+
+
+def nfv_default():
+    from repro.casestudies.nfvchain import NFVChainSpec, build_nfv_net
+
+    return build_nfv_net(NFVChainSpec())
+
+
+#: every SRN case-study shape in the library, one net builder each
+CASE_STUDIES = {
+    "mm1k": mm1k,
+    "machine_repairman": lambda: machine_repairman(4, 0.1, 1.0, n_crews=2),
+    "coverage_pool": lambda: redundant_pool_with_coverage(3, 0.01, 0.5, 0.95, 0.2),
+    "queue_breakdowns": lambda: queue_with_breakdowns(5, 1.0, 2.0, 0.01, 0.5),
+    "nfvchain": nfv_default,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASE_STUDIES))
+class TestLazyEagerEquality:
+    def test_generator_bit_identical(self, name):
+        net = CASE_STUDIES[name]()
+        eager = build_reachability(net, 200_000)
+        lazy = build_reachability(net, 200_000, lazy=True)
+        qe = eager.chain.generator().tocsr()
+        ql = lazy.chain.generator().tocsr()
+        qe.sort_indices()
+        ql.sort_indices()
+        assert qe.shape == ql.shape
+        assert qe.indptr.tobytes() == ql.indptr.tobytes()
+        assert qe.indices.tobytes() == ql.indices.tobytes()
+        assert qe.data.tobytes() == ql.data.tobytes()
+
+    def test_state_order_and_counts_match(self, name):
+        net = CASE_STUDIES[name]()
+        eager = build_reachability(net, 200_000)
+        lazy = build_reachability(net, 200_000, lazy=True)
+        assert len(lazy.tangible) == len(eager.tangible)
+        assert lazy.n_vanishing == eager.n_vanishing
+        assert list(lazy.chain.states) == list(eager.chain.states)
+
+    def test_steady_state_measures_agree(self, name):
+        net = CASE_STUDIES[name]()
+        eager_srn = StochasticRewardNet(net)
+        lazy_srn = StochasticRewardNet(net, lazy=True)
+        pi_dict = eager_srn.steady_state()
+        pi_vec = lazy_srn.steady_state()
+        order = list(lazy_srn.chain.states)
+        np.testing.assert_allclose(
+            pi_vec, [pi_dict[m] for m in order], atol=1e-10
+        )
+
+
+class TestLazyMode:
+    def test_lazy_yields_sparse_ctmc(self):
+        result = build_reachability(mm1k(), 1000, lazy=True)
+        assert isinstance(result.chain, SparseCTMC)
+
+    def test_lazy_options_without_lazy_rejected(self):
+        with pytest.raises(ModelDefinitionError, match="lazy=True"):
+            StochasticRewardNet(mm1k(), memory_limit_mb=64.0)
+
+    def test_max_markings_guard(self):
+        with pytest.raises(StateSpaceError):
+            build_sparse_reachability(mm1k(K=50), max_markings=10)
+
+    def test_memory_guard_fires(self):
+        from repro.casestudies.nfvchain import NFVChainSpec, build_nfv_net
+
+        big = build_nfv_net(NFVChainSpec(n_vnfs=5, replicas=6))
+        with pytest.raises(StateSpaceError, match="memory"):
+            build_sparse_reachability(big, memory_limit_mb=0.05, chunk=512)
+
+    def test_up_predicate_becomes_mask(self):
+        net = machine_repairman(3, 0.1, 1.0)
+        result = build_sparse_reachability(net, up=lambda m: m["up"] >= 2)
+        chain = result.chain
+        assert chain.up_mask is not None
+        expected = [m["up"] >= 2 for m in chain.states]
+        assert chain.up_mask.tolist() == expected
+
+    def test_labels_materialize_lazily_and_index(self):
+        result = build_reachability(mm1k(K=3), 1000, lazy=True)
+        chain = result.chain
+        first = chain.states[0]
+        assert first["queue"] == 0
+        assert chain.index_of(first) == 0
+
+    def test_initial_distribution_on_interned_states(self):
+        result = build_reachability(mm1k(K=3), 1000, lazy=True)
+        p0 = result.chain.initial_vector
+        assert p0.sum() == pytest.approx(1.0)
+        assert p0[0] == pytest.approx(1.0)
+
+
+class TestLazySRNMeasures:
+    def test_expected_tokens_matches_eager(self):
+        net = mm1k()
+        eager = StochasticRewardNet(net).expected_tokens("queue")
+        lazy = StochasticRewardNet(net, lazy=True).expected_tokens("queue")
+        assert lazy == pytest.approx(eager, rel=1e-10)
+
+    def test_throughput_matches_eager(self):
+        net = queue_with_breakdowns(5, 1.0, 2.0, 0.01, 0.5)
+        eager = StochasticRewardNet(net).throughput("serve")
+        lazy = StochasticRewardNet(net, lazy=True).throughput("serve")
+        assert lazy == pytest.approx(eager, rel=1e-10)
+
+    def test_mean_time_to_matches_eager(self):
+        net = machine_repairman(3, 0.1, 1.0)
+        cond = lambda m: m["up"] == 0  # noqa: E731
+        eager = StochasticRewardNet(net).mean_time_to(cond)
+        lazy = StochasticRewardNet(net, lazy=True).mean_time_to(cond)
+        assert lazy == pytest.approx(eager, rel=1e-8)
+
+    def test_transient_reward_matches_eager(self):
+        net = mm1k()
+        ts = [0.5, 2.0]
+        eager = StochasticRewardNet(net).transient_reward_rate(
+            lambda m: float(m["queue"]), ts
+        )
+        lazy = StochasticRewardNet(net, lazy=True).transient_reward_rate(
+            lambda m: float(m["queue"]), ts
+        )
+        np.testing.assert_allclose(lazy, eager, atol=1e-9)

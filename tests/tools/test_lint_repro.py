@@ -185,9 +185,53 @@ class TestR003LazyNamespace:
         )
         messages = [m for _p, _l, _c, m in lint_repro.check_lazy_namespace(path)]
         assert any("'DTMC' missing from __all__" in m for m in messages)
-        assert any("'Ghost' with no _EXPORTS entry" in m for m in messages)
+        assert any("'Ghost' with no export entry" in m for m in messages)
         assert any("'DTMC' missing from the TYPE_CHECKING" in m for m in messages)
-        assert any("'SMP' which has no _EXPORTS entry" in m for m in messages)
+        assert any("'SMP' which has no export entry" in m for m in messages)
+
+    def test_module_exports_counted_and_exempt_from_type_checking(self, tmp_path):
+        path = self._init(
+            tmp_path,
+            """
+            from typing import TYPE_CHECKING
+            _EXPORTS = {"CTMC": "repro.markov"}
+            _MODULE_EXPORTS = {"sparse": "repro.sparse"}
+            if TYPE_CHECKING:
+                from .markov import CTMC
+            __all__ = ["CTMC", "sparse", "__version__"]
+            """,
+        )
+        assert lint_repro.check_lazy_namespace(path) == []
+
+    def test_module_export_missing_from_all_is_flagged(self, tmp_path):
+        path = self._init(
+            tmp_path,
+            """
+            from typing import TYPE_CHECKING
+            _EXPORTS = {"CTMC": "repro.markov"}
+            _MODULE_EXPORTS = {"sparse": "repro.sparse"}
+            if TYPE_CHECKING:
+                from .markov import CTMC
+            __all__ = ["CTMC", "__version__"]
+            """,
+        )
+        messages = [m for *_rest, m in lint_repro.check_lazy_namespace(path)]
+        assert any("'sparse' missing from __all__" in m for m in messages)
+
+    def test_name_in_both_tables_is_flagged(self, tmp_path):
+        path = self._init(
+            tmp_path,
+            """
+            from typing import TYPE_CHECKING
+            _EXPORTS = {"sparse": "repro.sparse.ctmc"}
+            _MODULE_EXPORTS = {"sparse": "repro.sparse"}
+            if TYPE_CHECKING:
+                from .sparse.ctmc import sparse
+            __all__ = ["sparse", "__version__"]
+            """,
+        )
+        messages = [m for *_rest, m in lint_repro.check_lazy_namespace(path)]
+        assert any("both _EXPORTS and _MODULE_EXPORTS" in m for m in messages)
 
     def test_missing_exports_table(self, tmp_path):
         path = self._init(tmp_path, "__all__ = []\n")
@@ -263,6 +307,73 @@ class TestR006StoreSqlite:
             """
             import sqlite3
             conn = sqlite3.connect("file.sqlite")
+            """,
+        )
+        assert findings == []
+
+
+class TestR007SparseDensification:
+    """R007 is path-sensitive: it polices ``src/repro/sparse`` only."""
+
+    def lint_at(self, tmp_path, relpath, source):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return lint_repro.lint_file(path)
+
+    def test_flags_toarray_and_todense(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/sparse/bad.py",
+            """
+            dense = q.toarray()
+            also = q.todense()
+            """,
+        )
+        assert codes(findings) == ["R007", "R007"]
+        assert "densifies" in findings[0][3]
+
+    def test_flags_dense_2d_allocation(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/sparse/alloc.py",
+            """
+            import numpy as np
+            big = np.zeros((n, n))
+            """,
+        )
+        assert codes(findings) == ["R007"]
+        assert "O(nnz)" in findings[0][3]
+
+    def test_1d_vectors_allowed(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/sparse/ok.py",
+            """
+            import numpy as np
+            vec = np.zeros(n)
+            out = np.empty(m)
+            """,
+        )
+        assert findings == []
+
+    def test_other_packages_not_policed(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/markov/dense_ok.py",
+            """
+            dense = q.toarray()
+            """,
+        )
+        assert findings == []
+
+    def test_noqa_waives_the_result_matrix(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/sparse/out.py",
+            """
+            import numpy as np
+            out = np.empty((n_times, n))  # noqa: R007
             """,
         )
         assert findings == []

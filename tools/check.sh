@@ -41,6 +41,9 @@ python -m repro.serve --selfcheck -q || status=1
 echo "== store (selfcheck: create -> kill -> resume -> verify) =="
 python -m repro.store --selfcheck -q || status=1
 
+echo "== bench e37 (smoke: 10^4-state sparse chain under budget) =="
+python benchmarks/bench_e37_sparse.py --smoke || status=1
+
 if [ "${1:-}" != "--no-tests" ]; then
     echo "== pytest =="
     python -m pytest -q || status=1

@@ -16,11 +16,14 @@ absent).  Rules:
     shared across calls; use ``None`` plus an in-body default.
 
 ``R003 lazy-namespace-drift``
-    ``src/repro/__init__.py`` keeps three parallel listings of the
-    public surface: the ``_EXPORTS`` lazy-import table, ``__all__`` and
-    the ``TYPE_CHECKING`` import block.  They must agree, or a name
+    ``src/repro/__init__.py`` keeps parallel listings of the public
+    surface: the ``_EXPORTS`` lazy-import table (attributes), the
+    ``_MODULE_EXPORTS`` table (lazily-imported submodules), ``__all__``
+    and the ``TYPE_CHECKING`` import block.  They must agree, or a name
     either fails to resolve at runtime or is invisible to type
-    checkers.
+    checkers.  A name must not appear in both tables (the ``__getattr__``
+    lookup order would silently shadow one), and module exports are
+    *not* required in ``TYPE_CHECKING`` — they resolve to real modules.
 
 ``R004 all-name-undefined``
     Every string in a module's ``__all__`` must be bound at module top
@@ -40,6 +43,13 @@ absent).  Rules:
     ``sqlite3.connect`` anywhere else under the package bypasses the
     one-connection-one-thread invariant the store's durability
     guarantees are built on.
+
+``R007 sparse-densification``
+    ``src/repro/sparse`` exists to keep 10^5+-state chains in CSR
+    form end to end; a ``.toarray()`` / ``.todense()`` call or a dense
+    2-D allocation (``np.zeros((n, n))`` and friends) on those solver
+    hot paths silently reintroduces the O(n²) memory wall the
+    subsystem was built to remove.
 
 Usage::
 
@@ -293,12 +303,58 @@ def check_store_sqlite(tree: ast.AST, path: str) -> List[Finding]:
     return findings
 
 
+#: dense-allocation constructors checked by R007
+_DENSE_ALLOCATORS = {"zeros", "ones", "empty", "full"}
+
+
+def check_sparse_densification(tree: ast.AST, path: str) -> List[Finding]:
+    """R007: no densification on the ``repro.sparse`` solver hot paths.
+
+    Checks files under ``src/repro/sparse``: flags ``.toarray()`` /
+    ``.todense()`` calls and 2-D dense allocations
+    (``np.zeros((n, m))``, ``np.ones``/``np.empty``/``np.full``
+    likewise).  1-D vectors are the working currency of the iterative
+    solvers and stay allowed.
+    """
+    if "repro/sparse" not in path.replace("\\", "/"):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _callee_name(node.func)
+        if name in ("toarray", "todense") and isinstance(node.func, ast.Attribute):
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    "R007",
+                    f".{name}() in repro.sparse densifies the operator; keep "
+                    "the CSR/LinearOperator form on solver hot paths",
+                )
+            )
+        elif name in _DENSE_ALLOCATORS and node.args:
+            shape = node.args[0]
+            if isinstance(shape, (ast.Tuple, ast.List)) and len(shape.elts) >= 2:
+                findings.append(
+                    (
+                        path,
+                        node.lineno,
+                        "R007",
+                        f"dense 2-D {name}() allocation in repro.sparse; the "
+                        "subsystem contract is O(nnz) memory, not O(n^2)",
+                    )
+                )
+    return findings
+
+
 def check_lazy_namespace(init_path: Path) -> List[Finding]:
-    """R003: ``_EXPORTS`` vs ``__all__`` vs ``TYPE_CHECKING`` imports."""
+    """R003: ``_EXPORTS``/``_MODULE_EXPORTS`` vs ``__all__`` vs ``TYPE_CHECKING``."""
     findings: List[Finding] = []
     path = str(init_path)
     tree = ast.parse(init_path.read_text())
     exports, export_line = set(), 1
+    module_exports, module_line = set(), 1
     all_names, all_starred, all_line = set(), False, 1
     type_checking: set = set()
     for node in tree.body:
@@ -309,6 +365,11 @@ def check_lazy_namespace(init_path: Path) -> List[Finding]:
                 for key in node.value.keys:
                     if isinstance(key, ast.Constant) and isinstance(key.value, str):
                         exports.add(key.value)
+            if "_MODULE_EXPORTS" in target_ids and isinstance(node.value, ast.Dict):
+                module_line = node.lineno
+                for key in node.value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        module_exports.add(key.value)
             if "__all__" in target_ids:
                 all_line = node.lineno
                 all_names = set(_string_elements(node.value))
@@ -326,15 +387,25 @@ def check_lazy_namespace(init_path: Path) -> List[Finding]:
                 )
     if not exports:
         return [(path, 1, "R003", "no _EXPORTS table found in the lazy namespace")]
+    for name in sorted(exports & module_exports):
+        findings.append(
+            (
+                path,
+                module_line,
+                "R003",
+                f"{name!r} appears in both _EXPORTS and _MODULE_EXPORTS; "
+                "the __getattr__ lookup order would silently shadow one",
+            )
+        )
     if not all_starred:
         # with a literal __all__, every export must be listed explicitly
-        for name in sorted(exports - all_names):
+        for name in sorted((exports | module_exports) - all_names):
             findings.append(
-                (path, all_line, "R003", f"_EXPORTS entry {name!r} missing from __all__")
+                (path, all_line, "R003", f"export entry {name!r} missing from __all__")
             )
-        for name in sorted(all_names - exports - {"__version__"}):
+        for name in sorted(all_names - exports - module_exports - {"__version__"}):
             findings.append(
-                (path, all_line, "R003", f"__all__ lists {name!r} with no _EXPORTS entry")
+                (path, all_line, "R003", f"__all__ lists {name!r} with no export entry")
             )
     for name in sorted(exports - type_checking):
         findings.append(
@@ -345,13 +416,13 @@ def check_lazy_namespace(init_path: Path) -> List[Finding]:
                 f"_EXPORTS entry {name!r} missing from the TYPE_CHECKING import block",
             )
         )
-    for name in sorted(type_checking - exports):
+    for name in sorted(type_checking - exports - module_exports):
         findings.append(
             (
                 path,
                 export_line,
                 "R003",
-                f"TYPE_CHECKING imports {name!r} which has no _EXPORTS entry",
+                f"TYPE_CHECKING imports {name!r} which has no export entry",
             )
         )
     return findings
@@ -372,6 +443,7 @@ def lint_file(py_path: Path) -> List[Finding]:
     findings += check_all_names(tree, path)
     findings += check_serve_error_records(tree, path)
     findings += check_store_sqlite(tree, path)
+    findings += check_sparse_densification(tree, path)
     lines = source.splitlines()
     return [
         f
