@@ -1,0 +1,248 @@
+"""E38 — compiled sparse sweeps: build-once CSR, warm-started campaigns.
+
+Performance claims for :class:`repro.compile.CompiledSparseCTMC` on the
+NFV service-chain zoo: a 200-point rate sweep over the ~10^5-state
+chain (6 VNFs × 6 replicas → 7^6 = 117 649 tangible markings)
+
+1. runs the BFS **once** — zero re-BFS across the whole campaign,
+   asserted on the ``sparse.reachability.markings`` and
+   ``compile.sparse.structure_builds`` counters;
+2. is ≥ 5× faster end-to-end (structure build + 200 warm-started
+   refill-and-solve points) than the pre-compile baseline that rebuilds
+   lazy reachability and cold-starts the solver at every point
+   (baseline measured on a few points and extrapolated — 200 real
+   rebuilds would run for the better part of an hour, which is the
+   point of this PR);
+3. matches the independent-stages analytic oracle at **every** point
+   within solver tolerance.
+
+Wall-clock, per-point milliseconds, speedup and sweep statistics land
+in ``BENCH_e38.json``.  The module doubles as the CI smoke gate::
+
+    python benchmarks/bench_e38_sparse_sweep.py --smoke
+
+sweeps 50 points over the 10^4-state chain under a time budget with the
+same zero-re-BFS and oracle assertions.
+"""
+
+import argparse
+import json
+import pathlib
+import resource
+import sys
+import time
+
+import numpy as np
+
+from conftest import print_table, write_record
+from repro.casestudies import nfvchain
+from repro.obs import Tracer, activate_tracer
+
+# 6 VNFs x 6 replicas -> 7^6 = 117 649 tangible markings.
+BIG = nfvchain.NFVChainSpec(n_vnfs=6, replicas=6, min_replicas=1)
+# 4 VNFs x 9 replicas -> 10^4 exactly: the smoke-gate chain.
+SMOKE = nfvchain.NFVChainSpec(n_vnfs=4, replicas=9, min_replicas=2)
+
+N_POINTS = 200
+SMOKE_POINTS = 50
+#: lazy-rebuild baseline points actually measured (extrapolated to N_POINTS)
+BASELINE_POINTS = 3
+#: headline claim: compiled sweep vs per-point lazy rebuild
+MIN_SPEEDUP = 5.0
+#: per-point availability error vs the analytic oracle (the Krylov
+#: relative-residual target is 1e-12; same gate as bench_e37)
+MAX_ORACLE_ERR = 1e-8
+SMOKE_BUDGET_S = 120.0
+SMOKE_MAX_RSS_MB = 2_048.0
+
+RECORD = {}
+
+
+def _persist():
+    """Write RECORD merged over the committed file: a partial run (one
+    pytest test, the smoke gate) must not clobber the other legs."""
+    merged = {}
+    path = pathlib.Path(__file__).resolve().parent / "BENCH_e38.json"
+    if path.exists():
+        merged.update(json.loads(path.read_text()))
+    merged.update(RECORD)
+    write_record("e38", merged)
+
+
+def _peak_rss_mb():
+    """Process peak RSS in MB (ru_maxrss is KB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _rate_points(spec, n_points):
+    """A failure-rate sweep around the spec's nominal value."""
+    return [
+        {"failure_rate": float(f)}
+        for f in np.geomspace(spec.failure_rate / 5.0, spec.failure_rate * 5.0, n_points)
+    ]
+
+
+def _oracle(spec, points):
+    from dataclasses import replace
+
+    return np.array(
+        [
+            nfvchain.analytic_availability(replace(spec, **p))
+            for p in points
+        ]
+    )
+
+
+def _lazy_rebuild_baseline(spec, points):
+    """The pre-compile path: rebuild lazy reachability, cold-solve.
+
+    Exactly what ``evaluate_availability`` did before the compiled
+    structure cache: ``build_nfv_model(spec)`` (BFS + interning from
+    scratch) followed by a cold front-door solve, per point.
+    """
+    from dataclasses import replace
+
+    t0 = time.perf_counter()
+    for p in points:
+        model = nfvchain.build_nfv_model(replace(spec, **p))
+        float(model.steady_state_availability())
+    return (time.perf_counter() - t0) / len(points)
+
+
+def _run_sweep(spec, n_points):
+    """Compile once, sweep ``n_points``, assert zero re-BFS; return record."""
+    points = _rate_points(spec, n_points)
+    tracer = Tracer("bench-e38")
+    with activate_tracer(tracer):
+        t0 = time.perf_counter()
+        compiled = nfvchain.compile_nfv_chain(spec)
+        build_s = time.perf_counter() - t0
+        markings_after_build = tracer.metrics.counter(
+            "sparse.reachability.markings"
+        ).value
+        builds_after_build = tracer.metrics.counter(
+            "compile.sparse.structure_builds"
+        ).value
+
+        t0 = time.perf_counter()
+        outputs = compiled.sweep(points)
+        sweep_s = time.perf_counter() - t0
+
+        rebfs = (
+            tracer.metrics.counter("sparse.reachability.markings").value
+            - markings_after_build
+        )
+        rebuilds = (
+            tracer.metrics.counter("compile.sparse.structure_builds").value
+            - builds_after_build
+        )
+    oracle_err = float(np.abs(outputs - _oracle(spec, points)).max())
+    stats = compiled.last_sweep_stats.to_dict()
+    return {
+        "n_states": compiled.n_states,
+        "nnz": compiled.nnz,
+        "n_points": n_points,
+        "build_s": build_s,
+        "sweep_s": sweep_s,
+        "per_point_ms": 1e3 * sweep_s / n_points,
+        "oracle_err": oracle_err,
+        "rebfs_markings": rebfs,
+        "structure_rebuilds": rebuilds,
+        "sweep_stats": stats,
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+
+
+def test_200_point_sweep_beats_lazy_rebuild_5x():
+    """The headline: 200 warm-started points on 117 649 states, ≥ 5×
+    over per-point lazy rebuild, zero re-BFS, every point on the oracle."""
+    nfvchain._STRUCTURE_CACHE.clear()
+    leg = _run_sweep(BIG, N_POINTS)
+
+    baseline_pp = _lazy_rebuild_baseline(BIG, _rate_points(BIG, BASELINE_POINTS))
+    leg["baseline_points_measured"] = BASELINE_POINTS
+    leg["baseline_per_point_s"] = baseline_pp
+    leg["baseline_extrapolated_s"] = baseline_pp * N_POINTS
+    compiled_total = leg["build_s"] + leg["sweep_s"]
+    leg["compiled_total_s"] = compiled_total
+    leg["speedup"] = leg["baseline_extrapolated_s"] / compiled_total
+    RECORD["big_sweep"] = leg
+    _persist()
+
+    assert leg["n_states"] >= 100_000
+    assert leg["rebfs_markings"] == 0, "sweep re-ran BFS reachability"
+    assert leg["structure_rebuilds"] == 0, "sweep rebuilt the compiled structure"
+    assert leg["oracle_err"] < MAX_ORACLE_ERR
+    assert leg["sweep_stats"]["warm_solves"] == N_POINTS - 1
+    assert leg["speedup"] >= MIN_SPEEDUP
+
+    print_table(
+        f"E38: {N_POINTS}-point rate sweep, NFV chain {BIG.n_vnfs} VNFs x "
+        f"{BIG.replicas} replicas ({leg['n_states']} states, {leg['nnz']} nnz)",
+        ["quantity", "value"],
+        [
+            ("structure build s", leg["build_s"]),
+            ("sweep s", leg["sweep_s"]),
+            ("per point ms", leg["per_point_ms"]),
+            ("baseline s/point (lazy rebuild)", leg["baseline_per_point_s"]),
+            ("speedup (extrapolated)", leg["speedup"]),
+            ("max oracle err", leg["oracle_err"]),
+            ("re-BFS markings", leg["rebfs_markings"]),
+            ("mean Krylov iterations", leg["sweep_stats"]["mean_iterations"]),
+            ("precond builds/reuses", f"{leg['sweep_stats']['precond_builds']}"
+             f"/{leg['sweep_stats']['precond_reuses']}"),
+            ("peak RSS MB", leg["peak_rss_mb"]),
+        ],
+    )
+
+
+def smoke():
+    """CI gate: 50 points over the 10^4-state chain under a budget."""
+    nfvchain._STRUCTURE_CACHE.clear()
+    start = time.perf_counter()
+    leg = _run_sweep(SMOKE, SMOKE_POINTS)
+    wall = time.perf_counter() - start
+    leg["wall_s"] = wall
+    RECORD["smoke"] = leg
+    _persist()
+
+    failures = []
+    if wall > SMOKE_BUDGET_S:
+        failures.append(f"wall {wall:.1f}s > budget {SMOKE_BUDGET_S}s")
+    if leg["peak_rss_mb"] > SMOKE_MAX_RSS_MB:
+        failures.append(
+            f"peak RSS {leg['peak_rss_mb']:.0f} MB > {SMOKE_MAX_RSS_MB} MB"
+        )
+    if leg["rebfs_markings"] != 0:
+        failures.append(f"re-BFS: {leg['rebfs_markings']} markings re-interned")
+    if leg["structure_rebuilds"] != 0:
+        failures.append(f"{leg['structure_rebuilds']} structure rebuilds")
+    if leg["oracle_err"] > MAX_ORACLE_ERR:
+        failures.append(f"oracle err {leg['oracle_err']:.2e} > {MAX_ORACLE_ERR}")
+
+    print(
+        f"bench_e38 --smoke: {leg['n_states']} states, {leg['n_points']} points, "
+        f"build={leg['build_s']:.2f}s, sweep={leg['sweep_s']:.2f}s "
+        f"({leg['per_point_ms']:.1f} ms/pt, warm={leg['sweep_stats']['warm_solves']}), "
+        f"err={leg['oracle_err']:.1e}, RSS={leg['peak_rss_mb']:.0f} MB, "
+        f"wall={wall:.1f}s"
+    )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the 10^4-state 50-point CI gate (time budget)",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.smoke:
+        sys.exit(smoke())
+    test_200_point_sweep_beats_lazy_rebuild_5x()
+    print("bench_e38: all legs passed")

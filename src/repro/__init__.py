@@ -100,7 +100,9 @@ _EXPORTS = {
     "compile_model": "repro.compile",
     "supports_compilation": "repro.compile",
     "CompiledCTMC": "repro.compile",
+    "CompiledSparseCTMC": "repro.compile",
     "CompiledStructureFunction": "repro.compile",
+    "continuation_order": "repro.compile",
     # availability-query daemon (repro.serve)
     "ServeApp": "repro.serve",
     "ServeServer": "repro.serve",
@@ -230,8 +232,10 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
     from .compile import (
         CompiledCTMC,
+        CompiledSparseCTMC,
         CompiledStructureFunction,
         compile_model,
+        continuation_order,
         supports_compilation,
     )
     from .core.model import DependabilityModel

@@ -5,14 +5,20 @@ Separates **symbolic structure** (built once) from **numeric fill**
 
 * :class:`CompiledCTMC` — frozen state order + sparsity pattern,
   ``fill``-into-preallocated-buffers, pattern-reusing solves;
+* :class:`CompiledSparseCTMC` — the large-state-space counterpart:
+  frozen CSR ``indices``/``indptr`` from one lazy-reachability BFS,
+  rate-only refills, preconditioner reuse and warm-started Krylov
+  sweeps (:func:`continuation_order` orders campaigns so neighbors
+  stay close in parameter space);
 * :class:`CompiledStructureFunction` — RBD/fault-tree structure
   lowered once, all sweep points evaluated in one vectorized pass;
 * :func:`compile_model` / :func:`supports_compilation` — turn case
   studies and model objects into picklable batch evaluators the engine
   ships once per worker.
 
-All compiled paths are bit-identical to their uncompiled counterparts;
-see ``docs/PERFORMANCE.md`` for when compilation pays off.
+All compiled paths are bit-identical to their uncompiled counterparts
+(warm-started ``sweep`` chains are the documented tolerance-level
+exception); see ``docs/PERFORMANCE.md`` for when compilation pays off.
 """
 
 from .ctmc import CompiledCTMC, Complement, Const, Param, RateTerm, Scaled, Times
@@ -24,6 +30,7 @@ from .model import (
     compile_model,
     supports_compilation,
 )
+from .sparse import CompiledNFVChain, CompiledSparseCTMC, SweepStats, continuation_order
 from .structure import CompiledStructureFunction
 
 __all__ = [
@@ -34,11 +41,15 @@ __all__ = [
     "Times",
     "Complement",
     "CompiledCTMC",
+    "CompiledSparseCTMC",
     "CompiledStructureFunction",
     "CompiledEvaluator",
     "CompiledBladeCenter",
     "CompiledCiscoRouter",
     "CompiledSunPlatform",
+    "CompiledNFVChain",
+    "SweepStats",
     "compile_model",
     "supports_compilation",
+    "continuation_order",
 ]

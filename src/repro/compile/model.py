@@ -356,11 +356,15 @@ class CompiledSunPlatform(CompiledEvaluator):
         return out
 
 
-#: name -> compiled-evaluator class, for compile_model("bladecenter") etc.
-_NAMED_MODELS: Dict[str, type] = {
-    "bladecenter": CompiledBladeCenter,
-    "cisco": CompiledCiscoRouter,
-    "sun": CompiledSunPlatform,
+#: name -> "module:Class" spec of the compiled evaluator, for
+#: compile_model("bladecenter") etc.  Lazy string specs (same format as
+#: ``__compiles_to__``) so entries may live in modules that import this
+#: one — ``repro.compile.sparse`` does.
+_NAMED_MODELS: Dict[str, str] = {
+    "bladecenter": "repro.compile.model:CompiledBladeCenter",
+    "cisco": "repro.compile.model:CompiledCiscoRouter",
+    "sun": "repro.compile.model:CompiledSunPlatform",
+    "nfvchain": "repro.compile.sparse:CompiledNFVChain",
 }
 
 #: per-class singleton cache: compiling the same model twice reuses the
@@ -376,40 +380,49 @@ def _instance(cls: type) -> CompiledEvaluator:
     return found
 
 
-def _compiled_class_of(target) -> Optional[type]:
-    """Resolve a ``__compiles_to__ = "module:Class"`` advertisement."""
-    spec = getattr(target, "__compiles_to__", None)
-    if not isinstance(spec, str) or ":" not in spec:
-        return None
+def _resolve_spec(spec: str, owner) -> type:
+    """Import a ``"module:Class"`` compiled-evaluator spec."""
     module_name, _, class_name = spec.partition(":")
     import importlib
 
     module = importlib.import_module(module_name)
     cls = getattr(module, class_name, None)
-    if cls is None or not issubclass(cls, CompiledEvaluator):
+    if cls is None or not (isinstance(cls, type) and issubclass(cls, CompiledEvaluator)):
         raise ModelDefinitionError(
-            f"{target!r} advertises __compiles_to__={spec!r}, "
+            f"{owner!r} advertises compiled form {spec!r}, "
             "which does not resolve to a CompiledEvaluator subclass"
         )
     return cls
+
+
+def _compiled_class_of(target) -> Optional[type]:
+    """Resolve a ``__compiles_to__ = "module:Class"`` advertisement."""
+    spec = getattr(target, "__compiles_to__", None)
+    if not isinstance(spec, str) or ":" not in spec:
+        return None
+    return _resolve_spec(spec, target)
 
 
 def supports_compilation(target) -> bool:
     """True when :func:`compile_model` can compile ``target``.
 
     Covers already-compiled evaluators, callables advertising
-    ``__compiles_to__``, the case-study names, and the directly
-    compilable model objects (CTMC / RBD / fault tree).
+    ``__compiles_to__``, the case-study names, the directly compilable
+    model objects (CTMC / sparse CTMC / RBD / fault tree), and lazy
+    SRNs (whose chain is an already-frozen sparse CTMC).
     """
     from ..markov.ctmc import CTMC
     from ..nonstate.faulttree import FaultTree
     from ..nonstate.rbd import ReliabilityBlockDiagram
+    from ..petrinet.srn import StochasticRewardNet
     from ..sparse.ctmc import SparseCTMC
 
     if isinstance(
         target, (CompiledEvaluator, CTMC, SparseCTMC, ReliabilityBlockDiagram, FaultTree)
     ):
         return True
+    if isinstance(target, StochasticRewardNet):
+        return bool(target.lazy)
     if isinstance(target, str):
         return target in _NAMED_MODELS
     return getattr(target, "__compiles_to__", None) is not None
@@ -427,13 +440,18 @@ def compile_model(target):
         * a case-study evaluator function carrying ``__compiles_to__``
           (e.g. ``bladecenter.evaluate_availability``) — resolved to its
           compiled class, one shared instance per process;
-        * a case-study name: ``"bladecenter"``, ``"cisco"``, ``"sun"``;
+        * a case-study name: ``"bladecenter"``, ``"cisco"``, ``"sun"``,
+          ``"nfvchain"``;
         * a :class:`~repro.markov.CTMC` →
           :meth:`CompiledCTMC.from_ctmc`;
         * a :class:`~repro.sparse.SparseCTMC` — returned as-is: its CSR
           generator is already structure-and-value frozen, so it *is*
           its own compiled form (and carries ``__ship_once__`` for the
           process pool);
+        * a lazy :class:`~repro.petrinet.srn.StochasticRewardNet` — its
+          generated chain, which is exactly such a sparse CTMC (eager
+          SRNs are rejected: their dict-built chains re-derive rates
+          from live marking closures);
         * a :class:`~repro.nonstate.ReliabilityBlockDiagram` or
           :class:`~repro.nonstate.FaultTree` →
           :class:`CompiledStructureFunction`.
@@ -450,16 +468,24 @@ def compile_model(target):
     if isinstance(target, CompiledEvaluator):
         return target
     if isinstance(target, str):
-        cls = _NAMED_MODELS.get(target)
-        if cls is None:
+        spec = _NAMED_MODELS.get(target)
+        if spec is None:
             raise ModelDefinitionError(
                 f"unknown model name {target!r}; known: {sorted(_NAMED_MODELS)}"
             )
-        return _instance(cls)
+        return _instance(_resolve_spec(spec, target))
     if isinstance(target, CTMC):
         return CompiledCTMC.from_ctmc(target)
+    from ..petrinet.srn import StochasticRewardNet
     from ..sparse.ctmc import SparseCTMC
 
+    if isinstance(target, StochasticRewardNet):
+        if not target.lazy:
+            raise ModelDefinitionError(
+                "cannot compile an eager SRN; regenerate with lazy=True so the "
+                "chain is a structure-frozen SparseCTMC"
+            )
+        return target.chain
     if isinstance(target, SparseCTMC):
         return target
     if isinstance(target, ReliabilityBlockDiagram):

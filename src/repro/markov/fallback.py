@@ -27,7 +27,7 @@ from scipy.sparse import csgraph
 
 from ..exceptions import ModelDefinitionError, ReproError, SolverError
 from ..obs.trace import get_tracer
-from .registry import STEADY_STATE, SolverMethod
+from .registry import STEADY_STATE, SolverMethod, consume_iterations
 from .solvers import validate_generator
 
 __all__ = [
@@ -127,6 +127,10 @@ class SolverAttempt:
     error:
         ``"ExceptionType: message"`` for a failed stage, ``None`` on
         success.
+    iterations:
+        Krylov iterations the stage spent (``None`` for direct stages
+        and kernels that don't report a count) — the number the
+        preconditioner-refresh policy and tolerance tuning read.
     """
 
     method: str
@@ -134,6 +138,7 @@ class SolverAttempt:
     duration: float
     residual: float = float("nan")
     error: Optional[str] = None
+    iterations: Optional[int] = None
 
 
 class SolverReport:
@@ -188,6 +193,14 @@ class SolverReport:
     def fallbacks_used(self) -> int:
         """How many stages failed before one succeeded."""
         return sum(1 for attempt in self.attempts if not attempt.success)
+
+    @property
+    def iterations(self) -> Optional[int]:
+        """Krylov iterations of the winning stage (``None`` if unknown)."""
+        for attempt in self.attempts:
+            if attempt.success:
+                return attempt.iterations
+        return None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe dict of the solve — the :class:`~repro.obs.Observation`
@@ -274,6 +287,7 @@ def solve_steady_state(
     stages: Optional[Mapping[str, Callable]] = None,
     strategy: Optional[str] = None,
     diagnostics: str = "ignore",
+    x0: Optional[np.ndarray] = None,
 ) -> SolverReport:
     """Steady-state vector via a diagnosed, guarded solver fallback chain.
 
@@ -326,6 +340,13 @@ def solve_steady_state(
         full :mod:`repro.analyze` lint pass (steady-state query) before
         solving.  Independent of the hard pre-flight validation, which
         always runs.
+    x0:
+        Optional warm-start vector forwarded to stages whose registered
+        :class:`~repro.markov.registry.SolverMethod` declares
+        ``accepts_x0`` (the Krylov backends).  Direct stages ignore it,
+        so a chain stays correct when a warm-started iterative stage
+        falls back to GTH.  Stage iteration counts land on
+        ``SolverAttempt.iterations`` either way.
 
     Returns
     -------
@@ -413,9 +434,18 @@ def solve_steady_state(
     ) as outer_span:
         for name in chain:
             start = time.perf_counter()
+            stage = known[name]
+            stage_kwargs = {}
+            if (
+                x0 is not None
+                and isinstance(stage, SolverMethod)
+                and stage.accepts_x0
+            ):
+                stage_kwargs["x0"] = x0
+            consume_iterations()  # clear any stale count from this thread
             with tracer.span("solver.stage", method=name) as span:
                 try:
-                    pi = np.asarray(known[name](q), dtype=float)
+                    pi = np.asarray(stage(q, **stage_kwargs), dtype=float)
                     if pi.shape != (diagnostics.n_states,):
                         raise SolverError(
                             f"stage returned shape {pi.shape}, expected ({diagnostics.n_states},)"
@@ -449,6 +479,7 @@ def solve_steady_state(
                             success=False,
                             duration=time.perf_counter() - start,
                             error=f"{type(exc).__name__}: {exc}",
+                            iterations=consume_iterations(),
                         )
                     )
                     span.set(success=False, error=f"{type(exc).__name__}: {exc}")
@@ -460,6 +491,7 @@ def solve_steady_state(
                         success=True,
                         duration=time.perf_counter() - start,
                         residual=residual,
+                        iterations=consume_iterations(),
                     )
                 )
                 span.set(success=True, residual=residual)

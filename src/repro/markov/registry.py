@@ -35,6 +35,7 @@ attempts, tracing and ``diagnostics=`` pre-flights.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -55,6 +56,8 @@ __all__ = [
     "TRANSIENT",
     "GTH_DENSE_LIMIT",
     "TRANSIENT_KRYLOV_LIMIT",
+    "record_iterations",
+    "consume_iterations",
 ]
 
 PreCheck = Callable[..., None]
@@ -70,11 +73,33 @@ GTH_DENSE_LIMIT = 20_000
 #: stepping above this many states.
 TRANSIENT_KRYLOV_LIMIT = 50_000
 
+#: Thread-local side channel carrying the last kernel's iteration count
+#: out to the front door (kernel signatures return only π, and SolverReport
+#: assembly happens a frame above the kernel call).
+_ITERATIONS = threading.local()
+
+
+def record_iterations(count: Optional[int]) -> None:
+    """Publish an iterative kernel's iteration count for this thread.
+
+    Called by the Krylov kernels at the end of a solve; the front door
+    picks it up with :func:`consume_iterations` and attaches it to the
+    stage's :class:`~repro.markov.fallback.SolverAttempt`.
+    """
+    _ITERATIONS.value = None if count is None else int(count)
+
+
+def consume_iterations() -> Optional[int]:
+    """Read and clear this thread's recorded iteration count."""
+    value = getattr(_ITERATIONS, "value", None)
+    _ITERATIONS.value = None
+    return value
+
 
 class SolverMethod:
     """One registered solver backend: kernel + guards + metadata."""
 
-    __slots__ = ("name", "fn", "pre_checks", "supports")
+    __slots__ = ("name", "fn", "pre_checks", "supports", "accepts_x0")
 
     def __init__(
         self,
@@ -82,11 +107,13 @@ class SolverMethod:
         fn: Callable,
         pre_checks: Tuple[PreCheck, ...] = (),
         supports: Optional[Supports] = None,
+        accepts_x0: bool = False,
     ):
         self.name = name
         self.fn = fn
         self.pre_checks = tuple(pre_checks)
         self.supports = supports
+        self.accepts_x0 = accepts_x0
 
     def __call__(self, *args, **kwargs):
         """Run the pre-checks in registration order, then the kernel."""
@@ -125,6 +152,7 @@ class SolverRegistry:
         supports: Optional[Supports] = None,
         aliases: Sequence[str] = (),
         replace: bool = False,
+        accepts_x0: bool = False,
     ) -> SolverMethod:
         """Register a solver backend under ``name``.
 
@@ -150,6 +178,9 @@ class SolverRegistry:
             Re-registering an existing name (or alias) without
             ``replace=True`` raises — silent shadowing of a production
             solver is exactly the bug class registries invite.
+        accepts_x0:
+            The kernel takes an ``x0=`` initial-guess kwarg; the front
+            door forwards warm starts only to stages that declare it.
         """
         if not replace:
             taken = [n for n in (name, *aliases) if n in self._methods or n in self._aliases]
@@ -158,7 +189,7 @@ class SolverRegistry:
                     f"{self.kind} method name(s) {taken} already registered; "
                     "pass replace=True to override"
                 )
-        method = SolverMethod(name, fn, tuple(pre_checks), supports)
+        method = SolverMethod(name, fn, tuple(pre_checks), supports, accepts_x0)
         self._methods[name] = method
         self._aliases.pop(name, None)
         for alias in aliases:
@@ -219,16 +250,16 @@ def _stage_power(q) -> np.ndarray:
     return steady_state_power(q, validated=True)
 
 
-def _stage_gmres(q) -> np.ndarray:
+def _stage_gmres(q, x0=None) -> np.ndarray:
     from ..sparse.krylov import steady_state_gmres
 
-    return steady_state_gmres(q, validated=True)
+    return steady_state_gmres(q, validated=True, x0=x0)
 
 
-def _stage_bicgstab(q) -> np.ndarray:
+def _stage_bicgstab(q, x0=None) -> np.ndarray:
     from ..sparse.krylov import steady_state_bicgstab
 
-    return steady_state_bicgstab(q, validated=True)
+    return steady_state_bicgstab(q, validated=True, x0=x0)
 
 
 #: The steady-state method registry behind
@@ -242,8 +273,8 @@ STEADY_STATE.register_method(
 )
 STEADY_STATE.register_method("direct", _stage_direct)
 STEADY_STATE.register_method("power", _stage_power)
-STEADY_STATE.register_method("gmres", _stage_gmres)
-STEADY_STATE.register_method("bicgstab", _stage_bicgstab)
+STEADY_STATE.register_method("gmres", _stage_gmres, accepts_x0=True)
+STEADY_STATE.register_method("bicgstab", _stage_bicgstab, accepts_x0=True)
 
 
 # ------------------------------------------------------------------ transient

@@ -26,17 +26,19 @@ rule R007 enforces it).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 from scipy import sparse
 from scipy.sparse import linalg as sparse_linalg
 
 from ..exceptions import ConvergenceError, SolverError
+from ..markov.registry import record_iterations
 from ..obs.trace import get_tracer
 
 __all__ = [
     "augmented_system",
+    "build_preconditioner",
     "steady_state_iterative",
     "steady_state_gmres",
     "steady_state_bicgstab",
@@ -71,10 +73,15 @@ def augmented_system(
     return a, b
 
 
-def _preconditioner(
+def build_preconditioner(
     a: sparse.csr_matrix, kind: str
 ) -> Optional[sparse_linalg.LinearOperator]:
-    """Build the requested left preconditioner for the augmented system."""
+    """Build the requested left preconditioner for the augmented system.
+
+    Exposed so sweep kernels (:class:`repro.compile.sparse.CompiledSparseCTMC`)
+    can build one operator and reuse it across points by passing it back
+    to :func:`steady_state_iterative` as ``preconditioner=``.
+    """
     if kind == "none":
         return None
     if kind == "jacobi":
@@ -103,10 +110,12 @@ def steady_state_iterative(
     generator: sparse.spmatrix,
     method: str = "gmres",
     tol: float = 1e-12,
-    preconditioner: str = "jacobi",
+    preconditioner: Union[str, sparse_linalg.LinearOperator, None] = "jacobi",
     restart: int = 100,
     max_iterations: int = 20_000,
     validated: bool = False,
+    x0: Optional[np.ndarray] = None,
+    system: Optional[Tuple[sparse.csr_matrix, np.ndarray]] = None,
 ) -> np.ndarray:
     """Steady state by a preconditioned Krylov solve of ``A x = e_n``.
 
@@ -120,12 +129,30 @@ def steady_state_iterative(
         Relative residual target of the Krylov iteration.
     preconditioner:
         ``"jacobi"`` (default, O(n) setup), ``"ilu"`` (incomplete LU —
-        stronger but with fill-in cost) or ``"none"``.
+        stronger but with fill-in cost), ``"none"``, or a prebuilt
+        :class:`~scipy.sparse.linalg.LinearOperator` (sweep kernels
+        reuse one operator across many fills; see
+        :func:`build_preconditioner`).
     restart / max_iterations:
         GMRES restart length and the overall iteration budget.
     validated:
         Skip the shared :func:`~repro.markov.solvers.validate_generator`
         pre-flight for callers that already ran it on this matrix.
+    x0:
+        Optional initial guess for the Krylov iteration — warm-starting
+        from a neighboring sweep point's solution typically converges in
+        a handful of iterations.  ``None`` (default) starts from zero,
+        matching the historic behavior bit for bit.
+    system:
+        Optional pre-assembled ``(A, b)`` augmented system; sweep
+        kernels that maintain ``A`` in place pass it to skip the
+        per-call :func:`augmented_system` transpose.
+
+    The number of Krylov iterations spent is published through
+    :func:`repro.markov.registry.record_iterations` (picked up into
+    :class:`~repro.markov.fallback.SolverAttempt` by the front door) and,
+    for warm-started solves, observed on the ``krylov.warm_iterations``
+    histogram.
 
     Returns
     -------
@@ -137,29 +164,52 @@ def steady_state_iterative(
         from ..markov.solvers import validate_generator
 
         validate_generator(generator)
-    a, b = augmented_system(generator)
+    if system is not None:
+        a, b = system
+    else:
+        a, b = augmented_system(generator)
     n = a.shape[0]
     if n == 1:
         return np.ones(1)
-    m = _preconditioner(a, preconditioner)
+    if isinstance(preconditioner, str):
+        m = build_preconditioner(a, preconditioner)
+        precond_label = preconditioner
+    else:
+        m = preconditioner
+        precond_label = "prebuilt" if m is not None else "none"
+    iterations = 0
+
+    def _count(_arg) -> None:
+        nonlocal iterations
+        iterations += 1
+
     tracer = get_tracer()
     with tracer.span(
         "solver.krylov_steady_state",
         method=method,
-        preconditioner=preconditioner,
+        preconditioner=precond_label,
         n_states=n,
         nnz=int(a.nnz),
+        warm=x0 is not None,
     ) as span:
         if method == "gmres":
+            # callback_type="pr_norm" fires once per inner iteration and
+            # (unlike the "legacy" default) leaves the maxiter semantics
+            # as restart cycles, so the iteration budget is unchanged.
             x, info = sparse_linalg.gmres(
                 a, b, rtol=tol, atol=0.0, restart=restart,
                 maxiter=max(1, max_iterations // max(1, restart)), M=m,
+                x0=x0, callback=_count, callback_type="pr_norm",
             )
         else:
             x, info = sparse_linalg.bicgstab(
-                a, b, rtol=tol, atol=0.0, maxiter=max_iterations, M=m
+                a, b, rtol=tol, atol=0.0, maxiter=max_iterations, M=m,
+                x0=x0, callback=_count,
             )
-        span.set(info=int(info))
+        span.set(info=int(info), iterations=iterations)
+    record_iterations(iterations)
+    if tracer.enabled and x0 is not None:
+        tracer.metrics.histogram("krylov.warm_iterations").observe(float(iterations))
     if info < 0:  # pragma: no cover - scipy breakdown path
         raise SolverError(f"{method} broke down on the augmented system (info={info})")
     if info > 0:

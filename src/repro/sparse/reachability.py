@@ -26,7 +26,7 @@ before the process swaps, and the whole exploration runs inside a
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -36,6 +36,10 @@ from ..obs.trace import get_tracer
 from ..petrinet.net import Marking, PetriNet
 from ..petrinet.reachability import _resolve_vanishing
 from .ctmc import SparseCTMC, _LazySeq
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..compile.ctmc import RateTerm
+    from ..petrinet.net import Transition
 
 __all__ = ["SparseReachabilityResult", "build_sparse_reachability"]
 
@@ -87,6 +91,39 @@ class _TripletBuffer:
         return (len(self._full) + 1) * self._chunk * _TRIPLET_BYTES
 
 
+class _ChunkVec:
+    """Append-only scalar store in chunk-allocated NumPy arrays.
+
+    The single-column sibling of :class:`_TripletBuffer`, used by the
+    ``rate_terms=`` recording path for the per-transition term ids and
+    vanishing-resolution multipliers.
+    """
+
+    __slots__ = ("_chunk", "_dtype", "_full", "_buf", "_fill")
+
+    def __init__(self, dtype, chunk: int = _DEFAULT_CHUNK):
+        self._chunk = int(chunk)
+        self._dtype = dtype
+        self._full: List[np.ndarray] = []
+        self._buf = np.empty(self._chunk, dtype=dtype)
+        self._fill = 0
+
+    def add(self, value) -> None:
+        if self._fill == self._chunk:
+            self._full.append(self._buf)
+            self._buf = np.empty(self._chunk, dtype=self._dtype)
+            self._fill = 0
+        self._buf[self._fill] = value
+        self._fill += 1
+
+    def array(self) -> np.ndarray:
+        return np.concatenate([*self._full, self._buf[: self._fill]])
+
+    @property
+    def nbytes(self) -> int:
+        return (len(self._full) + 1) * self._chunk * self._buf.itemsize
+
+
 class SparseReachabilityResult:
     """Outcome of lazy reachability analysis.
 
@@ -95,6 +132,10 @@ class SparseReachabilityResult:
     is a :class:`~repro.sparse.ctmc.SparseCTMC` instead of a dict-built
     CTMC, and ``tangible`` is a lazily-materializing sequence of
     markings rather than a list of live objects.
+
+    When the build recorded symbolic rates (``rate_terms=``),
+    ``compiled`` holds the :class:`~repro.compile.sparse.CompiledSparseCTMC`
+    sharing this chain's frozen CSR index arrays; otherwise ``None``.
     """
 
     def __init__(
@@ -108,6 +149,7 @@ class SparseReachabilityResult:
         self.initial = initial
         self.tangible = tangible
         self.n_vanishing = n_vanishing
+        self.compiled = None
 
 
 def build_sparse_reachability(
@@ -116,6 +158,8 @@ def build_sparse_reachability(
     memory_limit_mb: float = 4096.0,
     chunk: int = _DEFAULT_CHUNK,
     up: Optional[Callable[[Marking], bool]] = None,
+    rate_terms: Optional[Callable[["Transition", Marking], "RateTerm"]] = None,
+    rate_values: Optional[Mapping[str, float]] = None,
 ) -> SparseReachabilityResult:
     """Generate the tangible reachability graph of ``net`` into CSR form.
 
@@ -139,9 +183,32 @@ def build_sparse_reachability(
         marking; the resulting boolean mask is attached to the
         :class:`SparseCTMC` as its ``up`` mask, enabling
         ``chain.availability()`` without a second pass over labels.
+    rate_terms:
+        Optional ``(transition, marking) -> RateTerm`` recorder (the
+        symbolic algebra of :mod:`repro.compile.ctmc`).  When given, the
+        BFS interns one term per *distinct* rate expression alongside
+        the streamed triplets and attaches a
+        :class:`~repro.compile.sparse.CompiledSparseCTMC` to the result
+        (``result.compiled``), so rate-only parameter sweeps refill the
+        CSR ``data`` array without re-running this BFS.  The recorded
+        terms must reproduce ``transition.rate_in(marking)`` at the
+        build values; the net must be built at strictly-positive rates
+        (edges with non-positive build rates are structurally dropped)
+        and vanishing-resolution probabilities must be
+        parameter-independent (they are frozen as multipliers).
+    rate_values:
+        The parameter values ``net`` was built at; stored on the
+        compiled chain as the defaults merged under every sweep point
+        and the point its deterministic warm-start reference is solved
+        at.  Only meaningful with ``rate_terms``.
     """
     if chunk < 1:
         raise StateSpaceError(f"chunk must be positive, got {chunk}")
+    record = rate_terms is not None
+    term_index: Dict = {}
+    terms: List = []
+    term_ids = _ChunkVec(np.int64, chunk) if record else None
+    multipliers = _ChunkVec(np.float64, chunk) if record else None
     memory_limit = int(memory_limit_mb * 1024 * 1024)
     places = tuple(net.places)
     token_bytes = 56 + 8 * len(places) + _DICT_SLOT_BYTES
@@ -212,11 +279,21 @@ def build_sparse_reachability(
                     targets = vanishing_cache[successor]
                 else:
                     targets = {successor: 1.0}
+                if record:
+                    term = rate_terms(transition, marking)
+                    tid = term_index.get(term)
+                    if tid is None:
+                        tid = len(terms)
+                        term_index[term] = tid
+                        terms.append(term)
                 for target, prob in targets.items():
                     if target.tokens == tokens[i]:
                         continue  # rate flows back: no net transition
                     j = intern(target)
                     triplets.add(i, j, rate * prob)
+                    if record:
+                        term_ids.add(tid)
+                        multipliers.add(prob)
             explored += 1
             if explored % chunk == 0:
                 markings_counter.inc(len(tokens) - last_markings)
@@ -224,6 +301,8 @@ def build_sparse_reachability(
                 last_markings = len(tokens)
                 last_edges = triplets.count
                 estimated = len(tokens) * token_bytes + triplets.nbytes
+                if record:
+                    estimated += term_ids.nbytes + multipliers.nbytes
                 if estimated > memory_limit:
                     raise StateSpaceError(
                         f"lazy reachability exceeded the {memory_limit_mb:.0f} MiB "
@@ -262,4 +341,22 @@ def build_sparse_reachability(
         else None
     )
     chain = SparseCTMC(generator, labels=labels, initial=initial_vector, up=mask)
-    return SparseReachabilityResult(chain, initial_distribution, labels, n_vanishing)
+    result = SparseReachabilityResult(chain, initial_distribution, labels, n_vanishing)
+    if record:
+        # Imported lazily: repro.compile pulls in this module's package.
+        from ..compile.sparse import CompiledSparseCTMC
+
+        result.compiled = CompiledSparseCTMC(
+            n,
+            generator.indices,
+            generator.indptr,
+            rows,
+            cols,
+            terms,
+            term_ids.array(),
+            multipliers.array(),
+            up=mask,
+            initial=initial_vector,
+            build_values=rate_values,
+        )
+    return result

@@ -44,6 +44,9 @@ python -m repro.store --selfcheck -q || status=1
 echo "== bench e37 (smoke: 10^4-state sparse chain under budget) =="
 python benchmarks/bench_e37_sparse.py --smoke || status=1
 
+echo "== bench e38 (smoke: 50-point compiled sparse sweep, zero re-BFS) =="
+python benchmarks/bench_e38_sparse_sweep.py --smoke || status=1
+
 if [ "${1:-}" != "--no-tests" ]; then
     echo "== pytest =="
     python -m pytest -q || status=1

@@ -308,15 +308,17 @@ _DENSE_ALLOCATORS = {"zeros", "ones", "empty", "full"}
 
 
 def check_sparse_densification(tree: ast.AST, path: str) -> List[Finding]:
-    """R007: no densification on the ``repro.sparse`` solver hot paths.
+    """R007: no densification on the sparse solver hot paths.
 
-    Checks files under ``src/repro/sparse``: flags ``.toarray()`` /
-    ``.todense()`` calls and 2-D dense allocations
-    (``np.zeros((n, m))``, ``np.ones``/``np.empty``/``np.full``
-    likewise).  1-D vectors are the working currency of the iterative
-    solvers and stay allowed.
+    Checks files under ``src/repro/sparse`` and the compiled-sparse
+    sweep kernel ``src/repro/compile/sparse.py`` (same O(nnz) memory
+    contract): flags ``.toarray()`` / ``.todense()`` calls and 2-D
+    dense allocations (``np.zeros((n, m))``,
+    ``np.ones``/``np.empty``/``np.full`` likewise).  1-D vectors are
+    the working currency of the iterative solvers and stay allowed.
     """
-    if "repro/sparse" not in path.replace("\\", "/"):
+    norm = path.replace("\\", "/")
+    if "repro/sparse" not in norm and "repro/compile/sparse" not in norm:
         return []
     findings = []
     for node in ast.walk(tree):
@@ -329,8 +331,8 @@ def check_sparse_densification(tree: ast.AST, path: str) -> List[Finding]:
                     path,
                     node.lineno,
                     "R007",
-                    f".{name}() in repro.sparse densifies the operator; keep "
-                    "the CSR/LinearOperator form on solver hot paths",
+                    f".{name}() densifies the operator on a sparse hot path; "
+                    "keep the CSR/LinearOperator form",
                 )
             )
         elif name in _DENSE_ALLOCATORS and node.args:
@@ -341,8 +343,8 @@ def check_sparse_densification(tree: ast.AST, path: str) -> List[Finding]:
                         path,
                         node.lineno,
                         "R007",
-                        f"dense 2-D {name}() allocation in repro.sparse; the "
-                        "subsystem contract is O(nnz) memory, not O(n^2)",
+                        f"dense 2-D {name}() allocation on a sparse hot path; "
+                        "the subsystem contract is O(nnz) memory, not O(n^2)",
                     )
                 )
     return findings
