@@ -1,0 +1,256 @@
+"""E39 — structural pre-flight: sizing nets without building them.
+
+Performance and correctness claims for ``repro.analyze.invariants``:
+
+1. the full structural pass (P/T-invariants, bounds, siphon, dead
+   transitions, state bound) completes in **< 100 ms** on every
+   registered case-study net — orders of magnitude below the BFS it
+   pre-sizes;
+2. the P-invariant state bound **dominates** the measured lazy-BFS
+   tangible count on every net (ratio >= 1.0), with equality where the
+   analysis claims exactness;
+3. the pre-flight refuses a 10^7-marking synthetic chain in **< 100 ms**
+   without expanding a single marking, returning the refusal
+   certificate on :class:`~repro.exceptions.StateSpaceError`;
+4. pre-flight overhead on a real lazy CSR build (the 10^4-state NFV
+   chain of the E38 smoke gate) is **<= 2 %** wall-clock.
+
+Per-case timings, prediction-vs-actual ratios and the overhead land in
+``BENCH_e39.json``.  The module doubles as the CI smoke gate::
+
+    python benchmarks/bench_e39_invariants.py --smoke
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from conftest import print_table, write_record
+from repro.analyze.invariants import structural_analysis
+from repro.casestudies.nfvchain import NFVChainSpec, build_nfv_net
+from repro.exceptions import StateSpaceError
+from repro.petrinet import PetriNet
+from repro.petrinet.templates import (
+    machine_repairman,
+    queue_with_breakdowns,
+    redundant_pool_with_coverage,
+)
+from repro.sparse import build_sparse_reachability
+
+#: every structural pass must finish below this, per net
+MAX_ANALYSIS_MS = 100.0
+#: the 10^7-marking refusal must also land below this
+MAX_REFUSAL_MS = 100.0
+#: pre-flight cost on a real lazy CSR build (E38 smoke chain)
+MAX_OVERHEAD_FRAC = 0.02
+#: best-of-N timing to cut scheduler noise
+REPS = 3
+
+#: 4 VNFs x 9 replicas -> exactly 10^4 markings (the E38 smoke chain)
+OVERHEAD_SPEC = NFVChainSpec(n_vnfs=4, replicas=9, min_replicas=2)
+#: 7 VNFs x 9 replicas -> exactly 10^7 markings, above the 5e6 default
+REFUSAL_SPEC = NFVChainSpec(n_vnfs=7, replicas=9, min_replicas=2)
+
+
+def mm1k(K=5, lam=2.0, mu=3.0):
+    net = PetriNet()
+    net.add_place("queue", 0)
+    net.add_timed_transition("arrive", rate=lam)
+    net.add_output_arc("arrive", "queue")
+    net.add_inhibitor_arc("arrive", "queue", K)
+    net.add_timed_transition("serve", rate=mu)
+    net.add_input_arc("serve", "queue")
+    return net
+
+
+#: same net zoo the sparse bit-identity tests pin
+CASE_STUDIES = {
+    "mm1k": mm1k,
+    "machine_repairman": lambda: machine_repairman(4, 0.1, 1.0, n_crews=2),
+    "coverage_pool": lambda: redundant_pool_with_coverage(3, 0.01, 0.5, 0.95, 0.2),
+    "queue_breakdowns": lambda: queue_with_breakdowns(5, 1.0, 2.0, 0.01, 0.5),
+    "nfvchain": lambda: build_nfv_net(NFVChainSpec()),
+}
+
+RECORD = {}
+
+
+def _persist():
+    """Merge RECORD over the committed file so a partial run (one pytest
+    test, the smoke gate) does not clobber the other legs."""
+    merged = {}
+    path = pathlib.Path(__file__).resolve().parent / "BENCH_e39.json"
+    if path.exists():
+        merged.update(json.loads(path.read_text()))
+    merged.update(RECORD)
+    write_record("e39", merged)
+
+
+def _best_of(fn, reps=REPS):
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _analysis_leg():
+    """Leg 1+2: per-net analysis time and prediction-vs-actual ratio."""
+    rows = []
+    for name, build in sorted(CASE_STUDIES.items()):
+        net = build()
+        analysis_s, analysis = _best_of(lambda: structural_analysis(net))
+        actual = len(build_sparse_reachability(net).tangible)
+        rows.append(
+            {
+                "case": name,
+                "analysis_ms": 1e3 * analysis_s,
+                "predicted": analysis.state_bound,
+                "exact": analysis.state_bound_exact,
+                "actual": actual,
+                "ratio": analysis.state_bound / actual,
+                "n_p_invariants": len(analysis.p_invariants),
+                "complete": analysis.complete,
+            }
+        )
+    return rows
+
+
+def _refusal_leg():
+    """Leg 3: the 10^7-marking chain is refused before any expansion."""
+    net = build_nfv_net(REFUSAL_SPEC)
+
+    def refuse():
+        try:
+            build_sparse_reachability(net)
+        except StateSpaceError as exc:
+            return exc.certificate
+        raise AssertionError("10^7-marking chain was not refused")
+
+    refusal_s, certificate = _best_of(refuse)
+    return {
+        "refusal_ms": 1e3 * refusal_s,
+        "predicted": certificate.state_bound,
+        "exact": certificate.state_bound_exact,
+    }
+
+
+def _overhead_leg():
+    """Leg 4: pre-flight cost on the 10^4-state lazy CSR build."""
+    net = build_nfv_net(OVERHEAD_SPEC)
+    with_s, _ = _best_of(lambda: build_sparse_reachability(net, preflight=True))
+    without_s, _ = _best_of(lambda: build_sparse_reachability(net, preflight=False))
+    return {
+        "n_states": 10**4,
+        "build_with_preflight_s": with_s,
+        "build_without_preflight_s": without_s,
+        "overhead_frac": max(0.0, with_s / without_s - 1.0),
+    }
+
+
+def _check(rows, refusal, overhead):
+    failures = []
+    for row in rows:
+        if row["analysis_ms"] > MAX_ANALYSIS_MS:
+            failures.append(
+                f"{row['case']}: analysis {row['analysis_ms']:.1f} ms "
+                f"> {MAX_ANALYSIS_MS} ms"
+            )
+        if not row["complete"]:
+            failures.append(f"{row['case']}: Farkas budget exceeded")
+        if row["predicted"] is None or row["ratio"] < 1.0:
+            failures.append(
+                f"{row['case']}: prediction {row['predicted']} below "
+                f"actual {row['actual']}"
+            )
+        if row["exact"] and row["predicted"] != row["actual"]:
+            failures.append(
+                f"{row['case']}: claimed exact but {row['predicted']} "
+                f"!= {row['actual']}"
+            )
+    if refusal["refusal_ms"] > MAX_REFUSAL_MS:
+        failures.append(
+            f"refusal {refusal['refusal_ms']:.1f} ms > {MAX_REFUSAL_MS} ms"
+        )
+    if refusal["predicted"] != 10**7:
+        failures.append(f"refusal certificate predicts {refusal['predicted']}")
+    if overhead is not None and overhead["overhead_frac"] > MAX_OVERHEAD_FRAC:
+        failures.append(
+            f"pre-flight overhead {100 * overhead['overhead_frac']:.2f}% "
+            f"> {100 * MAX_OVERHEAD_FRAC}%"
+        )
+    return failures
+
+
+def test_structural_pass_sizes_every_case_study():
+    """Legs 1-4 as one pytest test: the numbers land in BENCH_e39.json."""
+    rows = _analysis_leg()
+    refusal = _refusal_leg()
+    overhead = _overhead_leg()
+    RECORD.update({"cases": rows, "refusal": refusal, "overhead": overhead})
+    _persist()
+
+    failures = _check(rows, refusal, overhead)
+    assert not failures, "; ".join(failures)
+
+    print_table(
+        "E39: structural pre-flight (analysis ms, predicted vs actual)",
+        ["case", "ms", "predicted", "actual", "ratio", "exact"],
+        [
+            (
+                r["case"],
+                f"{r['analysis_ms']:.2f}",
+                r["predicted"],
+                r["actual"],
+                f"{r['ratio']:.2f}",
+                r["exact"],
+            )
+            for r in rows
+        ],
+    )
+    print(
+        f"refusal of 10^7 markings: {refusal['refusal_ms']:.1f} ms; "
+        f"pre-flight overhead on 10^4-state build: "
+        f"{100 * overhead['overhead_frac']:.2f}%"
+    )
+
+
+def smoke():
+    """CI gate: analysis + refusal legs only (skips the 10^4 builds of
+    the overhead leg; E38's smoke covers that path's wall budget)."""
+    start = time.perf_counter()
+    rows = _analysis_leg()
+    refusal = _refusal_leg()
+    RECORD.update({"smoke_cases": rows, "smoke_refusal": refusal})
+    _persist()
+
+    failures = _check(rows, refusal, overhead=None)
+    worst_ms = max(r["analysis_ms"] for r in rows)
+    print(
+        f"bench_e39 --smoke: {len(rows)} nets sized, worst analysis "
+        f"{worst_ms:.2f} ms, 10^7-marking refusal {refusal['refusal_ms']:.1f} ms, "
+        f"wall={time.perf_counter() - start:.1f}s"
+    )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the analysis + refusal legs (no 10^4-state builds)",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.smoke:
+        sys.exit(smoke())
+    test_structural_pass_sizes_every_case_study()
+    print("bench_e39: all legs passed")

@@ -48,6 +48,18 @@ from .diagnostics import (
     Diagnostic,
 )
 from .hierarchy import lint_hierarchy
+from .invariants import (
+    Invariant,
+    StructuralAnalysis,
+    compute_p_invariants,
+    compute_t_invariants,
+    incidence_matrix,
+    minimal_siphons,
+    minimal_traps,
+    place_bounds,
+    state_space_bound,
+    structural_analysis,
+)
 from .markov import generator_defects, lint_ctmc, lint_dtmc, lint_generator, lint_mrgp
 from .petri import lint_petri_net, lint_srn
 from .structure import lint_fault_tree, lint_rbd, lint_relgraph
@@ -78,6 +90,16 @@ __all__ = [
     "lint_hierarchy",
     "lint_compiled_ctmc",
     "lint_compiled_evaluator",
+    "Invariant",
+    "StructuralAnalysis",
+    "structural_analysis",
+    "incidence_matrix",
+    "compute_p_invariants",
+    "compute_t_invariants",
+    "place_bounds",
+    "state_space_bound",
+    "minimal_siphons",
+    "minimal_traps",
 ]
 
 #: Valid values of every ``diagnostics=`` keyword in the library.

@@ -104,15 +104,17 @@ CODES: Dict[str, Tuple[str, str, str]] = {
     # ---- Petri nets / SRNs ---------------------------------------------
     "P101": (
         WARNING,
-        "place may be unbounded (net is not structurally bounded)",
-        "some transition adds tokens to the place without a compensating input or inhibitor arc;"
-        " add an inhibitor arc or a complementary place to bound the reachability graph",
+        "place may be unbounded (heuristic; no structural proof either way)",
+        "no P-invariant covers the place and no pumping certificate exists — the structural"
+        " pass cannot decide; add an inhibitor arc or a complementary place to make"
+        " boundedness provable (P-invariant analysis then silences this warning)",
     ),
     "P102": (
         WARNING,
-        "structurally dead transition (can never fire)",
+        "possibly dead transition (heuristic; structural pass unavailable)",
         "the transition consumes from a place that never receives tokens; wire the missing"
-        " output arc or drop the transition",
+        " output arc or drop the transition — when the structural pass runs, proven cases"
+        " are reported as P108 instead",
     ),
     "P103": (
         WARNING,
@@ -131,6 +133,34 @@ CODES: Dict[str, Tuple[str, str, str]] = {
         "isolated place (no arcs touch it)",
         "the place never changes marking and only inflates state descriptions; remove it or"
         " connect it",
+    ),
+    "P106": (
+        WARNING,
+        "place is structurally unbounded (proven by a pumping certificate)",
+        "the message lists a repeatable guard-free transition multiset that strictly pumps"
+        " tokens into the place — reachability cannot terminate; add an inhibitor arc or a"
+        " complementary place to close the conservation law",
+    ),
+    "P107": (
+        WARNING,
+        "transition breaks a conservation law the rest of the net maintains",
+        "without the named transition the other transitions conserve a weighted token sum;"
+        " check the transition's arc multiplicities — a missing or doubled arc is the usual"
+        " cause of the leak",
+    ),
+    "P108": (
+        WARNING,
+        "provably dead transition (structural certificate)",
+        "the proof is in the message (initially-empty siphon, contradictory inhibitor arc, or"
+        " an input demand above the place's proven bound); wire the missing arc or drop the"
+        " transition",
+    ),
+    "P109": (
+        WARNING,
+        "predicted state-space bound exceeds the max_markings budget",
+        "P-invariant analysis bounds the reachable markings above max_markings, so the sparse"
+        " pre-flight will refuse to build; raise max_markings, shrink the net, or pass"
+        " preflight=False to attempt the build anyway",
     ),
     # ---- structure models (RBD / fault tree / relgraph) ----------------
     "S001": (

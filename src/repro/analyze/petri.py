@@ -3,68 +3,71 @@
 Everything here is *structural* — the checks read the net description
 (arcs, initial tokens, weights, priorities) without building the
 reachability graph, so they are safe to run on nets whose state space
-would explode.  When an SRN has already built its reachability, the
-generated CTMC is linted too.
+would explode.  Since the :mod:`repro.analyze.invariants` pass landed,
+the lint is certificate-driven: where P/T-invariant analysis *proves*
+unboundedness (P106), a conservation leak (P107), a dead transition
+(P108) or an over-budget state space (P109), the proven code is
+emitted; the heuristic codes P101/P102 survive only where no proof
+exists either way (and say "heuristic" so the two cannot be confused).
+When an SRN has already built its reachability, the generated CTMC is
+linted too.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from .diagnostics import Diagnostic
+from .invariants import StructuralAnalysis, structural_analysis
 
 __all__ = ["lint_petri_net", "lint_srn"]
 
 
-def lint_petri_net(net) -> List[Diagnostic]:
-    """Lint a :class:`~repro.petrinet.PetriNet` (P101–P105)."""
+def lint_petri_net(
+    net,
+    structural: Optional[bool] = None,
+    max_markings: Optional[int] = None,
+) -> List[Diagnostic]:
+    """Lint a :class:`~repro.petrinet.PetriNet` (P101–P109).
+
+    Parameters
+    ----------
+    structural:
+        ``None``/``True`` runs the budgeted P/T-invariant pass and emits
+        proven codes (P106–P108); ``False`` skips it and falls back to
+        the pre-invariant heuristics (P101/P102, marked "heuristic").
+        The pass also falls back automatically when its Farkas budget is
+        exhausted — soundness over coverage.
+    max_markings:
+        When given, P109 fires if the invariant-implied state-space
+        bound exceeds it (:func:`lint_srn` passes the SRN's configured
+        budget here).
+    """
     diagnostics: List[Diagnostic] = []
     places = net._places
     transitions = net._transitions
 
     touched: Set[int] = set()
-    fed_places: Set[int] = set()  # places some transition outputs into
     for t in transitions.values():
         for idx, _mult in t.inputs + t.inhibitors:
             touched.add(idx)
         for idx, _mult in t.outputs:
             touched.add(idx)
-            fed_places.add(idx)
+
+    analysis: Optional[StructuralAnalysis] = None
+    if structural is not False:
+        analysis = structural_analysis(net)
+        if not analysis.complete:
+            analysis = None
+
+    if analysis is not None:
+        diagnostics.extend(_structural_findings(net, analysis, max_markings))
+    else:
+        diagnostics.extend(_heuristic_findings(net))
 
     for t in sorted(transitions.values(), key=lambda t: t.name):
-        location = f"transition {t.name!r}"
-        produced = sum(m for _i, m in t.outputs)
-        consumed = sum(m for _i, m in t.inputs)
-        if produced > consumed and not t.inhibitors and t.guard is None:
-            gaining = sorted(
-                {places[i].name for i, _m in t.outputs}
-                - {places[i].name for i, _m in t.inputs}
-            )
-            into = f" into {', '.join(repr(p) for p in gaining)}" if gaining else ""
-            diagnostics.append(
-                Diagnostic(
-                    "P101",
-                    f"{location} produces {produced} token(s) but consumes "
-                    f"{consumed} with no inhibitor arc or guard{into}; the net "
-                    f"may be unbounded and reachability may not terminate",
-                    location=location,
-                )
-            )
-        # Structurally dead: an input place that starts short of the arc
-        # multiplicity and that nothing ever feeds.
-        for idx, mult in t.inputs:
-            if places[idx].initial < mult and idx not in fed_places:
-                diagnostics.append(
-                    Diagnostic(
-                        "P102",
-                        f"{location} needs {mult} token(s) in place "
-                        f"{places[idx].name!r}, which starts with "
-                        f"{places[idx].initial} and is never replenished; the "
-                        f"transition can never fire",
-                        location=location,
-                    )
-                )
         if t.is_immediate and not callable(t.weight) and float(t.weight) == 0.0:
+            location = f"transition {t.name!r}"
             diagnostics.append(
                 Diagnostic(
                     "P104",
@@ -86,6 +89,130 @@ def lint_petri_net(net) -> List[Diagnostic]:
                     location=f"place {place.name!r}",
                 )
             )
+    return diagnostics
+
+
+def _structural_findings(
+    net,
+    analysis: StructuralAnalysis,
+    max_markings: Optional[int],
+) -> List[Diagnostic]:
+    """Certificate-backed findings: P106, P107, P108, P109 — plus the
+    heuristic P101 for places the pass could not decide either way."""
+    diagnostics: List[Diagnostic] = []
+
+    for name in sorted(analysis.bounds):
+        location = f"place {name!r}"
+        if name in analysis.unbounded and analysis.bounds[name] is None:
+            multiset = analysis.unbounded[name]
+            fired = ", ".join(
+                t if k == 1 else f"{k}×{t}" for t, k in sorted(multiset.items())
+            )
+            diagnostics.append(
+                Diagnostic(
+                    "P106",
+                    f"{location} is structurally unbounded: repeatedly firing "
+                    f"{{{fired}}} strictly pumps tokens into it and no guard or "
+                    f"inhibitor arc can stop the multiset; reachability cannot "
+                    f"terminate",
+                    location=location,
+                )
+            )
+        elif analysis.bounds[name] is None:
+            diagnostics.append(
+                Diagnostic(
+                    "P101",
+                    f"{location} has no structural token bound (no covering "
+                    f"P-invariant, producers lack inhibitor arcs) and no "
+                    f"pumping certificate either; heuristic — the net may be "
+                    f"unbounded and reachability may not terminate",
+                    location=location,
+                )
+            )
+
+    for t_name, law, delta in analysis.conservation_violations:
+        location = f"transition {t_name!r}"
+        diagnostics.append(
+            Diagnostic(
+                "P107",
+                f"{location} violates the conservation law {law.render()} "
+                f"kept by every other transition (leaks {delta:+d} per "
+                f"firing); check its arc multiplicities",
+                location=location,
+            )
+        )
+
+    for t_name in sorted(analysis.dead_transitions):
+        location = f"transition {t_name!r}"
+        diagnostics.append(
+            Diagnostic(
+                "P108",
+                f"{location} can never fire: "
+                f"{analysis.dead_transitions[t_name]}",
+                location=location,
+            )
+        )
+
+    if (
+        max_markings is not None
+        and analysis.state_bound is not None
+        and analysis.state_bound > max_markings
+    ):
+        diagnostics.append(
+            Diagnostic(
+                "P109",
+                f"P-invariant analysis predicts up to {analysis.state_bound} "
+                f"reachable markings, above the max_markings budget of "
+                f"{max_markings}; the sparse pre-flight will refuse to build "
+                f"this net",
+            )
+        )
+    return diagnostics
+
+
+def _heuristic_findings(net) -> List[Diagnostic]:
+    """Pre-invariant heuristics (P101/P102), used when the structural
+    pass is disabled or its Farkas budget was exhausted."""
+    diagnostics: List[Diagnostic] = []
+    places = net._places
+    fed_places: Set[int] = set()
+    for t in net._transitions.values():
+        for idx, _mult in t.outputs:
+            fed_places.add(idx)
+
+    for t in sorted(net._transitions.values(), key=lambda t: t.name):
+        location = f"transition {t.name!r}"
+        produced = sum(m for _i, m in t.outputs)
+        consumed = sum(m for _i, m in t.inputs)
+        if produced > consumed and not t.inhibitors and t.guard is None:
+            gaining = sorted(
+                {places[i].name for i, _m in t.outputs}
+                - {places[i].name for i, _m in t.inputs}
+            )
+            into = f" into {', '.join(repr(p) for p in gaining)}" if gaining else ""
+            diagnostics.append(
+                Diagnostic(
+                    "P101",
+                    f"{location} produces {produced} token(s) but consumes "
+                    f"{consumed} with no inhibitor arc or guard{into}; "
+                    f"heuristic — the net may be unbounded and reachability "
+                    f"may not terminate",
+                    location=location,
+                )
+            )
+        for idx, mult in t.inputs:
+            if places[idx].initial < mult and idx not in fed_places:
+                diagnostics.append(
+                    Diagnostic(
+                        "P102",
+                        f"{location} needs {mult} token(s) in place "
+                        f"{places[idx].name!r}, which starts with "
+                        f"{places[idx].initial} and is never replenished; "
+                        f"heuristic — the transition looks dead (the "
+                        f"structural pass would report P108 with a proof)",
+                        location=location,
+                    )
+                )
     return diagnostics
 
 
@@ -143,11 +270,13 @@ def _vanishing_loops(net) -> List[Diagnostic]:
 def lint_srn(srn, query=None) -> List[Diagnostic]:
     """Lint a :class:`~repro.petrinet.StochasticRewardNet`.
 
-    The net is always linted structurally.  The generated CTMC is linted
-    only when the reachability graph has *already* been built — analysis
-    must never be the thing that triggers a state-space explosion.
+    The net is always linted structurally, with the SRN's configured
+    ``max_markings`` budget so P109 can flag nets the pre-flight will
+    refuse.  The generated CTMC is linted only when the reachability
+    graph has *already* been built — analysis must never be the thing
+    that triggers a state-space explosion.
     """
-    diagnostics = lint_petri_net(srn.net)
+    diagnostics = lint_petri_net(srn.net, max_markings=srn._max_markings)
     if srn._reach is not None:
         from .markov import lint_ctmc
 

@@ -75,7 +75,20 @@ class ConvergenceError(SolverError):
 
 
 class StateSpaceError(ReproError):
-    """State-space construction failed or exceeded configured limits."""
+    """State-space construction failed or exceeded configured limits.
+
+    Attributes
+    ----------
+    certificate:
+        When the sparse pre-flight refused the build *before* BFS, the
+        :class:`~repro.analyze.invariants.StructuralAnalysis` whose
+        P-invariant state bound proved the net over budget; ``None`` for
+        runtime (mid-BFS) failures.
+    """
+
+    def __init__(self, message: str, certificate=None):
+        super().__init__(message)
+        self.certificate = certificate
 
 
 class DistributionError(ReproError):

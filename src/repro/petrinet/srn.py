@@ -114,6 +114,23 @@ class StochasticRewardNet:
         :class:`~repro.sparse.SparseCTMC` (lazy)."""
         return self.reachability.chain
 
+    def predict_state_space(self):
+        """Size the net *without* building reachability.
+
+        Runs the structural pass
+        (:func:`repro.analyze.invariants.structural_analysis`) on the
+        underlying net and returns the
+        :class:`~repro.analyze.invariants.StructuralAnalysis` — its
+        ``state_bound`` is the P-invariant upper bound on the tangible
+        marking count (``None`` when the net has no structural bound),
+        the same number the lazy build's pre-flight checks against
+        ``max_markings``.  Costs milliseconds and never explores a
+        single marking.
+        """
+        from ..analyze.invariants import structural_analysis
+
+        return structural_analysis(self.net)
+
     @property
     def n_tangible(self) -> int:
         """Number of tangible markings."""

@@ -35,6 +35,20 @@ from ..exceptions import DiagnosticWarning, ModelDefinitionError
 __all__ = ["RegisteredModel", "ModelRegistry", "UnknownModelError", "default_registry"]
 
 
+def _net_of(model):
+    """The underlying PetriNet of a net-backed model, else None."""
+    candidate = model
+    srn = getattr(candidate, "srn", None)  # SRNDependabilityModel
+    if srn is not None:
+        candidate = srn
+    net = getattr(candidate, "net", None)  # StochasticRewardNet
+    if net is not None:
+        candidate = net
+    if hasattr(candidate, "_places") and hasattr(candidate, "_transitions"):
+        return candidate
+    return None
+
+
 class UnknownModelError(KeyError):
     """Lookup of a model name the registry does not hold.
 
@@ -74,7 +88,12 @@ class RegisteredModel:
         Model-scale metadata (``n_states``, ``n_components``, ...) —
         taken from the compiled evaluator's
         :meth:`~repro.compile.CompiledEvaluator.size` or supplied by the
-        registrant for opaque evaluators; ``None`` when unknown.
+        registrant for opaque evaluators; ``None`` when unknown.  For
+        net-backed models (Petri nets / SRNs, lazy ones in particular)
+        registration adds ``predicted_states``: the P-invariant
+        state-space bound from
+        :func:`repro.analyze.invariants.structural_analysis`, computed
+        without building reachability.
     report:
         The registration-time :class:`~repro.analyze.AnalysisReport`
         (``None`` when nothing analyzable was available).
@@ -202,6 +221,15 @@ class ModelRegistry:
                     DiagnosticWarning,
                     stacklevel=2,
                 )
+
+        net = _net_of(analyzable)
+        if net is not None:
+            from ..analyze import structural_analysis
+
+            prediction = structural_analysis(net)
+            if prediction.complete and prediction.state_bound is not None:
+                size = dict(size) if size is not None else {}
+                size.setdefault("predicted_states", prediction.state_bound)
 
         entry = RegisteredModel(
             name,
@@ -387,7 +415,9 @@ def default_registry(diagnostics: str = "strict", probe: bool = True) -> ModelRe
         "NFV service-chain availability, scalable lazy-sparse SRN (E37)",
         parameters=tuple(nfvchain.NFVChainSpec.__dataclass_fields__),
         defaults=asdict(nfv_spec),
-        model=nfvchain.build_nfv_srn(nfv_spec).chain,
+        # The lazy SRN itself, not its chain: registration must size the
+        # model structurally, never by building reachability.
+        model=nfvchain.build_nfv_srn(nfv_spec),
         size={
             "n_states": nfvchain.state_count(nfv_spec),
             "n_chains": 1,

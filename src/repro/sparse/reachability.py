@@ -17,10 +17,17 @@ produce the **same state indexing** and (up to last-ulp summation
 differences) the same generator — ``tests/sparse`` asserts this on every
 SRN case study in the repo.
 
-A bounded-memory guard tracks the estimated footprint (interning table +
-triplet buffers) and raises :class:`~repro.exceptions.StateSpaceError`
-before the process swaps, and the whole exploration runs inside a
-``sparse.reachability`` trace span with periodic marking/edge counters.
+A structural *pre-flight* (P-invariant analysis from
+:mod:`repro.analyze.invariants`) sizes the net before building: nets
+whose invariant-implied state bound exceeds ``max_markings`` are refused
+in milliseconds — before a single marking is expanded — with the
+certificate attached to the :class:`~repro.exceptions.StateSpaceError`,
+and nets under budget get their triplet buffers pre-sized from the
+predicted edge count.  A bounded-memory guard then tracks the estimated
+footprint (interning table + triplet buffers) during BFS and raises
+:class:`~repro.exceptions.StateSpaceError` before the process swaps, and
+the whole exploration runs inside a ``sparse.reachability`` trace span
+with periodic marking/edge counters.
 """
 
 from __future__ import annotations
@@ -55,23 +62,30 @@ _TRIPLET_BYTES = 24
 class _TripletBuffer:
     """Append-only (row, col, value) store in chunk-allocated NumPy arrays."""
 
-    __slots__ = ("_chunk", "_full", "_rows", "_cols", "_vals", "_fill", "count")
+    __slots__ = ("_chunk", "_cap", "_allocated", "_full", "_rows", "_cols", "_vals", "_fill", "count")
 
-    def __init__(self, chunk: int = _DEFAULT_CHUNK):
+    def __init__(self, chunk: int = _DEFAULT_CHUNK, initial: Optional[int] = None):
         self._chunk = int(chunk)
+        # The pre-flight can pre-size the first buffer from the predicted
+        # edge count, turning many chunk growths into one allocation.
+        # Chunking never affects the streamed values, only allocation.
+        self._cap = int(initial) if initial else self._chunk
+        self._allocated = self._cap
         self._full: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-        self._rows = np.empty(self._chunk, dtype=np.int64)
-        self._cols = np.empty(self._chunk, dtype=np.int64)
-        self._vals = np.empty(self._chunk, dtype=np.float64)
+        self._rows = np.empty(self._cap, dtype=np.int64)
+        self._cols = np.empty(self._cap, dtype=np.int64)
+        self._vals = np.empty(self._cap, dtype=np.float64)
         self._fill = 0
         self.count = 0
 
     def add(self, row: int, col: int, value: float) -> None:
-        if self._fill == self._chunk:
+        if self._fill == self._cap:
             self._full.append((self._rows, self._cols, self._vals))
-            self._rows = np.empty(self._chunk, dtype=np.int64)
-            self._cols = np.empty(self._chunk, dtype=np.int64)
-            self._vals = np.empty(self._chunk, dtype=np.float64)
+            self._cap = self._chunk
+            self._allocated += self._cap
+            self._rows = np.empty(self._cap, dtype=np.int64)
+            self._cols = np.empty(self._cap, dtype=np.int64)
+            self._vals = np.empty(self._cap, dtype=np.float64)
             self._fill = 0
         i = self._fill
         self._rows[i] = row
@@ -88,7 +102,7 @@ class _TripletBuffer:
 
     @property
     def nbytes(self) -> int:
-        return (len(self._full) + 1) * self._chunk * _TRIPLET_BYTES
+        return self._allocated * _TRIPLET_BYTES
 
 
 class _ChunkVec:
@@ -160,6 +174,7 @@ def build_sparse_reachability(
     up: Optional[Callable[[Marking], bool]] = None,
     rate_terms: Optional[Callable[["Transition", Marking], "RateTerm"]] = None,
     rate_values: Optional[Mapping[str, float]] = None,
+    preflight: bool = True,
 ) -> SparseReachabilityResult:
     """Generate the tangible reachability graph of ``net`` into CSR form.
 
@@ -201,9 +216,47 @@ def build_sparse_reachability(
         compiled chain as the defaults merged under every sweep point
         and the point its deterministic warm-start reference is solved
         at.  Only meaningful with ``rate_terms``.
+    preflight:
+        Structural sizing before building (default on): P-invariant
+        analysis (:func:`repro.analyze.invariants.structural_analysis`)
+        bounds the reachable markings in milliseconds, *before* any BFS.
+        A net whose bound exceeds ``max_markings`` is refused immediately
+        — the :class:`~repro.exceptions.StateSpaceError` carries the
+        proof on its ``certificate`` attribute — and a net under budget
+        gets its triplet buffers pre-sized from the predicted edge
+        count.  The bound is an over-approximation, so a refused net
+        *may* have been feasible; pass ``preflight=False`` to attempt
+        the build anyway and rely on the runtime guards alone.
     """
     if chunk < 1:
         raise StateSpaceError(f"chunk must be positive, got {chunk}")
+
+    predicted_states: Optional[int] = None
+    initial_capacity: Optional[int] = None
+    if preflight:
+        # Imported lazily: repro.analyze pulls in model packages.
+        from ..analyze.invariants import structural_analysis
+
+        prediction = structural_analysis(net, conservation_check=False)
+        if prediction.complete and prediction.state_bound is not None:
+            predicted_states = prediction.state_bound
+            if predicted_states > max_markings:
+                raise StateSpaceError(
+                    f"structural pre-flight refused the build: P-invariant "
+                    f"analysis bounds the reachable markings at "
+                    f"{predicted_states}, above max_markings={max_markings}; "
+                    f"no marking was expanded. Raise max_markings, shrink the "
+                    f"net, or pass preflight=False to attempt the build "
+                    f"anyway (the bound is an over-approximation)",
+                    certificate=prediction,
+                )
+            n_timed = sum(
+                1 for t in net._transitions.values() if not t.is_immediate
+            )
+            expected_edges = predicted_states * max(1, n_timed)
+            # Never pre-allocate more than a quarter of the memory budget.
+            by_memory = int(memory_limit_mb * 1024 * 1024) // (4 * _TRIPLET_BYTES)
+            initial_capacity = max(int(chunk), min(expected_edges, by_memory))
     record = rate_terms is not None
     term_index: Dict = {}
     terms: List = []
@@ -224,7 +277,7 @@ def build_sparse_reachability(
     index: Dict[Tuple[int, ...], int] = {}
     tokens: List[Tuple[int, ...]] = []
     up_mask = bytearray() if up is not None else None
-    triplets = _TripletBuffer(chunk)
+    triplets = _TripletBuffer(chunk, initial=initial_capacity)
     queue: deque = deque()
 
     tracer = get_tracer()
@@ -252,6 +305,8 @@ def build_sparse_reachability(
         max_markings=int(max_markings),
         memory_limit_mb=float(memory_limit_mb),
     ) as span:
+        if predicted_states is not None:
+            span.set(predicted_states=int(predicted_states))
         for marking in initial_distribution:
             intern(marking)
 

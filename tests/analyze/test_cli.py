@@ -1,5 +1,7 @@
 """``python -m repro.analyze`` — the CLI gate over the case studies."""
 
+import json
+
 import pytest
 
 from repro.analyze.__main__ import CASE_STUDIES, lint_case_study, main
@@ -31,6 +33,34 @@ class TestMain:
             main(["no_such_case"])
         assert excinfo.value.code == 2
         assert "no_such_case" in capsys.readouterr().err
+
+
+class TestJsonMode:
+    def test_json_document_shape_and_exit_code(self, capsys):
+        assert main(["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["exit_code"] == 0
+        assert doc["n_errors"] == 0
+        assert doc["failures"] == []
+        assert set(doc["cases"]) == set(CASE_STUDIES)
+        for models in doc["cases"].values():
+            for entry in models:
+                assert {"label", "acknowledged", "structural"} <= set(entry)
+
+    def test_json_carries_the_structural_prediction(self, capsys):
+        assert main(["--json", "nfvchain"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        structural = [
+            entry["structural"]
+            for entry in doc["cases"]["nfvchain"]
+            if entry["structural"] is not None
+        ]
+        assert structural, "the nfvchain net must get a structural pass"
+        net_pass = structural[0]
+        assert net_pass["state_bound"] == 64
+        assert net_pass["state_bound_exact"] is True
+        assert net_pass["structurally_bounded"] is True
+        assert len(net_pass["p_invariants"]) >= 3
 
 
 class TestAcceptance:

@@ -1,0 +1,260 @@
+"""repro.analyze.invariants — structural truth vs the built state space.
+
+The load-bearing contract of the structural pass: every prediction is a
+*certificate*.  The P-invariant state bound must dominate the measured
+lazy-BFS state count on every case-study net the library ships, with
+equality where the analysis claims exactness; the pre-flight must refuse
+an over-budget net before expanding a single marking.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.analyze.invariants import (
+    Invariant,
+    compute_p_invariants,
+    compute_t_invariants,
+    incidence_matrix,
+    maximal_empty_siphon,
+    minimal_siphons,
+    minimal_traps,
+    place_bounds,
+    state_space_bound,
+    structural_analysis,
+    unboundedness_certificates,
+)
+from repro.exceptions import StateSpaceError
+from repro.petrinet import PetriNet
+from repro.petrinet.templates import (
+    machine_repairman,
+    queue_with_breakdowns,
+    redundant_pool_with_coverage,
+)
+from repro.sparse import build_sparse_reachability
+
+
+def mm1k(K=5, lam=2.0, mu=3.0):
+    net = PetriNet()
+    net.add_place("queue", 0)
+    net.add_timed_transition("arrive", rate=lam)
+    net.add_output_arc("arrive", "queue")
+    net.add_inhibitor_arc("arrive", "queue", K)
+    net.add_timed_transition("serve", rate=mu)
+    net.add_input_arc("serve", "queue")
+    return net
+
+
+def nfv_net(n_vnfs=3, replicas=3):
+    from repro.casestudies.nfvchain import NFVChainSpec, build_nfv_net
+
+    return build_nfv_net(NFVChainSpec(n_vnfs=n_vnfs, replicas=replicas))
+
+
+#: the same SRN case-study shapes tests/sparse pins for bit-identity
+CASE_STUDIES = {
+    "mm1k": mm1k,
+    "machine_repairman": lambda: machine_repairman(4, 0.1, 1.0, n_crews=2),
+    "coverage_pool": lambda: redundant_pool_with_coverage(3, 0.01, 0.5, 0.95, 0.2),
+    "queue_breakdowns": lambda: queue_with_breakdowns(5, 1.0, 2.0, 0.01, 0.5),
+    "nfvchain": nfv_net,
+}
+
+#: models where the P-invariant bound equals the measured count
+EXACT_VALUE = {"mm1k", "machine_repairman", "queue_breakdowns", "nfvchain"}
+
+#: (n_vnfs, replicas) zoo; predicted |states| = (replicas + 1) ** n_vnfs
+NFV_ZOO = [(2, 2), (2, 3), (3, 3), (4, 4), (5, 6)]
+
+
+class TestInvariantAlgebra:
+    """Exact-integer invariants on hand-checkable nets."""
+
+    def test_machine_repairman_conservation(self):
+        net = machine_repairman(4, 0.1, 1.0, n_crews=2)
+        invs = compute_p_invariants(net)
+        assert len(invs) >= 1
+        # every invariant annihilates the incidence matrix exactly
+        C = incidence_matrix(net)
+        for inv in invs:
+            for j in range(len(C[0])):
+                assert sum(inv.coefficients[i] * C[i][j] for i in range(len(C))) == 0
+        # the machine-count law is among them, with the right total
+        sums = {inv.token_sum for inv in invs}
+        assert 4 in sums
+
+    def test_t_invariants_are_cycles(self):
+        net = machine_repairman(2, 0.1, 1.0)
+        tinvs = compute_t_invariants(net)
+        assert tinvs, "fail/repair loop must yield a T-invariant"
+        C = incidence_matrix(net)
+        for inv in tinvs:
+            for i in range(len(C)):
+                assert sum(C[i][j] * inv.coefficients[j] for j in range(len(C[0]))) == 0
+            assert inv.token_sum is None
+            assert inv.render().endswith("(cycle)")
+
+    def test_invariant_coefficients_are_normalized(self):
+        net = machine_repairman(3, 0.1, 1.0)
+        for inv in compute_p_invariants(net):
+            g = 0
+            for c in inv.support_coefficients:
+                assert c > 0
+                g = math.gcd(g, c)
+            assert g == 1
+
+    def test_open_net_has_no_p_invariant(self):
+        net = PetriNet()
+        net.add_place("sink", 0)
+        net.add_timed_transition("src", rate=1.0)
+        net.add_output_arc("src", "sink")
+        assert compute_p_invariants(net) == []
+        certs = unboundedness_certificates(net)
+        assert "sink" in certs
+
+    def test_siphons_and_traps_on_fork_join(self):
+        net = machine_repairman(2, 0.1, 1.0)
+        siphons = minimal_siphons(net)
+        traps = minimal_traps(net)
+        assert siphons and traps
+        assert maximal_empty_siphon(net) == frozenset()
+
+
+@pytest.mark.parametrize("name", sorted(CASE_STUDIES))
+class TestBoundDominance:
+    """predicted >= measured on every shipped case study."""
+
+    def test_bound_dominates_lazy_bfs_count(self, name):
+        net = CASE_STUDIES[name]()
+        analysis = structural_analysis(net)
+        assert analysis.complete
+        assert analysis.structurally_bounded
+        assert analysis.state_bound is not None
+        actual = len(build_sparse_reachability(net).tangible)
+        assert analysis.state_bound >= actual
+        if name in EXACT_VALUE:
+            assert analysis.state_bound == actual
+
+    def test_no_proven_dead_transitions_on_live_models(self, name):
+        net = CASE_STUDIES[name]()
+        analysis = structural_analysis(net)
+        assert analysis.dead_transitions == {}
+        assert analysis.conservation_violations == []
+
+    def test_place_bounds_dominate_observed_tokens(self, name):
+        net = CASE_STUDIES[name]()
+        bounds, _sources = place_bounds(net)
+        result = build_sparse_reachability(net)
+        names = [p.name for p in net._places]
+        observed = {n: 0 for n in names}
+        for marking in result.tangible:
+            for n in names:
+                observed[n] = max(observed[n], marking[n])
+        for n in names:
+            assert bounds[n] is not None
+            assert bounds[n] >= observed[n]
+
+
+class TestExactness:
+    def test_exact_flag_only_on_clean_nets(self):
+        # machine repairman: pure P-invariant partition, no guards/inhibitors
+        exact_net = machine_repairman(4, 0.1, 1.0, n_crews=2)
+        bound, exact = state_space_bound(exact_net)
+        assert (bound, exact) == (5, True)
+        # mm1k needs an inhibitor bound: right value, not claimed exact
+        bound, exact = state_space_bound(mm1k())
+        assert bound == 6
+        assert exact is False
+
+    @pytest.mark.parametrize("n_vnfs,replicas", NFV_ZOO)
+    def test_nfv_zoo_closed_form(self, n_vnfs, replicas):
+        net = nfv_net(n_vnfs, replicas)
+        analysis = structural_analysis(net)
+        assert analysis.state_bound == (replicas + 1) ** n_vnfs
+        assert analysis.state_bound_exact
+        if analysis.state_bound <= 5_000:
+            actual = len(build_sparse_reachability(net).tangible)
+            assert analysis.state_bound == actual
+
+    def test_analysis_is_fast(self):
+        # the pre-flight promise: sizing costs ~nothing vs building
+        for build in CASE_STUDIES.values():
+            net = build()
+            t0 = time.perf_counter()
+            structural_analysis(net)
+            assert time.perf_counter() - t0 < 0.1
+
+
+class TestPreflight:
+    def test_refuses_overbudget_net_with_certificate(self):
+        # 10^7-state synthetic chain: (9+1)^7 markings, default budget 5e6
+        net = nfv_net(n_vnfs=7, replicas=9)
+        with pytest.raises(StateSpaceError) as exc:
+            build_sparse_reachability(net)
+        cert = exc.value.certificate
+        assert cert is not None
+        assert cert.state_bound == 10**7
+        assert cert.state_bound_exact
+
+    def test_refusal_happens_before_any_expansion(self):
+        net = nfv_net(n_vnfs=7, replicas=9)
+        fired = []
+        original = net.enabled_transitions
+
+        def spy(marking):
+            fired.append(marking)
+            return original(marking)
+
+        net.enabled_transitions = spy
+        t0 = time.perf_counter()
+        with pytest.raises(StateSpaceError):
+            build_sparse_reachability(net)
+        assert time.perf_counter() - t0 < 0.1
+        assert fired == []
+
+    def test_explicit_budget_still_enforced(self):
+        with pytest.raises(StateSpaceError) as exc:
+            build_sparse_reachability(mm1k(K=50), max_markings=10)
+        assert exc.value.certificate is not None
+
+    def test_preflight_false_restores_bfs_guard(self):
+        # opting out still trips the in-BFS max_markings guard
+        with pytest.raises(StateSpaceError) as exc:
+            build_sparse_reachability(mm1k(K=50), max_markings=10, preflight=False)
+        assert exc.value.certificate is None
+
+    def test_preflight_does_not_change_the_build(self):
+        net = mm1k()
+        on = build_sparse_reachability(net, preflight=True)
+        off = build_sparse_reachability(net, preflight=False)
+        q_on = on.chain.generator().tocsr()
+        q_off = off.chain.generator().tocsr()
+        q_on.sort_indices()
+        q_off.sort_indices()
+        assert q_on.indptr.tobytes() == q_off.indptr.tobytes()
+        assert q_on.indices.tobytes() == q_off.indices.tobytes()
+        assert q_on.data.tobytes() == q_off.data.tobytes()
+
+
+class TestObservationProtocol:
+    def test_to_dict_summary_render(self):
+        analysis = structural_analysis(machine_repairman(4, 0.1, 1.0, n_crews=2))
+        d = analysis.to_dict()
+        assert d["structurally_bounded"] is True
+        assert d["state_bound"] == 5
+        assert d["state_bound_exact"] is True
+        assert all(isinstance(v, float) for v in analysis.summary().values())
+        text = analysis.render()
+        assert "P-invariants" in text
+        assert "5" in text
+
+    def test_invariant_render_forms(self):
+        inv = Invariant(
+            kind="P",
+            coefficients=(1, 2),
+            names=("up", "down"),
+            support_coefficients=(1, 2),
+            token_sum=4,
+        )
+        assert inv.render() == "up + 2·down = 4"

@@ -127,29 +127,118 @@ class TestChainStructure:
 
 # ----------------------------------------------------------- P: petri nets
 class TestPetriDefects:
-    def test_p101_unbounded_producer(self):
+    def test_p101_heuristic_when_guard_blocks_the_proof(self):
+        # The producer carries a guard, so the structural pass can prove
+        # nothing either way: no P-invariant covers 'buffer' and the
+        # pumping multiset is disqualified by the guard.  Heuristic P101.
         net = PetriNet().add_place("buffer")
-        net.add_timed_transition("arrive", rate=1.0).add_output_arc("arrive", "buffer")
+        net.add_timed_transition(
+            "arrive", rate=1.0, guard=lambda m: True
+        ).add_output_arc("arrive", "buffer")
         net.add_timed_transition("serve", rate=2.0).add_input_arc("serve", "buffer")
         d = find(analyze(net), "P101")
         assert d.severity == "warning"
-        assert "'arrive'" in d.location
+        assert "'buffer'" in d.location
+        assert "heuristic" in d.message
+        assert "P106" not in codes_of(analyze(net))
+
+    def test_p101_heuristic_without_structural_pass(self):
+        from repro.analyze import lint_petri_net
+
+        net = PetriNet().add_place("buffer")
+        net.add_timed_transition("arrive", rate=1.0).add_output_arc("arrive", "buffer")
+        net.add_timed_transition("serve", rate=2.0).add_input_arc("serve", "buffer")
+        diags = lint_petri_net(net, structural=False)
+        hits = [d for d in diags if d.code == "P101"]
+        assert hits and "heuristic" in hits[0].message
+        assert "'arrive'" in hits[0].location
 
     def test_p101_silenced_by_inhibitor(self):
         net = PetriNet().add_place("buffer")
         net.add_timed_transition("arrive", rate=1.0).add_output_arc("arrive", "buffer")
         net.add_inhibitor_arc("arrive", "buffer", 5)
         net.add_timed_transition("serve", rate=2.0).add_input_arc("serve", "buffer")
-        assert "P101" not in codes_of(analyze(net))
+        report = analyze(net)
+        assert "P101" not in codes_of(report)
+        assert "P106" not in codes_of(report)
 
-    def test_p102_starved_transition(self):
+    def test_p102_heuristic_without_structural_pass(self):
+        from repro.analyze import lint_petri_net
+
         net = PetriNet().add_place("spare", initial=0).add_place("pool", initial=1)
         net.add_timed_transition("swap", rate=1.0)
         net.add_input_arc("swap", "spare").add_output_arc("swap", "pool")
         net.add_timed_transition("drain", rate=1.0).add_input_arc("drain", "pool")
-        d = find(analyze(net), "P102")
-        assert d.severity == "warning"
+        diags = lint_petri_net(net, structural=False)
+        hits = [d for d in diags if d.code == "P102"]
+        assert hits and hits[0].severity == "warning"
+        assert "heuristic" in hits[0].message
+
+    def test_p102_upgrades_to_p108_with_structural_pass(self):
+        # Same net as above: the structural pass proves the deadness
+        # (empty siphon), so the proven code replaces the heuristic one.
+        net = PetriNet().add_place("spare", initial=0).add_place("pool", initial=1)
+        net.add_timed_transition("swap", rate=1.0)
+        net.add_input_arc("swap", "spare").add_output_arc("swap", "pool")
+        net.add_timed_transition("drain", rate=1.0).add_input_arc("drain", "pool")
+        report = analyze(net)
+        assert "P102" not in codes_of(report)
+        d = find(report, "P108")
         assert "can never fire" in d.message
+        assert "'swap'" in d.location
+
+    def test_p106_unbounded_producer_with_certificate(self):
+        # No guard, no inhibitor: the structural pass *proves* the
+        # unboundedness and names the pumping multiset.  Proven P106
+        # replaces heuristic P101 for this place.
+        net = PetriNet().add_place("buffer")
+        net.add_timed_transition("arrive", rate=1.0).add_output_arc("arrive", "buffer")
+        net.add_timed_transition("serve", rate=2.0).add_input_arc("serve", "buffer")
+        report = analyze(net)
+        d = find(report, "P106")
+        assert d.severity == "warning"
+        assert "'buffer'" in d.location
+        assert "arrive" in d.message
+        p101_at_buffer = [
+            x for x in report if x.code == "P101" and "'buffer'" in x.location
+        ]
+        assert p101_at_buffer == []
+
+    def test_p107_conservation_violation_names_the_breaker(self):
+        # Leaky repairman: repair returns two machines for every one
+        # that failed, so no conservation law covers up/down — but
+        # removing either transition restores one.  P107 names the
+        # breaker and the law it breaks.
+        net = PetriNet().add_place("up", initial=4).add_place("down")
+        net.add_timed_transition("fail", rate=0.1)
+        net.add_input_arc("fail", "up").add_output_arc("fail", "down")
+        net.add_timed_transition("repair", rate=1.0)
+        net.add_input_arc("repair", "down").add_output_arc("repair", "up", 2)
+        report = analyze(net)
+        hits = [d for d in report if d.code == "P107"]
+        assert hits
+        assert all(d.severity == "warning" for d in hits)
+        named = {d.location for d in hits}
+        assert named & {"transition 'fail'", "transition 'repair'"} or any(
+            "fail" in loc or "repair" in loc for loc in named
+        )
+        assert any("=" in d.message for d in hits)  # the broken law, rendered
+
+    def test_p109_predicted_count_exceeds_budget(self):
+        from repro.analyze import lint_petri_net
+
+        # mm1k(K=5): proven bound 6 states; a budget of 3 must trip the
+        # predicted-size warning without building reachability.
+        net = PetriNet().add_place("queue")
+        net.add_timed_transition("arrive", rate=1.0).add_output_arc("arrive", "queue")
+        net.add_inhibitor_arc("arrive", "queue", 5)
+        net.add_timed_transition("serve", rate=2.0).add_input_arc("serve", "queue")
+        diags = lint_petri_net(net, max_markings=3)
+        hits = [d for d in diags if d.code == "P109"]
+        assert hits and hits[0].severity == "warning"
+        assert "6" in hits[0].message and "3" in hits[0].message
+        # a sufficient budget stays quiet
+        assert [d for d in lint_petri_net(net, max_markings=10) if d.code == "P109"] == []
 
     def test_p103_immediate_cycle(self):
         net = PetriNet().add_place("a", initial=1).add_place("b")

@@ -44,6 +44,13 @@ class TestDefaultRegistry:
         assert entry.size["n_states"] > 0
         assert entry.size["n_chains"] > 0
 
+    def test_net_backed_entry_reports_predicted_states(self, registry):
+        # the structural pass sizes the NFV chain at registration time,
+        # without building reachability: (replicas+1)^n_vnfs = 4^3
+        size = registry.get("nfvchain").size
+        assert size["predicted_states"] == 64
+        assert size["predicted_states"] >= size["n_states"]
+
     def test_every_entry_carries_a_diagnostics_report(self, registry):
         for name in registry:
             report = registry.get(name).report

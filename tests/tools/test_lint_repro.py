@@ -377,3 +377,151 @@ class TestR007SparseDensification:
             """,
         )
         assert findings == []
+
+
+class TestR008LockDiscipline:
+    """R008 polices ``repro/serve``, ``repro/store``, and ``repro/obs``."""
+
+    INSTANCE_VIOLATION = """
+        import threading
+
+        class Registry:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._models = {}
+                self._count = 0
+
+            def register(self, name, model):
+                self._models[name] = model
+
+            def guarded(self, name, model):
+                with self._lock:
+                    self._models[name] = model
+                    self._count += 1
+        """
+
+    MODULE_VIOLATION = """
+        import threading
+
+        _LOCK = threading.Lock()
+        _CACHE = {}
+
+        def put(key, value):
+            _CACHE[key] = value
+
+        def put_guarded(key, value):
+            with _LOCK:
+                _CACHE[key] = value
+        """
+
+    def lint_at(self, tmp_path, relpath, source):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return lint_repro.lint_file(path)
+
+    def test_seeded_instance_violation(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path, "src/repro/serve/registry.py", self.INSTANCE_VIOLATION
+        )
+        assert codes(findings) == ["R008"]
+        assert "Registry.register" in findings[0][3]
+        assert "with self." in findings[0][3]
+
+    def test_seeded_module_violation(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path, "src/repro/store/cache.py", self.MODULE_VIOLATION
+        )
+        assert codes(findings) == ["R008"]
+        assert "module-level" in findings[0][3]
+        assert "put()" in findings[0][3]
+
+    def test_obs_package_is_policed_too(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path, "src/repro/obs/metrics.py", self.MODULE_VIOLATION
+        )
+        assert codes(findings) == ["R008"]
+
+    def test_mutator_method_calls_flagged(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/serve/batcher.py",
+            """
+            import threading
+
+            class Batcher:
+                def __init__(self):
+                    self._cv = threading.Condition()
+                    self._queue = []
+
+                def submit(self, item):
+                    self._queue.append(item)
+            """,
+        )
+        assert codes(findings) == ["R008"]
+        assert "mutator call" in findings[0][3] or "append" in findings[0][3]
+
+    def test_init_and_locked_suffix_methods_exempt(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/serve/app.py",
+            """
+            import threading
+
+            class App:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._handlers = {}
+                    self._handlers["boot"] = None
+
+                def _install_locked(self, name, fn):
+                    self._handlers[name] = fn
+            """,
+        )
+        assert findings == []
+
+    def test_outside_the_policed_packages_is_ignored(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path, "src/repro/sparse/state.py", self.INSTANCE_VIOLATION
+        )
+        assert findings == []
+
+    def test_lockless_class_is_ignored(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/serve/plain.py",
+            """
+            class Plain:
+                def __init__(self):
+                    self._models = {}
+
+                def register(self, name, model):
+                    self._models[name] = model
+            """,
+        )
+        assert findings == []
+
+    def test_noqa_waives_a_deliberate_unlocked_write(self, tmp_path):
+        findings = self.lint_at(
+            tmp_path,
+            "src/repro/serve/registry.py",
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._models = {}
+
+                def register(self, name, model):
+                    self._models[name] = model  # noqa: R008
+            """,
+        )
+        assert findings == []
+
+    def test_shipping_serve_store_obs_are_clean(self):
+        for pkg in ("serve", "store", "obs"):
+            pkg_dir = REPO_ROOT / "src" / "repro" / pkg
+            for path in sorted(pkg_dir.rglob("*.py")):
+                r008 = [f for f in lint_repro.lint_file(path) if f[2] == "R008"]
+                assert r008 == [], f"{path}: {r008}"

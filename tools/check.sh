@@ -35,6 +35,9 @@ python tools/lint_repro.py || status=1
 echo "== analyze (case studies) =="
 python -m repro.analyze || status=1
 
+echo "== analyze --json (machine-readable gate: exit 0 clean / 1 warnings / 2 errors) =="
+python -m repro.analyze --json >/dev/null || status=1
+
 echo "== serve (selfcheck) =="
 python -m repro.serve --selfcheck -q || status=1
 
@@ -46,6 +49,9 @@ python benchmarks/bench_e37_sparse.py --smoke || status=1
 
 echo "== bench e38 (smoke: 50-point compiled sparse sweep, zero re-BFS) =="
 python benchmarks/bench_e38_sparse_sweep.py --smoke || status=1
+
+echo "== bench e39 (smoke: structural pre-flight sizes nets without BFS) =="
+python benchmarks/bench_e39_invariants.py --smoke || status=1
 
 if [ "${1:-}" != "--no-tests" ]; then
     echo "== pytest =="

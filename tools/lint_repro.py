@@ -51,6 +51,20 @@ absent).  Rules:
     hot paths silently reintroduces the O(n²) memory wall the
     subsystem was built to remove.
 
+``R008 lock-discipline``
+    The concurrent subsystems (``src/repro/serve``, ``src/repro/store``,
+    ``src/repro/obs``) guard shared mutable state with explicit locks.
+    In a class that owns a ``Lock``/``RLock``/``Condition`` attribute,
+    container state (attributes initialized to ``dict``/``list``/...)
+    must only be mutated — subscript assignment, ``.append()`` and
+    friends, ``+=`` on counter attributes — inside a ``with
+    self.<lock>:`` block; likewise module-level mutable state in a
+    module that creates a module-level lock.  Methods whose name ends
+    with ``_locked`` are exempt (the caller-holds-the-lock convention),
+    as is ``__init__`` (no concurrent access before construction
+    completes).  Waivable with ``# noqa: R008`` for state that is
+    genuinely single-threaded.
+
 Usage::
 
     python tools/lint_repro.py [paths...]
@@ -350,6 +364,222 @@ def check_sparse_densification(tree: ast.AST, path: str) -> List[Finding]:
     return findings
 
 
+#: lock-like constructors that establish ownership for R008
+_LOCK_CONSTRUCTORS = {"Lock", "RLock", "Condition"}
+#: method calls that mutate a container in place
+_MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "setdefault",
+    "appendleft",
+    "popleft",
+    "move_to_end",
+}
+_R008_MUTABLE_CONSTRUCTORS = _MUTABLE_CONSTRUCTORS | {"OrderedDict", "Counter"}
+
+
+def _is_mutable_value(value: ast.expr) -> bool:
+    """A value expression that creates a shared mutable container."""
+    if isinstance(value, _MUTABLE_DISPLAYS):
+        return True
+    return (
+        isinstance(value, ast.Call)
+        and _callee_name(value.func) in _R008_MUTABLE_CONSTRUCTORS
+    )
+
+
+def _is_self_attr(node: ast.expr, attrs) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in attrs
+    )
+
+
+def _scan_mutations(body, is_state, is_lock, locked, report) -> None:
+    """Recursively flag in-place mutations of tracked state outside a lock.
+
+    ``is_state(expr)`` recognises the guarded container/counter,
+    ``is_lock(expr)`` recognises the ``with`` context manager that
+    acquires the owning lock; ``report(node, description)`` records a
+    finding.  ``with`` bodies whose items include the lock are scanned
+    with ``locked=True``.
+    """
+    for stmt in body:
+        if isinstance(stmt, ast.With):
+            now_locked = locked or any(
+                is_lock(item.context_expr) for item in stmt.items
+            )
+            _scan_mutations(stmt.body, is_state, is_lock, now_locked, report)
+            continue
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested function may run later (e.g. a worker thread):
+            # scan it as unlocked — acquiring inside still passes.
+            _scan_mutations(stmt.body, is_state, is_lock, False, report)
+            continue
+        if not locked:
+            if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and is_state(target.value):
+                        report(stmt, "subscript assignment")
+                    elif isinstance(stmt, ast.AugAssign) and is_state(target):
+                        report(stmt, "augmented assignment")
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Subscript) and is_state(target.value):
+                        report(stmt, "subscript deletion")
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _MUTATOR_METHODS
+                    and is_state(sub.func.value)
+                ):
+                    report(sub, f".{sub.func.attr}() call")
+        # recurse into compound statements (if/for/while/try bodies)
+        for field in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, field, None)
+            if inner and not isinstance(stmt, ast.With):
+                _scan_mutations(inner, is_state, is_lock, locked, report)
+        for handler in getattr(stmt, "handlers", []):
+            _scan_mutations(handler.body, is_state, is_lock, locked, report)
+
+
+def check_lock_discipline(tree: ast.AST, path: str) -> List[Finding]:
+    """R008: guarded mutable state only mutated under its lock.
+
+    Checks files under ``src/repro/serve``, ``src/repro/store`` and
+    ``src/repro/obs``.  Two ownership patterns:
+
+    * **instance** — a class binding ``self.X = Lock()/RLock()/
+      Condition()`` owns every mutable-container attribute and every
+      numeric counter attribute initialized in ``__init__``; methods
+      other than ``__init__`` (and the ``*_locked`` helpers, which run
+      with the caller holding the lock) must mutate them only inside
+      ``with self.<lock>:``;
+    * **module** — a module binding a top-level lock owns its top-level
+      mutable containers; functions must mutate them only inside
+      ``with <lockname>:``.
+    """
+    norm = path.replace("\\", "/")
+    if not any(f"repro/{pkg}/" in norm or norm.endswith(f"repro/{pkg}.py") for pkg in ("serve", "store", "obs")):
+        return []
+    findings: List[Finding] = []
+
+    # ---- module-level pattern ------------------------------------------
+    module_locks, module_mutables = set(), set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if (
+                    isinstance(node.value, ast.Call)
+                    and _callee_name(node.value.func) in _LOCK_CONSTRUCTORS
+                ):
+                    module_locks.add(target.id)
+                elif _is_mutable_value(node.value):
+                    module_mutables.add(target.id)
+    if module_locks and module_mutables:
+
+        def is_mod_state(expr):
+            return isinstance(expr, ast.Name) and expr.id in module_mutables
+
+        def is_mod_lock(expr):
+            return isinstance(expr, ast.Name) and expr.id in module_locks
+
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _scan_mutations(
+                    node.body,
+                    is_mod_state,
+                    is_mod_lock,
+                    False,
+                    lambda n, what, fn=node: findings.append(
+                        (
+                            path,
+                            n.lineno,
+                            "R008",
+                            f"module-level mutable state mutated ({what}) in "
+                            f"{fn.name}() outside `with <lock>:` although this "
+                            f"module owns a lock",
+                        )
+                    ),
+                )
+
+    # ---- instance pattern ----------------------------------------------
+    for cls in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
+        lock_attrs, state_attrs = set(), set()
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for sub in ast.walk(method):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                for target in sub.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    if (
+                        isinstance(sub.value, ast.Call)
+                        and _callee_name(sub.value.func) in _LOCK_CONSTRUCTORS
+                    ):
+                        lock_attrs.add(target.attr)
+                    elif method.name == "__init__" and _is_mutable_value(sub.value):
+                        state_attrs.add(target.attr)
+                    elif (
+                        method.name == "__init__"
+                        and isinstance(sub.value, ast.Constant)
+                        and isinstance(sub.value.value, (int, float))
+                        and not isinstance(sub.value.value, bool)
+                    ):
+                        state_attrs.add(target.attr)
+        if not lock_attrs or not state_attrs:
+            continue
+
+        def is_inst_state(expr, attrs=frozenset(state_attrs)):
+            return _is_self_attr(expr, attrs)
+
+        def is_inst_lock(expr, attrs=frozenset(lock_attrs)):
+            return _is_self_attr(expr, attrs)
+
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__" or method.name.endswith("_locked"):
+                continue
+            _scan_mutations(
+                method.body,
+                is_inst_state,
+                is_inst_lock,
+                False,
+                lambda n, what, m=method: findings.append(
+                    (
+                        path,
+                        n.lineno,
+                        "R008",
+                        f"guarded instance state mutated ({what}) in "
+                        f"{cls.name}.{m.name}() outside `with self.<lock>:` "
+                        f"although the class owns a lock",
+                    )
+                ),
+            )
+    return findings
+
+
 def check_lazy_namespace(init_path: Path) -> List[Finding]:
     """R003: ``_EXPORTS``/``_MODULE_EXPORTS`` vs ``__all__`` vs ``TYPE_CHECKING``."""
     findings: List[Finding] = []
@@ -446,6 +676,7 @@ def lint_file(py_path: Path) -> List[Finding]:
     findings += check_serve_error_records(tree, path)
     findings += check_store_sqlite(tree, path)
     findings += check_sparse_densification(tree, path)
+    findings += check_lock_discipline(tree, path)
     lines = source.splitlines()
     return [
         f
